@@ -1,0 +1,384 @@
+(* Benchmark harness — regenerates every timing table and figure of the
+   evaluation (see DESIGN.md §3 and EXPERIMENTS.md):
+
+     T1  LR(0) automaton construction cost per language grammar
+     T2  relation construction + Digraph solve (Lalr.compute)
+     T3  full pipeline: grammar → look-aheads → ACTION/GOTO tables
+     T4  method shoot-out: DeRemer–Pennello vs yacc propagation vs
+         canonical-LR(1)+merge vs SLR FOLLOW       (the headline table)
+     F1  scaling over the synthetic grammar families (time vs |G|)
+     F2  speedup of DP over the baselines as size grows
+     F3  the Digraph algorithm vs naive fixpoint iteration
+     RT  parser-runtime throughput (tokens/s) as a sanity check that
+         tables from the exact method drive the parser at full speed
+
+   Each experiment is one Bechamel Test.make (or a Test.make per
+   grammar×method cell); after the statistics, the paper-shaped tables
+   T1–T5 are printed via Lalr_bench_tables.
+
+   Run with:  dune exec bench/main.exe            (everything)
+              dune exec bench/main.exe -- t4 f1   (a subset) *)
+
+open Bechamel
+open Toolkit
+
+module Lr0 = Lalr_automaton.Lr0
+module Lalr = Lalr_core.Lalr
+module Slr = Lalr_baselines.Slr
+module Lr1 = Lalr_baselines.Lr1
+module Propagation = Lalr_baselines.Propagation
+module Tables = Lalr_tables.Tables
+module Driver = Lalr_runtime.Driver
+module Sentence = Lalr_runtime.Sentence
+module Registry = Lalr_suite.Registry
+module Digraph = Lalr_sets.Digraph
+module E = Lalr_bench_tables.Experiments
+
+let languages =
+  lazy
+    (List.map
+       (fun (e : Registry.entry) -> (e.name, Lazy.force e.grammar))
+       Registry.languages)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel plumbing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_tests ~quota_s tests =
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota_s) ~kde:None ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"" tests) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let estimate results name =
+  match Hashtbl.find_opt results name with
+  | None -> nan
+  | Some ols -> (
+      match Analyze.OLS.estimates ols with
+      | Some [ e ] -> e (* nanoseconds per run *)
+      | _ -> nan)
+
+let pp_ns ppf ns =
+  if Float.is_nan ns then Format.fprintf ppf "n/a"
+  else if ns > 1e9 then Format.fprintf ppf "%.2f s" (ns /. 1e9)
+  else if ns > 1e6 then Format.fprintf ppf "%.2f ms" (ns /. 1e6)
+  else if ns > 1e3 then Format.fprintf ppf "%.2f µs" (ns /. 1e3)
+  else Format.fprintf ppf "%.0f ns" ns
+
+let section title =
+  Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* T1 — LR(0) construction                                            *)
+(* ------------------------------------------------------------------ *)
+
+let bench_t1 () =
+  section "bench T1 — LR(0) automaton construction";
+  let tests =
+    List.map
+      (fun (name, g) ->
+        Test.make ~name (Staged.stage (fun () -> Lr0.build g)))
+      (Lazy.force languages)
+  in
+  let results = run_tests ~quota_s:0.5 tests in
+  List.iter
+    (fun (name, g) ->
+      let a = Lr0.build g in
+      Format.printf "%-14s %a   (%d states)@." name pp_ns
+        (estimate results ("/" ^ name))
+        (Lr0.n_states a))
+    (Lazy.force languages)
+
+(* ------------------------------------------------------------------ *)
+(* T2 — relations + Digraph                                           *)
+(* ------------------------------------------------------------------ *)
+
+let bench_t2 () =
+  section "bench T2 — relations + Digraph solve (Lalr.compute)";
+  let prebuilt =
+    List.map (fun (name, g) -> (name, Lr0.build g)) (Lazy.force languages)
+  in
+  let tests =
+    List.map
+      (fun (name, a) ->
+        Test.make ~name (Staged.stage (fun () -> Lalr.compute a)))
+      prebuilt
+  in
+  let results = run_tests ~quota_s:0.5 tests in
+  List.iter
+    (fun (name, a) ->
+      let s = Lalr.stats (Lalr.compute a) in
+      Format.printf "%-14s %a   (%d nt transitions, %d+%d edges)@." name
+        pp_ns
+        (estimate results ("/" ^ name))
+        s.Lalr.n_nt_transitions s.Lalr.reads_edges s.Lalr.includes_edges)
+    prebuilt
+
+(* ------------------------------------------------------------------ *)
+(* T3 — full pipeline to tables                                       *)
+(* ------------------------------------------------------------------ *)
+
+let bench_t3 () =
+  section "bench T3 — grammar → look-aheads → ACTION/GOTO tables";
+  let pipeline g () =
+    let a = Lr0.build g in
+    let t = Lalr.compute a in
+    Tables.build ~lookahead:(Lalr.lookahead t) a
+  in
+  let tests =
+    List.map
+      (fun (name, g) -> Test.make ~name (Staged.stage (pipeline g)))
+      (Lazy.force languages)
+  in
+  let results = run_tests ~quota_s:0.5 tests in
+  List.iter
+    (fun (name, _) ->
+      Format.printf "%-14s %a@." name pp_ns (estimate results ("/" ^ name)))
+    (Lazy.force languages)
+
+(* ------------------------------------------------------------------ *)
+(* T4 — the method shoot-out                                          *)
+(* ------------------------------------------------------------------ *)
+
+let methods a g =
+  [
+    ("dp", fun () -> ignore (Sys.opaque_identity (Lalr.compute a)));
+    ("prop", fun () -> ignore (Sys.opaque_identity (Propagation.compute a)));
+    ( "merge",
+      fun () ->
+        ignore (Sys.opaque_identity (Lr1.merged_lookaheads (Lr1.build g) a)) );
+    ("slr", fun () -> ignore (Sys.opaque_identity (Slr.compute a)));
+  ]
+
+let bench_t4 () =
+  section "bench T4 — look-ahead methods (the paper's headline comparison)";
+  let prebuilt =
+    List.map (fun (name, g) -> (name, g, Lr0.build g)) (Lazy.force languages)
+  in
+  let tests =
+    List.concat_map
+      (fun (name, g, a) ->
+        List.map
+          (fun (m, f) -> Test.make ~name:(name ^ ":" ^ m) (Staged.stage f))
+          (methods a g))
+      prebuilt
+  in
+  let results = run_tests ~quota_s:0.5 tests in
+  Format.printf "%-14s %12s %12s %12s %12s %9s %9s@." "grammar" "DP" "prop"
+    "LR1+merge" "SLR" "prop/DP" "merge/DP";
+  List.iter
+    (fun (name, _, _) ->
+      let e m = estimate results ("/" ^ name ^ ":" ^ m) in
+      let dp = e "dp" and prop = e "prop" in
+      let merge = e "merge" and slr = e "slr" in
+      Format.printf "%-14s %12s %12s %12s %12s %8.1fx %8.1fx@." name
+        (Format.asprintf "%a" pp_ns dp)
+        (Format.asprintf "%a" pp_ns prop)
+        (Format.asprintf "%a" pp_ns merge)
+        (Format.asprintf "%a" pp_ns slr)
+        (prop /. dp) (merge /. dp))
+    prebuilt
+
+(* ------------------------------------------------------------------ *)
+(* F1/F2 — scaling and speedup over the synthetic families            *)
+(* ------------------------------------------------------------------ *)
+
+let bench_f1_f2 () =
+  section "bench F1 — scaling (time vs grammar size) / F2 — speedup";
+  List.iter
+    (fun (family_name, points) ->
+      Format.printf "@.family %s:@." family_name;
+      Format.printf "%6s %6s %12s %12s %12s %9s %9s@." "n" "|G|" "DP" "prop"
+        "LR1+merge" "prop/DP" "merge/DP";
+      List.iter
+        (fun (n, size, times) ->
+          let dp = times.(0) and prop = times.(1) and merge = times.(2) in
+          Format.printf "%6d %6d %12s %12s %12s %8.1fx %8.1fx@." n size
+            (Format.asprintf "%a" pp_ns (dp *. 1e9))
+            (Format.asprintf "%a" pp_ns (prop *. 1e9))
+            (Format.asprintf "%a" pp_ns (merge *. 1e9))
+            (prop /. dp) (merge /. dp))
+        points)
+    (E.f1_series ())
+
+(* ------------------------------------------------------------------ *)
+(* F3 — Digraph vs naive fixpoint                                     *)
+(* ------------------------------------------------------------------ *)
+
+let bench_f3 () =
+  section "bench F3 — Digraph traversal vs naive fixpoint iteration";
+  (* The Follow computation (includes relation) of each language
+     grammar, solved both ways. *)
+  let cases =
+    List.map
+      (fun (name, g) ->
+        let a = Lr0.build g in
+        let t = Lalr.compute a in
+        let nx = Lr0.n_nt_transitions a in
+        let successors x = Lalr.includes t x in
+        let init x = Lalr.read t x in
+        (name, nx, successors, init))
+      (Lazy.force languages)
+  in
+  let tests =
+    List.concat_map
+      (fun (name, nx, successors, init) ->
+        [
+          Test.make ~name:(name ^ ":digraph")
+            (Staged.stage (fun () ->
+                 Digraph.ForBitset.run ~n:nx ~successors ~init));
+          Test.make ~name:(name ^ ":naive")
+            (Staged.stage (fun () ->
+                 Digraph.naive_fixpoint ~n:nx ~successors ~init));
+        ])
+      cases
+  in
+  let results = run_tests ~quota_s:0.5 tests in
+  Format.printf "%-14s %12s %12s %9s@." "grammar" "digraph" "naive" "naive/dg";
+  List.iter
+    (fun (name, _, _, _) ->
+      let dg = estimate results ("/" ^ name ^ ":digraph") in
+      let naive = estimate results ("/" ^ name ^ ":naive") in
+      Format.printf "%-14s %12s %12s %8.1fx@." name
+        (Format.asprintf "%a" pp_ns dg)
+        (Format.asprintf "%a" pp_ns naive)
+        (naive /. dg))
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* F4 — LALR(k) fixpoint vs canonical LR(k) (the §8 extension)        *)
+(* ------------------------------------------------------------------ *)
+
+let bench_f4 () =
+  section
+    "bench F4 — LALR(k) relational fixpoint vs canonical LR(k) merge (§8)";
+  (* Small/medium grammars only: canonical LR(k) explodes, which is the
+     result being demonstrated. *)
+  let cases =
+    List.map
+      (fun name ->
+        let g = Lazy.force (Registry.find name).grammar in
+        (name, g, Lalr_automaton.Lr0.build g))
+      [ "expr"; "expr-ll"; "assign"; "json"; "lalr2" ]
+  in
+  let tests =
+    List.concat_map
+      (fun (name, g, a) ->
+        List.concat_map
+          (fun kk ->
+            [
+              Test.make
+                ~name:(Printf.sprintf "%s:k%d:fix" name kk)
+                (Staged.stage (fun () ->
+                     Lalr_core.Lalr_k.compute ~k:kk a));
+              Test.make
+                ~name:(Printf.sprintf "%s:k%d:can" name kk)
+                (Staged.stage (fun () ->
+                     Lalr_baselines.Lrk.merged_lookaheads
+                       (Lalr_baselines.Lrk.build ~k:kk g)
+                       a));
+            ])
+          [ 1; 2; 3 ])
+      cases
+  in
+  let results = run_tests ~quota_s:0.3 tests in
+  Format.printf "%-10s %4s %12s %12s %9s@." "grammar" "k" "fixpoint"
+    "canonical" "can/fix";
+  List.iter
+    (fun (name, _, _) ->
+      List.iter
+        (fun kk ->
+          let f = estimate results (Printf.sprintf "/%s:k%d:fix" name kk) in
+          let c = estimate results (Printf.sprintf "/%s:k%d:can" name kk) in
+          Format.printf "%-10s %4d %12s %12s %8.1fx@." name kk
+            (Format.asprintf "%a" pp_ns f)
+            (Format.asprintf "%a" pp_ns c)
+            (c /. f))
+        [ 1; 2; 3 ])
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* RT — parser throughput                                             *)
+(* ------------------------------------------------------------------ *)
+
+let bench_rt () =
+  section "bench RT — parser throughput on generated sentences";
+  let cases =
+    List.filter_map
+      (fun (name, g) ->
+        let a = Lr0.build g in
+        let t = Lalr.compute a in
+        if not (Lalr.is_lalr1 t) then None
+        else begin
+          let tbl = Tables.build ~lookahead:(Lalr.lookahead t) a in
+          let prep = Sentence.prepare g in
+          let rng = Random.State.make [| 17 |] in
+          let sentences =
+            List.init 50 (fun _ -> Sentence.generate ~max_depth:12 prep rng)
+          in
+          let total_tokens =
+            List.fold_left (fun acc s -> acc + List.length s) 0 sentences
+          in
+          Some (name, tbl, sentences, total_tokens)
+        end)
+      (Lazy.force languages)
+  in
+  let tests =
+    List.map
+      (fun (name, tbl, sentences, _) ->
+        Test.make ~name
+          (Staged.stage (fun () ->
+               List.iter
+                 (fun s -> ignore (Sys.opaque_identity (Driver.accepts tbl s)))
+                 sentences)))
+      cases
+  in
+  let results = run_tests ~quota_s:0.5 tests in
+  List.iter
+    (fun (name, _, _, total_tokens) ->
+      let ns = estimate results ("/" ^ name) in
+      Format.printf "%-14s %a for %d tokens  (%.1f M tokens/s)@." name pp_ns
+        ns total_tokens
+        (float_of_int total_tokens /. ns *. 1e3))
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    ("t1", bench_t1);
+    ("t2", bench_t2);
+    ("t3", bench_t3);
+    ("t4", bench_t4);
+    ("f1", bench_f1_f2);
+    ("f2", bench_f1_f2);
+    ("f3", bench_f3);
+    ("f4", bench_f4);
+    ("rt", bench_rt);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> [ "t1"; "t2"; "t3"; "t4"; "f1"; "f3"; "f4"; "rt" ]
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all with
+      | Some f -> f ()
+      | None ->
+          Format.eprintf "unknown bench %S (want: %s)@." name
+            (String.concat ", " (List.map fst all));
+          exit 2)
+    requested;
+  (* The paper-shaped static tables, for the record. *)
+  section "paper-shaped tables (also via bin/experiments.exe)";
+  E.run_all Format.std_formatter

@@ -1,0 +1,1 @@
+bin/experiments.ml: Array Format Lalr_bench_tables Sys

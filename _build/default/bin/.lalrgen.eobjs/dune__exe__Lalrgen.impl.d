@@ -1,0 +1,1 @@
+bin/lalrgen.ml: Arg Cmd Cmdliner Filename Format In_channel Lalr_automaton Lalr_baselines Lalr_core Lalr_grammar Lalr_report Lalr_runtime Lalr_suite Lalr_tables Lazy List Out_channel String Term

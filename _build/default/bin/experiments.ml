@@ -1,0 +1,22 @@
+(* Prints the paper-shaped experiment tables (see DESIGN.md §3 and
+   EXPERIMENTS.md). Timing-statistics versions of T4/F1–F3 are in
+   bench/main.exe; this binary is the quick, dependency-light view.
+
+   Usage: dune exec bin/experiments.exe [-- t1|t2|t3|t4|t5|all] *)
+
+module E = Lalr_bench_tables.Experiments
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let ppf = Format.std_formatter in
+  match which with
+  | "t1" -> E.t1 ppf
+  | "t2" -> E.t2 ppf
+  | "t3" -> E.t3 ppf
+  | "t4" -> E.t4_wallclock ppf
+  | "t5" -> E.t5 ppf
+  | "t6" -> E.t6 ppf
+  | "all" -> E.run_all ppf
+  | other ->
+      Format.eprintf "unknown table %S (want t1..t6 or all)@." other;
+      exit 2

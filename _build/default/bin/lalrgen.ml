@@ -1,0 +1,300 @@
+(* lalrgen — the command-line front end.
+
+   Subcommands:
+     classify  FILE      place the grammar in the LR hierarchy
+     report    FILE      grammar summary, relations, conflicts, automaton
+     conflicts FILE      conflicts only (choose the look-ahead method)
+     tables    FILE      print the ACTION/GOTO table
+     parse     FILE -- t1 t2 ...   parse a token sequence
+     suite                list the built-in grammar suite
+
+   FILE may be "-" for stdin, or "suite:NAME" for a built-in grammar. *)
+
+open Cmdliner
+
+module G = Lalr_grammar.Grammar
+module Reader = Lalr_grammar.Reader
+module Transform = Lalr_grammar.Transform
+module Lr0 = Lalr_automaton.Lr0
+module Lalr = Lalr_core.Lalr
+module Slr = Lalr_baselines.Slr
+module Nqlalr = Lalr_baselines.Nqlalr
+module Tables = Lalr_tables.Tables
+module Classify = Lalr_tables.Classify
+module Describe = Lalr_report.Describe
+module Driver = Lalr_runtime.Driver
+module Token = Lalr_runtime.Token
+module Registry = Lalr_suite.Registry
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments and loading                                       *)
+(* ------------------------------------------------------------------ *)
+
+let load_grammar spec =
+  match spec with
+  | "-" ->
+      let src = In_channel.input_all In_channel.stdin in
+      Reader.of_string ~name:"stdin" src
+  | s when String.length s > 6 && String.sub s 0 6 = "suite:" ->
+      let name = String.sub s 6 (String.length s - 6) in
+      Lazy.force (Registry.find name).grammar
+  | path when Filename.check_suffix path ".mly" ->
+      Lalr_grammar.Menhir_reader.of_file path
+  | path -> Reader.of_file path
+
+let handle_load spec f =
+  match load_grammar spec with
+  | g -> f g
+  | exception Reader.Error e ->
+      Format.eprintf "%s: %a@." spec Reader.pp_error e;
+      exit 1
+  | exception Not_found ->
+      Format.eprintf "%s: no such suite grammar (try 'lalrgen suite')@." spec;
+      exit 1
+  | exception Sys_error msg ->
+      Format.eprintf "%s@." msg;
+      exit 1
+  | exception Invalid_argument msg ->
+      Format.eprintf "%s: %s@." spec msg;
+      exit 1
+
+let grammar_arg =
+  let doc =
+    "Grammar to analyse: a file in the yacc-like format, $(b,-) for stdin, \
+     or $(b,suite:NAME) for a built-in benchmark grammar."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"GRAMMAR" ~doc)
+
+let method_arg =
+  let doc =
+    "Look-ahead method: $(b,lalr) (DeRemer–Pennello, default), $(b,slr), or \
+     $(b,nqlalr)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("lalr", `Lalr); ("slr", `Slr); ("nqlalr", `Nqlalr) ]) `Lalr
+    & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
+
+let lookahead_of_method a = function
+  | `Lalr ->
+      let t = Lalr.compute a in
+      Lalr.lookahead t
+  | `Slr ->
+      let s = Slr.compute a in
+      Slr.lookahead s
+  | `Nqlalr ->
+      let n = Nqlalr.compute a in
+      Nqlalr.lookahead n
+
+(* ------------------------------------------------------------------ *)
+(* classify                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let classify_cmd =
+  let run spec with_lr1 try_k =
+    handle_load spec (fun g ->
+        let v =
+          if with_lr1 || G.n_productions g <= 250 then Classify.classify g
+          else Classify.classify_no_lr1 g
+        in
+        Describe.classification Format.std_formatter v;
+        (if try_k > 1 && not v.Classify.lalr1 then
+           let a = Lr0.build g in
+           match Lalr_core.Lalr_k.smallest_k ~limit:try_k a with
+           | Some k -> Format.printf "LALR(%d) with a %d-token window@." k k
+           | None ->
+               Format.printf "not LALR(k) for any k ≤ %d@." try_k);
+        (* Exit status mirrors LALR(1)-cleanliness, for scripting. *)
+        if not v.Classify.lalr1 then exit 3)
+  in
+  let with_lr1 =
+    Arg.(
+      value & flag
+      & info [ "with-lr1" ]
+          ~doc:
+            "Force the canonical LR(1) construction even for large grammars.")
+  in
+  let try_k =
+    Arg.(
+      value & opt int 1
+      & info [ "k" ] ~docv:"K"
+          ~doc:
+            "When not LALR(1), also search for the least k ≤ $(docv) making \
+             the grammar LALR(k) (paper §8 extension).")
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Place a grammar in the LR hierarchy")
+    Term.(const run $ grammar_arg $ with_lr1 $ try_k)
+
+(* ------------------------------------------------------------------ *)
+(* report                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let report_cmd =
+  let run spec dump_states =
+    handle_load spec (fun g ->
+        let ppf = Format.std_formatter in
+        Describe.grammar_summary ppf g;
+        let a = Lr0.build g in
+        let t = Lalr.compute a in
+        Describe.relations ppf t;
+        let tbl = Tables.build ~lookahead:(Lalr.lookahead t) a in
+        Describe.conflicts ppf tbl;
+        if dump_states || Lr0.n_states a <= 60 then
+          Describe.automaton ~lookaheads:t ppf a
+        else
+          Format.fprintf ppf
+            "(%d states: pass --dump-states for the full automaton)@."
+            (Lr0.n_states a))
+  in
+  let dump =
+    Arg.(
+      value & flag
+      & info [ "dump-states" ] ~doc:"Print all states regardless of size.")
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Full analysis report (yacc -v style)")
+    Term.(const run $ grammar_arg $ dump)
+
+(* ------------------------------------------------------------------ *)
+(* conflicts                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let conflicts_cmd =
+  let run spec m =
+    handle_load spec (fun g ->
+        let a = Lr0.build g in
+        let lookahead = lookahead_of_method a m in
+        let tbl = Tables.build ~lookahead a in
+        Describe.conflicts Format.std_formatter tbl;
+        if Tables.unresolved_conflicts tbl <> [] then exit 3)
+  in
+  Cmd.v
+    (Cmd.info "conflicts" ~doc:"Report table conflicts under a chosen method")
+    Term.(const run $ grammar_arg $ method_arg)
+
+(* ------------------------------------------------------------------ *)
+(* tables                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let tables_cmd =
+  let run spec m compact =
+    handle_load spec (fun g ->
+        let a = Lr0.build g in
+        let lookahead = lookahead_of_method a m in
+        let tbl = Tables.build ~lookahead a in
+        if compact then begin
+          let module Compact = Lalr_tables.Compact in
+          Format.printf "exact:  %a@." Compact.pp_stats
+            (Compact.stats (Compact.compress tbl));
+          Format.printf "yacc:   %a@." Compact.pp_stats
+            (Compact.stats (Compact.compress ~mode:Compact.Yacc tbl))
+        end
+        else Format.printf "%a@." Tables.pp tbl)
+  in
+  let compact =
+    Arg.(
+      value & flag
+      & info [ "compact" ]
+          ~doc:
+            "Print compression statistics (exact and yacc-style comb \
+             packing) instead of the dense table.")
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Print the ACTION/GOTO table")
+    Term.(const run $ grammar_arg $ method_arg $ compact)
+
+(* ------------------------------------------------------------------ *)
+(* parse                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parse_cmd =
+  let run spec tokens sexp =
+    handle_load spec (fun g ->
+        let a = Lr0.build g in
+        let t = Lalr.compute a in
+        let tbl = Tables.build ~lookahead:(Lalr.lookahead t) a in
+        match Token.of_names g tokens with
+        | exception Invalid_argument msg ->
+            Format.eprintf "%s@." msg;
+            exit 1
+        | toks -> (
+            match Driver.parse tbl toks with
+            | Ok tree ->
+                if sexp then
+                  Format.printf "%a@." (Lalr_runtime.Tree.pp_sexp g) tree
+                else Format.printf "%a@." (Lalr_runtime.Tree.pp g) tree
+            | Error e ->
+                Format.printf "%a@." (Driver.pp_error g) e;
+                exit 3))
+  in
+  let tokens =
+    Arg.(
+      value & pos_right 0 string []
+      & info [] ~docv:"TOKEN" ~doc:"Terminal names forming the input.")
+  in
+  let sexp =
+    Arg.(
+      value & flag
+      & info [ "sexp" ] ~doc:"Print the tree as a compact s-expression.")
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse a token sequence and print the tree")
+    Term.(const run $ grammar_arg $ tokens $ sexp)
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let generate_cmd =
+  let run spec m output =
+    handle_load spec (fun g ->
+        let a = Lr0.build g in
+        let lookahead = lookahead_of_method a m in
+        let tbl = Tables.build ~lookahead a in
+        let source = Lalr_report.Codegen.emit_to_string tbl in
+        match output with
+        | None -> print_string source
+        | Some path -> Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc source))
+  in
+  let output =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the generated module to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:
+         "Emit a standalone OCaml parser module (tables + engine, no \
+          library dependency)")
+    Term.(const run $ grammar_arg $ method_arg $ output)
+
+(* ------------------------------------------------------------------ *)
+(* suite                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let suite_cmd =
+  let run () =
+    List.iter
+      (fun (e : Registry.entry) ->
+        Format.printf "%-16s %s@." e.name e.description)
+      Registry.all
+  in
+  Cmd.v
+    (Cmd.info "suite" ~doc:"List the built-in benchmark grammars")
+    Term.(const run $ const ())
+
+let () =
+  let doc =
+    "LALR(1) parser generator toolkit (DeRemer–Pennello look-ahead sets)"
+  in
+  let info = Cmd.info "lalrgen" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            classify_cmd; report_cmd; conflicts_cmd; tables_cmd; parse_cmd;
+            generate_cmd; suite_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/calculator.ml: Array Float Format Lalr_automaton Lalr_core Lalr_grammar Lalr_runtime Lalr_tables List Option String Sys

@@ -1,0 +1,1 @@
+examples/dangling_else.ml: Format Lalr_automaton Lalr_baselines Lalr_core Lalr_grammar Lalr_report Lalr_suite Lalr_tables Lazy List

@@ -1,0 +1,1 @@
+examples/dangling_else.mli:

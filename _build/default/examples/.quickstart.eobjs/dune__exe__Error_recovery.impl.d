@@ -1,0 +1,1 @@
+examples/error_recovery.ml: Format Lalr_automaton Lalr_core Lalr_grammar Lalr_runtime Lalr_tables List Option String

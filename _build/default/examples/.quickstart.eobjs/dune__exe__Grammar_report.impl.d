@@ -1,0 +1,1 @@
+examples/grammar_report.ml: Format Lalr_automaton Lalr_core Lalr_grammar Lalr_report Lalr_suite Lalr_tables Lazy List Sys

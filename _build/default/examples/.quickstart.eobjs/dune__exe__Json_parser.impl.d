@@ -1,0 +1,1 @@
+examples/json_parser.ml: Array Buffer Format Lalr_automaton Lalr_core Lalr_grammar Lalr_runtime Lalr_suite Lalr_tables Lazy List Option Printf String Sys

@@ -1,0 +1,1 @@
+examples/json_parser.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Lalr_automaton Lalr_core Lalr_grammar Lalr_runtime Lalr_tables String

@@ -1,0 +1,114 @@
+(* A calculator: ambiguous expression grammar disambiguated entirely by
+   precedence declarations, a small hand lexer, and evaluation by
+   walking the parse tree.
+
+   Run with:  dune exec examples/calculator.exe -- "1 + 2 * (3 - 4) ^ 2"
+   (defaults to a demo expression without an argument) *)
+
+module G = Lalr_grammar.Grammar
+module Reader = Lalr_grammar.Reader
+module Lr0 = Lalr_automaton.Lr0
+module Lalr = Lalr_core.Lalr
+module Tables = Lalr_tables.Tables
+module Token = Lalr_runtime.Token
+module Tree = Lalr_runtime.Tree
+module Driver = Lalr_runtime.Driver
+
+let grammar_text =
+  {|
+%token plus minus star slash caret uminus lparen rparen num
+%left plus minus
+%left star slash
+%right caret
+%right uminus
+%start e
+%%
+e : e plus e
+  | e minus e
+  | e star e
+  | e slash e
+  | e caret e
+  | minus e %prec uminus
+  | lparen e rparen
+  | num ;
+|}
+
+let g = Reader.of_string ~name:"calculator" grammar_text
+
+(* ------------------------------------------------------------------ *)
+(* Lexer: text → tokens                                               *)
+(* ------------------------------------------------------------------ *)
+
+exception Lex_error of int * char
+
+let tokenize text =
+  let term name = Option.get (G.find_terminal g name) in
+  let toks = ref [] in
+  let i = ref 0 in
+  let n = String.length text in
+  while !i < n do
+    let c = text.[!i] in
+    (match c with
+    | ' ' | '\t' | '\n' -> ()
+    | '+' -> toks := Token.make ~lexeme:"+" (term "plus") :: !toks
+    | '-' -> toks := Token.make ~lexeme:"-" (term "minus") :: !toks
+    | '*' -> toks := Token.make ~lexeme:"*" (term "star") :: !toks
+    | '/' -> toks := Token.make ~lexeme:"/" (term "slash") :: !toks
+    | '^' -> toks := Token.make ~lexeme:"^" (term "caret") :: !toks
+    | '(' -> toks := Token.make ~lexeme:"(" (term "lparen") :: !toks
+    | ')' -> toks := Token.make ~lexeme:")" (term "rparen") :: !toks
+    | '0' .. '9' ->
+        let start = !i in
+        while !i + 1 < n && (match text.[!i + 1] with '0' .. '9' | '.' -> true | _ -> false) do
+          incr i
+        done;
+        toks :=
+          Token.make ~lexeme:(String.sub text start (!i - start + 1)) (term "num")
+          :: !toks
+    | c -> raise (Lex_error (!i, c)));
+    incr i
+  done;
+  List.rev !toks
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation by tree walking                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval tree =
+  match tree with
+  | Tree.Leaf tok -> float_of_string tok.Token.lexeme
+  | Tree.Node { children; _ } -> (
+      match children with
+      | [ l; Tree.Leaf op; r ] when op.Token.lexeme <> "(" -> (
+          let a = eval l and b = eval r in
+          match op.Token.lexeme with
+          | "+" -> a +. b
+          | "-" -> a -. b
+          | "*" -> a *. b
+          | "/" -> a /. b
+          | "^" -> Float.pow a b
+          | _ -> assert false)
+      | [ Tree.Leaf _minus; e ] -> -.eval e
+      | [ Tree.Leaf _lp; e; Tree.Leaf _rp ] -> eval e
+      | [ e ] -> eval e
+      | _ -> assert false)
+
+let () =
+  let input =
+    if Array.length Sys.argv > 1 then Sys.argv.(1)
+    else "1 + 2 * (3 - 4) ^ 2 - -5"
+  in
+  let automaton = Lr0.build g in
+  let lookaheads = Lalr.compute automaton in
+  let tables = Tables.build ~lookahead:(Lalr.lookahead lookaheads) automaton in
+  (* Precedence declarations must have silenced every conflict. *)
+  assert (Tables.unresolved_conflicts tables = []);
+  Format.printf "%d shift/reduce conflicts, all resolved by precedence@."
+    (List.length (Tables.conflicts tables));
+  match Driver.parse tables (tokenize input) with
+  | Ok tree ->
+      Format.printf "%s = %g@." input (eval tree);
+      Format.printf "@.Parse tree:@.%a@." (Tree.pp g) tree
+  | Error e -> Format.printf "syntax error: %a@." (Driver.pp_error g) e
+  | exception Lex_error (pos, c) ->
+      Format.printf "lexical error at offset %d: unexpected %C@." pos c

@@ -1,0 +1,81 @@
+(* Panic-mode error recovery: a tiny statement language with a yacc-style
+   [error] production collects every syntax error in one pass and still
+   produces a tree.
+
+   Run with:  dune exec examples/error_recovery.exe *)
+
+module G = Lalr_grammar.Grammar
+module Reader = Lalr_grammar.Reader
+module Lr0 = Lalr_automaton.Lr0
+module Lalr = Lalr_core.Lalr
+module Tables = Lalr_tables.Tables
+module Token = Lalr_runtime.Token
+module Tree = Lalr_runtime.Tree
+module Driver = Lalr_runtime.Driver
+
+(* The terminal named "error" opts the grammar into recovery: when a
+   statement goes wrong, the parser pops to a state that can shift
+   [error], then discards tokens up to the next ';'. *)
+let g =
+  Reader.of_string ~name:"stmt-lang"
+    {|
+%token semi id assign num print lparen rparen plus error
+%start prog
+%%
+prog : stmts ;
+stmts : stmt | stmts stmt ;
+stmt : id assign expr semi
+     | print lparen expr rparen semi
+     | error semi ;
+expr : expr plus term | term ;
+term : id | num ;
+|}
+
+let tables =
+  let a = Lr0.build g in
+  let t = Lalr.compute a in
+  Tables.build ~lookahead:(Lalr.lookahead t) a
+
+let show_input names =
+  Format.printf "input : %s@." (String.concat " " names);
+  let out = Driver.parse_with_recovery tables (Token.of_names g names) in
+  List.iter
+    (fun e -> Format.printf "  error: %a@." (Driver.pp_error g) e)
+    out.Driver.errors;
+  match out.Driver.tree with
+  | Some tree ->
+      Format.printf "  tree (%d statements%s):@.    %a@.@."
+        (let rec count = function
+           | Tree.Node { prod; children; _ }
+             when (G.production g prod).lhs
+                  = Option.get (G.find_nonterminal g "stmt") ->
+               1 + List.fold_left (fun acc c -> acc + count c) 0 children
+           | Tree.Node { children; _ } ->
+               List.fold_left (fun acc c -> acc + count c) 0 children
+           | Tree.Leaf _ -> 0
+         in
+         count tree)
+        (if out.Driver.errors = [] then "" else ", errors patched as <error>")
+        (Tree.pp_sexp g) tree
+  | None -> Format.printf "  unrecoverable@.@."
+
+let () =
+  (* Clean input. *)
+  show_input [ "id"; "assign"; "num"; "semi"; "print"; "lparen"; "id"; "rparen"; "semi" ];
+  (* One broken statement in the middle: parsing resumes at ';'. *)
+  show_input
+    [
+      "id"; "assign"; "num"; "semi";
+      "id"; "assign"; "plus"; "plus"; "semi";  (* nonsense *)
+      "print"; "lparen"; "num"; "rparen"; "semi";
+    ];
+  (* Two independent errors: both reported in a single pass. *)
+  show_input
+    [
+      "assign"; "num"; "semi";                 (* missing id *)
+      "id"; "assign"; "num"; "semi";
+      "print"; "id"; "semi";                   (* missing parens *)
+      "id"; "assign"; "id"; "semi";
+    ];
+  (* Unrecoverable: nothing to synchronise on. *)
+  show_input [ "id"; "assign"; "plus" ]

@@ -1,0 +1,177 @@
+(* A JSON parser built on the library: the suite's RFC 8259 grammar, a
+   hand-written JSON lexer, and a tree-to-value conversion.
+
+   Run with:  dune exec examples/json_parser.exe
+   or:        dune exec examples/json_parser.exe -- '{"a": [1, true]}' *)
+
+module G = Lalr_grammar.Grammar
+module Lr0 = Lalr_automaton.Lr0
+module Lalr = Lalr_core.Lalr
+module Tables = Lalr_tables.Tables
+module Token = Lalr_runtime.Token
+module Tree = Lalr_runtime.Tree
+module Driver = Lalr_runtime.Driver
+
+let g = Lazy.force Lalr_suite.Json.grammar
+
+type json =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of json list
+  | Object of (string * json) list
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Lex_error of int * string
+
+let tokenize text =
+  let term name = Option.get (G.find_terminal g name) in
+  let toks = ref [] in
+  let i = ref 0 in
+  let n = String.length text in
+  let push name lexeme = toks := Token.make ~lexeme (term name) :: !toks in
+  let keyword kw name =
+    let l = String.length kw in
+    if !i + l <= n && String.sub text !i l = kw then begin
+      push name kw;
+      i := !i + l
+    end
+    else raise (Lex_error (!i, "invalid literal"))
+  in
+  while !i < n do
+    (match text.[!i] with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '{' -> push "lbrace" "{"; incr i
+    | '}' -> push "rbrace" "}"; incr i
+    | '[' -> push "lbracket" "["; incr i
+    | ']' -> push "rbracket" "]"; incr i
+    | ':' -> push "colon" ":"; incr i
+    | ',' -> push "comma" ","; incr i
+    | 't' -> keyword "true" "true"
+    | 'f' -> keyword "false" "false"
+    | 'n' -> keyword "null" "null"
+    | '"' ->
+        let buf = Buffer.create 16 in
+        incr i;
+        let rec scan () =
+          if !i >= n then raise (Lex_error (!i, "unterminated string"));
+          match text.[!i] with
+          | '"' -> incr i
+          | '\\' when !i + 1 < n ->
+              Buffer.add_char buf
+                (match text.[!i + 1] with
+                | 'n' -> '\n'
+                | 't' -> '\t'
+                | c -> c);
+              i := !i + 2;
+              scan ()
+          | c ->
+              Buffer.add_char buf c;
+              incr i;
+              scan ()
+        in
+        scan ();
+        push "string" (Buffer.contents buf)
+    | '-' | '0' .. '9' ->
+        let start = !i in
+        incr i;
+        while
+          !i < n
+          && match text.[!i] with
+             | '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true
+             | _ -> false
+        do
+          incr i
+        done;
+        push "number" (String.sub text start (!i - start))
+    | c -> raise (Lex_error (!i, Printf.sprintf "unexpected %C" c)));
+  done;
+  List.rev !toks
+
+(* ------------------------------------------------------------------ *)
+(* Tree → value                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let prod_lhs tree =
+  match tree with
+  | Tree.Node { prod; _ } -> G.nonterminal_name g (G.production g prod).lhs
+  | Tree.Leaf _ -> "leaf"
+
+let rec to_value tree =
+  match tree with
+  | Tree.Leaf tok -> (
+      match G.terminal_name g tok.Token.terminal with
+      | "true" -> Bool true
+      | "false" -> Bool false
+      | "null" -> Null
+      | "number" -> Number (float_of_string tok.Token.lexeme)
+      | "string" -> String tok.Token.lexeme
+      | _ -> assert false)
+  | Tree.Node { children; _ } as node -> (
+      match (prod_lhs node, children) with
+      | ("json" | "value"), [ c ] -> to_value c
+      | "object", [ _; _ ] -> Object []
+      | "object", [ _; members; _ ] -> Object (to_members members)
+      | "array", [ _; _ ] -> Array []
+      | "array", [ _; elements; _ ] -> Array (to_elements elements)
+      | _, [ c ] -> to_value c
+      | _ -> assert false)
+
+and to_members tree =
+  match tree with
+  | Tree.Node { children = [ m ]; _ } -> [ to_member m ]
+  | Tree.Node { children = [ ms; _comma; m ]; _ } ->
+      to_members ms @ [ to_member m ]
+  | _ -> assert false
+
+and to_member tree =
+  match tree with
+  | Tree.Node { children = [ Tree.Leaf key; _colon; v ]; _ } ->
+      (key.Token.lexeme, to_value v)
+  | _ -> assert false
+
+and to_elements tree =
+  match tree with
+  | Tree.Node { children = [ v ]; _ } -> [ to_value v ]
+  | Tree.Node { children = [ es; _comma; v ]; _ } ->
+      to_elements es @ [ to_value v ]
+  | _ -> assert false
+
+let rec pp_json ppf = function
+  | Null -> Format.fprintf ppf "null"
+  | Bool b -> Format.fprintf ppf "%b" b
+  | Number f -> Format.fprintf ppf "%g" f
+  | String s -> Format.fprintf ppf "%S" s
+  | Array l ->
+      Format.fprintf ppf "@[<hv 2>[%a]@]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_json)
+        l
+  | Object l ->
+      Format.fprintf ppf "@[<hv 2>{%a}@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+           (fun ppf (k, v) -> Format.fprintf ppf "%S: %a" k pp_json v))
+        l
+
+let () =
+  let input =
+    if Array.length Sys.argv > 1 then Sys.argv.(1)
+    else
+      {|{"name": "deremer-pennello", "year": 1979,
+         "lookaheads": ["DR", "reads", "includes", "lookback"],
+         "exact": true, "slr": {"exact": false}, "misc": [null, [1, 2, []]]}|}
+  in
+  let automaton = Lr0.build g in
+  let lookaheads = Lalr.compute automaton in
+  let tables = Tables.build ~lookahead:(Lalr.lookahead lookaheads) automaton in
+  match Driver.parse tables (tokenize input) with
+  | Ok tree ->
+      Format.printf "parsed %d-node tree@." (Tree.size tree);
+      Format.printf "%a@." pp_json (to_value tree)
+  | Error e -> Format.printf "syntax error: %a@." (Driver.pp_error g) e
+  | exception Lex_error (pos, msg) ->
+      Format.printf "lexical error at offset %d: %s@." pos msg

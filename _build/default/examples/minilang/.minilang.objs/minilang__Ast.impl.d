@@ -1,0 +1,1 @@
+examples/minilang/ast.ml: Format List String

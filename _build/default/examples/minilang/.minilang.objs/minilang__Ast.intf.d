@@ -1,0 +1,1 @@
+examples/minilang/ast.mli: Format

@@ -1,0 +1,1 @@
+examples/minilang/interp.ml: Ast Format Hashtbl List Option Result

@@ -1,0 +1,1 @@
+examples/minilang/interp.mli: Ast Format

@@ -1,0 +1,1 @@
+examples/minilang/lexer.ml: Grammar Lalr_runtime List Option Printf String

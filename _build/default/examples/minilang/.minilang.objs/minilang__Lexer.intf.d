@@ -1,0 +1,1 @@
+examples/minilang/lexer.mli: Grammar Lalr_runtime

@@ -1,0 +1,1 @@
+examples/minilang/syntax.ml: Ast Format Grammar Lalr_automaton Lalr_core Lalr_grammar Lalr_runtime Lalr_tables Lazy Lexer List

@@ -1,0 +1,1 @@
+examples/minilang/syntax.mli: Ast Format Grammar Lalr_runtime Lalr_tables Lazy Lexer

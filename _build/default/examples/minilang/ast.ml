@@ -1,0 +1,73 @@
+type binop = Add | Sub | Mul | Div | Lt | Le | Gt | Ge | Eq | Ne | And | Or
+
+type expr =
+  | Num of int
+  | Var of string
+  | Bool of bool
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Not of expr
+  | Call of string * expr list
+
+type stmt =
+  | Let of string * expr
+  | Assign of string * expr
+  | Print of expr
+  | If of expr * block * block option
+  | While of expr * block
+  | Return of expr option
+  | Expr of expr
+
+and block = stmt list
+
+type fundef = { name : string; params : string list; body : block }
+type program = { funs : fundef list; main : block }
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | And -> "&&" | Or -> "||"
+
+let rec pp_expr ppf = function
+  | Num n -> Format.fprintf ppf "%d" n
+  | Var v -> Format.fprintf ppf "%s" v
+  | Bool b -> Format.fprintf ppf "%b" b
+  | Binop (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+  | Neg e -> Format.fprintf ppf "(-%a)" pp_expr e
+  | Not e -> Format.fprintf ppf "(!%a)" pp_expr e
+  | Call (f, args) ->
+      Format.fprintf ppf "%s(%a)" f
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           pp_expr)
+        args
+
+let rec pp_stmt ppf = function
+  | Let (v, e) -> Format.fprintf ppf "let %s = %a;" v pp_expr e
+  | Assign (v, e) -> Format.fprintf ppf "%s = %a;" v pp_expr e
+  | Print e -> Format.fprintf ppf "print %a;" pp_expr e
+  | If (c, t, None) ->
+      Format.fprintf ppf "@[<v 2>if %a {%a@]@,}" pp_expr c pp_block t
+  | If (c, t, Some e) ->
+      Format.fprintf ppf "@[<v 2>if %a {%a@]@,@[<v 2>} else {%a@]@,}" pp_expr
+        c pp_block t pp_block e
+  | While (c, b) ->
+      Format.fprintf ppf "@[<v 2>while %a {%a@]@,}" pp_expr c pp_block b
+  | Return None -> Format.fprintf ppf "return;"
+  | Return (Some e) -> Format.fprintf ppf "return %a;" pp_expr e
+  | Expr e -> Format.fprintf ppf "%a;" pp_expr e
+
+and pp_block ppf stmts =
+  List.iter (fun s -> Format.fprintf ppf "@,%a" pp_stmt s) stmts
+
+let pp_program ppf p =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "@[<v 2>fun %s(%s) {%a@]@,}@," f.name
+        (String.concat ", " f.params)
+        pp_block f.body)
+    p.funs;
+  pp_block ppf p.main;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,42 @@
+(** Abstract syntax of minilang — the little imperative language that
+    serves as this repository's end-to-end demo (text → tokens → LALR
+    parse tree → AST → value).
+
+    {v
+    fun fib(n) { if n < 2 { return n; } return fib(n-1) + fib(n-2); }
+    let x = 0;
+    while x < 5 { print fib(x); x = x + 1; }
+    v} *)
+
+type binop =
+  | Add | Sub | Mul | Div
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+
+type expr =
+  | Num of int
+  | Var of string
+  | Bool of bool
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Not of expr
+  | Call of string * expr list
+
+type stmt =
+  | Let of string * expr  (** introduces a variable in the current scope *)
+  | Assign of string * expr  (** updates an existing variable *)
+  | Print of expr
+  | If of expr * block * block option
+  | While of expr * block
+  | Return of expr option
+  | Expr of expr  (** expression statement (e.g. a call) *)
+
+and block = stmt list
+
+type fundef = { name : string; params : string list; body : block }
+
+type program = { funs : fundef list; main : block }
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_program : Format.formatter -> program -> unit

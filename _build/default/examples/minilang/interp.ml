@@ -1,0 +1,146 @@
+type value = Int of int | Boolv of bool
+
+type runtime_error =
+  | Unbound_variable of string
+  | Unknown_function of string
+  | Arity of { func : string; expected : int; got : int }
+  | Type_error of string
+  | Division_by_zero
+  | Return_outside_function
+  | Fuel_exhausted
+
+exception Error of runtime_error
+
+let pp_value ppf = function
+  | Int n -> Format.fprintf ppf "%d" n
+  | Boolv b -> Format.fprintf ppf "%b" b
+
+let pp_runtime_error ppf = function
+  | Unbound_variable v -> Format.fprintf ppf "unbound variable %s" v
+  | Unknown_function f -> Format.fprintf ppf "unknown function %s" f
+  | Arity { func; expected; got } ->
+      Format.fprintf ppf "%s expects %d arguments, got %d" func expected got
+  | Type_error msg -> Format.fprintf ppf "type error: %s" msg
+  | Division_by_zero -> Format.fprintf ppf "division by zero"
+  | Return_outside_function -> Format.fprintf ppf "return outside a function"
+  | Fuel_exhausted -> Format.fprintf ppf "execution budget exhausted"
+
+(* Environments are stacks of mutable scopes ((string, value) Hashtbl.t
+   list). Lookups walk outward; [Let] binds in the innermost scope,
+   [Assign] updates the nearest binding. *)
+
+exception Returning of value option
+
+let lookup env v =
+  let rec go = function
+    | [] -> raise (Error (Unbound_variable v))
+    | scope :: rest -> (
+        match Hashtbl.find_opt scope v with
+        | Some value -> value
+        | None -> go rest)
+  in
+  go env
+
+let assign env v value =
+  let rec go = function
+    | [] -> raise (Error (Unbound_variable v))
+    | scope :: rest ->
+        if Hashtbl.mem scope v then Hashtbl.replace scope v value else go rest
+  in
+  go env
+
+let as_int = function
+  | Int n -> n
+  | Boolv _ -> raise (Error (Type_error "expected an integer"))
+
+let as_bool = function
+  | Boolv b -> b
+  | Int _ -> raise (Error (Type_error "expected a boolean"))
+
+let run ?(fuel = 1_000_000)
+    ?(print = fun v -> Format.printf "%a@." pp_value v) (p : Ast.program) =
+  let funs = Hashtbl.create 8 in
+  List.iter (fun (f : Ast.fundef) -> Hashtbl.replace funs f.name f) p.funs;
+  let fuel = ref fuel in
+  let burn () =
+    decr fuel;
+    if !fuel < 0 then raise (Error Fuel_exhausted)
+  in
+  let rec eval env (e : Ast.expr) =
+    burn ();
+    match e with
+    | Num n -> Int n
+    | Bool b -> Boolv b
+    | Var v -> lookup env v
+    | Neg e -> Int (-as_int (eval env e))
+    | Not e -> Boolv (not (as_bool (eval env e)))
+    | Binop (op, a, b) -> (
+        match op with
+        | And -> Boolv (as_bool (eval env a) && as_bool (eval env b))
+        | Or -> Boolv (as_bool (eval env a) || as_bool (eval env b))
+        | Add -> Int (as_int (eval env a) + as_int (eval env b))
+        | Sub -> Int (as_int (eval env a) - as_int (eval env b))
+        | Mul -> Int (as_int (eval env a) * as_int (eval env b))
+        | Div ->
+            let d = as_int (eval env b) in
+            if d = 0 then raise (Error Division_by_zero)
+            else Int (as_int (eval env a) / d)
+        | Lt -> Boolv (as_int (eval env a) < as_int (eval env b))
+        | Le -> Boolv (as_int (eval env a) <= as_int (eval env b))
+        | Gt -> Boolv (as_int (eval env a) > as_int (eval env b))
+        | Ge -> Boolv (as_int (eval env a) >= as_int (eval env b))
+        | Eq -> Boolv (eval env a = eval env b)
+        | Ne -> Boolv (eval env a <> eval env b))
+    | Call (fname, arg_exprs) -> (
+        match Hashtbl.find_opt funs fname with
+        | None -> raise (Error (Unknown_function fname))
+        | Some f ->
+            let n_args = List.length arg_exprs in
+            if List.length f.params <> n_args then
+              raise
+                (Error
+                   (Arity
+                      { func = fname; expected = List.length f.params;
+                        got = n_args }));
+            let values = List.map (eval env) arg_exprs in
+            let scope = Hashtbl.create 8 in
+            List.iter2 (Hashtbl.replace scope) f.params values;
+            (* Functions see only their own scope: static, first-order. *)
+            let result =
+              try
+                exec_block [ scope ] f.body;
+                Int 0
+              with Returning v -> Option.value v ~default:(Int 0)
+            in
+            result)
+  and exec env (s : Ast.stmt) =
+    burn ();
+    match s with
+    | Let (v, e) -> (
+        match env with
+        | scope :: _ -> Hashtbl.replace scope v (eval env e)
+        | [] -> assert false)
+    | Assign (v, e) -> assign env v (eval env e)
+    | Print e -> print (eval env e)
+    | If (c, t, f) ->
+        if as_bool (eval env c) then exec_block (Hashtbl.create 8 :: env) t
+        else Option.iter (fun f -> exec_block (Hashtbl.create 8 :: env) f) f
+    | While (c, body) ->
+        while as_bool (eval env c) do
+          burn ();
+          exec_block (Hashtbl.create 8 :: env) body
+        done
+    | Return v -> raise (Returning (Option.map (eval env) v))
+    | Expr e -> ignore (eval env e)
+  and exec_block env stmts = List.iter (exec env) stmts in
+  match exec_block [ Hashtbl.create 16 ] p.main with
+  | () -> Ok ()
+  | exception Error e -> Result.Error e
+  | exception Returning _ -> Result.Error Return_outside_function
+
+let run_capture ?fuel p =
+  let out = ref [] in
+  let print v = out := Format.asprintf "%a" pp_value v :: !out in
+  match run ?fuel ~print p with
+  | Ok () -> Ok (List.rev !out)
+  | Error e -> Error e

@@ -1,0 +1,28 @@
+(** The minilang evaluator: tree-walking over {!Ast}, with lexical
+    scoping inside blocks, first-order functions, and integer/boolean
+    values. *)
+
+type value = Int of int | Boolv of bool
+
+type runtime_error =
+  | Unbound_variable of string
+  | Unknown_function of string
+  | Arity of { func : string; expected : int; got : int }
+  | Type_error of string
+  | Division_by_zero
+  | Return_outside_function
+  | Fuel_exhausted  (** execution budget hit — runaway loop/recursion *)
+
+exception Error of runtime_error
+
+val pp_value : Format.formatter -> value -> unit
+val pp_runtime_error : Format.formatter -> runtime_error -> unit
+
+val run :
+  ?fuel:int -> ?print:(value -> unit) -> Ast.program -> (unit, runtime_error) result
+(** Executes the program. [print] receives each [print] statement's
+    value (default: stdout). [fuel] bounds the number of statements and
+    calls executed (default 1_000_000) so tests cannot hang. *)
+
+val run_capture : ?fuel:int -> Ast.program -> (string list, runtime_error) result
+(** Like {!run}, collecting printed values as strings. *)

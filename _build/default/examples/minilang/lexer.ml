@@ -1,0 +1,85 @@
+module Token = Lalr_runtime.Token
+
+type error = { offset : int; message : string }
+
+exception Error of error
+
+let keywords =
+  [
+    ("fun", "fun"); ("let", "let"); ("print", "print"); ("if", "if");
+    ("else", "else"); ("while", "while"); ("return", "return");
+    ("true", "true"); ("false", "false");
+  ]
+
+let tokenize (g : Grammar.t) src =
+  let term name =
+    match Grammar.find_terminal g name with
+    | Some t -> t
+    | None -> invalid_arg ("Lexer.tokenize: grammar lacks terminal " ^ name)
+  in
+  let toks = ref [] in
+  let push ?lexeme name =
+    toks := Token.make ~lexeme:(Option.value lexeme ~default:name) (term name) :: !toks
+  in
+  let n = String.length src in
+  let i = ref 0 in
+  let fail message = raise (Error { offset = !i; message }) in
+  while !i < n do
+    let c = src.[!i] in
+    (match c with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '#' ->
+        while !i < n && src.[!i] <> '\n' do
+          incr i
+        done
+    | '(' -> push "lparen"; incr i
+    | ')' -> push "rparen"; incr i
+    | '{' -> push "lbrace"; incr i
+    | '}' -> push "rbrace"; incr i
+    | ';' -> push "semi"; incr i
+    | ',' -> push "comma"; incr i
+    | '+' -> push "plus"; incr i
+    | '-' -> push "minus"; incr i
+    | '*' -> push "star"; incr i
+    | '/' -> push "slash"; incr i
+    | '<' ->
+        if !i + 1 < n && src.[!i + 1] = '=' then begin push "le"; i := !i + 2 end
+        else begin push "lt"; incr i end
+    | '>' ->
+        if !i + 1 < n && src.[!i + 1] = '=' then begin push "ge"; i := !i + 2 end
+        else begin push "gt"; incr i end
+    | '=' ->
+        if !i + 1 < n && src.[!i + 1] = '=' then begin push "eqeq"; i := !i + 2 end
+        else begin push "assign"; incr i end
+    | '!' ->
+        if !i + 1 < n && src.[!i + 1] = '=' then begin push "ne"; i := !i + 2 end
+        else begin push "bang"; incr i end
+    | '&' ->
+        if !i + 1 < n && src.[!i + 1] = '&' then begin push "andand"; i := !i + 2 end
+        else fail "expected &&"
+    | '|' ->
+        if !i + 1 < n && src.[!i + 1] = '|' then begin push "oror"; i := !i + 2 end
+        else fail "expected ||"
+    | '0' .. '9' ->
+        let start = !i in
+        while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do
+          incr i
+        done;
+        push ~lexeme:(String.sub src start (!i - start)) "number"
+    | ('a' .. 'z' | 'A' .. 'Z' | '_') ->
+        let start = !i in
+        while
+          !i < n
+          && match src.[!i] with
+             | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+             | _ -> false
+        do
+          incr i
+        done;
+        let word = String.sub src start (!i - start) in
+        (match List.assoc_opt word keywords with
+        | Some kw -> push kw
+        | None -> push ~lexeme:word "ident")
+    | c -> fail (Printf.sprintf "unexpected character %C" c));
+  done;
+  List.rev !toks

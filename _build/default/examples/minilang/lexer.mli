@@ -1,0 +1,12 @@
+(** The minilang lexer: source text to parser tokens. *)
+
+type error = { offset : int; message : string }
+
+exception Error of error
+
+val tokenize : Grammar.t -> string -> Lalr_runtime.Token.t list
+(** Tokens carry the matched text as lexeme (numbers and identifiers
+    need it downstream). Skips whitespace and [#]-to-end-of-line
+    comments; raises {!Error} on unexpected characters. The grammar
+    argument supplies terminal ids (it must define the terminals in
+    {!Syntax.grammar}). *)

@@ -1,0 +1,50 @@
+(* The minilang driver: the complete little language built on this
+   repository's parser machinery — lexer → LALR(1) tables → parse tree
+   → AST → tree-walking evaluator.
+
+   Run with:  dune exec examples/minilang/minilang_main.exe            (demo)
+          or  dune exec examples/minilang/minilang_main.exe -- FILE    (a program)
+          or  echo 'print 1+2;' | dune exec examples/minilang/minilang_main.exe -- - *)
+
+let demo =
+  {|
+# minilang demo: functions, recursion, loops, booleans
+fun fib(n) {
+  if n < 2 { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+
+fun max(a, b) {
+  if a > b { return a; } else { return b; }
+}
+
+let i = 0;
+while i < 10 {
+  print fib(i);
+  i = i + 1;
+}
+print max(fib(9), 30);
+print 2 + 3 * 4 == 14 && !(1 > 2);
+|}
+
+let () =
+  let src =
+    match Sys.argv with
+    | [| _ |] -> demo
+    | [| _; "-" |] -> In_channel.input_all In_channel.stdin
+    | [| _; path |] -> In_channel.with_open_bin path In_channel.input_all
+    | _ ->
+        prerr_endline "usage: minilang [FILE | -]";
+        exit 2
+  in
+  match Minilang.Syntax.parse src with
+  | Error e ->
+      Format.eprintf "%a@." Minilang.Syntax.pp_error e;
+      exit 1
+  | Ok program -> (
+      match Minilang.Interp.run program with
+      | Ok () -> ()
+      | Error e ->
+          Format.eprintf "runtime error: %a@." Minilang.Interp.pp_runtime_error
+            e;
+          exit 1)

@@ -1,0 +1,228 @@
+module Reader = Lalr_grammar.Reader
+module Lr0 = Lalr_automaton.Lr0
+module Lalr = Lalr_core.Lalr
+module Tables = Lalr_tables.Tables
+module Token = Lalr_runtime.Token
+module Tree = Lalr_runtime.Tree
+module Driver = Lalr_runtime.Driver
+
+let grammar =
+  Reader.of_string ~name:"minilang"
+    {|
+%token fun let print if else while return true false
+%token ident number
+%token lparen rparen lbrace rbrace semi comma assign
+%token plus minus star slash lt le gt ge eqeq ne andand oror bang
+%start program
+%%
+
+program : items ;
+items : %empty | items item ;
+item : fundef | stmt ;
+
+fundef : fun ident lparen params rparen block ;
+params : %empty | param_list ;
+param_list : ident | param_list comma ident ;
+
+block : lbrace stmts rbrace ;
+stmts : %empty | stmts stmt ;
+
+stmt : let ident assign expr semi
+     | ident assign expr semi
+     | print expr semi
+     | if expr block
+     | if expr block else block
+     | while expr block
+     | return semi
+     | return expr semi
+     | expr semi ;
+
+/* precedence by stratification: || < && < comparisons < + - < * / < unary */
+expr : orexpr ;
+orexpr : orexpr oror andexpr | andexpr ;
+andexpr : andexpr andand cmpexpr | cmpexpr ;
+cmpexpr : addexpr
+        | addexpr lt addexpr
+        | addexpr le addexpr
+        | addexpr gt addexpr
+        | addexpr ge addexpr
+        | addexpr eqeq addexpr
+        | addexpr ne addexpr ;
+addexpr : addexpr plus mulexpr | addexpr minus mulexpr | mulexpr ;
+mulexpr : mulexpr star unary | mulexpr slash unary | unary ;
+unary : minus unary | bang unary | postfix ;
+postfix : atom | ident lparen args rparen ;
+atom : number | ident | true | false | lparen expr rparen ;
+args : %empty | arg_list ;
+arg_list : expr | arg_list comma expr ;
+|}
+
+let tables =
+  lazy
+    (let a = Lr0.build grammar in
+     let t = Lalr.compute a in
+     assert (Lalr.is_lalr1 t);
+     let tbl = Tables.build ~lookahead:(Lalr.lookahead t) a in
+     assert (Tables.unresolved_conflicts tbl = []);
+     tbl)
+
+type error = Lexical of Lexer.error | Syntax of Driver.error
+
+let pp_error ppf = function
+  | Lexical e ->
+      Format.fprintf ppf "lexical error at offset %d: %s" e.Lexer.offset
+        e.Lexer.message
+  | Syntax e -> Driver.pp_error grammar ppf e
+
+let parse_tree src =
+  match Lexer.tokenize grammar src with
+  | exception Lexer.Error e -> Error (Lexical e)
+  | tokens -> (
+      match Driver.parse (Lazy.force tables) tokens with
+      | Ok tree -> Ok tree
+      | Error e -> Error (Syntax e))
+
+(* ------------------------------------------------------------------ *)
+(* Concrete tree → AST                                                *)
+(* ------------------------------------------------------------------ *)
+
+let lhs_name tree =
+  match tree with
+  | Tree.Node { prod; _ } ->
+      Grammar.nonterminal_name grammar (Grammar.production grammar prod).lhs
+  | Tree.Leaf _ -> "<leaf>"
+
+let leaf_name = function
+  | Tree.Leaf tok -> Grammar.terminal_name grammar tok.Token.terminal
+  | Tree.Node _ -> "<node>"
+
+let lexeme = function
+  | Tree.Leaf tok -> tok.Token.lexeme
+  | Tree.Node _ -> assert false
+
+let rec expr tree : Ast.expr =
+  match tree with
+  | Tree.Leaf tok -> (
+      match Grammar.terminal_name grammar tok.Token.terminal with
+      | "number" -> Ast.Num (int_of_string tok.Token.lexeme)
+      | "ident" -> Ast.Var tok.Token.lexeme
+      | "true" -> Ast.Bool true
+      | "false" -> Ast.Bool false
+      | other -> failwith ("unexpected leaf in expression: " ^ other))
+  | Tree.Node { children; _ } -> (
+      match (lhs_name tree, children) with
+      | _, [ only ] -> expr only
+      | ("orexpr" | "andexpr" | "cmpexpr" | "addexpr" | "mulexpr"), [ a; op; b ]
+        ->
+          let binop =
+            match leaf_name op with
+            | "oror" -> Ast.Or
+            | "andand" -> Ast.And
+            | "lt" -> Ast.Lt
+            | "le" -> Ast.Le
+            | "gt" -> Ast.Gt
+            | "ge" -> Ast.Ge
+            | "eqeq" -> Ast.Eq
+            | "ne" -> Ast.Ne
+            | "plus" -> Ast.Add
+            | "minus" -> Ast.Sub
+            | "star" -> Ast.Mul
+            | "slash" -> Ast.Div
+            | other -> failwith ("unexpected operator " ^ other)
+          in
+          Ast.Binop (binop, expr a, expr b)
+      | "unary", [ op; e ] ->
+          if leaf_name op = "minus" then Ast.Neg (expr e) else Ast.Not (expr e)
+      | "postfix", [ f; _lp; args_node; _rp ] ->
+          Ast.Call (lexeme f, args args_node)
+      | "atom", [ _lp; e; _rp ] -> expr e
+      | shape, _ -> failwith ("unexpected expression node " ^ shape))
+
+and args tree : Ast.expr list =
+  match tree with
+  | Tree.Node { children = []; _ } -> []
+  | Tree.Node { children = [ only ]; _ } -> (
+      match lhs_name tree with
+      | "args" -> args only
+      | "arg_list" -> [ expr only ]
+      | _ -> [ expr only ])
+  | Tree.Node { children = [ more; _comma; e ]; _ } -> args more @ [ expr e ]
+  | _ -> assert false
+
+let rec stmt tree : Ast.stmt =
+  match tree with
+  | Tree.Node { children; _ } -> (
+      match children with
+      | [ only ] when lhs_name tree = "stmt" -> stmt only
+      | _ -> (
+          match (List.map leaf_name children, children) with
+          | "let" :: _, [ _; name; _; e; _ ] ->
+              Ast.Let (lexeme name, expr e)
+          | "ident" :: "assign" :: _, [ name; _; e; _ ] ->
+              Ast.Assign (lexeme name, expr e)
+          | "print" :: _, [ _; e; _ ] -> Ast.Print (expr e)
+          | "if" :: _, [ _; c; b ] -> Ast.If (expr c, block b, None)
+          | "if" :: _, [ _; c; t; _else; f ] ->
+              Ast.If (expr c, block t, Some (block f))
+          | "while" :: _, [ _; c; b ] -> Ast.While (expr c, block b)
+          | [ "return"; "semi" ], _ -> Ast.Return None
+          | "return" :: _, [ _; e; _ ] -> Ast.Return (Some (expr e))
+          | _, [ e; _semi ] -> Ast.Expr (expr e)
+          | _ -> failwith "unexpected statement shape"))
+  | Tree.Leaf _ -> assert false
+
+and block tree : Ast.block =
+  (* block : lbrace stmts rbrace *)
+  match tree with
+  | Tree.Node { children = [ _lb; stmts_node; _rb ]; _ } -> stmts stmts_node
+  | _ -> assert false
+
+and stmts tree : Ast.block =
+  match tree with
+  | Tree.Node { children = []; _ } -> []
+  | Tree.Node { children = [ more; s ]; _ } -> stmts more @ [ stmt s ]
+  | _ -> assert false
+
+let fundef tree : Ast.fundef =
+  match tree with
+  | Tree.Node { children = [ _fun; name; _lp; params_node; _rp; body ]; _ } ->
+      let rec params t =
+        match t with
+        | Tree.Node { children = []; _ } -> []
+        | Tree.Node { children = [ only ]; _ } -> (
+            match only with
+            | Tree.Leaf _ -> [ lexeme only ]
+            | Tree.Node _ -> params only)
+        | Tree.Node { children = [ more; _comma; p ]; _ } ->
+            params more @ [ lexeme p ]
+        | Tree.Leaf _ -> [ lexeme t ]
+        | Tree.Node _ -> assert false
+      in
+      { Ast.name = lexeme name; params = params params_node; body = block body }
+  | _ -> assert false
+
+let program tree : Ast.program =
+  let rec items t acc =
+    match t with
+    | Tree.Node { children = []; _ } -> acc
+    | Tree.Node { children = [ more; item ]; _ } ->
+        let funs, main = items more acc in
+        (* item : fundef | stmt *)
+        (match item with
+        | Tree.Node { children = [ inner ]; _ } when lhs_name inner = "fundef"
+          ->
+            (funs @ [ fundef inner ], main)
+        | Tree.Node { children = [ inner ]; _ } -> (funs, main @ [ stmt inner ])
+        | _ -> assert false)
+    | _ -> assert false
+  in
+  match tree with
+  | Tree.Node { children = [ items_node ]; _ } ->
+      let funs, main = items items_node ([], []) in
+      { Ast.funs; main }
+  | _ -> assert false
+
+let parse src =
+  match parse_tree src with
+  | Error _ as e -> e
+  | Ok tree -> Ok (program tree)

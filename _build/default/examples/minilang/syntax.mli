@@ -1,0 +1,25 @@
+(** Minilang's grammar, tables and parser: text in, {!Ast.program} out.
+
+    The grammar is brace-delimited (every [if]/[while] body is a block),
+    so it is LALR(1) with zero conflicts — asserted at table-build time.
+    Operator precedence is expressed structurally (stratified
+    nonterminals), the way most real language grammars do it. *)
+
+val grammar : Grammar.t
+(** The minilang grammar (also reachable as text via
+    {!Lalr_grammar.Reader.to_string} for the curious). *)
+
+val tables : Lalr_tables.Tables.t Lazy.t
+(** LALR(1) tables from the DeRemer–Pennello sets. *)
+
+type error =
+  | Lexical of Lexer.error
+  | Syntax of Lalr_runtime.Driver.error
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (Ast.program, error) result
+
+val parse_tree :
+  string -> (Lalr_runtime.Tree.t, error) result
+(** The raw concrete tree, for tooling that wants it. *)

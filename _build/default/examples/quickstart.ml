@@ -1,0 +1,60 @@
+(* Quickstart: grammar text → LALR(1) tables → parse → tree.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Reader = Lalr_grammar.Reader
+module Lr0 = Lalr_automaton.Lr0
+module Lalr = Lalr_core.Lalr
+module Tables = Lalr_tables.Tables
+module Driver = Lalr_runtime.Driver
+module Tree = Lalr_runtime.Tree
+
+let grammar_text =
+  {|
+%token plus star lparen rparen id
+%start e
+%%
+e : e plus t | t ;
+t : t star f | f ;
+f : lparen e rparen | id ;
+|}
+
+let () =
+  (* 1. Read the grammar (any yacc-like text; see lib/grammar/reader.mli). *)
+  let g = Reader.of_string ~name:"quickstart" grammar_text in
+  Format.printf "Loaded %s: %d terminals, %d nonterminals, %d productions@.@."
+    g.Lalr_grammar.Grammar.name
+    (Lalr_grammar.Grammar.n_terminals g)
+    (Lalr_grammar.Grammar.n_nonterminals g)
+    (Lalr_grammar.Grammar.n_productions g);
+
+  (* 2. Build the LR(0) automaton and the DeRemer–Pennello look-aheads. *)
+  let automaton = Lr0.build g in
+  let lookaheads = Lalr.compute automaton in
+  let stats = Lalr.stats lookaheads in
+  Format.printf
+    "LR(0) automaton: %d states, %d nonterminal transitions@."
+    (Lr0.n_states automaton) stats.Lalr.n_nt_transitions;
+  Format.printf
+    "Relations: %d reads edges, %d includes edges, %d lookback edges@."
+    stats.Lalr.reads_edges stats.Lalr.includes_edges stats.Lalr.lookback_edges;
+  Format.printf "Grammar is LALR(1): %b@.@." (Lalr.is_lalr1 lookaheads);
+
+  (* 3. Build parse tables from the look-ahead sets. *)
+  let tables = Tables.build ~lookahead:(Lalr.lookahead lookaheads) automaton in
+
+  (* 4. Parse a sentence. *)
+  let input = [ "id"; "plus"; "id"; "star"; "lparen"; "id"; "rparen" ] in
+  Format.printf "Parsing: %s@." (String.concat " " input);
+  (match Driver.parse_names tables input with
+  | Ok tree ->
+      Format.printf "Parse tree:@.%a@.@." (Tree.pp g) tree;
+      Format.printf "(s-expression: %a)@.@." (Tree.pp_sexp g) tree
+  | Error e -> Format.printf "error: %a@." (Driver.pp_error g) e);
+
+  (* 5. Errors come with position and expected-token information. *)
+  let bad = [ "id"; "plus"; "star" ] in
+  Format.printf "Parsing: %s@." (String.concat " " bad);
+  match Driver.parse_names tables bad with
+  | Ok _ -> assert false
+  | Error e -> Format.printf "%a@." (Driver.pp_error g) e

@@ -1,0 +1,1 @@
+lib/automaton/item.ml: Array Grammar

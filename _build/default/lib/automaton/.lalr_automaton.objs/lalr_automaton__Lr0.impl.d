@@ -1,0 +1,1 @@
+lib/automaton/lr0.ml: Array Format Grammar Hashtbl Int Item Lalr_sets List Printf Symbol

@@ -1,0 +1,49 @@
+type table = {
+  grammar : Grammar.t;
+  first_item : int array;  (* production id -> item id of [A → . ω] *)
+  item_prod : int array;  (* item id -> production id *)
+  n_items : int;
+}
+
+let make g =
+  let n_prods = Grammar.n_productions g in
+  let first_item = Array.make n_prods 0 in
+  let n_items = ref 0 in
+  for p = 0 to n_prods - 1 do
+    first_item.(p) <- !n_items;
+    n_items := !n_items + Grammar.rhs_length g p + 1
+  done;
+  let item_prod = Array.make !n_items 0 in
+  for p = 0 to n_prods - 1 do
+    for dot = 0 to Grammar.rhs_length g p do
+      item_prod.(first_item.(p) + dot) <- p
+    done
+  done;
+  { grammar = g; first_item; item_prod; n_items = !n_items }
+
+let n_items t = t.n_items
+
+let encode t ~prod ~dot =
+  if dot < 0 || dot > Grammar.rhs_length t.grammar prod then
+    invalid_arg "Item.encode: dot out of range";
+  t.first_item.(prod) + dot
+
+let prod t item = t.item_prod.(item)
+let dot t item = item - t.first_item.(t.item_prod.(item))
+
+let next_symbol t item =
+  let p = prod t item and d = dot t item in
+  let rhs = (Grammar.production t.grammar p).rhs in
+  if d < Array.length rhs then Some rhs.(d) else None
+
+let is_final t item =
+  let p = prod t item in
+  dot t item = Grammar.rhs_length t.grammar p
+
+let advance t item =
+  if is_final t item then invalid_arg "Item.advance: final item";
+  item + 1
+
+let initial t ~prod = t.first_item.(prod)
+
+let pp t ppf item = Grammar.pp_item t.grammar ppf (prod t item) (dot t item)

@@ -1,0 +1,268 @@
+module Vec = Lalr_sets.Vec
+
+type state = {
+  id : int;
+  kernel : int array;
+  items : int array;
+  accessing : Symbol.t option;
+}
+
+type t = {
+  grammar : Grammar.t;
+  items_tbl : Item.table;
+  states : state array;
+  (* goto_t.(s * n_terminals + t) and goto_n.(s * n_nonterminals + n),
+     -1 when undefined. *)
+  goto_t : int array;
+  goto_n : int array;
+  reductions : int list array;
+  nt_transitions : (int * int) array;
+  (* (p, A) -> dense transition index, via goto_n-shaped table. *)
+  nt_trans_index : int array;
+}
+
+let grammar a = a.grammar
+let items a = a.items_tbl
+let n_states a = Array.length a.states
+let state a i = a.states.(i)
+
+(* Closure of a kernel: add initial items of every production of every
+   nonterminal appearing after a dot, to fixpoint. Returns sorted. *)
+let closure g tbl kernel =
+  let added = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec add item =
+    if not (Hashtbl.mem added item) then begin
+      Hashtbl.replace added item ();
+      acc := item :: !acc;
+      match Item.next_symbol tbl item with
+      | Some (Symbol.N n) ->
+          Array.iter
+            (fun pid -> add (Item.initial tbl ~prod:pid))
+            (Grammar.productions_of g n)
+      | Some (Symbol.T _) | None -> ()
+    end
+  in
+  Array.iter add kernel;
+  let arr = Array.of_list !acc in
+  Array.sort Int.compare arr;
+  arr
+
+module Kernel_key = struct
+  type t = int array
+
+  let equal = ( = )
+  let hash (k : int array) = Hashtbl.hash k
+end
+
+module Kernel_tbl = Hashtbl.Make (Kernel_key)
+
+let build g =
+  let tbl = Item.make g in
+  let states : state Vec.t = Vec.create () in
+  let index = Kernel_tbl.create 256 in
+  let trans : (Symbol.t * int) list Vec.t = Vec.create () in
+  (* Interns a kernel, returns its state id. *)
+  let intern accessing kernel =
+    match Kernel_tbl.find_opt index kernel with
+    | Some id -> id
+    | None ->
+        let id =
+          Vec.push states
+            { id = Vec.length states; kernel; items = [||]; accessing }
+        in
+        ignore (Vec.push trans []);
+        Kernel_tbl.replace index kernel id;
+        id
+  in
+  let initial_kernel = [| Item.initial tbl ~prod:0 |] in
+  ignore (intern None initial_kernel);
+  (* Worklist: states are processed in id order; new states append. *)
+  let cursor = ref 0 in
+  while !cursor < Vec.length states do
+    let s = Vec.get states !cursor in
+    let items = closure g tbl s.kernel in
+    Vec.set states !cursor { s with items };
+    (* Group non-final items by the symbol after the dot. *)
+    let groups : (Symbol.t, int list) Hashtbl.t = Hashtbl.create 16 in
+    let order = ref [] in
+    Array.iter
+      (fun item ->
+        match Item.next_symbol tbl item with
+        | None -> ()
+        | Some sym ->
+            (match Hashtbl.find_opt groups sym with
+            | None ->
+                order := sym :: !order;
+                Hashtbl.replace groups sym [ Item.advance tbl item ]
+            | Some l -> Hashtbl.replace groups sym (Item.advance tbl item :: l)))
+      items;
+    let edges =
+      List.rev_map
+        (fun sym ->
+          let kernel = Array.of_list (List.rev (Hashtbl.find groups sym)) in
+          Array.sort Int.compare kernel;
+          (sym, intern (Some sym) kernel))
+        !order
+    in
+    (* Terminals first, ascending, then nonterminals ascending. *)
+    let edges =
+      List.sort (fun (a, _) (b, _) -> Symbol.compare a b) edges
+    in
+    Vec.set trans !cursor edges;
+    incr cursor
+  done;
+  let states = Vec.to_array states in
+  let n = Array.length states in
+  let n_t = Grammar.n_terminals g and n_n = Grammar.n_nonterminals g in
+  let goto_t = Array.make (n * n_t) (-1) in
+  let goto_n = Array.make (n * n_n) (-1) in
+  Vec.iteri
+    (fun s edges ->
+      List.iter
+        (fun (sym, target) ->
+          match sym with
+          | Symbol.T t -> goto_t.((s * n_t) + t) <- target
+          | Symbol.N m -> goto_n.((s * n_n) + m) <- target)
+        edges)
+    trans;
+  let reductions =
+    Array.map
+      (fun st ->
+        Array.to_list st.items
+        |> List.filter_map (fun item ->
+               if Item.is_final tbl item then
+                 let p = Item.prod tbl item in
+                 if p = 0 then None else Some p
+               else None)
+        |> List.sort_uniq Int.compare)
+      states
+  in
+  (* Dense numbering of nonterminal transitions, row-major (state, nt). *)
+  let nt_trans_index = Array.make (n * n_n) (-1) in
+  let nt_transitions = Vec.create () in
+  for s = 0 to n - 1 do
+    for m = 0 to n_n - 1 do
+      if goto_n.((s * n_n) + m) >= 0 then
+        nt_trans_index.((s * n_n) + m) <-
+          Vec.push nt_transitions (s, m)
+    done
+  done;
+  {
+    grammar = g;
+    items_tbl = tbl;
+    states;
+    goto_t;
+    goto_n;
+    reductions;
+    nt_transitions = Vec.to_array nt_transitions;
+    nt_trans_index;
+  }
+
+let goto a s sym =
+  let v =
+    match sym with
+    | Symbol.T t -> a.goto_t.((s * Grammar.n_terminals a.grammar) + t)
+    | Symbol.N n -> a.goto_n.((s * Grammar.n_nonterminals a.grammar) + n)
+  in
+  if v < 0 then None else Some v
+
+let goto_exn a s sym =
+  match goto a s sym with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Lr0.goto_exn: no transition from %d on %s" s
+           (Grammar.symbol_name a.grammar sym))
+
+let transitions a s =
+  let n_t = Grammar.n_terminals a.grammar in
+  let n_n = Grammar.n_nonterminals a.grammar in
+  let acc = ref [] in
+  for m = n_n - 1 downto 0 do
+    let v = a.goto_n.((s * n_n) + m) in
+    if v >= 0 then acc := (Symbol.N m, v) :: !acc
+  done;
+  for t = n_t - 1 downto 0 do
+    let v = a.goto_t.((s * n_t) + t) in
+    if v >= 0 then acc := (Symbol.T t, v) :: !acc
+  done;
+  !acc
+
+let reductions a s = a.reductions.(s)
+
+let traverse a p rhs ~from =
+  let s = ref p in
+  for i = from to Array.length rhs - 1 do
+    s := goto_exn a !s rhs.(i)
+  done;
+  !s
+
+let n_nt_transitions a = Array.length a.nt_transitions
+let nt_transition a x = a.nt_transitions.(x)
+
+let nt_transition_target a x =
+  let p, m = a.nt_transitions.(x) in
+  a.goto_n.((p * Grammar.n_nonterminals a.grammar) + m)
+
+let find_nt_transition a p nt =
+  let v = a.nt_trans_index.((p * Grammar.n_nonterminals a.grammar) + nt) in
+  if v < 0 then raise Not_found else v
+
+let accept_state a = goto_exn a 0 (Symbol.N a.grammar.start)
+
+let n_conflict_free_lr0 a =
+  let ok = ref true in
+  Array.iteri
+    (fun s reds ->
+      match reds with
+      | [] -> ()
+      | [ _ ] ->
+          (* any shift on a terminal conflicts *)
+          let n_t = Grammar.n_terminals a.grammar in
+          for t = 0 to n_t - 1 do
+            if a.goto_t.((s * n_t) + t) >= 0 then ok := false
+          done
+      | _ :: _ :: _ -> ok := false)
+    a.reductions;
+  (* The accept state reduces nothing (production 0 excluded) but shifts $;
+     that is fine by construction. *)
+  !ok
+
+let size_report a =
+  let kernel_items =
+    Array.fold_left (fun acc s -> acc + Array.length s.kernel) 0 a.states
+  in
+  let transitions_count =
+    Array.fold_left (fun acc v -> if v >= 0 then acc + 1 else acc) 0 a.goto_t
+    + Array.fold_left (fun acc v -> if v >= 0 then acc + 1 else acc) 0 a.goto_n
+  in
+  (Array.length a.states, kernel_items, transitions_count)
+
+let pp_state a ppf s =
+  let st = a.states.(s) in
+  Format.fprintf ppf "@[<v>state %d" s;
+  (match st.accessing with
+  | Some sym ->
+      Format.fprintf ppf " (on %s)" (Grammar.symbol_name a.grammar sym)
+  | None -> ());
+  Format.fprintf ppf "@,";
+  let kernel_set = Array.to_list st.kernel in
+  Array.iter
+    (fun item ->
+      let mark = if List.mem item kernel_set then "*" else " " in
+      Format.fprintf ppf "  %s %a@," mark (Item.pp a.items_tbl) item)
+    st.items;
+  List.iter
+    (fun (sym, target) ->
+      Format.fprintf ppf "  %s -> state %d@,"
+        (Grammar.symbol_name a.grammar sym)
+        target)
+    (transitions a s);
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  reduce %a@,"
+        (Grammar.pp_production a.grammar)
+        (Grammar.production a.grammar p))
+    a.reductions.(s);
+  Format.fprintf ppf "@]"

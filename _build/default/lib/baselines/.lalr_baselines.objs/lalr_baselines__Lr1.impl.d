@@ -1,0 +1,1 @@
+lib/baselines/lr1.ml: Analysis Array Grammar Hashtbl Int Lalr_automaton Lalr_sets List Queue Symbol

@@ -1,0 +1,1 @@
+lib/baselines/lr1.mli: Grammar Hashtbl Lalr_automaton Lalr_sets Symbol

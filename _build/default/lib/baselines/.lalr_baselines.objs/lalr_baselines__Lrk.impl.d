@@ -1,0 +1,1 @@
+lib/baselines/lrk.ml: Array Firstk Grammar Hashtbl Int Lalr_automaton Lalr_sets List Option Queue Symbol

@@ -1,0 +1,1 @@
+lib/baselines/lrk.mli: Grammar Hashtbl Lalr_automaton Lalr_sets

@@ -1,0 +1,1 @@
+lib/baselines/nqlalr.ml: Analysis Array Grammar Hashtbl Int Lalr_automaton Lalr_sets List Symbol

@@ -1,0 +1,1 @@
+lib/baselines/nqlalr.mli: Lalr_automaton Lalr_sets

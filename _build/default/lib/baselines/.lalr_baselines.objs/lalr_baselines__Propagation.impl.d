@@ -1,0 +1,1 @@
+lib/baselines/propagation.ml: Analysis Array Grammar Hashtbl Lalr_automaton Lalr_sets List Queue Symbol

@@ -1,0 +1,1 @@
+lib/baselines/propagation.mli: Lalr_automaton Lalr_sets

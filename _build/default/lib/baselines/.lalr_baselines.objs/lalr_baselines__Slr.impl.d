@@ -1,0 +1,1 @@
+lib/baselines/slr.ml: Analysis Grammar Lalr_automaton Lalr_sets List Symbol

@@ -1,0 +1,1 @@
+lib/baselines/slr.mli: Lalr_automaton Lalr_sets

@@ -1,0 +1,40 @@
+(** Canonical LR(1) construction (Knuth 1965) — the exact but expensive
+    baseline.
+
+    The canonical collection of LR(1) item sets is built directly; LALR
+    look-ahead sets are then recovered by {!merged_lookaheads}, which
+    merges states sharing an LR(0) core and unions the look-aheads of
+    their final items. The paper proves its sets equal these; the
+    cross-check is in the test suite, and the cost difference is bench
+    T4. *)
+
+type t
+
+val build : Grammar.t -> t
+
+val grammar : t -> Grammar.t
+val n_states : t -> int
+
+val state_core : t -> int -> int array
+(** The LR(0) item set underlying the state's kernel (sorted, in the
+    numbering of the {!Lalr_automaton.Item.table} for this grammar). *)
+
+val items : t -> Lalr_automaton.Item.table
+(** The LR(0) item numbering used by {!state_core}. *)
+
+val goto : t -> int -> Symbol.t -> int option
+
+val reduce_actions : t -> int -> (int * Lalr_sets.Bitset.t) list
+(** [(production, look-ahead set)] for each reduction of the state,
+    production ids ascending; production 0 (accept) excluded. *)
+
+val is_lr1 : t -> bool
+(** The grammar is LR(1): no state has a shift/reduce or reduce/reduce
+    conflict. *)
+
+val merged_lookaheads : t -> Lalr_automaton.Lr0.t -> (int * int, Lalr_sets.Bitset.t) Hashtbl.t
+(** Merge by LR(0) core onto the given LR(0) automaton (which must be
+    for the same grammar): maps [(lr0_state, production)] to the LALR
+    look-ahead set. Every reduction pair of the LR(0) automaton is a
+    key. Raises [Invalid_argument] if a core does not correspond to an
+    LR(0) state (impossible for the same grammar). *)

@@ -1,0 +1,116 @@
+module Bitset = Lalr_sets.Bitset
+module Digraph = Lalr_sets.Digraph
+module Lr0 = Lalr_automaton.Lr0
+
+type t = {
+  automaton : Lr0.t;
+  (* FollowNQ per state (meaningful for targets of nonterminal
+     transitions; empty elsewhere). *)
+  follow_nq : Bitset.t array;
+  (* reduction (state, prod) -> LA set *)
+  la : (int * int, Bitset.t) Hashtbl.t;
+}
+
+let automaton t = t.automaton
+
+let compute (a : Lr0.t) =
+  let g = Lr0.grammar a in
+  let analysis = Analysis.compute g in
+  let n_term = Grammar.n_terminals g in
+  let n_states = Lr0.n_states a in
+  let nx = Lr0.n_nt_transitions a in
+  (* Per-state direct reads (shiftable terminals) and state-level reads
+     edges; identical to the exact DR/reads because those depend only on
+     the transition target. *)
+  let dr = Array.init n_states (fun _ -> Bitset.create n_term) in
+  let succ = Array.make n_states [] in
+  let add_edge src dst = succ.(src) <- dst :: succ.(src) in
+  for x = 0 to nx - 1 do
+    let r = Lr0.nt_transition_target a x in
+    List.iter
+      (fun (sym, target) ->
+        match sym with
+        | Symbol.T t -> Bitset.add dr.(r) t
+        | Symbol.N c ->
+            if Analysis.nullable analysis c then add_edge r target)
+      (Lr0.transitions a r)
+  done;
+  (* State-merged includes: exact edge (p,A) includes (p',B) becomes
+     goto(p,A) -> goto(p',B). *)
+  for x' = 0 to nx - 1 do
+    let p', b = Lr0.nt_transition a x' in
+    let r' = Lr0.nt_transition_target a x' in
+    Array.iter
+      (fun pid ->
+        let prod = Grammar.production g pid in
+        let len = Array.length prod.rhs in
+        let state = ref p' in
+        for i = 0 to len - 1 do
+          (match prod.rhs.(i) with
+          | Symbol.N c
+            when Analysis.nullable_sentence analysis prod.rhs ~from:(i + 1)
+                   ~upto:len ->
+              let r = Lr0.goto_exn a !state (Symbol.N c) in
+              add_edge r r'
+          | Symbol.N _ | Symbol.T _ -> ());
+          state := Lr0.goto_exn a !state prod.rhs.(i)
+        done)
+      (Grammar.productions_of g b)
+  done;
+  let succ = Array.map (fun l -> List.sort_uniq Int.compare l) succ in
+  let follow_nq, _ =
+    Digraph.ForBitset.run ~n:n_states
+      ~successors:(fun s -> succ.(s))
+      ~init:(fun s -> dr.(s))
+  in
+  (* LA_NQ(q, A→ω) = ⋃ FollowNQ(goto(p,A)) over lookback pairs. *)
+  let la : (int * int, Bitset.t) Hashtbl.t = Hashtbl.create 256 in
+  for q = 0 to n_states - 1 do
+    List.iter
+      (fun pid -> Hashtbl.replace la (q, pid) (Bitset.create n_term))
+      (Lr0.reductions a q)
+  done;
+  for x = 0 to nx - 1 do
+    let p, aa = Lr0.nt_transition a x in
+    let r = Lr0.nt_transition_target a x in
+    Array.iter
+      (fun pid ->
+        if pid <> 0 then begin
+          let prod = Grammar.production g pid in
+          let q = Lr0.traverse a p prod.rhs ~from:0 in
+          match Hashtbl.find_opt la (q, pid) with
+          | Some acc -> ignore (Bitset.union_into ~into:acc follow_nq.(r))
+          | None -> assert false
+        end)
+      (Grammar.productions_of g aa)
+  done;
+  { automaton = a; follow_nq; la }
+
+let lookahead t ~state ~prod =
+  match Hashtbl.find_opt t.la (state, prod) with
+  | Some s -> s
+  | None -> raise Not_found
+
+let is_nqlalr1 t =
+  let a = t.automaton in
+  let n_term = Grammar.n_terminals (Lr0.grammar a) in
+  let ok = ref true in
+  for q = 0 to Lr0.n_states a - 1 do
+    let reds = Lr0.reductions a q in
+    if reds <> [] then begin
+      let seen = Bitset.create n_term in
+      List.iter
+        (fun (sym, _) ->
+          match sym with
+          | Symbol.T tt -> Bitset.add seen tt
+          | Symbol.N _ -> ())
+        (Lr0.transitions a q);
+      List.iter
+        (fun pid ->
+          let set = lookahead t ~state:q ~prod:pid in
+          if not (Bitset.disjoint set seen) then ok := false;
+          ignore (Bitset.union_into ~into:seen set))
+        reds
+    end
+  done;
+  !ok

@@ -1,0 +1,40 @@
+(** LALR(1) look-aheads by spontaneous generation and propagation — the
+    yacc/bison-lineage algorithm (Aho–Sethi–Ullman Alg. 4.63) the paper
+    positions itself against.
+
+    For every kernel item [K] of every state, the LR(1) closure of
+    [{[K, #]}] (with [#] a symbol not in the grammar) is computed once.
+    Each closure item whose dot can advance on [X] sends its look-ahead
+    to the corresponding kernel item of [goto(state, X)]: a concrete
+    terminal is {e spontaneous}; the marker [#] records a {e propagation}
+    edge from [K]. Look-aheads then iterate over the propagation edges to
+    a fixpoint (round-based, as in yacc — deliberately not the paper's
+    Digraph, since this is the baseline being compared).
+
+    Reductions by ε-productions have non-kernel final items; their sets
+    are recovered by an in-state LALR closure of the kernel look-aheads
+    ({!lookahead} does this transparently). *)
+
+type t
+
+type stats = {
+  n_kernel_items : int;
+  spontaneous : int;  (** spontaneously generated look-aheads *)
+  propagate_edges : int;
+  passes : int;  (** fixpoint rounds until stable *)
+}
+
+val compute : Lalr_automaton.Lr0.t -> t
+
+val automaton : t -> Lalr_automaton.Lr0.t
+
+val lookahead : t -> state:int -> prod:int -> Lalr_sets.Bitset.t
+(** Look-ahead set of a reduction; the pair must be a reduction of the
+    automaton ([Not_found] otherwise). *)
+
+val kernel_lookahead : t -> state:int -> item:int -> Lalr_sets.Bitset.t
+(** Look-ahead attached to a kernel LR(0) item (as numbered by the
+    automaton's item table). [Not_found] if not a kernel item of the
+    state. *)
+
+val stats : t -> stats

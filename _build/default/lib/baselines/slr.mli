@@ -1,0 +1,20 @@
+(** SLR(1) look-aheads (DeRemer 1971), the coarsest baseline.
+
+    SLR approximates the look-ahead of every reduction [(q, A → ω)] by
+    the context-free [FOLLOW(A)] — ignoring the state [q] entirely. The
+    paper's exact sets satisfy [LA(q, A→ω) ⊆ FOLLOW(A)], so SLR accepts
+    strictly fewer grammars but costs only the FOLLOW fixpoint. *)
+
+type t
+
+val compute : Lalr_automaton.Lr0.t -> t
+
+val lookahead : t -> state:int -> prod:int -> Lalr_sets.Bitset.t
+(** [FOLLOW] of the production's left-hand side. The [state] argument
+    is accepted (and ignored) to mirror {!Lalr_core.Lalr.lookahead}. *)
+
+val is_slr1 : t -> bool
+(** No SLR(1) conflicts, judged exactly as {!Lalr_core.Lalr.is_lalr1}
+    but with FOLLOW-based look-aheads. *)
+
+val automaton : t -> Lalr_automaton.Lr0.t

@@ -1,0 +1,1 @@
+lib/bench_tables/experiments.ml: Array Format Grammar Lalr_automaton Lalr_baselines Lalr_core Lalr_sets Lalr_suite Lalr_tables Lazy List Printf String Sys Unix

@@ -1,0 +1,1 @@
+lib/bench_tables/experiments.mli: Format

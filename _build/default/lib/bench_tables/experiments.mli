@@ -1,0 +1,47 @@
+(** The paper's tables, regenerated.
+
+    Each [tN] function computes the rows for one experiment of the
+    index in DESIGN.md and prints them as an aligned text table;
+    [run_all] emits every static table. Timing-based experiments (T4,
+    F1–F3) live in [bench/main.ml] on top of Bechamel; T4's
+    single-shot wall-clock variant is {!t4_wallclock} so the
+    experiments binary can print a complete set without the Bechamel
+    dependency. *)
+
+val t1 : Format.formatter -> unit
+(** T1 — grammar suite statistics: terminals, nonterminals,
+    productions, |G|, LR(0) states, nonterminal transitions. *)
+
+val t2 : Format.formatter -> unit
+(** T2 — relation sizes: Σ|DR|, reads/includes/lookback edge counts,
+    nontrivial SCCs of reads and includes. *)
+
+val t3 : Format.formatter -> unit
+(** T3 — look-ahead statistics: reductions, Σ|LA|, average |LA|,
+    default-reduction states, propagation passes and edges (the yacc
+    baseline's work measure). *)
+
+val t4_wallclock : ?repeats:int -> Format.formatter -> unit
+(** T4 — method timing (single-shot wall clock, median of [repeats],
+    default 5): DeRemer–Pennello vs yacc propagation vs LR(1)-merge vs
+    SLR, per language grammar, with speedup factors. The statistically
+    careful version is bench target [t4]. *)
+
+val t5 : Format.formatter -> unit
+(** T5 — parser-class comparison: LR(0)/SLR/LALR/NQLALR/LR(1) verdicts,
+    conflict counts per method, LALR vs canonical state counts. *)
+
+val f1_series :
+  unit -> (string * (int * int * float array) list) list
+(** F1 — scaling data: for each family, a list of
+    [(parameter, grammar size |G|, times)] where [times] is the
+    per-method median seconds array in the order
+    [dp; propagation; lr1_merge; slr]. Printed by the bench binary. *)
+
+val run_all : Format.formatter -> unit
+(** T1, T2, T3, T5 and the wall-clock T4. *)
+
+val t6 : Format.formatter -> unit
+(** T6 — ACTION-table compression statistics: dense entries vs packed
+    comb slots, exact and yacc modes. A reproduction-era metric (table
+    size drove LALR adoption as much as generation time). *)

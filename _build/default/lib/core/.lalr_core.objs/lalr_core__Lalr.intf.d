@@ -1,0 +1,1 @@
+lib/core/lalr.mli: Analysis Format Grammar Lalr_automaton Lalr_sets

@@ -1,0 +1,1 @@
+lib/core/lalr_k.ml: Array Firstk Grammar Hashtbl Lalr_automaton Lalr_sets List Queue Symbol

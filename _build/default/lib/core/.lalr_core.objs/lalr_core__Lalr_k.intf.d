@@ -1,0 +1,1 @@
+lib/core/lalr_k.mli: Lalr_automaton Lalr_sets

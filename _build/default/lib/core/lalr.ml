@@ -1,0 +1,257 @@
+module Bitset = Lalr_sets.Bitset
+module Digraph = Lalr_sets.Digraph
+module Lr0 = Lalr_automaton.Lr0
+
+type diagnostic = Reads_cycle of int list | Includes_cycle of int list
+
+type stats = {
+  n_nt_transitions : int;
+  dr_total : int;
+  reads_edges : int;
+  includes_edges : int;
+  lookback_edges : int;
+  n_reductions : int;
+  la_total : int;
+  reads_sccs : int list list;
+  includes_sccs : int list list;
+}
+
+type t = {
+  automaton : Lr0.t;
+  analysis : Analysis.t;
+  dr : Bitset.t array;
+  reads : int list array;
+  read : Bitset.t array;
+  includes : int list array;
+  follow : Bitset.t array;
+  (* Reductions: dense numbering of (state, production) pairs. *)
+  reduction_pairs : (int * int) array;
+  reduction_index : (int * int, int) Hashtbl.t;
+  lookback : int list array;  (* reduction index -> nt transition indices *)
+  la : Bitset.t array;
+  diagnostics : diagnostic list;
+  stats : stats;
+}
+
+let automaton t = t.automaton
+let grammar t = Lr0.grammar t.automaton
+let analysis t = t.analysis
+
+let compute (a : Lr0.t) =
+  let g = Lr0.grammar a in
+  let analysis = Analysis.compute g in
+  let n_term = Grammar.n_terminals g in
+  let nx = Lr0.n_nt_transitions a in
+
+  (* DR(p,A) = { t | goto(goto(p,A), t) defined }, and
+     reads(p,A) = { (r,C) | r = goto(p,A), goto(r,C) defined, C nullable }. *)
+  let dr = Array.init nx (fun _ -> Bitset.create n_term) in
+  let reads = Array.make nx [] in
+  for x = 0 to nx - 1 do
+    let r = Lr0.nt_transition_target a x in
+    List.iter
+      (fun (sym, _) ->
+        match sym with
+        | Symbol.T t -> Bitset.add dr.(x) t
+        | Symbol.N c ->
+            if Analysis.nullable analysis c then
+              reads.(x) <- Lr0.find_nt_transition a r c :: reads.(x))
+      (Lr0.transitions a r)
+  done;
+
+  let read, read_stats =
+    Digraph.ForBitset.run ~n:nx
+      ~successors:(fun x -> reads.(x))
+      ~init:(fun x -> dr.(x))
+  in
+
+  (* includes: for each nonterminal transition (p',B) and production
+     B → ω, walk ω from p'; at each nonterminal position i with nullable
+     suffix, (state_before_ω_i, ω_i) includes (p',B). *)
+  let includes_rev = Array.make nx [] in
+  let includes_edges = ref 0 in
+  for x' = 0 to nx - 1 do
+    let p', b = Lr0.nt_transition a x' in
+    Array.iter
+      (fun pid ->
+        let prod = Grammar.production g pid in
+        let len = Array.length prod.rhs in
+        let state = ref p' in
+        for i = 0 to len - 1 do
+          (match prod.rhs.(i) with
+          | Symbol.N c
+            when Analysis.nullable_sentence analysis prod.rhs ~from:(i + 1)
+                   ~upto:len ->
+              let x = Lr0.find_nt_transition a !state c in
+              includes_rev.(x) <- x' :: includes_rev.(x);
+              incr includes_edges
+          | Symbol.N _ | Symbol.T _ -> ());
+          state := Lr0.goto_exn a !state prod.rhs.(i)
+        done)
+      (Grammar.productions_of g b)
+  done;
+  let includes = Array.map (fun l -> List.rev l) includes_rev in
+
+  let follow, follow_stats =
+    Digraph.ForBitset.run ~n:nx
+      ~successors:(fun x -> includes.(x))
+      ~init:(fun x -> read.(x))
+  in
+
+  (* Reductions and lookback. A reduction is a (state q, production
+     A → ω) with the final item in q; production 0 is excluded (accept).
+     lookback(q, A→ω) = { (p,A) | p --ω--> q }: enumerate from the (p,A)
+     side so each pair is found by walking ω from p. *)
+  let reduction_pairs = ref [] in
+  let reduction_index = Hashtbl.create 256 in
+  let n_red = ref 0 in
+  for q = 0 to Lr0.n_states a - 1 do
+    List.iter
+      (fun pid ->
+        Hashtbl.replace reduction_index (q, pid) !n_red;
+        reduction_pairs := (q, pid) :: !reduction_pairs;
+        incr n_red)
+      (Lr0.reductions a q)
+  done;
+  let reduction_pairs = Array.of_list (List.rev !reduction_pairs) in
+  let lookback = Array.make !n_red [] in
+  let lookback_edges = ref 0 in
+  for x = 0 to nx - 1 do
+    let p, aa = Lr0.nt_transition a x in
+    Array.iter
+      (fun pid ->
+        let prod = Grammar.production g pid in
+        if pid <> 0 then begin
+          let q = Lr0.traverse a p prod.rhs ~from:0 in
+          match Hashtbl.find_opt reduction_index (q, pid) with
+          | Some r ->
+              lookback.(r) <- x :: lookback.(r);
+              incr lookback_edges
+          | None ->
+              (* q must contain the final item of pid. *)
+              assert false
+        end)
+      (Grammar.productions_of g aa)
+  done;
+
+  (* LA(q, A→ω) = ⋃ Follow over lookback. *)
+  let la =
+    Array.init !n_red (fun r ->
+        let acc = Bitset.create n_term in
+        List.iter
+          (fun x -> ignore (Bitset.union_into ~into:acc follow.(x)))
+          lookback.(r);
+        acc)
+  in
+
+  let diagnostics =
+    List.map (fun c -> Reads_cycle c) read_stats.Digraph.nontrivial_sccs
+    @ List.map (fun c -> Includes_cycle c) follow_stats.Digraph.nontrivial_sccs
+  in
+  let stats =
+    {
+      n_nt_transitions = nx;
+      dr_total = Array.fold_left (fun acc s -> acc + Bitset.cardinal s) 0 dr;
+      reads_edges = Array.fold_left (fun acc l -> acc + List.length l) 0 reads;
+      includes_edges = !includes_edges;
+      lookback_edges = !lookback_edges;
+      n_reductions = !n_red;
+      la_total = Array.fold_left (fun acc s -> acc + Bitset.cardinal s) 0 la;
+      reads_sccs = read_stats.Digraph.nontrivial_sccs;
+      includes_sccs = follow_stats.Digraph.nontrivial_sccs;
+    }
+  in
+  {
+    automaton = a;
+    analysis;
+    dr;
+    reads;
+    read;
+    includes;
+    follow;
+    reduction_pairs;
+    reduction_index;
+    lookback;
+    la;
+    diagnostics;
+    stats;
+  }
+
+let dr t x = t.dr.(x)
+let read t x = t.read.(x)
+let follow t x = t.follow.(x)
+let reads t x = t.reads.(x)
+let includes t x = t.includes.(x)
+let n_reductions t = Array.length t.reduction_pairs
+let reduction t r = t.reduction_pairs.(r)
+
+let find_reduction t ~state ~prod =
+  match Hashtbl.find_opt t.reduction_index (state, prod) with
+  | Some r -> r
+  | None -> raise Not_found
+
+let lookback t r = t.lookback.(r)
+let la t r = t.la.(r)
+let lookahead t ~state ~prod = t.la.(find_reduction t ~state ~prod)
+let diagnostics t = t.diagnostics
+let stats t = t.stats
+
+let is_lalr1 t =
+  let a = t.automaton in
+  let n_term = Grammar.n_terminals (grammar t) in
+  let ok = ref true in
+  for q = 0 to Lr0.n_states a - 1 do
+    let reds = Lr0.reductions a q in
+    if reds <> [] then begin
+      (* Terminals shiftable from q. *)
+      let shiftable = Bitset.create n_term in
+      List.iter
+        (fun (sym, _) ->
+          match sym with
+          | Symbol.T tt -> Bitset.add shiftable tt
+          | Symbol.N _ -> ())
+        (Lr0.transitions a q);
+      let seen = Bitset.create n_term in
+      ignore (Bitset.union_into ~into:seen shiftable);
+      List.iter
+        (fun pid ->
+          let set = lookahead t ~state:q ~prod:pid in
+          if not (Bitset.disjoint set seen) then ok := false;
+          ignore (Bitset.union_into ~into:seen set))
+        reds
+    end
+  done;
+  !ok
+
+let pp_nt_transition t ppf x =
+  let p, a = Lr0.nt_transition t.automaton x in
+  Format.fprintf ppf "(%d, %s)" p (Grammar.nonterminal_name (grammar t) a)
+
+let pp ppf t =
+  let g = grammar t in
+  let pp_term ppf tt = Format.pp_print_string ppf (Grammar.terminal_name g tt) in
+  let pp_set = Bitset.pp ~pp_elt:pp_term in
+  Format.fprintf ppf "@[<v>";
+  for x = 0 to Lr0.n_nt_transitions t.automaton - 1 do
+    Format.fprintf ppf "%a: DR=%a Read=%a Follow=%a" (pp_nt_transition t) x
+      pp_set t.dr.(x) pp_set t.read.(x) pp_set t.follow.(x);
+    if t.reads.(x) <> [] then begin
+      Format.fprintf ppf " reads:";
+      List.iter (fun y -> Format.fprintf ppf " %a" (pp_nt_transition t) y)
+        t.reads.(x)
+    end;
+    if t.includes.(x) <> [] then begin
+      Format.fprintf ppf " includes:";
+      List.iter (fun y -> Format.fprintf ppf " %a" (pp_nt_transition t) y)
+        t.includes.(x)
+    end;
+    Format.fprintf ppf "@,"
+  done;
+  Array.iteri
+    (fun r (q, pid) ->
+      Format.fprintf ppf "LA(%d, %a) = %a@," q
+        (Grammar.pp_production g)
+        (Grammar.production g pid)
+        pp_set t.la.(r))
+    t.reduction_pairs;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,95 @@
+(** The DeRemer–Pennello LALR(1) look-ahead computation.
+
+    Implements the paper's pipeline on a prebuilt LR(0) automaton:
+
+    + [DR(p,A)] — direct read symbols of each nonterminal transition;
+    + [reads] — nullable-nonterminal read edges; [Read] via {!Digraph};
+    + [includes] — production-suffix-nullable edges; [Follow] via
+      {!Digraph};
+    + [lookback] — from reductions to nonterminal transitions;
+    + [LA(q, A → ω)] — union of [Follow] over [lookback].
+
+    Nonterminal transitions are indexed by {!Lalr_automaton.Lr0}'s dense
+    numbering; reductions (pairs of a state and a production whose final
+    item it contains) get their own dense numbering here. *)
+
+module Bitset = Lalr_sets.Bitset
+
+type diagnostic =
+  | Reads_cycle of int list
+      (** A nontrivial cycle in [reads] (members are nonterminal
+          transition indices). The paper's Theorem 6.1: the grammar is
+          not LR(k) for any k. *)
+  | Includes_cycle of int list
+      (** A nontrivial cycle in [includes]. The look-ahead sets are
+          still computed (members of the SCC share a [Follow] set); the
+          grammar may or may not be LR(1). *)
+
+type stats = {
+  n_nt_transitions : int;
+  dr_total : int;  (** Σ |DR(p,A)| *)
+  reads_edges : int;
+  includes_edges : int;
+  lookback_edges : int;
+  n_reductions : int;  (** reduction (state, production) pairs *)
+  la_total : int;  (** Σ |LA| over all reductions *)
+  reads_sccs : int list list;  (** nontrivial SCCs of [reads] *)
+  includes_sccs : int list list;
+}
+
+type t
+
+val compute : Lalr_automaton.Lr0.t -> t
+(** Runs the full computation. Cost: two {!Digraph} runs plus one pass
+    over the grammar per relation. *)
+
+val automaton : t -> Lalr_automaton.Lr0.t
+val grammar : t -> Grammar.t
+val analysis : t -> Analysis.t
+
+val dr : t -> int -> Bitset.t
+(** [DR] of a nonterminal transition index. Owned by [t]; copy before
+    mutating (applies to all set accessors below). *)
+
+val read : t -> int -> Bitset.t
+val follow : t -> int -> Bitset.t
+
+val reads : t -> int -> int list
+(** Successor transition indices under the [reads] relation. *)
+
+val includes : t -> int -> int list
+
+(** {2 Reductions and their look-ahead sets} *)
+
+val n_reductions : t -> int
+
+val reduction : t -> int -> int * int
+(** [(state, production)] of a reduction index. *)
+
+val find_reduction : t -> state:int -> prod:int -> int
+(** Raises [Not_found] if that state does not reduce that production. *)
+
+val lookback : t -> int -> int list
+(** Nonterminal transition indices related to a reduction index by
+    [lookback]. *)
+
+val la : t -> int -> Bitset.t
+(** The look-ahead set of a reduction index. *)
+
+val lookahead : t -> state:int -> prod:int -> Bitset.t
+(** Convenience: [la] ∘ [find_reduction]. *)
+
+val diagnostics : t -> diagnostic list
+val stats : t -> stats
+
+val is_lalr1 : t -> bool
+(** No LALR(1) conflicts: in every state, reduction look-aheads are
+    pairwise disjoint and disjoint from the shiftable terminals. (Accept
+    on [$] in the accept state is not a conflict.) *)
+
+val pp_nt_transition : t -> Format.formatter -> int -> unit
+(** [(state, A)]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Dump of all relations and look-ahead sets, for debugging and the
+    CLI's [--explain] output. *)

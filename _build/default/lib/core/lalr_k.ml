@@ -1,0 +1,150 @@
+module Kstring = Lalr_sets.Kstring
+module KSet = Kstring.Set
+module Lr0 = Lalr_automaton.Lr0
+
+type t = {
+  k : int;
+  automaton : Lr0.t;
+  follow : KSet.t array;  (* per nonterminal transition *)
+  la : (int * int, KSet.t) Hashtbl.t;  (* (state, prod) -> LA_k *)
+  shift_strings : KSet.t array;  (* per state: k-continuations via shifts *)
+}
+
+let k t = t.k
+let automaton t = t.automaton
+let follow t x = t.follow.(x)
+
+let lookahead t ~state ~prod =
+  match Hashtbl.find_opt t.la (state, prod) with
+  | Some s -> s
+  | None -> raise Not_found
+
+let compute ~k (a : Lr0.t) =
+  if k < 1 then invalid_arg "Lalr_k.compute: k must be >= 1";
+  let g = Lr0.grammar a in
+  let firstk = Firstk.compute ~k g in
+  let nx = Lr0.n_nt_transitions a in
+  let follow = Array.make nx KSet.empty in
+  (* Edges: follow.(target) ⊇ label ⊕k follow.(source); kept as reverse
+     adjacency from source to its dependents. *)
+  let deps = Array.make nx [] in
+  for x' = 0 to nx - 1 do
+    let p', b = Lr0.nt_transition a x' in
+    Array.iter
+      (fun pid ->
+        let prod = Grammar.production g pid in
+        let state = ref p' in
+        Array.iteri
+          (fun i sym ->
+            (match sym with
+            | Symbol.N c ->
+                let x = Lr0.find_nt_transition a !state c in
+                let label = Firstk.sentence firstk prod.rhs ~from:(i + 1) in
+                deps.(x') <- (label, x) :: deps.(x')
+            | Symbol.T _ -> ());
+            state := Lr0.goto_exn a !state sym)
+          prod.rhs)
+      (Grammar.productions_of g b)
+  done;
+  (* Seed: production 0 is S' → S $; the context of S' is the empty
+     string, so Follow_k(0, S) starts as FIRSTk("$") = {[$]}. *)
+  let x0 = Lr0.find_nt_transition a 0 g.start in
+  follow.(x0) <- KSet.singleton [ 0 ];
+  (* Worklist iteration to the least fixpoint. *)
+  let queue = Queue.create () in
+  let queued = Array.make nx false in
+  let push x =
+    if not queued.(x) then begin
+      queued.(x) <- true;
+      Queue.add x queue
+    end
+  in
+  for x = 0 to nx - 1 do
+    push x
+  done;
+  while not (Queue.is_empty queue) do
+    let x' = Queue.pop queue in
+    queued.(x') <- false;
+    let src = follow.(x') in
+    if not (KSet.is_empty src) then
+      List.iter
+        (fun (label, x) ->
+          let contribution = Kstring.concat_sets k label src in
+          let merged = KSet.union follow.(x) contribution in
+          if not (KSet.equal merged follow.(x)) then begin
+            follow.(x) <- merged;
+            push x
+          end)
+        deps.(x')
+  done;
+  (* LA_k by lookback, and shift strings by the same walks. *)
+  let la = Hashtbl.create 256 in
+  for q = 0 to Lr0.n_states a - 1 do
+    List.iter
+      (fun pid -> Hashtbl.replace la (q, pid) KSet.empty)
+      (Lr0.reductions a q)
+  done;
+  let shift_strings = Array.make (Lr0.n_states a) KSet.empty in
+  let add_shift state set =
+    shift_strings.(state) <- KSet.union shift_strings.(state) set
+  in
+  let walk_production ctx p0 (prod : Grammar.production) =
+    let state = ref p0 in
+    Array.iteri
+      (fun i sym ->
+        (match sym with
+        | Symbol.T _ ->
+            (* Item [B → ω₁..ωᵢ₋₁ . ωᵢ ...] with a terminal after the
+               dot: its k-continuations are FIRSTk(ωᵢ..) ⊕k ctx. *)
+            let strings =
+              Kstring.concat_sets k
+                (Firstk.sentence firstk prod.rhs ~from:i)
+                ctx
+            in
+            add_shift !state strings
+        | Symbol.N _ -> ());
+        state := Lr0.goto_exn a !state sym)
+      prod.rhs;
+    !state
+  in
+  for x = 0 to nx - 1 do
+    let p, aa = Lr0.nt_transition a x in
+    Array.iter
+      (fun pid ->
+        if pid <> 0 then begin
+          let prod = Grammar.production g pid in
+          let q = walk_production follow.(x) p prod in
+          match Hashtbl.find_opt la (q, pid) with
+          | Some set -> Hashtbl.replace la (q, pid) (KSet.union set follow.(x))
+          | None -> assert false
+        end)
+      (Grammar.productions_of g aa)
+  done;
+  (* Production 0's walk (context ε) contributes the $-shift strings. *)
+  ignore (walk_production Kstring.epsilon 0 (Grammar.production g 0));
+  { k; automaton = a; follow; la; shift_strings }
+
+let is_lalr_k t =
+  let a = t.automaton in
+  let ok = ref true in
+  for q = 0 to Lr0.n_states a - 1 do
+    let reds = Lr0.reductions a q in
+    if reds <> [] then begin
+      let seen = ref t.shift_strings.(q) in
+      List.iter
+        (fun pid ->
+          let set = lookahead t ~state:q ~prod:pid in
+          if not (KSet.is_empty (KSet.inter set !seen)) then ok := false;
+          seen := KSet.union !seen set)
+        reds
+    end
+  done;
+  !ok
+
+let smallest_k ?(limit = 3) a =
+  let rec go k =
+    if k > limit then None
+    else if is_lalr_k (compute ~k a) then Some k
+    else go (k + 1)
+  in
+  go 1

@@ -1,0 +1,53 @@
+(** LALR(k) look-ahead sets — the paper's §8 extension, implemented as a
+    direct fixpoint of the generalised [Follow] equations.
+
+    For k = 1 the paper factors the computation into [DR]/[reads]
+    (automaton-resident FIRST information) plus [includes] so that both
+    fixpoints are pure unions and the Digraph applies. For general k the
+    values become sets of ≤k-strings and the edges carry k-truncated
+    concatenation with the FIRSTk of the production suffix:
+
+    {v
+    Follow_k(p,A) ⊇ FIRSTk(γ) ⊕k Follow_k(p',B)
+                         whenever B → βAγ and p' --β--> p
+    Follow_k(0,S) ⊇ {"$"}                      (from S' → S $)
+    LA_k(q, A→ω)  = ⋃ { Follow_k(p,A) | p --ω--> q }
+    v}
+
+    Concatenation is not idempotent, so the union-only Digraph traversal
+    no longer applies verbatim; the equations are solved by worklist
+    iteration over the finite lattice of k-string sets. This matches the
+    paper's remark that the k > 1 case loses the clean relational
+    decomposition. For k = 1 the result coincides with {!Lalr} (pinned
+    by tests); for any k it coincides with merging the canonical LR(k)
+    automaton ({!Lalr_baselines.Lrk}, cross-validated property). *)
+
+module Kstring = Lalr_sets.Kstring
+
+type t
+
+val compute : k:int -> Lalr_automaton.Lr0.t -> t
+(** Raises [Invalid_argument] when [k < 1]. Cost grows steeply in [k];
+    meant for k ≤ 4 on moderate grammars. *)
+
+val k : t -> int
+val automaton : t -> Lalr_automaton.Lr0.t
+
+val follow : t -> int -> Kstring.Set.t
+(** [Follow_k] of a nonterminal-transition index. *)
+
+val lookahead : t -> state:int -> prod:int -> Kstring.Set.t
+(** [LA_k] of a reduction. [Not_found] if the pair is not a reduction
+    of the automaton. *)
+
+val is_lalr_k : t -> bool
+(** No LALR(k) conflicts: within each state, every reduction's k-string
+    set is disjoint from every other's, and from the k-prefixes of
+    shiftable continuations (computed from the canonical items: for a
+    shift on [t], the strings [t · FIRSTk-1(rest)] in context).
+
+    For k = 1 this agrees with {!Lalr.is_lalr1} (tested). *)
+
+val smallest_k : ?limit:int -> Lalr_automaton.Lr0.t -> int option
+(** The least [k ≤ limit] (default 3) for which the grammar is
+    LALR(k), or [None]. *)

@@ -1,0 +1,1 @@
+lib/grammar/analysis.ml: Array Format Grammar Lalr_sets Symbol

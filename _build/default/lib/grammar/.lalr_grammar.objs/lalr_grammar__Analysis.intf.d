@@ -1,0 +1,1 @@
+lib/grammar/analysis.mli: Format Grammar Lalr_sets Symbol

@@ -1,0 +1,1 @@
+lib/grammar/firstk.ml: Array Grammar Lalr_sets List Symbol

@@ -1,0 +1,1 @@
+lib/grammar/firstk.mli: Grammar Lalr_sets Symbol

@@ -1,0 +1,1 @@
+lib/grammar/grammar.ml: Array Format Hashtbl List Printf Symbol

@@ -1,0 +1,1 @@
+lib/grammar/menhir_reader.mli: Grammar

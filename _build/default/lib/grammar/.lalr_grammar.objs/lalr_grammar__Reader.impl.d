@@ -1,0 +1,1 @@
+lib/grammar/reader.ml: Array Buffer Filename Format Fun Grammar Hashtbl Int List Option Printf String

@@ -1,0 +1,1 @@
+lib/grammar/reader.mli: Format Grammar

@@ -1,0 +1,1 @@
+lib/grammar/transform.ml: Analysis Array Grammar Hashtbl Int Lalr_sets List Option Printf Symbol

@@ -1,0 +1,216 @@
+module Bitset = Lalr_sets.Bitset
+
+type t = {
+  grammar : Grammar.t;
+  nullable : bool array;
+  first : Bitset.t array;
+  follow : Bitset.t array;
+  productive : bool array;
+  reachable_t : bool array;
+  reachable_n : bool array;
+}
+
+let grammar a = a.grammar
+
+let compute_nullable (g : Grammar.t) =
+  let nullable = Array.make (Grammar.n_nonterminals g) false in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (p : Grammar.production) ->
+        if not nullable.(p.lhs) then
+          let all_nullable =
+            Array.for_all
+              (function Symbol.T _ -> false | Symbol.N n -> nullable.(n))
+              p.rhs
+          in
+          if all_nullable then begin
+            nullable.(p.lhs) <- true;
+            changed := true
+          end)
+      g.productions
+  done;
+  nullable
+
+let compute_first (g : Grammar.t) nullable =
+  let nt = Grammar.n_terminals g in
+  let first = Array.init (Grammar.n_nonterminals g) (fun _ -> Bitset.create nt) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (p : Grammar.production) ->
+        let into = first.(p.lhs) in
+        let rec go i =
+          if i < Array.length p.rhs then
+            match p.rhs.(i) with
+            | Symbol.T t ->
+                if not (Bitset.mem into t) then begin
+                  Bitset.add into t;
+                  changed := true
+                end
+            | Symbol.N n ->
+                if Bitset.union_into ~into first.(n) then changed := true;
+                if nullable.(n) then go (i + 1)
+        in
+        go 0)
+      g.productions
+  done;
+  first
+
+let compute_follow (g : Grammar.t) nullable first =
+  let nt = Grammar.n_terminals g in
+  let follow =
+    Array.init (Grammar.n_nonterminals g) (fun _ -> Bitset.create nt)
+  in
+  (* No seeding needed: production 0 is S' → S $, so $ flows into
+     FOLLOW(S) through the ordinary rules. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (p : Grammar.production) ->
+        let len = Array.length p.rhs in
+        for i = 0 to len - 1 do
+          match p.rhs.(i) with
+          | Symbol.T _ -> ()
+          | Symbol.N b ->
+              (* FIRST of the suffix after position i. *)
+              let rec go j suffix_nullable =
+                if j = len then suffix_nullable
+                else
+                  match p.rhs.(j) with
+                  | Symbol.T t ->
+                      if not (Bitset.mem follow.(b) t) then begin
+                        Bitset.add follow.(b) t;
+                        changed := true
+                      end;
+                      false
+                  | Symbol.N c ->
+                      if Bitset.union_into ~into:follow.(b) first.(c) then
+                        changed := true;
+                      if nullable.(c) then go (j + 1) suffix_nullable
+                      else false
+              in
+              let suffix_nullable = go (i + 1) true in
+              if suffix_nullable then
+                if Bitset.union_into ~into:follow.(b) follow.(p.lhs) then
+                  changed := true
+        done)
+      g.productions
+  done;
+  follow
+
+let compute_productive (g : Grammar.t) =
+  let productive = Array.make (Grammar.n_nonterminals g) false in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (p : Grammar.production) ->
+        if not productive.(p.lhs) then
+          let ok =
+            Array.for_all
+              (function Symbol.T _ -> true | Symbol.N n -> productive.(n))
+              p.rhs
+          in
+          if ok then begin
+            productive.(p.lhs) <- true;
+            changed := true
+          end)
+      g.productions
+  done;
+  productive
+
+let compute_reachable (g : Grammar.t) =
+  let reachable_t = Array.make (Grammar.n_terminals g) false in
+  let reachable_n = Array.make (Grammar.n_nonterminals g) false in
+  reachable_t.(0) <- true;
+  let rec visit n =
+    if not reachable_n.(n) then begin
+      reachable_n.(n) <- true;
+      Array.iter
+        (fun pid ->
+          let p = Grammar.production g pid in
+          Array.iter
+            (function
+              | Symbol.T t -> reachable_t.(t) <- true
+              | Symbol.N m -> visit m)
+            p.rhs)
+        (Grammar.productions_of g n)
+    end
+  in
+  visit 0;
+  (reachable_t, reachable_n)
+
+let compute g =
+  let nullable = compute_nullable g in
+  let first = compute_first g nullable in
+  let follow = compute_follow g nullable first in
+  let productive = compute_productive g in
+  let reachable_t, reachable_n = compute_reachable g in
+  { grammar = g; nullable; first; follow; productive; reachable_t; reachable_n }
+
+let nullable a n = a.nullable.(n)
+
+let nullable_symbol a = function
+  | Symbol.T _ -> false
+  | Symbol.N n -> a.nullable.(n)
+
+let nullable_sentence a rhs ~from ~upto =
+  let rec go i =
+    i >= upto
+    || (match rhs.(i) with
+       | Symbol.T _ -> false
+       | Symbol.N n -> a.nullable.(n) && go (i + 1))
+  in
+  go from
+
+let first a n = a.first.(n)
+
+let first_symbol a = function
+  | Symbol.T t -> Bitset.singleton (Grammar.n_terminals a.grammar) t
+  | Symbol.N n -> a.first.(n)
+
+let first_sentence a rhs ~from =
+  let acc = Bitset.create (Grammar.n_terminals a.grammar) in
+  let rec go i =
+    if i >= Array.length rhs then true
+    else
+      match rhs.(i) with
+      | Symbol.T t ->
+          Bitset.add acc t;
+          false
+      | Symbol.N n ->
+          ignore (Bitset.union_into ~into:acc a.first.(n));
+          if a.nullable.(n) then go (i + 1) else false
+  in
+  let nullable = go from in
+  (acc, nullable)
+
+let follow a n = a.follow.(n)
+let productive a n = a.productive.(n)
+
+let reachable a = function
+  | Symbol.T t -> a.reachable_t.(t)
+  | Symbol.N n -> a.reachable_n.(n)
+
+let is_reduced a =
+  Array.for_all (fun b -> b) a.productive
+  && Array.for_all (fun b -> b) a.reachable_n
+
+let pp ppf a =
+  let g = a.grammar in
+  let pp_term ppf t = Format.pp_print_string ppf (Grammar.terminal_name g t) in
+  Format.fprintf ppf "@[<v>";
+  for n = 0 to Grammar.n_nonterminals g - 1 do
+    Format.fprintf ppf "%-12s nullable=%-5b first=%a follow=%a@,"
+      (Grammar.nonterminal_name g n)
+      a.nullable.(n)
+      (Bitset.pp ~pp_elt:pp_term)
+      a.first.(n)
+      (Bitset.pp ~pp_elt:pp_term)
+      a.follow.(n)
+  done;
+  Format.fprintf ppf "@]"

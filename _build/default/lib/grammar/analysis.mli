@@ -1,0 +1,57 @@
+(** Classic grammar analyses: nullable, FIRST, FOLLOW.
+
+    These are substrates: [nullable] feeds the paper's [reads] and
+    [includes] relations; [FOLLOW] is the SLR(1) baseline approximation
+    that the paper's exact look-ahead sets refine. All terminal sets are
+    {!Lalr_sets.Bitset} over the grammar's terminal universe (including
+    terminal 0, the end marker). *)
+
+type t
+
+val compute : Grammar.t -> t
+(** Runs all fixpoints. Cost is a few passes over the grammar. *)
+
+val grammar : t -> Grammar.t
+
+val nullable : t -> int -> bool
+(** [nullable a n] is [true] iff nonterminal [n] ⇒* ε. *)
+
+val nullable_symbol : t -> Symbol.t -> bool
+(** Terminals are never nullable. *)
+
+val nullable_sentence : t -> Symbol.t array -> from:int -> upto:int -> bool
+(** Whether the slice [from, upto) of the sentential form derives ε. *)
+
+val first : t -> int -> Lalr_sets.Bitset.t
+(** [first a n] is FIRST of nonterminal [n], ε excluded (query
+    {!nullable} separately). The returned set is owned by [t]; copy
+    before mutating. *)
+
+val first_symbol : t -> Symbol.t -> Lalr_sets.Bitset.t
+(** FIRST of a single symbol; for a terminal [t] this is [{t}]. *)
+
+val first_sentence :
+  t -> Symbol.t array -> from:int -> Lalr_sets.Bitset.t * bool
+(** [first_sentence a rhs ~from] is (FIRST, nullable?) of the suffix
+    [rhs.(from..)]. Freshly allocated. *)
+
+val follow : t -> int -> Lalr_sets.Bitset.t
+(** SLR FOLLOW of nonterminal [n]. FOLLOW of the augmented start is
+    empty (its production already ends in [$]); FOLLOW of the user start
+    symbol contains [$] via production 0. Owned by [t]. *)
+
+val productive : t -> int -> bool
+(** Whether nonterminal [n] derives at least one terminal string. *)
+
+val reachable : t -> Symbol.t -> bool
+(** Whether the symbol occurs in some sentential form derivable from the
+    augmented start. *)
+
+val is_reduced : t -> bool
+(** All nonterminals productive and reachable. Unused terminals are
+    permitted — they legitimately occur as [%prec]-only tokens and as
+    leftovers of {!Transform.reduce}, and they cost the LR constructions
+    nothing. *)
+
+val pp : Format.formatter -> t -> unit
+(** Tabular dump of nullable/FIRST/FOLLOW per nonterminal. *)

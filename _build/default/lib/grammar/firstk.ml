@@ -1,0 +1,63 @@
+module Kstring = Lalr_sets.Kstring
+module KSet = Kstring.Set
+
+type t = { k : int; grammar : Grammar.t; first : KSet.t array }
+
+let k t = t.k
+let grammar t = t.grammar
+let nonterminal t n = t.first.(n)
+
+let sentence_sets ~k first (rhs : Symbol.t array) ~from =
+  (* FIRSTk(rhs.(from..)) = FIRSTk(s_from) ⊕k ... ⊕k FIRSTk(s_last),
+     folding left with early exit once every string reaches length k. *)
+  let n = Array.length rhs in
+  let rec go i acc =
+    if i >= n then acc
+    else if KSet.for_all (fun s -> List.length s >= k) acc then acc
+    else
+      let next =
+        match rhs.(i) with
+        | Symbol.T t -> KSet.singleton [ t ]
+        | Symbol.N m -> first.(m)
+      in
+      go (i + 1) (Kstring.concat_sets k acc next)
+  in
+  go from Kstring.epsilon
+
+let compute ~k (g : Grammar.t) =
+  if k < 0 then invalid_arg "Firstk.compute: negative k";
+  let n_nt = Grammar.n_nonterminals g in
+  let first = Array.make n_nt KSet.empty in
+  if k = 0 then
+    (* FIRST0 of anything is {ε}. *)
+    Array.iteri (fun i _ -> first.(i) <- Kstring.epsilon) first
+  else begin
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun (p : Grammar.production) ->
+          (* Concatenate current approximations along the rhs. Only
+             symbols whose FIRSTk is still empty block the production
+             entirely (no string derivable yet). *)
+          let blocked =
+            Array.exists
+              (function
+                | Symbol.T _ -> false
+                | Symbol.N m -> KSet.is_empty first.(m))
+              p.rhs
+          in
+          if not blocked then begin
+            let set = sentence_sets ~k first p.rhs ~from:0 in
+            let merged = KSet.union first.(p.lhs) set in
+            if not (KSet.equal merged first.(p.lhs)) then begin
+              first.(p.lhs) <- merged;
+              changed := true
+            end
+          end)
+        g.productions
+    done
+  end;
+  { k; grammar = g; first }
+
+let sentence t rhs ~from = sentence_sets ~k:t.k t.first rhs ~from

@@ -1,0 +1,27 @@
+(** FIRSTk sets — length-≤k prefixes of terminal strings derivable from
+    symbols and sentential forms. The k-generalisation of
+    {!Analysis.first}; substrate for the LALR(k) extension. *)
+
+module Kstring = Lalr_sets.Kstring
+
+type t
+
+val compute : k:int -> Grammar.t -> t
+(** Fixpoint over the productions. [k = 0] gives [{ε}] everywhere;
+    raises [Invalid_argument] on negative [k]. For [k = 1] the sets
+    agree with {!Analysis.first}/{!Analysis.nullable} (a test pins
+    this). Cost grows quickly with [k] — intended for small k (≤ 4). *)
+
+val k : t -> int
+val grammar : t -> Grammar.t
+
+val nonterminal : t -> int -> Kstring.Set.t
+(** FIRSTk of a nonterminal. Contains strings shorter than [k] iff the
+    nonterminal derives a terminal string shorter than [k] (the empty
+    string for nullable ones). *)
+
+val sentence : t -> Symbol.t array -> from:int -> Kstring.Set.t
+(** FIRSTk of the suffix [rhs.(from..)], by k-truncated concatenation
+    of the member FIRSTk sets. Assumes a reduced grammar (like all LR
+    machinery here): with unproductive members the early-exit
+    concatenation could over-approximate. *)

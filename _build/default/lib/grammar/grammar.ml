@@ -1,0 +1,243 @@
+type assoc = Left | Right | Nonassoc
+
+type production = {
+  id : int;
+  lhs : int;
+  rhs : Symbol.t array;
+  prec : (int * assoc) option;
+}
+
+type t = {
+  name : string;
+  terminal_names : string array;
+  nonterminal_names : string array;
+  productions : production array;
+  by_lhs : int array array;
+  start : int;
+  terminal_prec : (int * assoc) option array;
+}
+
+let eof_name = "$"
+
+let make ?(name = "grammar") ?(prec = []) ~terminals ~start ~rules () =
+  if rules = [] then invalid_arg "Grammar.make: no rules";
+  (* Terminal table: $ first, then declarations in order. *)
+  List.iter
+    (fun t ->
+      if t = eof_name then
+        invalid_arg "Grammar.make: \"$\" is reserved for end-of-input")
+    terminals;
+  let terminal_names = Array.of_list (eof_name :: terminals) in
+  let tmap = Hashtbl.create 64 in
+  Array.iteri
+    (fun i n ->
+      if Hashtbl.mem tmap n then
+        invalid_arg (Printf.sprintf "Grammar.make: duplicate terminal %S" n);
+      Hashtbl.add tmap n i)
+    terminal_names;
+  (* Nonterminal table: augmented start first, then lhs in order of first
+     appearance. *)
+  let nt_order = ref [] in
+  let ntmap = Hashtbl.create 64 in
+  (* The augmented start needs a name not already taken by a terminal or
+     by any rule's left-hand side. *)
+  let lhs_names = List.map (fun (l, _, _) -> l) rules in
+  let augmented =
+    let rec fresh candidate =
+      if Hashtbl.mem tmap candidate || List.mem candidate lhs_names then
+        fresh (candidate ^ "'")
+      else candidate
+    in
+    fresh (start ^ "'")
+  in
+  Hashtbl.add ntmap augmented 0;
+  nt_order := [ augmented ];
+  let declare_nt n =
+    if Hashtbl.mem tmap n then
+      invalid_arg
+        (Printf.sprintf "Grammar.make: %S is both a terminal and an lhs" n);
+    if not (Hashtbl.mem ntmap n) then begin
+      Hashtbl.add ntmap n (List.length !nt_order);
+      nt_order := !nt_order @ [ n ]
+    end
+  in
+  List.iter (fun (lhs, _, _) -> declare_nt lhs) rules;
+  let nonterminal_names = Array.of_list !nt_order in
+  let start_id =
+    match Hashtbl.find_opt ntmap start with
+    | Some i -> i
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Grammar.make: start symbol %S has no rule" start)
+  in
+  (* Precedence levels, lowest first, as in yacc. *)
+  let terminal_prec = Array.make (Array.length terminal_names) None in
+  List.iteri
+    (fun level (a, names) ->
+      List.iter
+        (fun n ->
+          match Hashtbl.find_opt tmap n with
+          | Some i ->
+              if terminal_prec.(i) <> None then
+                invalid_arg
+                  (Printf.sprintf
+                     "Grammar.make: terminal %S declared in two precedence \
+                      levels"
+                     n);
+              terminal_prec.(i) <- Some (level + 1, a)
+          | None ->
+              invalid_arg
+                (Printf.sprintf
+                   "Grammar.make: precedence declaration for unknown \
+                    terminal %S"
+                   n))
+        names)
+    prec;
+  let resolve n =
+    match Hashtbl.find_opt tmap n with
+    | Some i -> Symbol.T i
+    | None -> (
+        match Hashtbl.find_opt ntmap n with
+        | Some i -> Symbol.N i
+        | None ->
+            invalid_arg (Printf.sprintf "Grammar.make: unknown symbol %S" n))
+  in
+  let default_prec rhs =
+    (* Rightmost terminal with a declared precedence. *)
+    let p = ref None in
+    Array.iter
+      (function
+        | Symbol.T i -> ( match terminal_prec.(i) with Some _ as s -> p := s | None -> ())
+        | Symbol.N _ -> ())
+      rhs;
+    !p
+  in
+  let user_productions =
+    List.mapi
+      (fun i (lhs, rhs_names, prec_override) ->
+        let rhs = Array.of_list (List.map resolve rhs_names) in
+        let prec =
+          match prec_override with
+          | None -> default_prec rhs
+          | Some n -> (
+              match Hashtbl.find_opt tmap n with
+              | Some ti -> (
+                  match terminal_prec.(ti) with
+                  | Some _ as s -> s
+                  | None ->
+                      invalid_arg
+                        (Printf.sprintf
+                           "Grammar.make: %%prec terminal %S has no declared \
+                            precedence"
+                           n))
+              | None ->
+                  invalid_arg
+                    (Printf.sprintf "Grammar.make: unknown %%prec terminal %S"
+                       n))
+        in
+        { id = i + 1; lhs = Hashtbl.find ntmap lhs; rhs; prec })
+      rules
+  in
+  let p0 =
+    { id = 0; lhs = 0; rhs = [| Symbol.N start_id; Symbol.eof |]; prec = None }
+  in
+  let productions = Array.of_list (p0 :: user_productions) in
+  let by_lhs_lists = Array.make (Array.length nonterminal_names) [] in
+  Array.iter
+    (fun p -> by_lhs_lists.(p.lhs) <- p.id :: by_lhs_lists.(p.lhs))
+    productions;
+  let by_lhs =
+    Array.map (fun l -> Array.of_list (List.rev l)) by_lhs_lists
+  in
+  {
+    name;
+    terminal_names;
+    nonterminal_names;
+    productions;
+    by_lhs;
+    start = start_id;
+    terminal_prec;
+  }
+
+let n_terminals g = Array.length g.terminal_names
+let n_nonterminals g = Array.length g.nonterminal_names
+let n_productions g = Array.length g.productions
+let terminal_name g i = g.terminal_names.(i)
+let nonterminal_name g i = g.nonterminal_names.(i)
+
+let symbol_name g = function
+  | Symbol.T i -> terminal_name g i
+  | Symbol.N i -> nonterminal_name g i
+
+let production g i = g.productions.(i)
+let productions_of g a = g.by_lhs.(a)
+
+let find_terminal g n =
+  let rec go i =
+    if i = Array.length g.terminal_names then None
+    else if g.terminal_names.(i) = n then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let find_nonterminal g n =
+  let rec go i =
+    if i = Array.length g.nonterminal_names then None
+    else if g.nonterminal_names.(i) = n then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let find_symbol g n =
+  match find_terminal g n with
+  | Some i -> Some (Symbol.T i)
+  | None -> (
+      match find_nonterminal g n with
+      | Some i -> Some (Symbol.N i)
+      | None -> None)
+
+let rhs_length g i = Array.length g.productions.(i).rhs
+
+let symbols_count g =
+  Array.fold_left
+    (fun acc p -> acc + 1 + Array.length p.rhs)
+    0 g.productions
+
+let pp_production g ppf p =
+  Format.fprintf ppf "%s →" (nonterminal_name g p.lhs);
+  if Array.length p.rhs = 0 then Format.fprintf ppf " ε"
+  else Array.iter (fun s -> Format.fprintf ppf " %s" (symbol_name g s)) p.rhs
+
+let pp_item g ppf prod dot =
+  let p = g.productions.(prod) in
+  Format.fprintf ppf "%s →" (nonterminal_name g p.lhs);
+  Array.iteri
+    (fun i s ->
+      if i = dot then Format.fprintf ppf " .";
+      Format.fprintf ppf " %s" (symbol_name g s))
+    p.rhs;
+  if dot = Array.length p.rhs then Format.fprintf ppf " ."
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>grammar %s@," g.name;
+  Format.fprintf ppf "terminals:";
+  Array.iteri
+    (fun i n -> if i > 0 then Format.fprintf ppf " %s" n)
+    g.terminal_names;
+  Format.fprintf ppf "@,start: %s@," (nonterminal_name g g.start);
+  Array.iter
+    (fun p -> Format.fprintf ppf "%3d: %a@," p.id (pp_production g) p)
+    g.productions;
+  Format.fprintf ppf "@]"
+
+let equal_structure a b =
+  a.terminal_names = b.terminal_names
+  && a.nonterminal_names = b.nonterminal_names
+  && a.start = b.start
+  && Array.length a.productions = Array.length b.productions
+  && Array.for_all2
+       (fun (p : production) (q : production) ->
+         p.lhs = q.lhs
+         && Array.length p.rhs = Array.length q.rhs
+         && Array.for_all2 Symbol.equal p.rhs q.rhs)
+       a.productions b.productions

@@ -1,0 +1,91 @@
+(** Context-free grammars, augmented and interned.
+
+    Construction (via {!make} or the {!Builder} front ends) always
+    augments the user grammar with
+
+    {v production 0:   S' → start $ v}
+
+    following the paper's convention: the end marker appears as an
+    ordinary terminal transition out of the state reached on the start
+    symbol, so [$] enters the look-ahead computation through [DR] with no
+    special cases. *)
+
+type assoc = Left | Right | Nonassoc
+
+type production = {
+  id : int;
+  lhs : int;  (** nonterminal id *)
+  rhs : Symbol.t array;
+  prec : (int * assoc) option;
+      (** Precedence level used for conflict resolution: that of the
+          rightmost terminal with declared precedence, unless overridden
+          at construction time ([%prec]). *)
+}
+
+type t = private {
+  name : string;
+  terminal_names : string array;  (** index 0 is ["$"] *)
+  nonterminal_names : string array;  (** index 0 is the augmented start *)
+  productions : production array;  (** index 0 is [S' → start $] *)
+  by_lhs : int array array;
+      (** [by_lhs.(a)] lists ids of productions with lhs [a], ascending. *)
+  start : int;  (** the user's start nonterminal id *)
+  terminal_prec : (int * assoc) option array;
+}
+
+val make :
+  ?name:string ->
+  ?prec:(assoc * string list) list ->
+  terminals:string list ->
+  start:string ->
+  rules:(string * string list * string option) list ->
+  unit ->
+  t
+(** [make ~terminals ~start ~rules ()] builds and augments a grammar.
+
+    Nonterminals are the left-hand sides occurring in [rules]; any
+    right-hand-side name that is neither a declared terminal nor a
+    left-hand side is an error. Each rule is
+    [(lhs, rhs_names, prec_override)] where [prec_override] names a
+    terminal whose precedence the production inherits ([%prec]).
+    [prec] lists precedence declarations from lowest to highest level,
+    as in yacc's [%left]/[%right]/[%nonassoc].
+
+    Raises [Invalid_argument] on: unknown symbols, duplicate terminal
+    declarations, a terminal named ["$"] or used as an lhs, an unknown
+    [start], or an empty rule set. *)
+
+val n_terminals : t -> int
+val n_nonterminals : t -> int
+val n_productions : t -> int
+
+val terminal_name : t -> int -> string
+val nonterminal_name : t -> int -> string
+val symbol_name : t -> Symbol.t -> string
+
+val production : t -> int -> production
+val productions_of : t -> int -> int array
+(** Production ids with the given lhs. *)
+
+val find_terminal : t -> string -> int option
+val find_nonterminal : t -> string -> int option
+val find_symbol : t -> string -> Symbol.t option
+
+val rhs_length : t -> int -> int
+
+val symbols_count : t -> int
+(** Total grammar size |G| = Σ (1 + |rhs|) over all productions — the
+    size measure used in the paper's complexity discussion. *)
+
+val pp_production : t -> Format.formatter -> production -> unit
+(** [lhs → x y z] using symbol names; empty rhs prints [ε]. *)
+
+val pp_item : t -> Format.formatter -> int -> int -> unit
+(** [pp_item g ppf prod dot] prints the dotted production
+    [lhs → x . y z]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Full listing: terminals, precedences, productions. *)
+
+val equal_structure : t -> t -> bool
+(** Same symbol tables and productions (ignores [name]). *)

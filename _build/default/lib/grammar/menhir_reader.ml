@@ -1,0 +1,407 @@
+(* A dedicated lexer/parser for the Menhir .mly subset. It shares the
+   error type with Reader so callers handle one exception. *)
+
+type lexer = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;
+}
+
+let error lx message =
+  raise (Reader.Error { line = lx.line; col = lx.pos - lx.bol + 1; message })
+
+let peek lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let peek2 lx =
+  if lx.pos + 1 < String.length lx.src then Some lx.src.[lx.pos + 1] else None
+
+let advance lx =
+  (match peek lx with
+  | Some '\n' ->
+      lx.line <- lx.line + 1;
+      lx.bol <- lx.pos + 1
+  | _ -> ());
+  lx.pos <- lx.pos + 1
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+(* Skip whitespace, the three comment syntaxes, and OCaml-type
+   annotations in angle brackets are handled at the token level. *)
+let rec skip_space lx =
+  match peek lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_space lx
+  | Some '/' when peek2 lx = Some '/' ->
+      while peek lx <> None && peek lx <> Some '\n' do
+        advance lx
+      done;
+      skip_space lx
+  | Some '/' when peek2 lx = Some '*' ->
+      advance lx;
+      advance lx;
+      let rec go () =
+        match (peek lx, peek2 lx) with
+        | None, _ -> error lx "unterminated /* comment"
+        | Some '*', Some '/' ->
+            advance lx;
+            advance lx
+        | Some _, _ ->
+            advance lx;
+            go ()
+      in
+      go ();
+      skip_space lx
+  | Some '(' when peek2 lx = Some '*' ->
+      advance lx;
+      advance lx;
+      (* OCaml comments nest. *)
+      let depth = ref 1 in
+      let rec go () =
+        match (peek lx, peek2 lx) with
+        | None, _ -> error lx "unterminated (* comment"
+        | Some '(', Some '*' ->
+            advance lx;
+            advance lx;
+            incr depth;
+            go ()
+        | Some '*', Some ')' ->
+            advance lx;
+            advance lx;
+            decr depth;
+            if !depth > 0 then go ()
+        | Some _, _ ->
+            advance lx;
+            go ()
+      in
+      go ();
+      skip_space lx
+  | _ -> ()
+
+let skip_braced lx =
+  (* positioned on '{'; skips the balanced action, tolerating nested
+     braces (strings inside actions with unbalanced braces are out of
+     scope for this subset). *)
+  let depth = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match peek lx with
+    | None -> error lx "unterminated { action }"
+    | Some '{' ->
+        incr depth;
+        advance lx
+    | Some '}' ->
+        decr depth;
+        advance lx;
+        if !depth = 0 then continue := false
+    | Some _ -> advance lx
+  done
+
+let skip_angle lx =
+  (* positioned on '<'; skips an OCaml type annotation to the matching
+     '>'; nested angles can occur in functor paths rarely — handle
+     flat. *)
+  advance lx;
+  let continue = ref true in
+  while !continue do
+    match peek lx with
+    | None -> error lx "unterminated <type>"
+    | Some '>' ->
+        advance lx;
+        continue := false
+    | Some _ -> advance lx
+  done
+
+type token =
+  | IDENT of string
+  | COLON
+  | SEMI
+  | PIPE
+  | EQUALS
+  | SEPARATOR
+  | KW of string  (* token, left, right, nonassoc, start, type, prec, ... *)
+  | EOF_TOK
+
+let rec next lx =
+  skip_space lx;
+  match peek lx with
+  | None -> EOF_TOK
+  | Some ':' ->
+      advance lx;
+      COLON
+  | Some ';' ->
+      advance lx;
+      SEMI
+  | Some '|' ->
+      advance lx;
+      PIPE
+  | Some '=' ->
+      advance lx;
+      EQUALS
+  | Some '{' ->
+      skip_braced lx;
+      next lx
+  | Some '<' ->
+      skip_angle lx;
+      next lx
+  | Some '%' -> (
+      advance lx;
+      match peek lx with
+      | Some '%' ->
+          advance lx;
+          SEPARATOR
+      | Some '{' ->
+          (* OCaml header %{ ... %} *)
+          advance lx;
+          let rec go () =
+            match (peek lx, peek2 lx) with
+            | None, _ -> error lx "unterminated %{ header"
+            | Some '%', Some '}' ->
+                advance lx;
+                advance lx
+            | Some _, _ ->
+                advance lx;
+                go ()
+          in
+          go ();
+          next lx
+      | Some c when is_ident_start c ->
+          let start = lx.pos in
+          while
+            match peek lx with Some c -> is_ident_char c | None -> false
+          do
+            advance lx
+          done;
+          KW (String.sub lx.src start (lx.pos - start))
+      | _ -> error lx "stray '%'")
+  | Some c when is_ident_start c ->
+      let start = lx.pos in
+      while match peek lx with Some c -> is_ident_char c | None -> false do
+        advance lx
+      done;
+      IDENT (String.sub lx.src start (lx.pos - start))
+  | Some ('(' | ')' | '?' | '+' | '*' | ',') ->
+      error lx
+        "parameterised rules and ?/+/* shorthands are not supported by this \
+         subset"
+  | Some c -> error lx (Printf.sprintf "unexpected character %C" c)
+
+type state = { lx : lexer; mutable cur : token }
+
+let shift st = st.cur <- next st.lx
+let serr st message = error st.lx message
+
+let of_string ?(name = "grammar") src =
+  let lx = { src; pos = 0; line = 1; bol = 0 } in
+  let st = { lx; cur = EOF_TOK } in
+  shift st;
+  let tokens = ref [] in
+  let start = ref None in
+  let prec = ref [] in
+  (* declarations *)
+  let rec decls () =
+    match st.cur with
+    | KW "token" ->
+        shift st;
+        let rec names () =
+          match st.cur with
+          | IDENT s ->
+              tokens := s :: !tokens;
+              shift st;
+              names ()
+          | _ -> ()
+        in
+        names ();
+        decls ()
+    | KW (("left" | "right" | "nonassoc") as kw) ->
+        shift st;
+        let assoc =
+          match kw with
+          | "left" -> Grammar.Left
+          | "right" -> Grammar.Right
+          | _ -> Grammar.Nonassoc
+        in
+        let rec names acc =
+          match st.cur with
+          | IDENT s ->
+              shift st;
+              names (s :: acc)
+          | _ -> List.rev acc
+        in
+        prec := (assoc, names []) :: !prec;
+        decls ()
+    | KW "start" -> (
+        shift st;
+        match st.cur with
+        | IDENT s ->
+            if !start = None then start := Some s;
+            shift st;
+            decls ()
+        | _ -> serr st "expected a nonterminal after %start")
+    | KW ("type" | "on_error_reduce") ->
+        shift st;
+        (* consume the symbols it mentions *)
+        let rec names () =
+          match st.cur with
+          | IDENT _ ->
+              shift st;
+              names ()
+          | _ -> ()
+        in
+        names ();
+        decls ()
+    | KW ("inline" | "parameter" | "public") ->
+        serr st "%inline/%parameter rules are not supported by this subset"
+    | KW other -> serr st (Printf.sprintf "unknown declaration %%%s" other)
+    | SEPARATOR -> shift st
+    | _ -> serr st "expected a declaration or '%%'"
+  in
+  decls ();
+  (* rules *)
+  let rules = ref [] in
+  let declared_tokens = Hashtbl.create 32 in
+  List.iter (fun t -> Hashtbl.replace declared_tokens t ()) !tokens;
+  (* Menhir does not require ';' between rules, so a production ends
+     when an IDENT is immediately followed by ':' — that IDENT is the
+     next rule's name. [parse_production] returns it when seen. *)
+  let parse_production lhs =
+    let rhs = ref [] in
+    let prec_override = ref None in
+    let next_lhs = ref None in
+    let rec go () =
+      match st.cur with
+      | IDENT s -> (
+          shift st;
+          match st.cur with
+          | EQUALS -> (
+              (* producer binding  x = symbol  *)
+              shift st;
+              match st.cur with
+              | IDENT sym ->
+                  shift st;
+                  rhs := sym :: !rhs;
+                  go ()
+              | _ -> serr st "expected a symbol after '='")
+          | COLON ->
+              (* rule boundary: s was the next rule's name *)
+              shift st;
+              next_lhs := Some s
+          | _ ->
+              rhs := s :: !rhs;
+              go ())
+      | KW "prec" -> (
+          shift st;
+          match st.cur with
+          | IDENT s ->
+              prec_override := Some s;
+              shift st;
+              go ()
+          | _ -> serr st "expected a terminal after %prec")
+      | PIPE | SEMI | EOF_TOK -> ()
+      | COLON ->
+          serr st "unexpected ':' (parameterised or new-syntax rules?)"
+      | _ -> serr st "unexpected token in production"
+    in
+    go ();
+    rules := (lhs, List.rev !rhs, !prec_override) :: !rules;
+    !next_lhs
+  in
+  (* Parses one rule given its name (':' already consumed); returns the
+     name of the next rule when the boundary was detected inline. *)
+  let parse_rule_body lhs =
+    (* leading | is allowed *)
+    (match st.cur with PIPE -> shift st | _ -> ());
+    let rec alts () =
+      match parse_production lhs with
+      | Some next -> Some next
+      | None -> (
+          match st.cur with
+          | PIPE ->
+              shift st;
+              alts ()
+          | SEMI ->
+              shift st;
+              None
+          | _ -> None)
+    in
+    alts ()
+  in
+  let parse_first_rule () =
+    match st.cur with
+    | IDENT lhs -> (
+        shift st;
+        match st.cur with
+        | COLON ->
+            shift st;
+            parse_rule_body lhs
+        | _ -> serr st "expected ':' after rule name")
+    | _ -> serr st "expected a rule"
+  in
+  if st.cur = EOF_TOK then serr st "no rules";
+  let carried = ref (parse_first_rule ()) in
+  let continue = ref true in
+  while !continue do
+    match !carried with
+    | Some lhs -> carried := parse_rule_body lhs
+    | None ->
+        if st.cur = EOF_TOK || st.cur = SEPARATOR then continue := false
+        else carried := parse_first_rule ()
+  done;
+  let rules = List.rev !rules in
+  let start =
+    match !start with
+    | Some s -> s
+    | None -> ( match rules with (lhs, _, _) :: _ -> lhs | [] -> assert false)
+  in
+  (* Strip a conventional explicit EOF: a terminal that ends every
+     start production and occurs nowhere else. *)
+  let ends_all_start_rules t =
+    let start_rules = List.filter (fun (l, _, _) -> l = start) rules in
+    start_rules <> []
+    && List.for_all
+         (fun (_, rhs, _) ->
+           match List.rev rhs with last :: _ -> last = t | [] -> false)
+         start_rules
+  in
+  let occurrences t =
+    List.fold_left
+      (fun acc (_, rhs, _) ->
+        acc + List.length (List.filter (fun s -> s = t) rhs))
+      0 rules
+  in
+  let eof_candidates =
+    List.filter
+      (fun t ->
+        ends_all_start_rules t
+        && occurrences t
+           = List.length (List.filter (fun (l, _, _) -> l = start) rules))
+      !tokens
+  in
+  let rules, tokens =
+    match eof_candidates with
+    | t :: _ ->
+        ( List.map
+            (fun (l, rhs, p) ->
+              if l = start then
+                match List.rev rhs with
+                | last :: rev_rest when last = t -> (l, List.rev rev_rest, p)
+                | _ -> (l, rhs, p)
+              else (l, rhs, p))
+            rules,
+          List.filter (fun tok -> tok <> t) (List.rev !tokens) )
+    | [] -> (rules, List.rev !tokens)
+  in
+  Grammar.make ~name ~prec:(List.rev !prec) ~terminals:tokens ~start ~rules ()
+
+let of_file path =
+  let ic = open_in_bin path in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string ~name:(Filename.remove_extension (Filename.basename path)) src

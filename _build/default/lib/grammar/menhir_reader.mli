@@ -1,0 +1,29 @@
+(** Reader for (a useful subset of) Menhir's [.mly] format, so grammars
+    written for Menhir or ocamlyacc can be analysed directly.
+
+    Supported:
+    - [%token] declarations, with or without [<ocaml type>] payloads;
+    - [%left] / [%right] / [%nonassoc] (lowest level first, as in yacc);
+    - [%start] (the [<type>] annotation is accepted and ignored);
+    - [%type] and [%on_error_reduce] declarations (ignored);
+    - rules in the old syntax: [name: prod | prod ...] with an optional
+      trailing [;]; empty productions; [%prec TOKEN];
+    - semantic actions [{ ... }] with arbitrary nesting (skipped);
+    - producer bindings [x = symbol] (the binding is dropped);
+    - OCaml headers [%{ ... %}] (skipped) and comments [(* ... *)],
+      [/* ... */] and [//].
+
+    Not supported (rejected with a clear error): parameterised rules
+    [rule(X)], [%inline], the new [let]-syntax, and the standard-library
+    shorthands [symbol?], [symbol+], [symbol*], [separated_list(...)].
+
+    If every production of the start symbol ends with the same terminal
+    and that terminal occurs nowhere else (the conventional explicit
+    [EOF]), it is stripped: this library's grammars are implicitly
+    augmented with an end marker already (see {!Grammar.make}). *)
+
+val of_string : ?name:string -> string -> Grammar.t
+(** Raises {!Reader.Error} on lexical/syntax errors and
+    [Invalid_argument] on semantic ones. *)
+
+val of_file : string -> Grammar.t

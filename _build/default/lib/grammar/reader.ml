@@ -1,0 +1,431 @@
+type error = { line : int; col : int; message : string }
+
+exception Error of error
+
+let pp_error ppf e =
+  Format.fprintf ppf "%d:%d: %s" e.line e.col e.message
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | IDENT of string
+  | QUOTED of string  (* '+' or "+" : an implicitly declared terminal *)
+  | COLON
+  | SEMI
+  | PIPE
+  | SEPARATOR  (* %% *)
+  | KW_TOKEN
+  | KW_START
+  | KW_LEFT
+  | KW_RIGHT
+  | KW_NONASSOC
+  | KW_PREC
+  | KW_EMPTY
+  | EOF
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | QUOTED s -> Printf.sprintf "quoted terminal %S" s
+  | COLON -> "':'"
+  | SEMI -> "';'"
+  | PIPE -> "'|'"
+  | SEPARATOR -> "'%%'"
+  | KW_TOKEN -> "'%token'"
+  | KW_START -> "'%start'"
+  | KW_LEFT -> "'%left'"
+  | KW_RIGHT -> "'%right'"
+  | KW_NONASSOC -> "'%nonassoc'"
+  | KW_PREC -> "'%prec'"
+  | KW_EMPTY -> "'%empty'"
+  | EOF -> "end of input"
+
+type lexer = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of beginning of current line *)
+}
+
+let lexer_error lx message =
+  raise (Error { line = lx.line; col = lx.pos - lx.bol + 1; message })
+
+let peek_char lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance lx =
+  (match peek_char lx with
+  | Some '\n' ->
+      lx.line <- lx.line + 1;
+      lx.bol <- lx.pos + 1
+  | _ -> ());
+  lx.pos <- lx.pos + 1
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_space lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_space lx
+  | Some '/' when lx.pos + 1 < String.length lx.src -> (
+      match lx.src.[lx.pos + 1] with
+      | '/' ->
+          while peek_char lx <> None && peek_char lx <> Some '\n' do
+            advance lx
+          done;
+          skip_space lx
+      | '*' ->
+          advance lx;
+          advance lx;
+          let rec go () =
+            match peek_char lx with
+            | None -> lexer_error lx "unterminated comment"
+            | Some '*' when lx.pos + 1 < String.length lx.src
+                            && lx.src.[lx.pos + 1] = '/' ->
+                advance lx;
+                advance lx
+            | Some _ ->
+                advance lx;
+                go ()
+          in
+          go ();
+          skip_space lx
+      | _ -> ())
+  | _ -> ()
+
+(* A token together with the position where it starts. *)
+type ptoken = { tok : token; tline : int; tcol : int }
+
+let next_token lx =
+  skip_space lx;
+  let tline = lx.line and tcol = lx.pos - lx.bol + 1 in
+  let mk tok = { tok; tline; tcol } in
+  match peek_char lx with
+  | None -> mk EOF
+  | Some ':' ->
+      advance lx;
+      mk COLON
+  | Some ';' ->
+      advance lx;
+      mk SEMI
+  | Some '|' ->
+      advance lx;
+      mk PIPE
+  | Some ('\'' | '"') ->
+      let quote = Option.get (peek_char lx) in
+      advance lx;
+      let buf = Buffer.create 8 in
+      let rec go () =
+        match peek_char lx with
+        | None | Some '\n' -> lexer_error lx "unterminated quoted terminal"
+        | Some c when c = quote ->
+            advance lx;
+            if Buffer.length buf = 0 then
+              lexer_error lx "empty quoted terminal"
+        | Some c ->
+            Buffer.add_char buf c;
+            advance lx;
+            go ()
+      in
+      go ();
+      mk (QUOTED (Buffer.contents buf))
+  | Some '%' -> (
+      advance lx;
+      match peek_char lx with
+      | Some '%' ->
+          advance lx;
+          mk SEPARATOR
+      | Some c when is_ident_start c ->
+          let start = lx.pos in
+          while
+            match peek_char lx with
+            | Some c -> is_ident_char c
+            | None -> false
+          do
+            advance lx
+          done;
+          let kw = String.sub lx.src start (lx.pos - start) in
+          mk
+            (match kw with
+            | "token" -> KW_TOKEN
+            | "start" -> KW_START
+            | "left" -> KW_LEFT
+            | "right" -> KW_RIGHT
+            | "nonassoc" -> KW_NONASSOC
+            | "prec" -> KW_PREC
+            | "empty" -> KW_EMPTY
+            | _ -> lexer_error lx (Printf.sprintf "unknown directive %%%s" kw))
+      | _ -> lexer_error lx "stray '%'")
+  | Some c when is_ident_start c || is_digit c ->
+      let start = lx.pos in
+      while
+        match peek_char lx with Some c -> is_ident_char c | None -> false
+      do
+        advance lx
+      done;
+      mk (IDENT (String.sub lx.src start (lx.pos - start)))
+  | Some c -> lexer_error lx (Printf.sprintf "unexpected character %C" c)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type parser_state = { lx : lexer; mutable cur : ptoken }
+
+let syntax_error st message =
+  raise (Error { line = st.cur.tline; col = st.cur.tcol; message })
+
+let shift st = st.cur <- next_token st.lx
+
+let expect st tok what =
+  if st.cur.tok = tok then shift st
+  else
+    syntax_error st
+      (Printf.sprintf "expected %s but found %s" what
+         (token_to_string st.cur.tok))
+
+(* Accumulated declarations. *)
+type decls = {
+  mutable tokens : string list;  (* reversed *)
+  mutable start : string option;
+  mutable prec : (Grammar.assoc * string list) list;  (* reversed *)
+}
+
+let ident_list st what =
+  let rec go acc =
+    match st.cur.tok with
+    | IDENT s ->
+        shift st;
+        go (s :: acc)
+    | QUOTED s ->
+        shift st;
+        go (s :: acc)
+    | _ ->
+        if acc = [] then
+          syntax_error st
+            (Printf.sprintf "expected at least one %s but found %s" what
+               (token_to_string st.cur.tok));
+        List.rev acc
+  in
+  go []
+
+let parse_declarations st =
+  let d = { tokens = []; start = None; prec = [] } in
+  let rec go () =
+    match st.cur.tok with
+    | KW_TOKEN ->
+        shift st;
+        d.tokens <- List.rev_append (ident_list st "token name") d.tokens;
+        go ()
+    | KW_START -> (
+        shift st;
+        match st.cur.tok with
+        | IDENT s ->
+            if d.start <> None then
+              syntax_error st "duplicate %start declaration";
+            d.start <- Some s;
+            shift st;
+            go ()
+        | _ -> syntax_error st "expected a nonterminal name after %start")
+    | KW_LEFT ->
+        shift st;
+        d.prec <- (Grammar.Left, ident_list st "terminal") :: d.prec;
+        go ()
+    | KW_RIGHT ->
+        shift st;
+        d.prec <- (Grammar.Right, ident_list st "terminal") :: d.prec;
+        go ()
+    | KW_NONASSOC ->
+        shift st;
+        d.prec <- (Grammar.Nonassoc, ident_list st "terminal") :: d.prec;
+        go ()
+    | SEPARATOR -> shift st
+    | _ ->
+        syntax_error st
+          (Printf.sprintf "expected a declaration or '%%%%' but found %s"
+             (token_to_string st.cur.tok))
+  in
+  go ();
+  d
+
+(* Quoted terminals are implicitly declared; collect them during rule
+   parsing so Grammar.make sees a complete terminal list. *)
+let parse_rules st d =
+  let implicit : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let declared = Hashtbl.create 16 in
+  List.iter (fun t -> Hashtbl.replace declared t ()) d.tokens;
+  let note_quoted s =
+    if not (Hashtbl.mem declared s) then Hashtbl.replace implicit s ()
+  in
+  let rules = ref [] in
+  let parse_alternative lhs =
+    let rhs = ref [] in
+    let prec_override = ref None in
+    let rec go () =
+      match st.cur.tok with
+      | IDENT s ->
+          shift st;
+          rhs := s :: !rhs;
+          go ()
+      | QUOTED s ->
+          shift st;
+          note_quoted s;
+          rhs := s :: !rhs;
+          go ()
+      | KW_EMPTY ->
+          shift st;
+          if !rhs <> [] then
+            syntax_error st "%empty must be the whole alternative";
+          (match st.cur.tok with
+          | PIPE | SEMI -> ()
+          | _ -> syntax_error st "%empty must be the whole alternative")
+      | KW_PREC -> (
+          shift st;
+          match st.cur.tok with
+          | IDENT s | QUOTED s ->
+              if !prec_override <> None then
+                syntax_error st "duplicate %prec";
+              prec_override := Some s;
+              shift st;
+              go ()
+          | _ -> syntax_error st "expected a terminal after %prec")
+      | PIPE | SEMI -> ()
+      | _ ->
+          syntax_error st
+            (Printf.sprintf "unexpected %s in production"
+               (token_to_string st.cur.tok))
+    in
+    go ();
+    rules := (lhs, List.rev !rhs, !prec_override) :: !rules
+  in
+  let parse_rule () =
+    match st.cur.tok with
+    | IDENT lhs ->
+        shift st;
+        expect st COLON "':' after rule name";
+        parse_alternative lhs;
+        while st.cur.tok = PIPE do
+          shift st;
+          parse_alternative lhs
+        done;
+        expect st SEMI "';' at end of rule"
+    | _ ->
+        syntax_error st
+          (Printf.sprintf "expected a rule name but found %s"
+             (token_to_string st.cur.tok))
+  in
+  parse_rule ();
+  while st.cur.tok <> EOF do
+    parse_rule ()
+  done;
+  let implicit_tokens = Hashtbl.fold (fun s () acc -> s :: acc) implicit [] in
+  (List.rev !rules, List.sort String.compare implicit_tokens)
+
+let of_string ?(name = "grammar") src =
+  let lx = { src; pos = 0; line = 1; bol = 0 } in
+  let st = { lx; cur = { tok = EOF; tline = 1; tcol = 1 } } in
+  shift st;
+  let d = parse_declarations st in
+  let rules, implicit = parse_rules st d in
+  let start =
+    match d.start with
+    | Some s -> s
+    | None -> (
+        match rules with
+        | (lhs, _, _) :: _ -> lhs
+        | [] -> raise (Error { line = 1; col = 1; message = "no rules" }))
+  in
+  Grammar.make ~name
+    ~prec:(List.rev d.prec)
+    ~terminals:(List.rev d.tokens @ implicit)
+    ~start ~rules ()
+
+let of_file path =
+  let ic = open_in_bin path in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string ~name:(Filename.remove_extension (Filename.basename path)) src
+
+(* ------------------------------------------------------------------ *)
+(* Printer (round-trips through of_string)                            *)
+(* ------------------------------------------------------------------ *)
+
+let needs_quoting s =
+  not (String.length s > 0 && is_ident_start s.[0]
+       && String.for_all is_ident_char s)
+
+let print_symbol_name s =
+  if needs_quoting s then Printf.sprintf "%S" s else s
+
+let to_string (g : Grammar.t) =
+  let buf = Buffer.create 1024 in
+  let add = Buffer.add_string buf in
+  add "%token";
+  for t = 1 to Grammar.n_terminals g - 1 do
+    add " ";
+    add (print_symbol_name (Grammar.terminal_name g t))
+  done;
+  add "\n";
+  (* Precedence levels: group terminals by (level, assoc), ascending. *)
+  let levels = Hashtbl.create 8 in
+  Array.iteri
+    (fun t prec ->
+      match prec with
+      | Some (level, a) ->
+          let existing =
+            Option.value (Hashtbl.find_opt levels level) ~default:(a, [])
+          in
+          Hashtbl.replace levels level (a, t :: snd existing)
+      | None -> ())
+    g.terminal_prec;
+  let sorted =
+    Hashtbl.fold (fun level la acc -> (level, la) :: acc) levels []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  List.iter
+    (fun (_, (assoc, ts)) ->
+      add
+        (match assoc with
+        | Grammar.Left -> "%left"
+        | Grammar.Right -> "%right"
+        | Grammar.Nonassoc -> "%nonassoc");
+      List.iter
+        (fun t ->
+          add " ";
+          add (print_symbol_name (Grammar.terminal_name g t)))
+        (List.rev ts);
+      add "\n")
+    sorted;
+  add ("%start " ^ Grammar.nonterminal_name g g.start ^ "\n%%\n");
+  (* Productions grouped by lhs, skipping the augmented production 0. *)
+  for n = 1 to Grammar.n_nonterminals g - 1 do
+    let prods = Grammar.productions_of g n in
+    if Array.length prods > 0 then begin
+      add (Grammar.nonterminal_name g n);
+      add " :";
+      Array.iteri
+        (fun i pid ->
+          if i > 0 then add "\n  |";
+          let p = Grammar.production g pid in
+          if Array.length p.rhs = 0 then add " %empty"
+          else
+            Array.iter
+              (fun s ->
+                add " ";
+                add (print_symbol_name (Grammar.symbol_name g s)))
+              p.rhs)
+        prods;
+      add " ;\n"
+    end
+  done;
+  Buffer.contents buf

@@ -1,0 +1,54 @@
+(** Reader for a yacc/menhir-like grammar text format.
+
+    The format:
+
+    {v
+    /* C-style and */  // line comments
+    %token PLUS TIMES LPAREN RPAREN ID
+    %start expr
+    %left PLUS
+    %left TIMES
+    %%
+    expr   : expr PLUS term | term ;
+    term   : term TIMES factor | factor ;
+    factor : LPAREN expr RPAREN | ID ;
+    v}
+
+    - Declarations: [%token], [%start], [%left], [%right], [%nonassoc].
+      Precedence declarations order levels from lowest (first) to highest,
+      as in yacc.
+    - Rules follow the [%%] separator. Alternatives are separated by [|];
+      a rule ends with [;]. An empty alternative is written either as
+      nothing ([x : | y ;]) or explicitly as [%empty].
+    - A production may end with [%prec TERMINAL] to override its
+      precedence.
+    - Quoted atoms (['+'] or ["+"]) are terminals, implicitly declared on
+      first use.
+    - Identifiers are [[A-Za-z_][A-Za-z0-9_']*]; integers are also
+      accepted as symbol names.
+
+    The start symbol defaults to the lhs of the first rule when [%start]
+    is absent. *)
+
+type error = {
+  line : int;  (** 1-based *)
+  col : int;  (** 1-based *)
+  message : string;
+}
+
+exception Error of error
+
+val pp_error : Format.formatter -> error -> unit
+(** [line:col: message]. *)
+
+val of_string : ?name:string -> string -> Grammar.t
+(** Parses grammar text. Raises {!Error} on lexical or syntax errors and
+    [Invalid_argument] on semantic errors rejected by {!Grammar.make}
+    (unknown symbols, duplicate precedence, ...). *)
+
+val of_file : string -> Grammar.t
+(** Reads and parses a file; the grammar is named after the basename. *)
+
+val to_string : Grammar.t -> string
+(** Prints a grammar back in the input format, such that
+    [of_string (to_string g)] is structurally equal to [g]. *)

@@ -1,0 +1,20 @@
+type t = T of int | N of int
+
+let equal a b =
+  match (a, b) with
+  | T i, T j | N i, N j -> i = j
+  | T _, N _ | N _, T _ -> false
+
+let compare a b =
+  match (a, b) with
+  | T i, T j | N i, N j -> Int.compare i j
+  | T _, N _ -> -1
+  | N _, T _ -> 1
+
+let hash = function T i -> 2 * i | N i -> (2 * i) + 1
+let is_terminal = function T _ -> true | N _ -> false
+let is_nonterminal = function N _ -> true | T _ -> false
+let eof = T 0
+let start = N 0
+let pack = hash
+let unpack i = if i land 1 = 0 then T (i / 2) else N (i / 2)

@@ -1,0 +1,28 @@
+(** Grammar symbols.
+
+    Terminals and nonterminals are interned: a symbol is an index into the
+    owning grammar's name tables. Index [0] is reserved in both spaces —
+    terminal 0 is the end-of-input marker ["$"] and nonterminal 0 is the
+    augmented start symbol (the paper's [S']). *)
+
+type t =
+  | T of int  (** terminal, by id *)
+  | N of int  (** nonterminal, by id *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val is_terminal : t -> bool
+val is_nonterminal : t -> bool
+
+val eof : t
+(** [T 0], the end-of-input terminal ["$"] (the paper's ⊣). *)
+
+val start : t
+(** [N 0], the augmented start nonterminal. *)
+
+val pack : t -> int
+(** Injective encoding into [int], for flat tables: terminals map to even,
+    nonterminals to odd numbers. *)
+
+val unpack : int -> t

@@ -1,0 +1,199 @@
+(* Transformations rebuild the grammar through Grammar.make from symbol
+   names, so all invariants (augmentation, precedence resolution) are
+   re-established by construction. *)
+
+let prec_declarations (g : Grammar.t) =
+  (* Recover [%left]/[%right]/[%nonassoc] lines from terminal_prec. *)
+  let levels = Hashtbl.create 8 in
+  Array.iteri
+    (fun t prec ->
+      match prec with
+      | Some (level, a) ->
+          let _, ts =
+            Option.value (Hashtbl.find_opt levels level) ~default:(a, [])
+          in
+          Hashtbl.replace levels level (a, t :: ts)
+      | None -> ())
+    g.terminal_prec;
+  Hashtbl.fold (fun level la acc -> (level, la) :: acc) levels []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map (fun (_, (a, ts)) ->
+         (a, List.rev_map (Grammar.terminal_name g) ts))
+
+let user_terminals (g : Grammar.t) =
+  List.init (Grammar.n_terminals g - 1) (fun i ->
+      Grammar.terminal_name g (i + 1))
+
+(* Rebuild from a subset of user productions (given as ids). *)
+let rebuild (g : Grammar.t) rule_list =
+  Grammar.make ~name:g.name ~prec:(prec_declarations g)
+    ~terminals:(user_terminals g)
+    ~start:(Grammar.nonterminal_name g g.start)
+    ~rules:rule_list ()
+
+let rules_of_prod_ids (g : Grammar.t) ids =
+  List.map
+    (fun pid ->
+      let p = Grammar.production g pid in
+      ( Grammar.nonterminal_name g p.lhs,
+        Array.to_list (Array.map (Grammar.symbol_name g) p.rhs),
+        None ))
+    ids
+
+let reduce (g : Grammar.t) =
+  let a = Analysis.compute g in
+  if not (Analysis.productive a g.start) then
+    invalid_arg
+      (Printf.sprintf "Transform.reduce: grammar %s generates no string"
+         g.name);
+  (* Keep user productions whose symbols are all productive; then keep
+     those reachable from the start in the surviving rule set. *)
+  let productive_prods =
+    Array.to_list g.productions
+    |> List.filter (fun (p : Grammar.production) ->
+           p.id <> 0
+           && Analysis.productive a p.lhs
+           && Array.for_all
+                (function
+                  | Symbol.T _ -> true
+                  | Symbol.N n -> Analysis.productive a n)
+                p.rhs)
+    |> List.map (fun (p : Grammar.production) -> p.id)
+  in
+  let by_lhs = Hashtbl.create 32 in
+  List.iter
+    (fun pid ->
+      let p = Grammar.production g pid in
+      Hashtbl.replace by_lhs p.lhs
+        (pid :: Option.value (Hashtbl.find_opt by_lhs p.lhs) ~default:[]))
+    productive_prods;
+  let reachable = Hashtbl.create 32 in
+  let rec visit n =
+    if not (Hashtbl.mem reachable n) then begin
+      Hashtbl.replace reachable n ();
+      List.iter
+        (fun pid ->
+          let p = Grammar.production g pid in
+          Array.iter
+            (function Symbol.N m -> visit m | Symbol.T _ -> ())
+            p.rhs)
+        (Option.value (Hashtbl.find_opt by_lhs n) ~default:[])
+    end
+  in
+  visit g.start;
+  let kept =
+    List.filter
+      (fun pid -> Hashtbl.mem reachable (Grammar.production g pid).lhs)
+      productive_prods
+  in
+  rebuild g (rules_of_prod_ids g kept)
+
+let eliminate_epsilon (g : Grammar.t) =
+  let a = Analysis.compute g in
+  let seen = Hashtbl.create 64 in
+  let rules = ref [] in
+  let add_rule lhs rhs =
+    let key = (lhs, rhs) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      rules := (lhs, rhs, None) :: !rules
+    end
+  in
+  Array.iter
+    (fun (p : Grammar.production) ->
+      if p.id <> 0 then begin
+        let lhs = Grammar.nonterminal_name g p.lhs in
+        (* Enumerate all subsets keeping/omitting nullable members. *)
+        let rec expand i acc =
+          if i = Array.length p.rhs then begin
+            let rhs = List.rev acc in
+            if rhs <> [] then add_rule lhs rhs
+          end
+          else
+            let s = p.rhs.(i) in
+            let keep () =
+              expand (i + 1) (Grammar.symbol_name g s :: acc)
+            in
+            match s with
+            | Symbol.T _ -> keep ()
+            | Symbol.N n ->
+                keep ();
+                if Analysis.nullable a n then expand (i + 1) acc
+        in
+        expand 0 []
+      end)
+    g.productions;
+  let rules = List.rev !rules in
+  (* Nonterminals may have lost all their productions (pure-ε ones);
+     dropping their uses is exactly what the expansion above did, but a
+     start symbol with no rules is possible only if L(G) ⊆ {ε}. *)
+  let has_start_rule =
+    List.exists
+      (fun (lhs, _, _) -> lhs = Grammar.nonterminal_name g g.start)
+      rules
+  in
+  if not has_start_rule then
+    invalid_arg
+      "Transform.eliminate_epsilon: grammar generates only the empty string";
+  (* Some rhs names may refer to nonterminals that no longer have rules;
+     give them an impossible placeholder? No: such nonterminals derive
+     only ε, so every occurrence was also expanded with the symbol
+     omitted; drop the variants that still mention them. *)
+  let defined = Hashtbl.create 32 in
+  List.iter (fun (lhs, _, _) -> Hashtbl.replace defined lhs ()) rules;
+  let is_dead name =
+    Grammar.find_nonterminal g name <> None && not (Hashtbl.mem defined name)
+  in
+  let rules =
+    List.filter
+      (fun (_, rhs, _) -> not (List.exists is_dead rhs))
+      rules
+  in
+  rebuild g rules
+
+(* A ⇒+ A through unit-nullable chains: A derives B with everything else
+   in the production nullable, transitively back to A. *)
+let cyclic_nonterminals (g : Grammar.t) =
+  let a = Analysis.compute g in
+  let n = Grammar.n_nonterminals g in
+  (* Edge A -> B iff A → αBβ with α, β nullable. *)
+  let successors v =
+    Array.to_list (Grammar.productions_of g v)
+    |> List.concat_map (fun pid ->
+           let p = Grammar.production g pid in
+           let len = Array.length p.rhs in
+           List.filteri (fun _ _ -> true)
+             (List.concat
+                (List.init len (fun i ->
+                     match p.rhs.(i) with
+                     | Symbol.T _ -> []
+                     | Symbol.N b ->
+                         if
+                           Analysis.nullable_sentence a p.rhs ~from:0 ~upto:i
+                           && Analysis.nullable_sentence a p.rhs ~from:(i + 1)
+                                ~upto:len
+                         then [ b ]
+                         else []))))
+  in
+  Lalr_sets.Tarjan.nontrivial ~n ~successors |> List.concat |> List.sort_uniq Int.compare
+
+let left_recursive_nonterminals (g : Grammar.t) =
+  let a = Analysis.compute g in
+  let n = Grammar.n_nonterminals g in
+  (* Edge A -> B iff A → αBβ with α nullable. *)
+  let successors v =
+    Array.to_list (Grammar.productions_of g v)
+    |> List.concat_map (fun pid ->
+           let p = Grammar.production g pid in
+           let rec collect i acc =
+             if i = Array.length p.rhs then List.rev acc
+             else
+               match p.rhs.(i) with
+               | Symbol.T _ -> List.rev acc
+               | Symbol.N b ->
+                   if Analysis.nullable a b then collect (i + 1) (b :: acc)
+                   else List.rev (b :: acc)
+           in
+           collect 0 [])
+  in
+  Lalr_sets.Tarjan.nontrivial ~n ~successors |> List.concat |> List.sort_uniq Int.compare

@@ -1,0 +1,27 @@
+(** Grammar transformations.
+
+    The LR constructions assume a reduced grammar (every nonterminal
+    productive and reachable); {!reduce} establishes that. The remaining
+    transformations are standard normalisations, useful when preparing
+    third-party grammars for the benchmark suite. All transformations
+    preserve terminal names and precedence declarations. *)
+
+val reduce : Grammar.t -> Grammar.t
+(** Removes unproductive nonterminals, then unreachable symbols (in that
+    order — reachability must be recomputed after dropping unproductive
+    rules). Raises [Invalid_argument] if the start symbol itself is
+    unproductive, i.e. the grammar generates no terminal string. Returns
+    a structurally equal grammar when already reduced. *)
+
+val eliminate_epsilon : Grammar.t -> Grammar.t
+(** Returns a grammar without ε-productions generating [L(G) \ {ε}]:
+    for every production, all variants obtained by omitting nullable
+    members are added, minus duplicates and minus new ε-productions. *)
+
+val cyclic_nonterminals : Grammar.t -> int list
+(** Nonterminals [A] with a derivation [A ⇒+ A]. A grammar containing
+    such a cycle is ambiguous and not LR(k) for any k. *)
+
+val left_recursive_nonterminals : Grammar.t -> int list
+(** Nonterminals [A] with [A ⇒+ Aα]. Harmless for LR, fatal for LL —
+    reported by the CLI for grammar hygiene. *)

@@ -1,0 +1,1 @@
+lib/report/codegen.ml: Array Buffer Format Grammar Lalr_automaton Lalr_tables List Printf String

@@ -1,0 +1,1 @@
+lib/report/codegen.mli: Format Lalr_tables

@@ -1,0 +1,1 @@
+lib/report/counterexample.ml: Array Format Grammar Lalr_automaton Lalr_tables List Printf Queue String Symbol

@@ -1,0 +1,1 @@
+lib/report/counterexample.mli: Format Grammar Lalr_automaton Lalr_tables Symbol

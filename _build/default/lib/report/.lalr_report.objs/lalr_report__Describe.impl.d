@@ -1,0 +1,1 @@
+lib/report/describe.ml: Array Counterexample Format Grammar Lalr_automaton Lalr_core Lalr_sets Lalr_tables List

@@ -1,0 +1,1 @@
+lib/report/describe.mli: Format Grammar Lalr_automaton Lalr_core Lalr_tables

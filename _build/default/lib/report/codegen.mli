@@ -1,0 +1,32 @@
+(** Standalone-parser code generation — the "generator" in parser
+    generator.
+
+    Emits a self-contained OCaml module (no dependency on this library)
+    with the grammar's tables baked in as flat arrays plus a minimal
+    shift-reduce engine:
+
+    {v
+    module P = <generated>
+    P.parse [P.id; P.plus; P.id]
+      : (P.tree, P.error) result
+    v}
+
+    The generated module exposes one [int] constant per terminal (its
+    token id, named after the terminal where it is a valid OCaml
+    identifier, [tok_<id>] otherwise), a [tree] type mirroring
+    {!Lalr_runtime.Tree.t} with production ids, [names] tables, and a
+    [parse : int list -> (tree, error) result].
+
+    Actions are encoded in the classic packed scheme: positive =
+    shift(state+1), negative = reduce(-prod-1), 0 = error, max_int =
+    accept; the emitted engine agrees move-for-move with
+    {!Lalr_runtime.Driver} on the same tables (test property — the
+    generated source is compiled and executed by the test suite when a
+    working [ocamlfind] is present). *)
+
+val emit : Format.formatter -> Lalr_tables.Tables.t -> unit
+(** Writes the complete [.ml] source. The table's unresolved conflicts
+    (already settled shift-over-reduce / earlier-rule as usual) are
+    reproduced as comments at the top. *)
+
+val emit_to_string : Lalr_tables.Tables.t -> string

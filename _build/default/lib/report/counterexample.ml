@@ -1,0 +1,97 @@
+module Lr0 = Lalr_automaton.Lr0
+module Tables = Lalr_tables.Tables
+
+type example = { prefix : string list; at : string; state : int }
+
+(* Minimal terminal yield per nonterminal, by the usual fixpoint on
+   yield length (lists memoised per grammar call — callers cache the
+   closure if they need many). *)
+let min_yields (g : Grammar.t) =
+  let n = Grammar.n_nonterminals g in
+  let infinity = max_int / 2 in
+  let len = Array.make n infinity in
+  let yield = Array.make n [] in
+  let sat_add a b = if a >= infinity || b >= infinity then infinity else a + b in
+  let rhs_len (rhs : Symbol.t array) =
+    Array.fold_left
+      (fun acc s ->
+        match s with
+        | Symbol.T _ -> sat_add acc 1
+        | Symbol.N m -> sat_add acc len.(m))
+      0 rhs
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (p : Grammar.production) ->
+        let l = rhs_len p.rhs in
+        if l < len.(p.lhs) then begin
+          len.(p.lhs) <- l;
+          yield.(p.lhs) <-
+            Array.to_list p.rhs
+            |> List.concat_map (function
+                 | Symbol.T t -> [ Grammar.terminal_name g t ]
+                 | Symbol.N m -> yield.(m));
+          changed := true
+        end)
+      g.productions
+  done;
+  fun nt ->
+    if len.(nt) >= infinity then
+      invalid_arg
+        (Printf.sprintf "Counterexample.min_yield: %s is unproductive"
+           (Grammar.nonterminal_name g nt))
+    else yield.(nt)
+
+let min_yield g nt = min_yields g nt
+
+let shortest_prefix (a : Lr0.t) target =
+  let n = Lr0.n_states a in
+  let prev = Array.make n None in
+  let visited = Array.make n false in
+  visited.(0) <- true;
+  let q = Queue.create () in
+  Queue.add 0 q;
+  let found = ref (target = 0) in
+  while (not !found) && not (Queue.is_empty q) do
+    let s = Queue.pop q in
+    List.iter
+      (fun (sym, t) ->
+        if not visited.(t) then begin
+          visited.(t) <- true;
+          prev.(t) <- Some (s, sym);
+          if t = target then found := true;
+          Queue.add t q
+        end)
+      (Lr0.transitions a s)
+  done;
+  if not (!found || target = 0) then
+    invalid_arg "Counterexample.shortest_prefix: unreachable state";
+  let rec walk s acc =
+    match prev.(s) with
+    | None -> acc
+    | Some (p, sym) -> walk p (sym :: acc)
+  in
+  walk target []
+
+let conflict tables (c : Tables.conflict) =
+  let a = Tables.automaton tables in
+  let g = Lr0.grammar a in
+  let yields = min_yields g in
+  let prefix =
+    shortest_prefix a c.Tables.state
+    |> List.concat_map (function
+         | Symbol.T t -> [ Grammar.terminal_name g t ]
+         | Symbol.N n -> yields n)
+  in
+  {
+    prefix;
+    at = Grammar.terminal_name g c.Tables.terminal;
+    state = c.Tables.state;
+  }
+
+let pp ppf e =
+  Format.fprintf ppf "%s . %s   (state %d)"
+    (String.concat " " e.prefix)
+    e.at e.state

@@ -1,0 +1,34 @@
+(** Conflict counterexamples: a concrete input prefix that drives the
+    parser into a conflicted state.
+
+    For a conflict in state [q] on terminal [t], the example is the
+    shortest symbol path from state 0 to [q] (BFS over the automaton)
+    with every nonterminal expanded to its minimal terminal yield,
+    followed by [t]. On the dangling-else grammar this produces
+
+    {v if expr then other . else v}
+
+    — the minimal input that puts the parser in front of the choice.
+    (It reaches the conflicted state, not necessarily a sentence where
+    both actions can still succeed: full feasible-counterexample search
+    à la Menhir is out of scope.) *)
+
+type example = {
+  prefix : string list;  (** terminal names consumed before the choice *)
+  at : string;  (** the conflicted terminal *)
+  state : int;
+}
+
+val min_yield : Grammar.t -> int -> string list
+(** A minimal-length terminal string derivable from the nonterminal.
+    Raises [Invalid_argument] on an unproductive nonterminal. *)
+
+val shortest_prefix : Lalr_automaton.Lr0.t -> int -> Symbol.t list
+(** Shortest (in symbols) transition path from state 0 to the state.
+    Raises [Invalid_argument] for unreachable states (cannot happen on
+    states of a built automaton). *)
+
+val conflict : Lalr_tables.Tables.t -> Lalr_tables.Tables.conflict -> example
+
+val pp : Format.formatter -> example -> unit
+(** [if expr then if expr then other . else   (state 7)]. *)

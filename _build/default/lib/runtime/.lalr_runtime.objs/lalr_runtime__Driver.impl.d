@@ -1,0 +1,1 @@
+lib/runtime/driver.ml: Array Format Grammar Lalr_automaton Lalr_tables List Result Token Tree

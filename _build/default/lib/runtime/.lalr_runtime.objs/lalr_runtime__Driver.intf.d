@@ -1,0 +1,1 @@
+lib/runtime/driver.mli: Format Grammar Lalr_tables Token Tree

@@ -1,0 +1,1 @@
+lib/runtime/sentence.ml: Array Grammar List Printf Random Symbol Token Tree

@@ -1,0 +1,1 @@
+lib/runtime/sentence.mli: Grammar Random Token Tree

@@ -1,0 +1,1 @@
+lib/runtime/token.ml: Format Grammar List Printf

@@ -1,0 +1,1 @@
+lib/runtime/token.mli: Format Grammar

@@ -1,0 +1,1 @@
+lib/runtime/tree.ml: Array Format Grammar List Symbol Token

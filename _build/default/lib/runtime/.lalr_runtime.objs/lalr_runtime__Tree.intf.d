@@ -1,0 +1,1 @@
+lib/runtime/tree.mli: Format Grammar Token

@@ -1,0 +1,57 @@
+(** The table-driven LR parser.
+
+    A standard shift-reduce engine over {!Lalr_tables.Tables}: a stack of
+    (state, tree) pairs, actions looked up by (state, next terminal).
+    Works with tables built from any look-ahead method, which is how the
+    test suite demonstrates behavioural equivalence of the methods (not
+    just set equality). *)
+
+type error = {
+  position : int;  (** 0-based index of the offending token *)
+  state : int;
+  found : Token.t;
+  expected : int list;
+      (** terminal ids with a non-[Error] action in [state], ascending *)
+}
+
+val pp_error : Grammar.t -> Format.formatter -> error -> unit
+
+val parse : Lalr_tables.Tables.t -> Token.t list -> (Tree.t, error) result
+(** Parses a token list (the end-of-input token is appended if absent;
+    tokens after an embedded eof are ignored). On success the result is
+    the tree rooted at the user start symbol.
+
+    Invariant: the tree's yield equals the consumed input, and
+    [Tree.validate] holds — both are exercised by property tests. *)
+
+val accepts : Lalr_tables.Tables.t -> Token.t list -> bool
+
+val parse_names :
+  Lalr_tables.Tables.t -> string list -> (Tree.t, error) result
+(** Convenience wrapper over {!Token.of_names}. *)
+
+val right_parse : Lalr_tables.Tables.t -> Token.t list -> (int list, error) result
+(** The sequence of productions reduced, in reduction order — the
+    reversed rightmost derivation that yacc-style parsers emit. *)
+
+(** {2 Error recovery}
+
+    Yacc-style panic mode. The grammar opts in by declaring a terminal
+    named ["error"] and using it in productions
+    ([stmt : error semicolon | ...]). On a syntax error the engine pops
+    states until one can shift [error], shifts it (as a leaf with lexeme
+    ["<error>"]), then discards input tokens until one is acceptable —
+    collecting every error instead of stopping at the first. *)
+
+type recovery_outcome = {
+  tree : Tree.t option;
+      (** [Some] when recovery reached accept; [None] when the input
+          was abandoned (no state could shift [error], or the end of
+          input arrived mid-panic). *)
+  errors : error list;  (** in input order; empty means a clean parse *)
+}
+
+val parse_with_recovery :
+  Lalr_tables.Tables.t -> Token.t list -> recovery_outcome
+(** Falls back to the behaviour of {!parse} (one error, no tree) when
+    the grammar has no ["error"] terminal. *)

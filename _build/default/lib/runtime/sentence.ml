@@ -1,0 +1,79 @@
+type t = {
+  grammar : Grammar.t;
+  min_height : int array;  (* nonterminal -> min derivation height *)
+  prod_height : int array;  (* production -> 1 + max child min-height *)
+}
+
+let infinity = max_int / 2
+
+let prepare g =
+  let n_nt = Grammar.n_nonterminals g in
+  let n_prods = Grammar.n_productions g in
+  let min_height = Array.make n_nt infinity in
+  let prod_height = Array.make n_prods infinity in
+  let height_of_rhs (rhs : Symbol.t array) =
+    Array.fold_left
+      (fun acc s ->
+        match s with
+        | Symbol.T _ -> max acc 1
+        | Symbol.N n -> max acc (min_height.(n) + 1))
+      1 rhs
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (p : Grammar.production) ->
+        let h = height_of_rhs p.rhs in
+        if h < prod_height.(p.id) then begin
+          prod_height.(p.id) <- h;
+          changed := true
+        end;
+        if h < min_height.(p.lhs) then begin
+          min_height.(p.lhs) <- h;
+          changed := true
+        end)
+      g.productions
+  done;
+  for n = 0 to n_nt - 1 do
+    if min_height.(n) >= infinity then
+      invalid_arg
+        (Printf.sprintf "Sentence.prepare: nonterminal %s is unproductive"
+           (Grammar.nonterminal_name g n))
+  done;
+  { grammar = g; min_height; prod_height }
+
+let min_height t n = t.min_height.(n)
+
+let pick_production t rng ~depth_left nt =
+  let g = t.grammar in
+  let candidates = Grammar.productions_of g nt in
+  if depth_left > 0 then
+    candidates.(Random.State.int rng (Array.length candidates))
+  else begin
+    (* Out of budget: restrict to height-minimising productions. *)
+    let best = t.min_height.(nt) in
+    let short =
+      Array.to_list candidates
+      |> List.filter (fun pid -> t.prod_height.(pid) = best)
+    in
+    List.nth short (Random.State.int rng (List.length short))
+  end
+
+let generate_tree ?(max_depth = 20) t rng =
+  let g = t.grammar in
+  let rec expand depth_left nt =
+    let pid = pick_production t rng ~depth_left nt in
+    let p = Grammar.production g pid in
+    let children =
+      Array.to_list p.rhs
+      |> List.map (function
+           | Symbol.T term ->
+               Tree.Leaf (Token.make ~lexeme:(Grammar.terminal_name g term) term)
+           | Symbol.N n -> expand (depth_left - 1) n)
+    in
+    Tree.Node { prod = pid; children }
+  in
+  expand max_depth g.start
+
+let generate ?max_depth t rng = Tree.yield (generate_tree ?max_depth t rng)

@@ -1,0 +1,31 @@
+(** Random sentence generation — derivations sampled from a grammar.
+
+    Drives the round-trip property tests (every generated sentence must
+    parse back to a tree with the same yield) and provides parser input
+    for throughput benches. Termination on recursive grammars is ensured
+    by precomputing, per nonterminal, the minimum derivation-tree height
+    and switching to height-minimising productions once a depth budget
+    is exhausted. *)
+
+type t
+
+val prepare : Grammar.t -> t
+(** Precomputes the min-height tables. The grammar must be reduced
+    (every nonterminal productive) — raises [Invalid_argument]
+    otherwise. *)
+
+val generate :
+  ?max_depth:int -> t -> Random.State.t -> Token.t list
+(** One random sentence from the user start symbol (no trailing eof
+    token). [max_depth] (default 20) bounds free recursion; beyond it
+    generation finishes along minimum-height productions, so sentences
+    are finite but unbounded in principle. *)
+
+val generate_tree :
+  ?max_depth:int -> t -> Random.State.t -> Tree.t
+(** The derivation tree whose yield {!generate} would return — useful
+    to compare parser output against an independently produced tree. *)
+
+val min_height : t -> int -> int
+(** The precomputed minimum derivation height of a nonterminal (a
+    nonterminal with a production of only terminals has height 1). *)

@@ -1,0 +1,19 @@
+type t = { terminal : int; lexeme : string }
+
+let make ?(lexeme = "") terminal = { terminal; lexeme }
+
+let of_names g names =
+  List.map
+    (fun name ->
+      match Grammar.find_terminal g name with
+      | Some t -> { terminal = t; lexeme = name }
+      | None ->
+          invalid_arg (Printf.sprintf "Token.of_names: unknown terminal %S" name))
+    names
+
+let eof = { terminal = 0; lexeme = "$" }
+
+let pp g ppf t =
+  let name = Grammar.terminal_name g t.terminal in
+  if t.lexeme = "" || t.lexeme = name then Format.pp_print_string ppf name
+  else Format.fprintf ppf "%s(%s)" name t.lexeme

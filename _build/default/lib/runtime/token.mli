@@ -1,0 +1,19 @@
+(** Tokens fed to the parser driver.
+
+    A token is a terminal id plus the matched text (the text is carried
+    into parse-tree leaves but never interpreted by the driver). *)
+
+type t = { terminal : int; lexeme : string }
+
+val make : ?lexeme:string -> int -> t
+(** [lexeme] defaults to [""]. *)
+
+val of_names : Grammar.t -> string list -> t list
+(** Resolves terminal names; the name is kept as the lexeme. Raises
+    [Invalid_argument] on an unknown terminal name. Convenient in tests
+    and examples: [Token.of_names g ["id"; "+"; "id"]]. *)
+
+val eof : t
+(** The end-of-input token (terminal 0). *)
+
+val pp : Grammar.t -> Format.formatter -> t -> unit

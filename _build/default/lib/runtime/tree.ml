@@ -1,0 +1,53 @@
+type t = Leaf of Token.t | Node of { prod : int; children : t list }
+
+let rec yield = function
+  | Leaf tok -> [ tok ]
+  | Node { children; _ } -> List.concat_map yield children
+
+let rec size = function
+  | Leaf _ -> 1
+  | Node { children; _ } ->
+      List.fold_left (fun acc c -> acc + size c) 1 children
+
+let rec depth = function
+  | Leaf _ -> 1
+  | Node { children; _ } ->
+      1 + List.fold_left (fun acc c -> max acc (depth c)) 0 children
+
+let rec production_count = function
+  | Leaf _ -> 0
+  | Node { children; _ } ->
+      List.fold_left (fun acc c -> acc + production_count c) 1 children
+
+let rec validate g = function
+  | Leaf _ -> true
+  | Node { prod; children } ->
+      let p = Grammar.production g prod in
+      List.length children = Array.length p.rhs
+      && List.for_all2
+           (fun expected child ->
+             match (expected, child) with
+             | Symbol.T t, Leaf tok -> tok.Token.terminal = t
+             | Symbol.N n, Node { prod = cp; _ } ->
+                 (Grammar.production g cp).lhs = n
+             | Symbol.T _, Node _ | Symbol.N _, Leaf _ -> false)
+           (Array.to_list p.rhs) children
+      && List.for_all (validate g) children
+
+let rec pp g ppf = function
+  | Leaf tok -> Format.fprintf ppf "%a" (Token.pp g) tok
+  | Node { prod; children } ->
+      let p = Grammar.production g prod in
+      Format.fprintf ppf "@[<v 2>%s" (Grammar.nonterminal_name g p.lhs);
+      if children = [] then Format.fprintf ppf " (ε)"
+      else
+        List.iter (fun c -> Format.fprintf ppf "@,%a" (pp g) c) children;
+      Format.fprintf ppf "@]"
+
+let rec pp_sexp g ppf = function
+  | Leaf tok -> Token.pp g ppf tok
+  | Node { prod; children } ->
+      let p = Grammar.production g prod in
+      Format.fprintf ppf "(%s" (Grammar.nonterminal_name g p.lhs);
+      List.iter (fun c -> Format.fprintf ppf " %a" (pp_sexp g) c) children;
+      Format.fprintf ppf ")"

@@ -1,0 +1,30 @@
+(** Concrete parse trees produced by the driver. *)
+
+type t =
+  | Leaf of Token.t
+  | Node of { prod : int; children : t list }
+      (** [children] are in left-to-right rhs order; an ε-reduction has
+          an empty list. *)
+
+val yield : t -> Token.t list
+(** The fringe, left to right. *)
+
+val size : t -> int
+(** Number of nodes (leaves and interior). *)
+
+val depth : t -> int
+(** Leaves have depth 1. *)
+
+val production_count : t -> int
+(** Interior nodes — the length of the right-parse (reversed rightmost
+    derivation) the tree encodes. *)
+
+val validate : Grammar.t -> t -> bool
+(** Every interior node's children match its production's rhs (leaf
+    terminals and node lhs in the right positions). *)
+
+val pp : Grammar.t -> Format.formatter -> t -> unit
+(** Indented multi-line rendering. *)
+
+val pp_sexp : Grammar.t -> Format.formatter -> t -> unit
+(** Compact [(E (T (F id)))] form. *)

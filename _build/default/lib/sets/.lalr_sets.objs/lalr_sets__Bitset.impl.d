@@ -1,0 +1,1 @@
+lib/sets/bitset.ml: Array Format Int List Printf Sys

@@ -1,0 +1,1 @@
+lib/sets/bitset.mli: Format

@@ -1,0 +1,1 @@
+lib/sets/digraph.ml: Array Bitset List

@@ -1,0 +1,1 @@
+lib/sets/digraph.mli: Bitset

@@ -1,0 +1,1 @@
+lib/sets/kstring.ml: Bitset Format List Stdlib

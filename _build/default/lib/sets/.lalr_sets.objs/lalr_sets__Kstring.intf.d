@@ -1,0 +1,1 @@
+lib/sets/kstring.mli: Bitset Format Stdlib

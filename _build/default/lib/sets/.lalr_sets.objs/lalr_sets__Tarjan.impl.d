@@ -1,0 +1,1 @@
+lib/sets/tarjan.ml: Array List

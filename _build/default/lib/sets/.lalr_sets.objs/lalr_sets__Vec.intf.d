@@ -1,0 +1,1 @@
+lib/sets/vec.mli:

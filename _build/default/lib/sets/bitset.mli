@@ -1,0 +1,78 @@
+(** Dynamic fixed-universe bitsets.
+
+    Terminal sets are the values flowing through the DeRemer–Pennello set
+    equations; every union in the Digraph traversal touches one of these, so
+    they are flat [int array]s with word-parallel operations.
+
+    A bitset is created for a universe [0 .. universe-1] fixed at creation
+    time; all binary operations require both operands to share a universe
+    size (checked with [assert]). *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [0..n-1]. [n] may be [0]. *)
+
+val universe : t -> int
+(** Size of the universe the set was created with. *)
+
+val copy : t -> t
+
+val singleton : int -> int -> t
+(** [singleton n i] is [{i}] over universe [0..n-1]. *)
+
+val of_list : int -> int list -> t
+
+val add : t -> int -> unit
+(** In-place insertion. Raises [Invalid_argument] if out of universe. *)
+
+val remove : t -> int -> unit
+
+val mem : t -> int -> bool
+
+val is_empty : t -> bool
+
+val cardinal : t -> int
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order compatible with [equal] (lexicographic on words). *)
+
+val subset : t -> t -> bool
+(** [subset a b] is [true] iff every element of [a] is in [b]. *)
+
+val disjoint : t -> t -> bool
+
+val union_into : into:t -> t -> bool
+(** [union_into ~into src] adds all elements of [src] to [into]; returns
+    [true] iff [into] changed. The changed-flag drives fixpoint loops. *)
+
+val union : t -> t -> t
+(** Functional union of two sets sharing a universe. *)
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+val clear : t -> unit
+
+val iter : (int -> unit) -> t -> unit
+(** Iterates elements in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val elements : t -> int list
+(** Elements in increasing order. *)
+
+val exists : (int -> bool) -> t -> bool
+
+val for_all : (int -> bool) -> t -> bool
+
+val choose : t -> int option
+(** Smallest element, if any. *)
+
+val pp : ?pp_elt:(Format.formatter -> int -> unit) -> Format.formatter -> t -> unit
+(** Prints [{e1, e2, ...}]; [pp_elt] defaults to decimal. *)
+
+val hash : t -> int

@@ -1,0 +1,121 @@
+module type LATTICE = sig
+  type t
+
+  val union_into : into:t -> t -> unit
+  val copy : t -> t
+end
+
+type stats = {
+  nodes : int;
+  edges_examined : int;
+  nontrivial_sccs : int list list;
+}
+
+module Make (L : LATTICE) = struct
+  (* The paper's Traverse procedure, made iterative. N.(x) holds 0 when x
+     is unvisited, the stack depth at first visit while x is active, and
+     infinity once x's component is complete. *)
+  let infinity = max_int
+
+  let run ~n ~successors ~init =
+    let numbering = Array.make n 0 in
+    let value = Array.make n None in
+    let stack = ref [] in
+    let depth = ref 0 in
+    let edges = ref 0 in
+    let sccs = ref [] in
+    let self_loop = Array.make n false in
+    let get_value x =
+      match value.(x) with Some v -> v | None -> assert false
+    in
+    let start x =
+      incr depth;
+      stack := x :: !stack;
+      numbering.(x) <- !depth;
+      value.(x) <- Some (L.copy (init x))
+    in
+    let finish x d =
+      (* x is the root of its SCC: pop members, aliasing x's value. *)
+      if numbering.(x) = d then begin
+        let vx = get_value x in
+        let members = ref [] in
+        let continue = ref true in
+        while !continue do
+          match !stack with
+          | [] -> assert false
+          | top :: tl ->
+              stack := tl;
+              decr depth;
+              numbering.(top) <- infinity;
+              members := top :: !members;
+              if top <> x then value.(top) <- Some vx;
+              if top = x then continue := false
+        done;
+        (match !members with
+        | [ v ] -> if self_loop.(v) then sccs := [ v ] :: !sccs
+        | _ :: _ :: _ -> sccs := !members :: !sccs
+        | [] -> assert false)
+      end
+    in
+    let visit x0 =
+      start x0;
+      (* Work stack entries: node, its depth at entry, remaining succs. *)
+      let work = ref [ (x0, !depth, ref (successors x0)) ] in
+      while !work <> [] do
+        match !work with
+        | [] -> ()
+        | (x, d, succs) :: rest -> (
+            match !succs with
+            | y :: tl ->
+                succs := tl;
+                incr edges;
+                if y = x then self_loop.(x) <- true;
+                if numbering.(y) = 0 then begin
+                  start y;
+                  work := (y, !depth, ref (successors y)) :: !work
+                end
+                else begin
+                  if numbering.(y) < numbering.(x) then
+                    numbering.(x) <- numbering.(y);
+                  L.union_into ~into:(get_value x) (get_value y)
+                end
+            | [] ->
+                finish x d;
+                work := rest;
+                (match rest with
+                | (parent, _, _) :: _ ->
+                    if numbering.(x) < numbering.(parent) then
+                      numbering.(parent) <- numbering.(x);
+                    L.union_into ~into:(get_value parent) (get_value x)
+                | [] -> ()))
+      done
+    in
+    for x = 0 to n - 1 do
+      if numbering.(x) = 0 then visit x
+    done;
+    let result = Array.init n get_value in
+    (result, { nodes = n; edges_examined = !edges; nontrivial_sccs = !sccs })
+end
+
+module BitsetLattice = struct
+  type t = Bitset.t
+
+  let union_into ~into v = ignore (Bitset.union_into ~into v)
+  let copy = Bitset.copy
+end
+
+module ForBitset = Make (BitsetLattice)
+
+let naive_fixpoint ~n ~successors ~init =
+  let value = Array.init n (fun x -> Bitset.copy (init x)) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for x = 0 to n - 1 do
+      List.iter
+        (fun y ->
+          if Bitset.union_into ~into:value.(x) value.(y) then changed := true)
+        (successors x)
+    done
+  done;
+  value

@@ -1,0 +1,63 @@
+(** The DeRemer–Pennello "Digraph" algorithm (paper §4).
+
+    Given a relation [R] on nodes [0..n-1] and an initial assignment [F'],
+    computes the least solution of
+
+    {v F(x) = F'(x) ∪ ⋃ { F(y) | x R y } v}
+
+    in a single Tarjan-style traversal: every strongly connected component
+    of [R] ends up sharing one set, and each edge is examined exactly once.
+    This is what makes both [Read] (over the [reads] relation) and [Follow]
+    (over [includes]) linear-time in practice.
+
+    The functor abstracts the join-semilattice of values so the identical
+    traversal computes terminal bitsets in production and list-based sets
+    in the test oracle. *)
+
+module type LATTICE = sig
+  type t
+
+  val union_into : into:t -> t -> unit
+  (** [union_into ~into v] makes [into] the join of [into] and [v],
+      in place. *)
+
+  val copy : t -> t
+  (** Digraph never aliases caller-supplied initial values; it copies. *)
+end
+
+type stats = {
+  nodes : int;
+  edges_examined : int;
+  nontrivial_sccs : int list list;
+      (** SCCs of [R] containing a cycle. For the [reads] relation a
+          nonempty list means the grammar is not LR(k) for any k
+          (paper, Theorem 9). *)
+}
+
+module Make (L : LATTICE) : sig
+  val run :
+    n:int ->
+    successors:(int -> int list) ->
+    init:(int -> L.t) ->
+    L.t array * stats
+  (** [run ~n ~successors ~init] solves the set equations. The result
+      array maps each node to its final value; nodes in one SCC share
+      (alias) a single value. [init] is called exactly once per node. *)
+end
+
+module ForBitset : sig
+  val run :
+    n:int ->
+    successors:(int -> int list) ->
+    init:(int -> Bitset.t) ->
+    Bitset.t array * stats
+end
+
+val naive_fixpoint :
+  n:int ->
+  successors:(int -> int list) ->
+  init:(int -> Bitset.t) ->
+  Bitset.t array
+(** Reference implementation: iterate the equations to a fixpoint by
+    repeated passes. Used as an oracle in tests and as the "naive" arm of
+    bench F3. *)

@@ -1,0 +1,41 @@
+module Set = Stdlib.Set.Make (struct
+  type t = int list
+
+  let compare = compare
+end)
+
+let rec truncate k xs =
+  if k = 0 then []
+  else match xs with [] -> [] | x :: tl -> x :: truncate (k - 1) tl
+
+let concat k x y =
+  let lx = List.length x in
+  if lx >= k then truncate k x else x @ truncate (k - lx) y
+
+let concat_sets k a b =
+  Set.fold
+    (fun x acc ->
+      if List.length x >= k then Set.add (truncate k x) acc
+      else Set.fold (fun y acc -> Set.add (concat k x y) acc) b acc)
+    a Set.empty
+
+let epsilon = Set.singleton []
+
+let of_terminals bits =
+  Bitset.fold (fun t acc -> Set.add [ t ] acc) bits Set.empty
+
+let pp ?(pp_elt = Format.pp_print_int) ppf set =
+  Format.fprintf ppf "{";
+  let first = ref true in
+  Set.iter
+    (fun s ->
+      if !first then first := false else Format.fprintf ppf ",@ ";
+      if s = [] then Format.fprintf ppf "ε"
+      else
+        List.iteri
+          (fun i t ->
+            if i > 0 then Format.fprintf ppf " ";
+            pp_elt ppf t)
+          s)
+    set;
+  Format.fprintf ppf "}"

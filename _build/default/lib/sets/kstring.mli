@@ -1,0 +1,37 @@
+(** Strings of at most [k] symbols and finite sets of them — the values
+    of the LALR(k) generalisation (paper §8).
+
+    A k-string is an [int list] of length ≤ k over terminal ids. A
+    string shorter than [k] means the input ends there (the end marker
+    is an ordinary terminal in this library, so complete look-aheads end
+    in it and only the augmented-start pseudo-string is really short).
+
+    The central operation is k-truncated concatenation
+    [x ⊕k y = first_k (x @ y)], lifted to sets. Sets are [Set.Make]
+    values; the lattice of such sets under union is finite for a fixed
+    terminal universe, which is what makes the LALR(k) fixpoint
+    terminate. *)
+
+module Set : Stdlib.Set.S with type elt = int list
+
+val truncate : int -> int list -> int list
+(** First [k] elements. *)
+
+val concat : int -> int list -> int list -> int list
+(** [concat k x y] is [x ⊕k y]. *)
+
+val concat_sets : int -> Set.t -> Set.t -> Set.t
+(** Pointwise [⊕k]: [{ x ⊕k y | x ∈ a, y ∈ b }]. A left operand
+    already of length [k] contributes [x] itself regardless of [b]
+    (but [b] must be nonempty for any result — ε-continuations are
+    represented by the explicit empty string [[]], not an empty set). *)
+
+val epsilon : Set.t
+(** [{ [] }], the unit of [concat_sets]. *)
+
+val of_terminals : Bitset.t -> Set.t
+(** Each terminal of the bitset as a length-1 string. *)
+
+val pp :
+  ?pp_elt:(Format.formatter -> int -> unit) -> Format.formatter -> Set.t -> unit
+(** [{a b, c}] — strings space-separated inside, comma between. *)

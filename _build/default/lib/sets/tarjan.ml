@@ -1,0 +1,78 @@
+type result = { component : int array; components : int list array }
+
+(* Iterative Tarjan with an explicit work stack, so pathological graphs
+   (long chains in generated grammars) cannot overflow the OCaml stack.
+   SCCs complete in reverse topological order, matching the numbering
+   promised by the interface. *)
+let scc ~n ~successors =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let component = Array.make n (-1) in
+  let comps = ref [] in
+  let n_comps = ref 0 in
+  let push v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true
+  in
+  let pop_component root =
+    let members = ref [] in
+    let continue = ref true in
+    while !continue do
+      match !stack with
+      | [] -> assert false
+      | w :: tl ->
+          stack := tl;
+          on_stack.(w) <- false;
+          component.(w) <- !n_comps;
+          members := w :: !members;
+          if w = root then continue := false
+    done;
+    comps := !members :: !comps;
+    incr n_comps
+  in
+  let visit v =
+    push v;
+    let work = ref [ (v, ref (successors v)) ] in
+    while !work <> [] do
+      match !work with
+      | [] -> ()
+      | (u, succs) :: rest -> (
+          match !succs with
+          | w :: tl ->
+              succs := tl;
+              if index.(w) = -1 then begin
+                push w;
+                work := (w, ref (successors w)) :: !work
+              end
+              else if on_stack.(w) then
+                lowlink.(u) <- min lowlink.(u) index.(w)
+          | [] ->
+              if lowlink.(u) = index.(u) then pop_component u;
+              work := rest;
+              (match rest with
+              | (parent, _) :: _ ->
+                  lowlink.(parent) <- min lowlink.(parent) lowlink.(u)
+              | [] -> ()))
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then visit v
+  done;
+  let components = Array.make !n_comps [] in
+  List.iteri (fun i members -> components.(i) <- members) (List.rev !comps);
+  { component; components }
+
+let nontrivial ~n ~successors =
+  let { components; _ } = scc ~n ~successors in
+  let has_self_loop v = List.mem v (successors v) in
+  Array.to_list components
+  |> List.filter (function
+       | [] -> false
+       | [ v ] -> has_self_loop v
+       | _ :: _ :: _ -> true)

@@ -1,0 +1,22 @@
+(** Tarjan's strongly-connected-components algorithm.
+
+    Used for diagnostics (detecting cycles in the [reads] and [includes]
+    relations) and as a test oracle for {!Digraph}, which fuses SCC
+    detection with the set-union traversal. *)
+
+type result = {
+  component : int array;
+      (** [component.(v)] is the SCC index of node [v]. Components are
+          numbered in reverse topological order: if there is an edge from
+          SCC [a] to SCC [b] (with [a <> b]) then [a > b]. *)
+  components : int list array;
+      (** [components.(c)] lists the members of SCC [c]. *)
+}
+
+val scc : n:int -> successors:(int -> int list) -> result
+(** [scc ~n ~successors] computes the SCCs of the directed graph with
+    nodes [0..n-1]. *)
+
+val nontrivial : n:int -> successors:(int -> int list) -> int list list
+(** The SCCs that contain a cycle: either ≥2 nodes, or a single node with
+    a self-loop. Empty iff the graph is acyclic. *)

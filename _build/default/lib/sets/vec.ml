@@ -1,0 +1,49 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let length t = t.len
+
+let check t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec: index out of bounds"
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i v =
+  check t i;
+  t.data.(i) <- v
+
+let grow t v =
+  let cap = Array.length t.data in
+  let data = Array.make (max 8 (2 * cap)) v in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t v =
+  if t.len = Array.length t.data then grow t v;
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1;
+  t.len - 1
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  iter (fun v -> acc := f !acc v) t;
+  !acc
+
+let to_array t = Array.sub t.data 0 t.len
+
+let of_list l =
+  let t = create () in
+  List.iter (fun v -> ignore (push t v)) l;
+  t

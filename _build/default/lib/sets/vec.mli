@@ -1,0 +1,21 @@
+(** Growable arrays.
+
+    The canonical-collection constructions (LR(0) and LR(1)) discover
+    states while iterating over states already discovered; a growable
+    array is the natural store. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> int
+(** Appends and returns the index of the new element. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_array : 'a t -> 'a array
+val of_list : 'a list -> 'a t

@@ -1,0 +1,1 @@
+lib/suite/ada_subset.ml: Reader

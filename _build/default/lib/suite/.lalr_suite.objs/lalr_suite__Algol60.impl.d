@@ -1,0 +1,1 @@
+lib/suite/algol60.ml: Reader

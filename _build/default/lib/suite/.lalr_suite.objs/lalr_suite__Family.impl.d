@@ -1,0 +1,1 @@
+lib/suite/family.ml: Grammar List Printf

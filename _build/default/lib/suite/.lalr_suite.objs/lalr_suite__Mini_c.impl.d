@@ -1,0 +1,1 @@
+lib/suite/mini_c.ml: Reader

@@ -1,0 +1,1 @@
+lib/suite/mini_pascal.ml: Reader

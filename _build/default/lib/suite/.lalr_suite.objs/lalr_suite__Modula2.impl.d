@@ -1,0 +1,1 @@
+lib/suite/modula2.ml: Reader

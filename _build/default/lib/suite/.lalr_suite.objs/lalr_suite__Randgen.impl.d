@@ -1,0 +1,1 @@
+lib/suite/randgen.ml: Array Grammar Hashtbl List Printf QCheck Random Reader String Transform

@@ -1,0 +1,1 @@
+lib/suite/randgen.mli: Grammar QCheck Random

@@ -1,0 +1,1 @@
+lib/suite/registry.ml: Ada_subset Algol60 Classics Grammar Json Lazy List Mini_c Mini_pascal Modula2

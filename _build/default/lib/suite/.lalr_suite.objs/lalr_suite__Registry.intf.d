@@ -1,0 +1,1 @@
+lib/suite/registry.mli: Grammar Lazy

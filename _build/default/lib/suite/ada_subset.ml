@@ -1,0 +1,281 @@
+(* An Ada-83 subset. The paper's evaluation featured a preliminary Ada
+   grammar — at the time the largest practical stress test for LALR
+   generators. This subset keeps the constructs that make Ada grammars
+   big: package/subprogram structure, declarations, the full statement
+   language (if/case/loop with iteration schemes/block/exit/return),
+   and Ada's stratified expression grammar (logical / relational /
+   simple expression / term / factor / primary) with attributes,
+   aggregates and qualified names. *)
+
+let source =
+  {|
+%token identifier numeric_literal string_literal character_literal
+%token package_kw body_kw is_kw end_kw procedure_kw function_kw return_kw
+%token in_mode_kw out_kw
+%token type_kw subtype_kw constant_kw array_kw of_kw record_kw range_kw
+%token access_kw new_kw others_kw null_kw
+%token begin_kw declare_kw exception_kw when_kw
+%token if_kw then_kw elsif_kw else_kw case_kw loop_kw while_kw for_kw
+%token exit_kw goto_kw raise_kw
+%token and_kw or_kw xor_kw not_kw mod_kw rem_kw abs_kw in_kw
+%token semicolon colon comma dot tick lparen rparen arrow assign dotdot
+%token eq neq lt le gt ge plus minus amp star slash starstar bar ltlt gtgt
+%start compilation
+%%
+
+compilation : compilation_unit | compilation compilation_unit ;
+
+compilation_unit : package_declaration
+                 | package_body
+                 | subprogram_declaration
+                 | subprogram_body ;
+
+package_declaration
+  : package_kw identifier is_kw declarative_part end_kw semicolon
+  | package_kw identifier is_kw declarative_part end_kw identifier semicolon ;
+
+package_body
+  : package_kw body_kw identifier is_kw declarative_part begin_kw
+      sequence_of_statements end_kw semicolon
+  | package_kw body_kw identifier is_kw declarative_part end_kw semicolon ;
+
+subprogram_declaration : subprogram_specification semicolon ;
+
+subprogram_specification
+  : procedure_kw identifier
+  | procedure_kw identifier lparen parameter_list rparen
+  | function_kw designator return_kw name
+  | function_kw designator lparen parameter_list rparen return_kw name ;
+
+designator : identifier | string_literal ;
+
+parameter_list : parameter_specification
+               | parameter_list semicolon parameter_specification ;
+
+parameter_specification
+  : identifier_list colon mode name
+  | identifier_list colon mode name assign expression ;
+
+mode : %empty | in_mode_kw | in_mode_kw out_kw | out_kw ;
+
+identifier_list : identifier | identifier_list comma identifier ;
+
+subprogram_body
+  : subprogram_specification is_kw declarative_part begin_kw
+      sequence_of_statements end_kw semicolon
+  | subprogram_specification is_kw declarative_part begin_kw
+      sequence_of_statements exception_kw exception_handler_list end_kw semicolon ;
+
+declarative_part : %empty | declarative_part declarative_item ;
+
+declarative_item : object_declaration
+                 | type_declaration
+                 | subtype_declaration
+                 | subprogram_declaration
+                 | subprogram_body
+                 | package_declaration ;
+
+object_declaration
+  : identifier_list colon subtype_indication semicolon
+  | identifier_list colon constant_kw subtype_indication semicolon
+  | identifier_list colon subtype_indication assign expression semicolon
+  | identifier_list colon constant_kw subtype_indication assign expression semicolon ;
+
+type_declaration : type_kw identifier is_kw type_definition semicolon ;
+
+subtype_declaration : subtype_kw identifier is_kw subtype_indication semicolon ;
+
+/* Constrained subtypes carry only range constraints here: the
+   index-constraint form (string(1..5)) is syntactically identical to a
+   call and is resolved semantically in real Ada — out of scope for a
+   pure grammar study. */
+subtype_indication : name | name range_constraint ;
+
+range_constraint : range_kw range_spec ;
+
+range_spec : simple_expression dotdot simple_expression | name tick identifier ;
+
+index_constraint : lparen discrete_range_list rparen ;
+
+discrete_range_list : discrete_range | discrete_range_list comma discrete_range ;
+
+discrete_range : subtype_indication | simple_expression dotdot simple_expression ;
+
+type_definition : enumeration_type_definition
+                | array_type_definition
+                | record_type_definition
+                | access_type_definition
+                | range_constraint
+                | new_kw subtype_indication ;
+
+enumeration_type_definition : lparen enumeration_literal_list rparen ;
+
+enumeration_literal_list : enumeration_literal
+                         | enumeration_literal_list comma enumeration_literal ;
+
+enumeration_literal : identifier | character_literal ;
+
+array_type_definition
+  : array_kw index_constraint of_kw subtype_indication
+  | array_kw lparen index_subtype_list rparen of_kw subtype_indication ;
+
+index_subtype_list : index_subtype_definition
+                   | index_subtype_list comma index_subtype_definition ;
+
+index_subtype_definition : name range_kw ltlt gtgt ;
+
+record_type_definition : record_kw component_list end_kw record_kw ;
+
+component_list : component_declaration
+               | component_list component_declaration
+               | null_kw semicolon ;
+
+component_declaration
+  : identifier_list colon subtype_indication semicolon
+  | identifier_list colon subtype_indication assign expression semicolon ;
+
+access_type_definition : access_kw subtype_indication ;
+
+sequence_of_statements : statement | sequence_of_statements statement ;
+
+statement : simple_statement | compound_statement ;
+
+simple_statement : null_kw semicolon
+                 | assignment_statement
+                 | procedure_call_statement
+                 | exit_statement
+                 | return_statement
+                 | goto_statement
+                 | raise_statement ;
+
+compound_statement : if_statement
+                   | case_statement
+                   | loop_statement
+                   | block_statement ;
+
+assignment_statement : name assign expression semicolon ;
+
+procedure_call_statement : name semicolon ;
+
+exit_statement : exit_kw semicolon
+              | exit_kw identifier semicolon
+              | exit_kw when_kw condition semicolon
+              | exit_kw identifier when_kw condition semicolon ;
+
+return_statement : return_kw semicolon | return_kw expression semicolon ;
+
+goto_statement : goto_kw identifier semicolon ;
+
+raise_statement : raise_kw semicolon | raise_kw name semicolon ;
+
+if_statement
+  : if_kw condition then_kw sequence_of_statements elsif_part else_part
+      end_kw if_kw semicolon ;
+
+elsif_part : %empty
+           | elsif_part elsif_kw condition then_kw sequence_of_statements ;
+
+else_part : %empty | else_kw sequence_of_statements ;
+
+condition : expression ;
+
+case_statement : case_kw expression is_kw case_alternative_list end_kw
+                   case_kw semicolon ;
+
+case_alternative_list : case_alternative
+                      | case_alternative_list case_alternative ;
+
+case_alternative : when_kw choice_list arrow sequence_of_statements ;
+
+choice_list : choice | choice_list bar choice ;
+
+choice : simple_expression
+       | simple_expression dotdot simple_expression
+       | others_kw ;
+
+loop_statement
+  : iteration_scheme loop_kw sequence_of_statements end_kw loop_kw semicolon ;
+
+iteration_scheme : %empty
+                 | while_kw condition
+                 | for_kw identifier in_kw discrete_range ;
+
+block_statement
+  : declare_kw declarative_part begin_kw sequence_of_statements end_kw semicolon
+  | begin_kw sequence_of_statements end_kw semicolon ;
+
+exception_handler_list : exception_handler
+                       | exception_handler_list exception_handler ;
+
+exception_handler : when_kw exception_choice_list arrow sequence_of_statements ;
+
+exception_choice_list : exception_choice
+                      | exception_choice_list bar exception_choice ;
+
+exception_choice : name | others_kw ;
+
+/* Names: selected components, indexing/calls, attributes. */
+name : identifier
+     | name dot identifier
+     | name dot string_literal
+     | name lparen expression_list rparen
+     | name tick identifier ;
+
+expression_list : expression | expression_list comma expression ;
+
+/* Ada's two-level logical expressions: operators must not be mixed
+   without parentheses, hence the stratified productions. */
+expression : relation
+           | expression and_kw relation
+           | expression or_kw relation
+           | expression xor_kw relation ;
+
+/* Membership tests take an explicit range; "x in subtype_name" needs
+   name-vs-expression disambiguation that is semantic in real Ada. */
+relation : simple_expression
+         | simple_expression relational_operator simple_expression
+         | simple_expression in_kw membership_range
+         | simple_expression not_kw in_kw membership_range ;
+
+membership_range : simple_expression dotdot simple_expression ;
+
+relational_operator : eq | neq | lt | le | gt | ge ;
+
+simple_expression : term
+                  | plus term
+                  | minus term
+                  | simple_expression adding_operator term ;
+
+adding_operator : plus | minus | amp ;
+
+term : factor | term multiplying_operator factor ;
+
+multiplying_operator : star | slash | mod_kw | rem_kw ;
+
+factor : primary
+       | primary starstar primary
+       | abs_kw primary
+       | not_kw primary ;
+
+primary : numeric_literal
+        | string_literal
+        | character_literal
+        | null_kw
+        | name
+        | lparen expression rparen
+        | aggregate
+        | new_kw name ;
+
+/* Aggregates: positional with at least two components (a single
+   positional component would be a parenthesized expression), or fully
+   named with at least one. */
+aggregate : lparen expression comma expression_list rparen
+          | lparen named_association_list rparen ;
+
+named_association_list : named_association
+                       | named_association_list comma named_association ;
+
+named_association : choice_list arrow expression ;
+|}
+
+let grammar = lazy (Reader.of_string ~name:"ada-subset" source)

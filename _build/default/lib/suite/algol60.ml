@@ -1,0 +1,207 @@
+(* An ALGOL 60 subset adapted from the Revised Report — ALGOL was a
+   standard subject in the paper's evaluation era. Blocks with
+   declarations (simple variables, arrays, switches, procedures), the
+   statement language (assignment with multiple left parts, goto,
+   conditional, for with all three for-list element forms, procedure
+   calls), and the expression hierarchy (arithmetic, relational,
+   Boolean with the full implication/equivalence ladder). The Report's
+   conditional-statement ambiguity is resolved by the usual
+   open/closed-statement factoring. *)
+
+let source =
+  {|
+%token begin_kw end_kw semicolon comma colon assign
+%token own_kw real_kw integer_kw boolean_kw array_kw switch_kw procedure_kw
+%token value_kw label_kw string_kw
+%token goto_kw if_kw then_kw else_kw for_kw do_kw step_kw until_kw while_kw
+%token identifier number string_lit true_kw false_kw
+%token plus minus times slash div_kw power
+%token lt le eq ge gt ne
+%token equiv implies or_kw and_kw not_kw
+%token lparen rparen lbracket rbracket
+%start program
+%%
+
+program : block | compound_statement ;
+
+block : begin_kw declaration_list statement_list end_kw ;
+
+compound_statement : begin_kw statement_list end_kw ;
+
+declaration_list : declaration semicolon
+                 | declaration_list declaration semicolon ;
+
+declaration : type_declaration
+            | array_declaration
+            | switch_declaration
+            | procedure_declaration ;
+
+/* "own" is expanded rather than made a nullable prefix: an ε-prefix
+   before type_kw would force a reduce decision the LR(0) items cannot
+   localise (type_kw also starts procedure_declaration). */
+type_declaration : type_kw identifier_list
+                 | own_kw type_kw identifier_list ;
+
+type_kw : real_kw | integer_kw | boolean_kw ;
+
+identifier_list : identifier | identifier_list comma identifier ;
+
+array_declaration : array_kw array_list
+                  | type_kw array_kw array_list
+                  | own_kw type_kw array_kw array_list
+                  | own_kw array_kw array_list ;
+
+array_list : array_segment | array_list comma array_segment ;
+
+array_segment : identifier lbracket bound_pair_list rbracket ;
+
+bound_pair_list : bound_pair | bound_pair_list comma bound_pair ;
+
+bound_pair : arithmetic_expression colon arithmetic_expression ;
+
+switch_declaration : switch_kw identifier assign designational_expression_list ;
+
+designational_expression_list
+  : designational_expression
+  | designational_expression_list comma designational_expression ;
+
+procedure_declaration
+  : procedure_kw procedure_heading statement
+  | type_kw procedure_kw procedure_heading statement ;
+
+procedure_heading : identifier formal_part semicolon value_part specification_part ;
+
+formal_part : %empty | lparen identifier_list rparen ;
+
+value_part : %empty | value_kw identifier_list semicolon ;
+
+specification_part : %empty | specification_part specification semicolon ;
+
+specification : specifier identifier_list ;
+
+specifier : string_kw
+          | type_kw
+          | array_kw
+          | type_kw array_kw
+          | label_kw
+          | switch_kw
+          | procedure_kw
+          | type_kw procedure_kw ;
+
+statement_list : statement | statement_list semicolon statement ;
+
+statement : open_statement | closed_statement ;
+
+closed_statement : basic_statement
+                 | for_clause closed_statement ;
+
+open_statement : if_clause statement
+               | if_clause closed_statement else_kw open_statement
+               | for_clause open_statement ;
+
+basic_statement : unlabelled_basic_statement
+                | identifier colon basic_statement ;
+
+unlabelled_basic_statement : assignment_statement
+                           | goto_statement
+                           | procedure_statement
+                           | compound_statement
+                           | block
+                           | if_clause closed_statement else_kw closed_statement
+                           | %empty ;
+
+assignment_statement : left_part_list expression ;
+
+left_part_list : left_part | left_part_list left_part ;
+
+left_part : variable assign ;
+
+variable : identifier
+         | identifier lbracket subscript_list rbracket ;
+
+subscript_list : arithmetic_expression
+               | subscript_list comma arithmetic_expression ;
+
+goto_statement : goto_kw designational_expression ;
+
+designational_expression : identifier
+                         | identifier lbracket arithmetic_expression rbracket ;
+
+procedure_statement : identifier lparen actual_parameter_list rparen ;
+
+actual_parameter_list : actual_parameter
+                      | actual_parameter_list comma actual_parameter ;
+
+actual_parameter : expression | string_lit ;
+
+if_clause : if_kw boolean_expression then_kw ;
+
+for_clause : for_kw variable assign for_list do_kw ;
+
+for_list : for_list_element | for_list comma for_list_element ;
+
+for_list_element : arithmetic_expression
+                 | arithmetic_expression step_kw arithmetic_expression
+                     until_kw arithmetic_expression
+                 | arithmetic_expression while_kw boolean_expression ;
+
+expression : arithmetic_expression | boolean_expression_only ;
+
+/* The Report unifies arithmetic and Boolean expressions semantically;
+   to stay LR(1) without a type system, Boolean structure is reached
+   only through an operator or constant that marks it as Boolean. */
+boolean_expression : arithmetic_expression | boolean_expression_only ;
+
+boolean_expression_only : implication_tail
+                        | boolean_expression equiv implication ;
+
+implication_tail : bool_term_tail
+                 | implication implies bool_term ;
+
+implication : bool_term | implication implies bool_term ;
+
+bool_term_tail : bool_factor_tail
+               | bool_term or_kw bool_factor ;
+
+bool_term : bool_factor | bool_term or_kw bool_factor ;
+
+bool_factor_tail : bool_secondary_tail
+                 | bool_factor and_kw bool_secondary ;
+
+bool_factor : bool_secondary | bool_factor and_kw bool_secondary ;
+
+bool_secondary_tail : bool_primary_only | not_kw bool_secondary ;
+
+bool_secondary : bool_primary | not_kw bool_secondary ;
+
+bool_primary : true_kw | false_kw | relation | arithmetic_expression ;
+
+bool_primary_only : true_kw | false_kw | relation ;
+
+relation : arithmetic_expression relational_operator arithmetic_expression ;
+
+relational_operator : lt | le | eq | ge | gt | ne ;
+
+arithmetic_expression : simple_arithmetic
+                      | if_clause simple_arithmetic else_kw arithmetic_expression ;
+
+simple_arithmetic : term
+                  | plus term
+                  | minus term
+                  | simple_arithmetic plus term
+                  | simple_arithmetic minus term ;
+
+term : factor
+     | term times factor
+     | term slash factor
+     | term div_kw factor ;
+
+factor : primary | factor power primary ;
+
+primary : number
+        | variable
+        | identifier lparen actual_parameter_list rparen
+        | lparen arithmetic_expression rparen ;
+|}
+
+let grammar = lazy (Reader.of_string ~name:"algol60" source)

@@ -1,0 +1,184 @@
+(* The small classic grammars: textbook examples whose LR classifications
+   are known exactly. They pin down the corner cases of the look-ahead
+   computation; the large language grammars live in their own modules. *)
+
+(* Dragon-book 4.1: unambiguous expression grammar (SLR(1), not LR(0)). *)
+let expr =
+  lazy
+    (Reader.of_string ~name:"expr"
+       {|
+%token plus star lparen rparen id
+%start e
+%%
+e : e plus t | t ;
+t : t star f | f ;
+f : lparen e rparen | id ;
+|})
+
+(* The same language from an ambiguous grammar, disambiguated by
+   precedence declarations (yacc's favourite demo). *)
+let expr_prec =
+  lazy
+    (Reader.of_string ~name:"expr-prec"
+       {|
+%token plus minus star slash uminus lparen rparen id
+%left plus minus
+%left star slash
+%right uminus
+%start e
+%%
+e : e plus e
+  | e minus e
+  | e star e
+  | e slash e
+  | minus e %prec uminus
+  | lparen e rparen
+  | id ;
+|})
+
+(* Dragon-book 4.28: the ε-heavy LL(1) expression grammar. *)
+let expr_ll =
+  lazy
+    (Reader.of_string ~name:"expr-ll"
+       {|
+%token plus star lparen rparen id
+%start e
+%%
+e  : t e2 ;
+e2 : plus t e2 | %empty ;
+t  : f t2 ;
+t2 : star f t2 | %empty ;
+f  : lparen e rparen | id ;
+|})
+
+(* Dragon-book 4.34: LALR(1) but not SLR(1) — the assignment grammar. *)
+let assign =
+  lazy
+    (Reader.of_string ~name:"assign"
+       {|
+%token eq star id
+%start s
+%%
+s : l eq r | r ;
+l : star r | id ;
+r : l ;
+|})
+
+(* LR(1) but not LALR(1): merging the two e-states creates a
+   reduce/reduce conflict (standard example). *)
+let lr1_not_lalr =
+  lazy
+    (Reader.of_string ~name:"lr1-not-lalr"
+       {|
+%token a b c d e
+%start s
+%%
+s : a x c | a y d | b y c | b x d ;
+x : e ;
+y : e ;
+|})
+
+(* Not LR(k) for any k: the reads relation has a cycle (a nullable A can
+   be reduced unboundedly often before any input decides anything). *)
+let not_lr_k =
+  lazy
+    (Reader.of_string ~name:"not-lr-k"
+       {|
+%token b
+%start s
+%%
+s : a s | b ;
+a : %empty ;
+|})
+
+(* The dangling-else grammar: one shift/reduce conflict under every
+   method; shifting (yacc's default) gives the conventional innermost-if
+   binding. *)
+let dangling_else =
+  lazy
+    (Reader.of_string ~name:"dangling-else"
+       {|
+%token if then else expr other
+%start stmt
+%%
+stmt : if expr then stmt
+     | if expr then stmt else stmt
+     | other ;
+|})
+
+(* An ambiguous grammar (palindromic core): reduce/reduce conflicts that
+   no amount of look-ahead fixes. *)
+let ambiguous =
+  lazy
+    (Reader.of_string ~name:"ambiguous"
+       {|
+%token a
+%start s
+%%
+s : s s | a | %empty ;
+|})
+
+(* An LR(0) grammar, for the bottom of the hierarchy. *)
+let lr0 =
+  lazy
+    (Reader.of_string ~name:"lr0"
+       {|
+%token a b semi
+%start s
+%%
+s : x semi ;
+x : a x | b ;
+|})
+
+(* A minimal witness for the paper's §7: NQLALR attaches Follow sets to
+   goto targets rather than transitions, so the two contexts of the
+   merged (·, a)-target pollute each other and the two-reduction state
+   reached on "y w z" sees a spurious reduce/reduce on u. Exact LALR(1)
+   look-aheads keep {v} and {u} apart. Derivation: contexts 1/2 give
+   Follow(p1,a)={u}, Follow(p2,a)={v}; goto(p1,a)=goto(p2,a) forces
+   NQLALR to use {u,v} for both; the d-reduction's look-ahead is {u}. *)
+let nqlalr_gap =
+  lazy
+    (Reader.of_string ~name:"nqlalr-gap"
+       {|
+%token x y u v w z q m
+%start s
+%%
+s : x xx u | y xx v | x c m | y d u ;
+xx : a yy ;
+yy : %empty ;
+a : w z ;
+c : w z q ;
+d : w z ;
+|})
+
+(* LALR(2) but not LALR(1): both bb and cc reduce from "w" with
+   1-token look-ahead {t}; the 2-token look-aheads "t a" / "t b" are
+   disjoint. Exercises the §8 LALR(k) extension. *)
+let lalr2 =
+  lazy
+    (Reader.of_string ~name:"lalr2"
+       {|
+%token w t a b
+%start s
+%%
+s : bb t a | cc t b ;
+bb : w ;
+cc : w ;
+|})
+
+(* Right recursion with nullable tails: a stress case for the includes
+   relation (long includes chains). *)
+let right_nullable =
+  lazy
+    (Reader.of_string ~name:"right-nullable"
+       {|
+%token a b c d
+%start s
+%%
+s : a x y z s2 ;
+s2 : s | %empty ;
+x : b | %empty ;
+y : c | %empty ;
+z : d | %empty ;
+|})

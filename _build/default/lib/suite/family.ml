@@ -1,0 +1,69 @@
+(* Parameterised grammar families for the scaling experiments (F1/F2):
+   grammar size is the x-axis, so each family exposes a generator
+   indexed by an integer. *)
+
+(* Expression grammar with [n] binary-operator precedence levels:
+   level i has its own nonterminal and operator, chained like the
+   C expression grammar. LR(0) state count grows linearly in n. *)
+let expr_levels n =
+  if n < 1 then invalid_arg "Family.expr_levels: need n >= 1";
+  let op i = Printf.sprintf "op%d" i in
+  let nt i = Printf.sprintf "e%d" i in
+  let rules =
+    List.concat
+      (List.init n (fun i ->
+           let lower = if i = n - 1 then "atom" else nt (i + 1) in
+           [ (nt i, [ nt i; op i; lower ], None); (nt i, [ lower ], None) ]))
+    @ [ ("atom", [ "lparen"; nt 0; "rparen" ], None); ("atom", [ "id" ], None) ]
+  in
+  Grammar.make
+    ~name:(Printf.sprintf "expr-levels-%d" n)
+    ~terminals:([ "lparen"; "rparen"; "id" ] @ List.init n op)
+    ~start:(nt 0) ~rules ()
+
+(* A family with heavy nullable suffixes: statement-like productions
+   [s_i → k_i x1 .. x_i] with every x nullable — includes-edge count
+   grows quadratically, stressing the Follow computation. *)
+let nullable_chain n =
+  if n < 1 then invalid_arg "Family.nullable_chain: need n >= 1";
+  let key i = Printf.sprintf "k%d" i in
+  let x i = Printf.sprintf "x%d" i in
+  let rules =
+    List.init n (fun i ->
+        ("s", key (i + 1) :: List.init (i + 1) (fun j -> x (j + 1)), None))
+    @ List.concat
+        (List.init n (fun i ->
+             [
+               (x (i + 1), [ Printf.sprintf "t%d" (i + 1) ], None);
+               (x (i + 1), [], None);
+             ]))
+  in
+  Grammar.make
+    ~name:(Printf.sprintf "nullable-chain-%d" n)
+    ~terminals:
+      (List.init n (fun i -> key (i + 1))
+      @ List.init n (fun i -> Printf.sprintf "t%d" (i + 1)))
+    ~start:"s" ~rules ()
+
+(* Deep left- and right-recursive lists over distinct keywords: long
+   reads/lookback walks, linear state growth, trivially LALR(1). *)
+let statement_lists n =
+  if n < 1 then invalid_arg "Family.statement_lists: need n >= 1";
+  let kw i = Printf.sprintf "w%d" i in
+  let item i = Printf.sprintf "item%d" i in
+  let list i = Printf.sprintf "list%d" i in
+  let rules =
+    ("s", List.init n (fun i -> list (i + 1)), None)
+    :: List.concat
+         (List.init n (fun i ->
+              let i = i + 1 in
+              [
+                (list i, [ item i ], None);
+                (list i, [ list i; item i ], None);
+                (item i, [ kw i; "lparen"; "id"; "rparen" ], None);
+              ]))
+  in
+  Grammar.make
+    ~name:(Printf.sprintf "statement-lists-%d" n)
+    ~terminals:([ "lparen"; "rparen"; "id" ] @ List.init n (fun i -> kw (i + 1)))
+    ~start:"s" ~rules ()

@@ -1,0 +1,36 @@
+(* RFC 8259 JSON. Small but real: the grammar is LALR(1) (in fact
+   SLR(1)), and its parse trees make a good quickstart example. *)
+
+let source =
+  {|
+/* JSON (RFC 8259). Tokens as a lexer would deliver them. */
+%token lbrace rbrace lbracket rbracket colon comma
+%token string number true false null
+%start json
+%%
+json : value ;
+
+value : object
+      | array
+      | string
+      | number
+      | true
+      | false
+      | null ;
+
+object : lbrace rbrace
+       | lbrace members rbrace ;
+
+members : member
+        | members comma member ;
+
+member : string colon value ;
+
+array : lbracket rbracket
+      | lbracket elements rbracket ;
+
+elements : value
+         | elements comma value ;
+|}
+
+let grammar = lazy (Reader.of_string ~name:"json" source)

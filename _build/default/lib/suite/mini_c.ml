@@ -1,0 +1,304 @@
+(* A C subset modelled on the classic ANSI C yacc grammar: the full
+   15-level expression precedence chain, declarations without the
+   typedef-name ambiguity (type specifiers are keywords), and the
+   statement language. The dangling else is deliberately left
+   unfactored, so the grammar has exactly one shift/reduce conflict
+   under exact LALR(1) sets — the shape every era-authentic C grammar
+   had. *)
+
+let source =
+  {|
+%token identifier constant string_literal sizeof_kw
+%token arrow inc_op dec_op shl_op shr_op le_op ge_op eq_op ne_op
+%token and_op or_op mul_assign div_assign mod_assign add_assign sub_assign
+%token shl_assign shr_assign and_assign xor_assign or_assign
+%token semicolon lbrace rbrace comma colon assign lparen rparen
+%token lbracket rbracket dot amp bang tilde minus plus star slash percent
+%token lt gt caret pipe question
+%token void_kw char_kw short_kw int_kw long_kw float_kw double_kw
+%token signed_kw unsigned_kw
+%token struct_kw union_kw enum_kw
+%token case_kw default_kw if_kw else_kw switch_kw while_kw do_kw for_kw
+%token goto_kw continue_kw break_kw return_kw
+%start translation_unit
+%%
+
+primary_expression
+  : identifier
+  | constant
+  | string_literal
+  | lparen expression rparen ;
+
+postfix_expression
+  : primary_expression
+  | postfix_expression lbracket expression rbracket
+  | postfix_expression lparen rparen
+  | postfix_expression lparen argument_expression_list rparen
+  | postfix_expression dot identifier
+  | postfix_expression arrow identifier
+  | postfix_expression inc_op
+  | postfix_expression dec_op ;
+
+argument_expression_list
+  : assignment_expression
+  | argument_expression_list comma assignment_expression ;
+
+unary_expression
+  : postfix_expression
+  | inc_op unary_expression
+  | dec_op unary_expression
+  | unary_operator cast_expression
+  | sizeof_kw unary_expression
+  | sizeof_kw lparen type_name rparen ;
+
+unary_operator : amp | star | plus | minus | tilde | bang ;
+
+cast_expression
+  : unary_expression
+  | lparen type_name rparen cast_expression ;
+
+multiplicative_expression
+  : cast_expression
+  | multiplicative_expression star cast_expression
+  | multiplicative_expression slash cast_expression
+  | multiplicative_expression percent cast_expression ;
+
+additive_expression
+  : multiplicative_expression
+  | additive_expression plus multiplicative_expression
+  | additive_expression minus multiplicative_expression ;
+
+shift_expression
+  : additive_expression
+  | shift_expression shl_op additive_expression
+  | shift_expression shr_op additive_expression ;
+
+relational_expression
+  : shift_expression
+  | relational_expression lt shift_expression
+  | relational_expression gt shift_expression
+  | relational_expression le_op shift_expression
+  | relational_expression ge_op shift_expression ;
+
+equality_expression
+  : relational_expression
+  | equality_expression eq_op relational_expression
+  | equality_expression ne_op relational_expression ;
+
+and_expression
+  : equality_expression
+  | and_expression amp equality_expression ;
+
+exclusive_or_expression
+  : and_expression
+  | exclusive_or_expression caret and_expression ;
+
+inclusive_or_expression
+  : exclusive_or_expression
+  | inclusive_or_expression pipe exclusive_or_expression ;
+
+logical_and_expression
+  : inclusive_or_expression
+  | logical_and_expression and_op inclusive_or_expression ;
+
+logical_or_expression
+  : logical_and_expression
+  | logical_or_expression or_op logical_and_expression ;
+
+conditional_expression
+  : logical_or_expression
+  | logical_or_expression question expression colon conditional_expression ;
+
+assignment_expression
+  : conditional_expression
+  | unary_expression assignment_operator assignment_expression ;
+
+assignment_operator
+  : assign | mul_assign | div_assign | mod_assign | add_assign
+  | sub_assign | shl_assign | shr_assign | and_assign | xor_assign
+  | or_assign ;
+
+expression
+  : assignment_expression
+  | expression comma assignment_expression ;
+
+constant_expression : conditional_expression ;
+
+declaration
+  : declaration_specifiers semicolon
+  | declaration_specifiers init_declarator_list semicolon ;
+
+declaration_specifiers
+  : type_specifier
+  | type_specifier declaration_specifiers ;
+
+init_declarator_list
+  : init_declarator
+  | init_declarator_list comma init_declarator ;
+
+init_declarator
+  : declarator
+  | declarator assign initializer_ ;
+
+type_specifier
+  : void_kw | char_kw | short_kw | int_kw | long_kw
+  | float_kw | double_kw | signed_kw | unsigned_kw
+  | struct_or_union_specifier
+  | enum_specifier ;
+
+struct_or_union_specifier
+  : struct_or_union identifier lbrace struct_declaration_list rbrace
+  | struct_or_union lbrace struct_declaration_list rbrace
+  | struct_or_union identifier ;
+
+struct_or_union : struct_kw | union_kw ;
+
+struct_declaration_list
+  : struct_declaration
+  | struct_declaration_list struct_declaration ;
+
+struct_declaration
+  : specifier_qualifier_list struct_declarator_list semicolon ;
+
+specifier_qualifier_list
+  : type_specifier
+  | type_specifier specifier_qualifier_list ;
+
+struct_declarator_list
+  : struct_declarator
+  | struct_declarator_list comma struct_declarator ;
+
+struct_declarator
+  : declarator
+  | colon constant_expression
+  | declarator colon constant_expression ;
+
+enum_specifier
+  : enum_kw lbrace enumerator_list rbrace
+  | enum_kw identifier lbrace enumerator_list rbrace
+  | enum_kw identifier ;
+
+enumerator_list
+  : enumerator
+  | enumerator_list comma enumerator ;
+
+enumerator
+  : identifier
+  | identifier assign constant_expression ;
+
+declarator
+  : pointer direct_declarator
+  | direct_declarator ;
+
+direct_declarator
+  : identifier
+  | lparen declarator rparen
+  | direct_declarator lbracket constant_expression rbracket
+  | direct_declarator lbracket rbracket
+  | direct_declarator lparen parameter_list rparen
+  | direct_declarator lparen rparen ;
+
+pointer
+  : star
+  | star pointer ;
+
+parameter_list
+  : parameter_declaration
+  | parameter_list comma parameter_declaration ;
+
+parameter_declaration
+  : declaration_specifiers declarator
+  | declaration_specifiers abstract_declarator
+  | declaration_specifiers ;
+
+type_name
+  : specifier_qualifier_list
+  | specifier_qualifier_list abstract_declarator ;
+
+abstract_declarator
+  : pointer
+  | direct_abstract_declarator
+  | pointer direct_abstract_declarator ;
+
+direct_abstract_declarator
+  : lparen abstract_declarator rparen
+  | lbracket rbracket
+  | lbracket constant_expression rbracket
+  | direct_abstract_declarator lbracket rbracket
+  | direct_abstract_declarator lbracket constant_expression rbracket
+  | lparen rparen
+  | lparen parameter_list rparen
+  | direct_abstract_declarator lparen rparen
+  | direct_abstract_declarator lparen parameter_list rparen ;
+
+initializer_
+  : assignment_expression
+  | lbrace initializer_list rbrace
+  | lbrace initializer_list comma rbrace ;
+
+initializer_list
+  : initializer_
+  | initializer_list comma initializer_ ;
+
+statement
+  : labeled_statement
+  | compound_statement
+  | expression_statement
+  | selection_statement
+  | iteration_statement
+  | jump_statement ;
+
+labeled_statement
+  : identifier colon statement
+  | case_kw constant_expression colon statement
+  | default_kw colon statement ;
+
+compound_statement
+  : lbrace rbrace
+  | lbrace statement_list rbrace
+  | lbrace declaration_list rbrace
+  | lbrace declaration_list statement_list rbrace ;
+
+declaration_list
+  : declaration
+  | declaration_list declaration ;
+
+statement_list
+  : statement
+  | statement_list statement ;
+
+expression_statement
+  : semicolon
+  | expression semicolon ;
+
+selection_statement
+  : if_kw lparen expression rparen statement
+  | if_kw lparen expression rparen statement else_kw statement
+  | switch_kw lparen expression rparen statement ;
+
+iteration_statement
+  : while_kw lparen expression rparen statement
+  | do_kw statement while_kw lparen expression rparen semicolon
+  | for_kw lparen expression_statement expression_statement rparen statement
+  | for_kw lparen expression_statement expression_statement expression rparen statement ;
+
+jump_statement
+  : goto_kw identifier semicolon
+  | continue_kw semicolon
+  | break_kw semicolon
+  | return_kw semicolon
+  | return_kw expression semicolon ;
+
+translation_unit
+  : external_declaration
+  | translation_unit external_declaration ;
+
+external_declaration
+  : function_definition
+  | declaration ;
+
+function_definition
+  : declaration_specifiers declarator compound_statement ;
+|}
+
+let grammar = lazy (Reader.of_string ~name:"mini-c" source)

@@ -1,0 +1,209 @@
+(* A Pascal subset in the spirit of the grammars the paper's evaluation
+   used (Jensen–Wirth Pascal was a standard subject). Covers the program
+   skeleton, declarations (const/type/var/procedure/function), the full
+   statement language, and the expression hierarchy with relational,
+   additive and multiplicative levels. LALR(1), and — like real Pascal —
+   not SLR-problematic, but large enough that the LR(0) machine has a
+   few hundred states. *)
+
+let source =
+  {|
+%token program ident semicolon dot lparen rparen comma colon
+%token const_kw type_kw var_kw procedure function_kw
+%token array_kw of_kw record_kw end_kw packed file_kw set_kw
+%token begin_kw if_kw then_kw else_kw while_kw do_kw repeat_kw until_kw
+%token for_kw to_kw downto_kw case_kw with_kw goto_kw label_kw
+%token assign eq neq lt gt le ge in_kw
+%token plus minus or_kw star slash div_kw mod_kw and_kw not_kw
+%token number string_lit nil char_lit
+%token lbracket rbracket dotdot caret
+%start prog
+%%
+
+prog : program_heading block dot ;
+
+program_heading : program ident semicolon
+                | program ident lparen identifier_list rparen semicolon ;
+
+identifier_list : ident
+                | identifier_list comma ident ;
+
+block : label_part const_part type_part var_part subprogram_part compound_statement ;
+
+label_part : label_kw label_list semicolon | %empty ;
+label_list : number | label_list comma number ;
+
+const_part : const_kw const_list | %empty ;
+const_list : const_definition semicolon
+           | const_list const_definition semicolon ;
+const_definition : ident eq constant ;
+
+constant : number
+         | plus number
+         | minus number
+         | string_lit
+         | char_lit
+         | ident
+         | plus ident
+         | minus ident ;
+
+type_part : type_kw type_def_list | %empty ;
+type_def_list : type_definition semicolon
+              | type_def_list type_definition semicolon ;
+type_definition : ident eq type_denoter ;
+
+type_denoter : simple_type
+             | structured_type
+             | caret ident ;
+
+simple_type : ident
+            | lparen identifier_list rparen
+            | constant dotdot constant ;
+
+structured_type : array_kw lbracket index_list rbracket of_kw type_denoter
+                | packed array_kw lbracket index_list rbracket of_kw type_denoter
+                | record_kw field_list end_kw
+                | set_kw of_kw simple_type
+                | file_kw of_kw type_denoter ;
+
+index_list : simple_type
+           | index_list comma simple_type ;
+
+field_list : record_section
+           | field_list semicolon record_section
+           | %empty ;
+record_section : identifier_list colon type_denoter ;
+
+var_part : var_kw var_decl_list | %empty ;
+var_decl_list : var_declaration semicolon
+              | var_decl_list var_declaration semicolon ;
+var_declaration : identifier_list colon type_denoter ;
+
+subprogram_part : subprogram_part subprogram_declaration semicolon
+                | %empty ;
+
+subprogram_declaration : procedure_heading semicolon block
+                       | function_heading semicolon block ;
+
+procedure_heading : procedure ident
+                  | procedure ident lparen formal_parameter_list rparen ;
+
+function_heading : function_kw ident colon ident
+                 | function_kw ident lparen formal_parameter_list rparen colon ident ;
+
+formal_parameter_list : formal_parameter_section
+                      | formal_parameter_list semicolon formal_parameter_section ;
+
+formal_parameter_section : identifier_list colon ident
+                         | var_kw identifier_list colon ident
+                         | procedure_heading
+                         | function_heading ;
+
+compound_statement : begin_kw statement_sequence end_kw ;
+
+statement_sequence : statement
+                   | statement_sequence semicolon statement ;
+
+statement : open_statement | closed_statement ;
+
+/* Every statement form with a trailing statement (if, while, for,
+   with) is split into open/closed variants — the standard dangling-else
+   factoring, applied consistently so the grammar stays LALR(1) with no
+   conflicts at all. */
+closed_statement : simple_statement
+                 | closed_if
+                 | closed_while
+                 | closed_for
+                 | closed_with ;
+
+open_statement : open_if | open_while | open_for | open_with ;
+
+closed_if : if_kw expression then_kw closed_statement else_kw closed_statement ;
+
+open_if : if_kw expression then_kw statement
+        | if_kw expression then_kw closed_statement else_kw open_statement ;
+
+closed_while : while_kw expression do_kw closed_statement ;
+open_while : while_kw expression do_kw open_statement ;
+
+closed_for : for_header closed_statement ;
+open_for : for_header open_statement ;
+
+closed_with : with_kw variable_access do_kw closed_statement ;
+open_with : with_kw variable_access do_kw open_statement ;
+
+simple_statement : assignment_statement
+                 | procedure_statement
+                 | compound_statement
+                 | repeat_statement
+                 | case_statement
+                 | goto_statement
+                 | %empty ;
+
+assignment_statement : variable_access assign expression ;
+
+variable_access : ident
+                | variable_access lbracket expression_list rbracket
+                | variable_access dot ident
+                | variable_access caret ;
+
+procedure_statement : ident
+                    | ident lparen expression_list rparen ;
+
+expression_list : expression
+                | expression_list comma expression ;
+
+repeat_statement : repeat_kw statement_sequence until_kw expression ;
+
+for_header : for_kw ident assign expression to_kw expression do_kw
+           | for_kw ident assign expression downto_kw expression do_kw ;
+
+case_statement : case_kw expression of_kw case_element_list end_kw ;
+
+case_element_list : case_element
+                  | case_element_list semicolon case_element ;
+
+case_element : case_label_list colon statement ;
+
+case_label_list : constant
+                | case_label_list comma constant ;
+
+goto_statement : goto_kw number ;
+
+expression : simple_expression
+           | simple_expression relational_operator simple_expression ;
+
+relational_operator : eq | neq | lt | gt | le | ge | in_kw ;
+
+simple_expression : term
+                  | sign term
+                  | simple_expression adding_operator term ;
+
+sign : plus | minus ;
+
+adding_operator : plus | minus | or_kw ;
+
+term : factor
+     | term multiplying_operator factor ;
+
+multiplying_operator : star | slash | div_kw | mod_kw | and_kw ;
+
+factor : variable_access
+       | number
+       | string_lit
+       | char_lit
+       | nil
+       | ident lparen expression_list rparen
+       | lparen expression rparen
+       | not_kw factor
+       | lbracket element_list rbracket
+       | lbracket rbracket ;
+
+element_list : element
+             | element_list comma element ;
+
+element : expression
+        | expression dotdot expression ;
+|}
+
+let grammar = lazy (Reader.of_string ~name:"mini-pascal" source)

@@ -1,0 +1,211 @@
+(* A Modula-2 subset (Wirth, 1983 report lineage). Wirth designed the
+   language explicitly for single-pass recursive-descent parsing, so —
+   unlike Pascal and ALGOL — the natural grammar has fully bracketed
+   statements (every IF carries END) and no dangling else. The suite
+   uses it as the "designed-to-be-easy" data point: it should land
+   higher in the hierarchy than the retrofitted languages. *)
+
+let source =
+  {|
+%token module_kw end_kw semicolon dot ident begin_kw
+%token import_kw from_kw export_kw qualified_kw
+%token const_kw type_kw var_kw procedure_kw
+%token array_kw of_kw record_kw set_kw pointer_kw to_kw
+%token if_kw then_kw elsif_kw else_kw case_kw bar while_kw do_kw
+%token repeat_kw until_kw for_kw by_kw loop_kw exit_kw return_kw with_kw
+%token colon comma assign eq neq lt le gt ge in_kw
+%token plus minus or_kw star slash div_kw mod_kw and_kw not_kw
+%token lparen rparen lbracket rbracket lbrace rbrace
+%token number string_lit char_lit nil dotdot caret
+%start compilation_unit
+%%
+
+compilation_unit : module_kw ident semicolon import_list block ident dot ;
+
+import_list : %empty
+            | import_list import ;
+
+import : import_kw ident_list semicolon
+       | from_kw ident import_kw ident_list semicolon ;
+
+ident_list : ident | ident_list comma ident ;
+
+block : declaration_list begin_kw statement_sequence end_kw
+      | declaration_list end_kw ;
+
+declaration_list : %empty
+                 | declaration_list declaration ;
+
+declaration : const_kw const_decl_list
+            | type_kw type_decl_list
+            | var_kw var_decl_list
+            | procedure_decl semicolon ;
+
+const_decl_list : %empty
+                | const_decl_list ident eq const_expression semicolon ;
+
+const_expression : expression ;
+
+type_decl_list : %empty
+               | type_decl_list ident eq type_spec semicolon ;
+
+var_decl_list : %empty
+              | var_decl_list ident_list colon type_spec semicolon ;
+
+type_spec : qualident
+          | enumeration
+          | subrange
+          | array_type
+          | record_type
+          | set_type
+          | pointer_type ;
+
+qualident : ident
+          | qualident dot ident ;
+
+enumeration : lparen ident_list rparen ;
+
+subrange : lbracket const_expression dotdot const_expression rbracket ;
+
+array_type : array_kw simple_type_list of_kw type_spec ;
+
+simple_type_list : simple_type
+                 | simple_type_list comma simple_type ;
+
+simple_type : qualident | enumeration | subrange ;
+
+record_type : record_kw field_list_sequence end_kw ;
+
+field_list_sequence : field_list
+                    | field_list_sequence semicolon field_list ;
+
+field_list : %empty
+           | ident_list colon type_spec ;
+
+set_type : set_kw of_kw simple_type ;
+
+pointer_type : pointer_kw to_kw type_spec ;
+
+procedure_decl : procedure_heading semicolon block ident ;
+
+procedure_heading : procedure_kw ident
+                  | procedure_kw ident formal_parameters ;
+
+formal_parameters : lparen rparen
+                  | lparen fp_section_list rparen
+                  | lparen rparen colon qualident
+                  | lparen fp_section_list rparen colon qualident ;
+
+fp_section_list : fp_section
+                | fp_section_list semicolon fp_section ;
+
+fp_section : ident_list colon formal_type
+           | var_kw ident_list colon formal_type ;
+
+formal_type : qualident
+            | array_kw of_kw qualident ;
+
+statement_sequence : statement
+                   | statement_sequence semicolon statement ;
+
+/* Every structured statement is END-bracketed: no open/closed split
+   needed, by design. */
+statement : %empty
+          | assignment
+          | procedure_call
+          | if_statement
+          | case_statement
+          | while_statement
+          | repeat_statement
+          | loop_statement
+          | for_statement
+          | with_statement
+          | exit_kw
+          | return_kw
+          | return_kw expression ;
+
+assignment : designator assign expression ;
+
+procedure_call : designator lparen rparen
+               | designator lparen exp_list rparen ;
+
+/* Designators subsume qualified names outright: "m.x" as module access
+   vs record access is a semantic distinction, and splitting it over
+   qualident + a field selector makes the grammar ambiguous on dot. */
+designator : ident
+           | designator dot ident
+           | designator lbracket exp_list rbracket
+           | designator caret ;
+
+exp_list : expression | exp_list comma expression ;
+
+if_statement : if_kw expression then_kw statement_sequence elsif_part
+                 else_part end_kw ;
+
+elsif_part : %empty
+           | elsif_part elsif_kw expression then_kw statement_sequence ;
+
+else_part : %empty | else_kw statement_sequence ;
+
+case_statement : case_kw expression of_kw case_list else_part end_kw ;
+
+case_list : case_arm | case_list bar case_arm ;
+
+case_arm : %empty
+         | case_label_list colon statement_sequence ;
+
+case_label_list : case_labels | case_label_list comma case_labels ;
+
+case_labels : const_expression
+            | const_expression dotdot const_expression ;
+
+while_statement : while_kw expression do_kw statement_sequence end_kw ;
+
+repeat_statement : repeat_kw statement_sequence until_kw expression ;
+
+loop_statement : loop_kw statement_sequence end_kw ;
+
+for_statement : for_kw ident assign expression to_kw expression by_part
+                  do_kw statement_sequence end_kw ;
+
+by_part : %empty | by_kw const_expression ;
+
+with_statement : with_kw designator do_kw statement_sequence end_kw ;
+
+expression : simple_expression
+           | simple_expression relation simple_expression ;
+
+relation : eq | neq | lt | le | gt | ge | in_kw ;
+
+simple_expression : term
+                  | plus term
+                  | minus term
+                  | simple_expression add_operator term ;
+
+add_operator : plus | minus | or_kw ;
+
+term : factor | term mul_operator factor ;
+
+mul_operator : star | slash | div_kw | mod_kw | and_kw ;
+
+factor : number
+       | string_lit
+       | char_lit
+       | nil
+       | set_literal
+       | designator
+       | designator lparen rparen
+       | designator lparen exp_list rparen
+       | lparen expression rparen
+       | not_kw factor ;
+
+set_literal : lbrace rbrace
+            | lbrace element_list rbrace ;
+
+element_list : element | element_list comma element ;
+
+element : expression
+        | expression dotdot expression ;
+|}
+
+let grammar = lazy (Reader.of_string ~name:"modula2" source)

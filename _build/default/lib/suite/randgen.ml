@@ -1,0 +1,89 @@
+type config = {
+  n_terminals : int;
+  n_nonterminals : int;
+  max_rhs : int;
+  productions_per_nt : int;
+  epsilon_weight : float;
+}
+
+let default =
+  {
+    n_terminals = 4;
+    n_nonterminals = 5;
+    max_rhs = 4;
+    productions_per_nt = 2;
+    epsilon_weight = 0.15;
+  }
+
+let generate cfg rng =
+  if cfg.n_terminals < 1 || cfg.n_nonterminals < 1 then
+    invalid_arg "Randgen.generate: need at least one terminal and nonterminal";
+  let t i = Printf.sprintf "t%d" i in
+  let n i = Printf.sprintf "n%d" i in
+  let terminals = List.init cfg.n_terminals t in
+  let random_terminal () = t (Random.State.int rng cfg.n_terminals) in
+  let random_nonterminal () = n (Random.State.int rng cfg.n_nonterminals) in
+  let random_symbol () =
+    if Random.State.bool rng then random_terminal () else random_nonterminal ()
+  in
+  let random_rhs () =
+    if Random.State.float rng 1.0 < cfg.epsilon_weight then []
+    else
+      let len = 1 + Random.State.int rng (max 1 cfg.max_rhs) in
+      List.init len (fun _ -> random_symbol ())
+  in
+  (* Rules are kept in per-nonterminal buckets so the final grammar is
+     grouped by lhs — the shape the Reader printer emits, keeping the
+     print/parse round-trip exact. *)
+  let buckets = Array.make cfg.n_nonterminals [] in
+  for i = 0 to cfg.n_nonterminals - 1 do
+    let count = 1 + Random.State.int rng (2 * cfg.productions_per_nt) in
+    for _ = 1 to count do
+      buckets.(i) <- (n i, random_rhs (), None) :: buckets.(i)
+    done;
+    (* Plant a terminal-only base production for roughly half the
+       nonterminals so productivity is likely; full productivity is
+       repaired below. *)
+    if Random.State.bool rng then
+      buckets.(i) <- (n i, [ random_terminal () ], None) :: buckets.(i)
+  done;
+  (* Repair pass: every nonterminal that is not yet productive in the
+     partial grammar gets a terminal base production, so the start
+     symbol always derives a sentence. *)
+  let all_rules () = List.concat_map List.rev (Array.to_list buckets) in
+  let productive = Hashtbl.create 16 in
+  let rec stabilise () =
+    let changed = ref false in
+    List.iter
+      (fun (lhs, rhs, _) ->
+        if not (Hashtbl.mem productive lhs) then
+          let ok =
+            List.for_all
+              (fun s ->
+                (String.length s > 0 && s.[0] = 't')
+                || Hashtbl.mem productive s)
+              rhs
+          in
+          if ok then begin
+            Hashtbl.replace productive lhs ();
+            changed := true
+          end)
+      (all_rules ());
+    if !changed then stabilise ()
+  in
+  stabilise ();
+  for i = 0 to cfg.n_nonterminals - 1 do
+    if not (Hashtbl.mem productive (n i)) then
+      buckets.(i) <- (n i, [ random_terminal () ], None) :: buckets.(i)
+  done;
+  let g =
+    Grammar.make
+      ~name:(Printf.sprintf "random-%d" (Random.State.bits rng))
+      ~terminals ~start:(n 0) ~rules:(all_rules ()) ()
+  in
+  (* Drop unreachable nonterminals. *)
+  Transform.reduce g
+
+let arbitrary ?(config = default) () =
+  (* QCheck(1) generators are plain [Random.State.t -> 'a] functions. *)
+  QCheck.make (generate config) ~print:Reader.to_string

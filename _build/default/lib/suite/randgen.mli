@@ -1,0 +1,30 @@
+(** Random reduced context-free grammars.
+
+    Drives the cross-validation property tests (DP = merge = propagation
+    on arbitrary grammars, not just the curated suite) and the scaling
+    figures. Generation guarantees a {e reduced} grammar — every
+    nonterminal productive and reachable — by construction and repair:
+    a base production of only terminals is planted for a random subset
+    of nonterminals, productivity is then established bottom-up and
+    unreachable nonterminals are dropped via {!Transform.reduce}. *)
+
+type config = {
+  n_terminals : int;  (** ≥ 1 *)
+  n_nonterminals : int;  (** ≥ 1 *)
+  max_rhs : int;  (** maximum production length (0 allows ε) *)
+  productions_per_nt : int;  (** average; actual count is 1..2×this *)
+  epsilon_weight : float;  (** probability a production is ε, in [0,1] *)
+}
+
+val default : config
+(** 4 terminals, 5 nonterminals, rhs ≤ 4, 2 productions each,
+    ε-weight 0.15 — small enough that canonical LR(1) stays cheap in
+    qcheck loops. *)
+
+val generate : config -> Random.State.t -> Grammar.t
+(** A random reduced grammar. All symbol names are [t0, t1, ...] and
+    [n0, n1, ...]; the start symbol is [n0]. *)
+
+val arbitrary : ?config:config -> unit -> Grammar.t QCheck.arbitrary
+(** QCheck wrapper with a grammar printer (no shrinker — grammars do
+    not shrink meaningfully). *)

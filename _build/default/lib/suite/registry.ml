@@ -1,0 +1,142 @@
+type expectation = {
+  lr0 : bool;
+  slr1 : bool;
+  lalr1 : bool;
+  lr1 : bool;
+  lalr_sr : int;
+  lalr_rr : int;
+  not_lr_k : bool;
+}
+
+type entry = {
+  name : string;
+  grammar : Grammar.t Lazy.t;
+  expected : expectation;
+  description : string;
+}
+
+let exp ?(lr0 = false) ?(slr1 = false) ?(lalr1 = false) ?(lr1 = false)
+    ?(lalr_sr = 0) ?(lalr_rr = 0) ?(not_lr_k = false) () =
+  { lr0; slr1; lalr1; lr1; lalr_sr; lalr_rr; not_lr_k }
+
+let classics =
+  [
+    {
+      name = "lr0";
+      grammar = Classics.lr0;
+      expected = exp ~lr0:true ~slr1:true ~lalr1:true ~lr1:true ();
+      description = "a bottom-of-hierarchy LR(0) list grammar";
+    };
+    {
+      name = "expr";
+      grammar = Classics.expr;
+      expected = exp ~slr1:true ~lalr1:true ~lr1:true ();
+      description = "dragon-book unambiguous expression grammar";
+    };
+    {
+      name = "expr-prec";
+      grammar = Classics.expr_prec;
+      expected = exp ~lalr_sr:0 ();
+      description =
+        "ambiguous expression grammar fully disambiguated by precedence";
+    };
+    {
+      name = "expr-ll";
+      grammar = Classics.expr_ll;
+      expected = exp ~slr1:true ~lalr1:true ~lr1:true ();
+      description = "ε-heavy LL(1) expression grammar (dragon 4.28)";
+    };
+    {
+      name = "assign";
+      grammar = Classics.assign;
+      expected = exp ~lalr1:true ~lr1:true ();
+      description = "LALR(1) but not SLR(1) (dragon 4.34)";
+    };
+    {
+      name = "lr1-not-lalr";
+      grammar = Classics.lr1_not_lalr;
+      expected = exp ~lr1:true ~lalr_rr:2 ();
+      description = "LR(1) but not LALR(1): core merge creates r/r";
+    };
+    {
+      name = "not-lr-k";
+      grammar = Classics.not_lr_k;
+      expected = exp ~not_lr_k:true ~lalr_sr:2 ();
+      description = "reads cycle: not LR(k) for any k";
+    };
+    {
+      name = "dangling-else";
+      grammar = Classics.dangling_else;
+      expected = exp ~lalr_sr:1 ();
+      description = "the shift/reduce conflict everyone knows";
+    };
+    {
+      name = "ambiguous";
+      grammar = Classics.ambiguous;
+      expected = exp ~lalr_sr:5 ~lalr_rr:1 ~not_lr_k:true ();
+      description = "s → s s | a | ε: hopelessly ambiguous";
+    };
+    {
+      name = "nqlalr-gap";
+      grammar = Classics.nqlalr_gap;
+      expected = exp ~lalr1:true ~lr1:true ();
+      description =
+        "LALR(1)-clean but NQLALR reports a spurious r/r (paper §7)";
+    };
+    {
+      name = "lalr2";
+      grammar = Classics.lalr2;
+      expected = exp ~lalr_rr:1 ();
+      description = "LALR(2) but not LALR(1): r/r that a 2-token window fixes";
+    };
+    {
+      name = "right-nullable";
+      grammar = Classics.right_nullable;
+      expected = exp ~slr1:true ~lalr1:true ~lr1:true ();
+      description = "nullable suffixes stressing the includes relation";
+    };
+  ]
+
+let languages =
+  [
+    {
+      name = "json";
+      grammar = Json.grammar;
+      expected = exp ~lr0:true ~slr1:true ~lalr1:true ~lr1:true ();
+      description = "RFC 8259 JSON";
+    };
+    {
+      name = "mini-pascal";
+      grammar = Mini_pascal.grammar;
+      expected = exp ~lalr1:true ~lr1:true ();
+      description = "Pascal subset (Jensen–Wirth lineage)";
+    };
+    {
+      name = "mini-c";
+      grammar = Mini_c.grammar;
+      expected = exp ~lalr_sr:1 ();
+      description = "ANSI-C-style subset, dangling else left in";
+    };
+    {
+      name = "modula2";
+      grammar = Modula2.grammar;
+      expected = exp ~slr1:true ~lalr1:true ~lr1:true ();
+      description = "Modula-2 subset — designed for easy parsing, lands SLR(1)";
+    };
+    {
+      name = "ada-subset";
+      grammar = Ada_subset.grammar;
+      expected = exp ~lalr1:true ~lr1:true ();
+      description = "Ada 83 subset (the paper's era stress test)";
+    };
+    {
+      name = "algol60";
+      grammar = Algol60.grammar;
+      expected = exp ~lalr1:true ~lr1:true ();
+      description = "ALGOL 60 subset from the Revised Report";
+    };
+  ]
+
+let all = classics @ languages
+
+let find name = List.find (fun e -> e.name = name) all

@@ -1,0 +1,34 @@
+(** The benchmark-suite registry: every curated grammar with its
+    expected classification, for tests and the experiment tables.
+
+    Expected values were cross-validated by three independent
+    look-ahead computations (DeRemer–Pennello, canonical-LR(1) merging,
+    yacc-style propagation) and frozen here; a change in any method that
+    breaks agreement fails the suite tests. *)
+
+type expectation = {
+  lr0 : bool;
+  slr1 : bool;
+  lalr1 : bool;
+  lr1 : bool;
+  lalr_sr : int;  (** unresolved shift/reduce under exact LALR(1) sets *)
+  lalr_rr : int;
+  not_lr_k : bool;  (** reads-cycle diagnostic expected *)
+}
+
+type entry = {
+  name : string;
+  grammar : Grammar.t Lazy.t;
+  expected : expectation;
+  description : string;
+}
+
+val all : entry list
+(** Every curated grammar, small classics first, languages last. *)
+
+val languages : entry list
+(** The realistic language grammars only (json, mini-pascal, mini-c,
+    ada-subset, algol60) — the T1–T5 workload. *)
+
+val find : string -> entry
+(** Raises [Not_found]. *)

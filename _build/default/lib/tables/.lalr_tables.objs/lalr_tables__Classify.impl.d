@@ -1,0 +1,1 @@
+lib/tables/classify.ml: Format Lalr_automaton Lalr_baselines Lalr_core List Tables

@@ -1,0 +1,1 @@
+lib/tables/classify.mli: Format Grammar

@@ -1,0 +1,1 @@
+lib/tables/compact.ml: Array Format Fun Grammar Hashtbl Lalr_automaton List Option Tables

@@ -1,0 +1,1 @@
+lib/tables/compact.mli: Format Tables

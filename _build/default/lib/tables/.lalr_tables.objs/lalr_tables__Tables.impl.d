@@ -1,0 +1,1 @@
+lib/tables/tables.ml: Array Format Grammar Lalr_automaton Lalr_sets List Printf Symbol

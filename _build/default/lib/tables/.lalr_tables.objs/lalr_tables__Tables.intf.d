@@ -1,0 +1,1 @@
+lib/tables/tables.mli: Format Grammar Lalr_automaton Lalr_sets

@@ -1,0 +1,38 @@
+(** Grammar classification in the LR hierarchy.
+
+    Runs the whole tool-chest over one grammar and reports where it
+    falls in LR(0) ⊂ SLR(1) ⊂ LALR(1) ⊂ LR(1), together with the
+    paper's diagnostics (a [reads] cycle proves the grammar is not LR(k)
+    for any k). This powers experiment T5 and the CLI's [classify]
+    command. *)
+
+type verdict = {
+  lr0 : bool;
+  slr1 : bool;
+  lalr1 : bool;
+  lr1 : bool;
+  nqlalr1 : bool;
+      (** conflict-free under the NQLALR approximation; [lalr1 &&
+          not nqlalr1] exhibits the paper's §7 complaint *)
+  not_lr_k : bool;  (** a [reads] cycle exists: not LR(k) for any k *)
+  lr0_states : int;
+  lr1_states : int;
+  lalr_sr_conflicts : int;  (** unresolved, under exact LALR(1) sets *)
+  lalr_rr_conflicts : int;
+  slr_sr_conflicts : int;
+  slr_rr_conflicts : int;
+  nq_sr_conflicts : int;
+  nq_rr_conflicts : int;
+}
+
+val classify : Grammar.t -> verdict
+(** Builds the LR(0) and LR(1) automata and all look-ahead variants.
+    Expensive on large grammars (canonical LR(1) dominates). *)
+
+val classify_no_lr1 : Grammar.t -> verdict
+(** Same but skips the canonical LR(1) construction; [lr1] is
+    over-approximated as [lalr1 || not not_lr_k] — reported as [lalr1]
+    — and [lr1_states] is [0]. For very large grammars. *)
+
+val pp : Format.formatter -> verdict -> unit
+(** One-line summary, e.g. ["LALR(1) (not SLR(1)); LR(0) states 131, LR(1) states 458"]. *)

@@ -1,0 +1,61 @@
+(** Compressed parse tables — yacc-style comb/row-displacement encoding.
+
+    Table size was a first-class metric in the paper's era: the naive
+    ACTION matrix is [states × terminals] entries, nearly all [Error].
+    This module applies the two standard compressions:
+
+    + {b default reductions}: a state whose every action is the same
+      reduction stores one entry (also removes most error entries from
+      rows, making them sparser for step 2);
+    + {b row displacement}: the remaining sparse rows are overlaid into
+      a single value vector, each row at an offset where its non-empty
+      entries fall on free slots, with a parallel check vector to
+      reject collisions (the classic comb algorithm used by yacc, lex
+      and table-driven scanners since).
+
+    Lookup is O(1): [check.(base.(state) + terminal) = state] decides
+    between the packed entry and the state's default. The encoding is
+    exact — {!action} agrees with {!Tables.action} on every cell, which
+    is a qcheck property in the test suite. *)
+
+type t
+
+type mode =
+  | Exact
+      (** Defaults only for reduce-only states; {!action} agrees with
+          {!Tables.action} on every cell. Modest compression. *)
+  | Yacc
+      (** The compression yacc actually ships: every state with at
+          least one reduction uses its most frequent reduction as the
+          default, replacing both that reduction's cells and the error
+          cells. Error detection is delayed by reduce moves but never
+          wrong — no token is ever shifted that the exact table would
+          reject, so acceptance and error {e positions} are unchanged
+          (behavioural equivalence is a test suite property); only the
+          state in which the error is reported may differ. *)
+
+val compress : ?mode:mode -> Tables.t -> t
+(** Defaults to [Exact]. Never fails; worst case the displacement
+    degenerates to rows laid end to end. *)
+
+val mode : t -> mode
+
+val action : t -> state:int -> terminal:int -> Tables.action
+(** In [Exact] mode, same contract as {!Tables.action}. In [Yacc] mode,
+    cells that the dense table marks [Error] may return the state's
+    default [Reduce] instead. *)
+
+val goto : t -> state:int -> nonterminal:int -> int option
+
+type stats = {
+  n_states : int;
+  n_terminals : int;
+  dense_entries : int;  (** [states × terminals], the naive cost *)
+  packed_entries : int;  (** length of the packed value vector *)
+  default_states : int;  (** states fully replaced by their default *)
+  compression_ratio : float;  (** [dense /. (packed + per-state words)] *)
+}
+
+val stats : t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,221 @@
+module Bitset = Lalr_sets.Bitset
+module Lr0 = Lalr_automaton.Lr0
+
+type action = Shift of int | Reduce of int | Accept | Error
+
+type conflict_kind =
+  | Shift_reduce of { shift_to : int; reduce : int }
+  | Reduce_reduce of { kept : int; dropped : int }
+
+type resolution = By_precedence | By_default
+
+type conflict = {
+  state : int;
+  terminal : int;
+  kind : conflict_kind;
+  chosen : action;
+  resolution : resolution;
+}
+
+type t = {
+  automaton : Lr0.t;
+  actions : action array;  (* state * n_terminals + terminal *)
+  conflicts : conflict list;
+}
+
+let automaton t = t.automaton
+
+let action t ~state ~terminal =
+  let n_term = Grammar.n_terminals (Lr0.grammar t.automaton) in
+  t.actions.((state * n_term) + terminal)
+
+let goto t ~state ~nonterminal =
+  Lr0.goto t.automaton state (Symbol.N nonterminal)
+
+(* Decide a shift/reduce conflict by precedence. Returns the action and
+   whether declarations settled it. *)
+let resolve_sr g ~shift_to ~terminal ~reduce =
+  let tprec = g.Grammar.terminal_prec.(terminal) in
+  let pprec = (Grammar.production g reduce).prec in
+  match (tprec, pprec) with
+  | Some (tl, _), Some (pl, _) when pl > tl -> (Reduce reduce, By_precedence)
+  | Some (tl, _), Some (pl, _) when pl < tl -> (Shift shift_to, By_precedence)
+  | Some (_, Grammar.Left), Some _ -> (Reduce reduce, By_precedence)
+  | Some (_, Grammar.Right), Some _ -> (Shift shift_to, By_precedence)
+  | Some (_, Grammar.Nonassoc), Some _ -> (Error, By_precedence)
+  | _ -> (Shift shift_to, By_default)
+
+let build ~lookahead (a : Lr0.t) =
+  let g = Lr0.grammar a in
+  let n_term = Grammar.n_terminals g in
+  let n_states = Lr0.n_states a in
+  let actions = Array.make (n_states * n_term) Error in
+  let conflicts = ref [] in
+  (* Shifts. *)
+  for s = 0 to n_states - 1 do
+    List.iter
+      (fun (sym, target) ->
+        match sym with
+        | Symbol.T tt -> actions.((s * n_term) + tt) <- Shift target
+        | Symbol.N _ -> ())
+      (Lr0.transitions a s)
+  done;
+  (* Accept overrides the shift on $ out of the accept state. *)
+  let accept = Lr0.accept_state a in
+  actions.((accept * n_term) + 0) <- Accept;
+  (* Reductions, with conflict handling. *)
+  for s = 0 to n_states - 1 do
+    List.iter
+      (fun pid ->
+        let la = lookahead ~state:s ~prod:pid in
+        Bitset.iter
+          (fun terminal ->
+            let cell = (s * n_term) + terminal in
+            match actions.(cell) with
+            | Error -> actions.(cell) <- Reduce pid
+            | Shift shift_to ->
+                let chosen, resolution =
+                  resolve_sr g ~shift_to ~terminal ~reduce:pid
+                in
+                actions.(cell) <- chosen;
+                conflicts :=
+                  {
+                    state = s;
+                    terminal;
+                    kind = Shift_reduce { shift_to; reduce = pid };
+                    chosen;
+                    resolution;
+                  }
+                  :: !conflicts
+            | Reduce other ->
+                (* reductions are visited in ascending pid order *)
+                let kept = min other pid and dropped = max other pid in
+                actions.(cell) <- Reduce kept;
+                conflicts :=
+                  {
+                    state = s;
+                    terminal;
+                    kind = Reduce_reduce { kept; dropped };
+                    chosen = Reduce kept;
+                    resolution = By_default;
+                  }
+                  :: !conflicts
+            | Accept ->
+                (* A reduction whose look-ahead contains $ in the accept
+                   state (possible when the start symbol is nullable or
+                   right-recursive under ambiguity). Keep the accept and
+                   report it like an unresolved shift/reduce. *)
+                conflicts :=
+                  {
+                    state = s;
+                    terminal;
+                    kind = Shift_reduce { shift_to = s; reduce = pid };
+                    chosen = Accept;
+                    resolution = By_default;
+                  }
+                  :: !conflicts)
+          la)
+      (Lr0.reductions a s)
+  done;
+  { automaton = a; actions; conflicts = List.rev !conflicts }
+
+let conflicts t = t.conflicts
+
+let unresolved_conflicts t =
+  List.filter (fun c -> c.resolution = By_default) t.conflicts
+
+let n_shift_reduce t =
+  List.length
+    (List.filter
+       (fun c ->
+         c.resolution = By_default
+         && match c.kind with Shift_reduce _ -> true | _ -> false)
+       t.conflicts)
+
+let n_reduce_reduce t =
+  List.length
+    (List.filter
+       (fun c ->
+         c.resolution = By_default
+         && match c.kind with Reduce_reduce _ -> true | _ -> false)
+       t.conflicts)
+
+let default_reductions t =
+  let a = t.automaton in
+  let n_term = Grammar.n_terminals (Lr0.grammar a) in
+  Array.init (Lr0.n_states a) (fun s ->
+      let result = ref (-2) in
+      (* -2: unset, -1: disqualified *)
+      for tt = 0 to n_term - 1 do
+        match t.actions.((s * n_term) + tt) with
+        | Error -> ()
+        | Reduce p ->
+            if !result = -2 then result := p
+            else if !result <> p then result := -1
+        | Shift _ | Accept -> result := -1
+      done;
+      if !result >= 0 then !result else -1)
+
+let pp_conflict g ppf c =
+  let tname = Grammar.terminal_name g c.terminal in
+  (match c.kind with
+  | Shift_reduce { shift_to; reduce } ->
+      Format.fprintf ppf
+        "state %d, on %s: shift/reduce (shift to %d vs reduce %a)" c.state
+        tname shift_to
+        (Grammar.pp_production g)
+        (Grammar.production g reduce)
+  | Reduce_reduce { kept; dropped } ->
+      Format.fprintf ppf
+        "state %d, on %s: reduce/reduce (%a vs %a)" c.state tname
+        (Grammar.pp_production g)
+        (Grammar.production g kept)
+        (Grammar.pp_production g)
+        (Grammar.production g dropped));
+  Format.fprintf ppf " — %s"
+    (match (c.resolution, c.chosen) with
+    | By_precedence, Shift _ -> "resolved to shift by precedence"
+    | By_precedence, Reduce _ -> "resolved to reduce by precedence"
+    | By_precedence, Error -> "resolved to error (nonassoc)"
+    | By_precedence, Accept -> assert false
+    | By_default, Shift _ -> "defaulted to shift"
+    | By_default, Reduce _ -> "defaulted to earlier rule"
+    | By_default, Accept -> "kept accept"
+    | By_default, Error -> assert false)
+
+let pp ppf t =
+  let a = t.automaton in
+  let g = Lr0.grammar a in
+  let n_term = Grammar.n_terminals g in
+  let n_nt = Grammar.n_nonterminals g in
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "state |";
+  for tt = 0 to n_term - 1 do
+    Format.fprintf ppf " %6s" (Grammar.terminal_name g tt)
+  done;
+  Format.fprintf ppf " |";
+  for n = 1 to n_nt - 1 do
+    Format.fprintf ppf " %6s" (Grammar.nonterminal_name g n)
+  done;
+  Format.fprintf ppf "@,";
+  for s = 0 to Lr0.n_states a - 1 do
+    Format.fprintf ppf "%5d |" s;
+    for tt = 0 to n_term - 1 do
+      match t.actions.((s * n_term) + tt) with
+      | Error -> Format.fprintf ppf " %6s" "."
+      | Shift q -> Format.fprintf ppf " %6s" (Printf.sprintf "s%d" q)
+      | Reduce p -> Format.fprintf ppf " %6s" (Printf.sprintf "r%d" p)
+      | Accept -> Format.fprintf ppf " %6s" "acc"
+    done;
+    Format.fprintf ppf " |";
+    for n = 1 to n_nt - 1 do
+      match Lr0.goto a s (Symbol.N n) with
+      | Some q -> Format.fprintf ppf " %6d" q
+      | None -> Format.fprintf ppf " %6s" "."
+    done;
+    Format.fprintf ppf "@,"
+  done;
+  List.iter
+    (fun c -> Format.fprintf ppf "%a@," (pp_conflict g) c)
+    t.conflicts;
+  Format.fprintf ppf "@]"

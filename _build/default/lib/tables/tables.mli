@@ -1,0 +1,70 @@
+(** ACTION/GOTO parse tables, conflict detection and resolution.
+
+    A table is built from an LR(0) automaton plus a look-ahead oracle —
+    any of the methods in this repository ({!Lalr_core.Lalr} exact sets,
+    {!Lalr_baselines.Slr} FOLLOW sets, ...) — so the same machinery
+    quantifies how many conflicts each approximation produces (experiment
+    T5).
+
+    Conflict resolution follows yacc:
+    - shift/reduce with precedence on both sides: higher level wins;
+      equal level resolves by associativity (left ⇒ reduce, right ⇒
+      shift, nonassoc ⇒ error);
+    - shift/reduce without precedence: shift, reported;
+    - reduce/reduce: lowest production id, reported. *)
+
+type action =
+  | Shift of int
+  | Reduce of int
+  | Accept
+  | Error
+
+type conflict_kind =
+  | Shift_reduce of { shift_to : int; reduce : int }
+  | Reduce_reduce of { kept : int; dropped : int }
+
+type resolution =
+  | By_precedence  (** resolved silently, as yacc does *)
+  | By_default  (** unresolved by declarations; counted as a conflict *)
+
+type conflict = {
+  state : int;
+  terminal : int;
+  kind : conflict_kind;
+  chosen : action;
+  resolution : resolution;
+}
+
+type t
+
+val build :
+  lookahead:(state:int -> prod:int -> Lalr_sets.Bitset.t) ->
+  Lalr_automaton.Lr0.t ->
+  t
+(** Builds ACTION and GOTO. [lookahead] is queried once per reduction of
+    the automaton. *)
+
+val automaton : t -> Lalr_automaton.Lr0.t
+val action : t -> state:int -> terminal:int -> action
+val goto : t -> state:int -> nonterminal:int -> int option
+
+val conflicts : t -> conflict list
+(** All conflicts encountered, including precedence-resolved ones. *)
+
+val unresolved_conflicts : t -> conflict list
+(** Conflicts not settled by precedence declarations — what yacc prints
+    as "N shift/reduce, M reduce/reduce". *)
+
+val n_shift_reduce : t -> int
+val n_reduce_reduce : t -> int
+(** Unresolved counts, by kind. *)
+
+val default_reductions : t -> int array
+(** [-1], or the production a state may reduce unconditionally: states
+    whose every action is the same [Reduce] (no shifts, no accept).
+    Standard yacc table compaction; exercised by bench T3 and the
+    runtime's [~compact] mode. *)
+
+val pp_conflict : Grammar.t -> Format.formatter -> conflict -> unit
+val pp : Format.formatter -> t -> unit
+(** Full ACTION/GOTO listing (wide; intended for small grammars). *)

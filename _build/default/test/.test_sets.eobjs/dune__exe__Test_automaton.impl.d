@@ -1,0 +1,1 @@
+test/test_automaton.ml: Alcotest Array Fun Lalr_automaton Lalr_grammar Lalr_suite List Option QCheck QCheck_alcotest

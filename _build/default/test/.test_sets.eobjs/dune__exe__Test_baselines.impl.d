@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Fun Hashtbl Lalr_automaton Lalr_baselines Lalr_core Lalr_grammar Lalr_sets Lalr_suite Lazy List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Lalr_automaton Lalr_core Lalr_grammar Lalr_sets Lalr_suite Lazy List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_grammar.ml: Alcotest Array Lalr_grammar Lalr_sets List Option Printexc

@@ -1,0 +1,1 @@
+test/test_minilang.ml: Alcotest Lalr_automaton Lalr_core Lalr_grammar Lalr_runtime Lalr_tables List Minilang Random Result String

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Format Lalr_automaton Lalr_baselines Lalr_core Lalr_grammar Lalr_runtime Lalr_sets Lalr_suite Lalr_tables Lazy List Option QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_sets.ml: Alcotest Array Int Lalr_sets List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_suite.ml: Alcotest Fun Lalr_automaton Lalr_core Lalr_grammar Lalr_runtime Lalr_suite Lazy List Printexc QCheck QCheck_alcotest Random

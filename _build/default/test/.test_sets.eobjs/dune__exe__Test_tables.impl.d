@@ -1,0 +1,1 @@
+test/test_tables.ml: Alcotest Array Hashtbl Lalr_automaton Lalr_baselines Lalr_core Lalr_grammar Lalr_sets Lalr_suite Lalr_tables Lazy List Option

@@ -1,0 +1,465 @@
+(* Tests for lib/grammar: Grammar, Analysis, Reader, Transform. *)
+
+module Bitset = Lalr_sets.Bitset
+module G = Lalr_grammar.Grammar
+module Symbol = Lalr_grammar.Symbol
+module Analysis = Lalr_grammar.Analysis
+module Reader = Lalr_grammar.Reader
+module Transform = Lalr_grammar.Transform
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let check_strs = Alcotest.(check (list string))
+
+(* Dragon-book expression grammar. *)
+let expr_grammar () =
+  G.make ~name:"expr"
+    ~terminals:[ "+"; "*"; "("; ")"; "id" ]
+    ~start:"E"
+    ~rules:
+      [
+        ("E", [ "E"; "+"; "T" ], None);
+        ("E", [ "T" ], None);
+        ("T", [ "T"; "*"; "F" ], None);
+        ("T", [ "F" ], None);
+        ("F", [ "("; "E"; ")" ], None);
+        ("F", [ "id" ], None);
+      ]
+    ()
+
+(* LL(1)-style grammar with ε-productions (dragon book 4.28). *)
+let epsilon_grammar () =
+  G.make ~name:"eps"
+    ~terminals:[ "+"; "*"; "("; ")"; "id" ]
+    ~start:"E"
+    ~rules:
+      [
+        ("E", [ "T"; "E'" ], None);
+        ("E'", [ "+"; "T"; "E'" ], None);
+        ("E'", [], None);
+        ("T", [ "F"; "T'" ], None);
+        ("T'", [ "*"; "F"; "T'" ], None);
+        ("T'", [], None);
+        ("F", [ "("; "E"; ")" ], None);
+        ("F", [ "id" ], None);
+      ]
+    ()
+
+let names g set =
+  List.map (G.terminal_name g) (Bitset.elements set) |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Grammar construction                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_augmentation () =
+  let g = expr_grammar () in
+  check_int "terminal 0 is $" 0 (Option.get (G.find_terminal g "$"));
+  check_str "nonterminal 0 is E'" "E'" (G.nonterminal_name g 0);
+  let p0 = G.production g 0 in
+  check_int "p0 lhs" 0 p0.lhs;
+  check "p0 rhs = E $" true
+    (p0.rhs = [| Symbol.N (Option.get (G.find_nonterminal g "E")); Symbol.eof |]);
+  check_int "7 productions (6 + augmented)" 7 (G.n_productions g);
+  check_int "6 terminals (5 + $)" 6 (G.n_terminals g);
+  check_int "4 nonterminals (3 + start')" 4 (G.n_nonterminals g)
+
+let test_by_lhs () =
+  let g = expr_grammar () in
+  let e = Option.get (G.find_nonterminal g "E") in
+  check_int "E has 2 productions" 2 (Array.length (G.productions_of g e));
+  Array.iter
+    (fun pid -> check_int "lhs" e (G.production g pid).lhs)
+    (G.productions_of g e)
+
+let test_symbols_count () =
+  let g = expr_grammar () in
+  (* |G| = Σ (1+|rhs|): augmented 3 + (4+2+4+2+4+2) = 21. *)
+  check_int "|G|" 21 (G.symbols_count g)
+
+let test_make_errors () =
+  let mk ?prec ?(terminals = [ "a" ]) ?(start = "S") rules () =
+    ignore (G.make ?prec ~terminals ~start ~rules ())
+  in
+  let raises name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  raises "no rules" (mk []);
+  raises "unknown rhs symbol" (mk [ ("S", [ "nope" ], None) ]);
+  raises "unknown start" (mk ~start:"X" [ ("S", [ "a" ], None) ]);
+  raises "reserved $"
+    (mk ~terminals:[ "$" ] [ ("S", [ "$" ], None) ]);
+  raises "duplicate terminal"
+    (mk ~terminals:[ "a"; "a" ] [ ("S", [ "a" ], None) ]);
+  raises "terminal as lhs" (mk [ ("S", [ "a" ], None); ("a", [], None) ]);
+  raises "unknown %prec" (mk [ ("S", [ "a" ], Some "zzz") ]);
+  raises "%prec without declared precedence"
+    (mk [ ("S", [ "a" ], Some "a") ]);
+  raises "duplicate precedence level"
+    (mk
+       ~prec:[ (G.Left, [ "a" ]); (G.Right, [ "a" ]) ]
+       [ ("S", [ "a" ], None) ])
+
+let test_precedence_assignment () =
+  let g =
+    G.make
+      ~prec:[ (G.Left, [ "+" ]); (G.Left, [ "*" ]); (G.Right, [ "u" ]) ]
+      ~terminals:[ "+"; "*"; "u"; "id" ]
+      ~start:"E"
+      ~rules:
+        [
+          ("E", [ "E"; "+"; "E" ], None);
+          ("E", [ "E"; "*"; "E" ], None);
+          ("E", [ "u"; "E" ], None);
+          ("E", [ "u"; "E" ], Some "+");
+          ("E", [ "id" ], None);
+        ]
+      ()
+  in
+  let prec i = (G.production g i).prec in
+  check "p1 + level" true (prec 1 = Some (1, G.Left));
+  check "p2 * level" true (prec 2 = Some (2, G.Left));
+  check "p3 rightmost terminal" true (prec 3 = Some (3, G.Right));
+  check "p4 %prec override" true (prec 4 = Some (1, G.Left));
+  check "p5 none" true (prec 5 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_nullable () =
+  let a = Analysis.compute (epsilon_grammar ()) in
+  let g = Analysis.grammar a in
+  let nt n = Option.get (G.find_nonterminal g n) in
+  check "E' nullable" true (Analysis.nullable a (nt "E'"));
+  check "T' nullable" true (Analysis.nullable a (nt "T'"));
+  check "E not" false (Analysis.nullable a (nt "E"));
+  check "T not" false (Analysis.nullable a (nt "T"));
+  check "F not" false (Analysis.nullable a (nt "F"))
+
+let test_first () =
+  let a = Analysis.compute (epsilon_grammar ()) in
+  let g = Analysis.grammar a in
+  let nt n = Option.get (G.find_nonterminal g n) in
+  check_strs "FIRST(E)" [ "("; "id" ] (names g (Analysis.first a (nt "E")));
+  check_strs "FIRST(E')" [ "+" ] (names g (Analysis.first a (nt "E'")));
+  check_strs "FIRST(T')" [ "*" ] (names g (Analysis.first a (nt "T'")));
+  check_strs "FIRST(F)" [ "("; "id" ] (names g (Analysis.first a (nt "F")))
+
+let test_follow () =
+  (* Dragon book 4.30: FOLLOW(E) = FOLLOW(E') = {), $},
+     FOLLOW(T) = FOLLOW(T') = {+, ), $}, FOLLOW(F) = {+, *, ), $}. *)
+  let a = Analysis.compute (epsilon_grammar ()) in
+  let g = Analysis.grammar a in
+  let nt n = Option.get (G.find_nonterminal g n) in
+  check_strs "FOLLOW(E)" [ "$"; ")" ] (names g (Analysis.follow a (nt "E")));
+  check_strs "FOLLOW(E')" [ "$"; ")" ] (names g (Analysis.follow a (nt "E'")));
+  check_strs "FOLLOW(T)" [ "$"; ")"; "+" ]
+    (names g (Analysis.follow a (nt "T")));
+  check_strs "FOLLOW(T')" [ "$"; ")"; "+" ]
+    (names g (Analysis.follow a (nt "T'")));
+  check_strs "FOLLOW(F)" [ "$"; ")"; "*"; "+" ]
+    (names g (Analysis.follow a (nt "F")))
+
+let test_first_sentence () =
+  let a = Analysis.compute (epsilon_grammar ()) in
+  let g = Analysis.grammar a in
+  let nt n = Symbol.N (Option.get (G.find_nonterminal g n)) in
+  let t n = Symbol.T (Option.get (G.find_terminal g n)) in
+  (* FIRST(E' T' id) = {+, *, id}, not nullable. *)
+  let set, nullable =
+    Analysis.first_sentence a [| nt "E'"; nt "T'"; t "id" |] ~from:0
+  in
+  check_strs "first" [ "*"; "+"; "id" ] (names g set);
+  check "not nullable" false nullable;
+  (* FIRST(E' T') = {+, *}, nullable. *)
+  let set, nullable = Analysis.first_sentence a [| nt "E'"; nt "T'" |] ~from:0 in
+  check_strs "first2" [ "*"; "+" ] (names g set);
+  check "nullable" true nullable;
+  let set, nullable = Analysis.first_sentence a [||] ~from:0 in
+  check "empty first" true (Bitset.is_empty set);
+  check "empty nullable" true nullable
+
+let test_reduced_detection () =
+  let g = expr_grammar () in
+  check "expr reduced" true (Analysis.is_reduced (Analysis.compute g));
+  let bad =
+    G.make ~terminals:[ "a"; "b" ] ~start:"S"
+      ~rules:
+        [
+          ("S", [ "a" ], None);
+          ("U", [ "U"; "b" ], None) (* unproductive and unreachable *);
+        ]
+      ()
+  in
+  let a = Analysis.compute bad in
+  check "not reduced" false (Analysis.is_reduced a);
+  let u = Option.get (G.find_nonterminal bad "U") in
+  check "U unproductive" false (Analysis.productive a u);
+  check "U unreachable" false (Analysis.reachable a (Symbol.N u))
+
+let test_follow_start_contains_eof () =
+  let g = expr_grammar () in
+  let a = Analysis.compute g in
+  let e = Option.get (G.find_nonterminal g "E") in
+  check "$ in FOLLOW(E)" true (Bitset.mem (Analysis.follow a e) 0)
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let expr_text =
+  {|
+/* the classic expression grammar */
+%token PLUS TIMES LPAREN RPAREN ID
+%start e
+%%
+e : e PLUS t | t ;
+t : t TIMES f | f ;  // alternatives
+f : LPAREN e RPAREN | ID ;
+|}
+
+let test_reader_basic () =
+  let g = Reader.of_string expr_text in
+  check_int "productions" 7 (G.n_productions g);
+  check_int "terminals" 6 (G.n_terminals g);
+  check_str "start" "e" (G.nonterminal_name g g.start)
+
+let test_reader_default_start () =
+  let g = Reader.of_string "%token A %% s : A ; t : s ;" in
+  check_str "first lhs is start" "s" (G.nonterminal_name g g.start)
+
+let test_reader_quoted_terminals () =
+  let g = Reader.of_string {| %% e : e '+' t | t ; t : "id" ; |} in
+  check "has +" true (G.find_terminal g "+" <> None);
+  check "has id" true (G.find_terminal g "id" <> None);
+  check_int "productions" 4 (G.n_productions g)
+
+let test_reader_empty_alternative () =
+  let g = Reader.of_string "%token A %% s : A s | %empty ;" in
+  let s = Option.get (G.find_nonterminal g "s") in
+  let has_eps =
+    Array.exists
+      (fun pid -> Array.length (G.production g pid).rhs = 0)
+      (G.productions_of g s)
+  in
+  check "epsilon production" true has_eps;
+  (* bare empty alternative *)
+  let g2 = Reader.of_string "%token A %% s : A s | ;" in
+  check_int "same shape" (G.n_productions g) (G.n_productions g2)
+
+let test_reader_prec () =
+  let g =
+    Reader.of_string
+      {| %token PLUS STAR ID
+         %left PLUS
+         %left STAR
+         %% e : e PLUS e | e STAR e | ID %prec PLUS ; |}
+  in
+  check "p1" true ((G.production g 1).prec = Some (1, G.Left));
+  check "p2" true ((G.production g 2).prec = Some (2, G.Left));
+  check "p3 %prec" true ((G.production g 3).prec = Some (1, G.Left))
+
+let reader_fails ?(semantic = false) name src =
+  match Reader.of_string src with
+  | exception Reader.Error _ when not semantic -> ()
+  | exception Invalid_argument _ when semantic -> ()
+  | exception e ->
+      Alcotest.failf "%s: wrong exception %s" name (Printexc.to_string e)
+  | _ -> Alcotest.failf "%s: expected failure" name
+
+let test_reader_errors () =
+  reader_fails "unterminated comment" "%token A /* oops";
+  reader_fails "unterminated quote" "%% s : ' ;";
+  reader_fails "stray percent" "% token A %% s : A ;";
+  reader_fails "unknown directive" "%frobnicate %% s : s ;";
+  reader_fails "missing colon" "%token A %% s A ;";
+  reader_fails "missing semi" "%token A %% s : A";
+  reader_fails "no rules" "%token A %%";
+  reader_fails "garbage char" "%token A %% s : A ? ;";
+  reader_fails "misplaced %empty" "%token A %% s : A %empty ;";
+  reader_fails ~semantic:true "undeclared symbol" "%% s : NOPE ;";
+  reader_fails ~semantic:true "unknown %start" "%token A %start t %% s : A ;"
+
+let test_reader_error_position () =
+  match Reader.of_string "%token A\n%% s :\n  @ ;" with
+  | exception Reader.Error e ->
+      check_int "line" 3 e.line;
+      check_int "col" 3 e.col
+  | _ -> Alcotest.fail "expected error"
+
+let test_reader_roundtrip () =
+  let g = expr_grammar () in
+  let g2 = Reader.of_string (Reader.to_string g) in
+  check "roundtrip" true (G.equal_structure g g2);
+  let g3 = Reader.of_string (Reader.to_string g2) in
+  check "idempotent" true (G.equal_structure g2 g3)
+
+let test_reader_roundtrip_quoted_and_eps () =
+  let g =
+    G.make
+      ~prec:[ (G.Left, [ "+" ]) ]
+      ~terminals:[ "+"; "id" ]
+      ~start:"S"
+      ~rules:[ ("S", [ "S"; "+"; "S" ], None); ("S", [ "id" ], None); ("S", [], None) ]
+      ()
+  in
+  let g2 = Reader.of_string (Reader.to_string g) in
+  check "roundtrip with quoting and ε" true (G.equal_structure g g2)
+
+(* ------------------------------------------------------------------ *)
+(* Transform                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_reduce () =
+  let g =
+    G.make ~terminals:[ "a"; "b" ] ~start:"S"
+      ~rules:
+        [
+          ("S", [ "A"; "a" ], None);
+          ("S", [ "B" ], None) (* B unproductive *);
+          ("A", [ "b" ], None);
+          ("B", [ "B"; "a" ], None);
+          ("C", [ "a" ], None) (* C unreachable *);
+        ]
+      ()
+  in
+  let r = Transform.reduce g in
+  check "reduced" true (Analysis.is_reduced (Analysis.compute r));
+  check "B gone" true (G.find_nonterminal r "B" = None);
+  check "C gone" true (G.find_nonterminal r "C" = None);
+  check_int "productions" 3 (G.n_productions r)
+
+let test_reduce_identity () =
+  let g = expr_grammar () in
+  check "already reduced" true (G.equal_structure g (Transform.reduce g))
+
+let test_reduce_empty_language () =
+  let g =
+    G.make ~terminals:[ "a" ] ~start:"S" ~rules:[ ("S", [ "S"; "a" ], None) ] ()
+  in
+  match Transform.reduce g with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for empty language"
+
+let test_reduce_unreachable_only_after_unproductive () =
+  (* D is reachable only through a production that also uses unproductive U;
+     a correct implementation removes D as well. *)
+  let g =
+    G.make ~terminals:[ "a" ] ~start:"S"
+      ~rules:
+        [
+          ("S", [ "a" ], None);
+          ("S", [ "U"; "D" ], None);
+          ("U", [ "U" ], None);
+          ("D", [ "a" ], None);
+        ]
+      ()
+  in
+  let r = Transform.reduce g in
+  check "D gone" true (G.find_nonterminal r "D" = None);
+  check_int "one user production + augmented" 2 (G.n_productions r)
+
+let test_eliminate_epsilon () =
+  let g = epsilon_grammar () in
+  let r = Transform.eliminate_epsilon g in
+  Array.iteri
+    (fun i (p : G.production) ->
+      if i > 0 then check "no ε rule" true (Array.length p.rhs > 0))
+    r.productions;
+  (* The transformed grammar still derives id+id*id: spot-check FIRST. *)
+  let a = Analysis.compute r in
+  let e = Option.get (G.find_nonterminal r "E") in
+  check_strs "FIRST preserved" [ "("; "id" ] (names r (Analysis.first a e));
+  check "nothing nullable" true
+    (not
+       (List.exists
+          (fun n -> Analysis.nullable a n)
+          (List.init (G.n_nonterminals r - 1) (fun i -> i + 1))))
+
+let test_cyclic () =
+  let g =
+    G.make ~terminals:[ "a" ] ~start:"S"
+      ~rules:
+        [ ("S", [ "A" ], None); ("A", [ "S" ], None); ("A", [ "a" ], None) ]
+      ()
+  in
+  let cyc = Transform.cyclic_nonterminals g in
+  check_int "two cyclic nts" 2 (List.length cyc);
+  check_strs "expr not cyclic" []
+    (List.map (G.nonterminal_name g) (Transform.cyclic_nonterminals (expr_grammar ())))
+
+let test_left_recursive () =
+  let g = expr_grammar () in
+  let lr =
+    Transform.left_recursive_nonterminals g
+    |> List.map (G.nonterminal_name g)
+    |> List.sort compare
+  in
+  check_strs "E and T left recursive" [ "E"; "T" ] lr;
+  let g2 = epsilon_grammar () in
+  check_strs "eps grammar not left recursive" []
+    (List.map (G.nonterminal_name g2)
+       (Transform.left_recursive_nonterminals g2))
+
+(* Properties: FIRST/FOLLOW invariants on random grammars arrive with the
+   random grammar generator in lib/suite (tested in test_suite.ml). *)
+
+let () =
+  Alcotest.run "grammar"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "augmentation" `Quick test_augmentation;
+          Alcotest.test_case "by_lhs index" `Quick test_by_lhs;
+          Alcotest.test_case "symbols_count" `Quick test_symbols_count;
+          Alcotest.test_case "errors" `Quick test_make_errors;
+          Alcotest.test_case "precedence assignment" `Quick
+            test_precedence_assignment;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "nullable" `Quick test_nullable;
+          Alcotest.test_case "first" `Quick test_first;
+          Alcotest.test_case "follow (dragon 4.30)" `Quick test_follow;
+          Alcotest.test_case "first of sentential forms" `Quick
+            test_first_sentence;
+          Alcotest.test_case "reduced detection" `Quick test_reduced_detection;
+          Alcotest.test_case "$ in FOLLOW(start)" `Quick
+            test_follow_start_contains_eof;
+        ] );
+      ( "reader",
+        [
+          Alcotest.test_case "basic" `Quick test_reader_basic;
+          Alcotest.test_case "default start" `Quick test_reader_default_start;
+          Alcotest.test_case "quoted terminals" `Quick
+            test_reader_quoted_terminals;
+          Alcotest.test_case "empty alternatives" `Quick
+            test_reader_empty_alternative;
+          Alcotest.test_case "precedence directives" `Quick test_reader_prec;
+          Alcotest.test_case "error cases" `Quick test_reader_errors;
+          Alcotest.test_case "error positions" `Quick
+            test_reader_error_position;
+          Alcotest.test_case "print/parse roundtrip" `Quick
+            test_reader_roundtrip;
+          Alcotest.test_case "roundtrip with quoting and ε" `Quick
+            test_reader_roundtrip_quoted_and_eps;
+        ] );
+      ( "transform",
+        [
+          Alcotest.test_case "reduce" `Quick test_reduce;
+          Alcotest.test_case "reduce is identity on reduced" `Quick
+            test_reduce_identity;
+          Alcotest.test_case "reduce rejects empty language" `Quick
+            test_reduce_empty_language;
+          Alcotest.test_case "unproductive-then-unreachable order" `Quick
+            test_reduce_unreachable_only_after_unproductive;
+          Alcotest.test_case "eliminate epsilon" `Quick test_eliminate_epsilon;
+          Alcotest.test_case "cyclic detection" `Quick test_cyclic;
+          Alcotest.test_case "left recursion detection" `Quick
+            test_left_recursive;
+        ] );
+    ]

@@ -1,0 +1,312 @@
+(* Integration tests for the minilang example application — the whole
+   pipeline (lexer → LALR tables → tree → AST → evaluator) exercised
+   end to end. *)
+
+module Ast = Minilang.Ast
+module Lexer = Minilang.Lexer
+module Syntax = Minilang.Syntax
+module Interp = Minilang.Interp
+module Token = Lalr_runtime.Token
+module Tree = Lalr_runtime.Tree
+module G = Lalr_grammar.Grammar
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_strs = Alcotest.(check (list string))
+
+let output src =
+  match Syntax.parse src with
+  | Error e -> Alcotest.failf "parse failed: %a" Syntax.pp_error e
+  | Ok p -> (
+      match Interp.run_capture p with
+      | Ok out -> out
+      | Error e ->
+          Alcotest.failf "runtime error: %a" Interp.pp_runtime_error e)
+
+let runtime_error src =
+  match Syntax.parse src with
+  | Error e -> Alcotest.failf "parse failed: %a" Syntax.pp_error e
+  | Ok p -> (
+      match Interp.run_capture p with
+      | Ok _ -> Alcotest.fail "expected a runtime error"
+      | Error e -> e)
+
+let parse_fails src =
+  match Syntax.parse src with Error _ -> () | Ok _ -> Alcotest.fail "parsed"
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_lexer_basics () =
+  let toks = Lexer.tokenize Syntax.grammar "let x1 = 42; # comment\n x1=x1;" in
+  let names =
+    List.map (fun t -> G.terminal_name Syntax.grammar t.Token.terminal) toks
+  in
+  check_strs "token kinds"
+    [ "let"; "ident"; "assign"; "number"; "semi"; "ident"; "assign"; "ident"; "semi" ]
+    names;
+  check_strs "lexemes kept"
+    [ "x1"; "42" ]
+    (List.filter_map
+       (fun t ->
+         match G.terminal_name Syntax.grammar t.Token.terminal with
+         | "ident" | "number" -> Some t.Token.lexeme
+         | _ -> None)
+       toks
+    |> fun l -> [ List.nth l 0; List.nth l 1 ])
+
+let test_lexer_two_char_operators () =
+  let names src =
+    Lexer.tokenize Syntax.grammar src
+    |> List.map (fun t -> G.terminal_name Syntax.grammar t.Token.terminal)
+  in
+  check_strs "comparisons" [ "le"; "ge"; "eqeq"; "ne"; "lt"; "gt" ]
+    (names "<= >= == != < >");
+  check_strs "logic" [ "andand"; "oror"; "bang" ] (names "&& || !")
+
+let test_lexer_errors () =
+  let fails src =
+    match Lexer.tokenize Syntax.grammar src with
+    | exception Lexer.Error _ -> ()
+    | _ -> Alcotest.fail "expected lexer error"
+  in
+  fails "x @ y";
+  fails "a & b";
+  fails "a | b"
+
+(* ------------------------------------------------------------------ *)
+(* Parsing and AST                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_precedence_shapes () =
+  (* 1 + 2 * 3  parses as 1 + (2 * 3). *)
+  match Syntax.parse "let x = 1 + 2 * 3;" with
+  | Ok { main = [ Ast.Let ("x", e) ]; _ } ->
+      check "shape" true
+        (e = Ast.Binop (Ast.Add, Ast.Num 1, Ast.Binop (Ast.Mul, Ast.Num 2, Ast.Num 3)))
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_associativity_shape () =
+  (* 10 - 4 - 3 parses left: (10 - 4) - 3. *)
+  match Syntax.parse "let x = 10 - 4 - 3;" with
+  | Ok { main = [ Ast.Let (_, e) ]; _ } ->
+      check "left assoc" true
+        (e
+        = Ast.Binop
+            (Ast.Sub, Ast.Binop (Ast.Sub, Ast.Num 10, Ast.Num 4), Ast.Num 3))
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_unary_and_parens () =
+  match Syntax.parse "let x = -(1 + 2) * 3;" with
+  | Ok { main = [ Ast.Let (_, e) ]; _ } ->
+      check "shape" true
+        (e
+        = Ast.Binop
+            (Ast.Mul, Ast.Neg (Ast.Binop (Ast.Add, Ast.Num 1, Ast.Num 2)),
+             Ast.Num 3))
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_fundef_ast () =
+  match Syntax.parse "fun add(a, b) { return a + b; } print add(1, 2);" with
+  | Ok { funs = [ f ]; main = [ Ast.Print _ ] } ->
+      Alcotest.(check string) "name" "add" f.Ast.name;
+      check_strs "params" [ "a"; "b" ] f.Ast.params;
+      check_int "body size" 1 (List.length f.Ast.body)
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_parse_errors () =
+  parse_fails "let = 3;";
+  parse_fails "print 1 + ;";
+  parse_fails "if x { print 1; } else";
+  parse_fails "fun f( { }";
+  parse_fails "x = 1";
+  (* missing semicolon *)
+  parse_fails "let x = 1; )"
+
+let test_parse_error_position () =
+  match Syntax.parse "let x = 1;\nprint + ;" with
+  | Error (Syntax.Syntax e) ->
+      (* tokens: let x = 1 ; print + — the + is token 6. *)
+      check_int "position" 6 e.Lalr_runtime.Driver.position
+  | _ -> Alcotest.fail "expected syntax error"
+
+let test_parse_tree_validates () =
+  match Syntax.parse_tree "fun f(x) { return x; } print f(1);" with
+  | Ok tree -> check "valid" true (Tree.validate Syntax.grammar tree)
+  | Error _ -> Alcotest.fail "parse failed"
+
+let test_empty_program () =
+  match Syntax.parse "" with
+  | Ok { funs = []; main = [] } -> ()
+  | _ -> Alcotest.fail "empty program must parse to nothing"
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_arithmetic () =
+  check_strs "arith" [ "14"; "2"; "-6"; "3" ]
+    (output
+       "print 2 + 3 * 4; print 7 / 3; print 2 - 8; print (1 + 2) * 9 / 9;")
+
+let test_booleans () =
+  check_strs "bool" [ "true"; "false"; "true"; "true" ]
+    (output
+       "print 1 < 2; print 1 == 2; print 1 != 2 && 3 >= 3; print false || true;")
+
+let test_recursion () =
+  check_strs "fib" [ "55" ]
+    (output
+       "fun fib(n) { if n < 2 { return n; } return fib(n-1) + fib(n-2); } \
+        print fib(10);")
+
+let test_mutual_recursion () =
+  check_strs "even/odd" [ "true"; "false" ]
+    (output
+       "fun even(n) { if n == 0 { return true; } return odd(n - 1); } \
+        fun odd(n) { if n == 0 { return false; } return even(n - 1); } \
+        print even(10); print even(7);")
+
+let test_while_loop () =
+  check_strs "sum 1..10" [ "55" ]
+    (output
+       "let s = 0; let i = 1; while i <= 10 { s = s + i; i = i + 1; } print s;")
+
+let test_scoping () =
+  (* let in a block shadows; assignment reaches outward. *)
+  check_strs "shadow and update" [ "1"; "7" ]
+    (output
+       "let x = 1; if true { let x = 99; x = 100; print 1; } if true { x = 7; } \
+        print x;")
+
+let test_function_isolation () =
+  (* Functions do not see caller locals. *)
+  let e = runtime_error "fun f() { return y; } let y = 1; print f();" in
+  check "unbound" true (e = Interp.Unbound_variable "y")
+
+let test_runtime_errors () =
+  check "div by zero" true (runtime_error "print 1 / 0;" = Interp.Division_by_zero);
+  check "unknown fun" true
+    (runtime_error "print nope(1);" = Interp.Unknown_function "nope");
+  check "arity" true
+    (runtime_error "fun f(a) { return a; } print f(1, 2);"
+    = Interp.Arity { func = "f"; expected = 1; got = 2 });
+  check "type error" true
+    (match runtime_error "print 1 + true;" with
+    | Interp.Type_error _ -> true
+    | _ -> false);
+  check "return at top level" true
+    (runtime_error "return 1;" = Interp.Return_outside_function);
+  check "unbound assign" true
+    (runtime_error "x = 1;" = Interp.Unbound_variable "x")
+
+let test_fuel () =
+  match Syntax.parse "while true { }" with
+  | Ok p ->
+      check "infinite loop trapped" true
+        (Interp.run_capture ~fuel:10_000 p = Error Interp.Fuel_exhausted)
+  | Error _ -> Alcotest.fail "parse failed"
+
+let test_implicit_return_zero () =
+  check_strs "fall-through returns 0" [ "0" ]
+    (output "fun f() { } print f();")
+
+let test_short_circuit () =
+  (* && and || short-circuit: the division by zero on the right is
+     never evaluated. *)
+  check_strs "short circuit" [ "false"; "true" ]
+    (output "print false && 1 / 0 == 0; print true || 1 / 0 == 0;")
+
+(* ------------------------------------------------------------------ *)
+(* Grammar-level properties via the library machinery                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_grammar_is_clean_lalr () =
+  let a = Lalr_automaton.Lr0.build Syntax.grammar in
+  let t = Lalr_core.Lalr.compute a in
+  check "LALR(1)" true (Lalr_core.Lalr.is_lalr1 t);
+  let tbl =
+    Lalr_tables.Tables.build ~lookahead:(Lalr_core.Lalr.lookahead t) a
+  in
+  check "zero conflicts" true (Lalr_tables.Tables.conflicts tbl = [])
+
+(* Round-trip through the lexer: render random grammar sentences to
+   text, re-lex, and require the same terminal sequence. *)
+let render_token t =
+  match G.terminal_name Syntax.grammar t.Token.terminal with
+  | "ident" -> "x"
+  | "number" -> "7"
+  | "lparen" -> "(" | "rparen" -> ")"
+  | "lbrace" -> "{" | "rbrace" -> "}"
+  | "semi" -> ";" | "comma" -> ","
+  | "assign" -> "=" | "plus" -> "+" | "minus" -> "-"
+  | "star" -> "*" | "slash" -> "/"
+  | "lt" -> "<" | "le" -> "<=" | "gt" -> ">" | "ge" -> ">="
+  | "eqeq" -> "==" | "ne" -> "!="
+  | "andand" -> "&&" | "oror" -> "||" | "bang" -> "!"
+  | kw -> kw
+
+let test_generated_programs_roundtrip () =
+  let prep = Lalr_runtime.Sentence.prepare Syntax.grammar in
+  let rng = Random.State.make [| 31 |] in
+  for _ = 1 to 100 do
+    let sent = Lalr_runtime.Sentence.generate ~max_depth:10 prep rng in
+    let text = String.concat " " (List.map render_token sent) in
+    let relexed = Lexer.tokenize Syntax.grammar text in
+    check "same terminals" true
+      (List.map (fun t -> t.Token.terminal) relexed
+      = List.map (fun t -> t.Token.terminal) sent);
+    (* And the rendered program parses (to a tree; semantics may still
+       reject it at runtime, which is fine). *)
+    check "parses" true (Result.is_ok (Syntax.parse_tree text))
+  done
+
+let () =
+  Alcotest.run "minilang"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics and comments" `Quick test_lexer_basics;
+          Alcotest.test_case "two-char operators" `Quick
+            test_lexer_two_char_operators;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parsing",
+        [
+          Alcotest.test_case "precedence shape" `Quick test_precedence_shapes;
+          Alcotest.test_case "left associativity" `Quick
+            test_associativity_shape;
+          Alcotest.test_case "unary and parens" `Quick test_unary_and_parens;
+          Alcotest.test_case "function definitions" `Quick test_fundef_ast;
+          Alcotest.test_case "syntax errors" `Quick test_parse_errors;
+          Alcotest.test_case "error positions" `Quick
+            test_parse_error_position;
+          Alcotest.test_case "trees validate" `Quick test_parse_tree_validates;
+          Alcotest.test_case "empty program" `Quick test_empty_program;
+        ] );
+      ( "evaluation",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "booleans" `Quick test_booleans;
+          Alcotest.test_case "recursion" `Quick test_recursion;
+          Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+          Alcotest.test_case "while" `Quick test_while_loop;
+          Alcotest.test_case "scoping" `Quick test_scoping;
+          Alcotest.test_case "function scope isolation" `Quick
+            test_function_isolation;
+          Alcotest.test_case "runtime errors" `Quick test_runtime_errors;
+          Alcotest.test_case "fuel bounds loops" `Quick test_fuel;
+          Alcotest.test_case "implicit return" `Quick
+            test_implicit_return_zero;
+          Alcotest.test_case "short-circuit && and ||" `Quick
+            test_short_circuit;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "grammar clean LALR(1)" `Quick
+            test_grammar_is_clean_lalr;
+          Alcotest.test_case "generated programs re-lex and parse" `Quick
+            test_generated_programs_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,347 @@
+(* Tests for lib/runtime: the parser driver, trees, tokens, and the
+   sentence generator, including the generate→parse round-trip. *)
+
+module Bitset = Lalr_sets.Bitset
+module G = Lalr_grammar.Grammar
+module Lr0 = Lalr_automaton.Lr0
+module Lalr = Lalr_core.Lalr
+module Slr = Lalr_baselines.Slr
+module Tables = Lalr_tables.Tables
+module Token = Lalr_runtime.Token
+module Tree = Lalr_runtime.Tree
+module Driver = Lalr_runtime.Driver
+module Sentence = Lalr_runtime.Sentence
+module Registry = Lalr_suite.Registry
+module Randgen = Lalr_suite.Randgen
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let grammar_of name = Lazy.force (Registry.find name).grammar
+
+let lalr_tables g =
+  let a = Lr0.build g in
+  let t = Lalr.compute a in
+  Tables.build ~lookahead:(Lalr.lookahead t) a
+
+let expr_tables = lazy (lalr_tables (grammar_of "expr"))
+
+(* ------------------------------------------------------------------ *)
+(* Token                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_token_of_names () =
+  let g = grammar_of "expr" in
+  let toks = Token.of_names g [ "id"; "plus"; "id" ] in
+  check_int "three tokens" 3 (List.length toks);
+  check "terminal ids" true
+    (List.map (fun t -> t.Token.terminal) toks
+    = [
+        Option.get (G.find_terminal g "id");
+        Option.get (G.find_terminal g "plus");
+        Option.get (G.find_terminal g "id");
+      ]);
+  match Token.of_names g [ "nope" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown terminal must fail"
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_simple () =
+  let tbl = Lazy.force expr_tables in
+  match Driver.parse_names tbl [ "id"; "plus"; "id"; "star"; "id" ] with
+  | Error _ -> Alcotest.fail "must parse"
+  | Ok tree ->
+      let g = Lr0.grammar (Tables.automaton tbl) in
+      check "valid tree" true (Tree.validate g tree);
+      (* Yield round-trips. *)
+      check "yield" true
+        (List.map (fun t -> t.Token.lexeme) (Tree.yield tree)
+        = [ "id"; "plus"; "id"; "star"; "id" ]);
+      (* Precedence shape: the root must be e → e plus t (so * binds
+         tighter), i.e. the root production's rhs contains plus. *)
+      (match tree with
+      | Tree.Node { prod; _ } ->
+          check "root is the plus production" true
+            (Array.exists
+               (fun s -> G.symbol_name g s = "plus")
+               (G.production g prod).rhs)
+      | Tree.Leaf _ -> Alcotest.fail "root is a leaf")
+
+let test_parse_parenthesised () =
+  let tbl = Lazy.force expr_tables in
+  check "balanced" true
+    (Driver.accepts tbl
+       (Token.of_names
+          (Lr0.grammar (Tables.automaton tbl))
+          [ "lparen"; "id"; "plus"; "id"; "rparen"; "star"; "id" ]))
+
+let test_parse_rejects () =
+  let tbl = Lazy.force expr_tables in
+  let g = Lr0.grammar (Tables.automaton tbl) in
+  List.iter
+    (fun names ->
+      check
+        (String.concat " " names ^ " rejected")
+        false
+        (Driver.accepts tbl (Token.of_names g names)))
+    [
+      [ "plus" ];
+      [ "id"; "plus" ];
+      [ "id"; "id" ];
+      [ "lparen"; "id" ];
+      [ "id"; "rparen" ];
+      [];
+    ]
+
+let test_parse_empty_input () =
+  (* The JSON grammar doesn't derive ε either; empty input errors at
+     position 0 with a helpful expected list. *)
+  let tbl = lalr_tables (grammar_of "json") in
+  match Driver.parse tbl [] with
+  | Ok _ -> Alcotest.fail "empty input accepted"
+  | Error e ->
+      check_int "position" 0 e.Driver.position;
+      check "expects something" true (e.Driver.expected <> [])
+
+let test_error_details () =
+  let tbl = Lazy.force expr_tables in
+  let g = Lr0.grammar (Tables.automaton tbl) in
+  match Driver.parse tbl (Token.of_names g [ "id"; "plus"; "plus" ]) with
+  | Ok _ -> Alcotest.fail "must fail"
+  | Error e ->
+      check_int "position of second plus" 2 e.Driver.position;
+      check "found is plus" true
+        (e.Driver.found.Token.terminal = Option.get (G.find_terminal g "plus"));
+      (* After "id +" the parser expects a start of t: ( or id. *)
+      let expected_names =
+        List.map (G.terminal_name g) e.Driver.expected |> List.sort compare
+      in
+      Alcotest.(check (list string)) "expected" [ "id"; "lparen" ] expected_names
+
+let test_right_parse () =
+  let tbl = Lazy.force expr_tables in
+  match Driver.right_parse tbl
+          (Token.of_names (Lr0.grammar (Tables.automaton tbl)) [ "id"; "plus"; "id" ])
+  with
+  | Error _ -> Alcotest.fail "must parse"
+  | Ok prods ->
+      let g = Lr0.grammar (Tables.automaton tbl) in
+      (* id+id: f→id, t→f, e→t, f→id, t→f, e→e+t — six reductions. *)
+      check_int "reduction count" 6 (List.length prods);
+      let last = List.nth prods 5 in
+      check "last reduction is the plus production" true
+        (Array.exists
+           (fun s -> G.symbol_name g s = "plus")
+           (G.production g last).rhs)
+
+let test_embedded_eof_ignores_rest () =
+  let tbl = Lazy.force expr_tables in
+  let g = Lr0.grammar (Tables.automaton tbl) in
+  let toks = Token.of_names g [ "id" ] @ [ Token.eof ] @ Token.of_names g [ "plus" ] in
+  check "tokens after eof ignored" true (Driver.accepts tbl toks)
+
+let test_parse_epsilon_reductions () =
+  (* The ε-grammar exercises ε reductions in the driver. *)
+  let tbl = lalr_tables (grammar_of "expr-ll") in
+  let g = Lr0.grammar (Tables.automaton tbl) in
+  match Driver.parse tbl (Token.of_names g [ "id"; "plus"; "id" ]) with
+  | Error _ -> Alcotest.fail "must parse"
+  | Ok tree ->
+      check "valid" true (Tree.validate g tree);
+      (* The tree contains ε-nodes (children = []). *)
+      let rec has_eps = function
+        | Tree.Leaf _ -> false
+        | Tree.Node { children = []; _ } -> true
+        | Tree.Node { children; _ } -> List.exists has_eps children
+      in
+      check "ε nodes present" true (has_eps tree)
+
+let test_parse_with_slr_tables_same_language () =
+  (* For an SLR(1) grammar, SLR and LALR tables accept the same strings
+     (behavioural equivalence, not just set equality). *)
+  let g = grammar_of "expr" in
+  let a = Lr0.build g in
+  let lalr_tbl = Tables.build ~lookahead:(Lalr.lookahead (Lalr.compute a)) a in
+  let slr_tbl = Tables.build ~lookahead:(Slr.lookahead (Slr.compute a)) a in
+  let prep = Sentence.prepare g in
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to 200 do
+    let s = Sentence.generate ~max_depth:8 prep rng in
+    check "same acceptance" true
+      (Driver.accepts lalr_tbl s = Driver.accepts slr_tbl s)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Trees                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_tree_measures () =
+  let tbl = Lazy.force expr_tables in
+  let g = Lr0.grammar (Tables.automaton tbl) in
+  match Driver.parse tbl (Token.of_names g [ "id" ]) with
+  | Error _ -> Alcotest.fail "must parse"
+  | Ok tree ->
+      (* id: e → t → f → id: 3 interior nodes, 1 leaf. *)
+      check_int "size" 4 (Tree.size tree);
+      check_int "depth" 4 (Tree.depth tree);
+      check_int "productions" 3 (Tree.production_count tree)
+
+let test_tree_validate_rejects_wrong () =
+  let g = grammar_of "expr" in
+  (* e → t with a leaf child is invalid. *)
+  let bogus =
+    Tree.Node { prod = 2; children = [ Tree.Leaf (Token.make 1) ] }
+  in
+  check "invalid" false (Tree.validate g bogus)
+
+(* ------------------------------------------------------------------ *)
+(* Sentence generation and the round-trip property                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_min_height () =
+  let g = grammar_of "expr" in
+  let prep = Sentence.prepare g in
+  let nt n = Option.get (G.find_nonterminal g n) in
+  (* f → id gives f height 1; t → f 2; e → t 3. *)
+  check_int "f" 1 (Sentence.min_height prep (nt "f"));
+  check_int "t" 2 (Sentence.min_height prep (nt "t"));
+  check_int "e" 3 (Sentence.min_height prep (nt "e"))
+
+let test_generator_terminates_small_budget () =
+  let g = grammar_of "expr" in
+  let prep = Sentence.prepare g in
+  let rng = Random.State.make [| 1 |] in
+  for _ = 1 to 100 do
+    let s = Sentence.generate ~max_depth:0 prep rng in
+    check "nonempty" true (s <> [])
+  done
+
+let test_generator_tree_valid () =
+  let g = grammar_of "json" in
+  let prep = Sentence.prepare g in
+  let rng = Random.State.make [| 2 |] in
+  for _ = 1 to 100 do
+    let tree = Sentence.generate_tree ~max_depth:10 prep rng in
+    check "generated tree validates" true (Tree.validate g tree)
+  done
+
+let roundtrip_on name =
+  let g = grammar_of name in
+  let tbl = lalr_tables g in
+  let prep = Sentence.prepare g in
+  let rng = Random.State.make [| 42 |] in
+  for _ = 1 to 100 do
+    let sent = Sentence.generate ~max_depth:10 prep rng in
+    match Driver.parse tbl sent with
+    | Error e ->
+        Alcotest.failf "%s: generated sentence rejected: %s" name
+          (Format.asprintf "%a" (Driver.pp_error g) e)
+    | Ok tree ->
+        check "yield preserved" true
+          (List.map (fun t -> t.Token.terminal) (Tree.yield tree)
+          = List.map (fun t -> t.Token.terminal) sent);
+        check "tree validates" true (Tree.validate g tree)
+  done
+
+let test_roundtrip_expr () = roundtrip_on "expr"
+let test_roundtrip_json () = roundtrip_on "json"
+let test_roundtrip_pascal () = roundtrip_on "mini-pascal"
+let test_roundtrip_ada () = roundtrip_on "ada-subset"
+let test_roundtrip_algol () = roundtrip_on "algol60"
+
+(* On unambiguous grammars the parse tree equals the generated
+   derivation tree, not just its yield. *)
+let test_roundtrip_exact_tree () =
+  let g = grammar_of "json" in
+  let tbl = lalr_tables g in
+  let prep = Sentence.prepare g in
+  let rng = Random.State.make [| 5 |] in
+  let rec equal_shape a b =
+    match (a, b) with
+    | Tree.Leaf x, Tree.Leaf y -> x.Token.terminal = y.Token.terminal
+    | Tree.Node n1, Tree.Node n2 ->
+        n1.prod = n2.prod
+        && List.length n1.children = List.length n2.children
+        && List.for_all2 equal_shape n1.children n2.children
+    | _ -> false
+  in
+  for _ = 1 to 100 do
+    let gen_tree = Sentence.generate_tree ~max_depth:8 prep rng in
+    match Driver.parse tbl (Tree.yield gen_tree) with
+    | Error _ -> Alcotest.fail "rejected"
+    | Ok parsed -> check "same derivation tree" true (equal_shape gen_tree parsed)
+  done
+
+(* Random-grammar round-trip property: LALR(1)-clean random grammars
+   parse their own sentences. *)
+let prop_roundtrip_random =
+  QCheck.Test.make ~name:"generate→parse round-trip (random grammars)"
+    ~count:60 (Randgen.arbitrary ()) (fun g ->
+      let a = Lr0.build g in
+      let t = Lalr.compute a in
+      let tbl = Tables.build ~lookahead:(Lalr.lookahead t) a in
+      (* Only meaningful when conflict-free: conflicts mean some valid
+         sentences lose parses to yacc-default resolution. *)
+      if not (Lalr.is_lalr1 t) then true
+      else begin
+        let prep = Sentence.prepare g in
+        let rng = Random.State.make [| 11 |] in
+        let ok = ref true in
+        for _ = 1 to 20 do
+          let sent = Sentence.generate ~max_depth:8 prep rng in
+          if not (Driver.accepts tbl sent) then ok := false
+        done;
+        !ok
+      end)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ("token", [ Alcotest.test_case "of_names" `Quick test_token_of_names ]);
+      ( "driver",
+        [
+          Alcotest.test_case "parse id+id*id with shape" `Quick
+            test_parse_simple;
+          Alcotest.test_case "parenthesised" `Quick test_parse_parenthesised;
+          Alcotest.test_case "rejections" `Quick test_parse_rejects;
+          Alcotest.test_case "empty input" `Quick test_parse_empty_input;
+          Alcotest.test_case "error details" `Quick test_error_details;
+          Alcotest.test_case "right parse" `Quick test_right_parse;
+          Alcotest.test_case "embedded eof" `Quick
+            test_embedded_eof_ignores_rest;
+          Alcotest.test_case "ε reductions" `Quick
+            test_parse_epsilon_reductions;
+          Alcotest.test_case "SLR/LALR behavioural equivalence" `Quick
+            test_parse_with_slr_tables_same_language;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "measures" `Quick test_tree_measures;
+          Alcotest.test_case "validate rejects wrong shape" `Quick
+            test_tree_validate_rejects_wrong;
+        ] );
+      ( "sentence",
+        [
+          Alcotest.test_case "min heights" `Quick test_min_height;
+          Alcotest.test_case "terminates at depth 0" `Quick
+            test_generator_terminates_small_budget;
+          Alcotest.test_case "generated trees validate" `Quick
+            test_generator_tree_valid;
+        ] );
+      ( "round-trip",
+        [
+          Alcotest.test_case "expr" `Quick test_roundtrip_expr;
+          Alcotest.test_case "json" `Quick test_roundtrip_json;
+          Alcotest.test_case "mini-pascal" `Slow test_roundtrip_pascal;
+          Alcotest.test_case "ada-subset" `Slow test_roundtrip_ada;
+          Alcotest.test_case "algol60" `Slow test_roundtrip_algol;
+          Alcotest.test_case "exact tree on unambiguous" `Quick
+            test_roundtrip_exact_tree;
+        ] );
+      qsuite "round-trip-props" [ prop_roundtrip_random ];
+    ]

@@ -1,0 +1,208 @@
+(* Tests for lib/suite: registry integrity, grammar families, and the
+   random grammar generator. *)
+
+module G = Lalr_grammar.Grammar
+module Analysis = Lalr_grammar.Analysis
+module Reader = Lalr_grammar.Reader
+module Lr0 = Lalr_automaton.Lr0
+module Registry = Lalr_suite.Registry
+module Family = Lalr_suite.Family
+module Randgen = Lalr_suite.Randgen
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_all_load () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      match Lazy.force e.grammar with
+      | g -> check (e.name ^ " named consistently") true (g.G.name = e.name)
+      | exception exn ->
+          Alcotest.failf "%s failed to load: %s" e.name (Printexc.to_string exn))
+    Registry.all
+
+let test_all_reduced () =
+  (* Every suite grammar is reduced — a precondition of the LR builds. *)
+  List.iter
+    (fun (e : Registry.entry) ->
+      let a = Analysis.compute (Lazy.force e.grammar) in
+      check (e.name ^ " reduced") true (Analysis.is_reduced a))
+    Registry.all
+
+let test_languages_subset () =
+  check_int "six language grammars" 6 (List.length Registry.languages);
+  List.iter
+    (fun (e : Registry.entry) ->
+      check (e.name ^ " in all") true
+        (List.exists (fun (e' : Registry.entry) -> e'.name = e.name) Registry.all))
+    Registry.languages
+
+let test_find () =
+  check "find json" true ((Registry.find "json").name = "json");
+  match Registry.find "no-such" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found"
+
+let test_no_duplicate_names () =
+  let names = List.map (fun (e : Registry.entry) -> e.name) Registry.all in
+  check_int "unique" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_roundtrip_through_reader () =
+  (* Print/parse round-trip for every suite grammar — exercises the
+     Reader on realistic inputs. *)
+  List.iter
+    (fun (e : Registry.entry) ->
+      let g = Lazy.force e.grammar in
+      let g2 = Reader.of_string (Reader.to_string g) in
+      check (e.name ^ " roundtrips") true (G.equal_structure g g2))
+    Registry.all
+
+let test_language_sizes () =
+  (* The language grammars are the T1 workload; pin their vital
+     statistics so accidental grammar edits surface here. *)
+  let expect =
+    [
+      ("json", 18, 28);
+      ("mini-pascal", 152, 284);
+      ("mini-c", 186, 319);
+      ("ada-subset", 183, 365);
+      ("modula2", 144, 266);
+      ("algol60", 143, 244);
+    ]
+  in
+  List.iter
+    (fun (name, prods, states) ->
+      let g = Lazy.force (Registry.find name).grammar in
+      check_int (name ^ " productions") prods (G.n_productions g);
+      check_int (name ^ " LR(0) states") states (Lr0.n_states (Lr0.build g)))
+    expect
+
+(* ------------------------------------------------------------------ *)
+(* Families                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_expr_levels () =
+  let g1 = Family.expr_levels 1 in
+  check_int "1 level: 2+2 rules + aug" 5 (G.n_productions g1);
+  let g4 = Family.expr_levels 4 in
+  check_int "4 levels" (1 + (2 * 4) + 2) (G.n_productions g4);
+  (* State count grows with n. *)
+  let s2 = Lr0.n_states (Lr0.build (Family.expr_levels 2)) in
+  let s8 = Lr0.n_states (Lr0.build (Family.expr_levels 8)) in
+  check "monotone states" true (s8 > s2);
+  (* Every member is LALR(1)-clean (in fact SLR(1)). *)
+  let t = Lalr_core.Lalr.compute (Lr0.build g4) in
+  check "lalr1" true (Lalr_core.Lalr.is_lalr1 t);
+  match Family.expr_levels 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "n=0 must be rejected"
+
+let test_nullable_chain () =
+  let g = Family.nullable_chain 5 in
+  let a = Analysis.compute g in
+  (* All x_i nullable. *)
+  let nullable_count =
+    List.length
+      (List.filter
+         (fun i -> Analysis.nullable a i)
+         (List.init (G.n_nonterminals g) Fun.id))
+  in
+  check_int "five nullable nonterminals" 5 nullable_count;
+  (* includes-edge count grows superlinearly. *)
+  let edges n =
+    (Lalr_core.Lalr.stats
+       (Lalr_core.Lalr.compute (Lr0.build (Family.nullable_chain n))))
+      .Lalr_core.Lalr.includes_edges
+  in
+  check "superlinear includes growth" true (edges 10 > 3 * edges 3)
+
+let test_statement_lists () =
+  let g = Family.statement_lists 6 in
+  let t = Lalr_core.Lalr.compute (Lr0.build g) in
+  check "lalr1" true (Lalr_core.Lalr.is_lalr1 t);
+  check "bigger n, more states" true
+    (Lr0.n_states (Lr0.build (Family.statement_lists 12))
+    > Lr0.n_states (Lr0.build g))
+
+(* ------------------------------------------------------------------ *)
+(* Randgen                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let prop_randgen_reduced =
+  QCheck.Test.make ~name:"random grammars are reduced" ~count:200
+    (Randgen.arbitrary ()) (fun g ->
+      Analysis.is_reduced (Analysis.compute g))
+
+let prop_randgen_start_productive =
+  QCheck.Test.make ~name:"random grammars generate a sentence" ~count:100
+    (Randgen.arbitrary ()) (fun g ->
+      let prep = Lalr_runtime.Sentence.prepare g in
+      let rng = Random.State.make [| 3 |] in
+      ignore (Lalr_runtime.Sentence.generate ~max_depth:6 prep rng);
+      true)
+
+let prop_randgen_roundtrips_reader =
+  QCheck.Test.make ~name:"random grammars roundtrip the reader" ~count:100
+    (Randgen.arbitrary ()) (fun g ->
+      G.equal_structure g (Reader.of_string (Reader.to_string g)))
+
+let test_randgen_determinism () =
+  let mk seed =
+    Randgen.generate Randgen.default (Random.State.make [| seed |])
+  in
+  check "same seed, same grammar" true (G.equal_structure (mk 9) (mk 9));
+  (* Different seeds almost surely differ; try a few. *)
+  check "different seeds differ somewhere" true
+    (List.exists
+       (fun s -> not (G.equal_structure (mk 9) (mk s)))
+       [ 10; 11; 12; 13 ])
+
+let test_randgen_config_bounds () =
+  let cfg = { Randgen.default with n_terminals = 2; n_nonterminals = 2 } in
+  let g = Randgen.generate cfg (Random.State.make [| 1 |]) in
+  check "terminals within bound" true (G.n_terminals g <= 3);
+  check "nonterminals within bound" true (G.n_nonterminals g <= 3);
+  match Randgen.generate { cfg with n_terminals = 0 } (Random.State.make [| 1 |]) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "n_terminals=0 must be rejected"
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "suite"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "all grammars load" `Quick test_all_load;
+          Alcotest.test_case "all grammars reduced" `Quick test_all_reduced;
+          Alcotest.test_case "languages subset" `Quick test_languages_subset;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "unique names" `Quick test_no_duplicate_names;
+          Alcotest.test_case "reader round-trip for every grammar" `Quick
+            test_roundtrip_through_reader;
+          Alcotest.test_case "language grammar sizes pinned" `Quick
+            test_language_sizes;
+        ] );
+      ( "families",
+        [
+          Alcotest.test_case "expr_levels" `Quick test_expr_levels;
+          Alcotest.test_case "nullable_chain" `Quick test_nullable_chain;
+          Alcotest.test_case "statement_lists" `Quick test_statement_lists;
+        ] );
+      qsuite "randgen-props"
+        [
+          prop_randgen_reduced;
+          prop_randgen_start_productive;
+          prop_randgen_roundtrips_reader;
+        ];
+      ( "randgen",
+        [
+          Alcotest.test_case "determinism" `Quick test_randgen_determinism;
+          Alcotest.test_case "config bounds" `Quick test_randgen_config_bounds;
+        ] );
+    ]

@@ -1,0 +1,258 @@
+(* Tests for lib/tables: table construction, conflict detection and
+   resolution, default reductions, classification. *)
+
+module Bitset = Lalr_sets.Bitset
+module G = Lalr_grammar.Grammar
+module Lr0 = Lalr_automaton.Lr0
+module Lalr = Lalr_core.Lalr
+module Slr = Lalr_baselines.Slr
+module Tables = Lalr_tables.Tables
+module Classify = Lalr_tables.Classify
+module Registry = Lalr_suite.Registry
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let grammar_of name = Lazy.force (Registry.find name).grammar
+
+let lalr_tables g =
+  let a = Lr0.build g in
+  let t = Lalr.compute a in
+  Tables.build ~lookahead:(Lalr.lookahead t) a
+
+(* ------------------------------------------------------------------ *)
+(* Basic table shape                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_expr_table () =
+  let g = grammar_of "expr" in
+  let tbl = lalr_tables g in
+  let a = Tables.automaton tbl in
+  check "no conflicts" true (Tables.conflicts tbl = []);
+  (* Accept: state goto(0, e) on $. *)
+  let acc = Lr0.accept_state a in
+  check "accept action" true (Tables.action tbl ~state:acc ~terminal:0 = Tables.Accept);
+  (* State 0 shifts ( and id, errors on + and $. *)
+  let term name = Option.get (G.find_terminal g name) in
+  (match Tables.action tbl ~state:0 ~terminal:(term "lparen") with
+  | Tables.Shift _ -> ()
+  | _ -> Alcotest.fail "state 0 must shift (");
+  check "error on + in state 0" true
+    (Tables.action tbl ~state:0 ~terminal:(term "plus") = Tables.Error);
+  check "error on $ in state 0" true
+    (Tables.action tbl ~state:0 ~terminal:0 = Tables.Error);
+  (* goto mirrors the automaton. *)
+  let e = Option.get (G.find_nonterminal g "e") in
+  check "goto" true
+    (Tables.goto tbl ~state:0 ~nonterminal:e = Lr0.goto a 0 (Lalr_grammar.Symbol.N e))
+
+let test_every_state_has_some_action () =
+  let tbl = lalr_tables (grammar_of "json") in
+  let a = Tables.automaton tbl in
+  let g = Lr0.grammar a in
+  for s = 0 to Lr0.n_states a - 1 do
+    let any = ref false in
+    for t = 0 to G.n_terminals g - 1 do
+      if Tables.action tbl ~state:s ~terminal:t <> Tables.Error then any := true
+    done;
+    (* The dead state after shifting $ has no actions; every other
+       state must. *)
+    let is_dead =
+      Lr0.transitions a s = [] && Lr0.reductions a s = []
+    in
+    check "live state has actions" true (!any || is_dead)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Conflicts and resolution                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_dangling_else_defaults_to_shift () =
+  let tbl = lalr_tables (grammar_of "dangling-else") in
+  match Tables.unresolved_conflicts tbl with
+  | [ c ] -> (
+      check_int "s/r count" 1 (Tables.n_shift_reduce tbl);
+      check_int "r/r count" 0 (Tables.n_reduce_reduce tbl);
+      match (c.kind, c.chosen) with
+      | Tables.Shift_reduce _, Tables.Shift _ -> ()
+      | _ -> Alcotest.fail "dangling else must default to shift")
+  | l -> Alcotest.failf "expected exactly one conflict, got %d" (List.length l)
+
+let test_precedence_resolution () =
+  let g = grammar_of "expr-prec" in
+  let tbl = lalr_tables g in
+  check "no unresolved" true (Tables.unresolved_conflicts tbl = []);
+  check "but conflicts were seen" true (Tables.conflicts tbl <> []);
+  check "all resolved by precedence" true
+    (List.for_all
+       (fun (c : Tables.conflict) -> c.resolution = Tables.By_precedence)
+       (Tables.conflicts tbl))
+
+let test_precedence_directions () =
+  (* e PLUS e . PLUS → %left ⇒ reduce; e POW e . POW → %right ⇒ shift;
+     e CMP e . CMP → %nonassoc ⇒ error. *)
+  let g =
+    G.make
+      ~prec:[ (G.Nonassoc, [ "cmp" ]); (G.Left, [ "plus" ]); (G.Right, [ "pow" ]) ]
+      ~terminals:[ "plus"; "pow"; "cmp"; "id" ]
+      ~start:"e"
+      ~rules:
+        [
+          ("e", [ "e"; "plus"; "e" ], None);
+          ("e", [ "e"; "pow"; "e" ], None);
+          ("e", [ "e"; "cmp"; "e" ], None);
+          ("e", [ "id" ], None);
+        ]
+      ()
+  in
+  let tbl = lalr_tables g in
+  check "no unresolved" true (Tables.unresolved_conflicts tbl = []);
+  let term name = Option.get (G.find_terminal g name) in
+  let kinds = Hashtbl.create 8 in
+  List.iter
+    (fun (c : Tables.conflict) ->
+      match c.kind with
+      | Tables.Shift_reduce { reduce; _ } ->
+          Hashtbl.replace kinds (c.terminal, reduce) c.chosen
+      | Tables.Reduce_reduce _ -> Alcotest.fail "no r/r expected")
+    (Tables.conflicts tbl);
+  (* plus-after-plus reduces (left assoc). *)
+  check "left ⇒ reduce" true
+    (Hashtbl.find kinds (term "plus", 1) = Tables.Reduce 1);
+  (* pow-after-pow shifts (right assoc). *)
+  (match Hashtbl.find kinds (term "pow", 2) with
+  | Tables.Shift _ -> ()
+  | _ -> Alcotest.fail "right ⇒ shift");
+  (* cmp-after-cmp errors (nonassoc). *)
+  check "nonassoc ⇒ error" true
+    (Hashtbl.find kinds (term "cmp", 3) = Tables.Error)
+
+let test_mixed_precedence_levels () =
+  (* Higher production precedence beats lower terminal precedence and
+     vice versa: id * id . + reduces, id + id . * shifts. *)
+  let g = grammar_of "expr-prec" in
+  let tbl = lalr_tables g in
+  let sr_choice terminal_name reduce_rhs_op =
+    let term = Option.get (G.find_terminal g terminal_name) in
+    List.find_map
+      (fun (c : Tables.conflict) ->
+        match c.kind with
+        | Tables.Shift_reduce { reduce; _ }
+          when c.terminal = term
+               && Array.exists
+                    (fun s -> G.symbol_name g s = reduce_rhs_op)
+                    (G.production g reduce).rhs ->
+            Some c.chosen
+        | _ -> None)
+      (Tables.conflicts tbl)
+  in
+  (match sr_choice "plus" "star" with
+  | Some (Tables.Reduce _) -> ()
+  | _ -> Alcotest.fail "star-production . plus must reduce");
+  match sr_choice "star" "plus" with
+  | Some (Tables.Shift _) -> ()
+  | _ -> Alcotest.fail "plus-production . star must shift"
+
+let test_rr_keeps_earlier_production () =
+  let tbl = lalr_tables (grammar_of "lr1-not-lalr") in
+  check_int "two r/r" 2 (Tables.n_reduce_reduce tbl);
+  List.iter
+    (fun (c : Tables.conflict) ->
+      match (c.kind, c.chosen) with
+      | Tables.Reduce_reduce { kept; dropped }, Tables.Reduce chosen ->
+          check "kept < dropped" true (kept < dropped);
+          check_int "chose kept" kept chosen
+      | _ -> Alcotest.fail "expected r/r")
+    (Tables.unresolved_conflicts tbl)
+
+let test_slr_tables_conflict_where_lalr_clean () =
+  let g = grammar_of "assign" in
+  let a = Lr0.build g in
+  let lalr_tbl = Tables.build ~lookahead:(Lalr.lookahead (Lalr.compute a)) a in
+  let slr_tbl = Tables.build ~lookahead:(Slr.lookahead (Slr.compute a)) a in
+  check_int "LALR clean" 0 (List.length (Tables.unresolved_conflicts lalr_tbl));
+  check_int "SLR has 1 s/r" 1 (Tables.n_shift_reduce slr_tbl)
+
+(* ------------------------------------------------------------------ *)
+(* Default reductions                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_default_reductions () =
+  let g = grammar_of "expr" in
+  let tbl = lalr_tables g in
+  let a = Tables.automaton tbl in
+  let defaults = Tables.default_reductions tbl in
+  check_int "one entry per state" (Lr0.n_states a) (Array.length defaults);
+  Array.iteri
+    (fun s d ->
+      if d >= 0 then begin
+        (* The state's every non-error action is Reduce d. *)
+        for t = 0 to G.n_terminals g - 1 do
+          match Tables.action tbl ~state:s ~terminal:t with
+          | Tables.Error | Tables.Reduce _ -> ()
+          | _ -> Alcotest.fail "default-reduction state with shift/accept"
+        done;
+        check "d is a reduction of s" true (List.mem d (Lr0.reductions a s))
+      end)
+    defaults;
+  (* expr grammar: the pure-reduce states (e.g. after id) have defaults. *)
+  check "some defaults exist" true (Array.exists (fun d -> d >= 0) defaults)
+
+(* ------------------------------------------------------------------ *)
+(* Classification                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_classify_matches_registry () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let g = Lazy.force e.grammar in
+      let v =
+        if G.n_productions g <= 60 then Classify.classify g
+        else Classify.classify_no_lr1 g
+      in
+      let exp = e.expected in
+      check (e.name ^ ": lr0") true (v.lr0 = exp.lr0);
+      check (e.name ^ ": slr1") true (v.slr1 = exp.slr1);
+      check (e.name ^ ": lalr1") true (v.lalr1 = exp.lalr1);
+      if G.n_productions g <= 60 then
+        check (e.name ^ ": lr1") true (v.lr1 = exp.lr1);
+      check_int (e.name ^ ": lalr s/r") exp.lalr_sr v.lalr_sr_conflicts;
+      check_int (e.name ^ ": lalr r/r") exp.lalr_rr v.lalr_rr_conflicts;
+      check (e.name ^ ": not-lr-k") true (v.not_lr_k = exp.not_lr_k);
+      (* Hierarchy sanity: lr0 ⇒ slr1 ⇒ lalr1 ⇒ lr1. *)
+      check (e.name ^ ": hierarchy") true
+        ((not v.lr0 || v.slr1) && (not v.slr1 || v.lalr1)
+        && ((not v.lalr1) || v.lr1 || G.n_productions g > 60)))
+    Registry.all
+
+let () =
+  Alcotest.run "tables"
+    [
+      ( "shape",
+        [
+          Alcotest.test_case "expr table" `Quick test_expr_table;
+          Alcotest.test_case "live states have actions" `Quick
+            test_every_state_has_some_action;
+        ] );
+      ( "conflicts",
+        [
+          Alcotest.test_case "dangling else ⇒ shift" `Quick
+            test_dangling_else_defaults_to_shift;
+          Alcotest.test_case "precedence resolves everything" `Quick
+            test_precedence_resolution;
+          Alcotest.test_case "left/right/nonassoc directions" `Quick
+            test_precedence_directions;
+          Alcotest.test_case "mixed levels" `Quick test_mixed_precedence_levels;
+          Alcotest.test_case "r/r keeps earlier production" `Quick
+            test_rr_keeps_earlier_production;
+          Alcotest.test_case "SLR conflicts where LALR clean" `Quick
+            test_slr_tables_conflict_where_lalr_clean;
+        ] );
+      ( "compaction",
+        [ Alcotest.test_case "default reductions" `Quick test_default_reductions ] );
+      ( "classify",
+        [
+          Alcotest.test_case "whole registry" `Slow
+            test_classify_matches_registry;
+        ] );
+    ]
