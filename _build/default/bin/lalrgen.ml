@@ -272,6 +272,129 @@ let generate_cmd =
     Term.(const run $ grammar_arg $ method_arg $ output)
 
 (* ------------------------------------------------------------------ *)
+(* lint                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let lint_cmd =
+  let module Lint = Lalr_lint.Engine in
+  let module Diagnostic = Lalr_lint.Diagnostic in
+  let run spec format severity select ignored self_check list_codes =
+    if list_codes then begin
+      List.iter
+        (fun (p : Lalr_lint.Passes.pass) ->
+          Format.printf "%-14s %-12s %s@." p.name
+            (String.concat "," p.codes)
+            p.doc)
+        (Lint.passes ~self_check:true);
+      exit 0
+    end;
+    let min_severity =
+      match Diagnostic.severity_of_string severity with
+      | Some s -> s
+      | None ->
+          Format.eprintf
+            "invalid --severity %S (expected error, warning or info)@."
+            severity;
+          exit 1
+    in
+    let parse_codes what csv =
+      let codes =
+        List.concat_map (String.split_on_char ',') csv
+        |> List.filter (fun s -> s <> "")
+      in
+      List.iter
+        (fun c ->
+          if not (List.mem c Lint.known_codes) then begin
+            Format.eprintf "unknown lint code %S in %s (known: %s)@." c what
+              (String.concat " " Lint.known_codes);
+            exit 1
+          end)
+        codes;
+      codes
+    in
+    let config =
+      {
+        Lint.select = parse_codes "--select" select;
+        ignored = parse_codes "--ignore" ignored;
+        min_severity;
+        self_check;
+      }
+    in
+    let spec =
+      match spec with
+      | Some s -> s
+      | None ->
+          Format.eprintf "lint: a GRAMMAR argument is required@.";
+          exit 1
+    in
+    handle_load spec (fun g ->
+        let diags = Lint.run ~config g in
+        (match format with
+        | `Text -> Format.printf "%a" Lint.pp_report diags
+        | `Json -> print_endline (Diagnostic.list_to_json_string diags));
+        if Lint.has_errors diags then exit 3)
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"Output format: $(b,text) (default) or $(b,json).")
+  in
+  let severity =
+    Arg.(
+      value & opt string "info"
+      & info [ "severity" ] ~docv:"LEVEL"
+          ~doc:
+            "Minimum severity to report: $(b,error), $(b,warning) or \
+             $(b,info) (default: everything). The exit code reflects only \
+             error findings regardless of this filter.")
+  in
+  let select =
+    Arg.(
+      value & opt_all string []
+      & info [ "select" ] ~docv:"CODES"
+          ~doc:
+            "Comma-separated diagnostic codes to report (repeatable); \
+             default all.")
+  in
+  let ignored =
+    Arg.(
+      value & opt_all string []
+      & info [ "ignore" ] ~docv:"CODES"
+          ~doc:"Comma-separated diagnostic codes to suppress (repeatable).")
+  in
+  let self_check =
+    Arg.(
+      value & flag
+      & info [ "self-check" ]
+          ~doc:
+            "Also run the oracle pass auditing the look-ahead computation \
+             itself on this grammar (paper cross-validation; slower).")
+  in
+  let list_codes =
+    Arg.(
+      value & flag
+      & info [ "codes" ]
+          ~doc:"List the registered passes and their codes, then exit.")
+  in
+  let grammar_opt =
+    let doc =
+      "Grammar to lint: a file, $(b,-) for stdin, or $(b,suite:NAME). \
+       Optional only with $(b,--codes)."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"GRAMMAR" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static analysis of a grammar with structured diagnostics \
+          (exit 3 iff an error-severity finding exists)")
+    Term.(
+      const run $ grammar_opt $ format $ severity $ select $ ignored
+      $ self_check $ list_codes)
+
+(* ------------------------------------------------------------------ *)
 (* suite                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -296,5 +419,5 @@ let () =
        (Cmd.group info
           [
             classify_cmd; report_cmd; conflicts_cmd; tables_cmd; parse_cmd;
-            generate_cmd; suite_cmd;
+            generate_cmd; lint_cmd; suite_cmd;
           ]))

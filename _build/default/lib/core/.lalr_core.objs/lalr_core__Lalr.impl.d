@@ -1,1 +1,1 @@
-lib/core/lalr.ml: Analysis Array Format Grammar Hashtbl Lalr_automaton Lalr_sets List Symbol
+lib/core/lalr.ml: Analysis Array Format Grammar Hashtbl Lalr_automaton Lalr_sets List Queue Symbol

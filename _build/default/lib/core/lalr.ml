@@ -223,9 +223,133 @@ let is_lalr1 t =
   done;
   !ok
 
+(* ------------------------------------------------------------------ *)
+(* Provenance: why is a terminal in LA(q, A→ω)?                       *)
+(* ------------------------------------------------------------------ *)
+
+type trace = {
+  t_terminal : int;
+  t_reduction : int;
+  t_lookback : int;
+  t_includes_path : int list;
+  t_reads_path : int list;
+  t_dr : int;
+}
+
+(* Shortest path (BFS) from [start] to a node satisfying [hit];
+   returns the node list including both endpoints. *)
+let bfs_path ~n ~successors ~start ~hit =
+  if hit start then Some [ start ]
+  else begin
+    let prev = Array.make n (-2) in
+    prev.(start) <- -1;
+    let q = Queue.create () in
+    Queue.add start q;
+    let found = ref None in
+    while !found = None && not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          if !found = None && prev.(v) = -2 then begin
+            prev.(v) <- u;
+            if hit v then found := Some v else Queue.add v q
+          end)
+        (successors u)
+    done;
+    match !found with
+    | None -> None
+    | Some v ->
+        let rec walk v acc =
+          if prev.(v) = -1 then v :: acc else walk prev.(v) (v :: acc)
+        in
+        Some (walk v [])
+  end
+
+let trace t ~state ~prod ~terminal =
+  match Hashtbl.find_opt t.reduction_index (state, prod) with
+  | None -> None
+  | Some r ->
+      let nx = Array.length t.follow in
+      let rec try_lookbacks = function
+        | [] -> None
+        | x :: rest ->
+            if not (Bitset.mem t.follow.(x) terminal) then try_lookbacks rest
+            else begin
+              (* Follow(x) = ⋃ Read over includes*-successors, and
+                 Read(y) = ⋃ DR over reads*-successors, so both BFS
+                 searches must succeed once the membership test above
+                 passes. *)
+              match
+                bfs_path ~n:nx
+                  ~successors:(fun y -> t.includes.(y))
+                  ~start:x
+                  ~hit:(fun y -> Bitset.mem t.read.(y) terminal)
+              with
+              | None -> try_lookbacks rest
+              | Some inc_path -> (
+                  let y = List.nth inc_path (List.length inc_path - 1) in
+                  match
+                    bfs_path ~n:nx
+                      ~successors:(fun z -> t.reads.(z))
+                      ~start:y
+                      ~hit:(fun z -> Bitset.mem t.dr.(z) terminal)
+                  with
+                  | None -> try_lookbacks rest
+                  | Some reads_path ->
+                      let dr_end =
+                        List.nth reads_path (List.length reads_path - 1)
+                      in
+                      Some
+                        {
+                          t_terminal = terminal;
+                          t_reduction = r;
+                          t_lookback = x;
+                          t_includes_path = List.tl inc_path;
+                          t_reads_path = List.tl reads_path;
+                          t_dr = dr_end;
+                        })
+            end
+      in
+      try_lookbacks t.lookback.(r)
+
 let pp_nt_transition t ppf x =
   let p, a = Lr0.nt_transition t.automaton x in
   Format.fprintf ppf "(%d, %s)" p (Grammar.nonterminal_name (grammar t) a)
+
+let pp_trace t ppf tr =
+  let g = grammar t in
+  let q, pid = t.reduction_pairs.(tr.t_reduction) in
+  let term = Grammar.terminal_name g tr.t_terminal in
+  Format.fprintf ppf "@[<v>'%s' ∈ LA(%d, %a):@," term q
+    (Grammar.pp_production g) (Grammar.production g pid);
+  Format.fprintf ppf "  lookback  (%d, %a) ⇝ %a@," q
+    (Grammar.pp_production g) (Grammar.production g pid)
+    (pp_nt_transition t) tr.t_lookback;
+  (match tr.t_includes_path with
+  | [] -> ()
+  | path ->
+      Format.fprintf ppf "  includes  %a" (pp_nt_transition t) tr.t_lookback;
+      List.iter
+        (fun x -> Format.fprintf ppf " → %a" (pp_nt_transition t) x)
+        path;
+      Format.fprintf ppf "@,");
+  (match tr.t_reads_path with
+  | [] -> ()
+  | path ->
+      let first =
+        match tr.t_includes_path with
+        | [] -> tr.t_lookback
+        | l -> List.nth l (List.length l - 1)
+      in
+      Format.fprintf ppf "  reads     %a" (pp_nt_transition t) first;
+      List.iter
+        (fun x -> Format.fprintf ppf " → %a" (pp_nt_transition t) x)
+        path;
+      Format.fprintf ppf "@,");
+  let p, a = Lr0.nt_transition t.automaton tr.t_dr in
+  Format.fprintf ppf "  DR        '%s' ∈ DR%a — shiftable in state %d@]" term
+    (pp_nt_transition t) tr.t_dr
+    (Lr0.goto_exn t.automaton p (Symbol.N a))
 
 let pp ppf t =
   let g = grammar t in

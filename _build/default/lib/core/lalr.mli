@@ -82,6 +82,39 @@ val lookahead : t -> state:int -> prod:int -> Bitset.t
 val diagnostics : t -> diagnostic list
 val stats : t -> stats
 
+(** {2 Provenance}
+
+    A static explanation of one look-ahead membership
+    [t ∈ LA(q, A → ω)]: the chain
+
+    {v lookback → includes* → reads* → DR v}
+
+    through which the terminal is injected, rendered like a taint path.
+    The paths are shortest (BFS over each relation); in an SCC every
+    member shares the set, so the exhibited path is one witness among
+    possibly many. *)
+
+type trace = {
+  t_terminal : int;
+  t_reduction : int;  (** reduction index *)
+  t_lookback : int;  (** nonterminal transition the chain starts from *)
+  t_includes_path : int list;
+      (** successive transitions reached via [includes] (excluding
+          [t_lookback]); empty if the terminal is already in [Read] *)
+  t_reads_path : int list;
+      (** successive transitions reached via [reads]; empty if already
+          in [DR] *)
+  t_dr : int;  (** final transition with [t ∈ DR] *)
+}
+
+val trace : t -> state:int -> prod:int -> terminal:int -> trace option
+(** [trace t ~state ~prod ~terminal] explains why [terminal] is in the
+    look-ahead set of that reduction. [None] if the pair is not a
+    reduction or the terminal is not in its look-ahead set. *)
+
+val pp_trace : t -> Format.formatter -> trace -> unit
+(** Multi-line rendering of the chain with states and symbol names. *)
+
 val is_lalr1 : t -> bool
 (** No LALR(1) conflicts: in every state, reduction look-aheads are
     pairwise disjoint and disjoint from the shiftable terminals. (Accept

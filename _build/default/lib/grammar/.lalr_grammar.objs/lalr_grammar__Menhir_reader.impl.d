@@ -1,1 +1,1 @@
-lib/grammar/menhir_reader.ml: Filename Fun Grammar Hashtbl List Printf Reader String
+lib/grammar/menhir_reader.ml: Filename Fun Grammar Hashtbl List Option Printf Reader String

@@ -1,5 +1,28 @@
 type assoc = Left | Right | Nonassoc
 
+type loc = { file : string; line : int }
+
+let synthetic_loc name = { file = "<" ^ name ^ ">"; line = 0 }
+let is_synthetic l = l.line = 0
+
+let pp_loc ppf l =
+  if is_synthetic l then Format.fprintf ppf "%s" l.file
+  else Format.fprintf ppf "%s:%d" l.file l.line
+
+type locinfo = {
+  li_source : string;
+  li_rules : int list;
+  li_tokens : (string * int) list;
+  li_prec : int list;
+}
+
+type locations = {
+  source : string;
+  prod_locs : loc array;  (* per production id; index 0 synthetic *)
+  term_locs : loc array;  (* per terminal id; index 0 synthetic *)
+  prec_locs : loc array;  (* per precedence level, index level-1 *)
+}
+
 type production = {
   id : int;
   lhs : int;
@@ -15,11 +38,12 @@ type t = {
   by_lhs : int array array;
   start : int;
   terminal_prec : (int * assoc) option array;
+  locs : locations;
 }
 
 let eof_name = "$"
 
-let make ?(name = "grammar") ?(prec = []) ~terminals ~start ~rules () =
+let make ?(name = "grammar") ?(prec = []) ?locs ~terminals ~start ~rules () =
   if rules = [] then invalid_arg "Grammar.make: no rules";
   (* Terminal table: $ first, then declarations in order. *)
   List.iter
@@ -149,6 +173,44 @@ let make ?(name = "grammar") ?(prec = []) ~terminals ~start ~rules () =
   let by_lhs =
     Array.map (fun l -> Array.of_list (List.rev l)) by_lhs_lists
   in
+  (* Locations: synthetic everywhere by default; a reader supplies real
+     lines through [?locs], aligned positionally with [rules] and
+     [prec] and by name for tokens. *)
+  let locs =
+    let synth = synthetic_loc name in
+    let source =
+      match locs with Some l -> l.li_source | None -> synth.file
+    in
+    let at line = if line <= 0 then synth else { file = source; line } in
+    let prod_locs = Array.make (Array.length productions) synth in
+    (match locs with
+    | Some { li_rules; _ } ->
+        List.iteri
+          (fun i line ->
+            if i + 1 < Array.length prod_locs then
+              prod_locs.(i + 1) <- at line)
+          li_rules
+    | None -> ());
+    let term_locs = Array.make (Array.length terminal_names) synth in
+    (match locs with
+    | Some { li_tokens; _ } ->
+        List.iter
+          (fun (tname, line) ->
+            match Hashtbl.find_opt tmap tname with
+            | Some i -> term_locs.(i) <- at line
+            | None -> ())
+          li_tokens
+    | None -> ());
+    let prec_locs = Array.make (List.length prec) synth in
+    (match locs with
+    | Some { li_prec; _ } ->
+        List.iteri
+          (fun i line ->
+            if i < Array.length prec_locs then prec_locs.(i) <- at line)
+          li_prec
+    | None -> ());
+    { source; prod_locs; term_locs; prec_locs }
+  in
   {
     name;
     terminal_names;
@@ -157,6 +219,7 @@ let make ?(name = "grammar") ?(prec = []) ~terminals ~start ~rules () =
     by_lhs;
     start = start_id;
     terminal_prec;
+    locs;
   }
 
 let n_terminals g = Array.length g.terminal_names
@@ -197,6 +260,29 @@ let find_symbol g n =
       | None -> None)
 
 let rhs_length g i = Array.length g.productions.(i).rhs
+let source g = g.locs.source
+let production_loc g i = g.locs.prod_locs.(i)
+let terminal_loc g i = g.locs.term_locs.(i)
+
+let prec_level_loc g level =
+  let a = g.locs.prec_locs in
+  if level >= 1 && level <= Array.length a then a.(level - 1)
+  else synthetic_loc g.name
+
+let nonterminal_loc g n =
+  (* First production of the nonterminal, skipping the augmented one. *)
+  let prods = g.by_lhs.(n) in
+  let best = ref (synthetic_loc g.name) in
+  (try
+     Array.iter
+       (fun pid ->
+         if pid <> 0 then begin
+           best := g.locs.prod_locs.(pid);
+           raise Exit
+         end)
+       prods
+   with Exit -> ());
+  !best
 
 let symbols_count g =
   Array.fold_left

@@ -12,6 +12,35 @@
 
 type assoc = Left | Right | Nonassoc
 
+type loc = { file : string; line : int }
+(** A source position. [line = 0] marks a synthetic location (grammars
+    built in code — the suite, random generation — rather than read from
+    a file); [file] then holds ["<name>"]. *)
+
+val synthetic_loc : string -> loc
+(** [synthetic_loc name] is [{ file = "<name>"; line = 0 }]. *)
+
+val is_synthetic : loc -> bool
+
+val pp_loc : Format.formatter -> loc -> unit
+(** [file:line], or just [file] when synthetic. *)
+
+type locinfo = {
+  li_source : string;  (** file name shown in locations *)
+  li_rules : int list;  (** line per rule, aligned with [~rules] *)
+  li_tokens : (string * int) list;  (** line per declared terminal *)
+  li_prec : int list;  (** line per precedence level, aligned with [?prec] *)
+}
+(** Side-channel for {!make}: source lines collected by a reader.
+    Missing entries (or lines [<= 0]) fall back to synthetic. *)
+
+type locations = {
+  source : string;
+  prod_locs : loc array;  (** per production id; index 0 is synthetic *)
+  term_locs : loc array;  (** per terminal id; index 0 is synthetic *)
+  prec_locs : loc array;  (** per precedence level, index [level-1] *)
+}
+
 type production = {
   id : int;
   lhs : int;  (** nonterminal id *)
@@ -31,11 +60,13 @@ type t = private {
       (** [by_lhs.(a)] lists ids of productions with lhs [a], ascending. *)
   start : int;  (** the user's start nonterminal id *)
   terminal_prec : (int * assoc) option array;
+  locs : locations;
 }
 
 val make :
   ?name:string ->
   ?prec:(assoc * string list) list ->
+  ?locs:locinfo ->
   terminals:string list ->
   start:string ->
   rules:(string * string list * string option) list ->
@@ -72,6 +103,23 @@ val find_nonterminal : t -> string -> int option
 val find_symbol : t -> string -> Symbol.t option
 
 val rhs_length : t -> int -> int
+
+(** {2 Source locations} *)
+
+val source : t -> string
+(** The file the grammar was read from, or ["<name>"] when synthetic. *)
+
+val production_loc : t -> int -> loc
+val terminal_loc : t -> int -> loc
+
+val prec_level_loc : t -> int -> loc
+(** Location of the declaration line of a precedence {e level} (as
+    stored in [terminal_prec], levels start at 1). Synthetic when out of
+    range. *)
+
+val nonterminal_loc : t -> int -> loc
+(** Location of the nonterminal's first (user) production; synthetic
+    for the augmented start. *)
 
 val symbols_count : t -> int
 (** Total grammar size |G| = Σ (1 + |rhs|) over all productions — the

@@ -195,13 +195,18 @@ type state = { lx : lexer; mutable cur : token }
 let shift st = st.cur <- next st.lx
 let serr st message = error st.lx message
 
-let of_string ?(name = "grammar") src =
+let of_string ?(name = "grammar") ?source src =
   let lx = { src; pos = 0; line = 1; bol = 0 } in
   let st = { lx; cur = EOF_TOK } in
   shift st;
   let tokens = ref [] in
   let start = ref None in
   let prec = ref [] in
+  (* Lines for locations. [lx.line] is the position just past the
+     current token — right for a token lexed on its own line, at worst
+     one line late at a boundary; good enough for diagnostics. *)
+  let token_lines : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let prec_lines = ref [] in
   (* declarations *)
   let rec decls () =
     match st.cur with
@@ -211,6 +216,8 @@ let of_string ?(name = "grammar") src =
           match st.cur with
           | IDENT s ->
               tokens := s :: !tokens;
+              if not (Hashtbl.mem token_lines s) then
+                Hashtbl.replace token_lines s lx.line;
               shift st;
               names ()
           | _ -> ()
@@ -218,6 +225,7 @@ let of_string ?(name = "grammar") src =
         names ();
         decls ()
     | KW (("left" | "right" | "nonassoc") as kw) ->
+        let decl_line = lx.line in
         shift st;
         let assoc =
           match kw with
@@ -233,6 +241,7 @@ let of_string ?(name = "grammar") src =
           | _ -> List.rev acc
         in
         prec := (assoc, names []) :: !prec;
+        prec_lines := decl_line :: !prec_lines;
         decls ()
     | KW "start" -> (
         shift st;
@@ -263,12 +272,14 @@ let of_string ?(name = "grammar") src =
   decls ();
   (* rules *)
   let rules = ref [] in
+  let rule_lines = ref [] in
   let declared_tokens = Hashtbl.create 32 in
   List.iter (fun t -> Hashtbl.replace declared_tokens t ()) !tokens;
   (* Menhir does not require ';' between rules, so a production ends
      when an IDENT is immediately followed by ':' — that IDENT is the
      next rule's name. [parse_production] returns it when seen. *)
   let parse_production lhs =
+    let prod_line = lx.line in
     let rhs = ref [] in
     let prec_override = ref None in
     let next_lhs = ref None in
@@ -308,6 +319,7 @@ let of_string ?(name = "grammar") src =
     in
     go ();
     rules := (lhs, List.rev !rhs, !prec_override) :: !rules;
+    rule_lines := prod_line :: !rule_lines;
     !next_lhs
   in
   (* Parses one rule given its name (':' already consumed); returns the
@@ -352,6 +364,7 @@ let of_string ?(name = "grammar") src =
         else carried := parse_first_rule ()
   done;
   let rules = List.rev !rules in
+  let rule_lines = List.rev !rule_lines in
   let start =
     match !start with
     | Some s -> s
@@ -395,7 +408,20 @@ let of_string ?(name = "grammar") src =
           List.filter (fun tok -> tok <> t) (List.rev !tokens) )
     | [] -> (rules, List.rev !tokens)
   in
-  Grammar.make ~name ~prec:(List.rev !prec) ~terminals:tokens ~start ~rules ()
+  let locs =
+    {
+      Grammar.li_source = Option.value source ~default:("<" ^ name ^ ">");
+      li_rules = rule_lines;
+      li_tokens =
+        List.map
+          (fun t ->
+            (t, Option.value (Hashtbl.find_opt token_lines t) ~default:0))
+          tokens;
+      li_prec = List.rev !prec_lines;
+    }
+  in
+  Grammar.make ~name ~locs ~prec:(List.rev !prec) ~terminals:tokens ~start
+    ~rules ()
 
 let of_file path =
   let ic = open_in_bin path in
@@ -404,4 +430,6 @@ let of_file path =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  of_string ~name:(Filename.remove_extension (Filename.basename path)) src
+  of_string
+    ~name:(Filename.remove_extension (Filename.basename path))
+    ~source:path src

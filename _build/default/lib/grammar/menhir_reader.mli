@@ -22,8 +22,10 @@
     [EOF]), it is stripped: this library's grammars are implicitly
     augmented with an end marker already (see {!Grammar.make}). *)
 
-val of_string : ?name:string -> string -> Grammar.t
+val of_string : ?name:string -> ?source:string -> string -> Grammar.t
 (** Raises {!Reader.Error} on lexical/syntax errors and
-    [Invalid_argument] on semantic ones. *)
+    [Invalid_argument] on semantic ones. [source] is recorded in the
+    grammar's {!Grammar.locations} together with per-production and
+    per-declaration line numbers. *)
 
 val of_file : string -> Grammar.t

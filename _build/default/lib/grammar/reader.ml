@@ -191,22 +191,26 @@ let expect st tok what =
       (Printf.sprintf "expected %s but found %s" what
          (token_to_string st.cur.tok))
 
-(* Accumulated declarations. *)
+(* Accumulated declarations. Lines are kept alongside so the grammar's
+   lint diagnostics can cite file:line. *)
 type decls = {
-  mutable tokens : string list;  (* reversed *)
+  mutable tokens : (string * int) list;  (* (name, line), reversed *)
   mutable start : string option;
   mutable prec : (Grammar.assoc * string list) list;  (* reversed *)
+  mutable prec_lines : int list;  (* reversed, aligned with prec *)
 }
 
 let ident_list st what =
   let rec go acc =
     match st.cur.tok with
     | IDENT s ->
+        let line = st.cur.tline in
         shift st;
-        go (s :: acc)
+        go ((s, line) :: acc)
     | QUOTED s ->
+        let line = st.cur.tline in
         shift st;
-        go (s :: acc)
+        go ((s, line) :: acc)
     | _ ->
         if acc = [] then
           syntax_error st
@@ -217,7 +221,13 @@ let ident_list st what =
   go []
 
 let parse_declarations st =
-  let d = { tokens = []; start = None; prec = [] } in
+  let d = { tokens = []; start = None; prec = []; prec_lines = [] } in
+  let prec_decl assoc =
+    let line = st.cur.tline in
+    shift st;
+    d.prec <- (assoc, List.map fst (ident_list st "terminal")) :: d.prec;
+    d.prec_lines <- line :: d.prec_lines
+  in
   let rec go () =
     match st.cur.tok with
     | KW_TOKEN ->
@@ -235,16 +245,13 @@ let parse_declarations st =
             go ()
         | _ -> syntax_error st "expected a nonterminal name after %start")
     | KW_LEFT ->
-        shift st;
-        d.prec <- (Grammar.Left, ident_list st "terminal") :: d.prec;
+        prec_decl Grammar.Left;
         go ()
     | KW_RIGHT ->
-        shift st;
-        d.prec <- (Grammar.Right, ident_list st "terminal") :: d.prec;
+        prec_decl Grammar.Right;
         go ()
     | KW_NONASSOC ->
-        shift st;
-        d.prec <- (Grammar.Nonassoc, ident_list st "terminal") :: d.prec;
+        prec_decl Grammar.Nonassoc;
         go ()
     | SEPARATOR -> shift st
     | _ ->
@@ -258,14 +265,17 @@ let parse_declarations st =
 (* Quoted terminals are implicitly declared; collect them during rule
    parsing so Grammar.make sees a complete terminal list. *)
 let parse_rules st d =
-  let implicit : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let implicit : (string, int) Hashtbl.t = Hashtbl.create 16 in
   let declared = Hashtbl.create 16 in
-  List.iter (fun t -> Hashtbl.replace declared t ()) d.tokens;
-  let note_quoted s =
-    if not (Hashtbl.mem declared s) then Hashtbl.replace implicit s ()
+  List.iter (fun (t, _) -> Hashtbl.replace declared t ()) d.tokens;
+  let note_quoted s line =
+    if not (Hashtbl.mem declared s || Hashtbl.mem implicit s) then
+      Hashtbl.replace implicit s line
   in
   let rules = ref [] in
+  let rule_lines = ref [] in
   let parse_alternative lhs =
+    let alt_line = st.cur.tline in
     let rhs = ref [] in
     let prec_override = ref None in
     let rec go () =
@@ -275,8 +285,8 @@ let parse_rules st d =
           rhs := s :: !rhs;
           go ()
       | QUOTED s ->
+          note_quoted s st.cur.tline;
           shift st;
-          note_quoted s;
           rhs := s :: !rhs;
           go ()
       | KW_EMPTY ->
@@ -303,7 +313,8 @@ let parse_rules st d =
                (token_to_string st.cur.tok))
     in
     go ();
-    rules := (lhs, List.rev !rhs, !prec_override) :: !rules
+    rules := (lhs, List.rev !rhs, !prec_override) :: !rules;
+    rule_lines := alt_line :: !rule_lines
   in
   let parse_rule () =
     match st.cur.tok with
@@ -325,15 +336,18 @@ let parse_rules st d =
   while st.cur.tok <> EOF do
     parse_rule ()
   done;
-  let implicit_tokens = Hashtbl.fold (fun s () acc -> s :: acc) implicit [] in
-  (List.rev !rules, List.sort String.compare implicit_tokens)
+  let implicit_tokens =
+    Hashtbl.fold (fun s line acc -> (s, line) :: acc) implicit []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  (List.rev !rules, List.rev !rule_lines, implicit_tokens)
 
-let of_string ?(name = "grammar") src =
+let of_string ?(name = "grammar") ?source src =
   let lx = { src; pos = 0; line = 1; bol = 0 } in
   let st = { lx; cur = { tok = EOF; tline = 1; tcol = 1 } } in
   shift st;
   let d = parse_declarations st in
-  let rules, implicit = parse_rules st d in
+  let rules, rule_lines, implicit = parse_rules st d in
   let start =
     match d.start with
     | Some s -> s
@@ -342,9 +356,18 @@ let of_string ?(name = "grammar") src =
         | (lhs, _, _) :: _ -> lhs
         | [] -> raise (Error { line = 1; col = 1; message = "no rules" }))
   in
-  Grammar.make ~name
+  let tokens = List.rev d.tokens @ implicit in
+  let locs =
+    {
+      Grammar.li_source = Option.value source ~default:("<" ^ name ^ ">");
+      li_rules = rule_lines;
+      li_tokens = tokens;
+      li_prec = List.rev d.prec_lines;
+    }
+  in
+  Grammar.make ~name ~locs
     ~prec:(List.rev d.prec)
-    ~terminals:(List.rev d.tokens @ implicit)
+    ~terminals:(List.map fst tokens)
     ~start ~rules ()
 
 let of_file path =
@@ -354,7 +377,9 @@ let of_file path =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  of_string ~name:(Filename.remove_extension (Filename.basename path)) src
+  of_string
+    ~name:(Filename.remove_extension (Filename.basename path))
+    ~source:path src
 
 (* ------------------------------------------------------------------ *)
 (* Printer (round-trips through of_string)                            *)

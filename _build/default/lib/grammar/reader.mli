@@ -41,13 +41,17 @@ exception Error of error
 val pp_error : Format.formatter -> error -> unit
 (** [line:col: message]. *)
 
-val of_string : ?name:string -> string -> Grammar.t
+val of_string : ?name:string -> ?source:string -> string -> Grammar.t
 (** Parses grammar text. Raises {!Error} on lexical or syntax errors and
     [Invalid_argument] on semantic errors rejected by {!Grammar.make}
-    (unknown symbols, duplicate precedence, ...). *)
+    (unknown symbols, duplicate precedence, ...). [source] is the file
+    name recorded in the grammar's {!Grammar.locations} (defaults to the
+    synthetic ["<name>"]); per-production, per-token and per-precedence
+    line numbers are always recorded. *)
 
 val of_file : string -> Grammar.t
-(** Reads and parses a file; the grammar is named after the basename. *)
+(** Reads and parses a file; the grammar is named after the basename and
+    locations cite the path. *)
 
 val to_string : Grammar.t -> string
 (** Prints a grammar back in the input format, such that

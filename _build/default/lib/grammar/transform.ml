@@ -24,9 +24,29 @@ let user_terminals (g : Grammar.t) =
   List.init (Grammar.n_terminals g - 1) (fun i ->
       Grammar.terminal_name g (i + 1))
 
-(* Rebuild from a subset of user productions (given as ids). *)
-let rebuild (g : Grammar.t) rule_list =
-  Grammar.make ~name:g.name ~prec:(prec_declarations g)
+(* Rebuild from a subset of user productions (given as ids).
+   [rule_lines] (aligned with [rule_list]) carries the original
+   locations across the rebuild; token and precedence locations are
+   copied wholesale since both are preserved verbatim. *)
+let rebuild (g : Grammar.t) ?(rule_lines = []) rule_list =
+  let locs =
+    {
+      Grammar.li_source = Grammar.source g;
+      li_rules = rule_lines;
+      li_tokens =
+        List.map
+          (fun t ->
+            match Grammar.find_terminal g t with
+            | Some i -> (t, (Grammar.terminal_loc g i).Grammar.line)
+            | None -> (t, 0))
+          (user_terminals g);
+      li_prec =
+        List.mapi
+          (fun i _ -> (Grammar.prec_level_loc g (i + 1)).Grammar.line)
+          (prec_declarations g);
+    }
+  in
+  Grammar.make ~name:g.name ~locs ~prec:(prec_declarations g)
     ~terminals:(user_terminals g)
     ~start:(Grammar.nonterminal_name g g.start)
     ~rules:rule_list ()
@@ -39,6 +59,9 @@ let rules_of_prod_ids (g : Grammar.t) ids =
         Array.to_list (Array.map (Grammar.symbol_name g) p.rhs),
         None ))
     ids
+
+let lines_of_prod_ids (g : Grammar.t) ids =
+  List.map (fun pid -> (Grammar.production_loc g pid).Grammar.line) ids
 
 let reduce (g : Grammar.t) =
   let a = Analysis.compute g in
@@ -86,7 +109,7 @@ let reduce (g : Grammar.t) =
       (fun pid -> Hashtbl.mem reachable (Grammar.production g pid).lhs)
       productive_prods
   in
-  rebuild g (rules_of_prod_ids g kept)
+  rebuild g ~rule_lines:(lines_of_prod_ids g kept) (rules_of_prod_ids g kept)
 
 let eliminate_epsilon (g : Grammar.t) =
   let a = Analysis.compute g in

@@ -1,0 +1,1 @@
+lib/lint/context.ml: Analysis Grammar Lalr_automaton Lalr_core Lalr_tables Lazy Option Transform

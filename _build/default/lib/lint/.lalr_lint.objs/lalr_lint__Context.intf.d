@@ -1,0 +1,1 @@
+lib/lint/context.mli: Analysis Grammar Lalr_automaton Lalr_core Lalr_tables Lazy

@@ -1,0 +1,1 @@
+lib/lint/diagnostic.ml: Buffer Char Format Grammar List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/lint/engine.ml: Context Diagnostic Format List Passes Printf Selfcheck String

@@ -1,0 +1,1 @@
+lib/lint/engine.mli: Diagnostic Format Grammar Passes

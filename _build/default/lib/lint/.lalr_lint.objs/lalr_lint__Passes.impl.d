@@ -1,0 +1,1 @@
+lib/lint/passes.ml: Analysis Array Context Diagnostic Format Grammar Hashtbl Lalr_automaton Lalr_baselines Lalr_core Lalr_report Lalr_sets Lalr_tables Lazy List Printf String Symbol Transform

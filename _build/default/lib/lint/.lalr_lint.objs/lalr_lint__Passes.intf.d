@@ -1,0 +1,1 @@
+lib/lint/passes.mli: Context Diagnostic Lalr_core

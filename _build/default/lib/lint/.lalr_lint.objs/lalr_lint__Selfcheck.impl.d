@@ -1,0 +1,1 @@
+lib/lint/selfcheck.ml: Analysis Context Diagnostic Format Grammar Hashtbl Lalr_automaton Lalr_baselines Lalr_core Lalr_sets Lazy List Passes Printf

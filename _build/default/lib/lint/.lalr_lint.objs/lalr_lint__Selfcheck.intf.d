@@ -1,0 +1,1 @@
+lib/lint/selfcheck.mli: Passes

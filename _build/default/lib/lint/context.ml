@@ -1,0 +1,33 @@
+module Lr0 = Lalr_automaton.Lr0
+module Lalr = Lalr_core.Lalr
+module Tables = Lalr_tables.Tables
+
+type t = {
+  grammar : Grammar.t;
+  analysis : Analysis.t;
+  reduced : Grammar.t option Lazy.t;
+  automaton : Lr0.t option Lazy.t;
+  lalr : Lalr.t option Lazy.t;
+  tables : Tables.t option Lazy.t;
+}
+
+let of_grammar grammar =
+  let analysis = Analysis.compute grammar in
+  let reduced =
+    lazy
+      (if Analysis.is_reduced analysis then Some grammar
+       else match Transform.reduce grammar with
+         | g -> Some g
+         | exception Invalid_argument _ -> None)
+  in
+  let automaton =
+    lazy (Option.map Lr0.build (Lazy.force reduced))
+  in
+  let lalr = lazy (Option.map Lalr.compute (Lazy.force automaton)) in
+  let tables =
+    lazy
+      (match (Lazy.force automaton, Lazy.force lalr) with
+      | Some a, Some t -> Some (Tables.build ~lookahead:(Lalr.lookahead t) a)
+      | _ -> None)
+  in
+  { grammar; analysis; reduced; automaton; lalr; tables }

@@ -1,0 +1,25 @@
+(** Shared analysis state for lint passes.
+
+    One context is built per linted grammar; the expensive artefacts
+    (the reduced grammar, the LR(0) automaton, the DeRemer–Pennello
+    relations, the LALR parse table) are lazy so a pass selection that
+    needs none of them — pure grammar hygiene — stays cheap. The
+    automaton-level artefacts are [None] when the grammar generates no
+    terminal string at all (unproductive start symbol): those passes
+    simply do not run, and the L001 finding explains why. *)
+
+type t = {
+  grammar : Grammar.t;  (** the grammar as given, with locations *)
+  analysis : Analysis.t;  (** of [grammar] *)
+  reduced : Grammar.t option Lazy.t;
+      (** [grammar] itself when already reduced (physical equality
+          preserved, so location arrays are shared); otherwise
+          {!Transform.reduce} of it; [None] if the start symbol is
+          unproductive *)
+  automaton : Lalr_automaton.Lr0.t option Lazy.t;  (** of [reduced] *)
+  lalr : Lalr_core.Lalr.t option Lazy.t;
+  tables : Lalr_tables.Tables.t option Lazy.t;
+      (** LALR(1) table (exact DeRemer–Pennello sets) *)
+}
+
+val of_grammar : Grammar.t -> t

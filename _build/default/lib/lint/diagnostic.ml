@@ -1,0 +1,125 @@
+type severity = Error | Warning | Info
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 3 | Warning -> 2 | Info -> 1
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+let escape_to_buffer buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec json_to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | String s -> escape_to_buffer buf s
+  | List l ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          json_to_buffer buf v)
+        l;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to_buffer buf k;
+          Buffer.add_char buf ':';
+          json_to_buffer buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+type t = {
+  code : string;
+  severity : severity;
+  loc : Grammar.loc option;
+  message : string;
+  detail : string list;
+  data : (string * json) list;
+}
+
+let make ~code ~severity ?loc ?(detail = []) ?(data = []) message =
+  { code; severity; loc; message; detail; data }
+
+let compare a b =
+  let loc_key = function
+    | Some (l : Grammar.loc) -> (0, l.file, l.line)
+    | None -> (1, "", 0)
+  in
+  let c = Stdlib.compare (loc_key a.loc) (loc_key b.loc) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.code b.code in
+    if c <> 0 then c else String.compare a.message b.message
+
+let pp ppf d =
+  (match d.loc with
+  | Some l -> Format.fprintf ppf "%a: " Grammar.pp_loc l
+  | None -> ());
+  Format.fprintf ppf "%s: %s [%s]" (severity_name d.severity) d.message d.code;
+  List.iter (fun line -> Format.fprintf ppf "@,    %s" line) d.detail
+
+let to_json d =
+  let base =
+    [
+      ("code", String d.code);
+      ("severity", String (severity_name d.severity));
+      ( "file",
+        match d.loc with Some l -> String l.file | None -> Null );
+      ("line", match d.loc with Some l -> Int l.line | None -> Null);
+      ("message", String d.message);
+      ("detail", List (List.map (fun s -> String s) d.detail));
+    ]
+  in
+  Obj (base @ d.data)
+
+let list_to_json_string diags =
+  let count sev =
+    List.length (List.filter (fun d -> d.severity = sev) diags)
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"diagnostics\":[";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n  ";
+      json_to_buffer buf (to_json d))
+    diags;
+  if diags <> [] then Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf
+       "],\"errors\":%d,\"warnings\":%d,\"infos\":%d}" (count Error)
+       (count Warning) (count Info));
+  Buffer.contents buf

@@ -1,0 +1,69 @@
+(** Structured lint diagnostics.
+
+    Every finding carries a stable code ([L001]...), a severity, an
+    optional source location (threaded from {!Grammar.locations}), a
+    human message, free-form detail lines for the text rendering, and a
+    machine-readable [data] payload for the JSON rendering. The engine
+    ({!Engine}) filters and sorts these; the renderings here are shared
+    by the CLI and the golden tests. *)
+
+type severity = Error | Warning | Info
+
+val severity_name : severity -> string
+(** ["error"], ["warning"], ["info"]. *)
+
+val severity_rank : severity -> int
+(** [Error] 3 > [Warning] 2 > [Info] 1, for threshold filtering. *)
+
+val severity_of_string : string -> severity option
+
+(** Minimal JSON values — just enough structure for the diagnostics
+    payload, so the library stays dependency-free. *)
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+val json_to_buffer : Buffer.t -> json -> unit
+(** Compact rendering with full string escaping. *)
+
+type t = {
+  code : string;  (** stable, [L]-prefixed *)
+  severity : severity;
+  loc : Grammar.loc option;
+  message : string;  (** one line, no trailing newline *)
+  detail : string list;
+      (** extra rendered lines (provenance traces, counterexamples),
+          indented under the message in text output *)
+  data : (string * json) list;
+      (** machine-readable extras, merged into the JSON object *)
+}
+
+val make :
+  code:string ->
+  severity:severity ->
+  ?loc:Grammar.loc ->
+  ?detail:string list ->
+  ?data:(string * json) list ->
+  string ->
+  t
+
+val compare : t -> t -> int
+(** Sort key for reports: location (file, line), then code, then
+    message; diagnostics without a location sort after located ones of
+    the same file-less group. *)
+
+val pp : Format.formatter -> t -> unit
+(** [file:line: severity: message [code]], detail lines indented. *)
+
+val to_json : t -> json
+(** Object with [code], [severity], [file], [line], [message], [detail]
+    plus the [data] fields. *)
+
+val list_to_json_string : t list -> string
+(** Pretty-enough JSON document: a top-level object with a
+    [diagnostics] array and summary counts. Stable field order, one
+    diagnostic per line — the golden-test format. *)

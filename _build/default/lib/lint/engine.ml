@@ -1,0 +1,54 @@
+module D = Diagnostic
+
+type config = {
+  select : string list;
+  ignored : string list;
+  min_severity : D.severity;
+  self_check : bool;
+}
+
+let default_config =
+  { select = []; ignored = []; min_severity = D.Info; self_check = false }
+
+let passes ~self_check =
+  Passes.all @ if self_check then [ Selfcheck.pass ] else []
+
+let known_codes =
+  List.concat_map (fun (p : Passes.pass) -> p.Passes.codes)
+    (passes ~self_check:true)
+  |> List.sort_uniq String.compare
+
+let keep config (d : D.t) =
+  (config.select = [] || List.mem d.D.code config.select)
+  && (not (List.mem d.D.code config.ignored))
+  && D.severity_rank d.D.severity >= D.severity_rank config.min_severity
+
+let run ?(config = default_config) g =
+  let ctx = Context.of_grammar g in
+  passes ~self_check:config.self_check
+  |> List.concat_map (fun (p : Passes.pass) -> p.Passes.run ctx)
+  |> List.filter (keep config)
+  |> List.sort D.compare
+
+let has_errors = List.exists (fun (d : D.t) -> d.D.severity = D.Error)
+
+let pp_report ppf diags =
+  let count sev =
+    List.length (List.filter (fun (d : D.t) -> d.D.severity = sev) diags)
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun d -> Format.fprintf ppf "%a@," D.pp d) diags;
+  (match diags with
+  | [] -> Format.fprintf ppf "no findings@,"
+  | _ ->
+      let plural n = if n = 1 then "" else "s" in
+      let e = count D.Error and w = count D.Warning and i = count D.Info in
+      let parts =
+        List.filter_map
+          (fun (n, what) ->
+            if n = 0 then None
+            else Some (Printf.sprintf "%d %s%s" n what (plural n)))
+          [ (e, "error"); (w, "warning"); (i, "info finding") ]
+      in
+      Format.fprintf ppf "%s@," (String.concat ", " parts));
+  Format.fprintf ppf "@]"

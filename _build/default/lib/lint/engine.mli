@@ -1,0 +1,42 @@
+(** The lint engine: runs the pass registry over a grammar and filters
+    the findings.
+
+    This is what [lalrgen lint] and the CI gate call. Severity
+    filtering, code selection and the exit-code contract live here so
+    every front end behaves identically:
+
+    - exit 0 — no error-severity finding (after filtering);
+    - nonzero — at least one error-severity finding survives.
+
+    ({!has_errors} computes the condition; the CLI maps it to its exit
+    code.) *)
+
+type config = {
+  select : string list;
+      (** report only these codes; empty selects everything *)
+  ignored : string list;  (** codes to drop, applied after [select] *)
+  min_severity : Diagnostic.severity;
+      (** report threshold; [Info] reports everything *)
+  self_check : bool;  (** also run the {!Selfcheck} oracle pass *)
+}
+
+val default_config : config
+(** Everything selected, nothing ignored, [Info] threshold, no
+    self-check. *)
+
+val passes : self_check:bool -> Passes.pass list
+(** The execution list: {!Passes.all}, plus the oracle when asked. *)
+
+val known_codes : string list
+(** Every code any registered pass can emit (self-check included),
+    ascending — the vocabulary for [--select]/[--ignore] validation. *)
+
+val run : ?config:config -> Grammar.t -> Diagnostic.t list
+(** Lints one grammar: builds a {!Context.t}, runs the passes, filters
+    by the config, sorts by location. *)
+
+val has_errors : Diagnostic.t list -> bool
+
+val pp_report : Format.formatter -> Diagnostic.t list -> unit
+(** The text rendering: one diagnostic per block, then a summary line
+    ("2 errors, 1 warning" or "no findings"). *)

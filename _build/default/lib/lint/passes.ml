@@ -1,0 +1,439 @@
+module D = Diagnostic
+module Lr0 = Lalr_automaton.Lr0
+module Lalr = Lalr_core.Lalr
+module Nqlalr = Lalr_baselines.Nqlalr
+module Tables = Lalr_tables.Tables
+module Counterexample = Lalr_report.Counterexample
+module Bitset = Lalr_sets.Bitset
+
+type pass = {
+  name : string;
+  codes : string list;
+  doc : string;
+  run : Context.t -> D.t list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shared renderers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let prod_str g pid =
+  Format.asprintf "%a" (Grammar.pp_production g) (Grammar.production g pid)
+
+let nt_transition_json lalr x =
+  let p, a = Lr0.nt_transition (Lalr.automaton lalr) x in
+  D.Obj
+    [
+      ("state", D.Int p);
+      ("symbol", D.String (Grammar.nonterminal_name (Lalr.grammar lalr) a));
+    ]
+
+let trace_to_json lalr (tr : Lalr.trace) =
+  D.Obj
+    [
+      ("lookback", nt_transition_json lalr tr.Lalr.t_lookback);
+      ( "includes_path",
+        D.List (List.map (nt_transition_json lalr) tr.Lalr.t_includes_path) );
+      ( "reads_path",
+        D.List (List.map (nt_transition_json lalr) tr.Lalr.t_reads_path) );
+      ("dr", nt_transition_json lalr tr.Lalr.t_dr);
+    ]
+
+let trace_lines lalr tr =
+  Format.asprintf "%a" (Lalr.pp_trace lalr) tr |> String.split_on_char '\n'
+
+let cycle_str lalr members =
+  members
+  |> List.map (fun x -> Format.asprintf "%a" (Lalr.pp_nt_transition lalr) x)
+  |> String.concat " → "
+
+let cycle_json lalr members =
+  D.List (List.map (nt_transition_json lalr) members)
+
+(* ------------------------------------------------------------------ *)
+(* L001/L002 — unproductive and unreachable nonterminals              *)
+(* ------------------------------------------------------------------ *)
+
+(* Mirrors Transform.reduce exactly, so the findings coincide with the
+   symbols that reduction would remove (a property the tests assert):
+   reachability is judged over productive productions only. *)
+let run_reduction (ctx : Context.t) =
+  let g = ctx.grammar and a = ctx.analysis in
+  let nnt = Grammar.n_nonterminals g in
+  let productive n = Analysis.productive a n in
+  let unproductive =
+    List.filter (fun n -> not (productive n)) (List.init (nnt - 1) (( + ) 1))
+  in
+  let l001 =
+    List.map
+      (fun n ->
+        let name = Grammar.nonterminal_name g n in
+        let extra =
+          if n = g.Grammar.start then
+            " — the grammar generates no terminal string"
+          else ""
+        in
+        D.make ~code:"L001" ~severity:D.Error
+          ~loc:(Grammar.nonterminal_loc g n)
+          ~data:[ ("symbol", D.String name) ]
+          (Printf.sprintf
+             "nonterminal '%s' is unproductive (derives no terminal \
+              string)%s"
+             name extra))
+      unproductive
+  in
+  if not (productive g.Grammar.start) then l001
+  else begin
+    let prod_ok (p : Grammar.production) =
+      p.id <> 0
+      && productive p.lhs
+      && Array.for_all
+           (function Symbol.T _ -> true | Symbol.N n -> productive n)
+           p.rhs
+    in
+    let reachable = Array.make nnt false in
+    let rec visit n =
+      if not reachable.(n) then begin
+        reachable.(n) <- true;
+        Array.iter
+          (fun pid ->
+            let p = Grammar.production g pid in
+            if prod_ok p then
+              Array.iter
+                (function Symbol.N m -> visit m | Symbol.T _ -> ())
+                p.rhs)
+          (Grammar.productions_of g n)
+      end
+    in
+    visit g.Grammar.start;
+    let l002 =
+      List.init (nnt - 1) (( + ) 1)
+      |> List.filter (fun n -> productive n && not reachable.(n))
+      |> List.map (fun n ->
+             let name = Grammar.nonterminal_name g n in
+             D.make ~code:"L002" ~severity:D.Warning
+               ~loc:(Grammar.nonterminal_loc g n)
+               ~data:[ ("symbol", D.String name) ]
+               (Printf.sprintf
+                  "nonterminal '%s' is unreachable from the start symbol"
+                  name))
+    in
+    l001 @ l002
+  end
+
+(* ------------------------------------------------------------------ *)
+(* L003 — cyclic nonterminals                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_cycles (ctx : Context.t) =
+  Transform.cyclic_nonterminals ctx.grammar
+  |> List.map (fun n ->
+         let name = Grammar.nonterminal_name ctx.grammar n in
+         D.make ~code:"L003" ~severity:D.Error
+           ~loc:(Grammar.nonterminal_loc ctx.grammar n)
+           ~data:[ ("symbol", D.String name) ]
+           (Printf.sprintf
+              "nonterminal '%s' derives itself (%s ⇒+ %s): the grammar is \
+               ambiguous and not LR(k) for any k"
+              name name name))
+
+(* ------------------------------------------------------------------ *)
+(* L004/L005 — cycles in the paper's relations                        *)
+(* ------------------------------------------------------------------ *)
+
+let scc_loc lalr members =
+  let g = Lalr.grammar lalr in
+  match members with
+  | x :: _ ->
+      let _, a = Lr0.nt_transition (Lalr.automaton lalr) x in
+      Grammar.nonterminal_loc g a
+  | [] -> { Grammar.file = Grammar.source g; line = 0 }
+
+let run_relations (ctx : Context.t) =
+  match Lazy.force ctx.lalr with
+  | None -> []
+  | Some lalr ->
+      let stats = Lalr.stats lalr in
+      let l004 =
+        List.map
+          (fun members ->
+            D.make ~code:"L004" ~severity:D.Error ~loc:(scc_loc lalr members)
+              ~data:[ ("cycle", cycle_json lalr members) ]
+              ~detail:[ "cycle: " ^ cycle_str lalr members ]
+              "cycle in the 'reads' relation: the grammar is not LR(k) for \
+               any k (paper, Thm 6.1)")
+          stats.Lalr.reads_sccs
+      in
+      let l005 =
+        stats.Lalr.includes_sccs
+        |> List.filter (fun members ->
+               List.exists
+                 (fun x -> not (Bitset.is_empty (Lalr.read lalr x)))
+                 members)
+        |> List.map (fun members ->
+               D.make ~code:"L005" ~severity:D.Warning
+                 ~loc:(scc_loc lalr members)
+                 ~data:[ ("cycle", cycle_json lalr members) ]
+                 ~detail:[ "cycle: " ^ cycle_str lalr members ]
+                 "cycle in the 'includes' relation with nonempty Read sets: \
+                  the grammar is ambiguous (paper §6)")
+      in
+      l004 @ l005
+
+(* ------------------------------------------------------------------ *)
+(* L006/L007 — dead declarations                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_declarations (ctx : Context.t) =
+  let g = ctx.grammar in
+  let nterm = Grammar.n_terminals g in
+  let occurs = Array.make nterm false in
+  Array.iter
+    (fun (p : Grammar.production) ->
+      Array.iter
+        (function Symbol.T t -> occurs.(t) <- true | Symbol.N _ -> ())
+        p.rhs)
+    g.Grammar.productions;
+  let l006 =
+    List.init (nterm - 1) (( + ) 1)
+    |> List.filter (fun t ->
+           (not occurs.(t)) && g.Grammar.terminal_prec.(t) = None)
+    |> List.map (fun t ->
+           let name = Grammar.terminal_name g t in
+           D.make ~code:"L006" ~severity:D.Warning
+             ~loc:(Grammar.terminal_loc g t)
+             ~data:[ ("symbol", D.String name) ]
+             (Printf.sprintf "token '%s' is declared but never used" name))
+  in
+  (* A precedence declaration is dead when no shift/reduce decision ever
+     consults it: neither as the shift terminal of a conflict nor (by
+     level) as a production's precedence in one. *)
+  let has_prec = Array.exists (fun p -> p <> None) g.Grammar.terminal_prec in
+  let l007 =
+    if not has_prec then []
+    else
+      match Lazy.force ctx.tables with
+      | None -> []
+      | Some tbl ->
+          let gr = Lr0.grammar (Tables.automaton tbl) in
+          let consulted_term = Array.make nterm false in
+          let max_level =
+            Array.fold_left
+              (fun acc -> function Some (l, _) -> max acc l | None -> acc)
+              0 g.Grammar.terminal_prec
+          in
+          let consulted_level = Array.make (max_level + 1) false in
+          List.iter
+            (fun (c : Tables.conflict) ->
+              match c.Tables.kind with
+              | Tables.Shift_reduce { reduce; _ } -> (
+                  let tprec = g.Grammar.terminal_prec.(c.Tables.terminal) in
+                  let pprec = (Grammar.production gr reduce).Grammar.prec in
+                  match (tprec, pprec) with
+                  | Some _, Some (plevel, _) ->
+                      consulted_term.(c.Tables.terminal) <- true;
+                      if plevel <= max_level then
+                        consulted_level.(plevel) <- true
+                  | _ -> ())
+              | Tables.Reduce_reduce _ -> ())
+            (Tables.conflicts tbl);
+          List.init (nterm - 1) (( + ) 1)
+          |> List.filter_map (fun t ->
+                 match g.Grammar.terminal_prec.(t) with
+                 | Some (level, _)
+                   when (not consulted_term.(t))
+                        && not consulted_level.(level) ->
+                     let name = Grammar.terminal_name g t in
+                     Some
+                       (D.make ~code:"L007" ~severity:D.Warning
+                          ~loc:(Grammar.prec_level_loc g level)
+                          ~data:[ ("symbol", D.String name) ]
+                          (Printf.sprintf
+                             "precedence of token '%s' is never consulted \
+                              in any conflict resolution"
+                             name))
+                 | _ -> None)
+  in
+  l006 @ l007
+
+(* ------------------------------------------------------------------ *)
+(* L008 — duplicate productions                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_duplicates (ctx : Context.t) =
+  let g = ctx.grammar in
+  let seen = Hashtbl.create 64 in
+  Array.to_list g.Grammar.productions
+  |> List.filter_map (fun (p : Grammar.production) ->
+         if p.id = 0 then None
+         else
+           let key = (p.lhs, Array.to_list p.rhs) in
+           match Hashtbl.find_opt seen key with
+           | None ->
+               Hashtbl.replace seen key p.id;
+               None
+           | Some first ->
+               let first_loc = Grammar.production_loc g first in
+               Some
+                 (D.make ~code:"L008" ~severity:D.Warning
+                    ~loc:(Grammar.production_loc g p.id)
+                    ~data:
+                      [
+                        ("production", D.String (prod_str g p.id));
+                        ("first_at", D.Int first_loc.Grammar.line);
+                      ]
+                    (Printf.sprintf
+                       "duplicate production '%s' (first defined at %s)"
+                       (prod_str g p.id)
+                       (Format.asprintf "%a" Grammar.pp_loc first_loc))))
+
+(* ------------------------------------------------------------------ *)
+(* L101/L102 — LALR conflicts with provenance and counterexamples     *)
+(* ------------------------------------------------------------------ *)
+
+let conflict_detail lalr tbl (c : Tables.conflict) prods =
+  let example =
+    Format.asprintf "sample input: %a" Counterexample.pp
+      (Counterexample.conflict tbl c)
+  in
+  let traces =
+    List.filter_map
+      (fun pid ->
+        Lalr.trace lalr ~state:c.Tables.state ~prod:pid
+          ~terminal:c.Tables.terminal)
+      prods
+  in
+  let detail =
+    example :: List.concat_map (fun tr -> trace_lines lalr tr) traces
+  in
+  let data =
+    [
+      ("state", D.Int c.Tables.state);
+      ( "terminal",
+        D.String
+          (Grammar.terminal_name (Lalr.grammar lalr) c.Tables.terminal) );
+      ("provenance", D.List (List.map (trace_to_json lalr) traces));
+    ]
+  in
+  (detail, data)
+
+let run_conflicts (ctx : Context.t) =
+  match (Lazy.force ctx.lalr, Lazy.force ctx.tables) with
+  | Some lalr, Some tbl ->
+      let gr = Lalr.grammar lalr in
+      List.map
+        (fun (c : Tables.conflict) ->
+          let tname = Grammar.terminal_name gr c.Tables.terminal in
+          match c.Tables.kind with
+          | Tables.Shift_reduce { reduce; _ } ->
+              let detail, data = conflict_detail lalr tbl c [ reduce ] in
+              D.make ~code:"L101" ~severity:D.Warning
+                ~loc:(Grammar.production_loc gr reduce)
+                ~detail ~data
+                (Printf.sprintf
+                   "shift/reduce conflict in state %d on '%s' (shift vs \
+                    reduce %s)"
+                   c.Tables.state tname (prod_str gr reduce))
+          | Tables.Reduce_reduce { kept; dropped } ->
+              let detail, data =
+                conflict_detail lalr tbl c [ kept; dropped ]
+              in
+              D.make ~code:"L102" ~severity:D.Warning
+                ~loc:(Grammar.production_loc gr kept)
+                ~detail ~data
+                (Printf.sprintf
+                   "reduce/reduce conflict in state %d on '%s' (%s vs %s)"
+                   c.Tables.state tname (prod_str gr kept)
+                   (prod_str gr dropped)))
+        (Tables.unresolved_conflicts tbl)
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* L201 — spurious NQLALR conflicts (paper §7)                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_nqlalr (ctx : Context.t) =
+  match (Lazy.force ctx.automaton, Lazy.force ctx.tables) with
+  | Some a, Some tbl ->
+      let gr = Lr0.grammar a in
+      let nq = Nqlalr.compute a in
+      let nq_tbl = Tables.build ~lookahead:(Nqlalr.lookahead nq) a in
+      let real = Hashtbl.create 16 in
+      List.iter
+        (fun (c : Tables.conflict) ->
+          Hashtbl.replace real (c.Tables.state, c.Tables.terminal) ())
+        (Tables.unresolved_conflicts tbl);
+      Tables.unresolved_conflicts nq_tbl
+      |> List.filter (fun (c : Tables.conflict) ->
+             not (Hashtbl.mem real (c.Tables.state, c.Tables.terminal)))
+      |> List.map (fun (c : Tables.conflict) ->
+             let pid =
+               match c.Tables.kind with
+               | Tables.Shift_reduce { reduce; _ } -> reduce
+               | Tables.Reduce_reduce { kept; _ } -> kept
+             in
+             D.make ~code:"L201" ~severity:D.Info
+               ~loc:(Grammar.production_loc gr pid)
+               ~data:
+                 [
+                   ("state", D.Int c.Tables.state);
+                   ( "terminal",
+                     D.String (Grammar.terminal_name gr c.Tables.terminal) );
+                 ]
+               (Printf.sprintf
+                  "NQLALR (per-state follow merging) would report a \
+                   spurious conflict in state %d on '%s'; the exact sets \
+                   are conflict-free here (paper §7)"
+                  c.Tables.state
+                  (Grammar.terminal_name gr c.Tables.terminal)))
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    {
+      name = "reduction";
+      codes = [ "L001"; "L002" ];
+      doc = "unproductive and unreachable nonterminals";
+      run = run_reduction;
+    };
+    {
+      name = "cycles";
+      codes = [ "L003" ];
+      doc = "cyclic nonterminals (A ⇒+ A)";
+      run = run_cycles;
+    };
+    {
+      name = "relations";
+      codes = [ "L004"; "L005" ];
+      doc = "cycles in the reads/includes relations";
+      run = run_relations;
+    };
+    {
+      name = "declarations";
+      codes = [ "L006"; "L007" ];
+      doc = "unused tokens and dead precedence declarations";
+      run = run_declarations;
+    };
+    {
+      name = "duplicates";
+      codes = [ "L008" ];
+      doc = "duplicate productions";
+      run = run_duplicates;
+    };
+    {
+      name = "conflicts";
+      codes = [ "L101"; "L102" ];
+      doc = "LALR(1) conflicts with provenance traces";
+      run = run_conflicts;
+    };
+    {
+      name = "nqlalr";
+      codes = [ "L201" ];
+      doc = "spurious conflicts under the NQLALR approximation";
+      run = run_nqlalr;
+    };
+  ]

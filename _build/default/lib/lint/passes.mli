@@ -1,0 +1,43 @@
+(** The lint pass registry.
+
+    Each pass inspects one layer — the grammar, the DeRemer–Pennello
+    relations, or the LALR(1) parse table — and emits structured
+    {!Diagnostic.t}s. Codes are stable:
+
+    - [L001] {b error} — unproductive nonterminal
+    - [L002] {b warning} — unreachable nonterminal
+    - [L003] {b error} — cyclic nonterminal ([A ⇒+ A]: ambiguous)
+    - [L004] {b error} — cycle in [reads]: not LR(k) for any k
+      (paper, Thm 6.1)
+    - [L005] {b warning} — cycle in [includes] with nonempty [Read]:
+      ambiguity likely (paper §6)
+    - [L006] {b warning} — declared token never used
+    - [L007] {b warning} — precedence declaration never consulted
+    - [L008] {b warning} — duplicate production
+    - [L101] {b warning} — unresolved shift/reduce conflict, with a
+      [lookback → includes* → reads* → DR] provenance trace and a
+      sample input prefix
+    - [L102] {b warning} — unresolved reduce/reduce conflict, with
+      provenance traces for both reductions
+    - [L201] {b info} — spurious conflict under the NQLALR
+      approximation (paper §7)
+
+    The self-check oracle ([L900]/[L901]) lives in {!Selfcheck}. *)
+
+type pass = {
+  name : string;
+  codes : string list;
+  doc : string;  (** one line, for [--codes] style listings *)
+  run : Context.t -> Diagnostic.t list;
+}
+
+val all : pass list
+(** In execution order: grammar passes first, then relation passes,
+    then table passes. *)
+
+val trace_to_json :
+  Lalr_core.Lalr.t -> Lalr_core.Lalr.trace -> Diagnostic.json
+(** Structured rendering of a provenance trace (shared with
+    {!Selfcheck} and the tests): an object with [lookback],
+    [includes_path], [reads_path], [dr], each transition as
+    [{state, symbol}]. *)

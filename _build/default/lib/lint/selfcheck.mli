@@ -1,0 +1,23 @@
+(** The self-check oracle pass.
+
+    Rather than linting the user's grammar, this pass audits the
+    analyzer itself on that grammar, re-deriving the look-ahead sets by
+    independent methods and checking the paper's containments:
+
+    - [LA(q, A→ω) ⊆ FOLLOW(A)] for every reduction (the SLR bound,
+      paper §3);
+    - DeRemer–Pennello sets = yacc-style propagation sets;
+    - DeRemer–Pennello sets = canonical-LR(1) merged sets (skipped on
+      grammars above {!lr1_limit} productions, where the canonical
+      construction is prohibitive).
+
+    A violation is an [L901] {b error} — it means the core computation
+    is wrong, not the grammar. A clean run emits a single [L900]
+    {b info} recording what was verified, so CI logs show the oracle
+    actually ran. *)
+
+val lr1_limit : int
+(** Production-count bound above which the canonical-LR(1) cross-check
+    is skipped (the other two invariants still run). *)
+
+val pass : Passes.pass

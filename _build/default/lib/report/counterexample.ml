@@ -4,9 +4,10 @@ module Tables = Lalr_tables.Tables
 type example = { prefix : string list; at : string; state : int }
 
 (* Minimal terminal yield per nonterminal, by the usual fixpoint on
-   yield length (lists memoised per grammar call — callers cache the
-   closure if they need many). *)
-let min_yields (g : Grammar.t) =
+   yield length. Memoised per grammar (physical equality) below, so
+   per-conflict callers — lint runs one query per conflict — pay the
+   fixpoint once. *)
+let compute_min_yields (g : Grammar.t) =
   let n = Grammar.n_nonterminals g in
   let infinity = max_int / 2 in
   let len = Array.make n infinity in
@@ -43,6 +44,23 @@ let min_yields (g : Grammar.t) =
         (Printf.sprintf "Counterexample.min_yield: %s is unproductive"
            (Grammar.nonterminal_name g nt))
     else yield.(nt)
+
+(* A small move-to-front cache keyed by physical equality: grammars are
+   immutable, and callers typically alternate between at most a couple
+   of them (original and reduced). *)
+let cache : (Grammar.t * (int -> string list)) list ref = ref []
+let cache_limit = 8
+
+let min_yields g =
+  match List.find_opt (fun (g', _) -> g' == g) !cache with
+  | Some (_, f) -> f
+  | None ->
+      let f = compute_min_yields g in
+      let survivors =
+        List.filteri (fun i _ -> i < cache_limit - 1) !cache
+      in
+      cache := (g, f) :: survivors;
+      f
 
 let min_yield g nt = min_yields g nt
 

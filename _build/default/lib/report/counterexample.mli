@@ -21,7 +21,9 @@ type example = {
 
 val min_yield : Grammar.t -> int -> string list
 (** A minimal-length terminal string derivable from the nonterminal.
-    Raises [Invalid_argument] on an unproductive nonterminal. *)
+    Raises [Invalid_argument] on an unproductive nonterminal. The
+    underlying fixpoint is memoised per grammar (physical equality, a
+    small bounded cache), so repeated queries are O(answer). *)
 
 val shortest_prefix : Lalr_automaton.Lr0.t -> int -> Symbol.t list
 (** Shortest (in symbols) transition path from state 0 to the state.

@@ -1,0 +1,1 @@
+test/test_lint.ml: Alcotest Buffer Lalr_grammar Lalr_lint Lalr_suite Lalr_tables Lazy List QCheck QCheck_alcotest String
