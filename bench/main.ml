@@ -33,12 +33,14 @@ module Sentence = Lalr_runtime.Sentence
 module Registry = Lalr_suite.Registry
 module Digraph = Lalr_sets.Digraph
 module E = Lalr_bench_tables.Experiments
+module Engine = Lalr_engine.Engine
 
+(* Prebuilt artifacts for benchmark setup come from the shared
+   per-language engines (one pipeline per grammar per process); the
+   timed thunks themselves stay raw computations. *)
 let languages =
   lazy
-    (List.map
-       (fun (e : Registry.entry) -> (e.name, Lazy.force e.grammar))
-       Registry.languages)
+    (List.map (fun (name, eng) -> (name, Engine.grammar eng)) (E.engines ()))
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel plumbing                                                  *)
@@ -87,12 +89,11 @@ let bench_t1 () =
   in
   let results = run_tests ~quota_s:0.5 tests in
   List.iter
-    (fun (name, g) ->
-      let a = Lr0.build g in
+    (fun (name, eng) ->
       Format.printf "%-14s %a   (%d states)@." name pp_ns
         (estimate results ("/" ^ name))
-        (Lr0.n_states a))
-    (Lazy.force languages)
+        (Lr0.n_states (Engine.lr0 eng)))
+    (E.engines ())
 
 (* ------------------------------------------------------------------ *)
 (* T2 — relations + Digraph                                           *)
@@ -101,7 +102,7 @@ let bench_t1 () =
 let bench_t2 () =
   section "bench T2 — relations + Digraph solve (Lalr.compute)";
   let prebuilt =
-    List.map (fun (name, g) -> (name, Lr0.build g)) (Lazy.force languages)
+    List.map (fun (name, eng) -> (name, Engine.lr0 eng)) (E.engines ())
   in
   let tests =
     List.map
@@ -111,13 +112,13 @@ let bench_t2 () =
   in
   let results = run_tests ~quota_s:0.5 tests in
   List.iter
-    (fun (name, a) ->
-      let s = Lalr.stats (Lalr.compute a) in
+    (fun (name, eng) ->
+      let s = Lalr.stats (Engine.lalr eng) in
       Format.printf "%-14s %a   (%d nt transitions, %d+%d edges)@." name
         pp_ns
         (estimate results ("/" ^ name))
         s.Lalr.n_nt_transitions s.Lalr.reads_edges s.Lalr.includes_edges)
-    prebuilt
+    (E.engines ())
 
 (* ------------------------------------------------------------------ *)
 (* T3 — full pipeline to tables                                       *)
@@ -158,7 +159,9 @@ let methods a g =
 let bench_t4 () =
   section "bench T4 — look-ahead methods (the paper's headline comparison)";
   let prebuilt =
-    List.map (fun (name, g) -> (name, g, Lr0.build g)) (Lazy.force languages)
+    List.map
+      (fun (name, eng) -> (name, Engine.grammar eng, Engine.lr0 eng))
+      (E.engines ())
   in
   let tests =
     List.concat_map
@@ -216,14 +219,14 @@ let bench_f3 () =
      grammar, solved both ways. *)
   let cases =
     List.map
-      (fun (name, g) ->
-        let a = Lr0.build g in
-        let t = Lalr.compute a in
+      (fun (name, eng) ->
+        let a = Engine.lr0 eng in
+        let t = Engine.lalr eng in
         let nx = Lr0.n_nt_transitions a in
         let successors x = Lalr.includes t x in
         let init x = Lalr.read t x in
         (name, nx, successors, init))
-      (Lazy.force languages)
+      (E.engines ())
   in
   let tests =
     List.concat_map
@@ -310,12 +313,12 @@ let bench_rt () =
   section "bench RT — parser throughput on generated sentences";
   let cases =
     List.filter_map
-      (fun (name, g) ->
-        let a = Lr0.build g in
-        let t = Lalr.compute a in
+      (fun (name, eng) ->
+        let g = Engine.grammar eng in
+        let t = Engine.lalr eng in
         if not (Lalr.is_lalr1 t) then None
         else begin
-          let tbl = Tables.build ~lookahead:(Lalr.lookahead t) a in
+          let tbl = Engine.tables eng in
           let prep = Sentence.prepare g in
           let rng = Random.State.make [| 17 |] in
           let sentences =
@@ -326,7 +329,7 @@ let bench_rt () =
           in
           Some (name, tbl, sentences, total_tokens)
         end)
-      (Lazy.force languages)
+      (E.engines ())
   in
   let tests =
     List.map

@@ -17,10 +17,8 @@ module Reader = Lalr_grammar.Reader
 module Transform = Lalr_grammar.Transform
 module Lr0 = Lalr_automaton.Lr0
 module Lalr = Lalr_core.Lalr
-module Slr = Lalr_baselines.Slr
-module Nqlalr = Lalr_baselines.Nqlalr
 module Tables = Lalr_tables.Tables
-module Classify = Lalr_tables.Classify
+module Engine = Lalr_engine.Engine
 module Describe = Lalr_report.Describe
 module Driver = Lalr_runtime.Driver
 module Token = Lalr_runtime.Token
@@ -65,6 +63,26 @@ let grammar_arg =
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"GRAMMAR" ~doc)
 
+let timings_arg =
+  let doc =
+    "After the command, print per-stage engine timings (wall time and \
+     memoization hit/miss counters) to stderr."
+  in
+  Arg.(value & flag & info [ "timings" ] ~doc)
+
+(* Every subcommand threads ONE engine per grammar: whatever subset of
+   the pipeline it touches — automaton, relations, look-aheads, tables,
+   classification — is computed at most once per process.
+
+   The stats are printed via [at_exit] so commands that [exit 3] on
+   conflicts still report their timings. *)
+let handle_engine spec ~timings f =
+  handle_load spec (fun g ->
+      let e = Engine.create g in
+      if timings then
+        at_exit (fun () -> Format.eprintf "%a@." Engine.pp_stats e);
+      f e)
+
 let method_arg =
   let doc =
     "Look-ahead method: $(b,lalr) (DeRemer–Pennello, default), $(b,slr), or \
@@ -75,37 +93,29 @@ let method_arg =
     & opt (enum [ ("lalr", `Lalr); ("slr", `Slr); ("nqlalr", `Nqlalr) ]) `Lalr
     & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
 
-let lookahead_of_method a = function
-  | `Lalr ->
-      let t = Lalr.compute a in
-      Lalr.lookahead t
-  | `Slr ->
-      let s = Slr.compute a in
-      Slr.lookahead s
-  | `Nqlalr ->
-      let n = Nqlalr.compute a in
-      Nqlalr.lookahead n
+let tables_of_method e m = Engine.tables_for e m
 
 (* ------------------------------------------------------------------ *)
 (* classify                                                           *)
 (* ------------------------------------------------------------------ *)
 
 let classify_cmd =
-  let run spec with_lr1 try_k =
-    handle_load spec (fun g ->
+  let run spec with_lr1 try_k timings =
+    handle_engine spec ~timings (fun e ->
+        let g = Engine.grammar e in
         let v =
-          if with_lr1 || G.n_productions g <= 250 then Classify.classify g
-          else Classify.classify_no_lr1 g
+          Engine.classification
+            ~with_lr1:(with_lr1 || G.n_productions g <= Engine.lr1_limit)
+            e
         in
         Describe.classification Format.std_formatter v;
-        (if try_k > 1 && not v.Classify.lalr1 then
-           let a = Lr0.build g in
-           match Lalr_core.Lalr_k.smallest_k ~limit:try_k a with
+        (if try_k > 1 && not v.Lalr_tables.Classify.lalr1 then
+           match Lalr_core.Lalr_k.smallest_k ~limit:try_k (Engine.lr0 e) with
            | Some k -> Format.printf "LALR(%d) with a %d-token window@." k k
            | None ->
                Format.printf "not LALR(k) for any k ≤ %d@." try_k);
         (* Exit status mirrors LALR(1)-cleanliness, for scripting. *)
-        if not v.Classify.lalr1 then exit 3)
+        if not v.Lalr_tables.Classify.lalr1 then exit 3)
   in
   let with_lr1 =
     Arg.(
@@ -124,28 +134,16 @@ let classify_cmd =
   in
   Cmd.v
     (Cmd.info "classify" ~doc:"Place a grammar in the LR hierarchy")
-    Term.(const run $ grammar_arg $ with_lr1 $ try_k)
+    Term.(const run $ grammar_arg $ with_lr1 $ try_k $ timings_arg)
 
 (* ------------------------------------------------------------------ *)
 (* report                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let report_cmd =
-  let run spec dump_states =
-    handle_load spec (fun g ->
-        let ppf = Format.std_formatter in
-        Describe.grammar_summary ppf g;
-        let a = Lr0.build g in
-        let t = Lalr.compute a in
-        Describe.relations ppf t;
-        let tbl = Tables.build ~lookahead:(Lalr.lookahead t) a in
-        Describe.conflicts ppf tbl;
-        if dump_states || Lr0.n_states a <= 60 then
-          Describe.automaton ~lookaheads:t ppf a
-        else
-          Format.fprintf ppf
-            "(%d states: pass --dump-states for the full automaton)@."
-            (Lr0.n_states a))
+  let run spec dump_states timings =
+    handle_engine spec ~timings
+      (Describe.report ~dump_states Format.std_formatter)
   in
   let dump =
     Arg.(
@@ -154,35 +152,31 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Full analysis report (yacc -v style)")
-    Term.(const run $ grammar_arg $ dump)
+    Term.(const run $ grammar_arg $ dump $ timings_arg)
 
 (* ------------------------------------------------------------------ *)
 (* conflicts                                                          *)
 (* ------------------------------------------------------------------ *)
 
 let conflicts_cmd =
-  let run spec m =
-    handle_load spec (fun g ->
-        let a = Lr0.build g in
-        let lookahead = lookahead_of_method a m in
-        let tbl = Tables.build ~lookahead a in
+  let run spec m timings =
+    handle_engine spec ~timings (fun e ->
+        let tbl = tables_of_method e m in
         Describe.conflicts Format.std_formatter tbl;
         if Tables.unresolved_conflicts tbl <> [] then exit 3)
   in
   Cmd.v
     (Cmd.info "conflicts" ~doc:"Report table conflicts under a chosen method")
-    Term.(const run $ grammar_arg $ method_arg)
+    Term.(const run $ grammar_arg $ method_arg $ timings_arg)
 
 (* ------------------------------------------------------------------ *)
 (* tables                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let tables_cmd =
-  let run spec m compact =
-    handle_load spec (fun g ->
-        let a = Lr0.build g in
-        let lookahead = lookahead_of_method a m in
-        let tbl = Tables.build ~lookahead a in
+  let run spec m compact timings =
+    handle_engine spec ~timings (fun e ->
+        let tbl = tables_of_method e m in
         if compact then begin
           let module Compact = Lalr_tables.Compact in
           Format.printf "exact:  %a@." Compact.pp_stats
@@ -202,18 +196,17 @@ let tables_cmd =
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Print the ACTION/GOTO table")
-    Term.(const run $ grammar_arg $ method_arg $ compact)
+    Term.(const run $ grammar_arg $ method_arg $ compact $ timings_arg)
 
 (* ------------------------------------------------------------------ *)
 (* parse                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let parse_cmd =
-  let run spec tokens sexp =
-    handle_load spec (fun g ->
-        let a = Lr0.build g in
-        let t = Lalr.compute a in
-        let tbl = Tables.build ~lookahead:(Lalr.lookahead t) a in
+  let run spec tokens sexp timings =
+    handle_engine spec ~timings (fun e ->
+        let g = Engine.grammar e in
+        let tbl = Engine.tables e in
         match Token.of_names g tokens with
         | exception Invalid_argument msg ->
             Format.eprintf "%s@." msg;
@@ -240,18 +233,16 @@ let parse_cmd =
   in
   Cmd.v
     (Cmd.info "parse" ~doc:"Parse a token sequence and print the tree")
-    Term.(const run $ grammar_arg $ tokens $ sexp)
+    Term.(const run $ grammar_arg $ tokens $ sexp $ timings_arg)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                           *)
 (* ------------------------------------------------------------------ *)
 
 let generate_cmd =
-  let run spec m output =
-    handle_load spec (fun g ->
-        let a = Lr0.build g in
-        let lookahead = lookahead_of_method a m in
-        let tbl = Tables.build ~lookahead a in
+  let run spec m output timings =
+    handle_engine spec ~timings (fun e ->
+        let tbl = tables_of_method e m in
         let source = Lalr_report.Codegen.emit_to_string tbl in
         match output with
         | None -> print_string source
@@ -269,7 +260,7 @@ let generate_cmd =
        ~doc:
          "Emit a standalone OCaml parser module (tables + engine, no \
           library dependency)")
-    Term.(const run $ grammar_arg $ method_arg $ output)
+    Term.(const run $ grammar_arg $ method_arg $ output $ timings_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lint                                                               *)
@@ -278,7 +269,7 @@ let generate_cmd =
 let lint_cmd =
   let module Lint = Lalr_lint.Engine in
   let module Diagnostic = Lalr_lint.Diagnostic in
-  let run spec format severity select ignored self_check list_codes =
+  let run spec format severity select ignored self_check list_codes timings =
     if list_codes then begin
       List.iter
         (fun (p : Lalr_lint.Passes.pass) ->
@@ -328,7 +319,18 @@ let lint_cmd =
           exit 1
     in
     handle_load spec (fun g ->
-        let diags = Lint.run ~config g in
+        (* The context owns the engine: every pass and the self-check
+           oracle share one memoized pipeline over this grammar. *)
+        let ctx = Lalr_lint.Context.of_grammar g in
+        (if timings then
+           at_exit (fun () ->
+               match Lalr_lint.Context.engine ctx with
+               | Some e -> Format.eprintf "%a@." Engine.pp_stats e
+               | None ->
+                   Format.eprintf
+                     "engine timings: unavailable (start symbol is \
+                      unproductive)@."));
+        let diags = Lint.run_ctx ~config ctx in
         (match format with
         | `Text -> Format.printf "%a" Lint.pp_report diags
         | `Json -> print_endline (Diagnostic.list_to_json_string diags));
@@ -392,7 +394,7 @@ let lint_cmd =
           (exit 3 iff an error-severity finding exists)")
     Term.(
       const run $ grammar_opt $ format $ severity $ select $ ignored
-      $ self_check $ list_codes)
+      $ self_check $ list_codes $ timings_arg)
 
 (* ------------------------------------------------------------------ *)
 (* suite                                                              *)

@@ -9,6 +9,7 @@ module Tables = Lalr_tables.Tables
 module Classify = Lalr_tables.Classify
 module Registry = Lalr_suite.Registry
 module Family = Lalr_suite.Family
+module Engine = Lalr_engine.Engine
 
 (* ------------------------------------------------------------------ *)
 (* Table rendering                                                    *)
@@ -37,10 +38,17 @@ let print_table ppf ~title ~header rows =
       Format.fprintf ppf "%s@." (String.concat " | " (List.mapi pad row)))
     rows
 
-let languages () =
-  List.map
-    (fun (e : Registry.entry) -> (e.name, Lazy.force e.grammar))
-    Registry.languages
+(* One engine per language grammar, shared by every table of a process:
+   T1's automaton is T2's, T2's relations are T3's, and so on — each
+   stage of the pipeline is paid exactly once per grammar no matter how
+   many experiments run. *)
+let engines_l =
+  lazy
+    (List.map
+       (fun (e : Registry.entry) -> (e.name, Engine.create (Lazy.force e.grammar)))
+       Registry.languages)
+
+let engines () = Lazy.force engines_l
 
 (* ------------------------------------------------------------------ *)
 (* T1                                                                 *)
@@ -49,8 +57,9 @@ let languages () =
 let t1 ppf =
   let rows =
     List.map
-      (fun (name, g) ->
-        let a = Lr0.build g in
+      (fun (name, eng) ->
+        let g = Engine.grammar eng in
+        let a = Engine.lr0 eng in
         let states, kernel_items, transitions = Lr0.size_report a in
         [
           name;
@@ -63,7 +72,7 @@ let t1 ppf =
           string_of_int transitions;
           string_of_int (Lr0.n_nt_transitions a);
         ])
-      (languages ())
+      (engines ())
   in
   print_table ppf ~title:"T1 — grammar suite statistics"
     ~header:
@@ -80,9 +89,8 @@ let t1 ppf =
 let t2 ppf =
   let rows =
     List.map
-      (fun (name, g) ->
-        let t = Lalr.compute (Lr0.build g) in
-        let s = Lalr.stats t in
+      (fun (name, eng) ->
+        let s = Lalr.stats (Engine.lalr eng) in
         [
           name;
           string_of_int s.Lalr.n_nt_transitions;
@@ -93,7 +101,7 @@ let t2 ppf =
           string_of_int (List.length s.Lalr.reads_sccs);
           string_of_int (List.length s.Lalr.includes_sccs);
         ])
-      (languages ())
+      (engines ())
   in
   print_table ppf ~title:"T2 — relation sizes"
     ~header:
@@ -110,13 +118,10 @@ let t2 ppf =
 let t3 ppf =
   let rows =
     List.map
-      (fun (name, g) ->
-        let a = Lr0.build g in
-        let t = Lalr.compute a in
-        let s = Lalr.stats t in
-        let p = Propagation.compute a in
-        let ps = Propagation.stats p in
-        let tbl = Tables.build ~lookahead:(Lalr.lookahead t) a in
+      (fun (name, eng) ->
+        let s = Lalr.stats (Engine.lalr eng) in
+        let ps = Propagation.stats (Engine.propagation eng) in
+        let tbl = Engine.tables eng in
         let defaults =
           Array.fold_left
             (fun acc d -> if d >= 0 then acc + 1 else acc)
@@ -137,7 +142,7 @@ let t3 ppf =
           string_of_int ps.Propagation.propagate_edges;
           string_of_int ps.Propagation.passes;
         ])
-      (languages ())
+      (engines ())
   in
   print_table ppf ~title:"T3 — look-ahead set statistics"
     ~header:
@@ -165,9 +170,10 @@ let time_median ~repeats f =
   median (Array.init repeats (fun _ -> time_once f))
 
 (* The four methods, each timed end-to-end from a prebuilt LR(0)
-   automaton (LR(1)-merge builds its own machine — that IS its cost). *)
-let method_times ~repeats g =
-  let a = Lr0.build g in
+   automaton (LR(1)-merge builds its own machine — that IS its cost).
+   The timed thunks are the raw computations on purpose: the engine
+   memoizes around them, never inside them. *)
+let method_times_on ~repeats a g =
   let dp = time_median ~repeats (fun () -> Lalr.compute a) in
   let prop = time_median ~repeats (fun () -> Propagation.compute a) in
   let merge =
@@ -177,11 +183,15 @@ let method_times ~repeats g =
   let slr = time_median ~repeats (fun () -> Slr.compute a) in
   (dp, prop, merge, slr)
 
+let method_times ~repeats g = method_times_on ~repeats (Lr0.build g) g
+
 let t4_wallclock ?(repeats = 5) ppf =
   let rows =
     List.map
-      (fun (name, g) ->
-        let dp, prop, merge, slr = method_times ~repeats g in
+      (fun (name, eng) ->
+        let dp, prop, merge, slr =
+          method_times_on ~repeats (Engine.lr0 eng) (Engine.grammar eng)
+        in
         [
           name;
           Printf.sprintf "%.3f" (dp *. 1e3);
@@ -191,7 +201,7 @@ let t4_wallclock ?(repeats = 5) ppf =
           Printf.sprintf "%.1fx" (prop /. dp);
           Printf.sprintf "%.1fx" (merge /. dp);
         ])
-      (languages ())
+      (engines ())
   in
   print_table ppf
     ~title:
@@ -214,11 +224,8 @@ let t5 ppf =
   let b v = if v then "yes" else "no" in
   let rows =
     List.map
-      (fun (name, g) ->
-        let v =
-          if Grammar.n_productions g <= 250 then Classify.classify g
-          else Classify.classify_no_lr1 g
-        in
+      (fun (name, eng) ->
+        let v = Engine.classification eng in
         [
           name;
           b v.Classify.lr0;
@@ -233,7 +240,7 @@ let t5 ppf =
           (if v.Classify.lr1_states > 0 then string_of_int v.Classify.lr1_states
            else "-");
         ])
-      (languages ())
+      (engines ())
   in
   print_table ppf
     ~title:"T5 — parser classes and conflicts (s/r / r/r per method)"
@@ -271,10 +278,8 @@ let t6 ppf =
   let module Compact = Lalr_tables.Compact in
   let rows =
     List.map
-      (fun (name, g) ->
-        let a = Lr0.build g in
-        let t = Lalr.compute a in
-        let tbl = Tables.build ~lookahead:(Lalr.lookahead t) a in
+      (fun (name, eng) ->
+        let tbl = Engine.tables eng in
         let exact = Compact.stats (Compact.compress tbl) in
         let yacc = Compact.stats (Compact.compress ~mode:Compact.Yacc tbl) in
         [
@@ -286,7 +291,7 @@ let t6 ppf =
           string_of_int yacc.Compact.default_states;
           Printf.sprintf "%.1fx" yacc.Compact.compression_ratio;
         ])
-      (languages ())
+      (engines ())
   in
   print_table ppf
     ~title:
@@ -306,3 +311,10 @@ let run_all ppf =
   t4_wallclock ppf;
   t5 ppf;
   t6 ppf
+
+let timings ppf =
+  Format.fprintf ppf "@.engine stage timings (per-grammar, cumulative over \
+                      all tables run so far)@.";
+  List.iter
+    (fun (_, eng) -> Format.fprintf ppf "%a@." Engine.pp_stats eng)
+    (engines ())

@@ -41,6 +41,16 @@ val f1_series :
 val run_all : Format.formatter -> unit
 (** T1, T2, T3, T5 and the wall-clock T4. *)
 
+val engines : unit -> (string * Lalr_engine.Engine.t) list
+(** The per-language {!Lalr_engine.Engine}s every table draws from —
+    one per grammar per process, so e.g. [run_all] builds each LR(0)
+    automaton and relation set once. Also the benchmark harness's
+    source of prebuilt artifacts. *)
+
+val timings : Format.formatter -> unit
+(** Per-grammar engine stage timings ([Engine.pp_stats]) accumulated
+    over whatever tables have run in this process. *)
+
 val t6 : Format.formatter -> unit
 (** T6 — ACTION-table compression statistics: dense entries vs packed
     comb slots, exact and yacc modes. A reproduction-era metric (table

@@ -37,9 +37,28 @@ let automaton t = t.automaton
 let grammar t = Lr0.grammar t.automaton
 let analysis t = t.analysis
 
-let compute (a : Lr0.t) =
+(* ------------------------------------------------------------------ *)
+(* Stage 1 — relation construction                                    *)
+(* ------------------------------------------------------------------ *)
+
+type relations = {
+  r_automaton : Lr0.t;
+  r_analysis : Analysis.t;
+  r_dr : Bitset.t array;
+  r_reads : int list array;
+  r_includes : int list array;
+  r_lookback : int list array;
+  r_reduction_pairs : (int * int) array;
+  r_reduction_index : (int * int, int) Hashtbl.t;
+  r_includes_edges : int;
+  r_lookback_edges : int;
+}
+
+let relations ?analysis (a : Lr0.t) =
   let g = Lr0.grammar a in
-  let analysis = Analysis.compute g in
+  let analysis =
+    match analysis with Some an -> an | None -> Analysis.compute g
+  in
   let n_term = Grammar.n_terminals g in
   let nx = Lr0.n_nt_transitions a in
 
@@ -58,12 +77,6 @@ let compute (a : Lr0.t) =
               reads.(x) <- Lr0.find_nt_transition a r c :: reads.(x))
       (Lr0.transitions a r)
   done;
-
-  let read, read_stats =
-    Digraph.ForBitset.run ~n:nx
-      ~successors:(fun x -> reads.(x))
-      ~init:(fun x -> dr.(x))
-  in
 
   (* includes: for each nonterminal transition (p',B) and production
      B → ω, walk ω from p'; at each nonterminal position i with nullable
@@ -91,12 +104,6 @@ let compute (a : Lr0.t) =
       (Grammar.productions_of g b)
   done;
   let includes = Array.map (fun l -> List.rev l) includes_rev in
-
-  let follow, follow_stats =
-    Digraph.ForBitset.run ~n:nx
-      ~successors:(fun x -> includes.(x))
-      ~init:(fun x -> read.(x))
-  in
 
   (* Reductions and lookback. A reduction is a (state q, production
      A → ω) with the final item in q; production 0 is excluded (accept).
@@ -133,49 +140,104 @@ let compute (a : Lr0.t) =
         end)
       (Grammar.productions_of g aa)
   done;
+  {
+    r_automaton = a;
+    r_analysis = analysis;
+    r_dr = dr;
+    r_reads = reads;
+    r_includes = includes;
+    r_lookback = lookback;
+    r_reduction_pairs = reduction_pairs;
+    r_reduction_index = reduction_index;
+    r_includes_edges = !includes_edges;
+    r_lookback_edges = !lookback_edges;
+  }
 
+(* ------------------------------------------------------------------ *)
+(* Stage 2 — the two Digraph fixpoints                                *)
+(* ------------------------------------------------------------------ *)
+
+type follow_sets = {
+  f_read : Bitset.t array;
+  f_follow : Bitset.t array;
+  f_reads_sccs : int list list;
+  f_includes_sccs : int list list;
+}
+
+let solve_follow r =
+  let nx = Array.length r.r_dr in
+  let read, read_stats =
+    Digraph.ForBitset.run ~n:nx
+      ~successors:(fun x -> r.r_reads.(x))
+      ~init:(fun x -> r.r_dr.(x))
+  in
+  let follow, follow_stats =
+    Digraph.ForBitset.run ~n:nx
+      ~successors:(fun x -> r.r_includes.(x))
+      ~init:(fun x -> read.(x))
+  in
+  {
+    f_read = read;
+    f_follow = follow;
+    f_reads_sccs = read_stats.Digraph.nontrivial_sccs;
+    f_includes_sccs = follow_stats.Digraph.nontrivial_sccs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Stage 3 — look-ahead union, diagnostics, assembly                  *)
+(* ------------------------------------------------------------------ *)
+
+let of_stages r f =
+  let g = Lr0.grammar r.r_automaton in
+  let n_term = Grammar.n_terminals g in
+  let n_red = Array.length r.r_reduction_pairs in
   (* LA(q, A→ω) = ⋃ Follow over lookback. *)
   let la =
-    Array.init !n_red (fun r ->
+    Array.init n_red (fun i ->
         let acc = Bitset.create n_term in
         List.iter
-          (fun x -> ignore (Bitset.union_into ~into:acc follow.(x)))
-          lookback.(r);
+          (fun x -> ignore (Bitset.union_into ~into:acc f.f_follow.(x)))
+          r.r_lookback.(i);
         acc)
   in
-
   let diagnostics =
-    List.map (fun c -> Reads_cycle c) read_stats.Digraph.nontrivial_sccs
-    @ List.map (fun c -> Includes_cycle c) follow_stats.Digraph.nontrivial_sccs
+    List.map (fun c -> Reads_cycle c) f.f_reads_sccs
+    @ List.map (fun c -> Includes_cycle c) f.f_includes_sccs
   in
   let stats =
     {
-      n_nt_transitions = nx;
-      dr_total = Array.fold_left (fun acc s -> acc + Bitset.cardinal s) 0 dr;
-      reads_edges = Array.fold_left (fun acc l -> acc + List.length l) 0 reads;
-      includes_edges = !includes_edges;
-      lookback_edges = !lookback_edges;
-      n_reductions = !n_red;
+      n_nt_transitions = Array.length r.r_dr;
+      dr_total =
+        Array.fold_left (fun acc s -> acc + Bitset.cardinal s) 0 r.r_dr;
+      reads_edges =
+        Array.fold_left (fun acc l -> acc + List.length l) 0 r.r_reads;
+      includes_edges = r.r_includes_edges;
+      lookback_edges = r.r_lookback_edges;
+      n_reductions = n_red;
       la_total = Array.fold_left (fun acc s -> acc + Bitset.cardinal s) 0 la;
-      reads_sccs = read_stats.Digraph.nontrivial_sccs;
-      includes_sccs = follow_stats.Digraph.nontrivial_sccs;
+      reads_sccs = f.f_reads_sccs;
+      includes_sccs = f.f_includes_sccs;
     }
   in
   {
-    automaton = a;
-    analysis;
-    dr;
-    reads;
-    read;
-    includes;
-    follow;
-    reduction_pairs;
-    reduction_index;
-    lookback;
+    automaton = r.r_automaton;
+    analysis = r.r_analysis;
+    dr = r.r_dr;
+    reads = r.r_reads;
+    read = f.f_read;
+    includes = r.r_includes;
+    follow = f.f_follow;
+    reduction_pairs = r.r_reduction_pairs;
+    reduction_index = r.r_reduction_index;
+    lookback = r.r_lookback;
     la;
     diagnostics;
     stats;
   }
+
+let compute (a : Lr0.t) =
+  let r = relations a in
+  of_stages r (solve_follow r)
 
 let dr t x = t.dr.(x)
 let read t x = t.read.(x)

@@ -41,7 +41,56 @@ type t
 
 val compute : Lalr_automaton.Lr0.t -> t
 (** Runs the full computation. Cost: two {!Digraph} runs plus one pass
-    over the grammar per relation. *)
+    over the grammar per relation. Equivalent to
+    [of_stages r (solve_follow r)] with [r = relations a]. *)
+
+(** {2 Staged construction}
+
+    {!compute} decomposed, so a memoizing pipeline
+    ([Lalr_engine.Engine]) can force — and observe — each stage at most
+    once per grammar:
+
+    + {!relations} — pure relation construction: [DR], [reads],
+      [includes], [lookback] and the dense reduction numbering;
+    + {!solve_follow} — the two {!Digraph} fixpoints: [Read] over
+      [reads], then [Follow] over [includes];
+    + {!of_stages} — the look-ahead union over [lookback], plus
+      diagnostics and stats, assembled into a {!t}. *)
+
+type relations = {
+  r_automaton : Lalr_automaton.Lr0.t;
+  r_analysis : Analysis.t;
+  r_dr : Bitset.t array;  (** per nonterminal transition; owned *)
+  r_reads : int list array;  (** successor transition indices *)
+  r_includes : int list array;
+  r_lookback : int list array;  (** reduction index → transitions *)
+  r_reduction_pairs : (int * int) array;  (** [(state, production)] *)
+  r_reduction_index : (int * int, int) Hashtbl.t;
+  r_includes_edges : int;
+  r_lookback_edges : int;
+}
+(** The paper's four relations over one LR(0) automaton, as a
+    first-class value. All arrays are owned by the record (and by any
+    {!t} later assembled from it): treat as read-only. *)
+
+val relations : ?analysis:Analysis.t -> Lalr_automaton.Lr0.t -> relations
+(** Stage 1. [?analysis] must be the analysis of the automaton's
+    grammar when supplied (a memoizing caller passes its cached copy);
+    it is recomputed otherwise. *)
+
+type follow_sets = {
+  f_read : Bitset.t array;
+  f_follow : Bitset.t array;
+  f_reads_sccs : int list list;  (** nontrivial SCCs found in [reads] *)
+  f_includes_sccs : int list list;
+}
+
+val solve_follow : relations -> follow_sets
+(** Stage 2: the two Digraph runs. *)
+
+val of_stages : relations -> follow_sets -> t
+(** Stage 3: cheap relative to the others — one bitset union per
+    lookback edge. The resulting {!t} shares the stage arrays. *)
 
 val automaton : t -> Lalr_automaton.Lr0.t
 val grammar : t -> Grammar.t

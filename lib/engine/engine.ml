@@ -1,0 +1,212 @@
+module Lr0 = Lalr_automaton.Lr0
+module Lalr = Lalr_core.Lalr
+module Slr = Lalr_baselines.Slr
+module Nqlalr = Lalr_baselines.Nqlalr
+module Lr1 = Lalr_baselines.Lr1
+module Propagation = Lalr_baselines.Propagation
+module Tables = Lalr_tables.Tables
+module Classify = Lalr_tables.Classify
+
+type 'a slot = {
+  s_name : string;
+  mutable s_value : 'a option;
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_wall : float;
+}
+
+let slot name =
+  { s_name = name; s_value = None; s_hits = 0; s_misses = 0; s_wall = 0. }
+
+let seeded name v =
+  { s_name = name; s_value = Some v; s_hits = 0; s_misses = 0; s_wall = 0. }
+
+(* Force-once: the first access computes (a miss, timed); every later
+   access is a hit. Dependencies are forced by the accessors BEFORE
+   entering [force], so s_wall is exclusive per stage. *)
+let force slot compute =
+  match slot.s_value with
+  | Some v ->
+      slot.s_hits <- slot.s_hits + 1;
+      v
+  | None ->
+      slot.s_misses <- slot.s_misses + 1;
+      let t0 = Unix.gettimeofday () in
+      let v = compute () in
+      slot.s_wall <- slot.s_wall +. (Unix.gettimeofday () -. t0);
+      slot.s_value <- Some v;
+      v
+
+type t = {
+  grammar : Grammar.t;
+  analysis_s : Analysis.t slot;
+  lr0_s : Lr0.t slot;
+  relations_s : Lalr.relations slot;
+  follow_s : Lalr.follow_sets slot;
+  la_s : Lalr.t slot;
+  slr_s : Slr.t slot;
+  nqlalr_s : Nqlalr.t slot;
+  propagation_s : Propagation.t slot;
+  lr1_s : Lr1.t slot;
+  tables_s : Tables.t slot;
+  slr_tables_s : Tables.t slot;
+  nqlalr_tables_s : Tables.t slot;
+  classification_s : Classify.verdict slot;
+  classification_lr1_s : Classify.verdict slot;
+}
+
+let create ?analysis grammar =
+  {
+    grammar;
+    analysis_s =
+      (match analysis with
+      | Some an -> seeded "analysis" an
+      | None -> slot "analysis");
+    lr0_s = slot "lr0";
+    relations_s = slot "relations";
+    follow_s = slot "follow";
+    la_s = slot "la";
+    slr_s = slot "slr";
+    nqlalr_s = slot "nqlalr";
+    propagation_s = slot "propagation";
+    lr1_s = slot "lr1";
+    tables_s = slot "tables";
+    slr_tables_s = slot "slr_tables";
+    nqlalr_tables_s = slot "nqlalr_tables";
+    classification_s = slot "classification";
+    classification_lr1_s = slot "classification+lr1";
+  }
+
+let grammar e = e.grammar
+let analysis e = force e.analysis_s (fun () -> Analysis.compute e.grammar)
+let lr0 e = force e.lr0_s (fun () -> Lr0.build e.grammar)
+
+let relations e =
+  let an = analysis e in
+  let a = lr0 e in
+  force e.relations_s (fun () -> Lalr.relations ~analysis:an a)
+
+let follow e =
+  let r = relations e in
+  force e.follow_s (fun () -> Lalr.solve_follow r)
+
+let lalr e =
+  let r = relations e in
+  let f = follow e in
+  force e.la_s (fun () -> Lalr.of_stages r f)
+
+let slr e =
+  let a = lr0 e in
+  force e.slr_s (fun () -> Slr.compute a)
+
+let nqlalr e =
+  let a = lr0 e in
+  force e.nqlalr_s (fun () -> Nqlalr.compute a)
+
+let propagation e =
+  let a = lr0 e in
+  force e.propagation_s (fun () -> Propagation.compute a)
+
+let lr1 e = force e.lr1_s (fun () -> Lr1.build e.grammar)
+
+let tables e =
+  let t = lalr e in
+  let a = lr0 e in
+  force e.tables_s (fun () -> Tables.build ~lookahead:(Lalr.lookahead t) a)
+
+let slr_tables e =
+  let s = slr e in
+  let a = lr0 e in
+  force e.slr_tables_s (fun () -> Tables.build ~lookahead:(Slr.lookahead s) a)
+
+let nqlalr_tables e =
+  let n = nqlalr e in
+  let a = lr0 e in
+  force e.nqlalr_tables_s (fun () ->
+      Tables.build ~lookahead:(Nqlalr.lookahead n) a)
+
+type method_ = [ `Lalr | `Slr | `Nqlalr ]
+
+let tables_for e = function
+  | `Lalr -> tables e
+  | `Slr -> slr_tables e
+  | `Nqlalr -> nqlalr_tables e
+
+let lr1_limit = 250
+
+let classification ?with_lr1 e =
+  let use_lr1 =
+    match with_lr1 with
+    | Some b -> b
+    | None -> Grammar.n_productions e.grammar <= lr1_limit
+  in
+  let s = if use_lr1 then e.classification_lr1_s else e.classification_s in
+  let lalr_v = lalr e in
+  let slr_v = slr e in
+  let nqlalr_v = nqlalr e in
+  let lalr_tbl = tables e in
+  let slr_tbl = slr_tables e in
+  let nq_tbl = nqlalr_tables e in
+  let lr1_v = if use_lr1 then Some (lr1 e) else None in
+  let a = lr0 e in
+  force s (fun () ->
+      Classify.assemble ~lalr:lalr_v ~slr:slr_v ~nqlalr:nqlalr_v ~lalr_tbl
+        ~slr_tbl ~nq_tbl ~lr1:lr1_v a)
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type stage = {
+  stage : string;
+  forced : bool;
+  misses : int;
+  hits : int;
+  wall : float;
+}
+
+let stage_of (s : _ slot) =
+  {
+    stage = s.s_name;
+    forced = s.s_value <> None;
+    misses = s.s_misses;
+    hits = s.s_hits;
+    wall = s.s_wall;
+  }
+
+let stats e =
+  [
+    stage_of e.analysis_s;
+    stage_of e.lr0_s;
+    stage_of e.relations_s;
+    stage_of e.follow_s;
+    stage_of e.la_s;
+    stage_of e.slr_s;
+    stage_of e.nqlalr_s;
+    stage_of e.propagation_s;
+    stage_of e.lr1_s;
+    stage_of e.tables_s;
+    stage_of e.slr_tables_s;
+    stage_of e.nqlalr_tables_s;
+    stage_of e.classification_s;
+    stage_of e.classification_lr1_s;
+  ]
+
+let find_stage e name =
+  match List.find_opt (fun s -> s.stage = name) (stats e) with
+  | Some s -> s
+  | None -> raise Not_found
+
+let total_wall e = List.fold_left (fun acc s -> acc +. s.wall) 0. (stats e)
+
+let pp_stats ppf e =
+  let forced = List.filter (fun s -> s.forced) (stats e) in
+  Format.fprintf ppf "@[<v>engine timings for %s:@,"
+    (Grammar.source e.grammar);
+  Format.fprintf ppf "  %-20s %10s %6s %5s@," "stage" "wall" "miss" "hit";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  %-20s %8.3f ms %6d %5d@," s.stage
+        (s.wall *. 1e3) s.misses s.hits)
+    forced;
+  Format.fprintf ppf "  %-20s %8.3f ms@]" "total" (total_wall e *. 1e3)

@@ -1,0 +1,140 @@
+(** The query engine: one demand-driven, memoizing analysis pipeline
+    per grammar.
+
+    The paper's computation is a DAG of derived artifacts —
+
+    {v
+    analysis (nullable/FIRST/FOLLOW)
+        │
+       lr0 ──────────────┬──────────┬──────────┬─────────────┐
+        │                │          │          │             │
+    relations          slr       nqlalr   propagation       lr1
+    (DR/reads/           │          │          │         (canonical)
+     includes/        slr_tables nqlalr_tables│             │
+     lookback)           │          │          │             │
+        │                │          │          │             │
+     follow              └──────────┴───── classification ───┘
+        │                                      ▲
+       la (the DeRemer–Pennello sets)          │
+        │                                      │
+     tables ───────────────────────────────────┘
+    v}
+
+    — and every consumer (the CLI, the lint passes, the report
+    printers, the experiment tables, the benchmarks) needs some
+    subtree of it. An [Engine.t] owns that state for one grammar:
+    each artifact lives in a {e slot} that is computed on first demand
+    and returned from memory ever after, so a process that classifies,
+    lints and prints tables for the same grammar builds the LR(0)
+    automaton and the relations exactly once.
+
+    {2 Why there is no [invalidate]}
+
+    Slots are force-once by design, not by omission. A {!Grammar.t} is
+    immutable, so every artifact here is a pure function of the
+    grammar the engine was created with: there is no event that could
+    make a forced slot stale. An [invalidate] (or any
+    recompute-on-change machinery) would buy nothing and would cost
+    the two properties consumers rely on:
+
+    - {b aliasing is safe} — artifacts share substructure (a
+      {!Lalr_core.Lalr.t} aliases the arrays of the [relations] slot;
+      tables alias the automaton). Invalidation would have to track
+      those aliases or risk consumers holding dangling halves of a
+      pipeline.
+    - {b counters mean something} — [misses] per slot is at most 1, so
+      {!stats} doubles as an oracle that no layer recomputes a stage
+      behind the engine's back (the lint self-check test asserts
+      exactly this).
+
+    To analyse a changed grammar, create a new engine; the old one is
+    garbage the moment you drop it. *)
+
+type t
+
+val create : ?analysis:Analysis.t -> Grammar.t -> t
+(** A fresh engine with every slot unforced. Creation does no work.
+    [?analysis] seeds the [analysis] slot with a caller-computed value
+    (which must be the analysis of [grammar]); the slot then reports
+    as forced with zero misses. The grammar is analysed as given — the
+    engine never reduces it (callers that lint arbitrary input reduce
+    first; see [Lalr_lint.Context]). *)
+
+val grammar : t -> Grammar.t
+
+(** {2 Slots}
+
+    Each accessor forces its slot (and, transitively, the slots it
+    depends on) on first call and is a memory read afterwards. All
+    returned values are owned by the engine and shared between
+    consumers: treat them as read-only. *)
+
+val analysis : t -> Analysis.t
+val lr0 : t -> Lalr_automaton.Lr0.t
+
+val relations : t -> Lalr_core.Lalr.relations
+(** Stage 1 of {!Lalr_core.Lalr}: DR/reads/includes/lookback. *)
+
+val follow : t -> Lalr_core.Lalr.follow_sets
+(** Stage 2: the Read and Follow Digraph fixpoints. *)
+
+val lalr : t -> Lalr_core.Lalr.t
+(** Stage 3, the [la] slot: the exact DeRemer–Pennello look-ahead
+    sets. Shares the arrays of {!relations} and {!follow}. *)
+
+val slr : t -> Lalr_baselines.Slr.t
+val nqlalr : t -> Lalr_baselines.Nqlalr.t
+val propagation : t -> Lalr_baselines.Propagation.t
+val lr1 : t -> Lalr_baselines.Lr1.t
+(** The canonical LR(1) machine — the one genuinely expensive slot;
+    nothing forces it implicitly except {!classification} on small
+    grammars. *)
+
+val tables : t -> Lalr_tables.Tables.t
+(** ACTION/GOTO under the exact LALR(1) sets. *)
+
+val slr_tables : t -> Lalr_tables.Tables.t
+val nqlalr_tables : t -> Lalr_tables.Tables.t
+
+type method_ = [ `Lalr | `Slr | `Nqlalr ]
+
+val tables_for : t -> method_ -> Lalr_tables.Tables.t
+(** The table slot for a look-ahead method ([`Lalr] = {!tables}). *)
+
+val lr1_limit : int
+(** Production-count threshold (250) above which {!classification}
+    skips the canonical LR(1) construction by default. *)
+
+val classification : ?with_lr1:bool -> t -> Lalr_tables.Classify.verdict
+(** The full hierarchy verdict, assembled from the slots above.
+    [with_lr1] defaults to [n_productions ≤ lr1_limit]; the two
+    variants are distinct slots ([classification] and
+    [classification+lr1]) since their verdicts differ. *)
+
+(** {2 Observability}
+
+    Per-slot instrumentation, surfaced by [lalrgen --timings]. *)
+
+type stage = {
+  stage : string;  (** slot name, e.g. ["relations"] *)
+  forced : bool;
+  misses : int;  (** computations: 0 or 1, by construction *)
+  hits : int;  (** memoized reads after the computation *)
+  wall : float;  (** seconds spent computing, exclusive of deps *)
+}
+
+val stats : t -> stage list
+(** All slots in pipeline order, forced or not. The [wall] of a slot
+    excludes the time of the slots it depends on — dependencies are
+    forced before its timer starts — so the values sum to the real
+    total. *)
+
+val find_stage : t -> string -> stage
+(** Raises [Not_found] for an unknown stage name. *)
+
+val total_wall : t -> float
+(** Σ [wall] over all slots. *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** The [--timings] rendering: one line per forced slot (unforced
+    slots are elided), then the total. *)

@@ -1,10 +1,12 @@
 module Lr0 = Lalr_automaton.Lr0
 module Lalr = Lalr_core.Lalr
 module Tables = Lalr_tables.Tables
+module Eng = Lalr_engine.Engine
 
 type t = {
   grammar : Grammar.t;
   analysis : Analysis.t;
+  engine : Eng.t option Lazy.t;
   reduced : Grammar.t option Lazy.t;
   automaton : Lr0.t option Lazy.t;
   lalr : Lalr.t option Lazy.t;
@@ -13,21 +15,21 @@ type t = {
 
 let of_grammar grammar =
   let analysis = Analysis.compute grammar in
-  let reduced =
+  let engine =
     lazy
-      (if Analysis.is_reduced analysis then Some grammar
-       else match Transform.reduce grammar with
-         | g -> Some g
+      (if Analysis.is_reduced analysis then
+         (* Physical equality with [grammar] preserved: the engine
+            analyses the grammar as given, sharing [analysis]. *)
+         Some (Eng.create ~analysis grammar)
+       else
+         match Transform.reduce grammar with
+         | g -> Some (Eng.create g)
          | exception Invalid_argument _ -> None)
   in
-  let automaton =
-    lazy (Option.map Lr0.build (Lazy.force reduced))
-  in
-  let lalr = lazy (Option.map Lalr.compute (Lazy.force automaton)) in
-  let tables =
-    lazy
-      (match (Lazy.force automaton, Lazy.force lalr) with
-      | Some a, Some t -> Some (Tables.build ~lookahead:(Lalr.lookahead t) a)
-      | _ -> None)
-  in
-  { grammar; analysis; reduced; automaton; lalr; tables }
+  let reduced = lazy (Option.map Eng.grammar (Lazy.force engine)) in
+  let automaton = lazy (Option.map Eng.lr0 (Lazy.force engine)) in
+  let lalr = lazy (Option.map Eng.lalr (Lazy.force engine)) in
+  let tables = lazy (Option.map Eng.tables (Lazy.force engine)) in
+  { grammar; analysis; engine; reduced; automaton; lalr; tables }
+
+let engine ctx = Lazy.force ctx.engine

@@ -1,25 +1,40 @@
 (** Shared analysis state for lint passes.
 
-    One context is built per linted grammar; the expensive artefacts
-    (the reduced grammar, the LR(0) automaton, the DeRemer–Pennello
-    relations, the LALR parse table) are lazy so a pass selection that
-    needs none of them — pure grammar hygiene — stays cheap. The
-    automaton-level artefacts are [None] when the grammar generates no
-    terminal string at all (unproductive start symbol): those passes
-    simply do not run, and the L001 finding explains why. *)
+    One context is built per linted grammar. The expensive artefacts
+    all live in one {!Lalr_engine.Engine} over the {e reduced} grammar,
+    so every pass — and the {!Selfcheck} oracle — queries the same
+    memoized pipeline: the LR(0) automaton and the DeRemer–Pennello
+    relations are constructed at most once per lint run (the engine's
+    miss counters prove it; the test suite asserts it). The [lazy]
+    wrappers keep a pass selection that needs no automaton — pure
+    grammar hygiene — at zero cost.
+
+    The engine (and everything downstream) is [None] when the grammar
+    generates no terminal string at all (unproductive start symbol):
+    those passes simply do not run, and the L001 finding explains
+    why. *)
 
 type t = {
   grammar : Grammar.t;  (** the grammar as given, with locations *)
   analysis : Analysis.t;  (** of [grammar] *)
+  engine : Lalr_engine.Engine.t option Lazy.t;
+      (** the memoized pipeline over [reduced]; shares [analysis] when
+          the grammar was already reduced *)
   reduced : Grammar.t option Lazy.t;
       (** [grammar] itself when already reduced (physical equality
           preserved, so location arrays are shared); otherwise
           {!Transform.reduce} of it; [None] if the start symbol is
           unproductive *)
-  automaton : Lalr_automaton.Lr0.t option Lazy.t;  (** of [reduced] *)
-  lalr : Lalr_core.Lalr.t option Lazy.t;
+  automaton : Lalr_automaton.Lr0.t option Lazy.t;
+      (** the engine's [lr0] slot *)
+  lalr : Lalr_core.Lalr.t option Lazy.t;  (** the engine's [la] slot *)
   tables : Lalr_tables.Tables.t option Lazy.t;
-      (** LALR(1) table (exact DeRemer–Pennello sets) *)
+      (** the engine's [tables] slot (exact DeRemer–Pennello sets) *)
 }
 
 val of_grammar : Grammar.t -> t
+
+val engine : t -> Lalr_engine.Engine.t option
+(** Forces the engine's existence (not its slots). [None] iff the
+    start symbol is unproductive. Front ends use this for [--timings]
+    after a lint run. *)

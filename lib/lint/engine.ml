@@ -23,12 +23,13 @@ let keep config (d : D.t) =
   && (not (List.mem d.D.code config.ignored))
   && D.severity_rank d.D.severity >= D.severity_rank config.min_severity
 
-let run ?(config = default_config) g =
-  let ctx = Context.of_grammar g in
+let run_ctx ?(config = default_config) ctx =
   passes ~self_check:config.self_check
   |> List.concat_map (fun (p : Passes.pass) -> p.Passes.run ctx)
   |> List.filter (keep config)
   |> List.sort D.compare
+
+let run ?config g = run_ctx ?config (Context.of_grammar g)
 
 let has_errors = List.exists (fun (d : D.t) -> d.D.severity = D.Error)
 

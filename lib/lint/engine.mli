@@ -35,6 +35,11 @@ val run : ?config:config -> Grammar.t -> Diagnostic.t list
 (** Lints one grammar: builds a {!Context.t}, runs the passes, filters
     by the config, sorts by location. *)
 
+val run_ctx : ?config:config -> Context.t -> Diagnostic.t list
+(** Same over a caller-built context — the front end keeps the context
+    (and so the underlying {!Lalr_engine.Engine}) to report [--timings]
+    or reuse artifacts after the lint run. *)
+
 val has_errors : Diagnostic.t list -> bool
 
 val pp_report : Format.formatter -> Diagnostic.t list -> unit

@@ -1,7 +1,6 @@
 module D = Diagnostic
 module Lr0 = Lalr_automaton.Lr0
 module Lalr = Lalr_core.Lalr
-module Nqlalr = Lalr_baselines.Nqlalr
 module Tables = Lalr_tables.Tables
 module Counterexample = Lalr_report.Counterexample
 module Bitset = Lalr_sets.Bitset
@@ -353,11 +352,11 @@ let run_conflicts (ctx : Context.t) =
 (* ------------------------------------------------------------------ *)
 
 let run_nqlalr (ctx : Context.t) =
-  match (Lazy.force ctx.automaton, Lazy.force ctx.tables) with
-  | Some a, Some tbl ->
-      let gr = Lr0.grammar a in
-      let nq = Nqlalr.compute a in
-      let nq_tbl = Tables.build ~lookahead:(Nqlalr.lookahead nq) a in
+  match Context.engine ctx with
+  | Some eng ->
+      let gr = Lalr_engine.Engine.grammar eng in
+      let tbl = Lalr_engine.Engine.tables eng in
+      let nq_tbl = Lalr_engine.Engine.nqlalr_tables eng in
       let real = Hashtbl.create 16 in
       List.iter
         (fun (c : Tables.conflict) ->
@@ -386,7 +385,7 @@ let run_nqlalr (ctx : Context.t) =
                    are conflict-free here (paper §7)"
                   c.Tables.state
                   (Grammar.terminal_name gr c.Tables.terminal)))
-  | _ -> []
+  | None -> []
 
 (* ------------------------------------------------------------------ *)
 (* Registry                                                           *)

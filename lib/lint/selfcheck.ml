@@ -4,8 +4,9 @@ module Lalr = Lalr_core.Lalr
 module Propagation = Lalr_baselines.Propagation
 module Lr1 = Lalr_baselines.Lr1
 module Bitset = Lalr_sets.Bitset
+module Eng = Lalr_engine.Engine
 
-let lr1_limit = 250
+let lr1_limit = Eng.lr1_limit
 
 let set_str g s =
   Format.asprintf "%a"
@@ -30,9 +31,17 @@ let violation g lalr ~invariant r ~got ~want =
           (Grammar.production g pid))
        (set_str g got) (set_str g want))
 
+(* The oracle runs against the SAME engine as the lint passes: the
+   LR(0) automaton and the relations it audits are the memoized slots,
+   not fresh constructions (the engine's miss counters stay at one per
+   stage — asserted in the test suite). Only the oracle-specific
+   artifacts (propagation, canonical LR(1)) are forced here, and they
+   too land in engine slots, shared with any later consumer. *)
 let run (ctx : Context.t) =
-  match (Lazy.force ctx.automaton, Lazy.force ctx.lalr) with
-  | Some a, Some lalr ->
+  match Context.engine ctx with
+  | Some eng ->
+      let a = Eng.lr0 eng in
+      let lalr = Eng.lalr eng in
       let g = Lr0.grammar a in
       let analysis = Lalr.analysis lalr in
       let n_red = Lalr.n_reductions lalr in
@@ -50,7 +59,7 @@ let run (ctx : Context.t) =
             :: !bad
       done;
       (* 2. Agreement with yacc-style propagation. *)
-      let prop = Propagation.compute a in
+      let prop = Eng.propagation eng in
       for r = 0 to n_red - 1 do
         let q, pid = Lalr.reduction lalr r in
         let oracle = Propagation.lookahead prop ~state:q ~prod:pid in
@@ -65,7 +74,7 @@ let run (ctx : Context.t) =
       let lr1_ran =
         if Grammar.n_productions g > lr1_limit then false
         else begin
-          let merged = Lr1.merged_lookaheads (Lr1.build g) a in
+          let merged = Lr1.merged_lookaheads (Eng.lr1 eng) a in
           for r = 0 to n_red - 1 do
             let q, pid = Lalr.reduction lalr r in
             let oracle = Hashtbl.find merged (q, pid) in
@@ -95,7 +104,7 @@ let run (ctx : Context.t) =
                (if lr1_ran then " = LR(1) merge" else "")
                n_red);
         ]
-  | _ -> []
+  | None -> []
 
 let pass =
   {

@@ -113,3 +113,5 @@ let pp ppf e =
   Format.fprintf ppf "%s . %s   (state %d)"
     (String.concat " " e.prefix)
     e.at e.state
+
+let conflict_of eng = conflict (Lalr_engine.Engine.tables eng)

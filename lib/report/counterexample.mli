@@ -34,3 +34,7 @@ val conflict : Lalr_tables.Tables.t -> Lalr_tables.Tables.conflict -> example
 
 val pp : Format.formatter -> example -> unit
 (** [if expr then if expr then other . else   (state 7)]. *)
+
+val conflict_of :
+  Lalr_engine.Engine.t -> Lalr_tables.Tables.conflict -> example
+(** {!conflict} against the engine's memoized exact-LALR table. *)

@@ -120,3 +120,19 @@ let classification ppf (v : Classify.verdict) =
   if v.not_lr_k then
     Format.fprintf ppf "not LR(k) for any k (reads relation is cyclic)@,";
   Format.fprintf ppf "@]"
+
+(* The full `lalrgen report` body, engine-mediated: every artifact is a
+   memoized slot, so a front end that also classifies or lints the same
+   engine pays for the automaton and relations once. *)
+let report ?(dump_states = false) ppf eng =
+  let module Eng = Lalr_engine.Engine in
+  grammar_summary ppf (Eng.grammar eng);
+  let a = Eng.lr0 eng in
+  let t = Eng.lalr eng in
+  relations ppf t;
+  conflicts ppf (Eng.tables eng);
+  if dump_states || Lr0.n_states a <= 60 then automaton ~lookaheads:t ppf a
+  else
+    Format.fprintf ppf
+      "(%d states: pass --dump-states for the full automaton)@."
+      (Lr0.n_states a)

@@ -25,3 +25,9 @@ val conflicts : Format.formatter -> Lalr_tables.Tables.t -> unit
 val classification : Format.formatter -> Lalr_tables.Classify.verdict -> unit
 (** Multi-line version of {!Lalr_tables.Classify.pp} with the conflict
     counts of every method. *)
+
+val report :
+  ?dump_states:bool -> Format.formatter -> Lalr_engine.Engine.t -> unit
+(** The whole [lalrgen report] output — summary, relations, conflicts,
+    automaton (elided above 60 states unless [dump_states]) — drawn
+    from the engine's memoized slots. *)

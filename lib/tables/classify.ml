@@ -21,14 +21,7 @@ type verdict = {
   nq_rr_conflicts : int;
 }
 
-let classify_common ~with_lr1 g =
-  let a = Lr0.build g in
-  let lalr = Lalr.compute a in
-  let slr = Slr.compute a in
-  let nq = Nqlalr.compute a in
-  let lalr_tbl = Tables.build ~lookahead:(Lalr.lookahead lalr) a in
-  let slr_tbl = Tables.build ~lookahead:(Slr.lookahead slr) a in
-  let nq_tbl = Tables.build ~lookahead:(Nqlalr.lookahead nq) a in
+let assemble ~lalr ~slr ~nqlalr ~lalr_tbl ~slr_tbl ~nq_tbl ~lr1 a =
   let lalr1 = Lalr.is_lalr1 lalr in
   let not_lr_k =
     List.exists
@@ -36,17 +29,16 @@ let classify_common ~with_lr1 g =
       (Lalr.diagnostics lalr)
   in
   let lr1, lr1_states =
-    if with_lr1 then
-      let c = Lr1.build g in
-      (Lr1.is_lr1 c, Lr1.n_states c)
-    else (lalr1, 0)
+    match lr1 with
+    | Some c -> (Lr1.is_lr1 c, Lr1.n_states c)
+    | None -> (lalr1, 0)
   in
   {
     lr0 = Lr0.n_conflict_free_lr0 a;
     slr1 = Slr.is_slr1 slr;
     lalr1;
     lr1;
-    nqlalr1 = Nqlalr.is_nqlalr1 nq;
+    nqlalr1 = Nqlalr.is_nqlalr1 nqlalr;
     not_lr_k;
     lr0_states = Lr0.n_states a;
     lr1_states;
@@ -57,6 +49,17 @@ let classify_common ~with_lr1 g =
     nq_sr_conflicts = Tables.n_shift_reduce nq_tbl;
     nq_rr_conflicts = Tables.n_reduce_reduce nq_tbl;
   }
+
+let classify_common ~with_lr1 g =
+  let a = Lr0.build g in
+  let lalr = Lalr.compute a in
+  let slr = Slr.compute a in
+  let nqlalr = Nqlalr.compute a in
+  let lalr_tbl = Tables.build ~lookahead:(Lalr.lookahead lalr) a in
+  let slr_tbl = Tables.build ~lookahead:(Slr.lookahead slr) a in
+  let nq_tbl = Tables.build ~lookahead:(Nqlalr.lookahead nqlalr) a in
+  let lr1 = if with_lr1 then Some (Lr1.build g) else None in
+  assemble ~lalr ~slr ~nqlalr ~lalr_tbl ~slr_tbl ~nq_tbl ~lr1 a
 
 let classify g = classify_common ~with_lr1:true g
 let classify_no_lr1 g = classify_common ~with_lr1:false g
