@@ -8,7 +8,14 @@
      parse     FILE -- t1 t2 ...   parse a token sequence
      suite                list the built-in grammar suite
 
-   FILE may be "-" for stdin, or "suite:NAME" for a built-in grammar. *)
+   FILE may be "-" for stdin, or "suite:NAME" for a built-in grammar.
+
+   Exit codes (scripting contract, see DESIGN.md):
+     0  success
+     1  analysis verdict: conflicts / not LALR(1)
+     2  input diagnostics: unreadable grammar, lint errors, rejected input
+     3  resource budget exhausted (--budget)
+     4  internal error (broken invariant in the analysis) *)
 
 open Cmdliner
 
@@ -23,38 +30,51 @@ module Describe = Lalr_report.Describe
 module Driver = Lalr_runtime.Driver
 module Token = Lalr_runtime.Token
 module Registry = Lalr_suite.Registry
+module Budget = Lalr_guard.Budget
 
 (* ------------------------------------------------------------------ *)
 (* Common arguments and loading                                       *)
 (* ------------------------------------------------------------------ *)
 
+(* Grammars load through the error-recovering readers so one run
+   reports every syntax error, not just the first. A grammar that
+   produced any diagnostic is never analysed: best-effort recovery is
+   for batching error reports, not for silently linting half a file. *)
 let load_grammar spec =
   match spec with
   | "-" ->
       let src = In_channel.input_all In_channel.stdin in
-      Reader.of_string ~name:"stdin" src
+      Reader.of_string_tolerant ~name:"stdin" src
   | s when String.length s > 6 && String.sub s 0 6 = "suite:" ->
       let name = String.sub s 6 (String.length s - 6) in
-      Lazy.force (Registry.find name).grammar
+      (Some (Lazy.force (Registry.find name).grammar), [])
   | path when Filename.check_suffix path ".mly" ->
-      Lalr_grammar.Menhir_reader.of_file path
-  | path -> Reader.of_file path
+      Lalr_grammar.Menhir_reader.of_file_tolerant path
+  | path -> Reader.of_file_tolerant path
+
+let report_reader_error spec (e : Reader.error) =
+  (* [pp_error] already prints the file when the error carries one. *)
+  match e.Reader.file with
+  | Some _ -> Format.eprintf "%a@." Reader.pp_error e
+  | None -> Format.eprintf "%s: %a@." spec Reader.pp_error e
 
 let handle_load spec f =
   match load_grammar spec with
-  | g -> f g
-  | exception Reader.Error e ->
-      Format.eprintf "%s: %a@." spec Reader.pp_error e;
-      exit 1
+  | Some g, [] -> f g
+  | g_opt, errors ->
+      List.iter (report_reader_error spec) errors;
+      (if g_opt = None && errors = [] then
+         Format.eprintf "%s: unreadable grammar@." spec);
+      exit 2
   | exception Not_found ->
       Format.eprintf "%s: no such suite grammar (try 'lalrgen suite')@." spec;
-      exit 1
+      exit 2
   | exception Sys_error msg ->
       Format.eprintf "%s@." msg;
-      exit 1
+      exit 2
   | exception Invalid_argument msg ->
       Format.eprintf "%s: %s@." spec msg;
-      exit 1
+      exit 2
 
 let grammar_arg =
   let doc =
@@ -70,18 +90,64 @@ let timings_arg =
   in
   Arg.(value & flag & info [ "timings" ] ~doc)
 
+let budget_arg =
+  let budget_conv =
+    let parse s = Result.map_error (fun m -> `Msg m) (Budget.of_spec s) in
+    let print ppf _ = Format.pp_print_string ppf "<budget>" in
+    Arg.conv (parse, print)
+  in
+  let doc =
+    Printf.sprintf
+      "Bound the whole analysis by a resource budget — %s. When any cap \
+       is hit the command stops, prints a structured report naming the \
+       stage and resource, and exits 3."
+      Budget.spec_doc
+  in
+  Arg.(
+    value
+    & opt (some budget_conv) None
+    & info [ "budget" ] ~docv:"SPEC" ~doc)
+
+(* The failure boundary of the process: installs the budget (if any)
+   around [f] so even work outside the engine's memoized slots — the
+   LALR(k) search, the parse driver — is bounded, and maps the two
+   structured failure outcomes to their exit codes. *)
+let with_failure_boundary ?budget f =
+  let run () =
+    match budget with
+    | None -> f ()
+    | Some b -> Budget.with_budget b ~stage:"main" f
+  in
+  match run () with
+  | v -> v
+  | exception Budget.Exceeded ex ->
+      Format.eprintf "lalrgen: %a@." Budget.pp_exceeded ex;
+      exit 3
+  | exception Budget.Internal_error { stage; invariant } ->
+      Format.eprintf "lalrgen: internal error in stage '%s': %s@." stage
+        invariant;
+      exit 4
+  | exception Stack_overflow ->
+      Format.eprintf "lalrgen: internal error: stack overflow during \
+                      analysis@.";
+      exit 4
+  | exception Assert_failure (file, line, _) ->
+      Format.eprintf "lalrgen: internal error: assertion failed at %s:%d@."
+        file line;
+      exit 4
+
 (* Every subcommand threads ONE engine per grammar: whatever subset of
    the pipeline it touches — automaton, relations, look-aheads, tables,
    classification — is computed at most once per process.
 
-   The stats are printed via [at_exit] so commands that [exit 3] on
-   conflicts still report their timings. *)
-let handle_engine spec ~timings f =
+   The stats are printed via [at_exit] so commands that exit nonzero
+   (conflicts, budget exhaustion) still report their timings. *)
+let handle_engine spec ~timings ?budget f =
   handle_load spec (fun g ->
-      let e = Engine.create g in
+      let e = Engine.create ?budget g in
       if timings then
         at_exit (fun () -> Format.eprintf "%a@." Engine.pp_stats e);
-      f e)
+      with_failure_boundary ?budget (fun () -> f e))
 
 let method_arg =
   let doc =
@@ -100,8 +166,8 @@ let tables_of_method e m = Engine.tables_for e m
 (* ------------------------------------------------------------------ *)
 
 let classify_cmd =
-  let run spec with_lr1 try_k timings =
-    handle_engine spec ~timings (fun e ->
+  let run spec with_lr1 try_k timings budget =
+    handle_engine spec ~timings ?budget (fun e ->
         let g = Engine.grammar e in
         let v =
           Engine.classification
@@ -115,7 +181,7 @@ let classify_cmd =
            | None ->
                Format.printf "not LALR(k) for any k ≤ %d@." try_k);
         (* Exit status mirrors LALR(1)-cleanliness, for scripting. *)
-        if not v.Lalr_tables.Classify.lalr1 then exit 3)
+        if not v.Lalr_tables.Classify.lalr1 then exit 1)
   in
   let with_lr1 =
     Arg.(
@@ -134,15 +200,16 @@ let classify_cmd =
   in
   Cmd.v
     (Cmd.info "classify" ~doc:"Place a grammar in the LR hierarchy")
-    Term.(const run $ grammar_arg $ with_lr1 $ try_k $ timings_arg)
+    Term.(const run $ grammar_arg $ with_lr1 $ try_k $ timings_arg
+          $ budget_arg)
 
 (* ------------------------------------------------------------------ *)
 (* report                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let report_cmd =
-  let run spec dump_states timings =
-    handle_engine spec ~timings
+  let run spec dump_states timings budget =
+    handle_engine spec ~timings ?budget
       (Describe.report ~dump_states Format.std_formatter)
   in
   let dump =
@@ -152,30 +219,30 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Full analysis report (yacc -v style)")
-    Term.(const run $ grammar_arg $ dump $ timings_arg)
+    Term.(const run $ grammar_arg $ dump $ timings_arg $ budget_arg)
 
 (* ------------------------------------------------------------------ *)
 (* conflicts                                                          *)
 (* ------------------------------------------------------------------ *)
 
 let conflicts_cmd =
-  let run spec m timings =
-    handle_engine spec ~timings (fun e ->
+  let run spec m timings budget =
+    handle_engine spec ~timings ?budget (fun e ->
         let tbl = tables_of_method e m in
         Describe.conflicts Format.std_formatter tbl;
-        if Tables.unresolved_conflicts tbl <> [] then exit 3)
+        if Tables.unresolved_conflicts tbl <> [] then exit 1)
   in
   Cmd.v
     (Cmd.info "conflicts" ~doc:"Report table conflicts under a chosen method")
-    Term.(const run $ grammar_arg $ method_arg $ timings_arg)
+    Term.(const run $ grammar_arg $ method_arg $ timings_arg $ budget_arg)
 
 (* ------------------------------------------------------------------ *)
 (* tables                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let tables_cmd =
-  let run spec m compact timings =
-    handle_engine spec ~timings (fun e ->
+  let run spec m compact timings budget =
+    handle_engine spec ~timings ?budget (fun e ->
         let tbl = tables_of_method e m in
         if compact then begin
           let module Compact = Lalr_tables.Compact in
@@ -196,21 +263,22 @@ let tables_cmd =
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Print the ACTION/GOTO table")
-    Term.(const run $ grammar_arg $ method_arg $ compact $ timings_arg)
+    Term.(const run $ grammar_arg $ method_arg $ compact $ timings_arg
+          $ budget_arg)
 
 (* ------------------------------------------------------------------ *)
 (* parse                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let parse_cmd =
-  let run spec tokens sexp timings =
-    handle_engine spec ~timings (fun e ->
+  let run spec tokens sexp timings budget =
+    handle_engine spec ~timings ?budget (fun e ->
         let g = Engine.grammar e in
         let tbl = Engine.tables e in
         match Token.of_names g tokens with
         | exception Invalid_argument msg ->
             Format.eprintf "%s@." msg;
-            exit 1
+            exit 2
         | toks -> (
             match Driver.parse tbl toks with
             | Ok tree ->
@@ -219,7 +287,7 @@ let parse_cmd =
                 else Format.printf "%a@." (Lalr_runtime.Tree.pp g) tree
             | Error e ->
                 Format.printf "%a@." (Driver.pp_error g) e;
-                exit 3))
+                exit 2))
   in
   let tokens =
     Arg.(
@@ -233,15 +301,15 @@ let parse_cmd =
   in
   Cmd.v
     (Cmd.info "parse" ~doc:"Parse a token sequence and print the tree")
-    Term.(const run $ grammar_arg $ tokens $ sexp $ timings_arg)
+    Term.(const run $ grammar_arg $ tokens $ sexp $ timings_arg $ budget_arg)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                           *)
 (* ------------------------------------------------------------------ *)
 
 let generate_cmd =
-  let run spec m output timings =
-    handle_engine spec ~timings (fun e ->
+  let run spec m output timings budget =
+    handle_engine spec ~timings ?budget (fun e ->
         let tbl = tables_of_method e m in
         let source = Lalr_report.Codegen.emit_to_string tbl in
         match output with
@@ -260,7 +328,8 @@ let generate_cmd =
        ~doc:
          "Emit a standalone OCaml parser module (tables + engine, no \
           library dependency)")
-    Term.(const run $ grammar_arg $ method_arg $ output $ timings_arg)
+    Term.(const run $ grammar_arg $ method_arg $ output $ timings_arg
+          $ budget_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lint                                                               *)
@@ -269,7 +338,8 @@ let generate_cmd =
 let lint_cmd =
   let module Lint = Lalr_lint.Engine in
   let module Diagnostic = Lalr_lint.Diagnostic in
-  let run spec format severity select ignored self_check list_codes timings =
+  let run spec format severity select ignored self_check list_codes timings
+      budget =
     if list_codes then begin
       List.iter
         (fun (p : Lalr_lint.Passes.pass) ->
@@ -286,7 +356,7 @@ let lint_cmd =
           Format.eprintf
             "invalid --severity %S (expected error, warning or info)@."
             severity;
-          exit 1
+          exit 2
     in
     let parse_codes what csv =
       let codes =
@@ -298,7 +368,7 @@ let lint_cmd =
           if not (List.mem c Lint.known_codes) then begin
             Format.eprintf "unknown lint code %S in %s (known: %s)@." c what
               (String.concat " " Lint.known_codes);
-            exit 1
+            exit 2
           end)
         codes;
       codes
@@ -316,12 +386,12 @@ let lint_cmd =
       | Some s -> s
       | None ->
           Format.eprintf "lint: a GRAMMAR argument is required@.";
-          exit 1
+          exit 2
     in
     handle_load spec (fun g ->
         (* The context owns the engine: every pass and the self-check
            oracle share one memoized pipeline over this grammar. *)
-        let ctx = Lalr_lint.Context.of_grammar g in
+        let ctx = Lalr_lint.Context.of_grammar ?budget g in
         (if timings then
            at_exit (fun () ->
                match Lalr_lint.Context.engine ctx with
@@ -330,11 +400,12 @@ let lint_cmd =
                    Format.eprintf
                      "engine timings: unavailable (start symbol is \
                       unproductive)@."));
-        let diags = Lint.run_ctx ~config ctx in
-        (match format with
-        | `Text -> Format.printf "%a" Lint.pp_report diags
-        | `Json -> print_endline (Diagnostic.list_to_json_string diags));
-        if Lint.has_errors diags then exit 3)
+        with_failure_boundary ?budget (fun () ->
+            let diags = Lint.run_ctx ~config ctx in
+            (match format with
+            | `Text -> Format.printf "%a" Lint.pp_report diags
+            | `Json -> print_endline (Diagnostic.list_to_json_string diags));
+            if Lint.has_errors diags then exit 2))
   in
   let format =
     Arg.(
@@ -391,10 +462,10 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:
          "Static analysis of a grammar with structured diagnostics \
-          (exit 3 iff an error-severity finding exists)")
+          (exit 2 iff an error-severity finding exists)")
     Term.(
       const run $ grammar_opt $ format $ severity $ select $ ignored
-      $ self_check $ list_codes $ timings_arg)
+      $ self_check $ list_codes $ timings_arg $ budget_arg)
 
 (* ------------------------------------------------------------------ *)
 (* suite                                                              *)

@@ -1,4 +1,5 @@
 module Vec = Lalr_sets.Vec
+module Budget = Lalr_guard.Budget
 
 type state = {
   id : int;
@@ -58,15 +59,20 @@ end
 module Kernel_tbl = Hashtbl.Make (Kernel_key)
 
 let build g =
+  Budget.with_stage "lr0" @@ fun () ->
   let tbl = Item.make g in
   let states : state Vec.t = Vec.create () in
   let index = Kernel_tbl.create 256 in
   let trans : (Symbol.t * int) list Vec.t = Vec.create () in
+  let partial () =
+    Printf.sprintf "%d LR(0) states constructed" (Vec.length states)
+  in
   (* Interns a kernel, returns its state id. *)
   let intern accessing kernel =
     match Kernel_tbl.find_opt index kernel with
     | Some id -> id
     | None ->
+        Budget.count_state ~partial ();
         let id =
           Vec.push states
             { id = Vec.length states; kernel; items = [||]; accessing }
@@ -80,8 +86,10 @@ let build g =
   (* Worklist: states are processed in id order; new states append. *)
   let cursor = ref 0 in
   while !cursor < Vec.length states do
+    Budget.burn ();
     let s = Vec.get states !cursor in
     let items = closure g tbl s.kernel in
+    Budget.count_items ~partial (Array.length items);
     Vec.set states !cursor { s with items };
     (* Group non-final items by the symbol after the dot. *)
     let groups : (Symbol.t, int list) Hashtbl.t = Hashtbl.create 16 in

@@ -2,6 +2,7 @@ module Bitset = Lalr_sets.Bitset
 module Vec = Lalr_sets.Vec
 module Item = Lalr_automaton.Item
 module Lr0 = Lalr_automaton.Lr0
+module Budget = Lalr_guard.Budget
 
 (* An LR(1) item is an LR(0) item paired with one look-ahead terminal,
    packed as [lr0_item * n_terminals + la]. States are identified by
@@ -72,16 +73,21 @@ module Kernel_tbl = Hashtbl.Make (struct
 end)
 
 let build g =
+  Budget.with_stage "lr1" @@ fun () ->
   let tbl = Item.make g in
   let analysis = Analysis.compute g in
   let n_term = Grammar.n_terminals g in
   let states : state Vec.t = Vec.create () in
   let trans : (Symbol.t * int) list Vec.t = Vec.create () in
   let index = Kernel_tbl.create 1024 in
+  let partial () =
+    Printf.sprintf "%d canonical LR(1) states constructed" (Vec.length states)
+  in
   let intern kernel =
     match Kernel_tbl.find_opt index kernel with
     | Some id -> id
     | None ->
+        Budget.count_state ~partial ();
         let id = Vec.push states { kernel; closure = [||] } in
         ignore (Vec.push trans []);
         Kernel_tbl.replace index kernel id;
@@ -92,8 +98,10 @@ let build g =
   ignore (intern [| pack ~n_term (Item.initial tbl ~prod:0) 0 |]);
   let cursor = ref 0 in
   while !cursor < Vec.length states do
+    Budget.burn ();
     let s = Vec.get states !cursor in
     let closure = closure_of g tbl analysis n_term s.kernel in
+    Budget.count_items ~partial (Array.length closure);
     s.closure <- closure;
     let groups : (Symbol.t, int list) Hashtbl.t = Hashtbl.create 16 in
     let order = ref [] in

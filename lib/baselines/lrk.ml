@@ -3,6 +3,7 @@ module KSet = Kstring.Set
 module Vec = Lalr_sets.Vec
 module Item = Lalr_automaton.Item
 module Lr0 = Lalr_automaton.Lr0
+module Budget = Lalr_guard.Budget
 
 (* An LR(k) item is an LR(0) item with one ≤k-string. States are sorted
    lists of items, interned by structural equality. *)
@@ -61,14 +62,19 @@ let closure_of g tbl firstk kk kernel =
 
 let build ~k:kk g =
   if kk < 1 then invalid_arg "Lrk.build: k must be >= 1";
+  Budget.with_stage "lr(k)" @@ fun () ->
   let tbl = Item.make g in
   let firstk = Firstk.compute ~k:kk g in
   let states : state Vec.t = Vec.create () in
   let index = Kernel_tbl.create 1024 in
+  let partial () =
+    Printf.sprintf "%d LR(%d) states constructed" (Vec.length states) kk
+  in
   let intern kernel =
     match Kernel_tbl.find_opt index kernel with
     | Some id -> id
     | None ->
+        Budget.count_state ~partial ();
         let id = Vec.push states { kernel; closure = [] } in
         Kernel_tbl.replace index kernel id;
         id
@@ -76,8 +82,10 @@ let build ~k:kk g =
   ignore (intern [ (Item.initial tbl ~prod:0, []) ]);
   let cursor = ref 0 in
   while !cursor < Vec.length states do
+    Budget.burn ();
     let s = Vec.get states !cursor in
     let closure = closure_of g tbl firstk kk s.kernel in
+    Budget.count_items ~partial (List.length closure);
     s.closure <- closure;
     let groups : (Symbol.t, item list) Hashtbl.t = Hashtbl.create 16 in
     let order = ref [] in
@@ -101,6 +109,8 @@ let build ~k:kk g =
     incr cursor
   done;
   { grammar = g; items = tbl; k = kk; states = Vec.to_array states }
+
+let build_opt ~k g = if k < 1 then None else Some (build ~k g)
 
 let merged_lookaheads t (lr0 : Lr0.t) =
   if not (Grammar.equal_structure t.grammar (Lr0.grammar lr0)) then

@@ -14,6 +14,9 @@ type t
 val build : k:int -> Grammar.t -> t
 (** Raises [Invalid_argument] when [k < 1]. *)
 
+val build_opt : k:int -> Grammar.t -> t option
+(** Non-raising {!build}: [None] when [k < 1]. *)
+
 val k : t -> int
 val n_states : t -> int
 

@@ -1,6 +1,7 @@
 module Bitset = Lalr_sets.Bitset
 module Digraph = Lalr_sets.Digraph
 module Lr0 = Lalr_automaton.Lr0
+module Budget = Lalr_guard.Budget
 
 type t = {
   automaton : Lr0.t;
@@ -14,6 +15,7 @@ type t = {
 let automaton t = t.automaton
 
 let compute (a : Lr0.t) =
+  Budget.with_stage "nqlalr" @@ fun () ->
   let g = Lr0.grammar a in
   let analysis = Analysis.compute g in
   let n_term = Grammar.n_terminals g in
@@ -26,6 +28,7 @@ let compute (a : Lr0.t) =
   let succ = Array.make n_states [] in
   let add_edge src dst = succ.(src) <- dst :: succ.(src) in
   for x = 0 to nx - 1 do
+    Budget.burn ();
     let r = Lr0.nt_transition_target a x in
     List.iter
       (fun (sym, target) ->
@@ -38,10 +41,12 @@ let compute (a : Lr0.t) =
   (* State-merged includes: exact edge (p,A) includes (p',B) becomes
      goto(p,A) -> goto(p',B). *)
   for x' = 0 to nx - 1 do
+    Budget.burn ();
     let p', b = Lr0.nt_transition a x' in
     let r' = Lr0.nt_transition_target a x' in
     Array.iter
       (fun pid ->
+        Budget.burn ();
         let prod = Grammar.production g pid in
         let len = Array.length prod.rhs in
         let state = ref p' in
@@ -71,6 +76,7 @@ let compute (a : Lr0.t) =
       (Lr0.reductions a q)
   done;
   for x = 0 to nx - 1 do
+    Budget.burn ();
     let p, aa = Lr0.nt_transition a x in
     let r = Lr0.nt_transition_target a x in
     Array.iter
@@ -80,7 +86,12 @@ let compute (a : Lr0.t) =
           let q = Lr0.traverse a p prod.rhs ~from:0 in
           match Hashtbl.find_opt la (q, pid) with
           | Some acc -> ignore (Bitset.union_into ~into:acc follow_nq.(r))
-          | None -> assert false
+          | None ->
+              Budget.broken_invariant ~stage:"nqlalr"
+                (Printf.sprintf
+                   "state %d reached by walking production %d lacks the \
+                    corresponding reduction"
+                   q pid)
         end)
       (Grammar.productions_of g aa)
   done;

@@ -1,6 +1,7 @@
 module Bitset = Lalr_sets.Bitset
 module Item = Lalr_automaton.Item
 module Lr0 = Lalr_automaton.Lr0
+module Budget = Lalr_guard.Budget
 
 type stats = {
   n_kernel_items : int;
@@ -69,6 +70,7 @@ let closure_with_hash g tbl analysis n_term item =
   !acc
 
 let compute (a : Lr0.t) =
+  Budget.with_stage "propagation" @@ fun () ->
   let g = Lr0.grammar a in
   let tbl = Lr0.items a in
   let analysis = Analysis.compute g in
@@ -85,7 +87,11 @@ let compute (a : Lr0.t) =
   let slot state item =
     let kernel = (Lr0.state a state).kernel in
     let rec find i =
-      if i = Array.length kernel then assert false
+      if i = Array.length kernel then
+        Budget.broken_invariant ~stage:"propagation"
+          (Printf.sprintf
+             "advanced item %d missing from the kernel of goto target %d"
+             item state)
       else if kernel.(i) = item then offset.(state) + i
       else find (i + 1)
     in
@@ -96,8 +102,10 @@ let compute (a : Lr0.t) =
   let spontaneous = ref 0 in
   let propagate_edges = ref 0 in
   for p = 0 to n_states - 1 do
+    Budget.burn ();
     Array.iter
       (fun kitem ->
+        Budget.burn ();
         let src = slot p kitem in
         List.iter
           (fun (lr0, la) ->
@@ -125,6 +133,7 @@ let compute (a : Lr0.t) =
     changed := false;
     incr passes;
     for src = 0 to !total - 1 do
+      Budget.burn ();
       List.iter
         (fun dst ->
           if Bitset.union_into ~into:lookaheads.(dst) lookaheads.(src) then

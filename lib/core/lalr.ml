@@ -1,6 +1,7 @@
 module Bitset = Lalr_sets.Bitset
 module Digraph = Lalr_sets.Digraph
 module Lr0 = Lalr_automaton.Lr0
+module Budget = Lalr_guard.Budget
 
 type diagnostic = Reads_cycle of int list | Includes_cycle of int list
 
@@ -55,6 +56,7 @@ type relations = {
 }
 
 let relations ?analysis (a : Lr0.t) =
+  Budget.with_stage "relations" @@ fun () ->
   let g = Lr0.grammar a in
   let analysis =
     match analysis with Some an -> an | None -> Analysis.compute g
@@ -67,6 +69,7 @@ let relations ?analysis (a : Lr0.t) =
   let dr = Array.init nx (fun _ -> Bitset.create n_term) in
   let reads = Array.make nx [] in
   for x = 0 to nx - 1 do
+    Budget.burn ();
     let r = Lr0.nt_transition_target a x in
     List.iter
       (fun (sym, _) ->
@@ -84,9 +87,11 @@ let relations ?analysis (a : Lr0.t) =
   let includes_rev = Array.make nx [] in
   let includes_edges = ref 0 in
   for x' = 0 to nx - 1 do
+    Budget.burn ();
     let p', b = Lr0.nt_transition a x' in
     Array.iter
       (fun pid ->
+        Budget.burn ();
         let prod = Grammar.production g pid in
         let len = Array.length prod.rhs in
         let state = ref p' in
@@ -124,6 +129,7 @@ let relations ?analysis (a : Lr0.t) =
   let lookback = Array.make !n_red [] in
   let lookback_edges = ref 0 in
   for x = 0 to nx - 1 do
+    Budget.burn ();
     let p, aa = Lr0.nt_transition a x in
     Array.iter
       (fun pid ->
@@ -136,7 +142,11 @@ let relations ?analysis (a : Lr0.t) =
               incr lookback_edges
           | None ->
               (* q must contain the final item of pid. *)
-              assert false
+              Budget.broken_invariant ~stage:"relations"
+                (Printf.sprintf
+                   "lookback: state %d reached by walking production %d from \
+                    nonterminal transition %d lacks the final item"
+                   q pid x)
         end)
       (Grammar.productions_of g aa)
   done;

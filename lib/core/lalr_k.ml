@@ -1,6 +1,7 @@
 module Kstring = Lalr_sets.Kstring
 module KSet = Kstring.Set
 module Lr0 = Lalr_automaton.Lr0
+module Budget = Lalr_guard.Budget
 
 type t = {
   k : int;
@@ -21,6 +22,7 @@ let lookahead t ~state ~prod =
 
 let compute ~k (a : Lr0.t) =
   if k < 1 then invalid_arg "Lalr_k.compute: k must be >= 1";
+  Budget.with_stage "lalr_k" @@ fun () ->
   let g = Lr0.grammar a in
   let firstk = Firstk.compute ~k g in
   let nx = Lr0.n_nt_transitions a in
@@ -62,16 +64,23 @@ let compute ~k (a : Lr0.t) =
   for x = 0 to nx - 1 do
     push x
   done;
+  let partial () =
+    Printf.sprintf "Follow_%d fixpoint in progress over %d transitions" k nx
+  in
   while not (Queue.is_empty queue) do
+    Budget.burn ();
     let x' = Queue.pop queue in
     queued.(x') <- false;
     let src = follow.(x') in
     if not (KSet.is_empty src) then
       List.iter
         (fun (label, x) ->
+          Budget.burn ();
           let contribution = Kstring.concat_sets k label src in
           let merged = KSet.union follow.(x) contribution in
           if not (KSet.equal merged follow.(x)) then begin
+            Budget.count_items ~partial
+              (KSet.cardinal merged - KSet.cardinal follow.(x));
             follow.(x) <- merged;
             push x
           end)
@@ -116,7 +125,12 @@ let compute ~k (a : Lr0.t) =
           let q = walk_production follow.(x) p prod in
           match Hashtbl.find_opt la (q, pid) with
           | Some set -> Hashtbl.replace la (q, pid) (KSet.union set follow.(x))
-          | None -> assert false
+          | None ->
+              Budget.broken_invariant ~stage:"lalr_k"
+                (Printf.sprintf
+                   "state %d reached by walking production %d from a \
+                    nonterminal transition lacks its final item"
+                   q pid)
         end)
       (Grammar.productions_of g aa)
   done;

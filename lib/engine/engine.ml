@@ -6,6 +6,7 @@ module Lr1 = Lalr_baselines.Lr1
 module Propagation = Lalr_baselines.Propagation
 module Tables = Lalr_tables.Tables
 module Classify = Lalr_tables.Classify
+module Budget = Lalr_guard.Budget
 
 type 'a slot = {
   s_name : string;
@@ -39,6 +40,7 @@ let force slot compute =
 
 type t = {
   grammar : Grammar.t;
+  budget_opt : Budget.t option;
   analysis_s : Analysis.t slot;
   lr0_s : Lr0.t slot;
   relations_s : Lalr.relations slot;
@@ -55,9 +57,10 @@ type t = {
   classification_lr1_s : Classify.verdict slot;
 }
 
-let create ?analysis grammar =
+let create ?budget ?analysis grammar =
   {
     grammar;
+    budget_opt = budget;
     analysis_s =
       (match analysis with
       | Some an -> seeded "analysis" an
@@ -77,52 +80,94 @@ let create ?analysis grammar =
     classification_lr1_s = slot "classification+lr1";
   }
 
+let forceb e slot compute =
+  force slot (fun () ->
+      match e.budget_opt with
+      | None -> compute ()
+      | Some b -> Budget.with_budget b ~stage:slot.s_name compute)
+
 let grammar e = e.grammar
-let analysis e = force e.analysis_s (fun () -> Analysis.compute e.grammar)
-let lr0 e = force e.lr0_s (fun () -> Lr0.build e.grammar)
+let budget e = e.budget_opt
+
+(* ------------------------------------------------------------------ *)
+(* The failure boundary                                               *)
+(* ------------------------------------------------------------------ *)
+
+type failure =
+  | Budget_exceeded of Budget.exceeded
+  | Internal_error of { stage : string; invariant : string }
+
+let pp_failure ppf = function
+  | Budget_exceeded ex -> Budget.pp_exceeded ppf ex
+  | Internal_error { stage; invariant } ->
+      Format.fprintf ppf "internal error in stage '%s': %s" stage invariant
+
+let run e f =
+  match f e with
+  | v -> Ok v
+  | exception Budget.Exceeded ex -> Error (Budget_exceeded ex)
+  | exception Budget.Internal_error { stage; invariant } ->
+      Error (Internal_error { stage; invariant })
+  | exception Stack_overflow ->
+      Error
+        (Internal_error
+           { stage = "engine"; invariant = "stack overflow during analysis" })
+  | exception Assert_failure (file, line, _) ->
+      (* Backstop for invariants not yet converted to
+         [Budget.broken_invariant]: still a typed outcome, never an
+         abort. *)
+      Error
+        (Internal_error
+           {
+             stage = Budget.current_stage ();
+             invariant = Printf.sprintf "assertion failed at %s:%d" file line;
+           })
+
+let analysis e = forceb e e.analysis_s (fun () -> Analysis.compute e.grammar)
+let lr0 e = forceb e e.lr0_s (fun () -> Lr0.build e.grammar)
 
 let relations e =
   let an = analysis e in
   let a = lr0 e in
-  force e.relations_s (fun () -> Lalr.relations ~analysis:an a)
+  forceb e e.relations_s (fun () -> Lalr.relations ~analysis:an a)
 
 let follow e =
   let r = relations e in
-  force e.follow_s (fun () -> Lalr.solve_follow r)
+  forceb e e.follow_s (fun () -> Lalr.solve_follow r)
 
 let lalr e =
   let r = relations e in
   let f = follow e in
-  force e.la_s (fun () -> Lalr.of_stages r f)
+  forceb e e.la_s (fun () -> Lalr.of_stages r f)
 
 let slr e =
   let a = lr0 e in
-  force e.slr_s (fun () -> Slr.compute a)
+  forceb e e.slr_s (fun () -> Slr.compute a)
 
 let nqlalr e =
   let a = lr0 e in
-  force e.nqlalr_s (fun () -> Nqlalr.compute a)
+  forceb e e.nqlalr_s (fun () -> Nqlalr.compute a)
 
 let propagation e =
   let a = lr0 e in
-  force e.propagation_s (fun () -> Propagation.compute a)
+  forceb e e.propagation_s (fun () -> Propagation.compute a)
 
-let lr1 e = force e.lr1_s (fun () -> Lr1.build e.grammar)
+let lr1 e = forceb e e.lr1_s (fun () -> Lr1.build e.grammar)
 
 let tables e =
   let t = lalr e in
   let a = lr0 e in
-  force e.tables_s (fun () -> Tables.build ~lookahead:(Lalr.lookahead t) a)
+  forceb e e.tables_s (fun () -> Tables.build ~lookahead:(Lalr.lookahead t) a)
 
 let slr_tables e =
   let s = slr e in
   let a = lr0 e in
-  force e.slr_tables_s (fun () -> Tables.build ~lookahead:(Slr.lookahead s) a)
+  forceb e e.slr_tables_s (fun () -> Tables.build ~lookahead:(Slr.lookahead s) a)
 
 let nqlalr_tables e =
   let n = nqlalr e in
   let a = lr0 e in
-  force e.nqlalr_tables_s (fun () ->
+  forceb e e.nqlalr_tables_s (fun () ->
       Tables.build ~lookahead:(Nqlalr.lookahead n) a)
 
 type method_ = [ `Lalr | `Slr | `Nqlalr ]
@@ -149,7 +194,7 @@ let classification ?with_lr1 e =
   let nq_tbl = nqlalr_tables e in
   let lr1_v = if use_lr1 then Some (lr1 e) else None in
   let a = lr0 e in
-  force s (fun () ->
+  forceb e s (fun () ->
       Classify.assemble ~lalr:lalr_v ~slr:slr_v ~nqlalr:nqlalr_v ~lalr_tbl
         ~slr_tbl ~nq_tbl ~lr1:lr1_v a)
 

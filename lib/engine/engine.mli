@@ -52,15 +52,48 @@
 
 type t
 
-val create : ?analysis:Analysis.t -> Grammar.t -> t
+val create : ?budget:Lalr_guard.Budget.t -> ?analysis:Analysis.t -> Grammar.t -> t
 (** A fresh engine with every slot unforced. Creation does no work.
     [?analysis] seeds the [analysis] slot with a caller-computed value
     (which must be the analysis of [grammar]); the slot then reports
     as forced with zero misses. The grammar is analysed as given — the
     engine never reduces it (callers that lint arbitrary input reduce
-    first; see [Lalr_lint.Context]). *)
+    first; see [Lalr_lint.Context]).
+
+    [?budget] bounds every slot computation: each force installs the
+    budget for its extent (stage = slot name; algorithms refine it via
+    {!Lalr_guard.Budget.with_stage}). The budget is shared across
+    slots, so its caps bound the whole pipeline. Without [?budget],
+    slot computations run exactly as before — the check points are
+    no-ops. *)
 
 val grammar : t -> Grammar.t
+val budget : t -> Lalr_guard.Budget.t option
+
+(** {2 The failure boundary}
+
+    Budgeted or not, an engine's computations have exactly three
+    outcomes: a value, a budget trip, or a broken internal invariant.
+    {!run} is the boundary that turns the two exceptional outcomes
+    into data; inside it, any slot accessor (or combination) may be
+    used freely. *)
+
+type failure =
+  | Budget_exceeded of Lalr_guard.Budget.exceeded
+      (** a resource cap tripped; the record names the stage, the
+          resource, consumed vs. cap, and any partial artifact *)
+  | Internal_error of { stage : string; invariant : string }
+      (** a broken invariant (the typed replacement for
+          [assert false]), or a stack overflow during analysis *)
+
+val run : t -> (t -> 'a) -> ('a, failure) result
+(** [run e f] applies [f e], catching {!Lalr_guard.Budget.Exceeded},
+    {!Lalr_guard.Budget.Internal_error}, [Stack_overflow] and — as a
+    backstop for invariants not yet converted to the typed form —
+    [Assert_failure]. A slot interrupted by a failure stays unforced
+    and may be re-forced under a fresh engine with looser caps. *)
+
+val pp_failure : Format.formatter -> failure -> unit
 
 (** {2 Slots}
 

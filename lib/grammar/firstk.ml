@@ -1,5 +1,6 @@
 module Kstring = Lalr_sets.Kstring
 module KSet = Kstring.Set
+module Budget = Lalr_guard.Budget
 
 type t = { k : int; grammar : Grammar.t; first : KSet.t array }
 
@@ -32,11 +33,15 @@ let compute ~k (g : Grammar.t) =
     (* FIRST0 of anything is {ε}. *)
     Array.iteri (fun i _ -> first.(i) <- Kstring.epsilon) first
   else begin
+    let partial () =
+      Printf.sprintf "FIRST%d fixpoint in progress over %d nonterminals" k n_nt
+    in
     let changed = ref true in
     while !changed do
       changed := false;
       Array.iter
         (fun (p : Grammar.production) ->
+          Budget.burn ();
           (* Concatenate current approximations along the rhs. Only
              symbols whose FIRSTk is still empty block the production
              entirely (no string derivable yet). *)
@@ -51,6 +56,8 @@ let compute ~k (g : Grammar.t) =
             let set = sentence_sets ~k first p.rhs ~from:0 in
             let merged = KSet.union first.(p.lhs) set in
             if not (KSet.equal merged first.(p.lhs)) then begin
+              Budget.count_items ~partial
+                (KSet.cardinal merged - KSet.cardinal first.(p.lhs));
               first.(p.lhs) <- merged;
               changed := true
             end

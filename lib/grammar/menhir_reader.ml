@@ -3,13 +3,16 @@
 
 type lexer = {
   src : string;
+  file : string option;  (* reported in errors; None for string input *)
   mutable pos : int;
   mutable line : int;
   mutable bol : int;
 }
 
 let error lx message =
-  raise (Reader.Error { line = lx.line; col = lx.pos - lx.bol + 1; message })
+  raise
+    (Reader.Error
+       { file = lx.file; line = lx.line; col = lx.pos - lx.bol + 1; message })
 
 let peek lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
 
@@ -190,14 +193,50 @@ let rec next lx =
          subset"
   | Some c -> error lx (Printf.sprintf "unexpected character %C" c)
 
-type state = { lx : lexer; mutable cur : token }
+type state = {
+  lx : lexer;
+  mutable cur : token;
+  strict : bool;
+  errors : Reader.error list ref;  (* reversed; tolerant mode only *)
+}
 
-let shift st = st.cur <- next st.lx
+(* Tolerant mode gives up after this many diagnostics. *)
+let max_errors = 100
+
+(* Consecutive identical diagnostics collapse: a lexical error retried
+   after the lexer consumed only whitespace reports once, not once per
+   retry. *)
+let record st e =
+  match !(st.errors) with
+  | last :: _ when last = e -> ()
+  | _ ->
+      st.errors := e :: !(st.errors);
+      if List.length !(st.errors) >= max_errors then
+        raise
+          (Reader.Error { e with Reader.message = "too many errors; giving up" })
+
+(* In tolerant mode a lexical error is recorded and the lexer skips one
+   character (when it has not already moved) before retrying, so
+   progress is guaranteed. *)
+let rec tolerant_next st =
+  let before = st.lx.pos in
+  match next st.lx with
+  | t -> t
+  | exception Reader.Error e ->
+      record st e;
+      if st.lx.pos = before && peek st.lx <> None then advance st.lx;
+      if peek st.lx = None then EOF_TOK else tolerant_next st
+
+let shift st = st.cur <- (if st.strict then next st.lx else tolerant_next st)
 let serr st message = error st.lx message
 
-let of_string ?(name = "grammar") ?source src =
-  let lx = { src; pos = 0; line = 1; bol = 0 } in
-  let st = { lx; cur = EOF_TOK } in
+let make_state ~strict ~file src =
+  let lx = { src; file; pos = 0; line = 1; bol = 0 } in
+  { lx; cur = EOF_TOK; strict; errors = ref [] }
+
+let parse st ~name ~source =
+  let lx = st.lx in
+  let strict = st.strict in
   shift st;
   let tokens = ref [] in
   let start = ref None in
@@ -269,7 +308,25 @@ let of_string ?(name = "grammar") ?source src =
     | SEPARATOR -> shift st
     | _ -> serr st "expected a declaration or '%%'"
   in
-  decls ();
+  (* Tolerant resynchronisation for declarations: drop the offending
+     token, then resume at the next declaration keyword, the separator,
+     or end of input. *)
+  let rec decls_guard () =
+    try decls () with
+    | Reader.Error e when not strict ->
+        record st e;
+        let rec sync first =
+          match st.cur with
+          | SEPARATOR -> shift st
+          | EOF_TOK -> ()
+          | KW _ when not first -> decls_guard ()
+          | _ ->
+              shift st;
+              sync false
+        in
+        sync true
+  in
+  decls_guard ();
   (* rules *)
   let rules = ref [] in
   let rule_lines = ref [] in
@@ -353,22 +410,58 @@ let of_string ?(name = "grammar") ?source src =
         | _ -> serr st "expected ':' after rule name")
     | _ -> serr st "expected a rule"
   in
-  if st.cur = EOF_TOK then serr st "no rules";
-  let carried = ref (parse_first_rule ()) in
+  let carried = ref None in
   let continue = ref true in
+  let first = ref true in
+  let step () =
+    if !first then begin
+      first := false;
+      if st.cur = EOF_TOK then serr st "no rules";
+      carried := parse_first_rule ()
+    end
+    else
+      match !carried with
+      | Some lhs -> carried := parse_rule_body lhs
+      | None ->
+          if st.cur = EOF_TOK || st.cur = SEPARATOR then continue := false
+          else carried := parse_first_rule ()
+  in
+  (* Tolerant resynchronisation for rules: past the next ';', or stop
+     at the trailer/end of input. *)
+  let rec sync_rule () =
+    match st.cur with
+    | EOF_TOK | SEPARATOR -> continue := false
+    | SEMI -> shift st
+    | _ ->
+        shift st;
+        sync_rule ()
+  in
   while !continue do
-    match !carried with
-    | Some lhs -> carried := parse_rule_body lhs
-    | None ->
-        if st.cur = EOF_TOK || st.cur = SEPARATOR then continue := false
-        else carried := parse_first_rule ()
+    if strict then step ()
+    else
+      try step () with
+      | Reader.Error e ->
+          record st e;
+          carried := None;
+          sync_rule ()
   done;
   let rules = List.rev !rules in
   let rule_lines = List.rev !rule_lines in
+  let no_rules () =
+    raise
+      (Reader.Error
+         {
+           file = source;
+           line = lx.line;
+           col = lx.pos - lx.bol + 1;
+           message = "no rules";
+         })
+  in
+  if rules = [] then no_rules ();
   let start =
     match !start with
     | Some s -> s
-    | None -> ( match rules with (lhs, _, _) :: _ -> lhs | [] -> assert false)
+    | None -> ( match rules with (lhs, _, _) :: _ -> lhs | [] -> no_rules ())
   in
   (* Strip a conventional explicit EOF: a terminal that ends every
      start production and occurs nowhere else. *)
@@ -423,13 +516,41 @@ let of_string ?(name = "grammar") ?source src =
   Grammar.make ~name ~locs ~prec:(List.rev !prec) ~terminals:tokens ~start
     ~rules ()
 
-let of_file path =
-  let ic = open_in_bin path in
-  let src =
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
+let of_string ?(name = "grammar") ?source src =
+  parse (make_state ~strict:true ~file:source src) ~name ~source
+
+let of_string_tolerant ?(name = "grammar") ?source src =
+  let st = make_state ~strict:false ~file:source src in
+  let finish extra =
+    let errs =
+      match extra with None -> !(st.errors) | Some e -> e :: !(st.errors)
+    in
+    (* The final raise may repeat an already-recorded diagnostic. *)
+    let deduped =
+      List.fold_left
+        (fun acc e ->
+          match acc with prev :: _ when prev = e -> acc | _ -> e :: acc)
+        [] (List.rev errs)
+    in
+    List.rev deduped
   in
+  match parse st ~name ~source with
+  | g -> (Some g, finish None)
+  | exception Reader.Error e -> (None, finish (Some e))
+  | exception Invalid_argument msg ->
+      (* Semantic errors from Grammar.make carry no position. *)
+      ( None,
+        finish
+          (Some { Reader.file = source; line = 1; col = 1; message = msg }) )
+
+let of_file path =
+  let src = Reader.read_file path in
   of_string
+    ~name:(Filename.remove_extension (Filename.basename path))
+    ~source:path src
+
+let of_file_tolerant path =
+  let src = Reader.read_file path in
+  of_string_tolerant
     ~name:(Filename.remove_extension (Filename.basename path))
     ~source:path src

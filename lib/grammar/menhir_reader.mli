@@ -28,4 +28,16 @@ val of_string : ?name:string -> ?source:string -> string -> Grammar.t
     grammar's {!Grammar.locations} together with per-production and
     per-declaration line numbers. *)
 
+val of_string_tolerant :
+  ?name:string -> ?source:string -> string -> Grammar.t option * Reader.error list
+(** Error-recovering variant of {!of_string}: never raises on malformed
+    input. Syntax errors resynchronise at the next declaration keyword,
+    ['%%'] or [';'] and parsing continues, so one call collects every
+    diagnostic (capped at 100); lexical errors skip a character. See
+    {!Reader.of_string_tolerant} for the contract. *)
+
 val of_file : string -> Grammar.t
+
+val of_file_tolerant : string -> Grammar.t option * Reader.error list
+(** {!of_string_tolerant} over a file's contents; errors carry the path
+    in [Reader.error.file]. *)

@@ -1,9 +1,16 @@
-type error = { line : int; col : int; message : string }
+type error = {
+  file : string option;
+  line : int;
+  col : int;
+  message : string;
+}
 
 exception Error of error
 
 let pp_error ppf e =
-  Format.fprintf ppf "%d:%d: %s" e.line e.col e.message
+  match e.file with
+  | Some f -> Format.fprintf ppf "%s:%d:%d: %s" f e.line e.col e.message
+  | None -> Format.fprintf ppf "%d:%d: %s" e.line e.col e.message
 
 (* ------------------------------------------------------------------ *)
 (* Lexer                                                              *)
@@ -43,13 +50,15 @@ let token_to_string = function
 
 type lexer = {
   src : string;
+  file : string option;  (* reported in errors; None for string input *)
   mutable pos : int;
   mutable line : int;
   mutable bol : int;  (* offset of beginning of current line *)
 }
 
 let lexer_error lx message =
-  raise (Error { line = lx.line; col = lx.pos - lx.bol + 1; message })
+  raise
+    (Error { file = lx.file; line = lx.line; col = lx.pos - lx.bol + 1; message })
 
 let peek_char lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
 
@@ -177,12 +186,50 @@ let next_token lx =
 (* Parser                                                             *)
 (* ------------------------------------------------------------------ *)
 
-type parser_state = { lx : lexer; mutable cur : ptoken }
+type parser_state = {
+  lx : lexer;
+  mutable cur : ptoken;
+  strict : bool;  (* raise on first error vs. collect and resynchronise *)
+  mutable errors : error list;  (* reversed; tolerant mode only *)
+}
+
+(* Tolerant mode gives up after this many diagnostics: past that point
+   the input is noise and further recovery only slows the caller down. *)
+let max_errors = 100
+
+exception Bail
+
+(* Consecutive identical diagnostics collapse: a lexical error retried
+   after the lexer consumed only whitespace reports once, not once per
+   retry. *)
+let record st e =
+  match st.errors with
+  | last :: _ when last = e -> ()
+  | _ ->
+      st.errors <- e :: st.errors;
+      if List.length st.errors >= max_errors then raise Bail
 
 let syntax_error st message =
-  raise (Error { line = st.cur.tline; col = st.cur.tcol; message })
+  raise
+    (Error
+       { file = st.lx.file; line = st.cur.tline; col = st.cur.tcol; message })
 
-let shift st = st.cur <- next_token st.lx
+(* In tolerant mode a lexical error is recorded and the lexer skips one
+   character (when it has not already moved) before retrying, so
+   progress is guaranteed. *)
+let rec tolerant_next st =
+  let before = st.lx.pos in
+  match next_token st.lx with
+  | t -> t
+  | exception Error e ->
+      record st e;
+      if st.lx.pos = before && peek_char st.lx <> None then advance st.lx;
+      if peek_char st.lx = None then
+        { tok = EOF; tline = st.lx.line; tcol = st.lx.pos - st.lx.bol + 1 }
+      else tolerant_next st
+
+let shift st =
+  st.cur <- (if st.strict then next_token st.lx else tolerant_next st)
 
 let expect st tok what =
   if st.cur.tok = tok then shift st
@@ -228,36 +275,72 @@ let parse_declarations st =
     d.prec <- (assoc, List.map fst (ident_list st "terminal")) :: d.prec;
     d.prec_lines <- line :: d.prec_lines
   in
-  let rec go () =
+  (* Tolerant resynchronisation: skip to the next declaration keyword,
+     the rules separator, or end of input. *)
+  let rec sync_decl () =
     match st.cur.tok with
-    | KW_TOKEN ->
-        shift st;
-        d.tokens <- List.rev_append (ident_list st "token name") d.tokens;
-        go ()
-    | KW_START -> (
-        shift st;
-        match st.cur.tok with
-        | IDENT s ->
-            if d.start <> None then
-              syntax_error st "duplicate %start declaration";
-            d.start <- Some s;
-            shift st;
-            go ()
-        | _ -> syntax_error st "expected a nonterminal name after %start")
-    | KW_LEFT ->
-        prec_decl Grammar.Left;
-        go ()
-    | KW_RIGHT ->
-        prec_decl Grammar.Right;
-        go ()
-    | KW_NONASSOC ->
-        prec_decl Grammar.Nonassoc;
-        go ()
-    | SEPARATOR -> shift st
+    | KW_TOKEN | KW_START | KW_LEFT | KW_RIGHT | KW_NONASSOC | SEPARATOR
+    | EOF ->
+        ()
     | _ ->
-        syntax_error st
-          (Printf.sprintf "expected a declaration or '%%%%' but found %s"
-             (token_to_string st.cur.tok))
+        shift st;
+        sync_decl ()
+  in
+  let rec go () =
+    let next =
+      try
+        match st.cur.tok with
+        | KW_TOKEN ->
+            shift st;
+            d.tokens <- List.rev_append (ident_list st "token name") d.tokens;
+            `Continue
+        | KW_START -> (
+            shift st;
+            match st.cur.tok with
+            | IDENT s ->
+                if d.start <> None then
+                  syntax_error st "duplicate %start declaration";
+                d.start <- Some s;
+                shift st;
+                `Continue
+            | _ -> syntax_error st "expected a nonterminal name after %start")
+        | KW_LEFT ->
+            prec_decl Grammar.Left;
+            `Continue
+        | KW_RIGHT ->
+            prec_decl Grammar.Right;
+            `Continue
+        | KW_NONASSOC ->
+            prec_decl Grammar.Nonassoc;
+            `Continue
+        | SEPARATOR ->
+            shift st;
+            `Stop
+        | EOF when not st.strict ->
+            (* Missing '%%' altogether: diagnose once and move on. *)
+            record st
+              {
+                file = st.lx.file;
+                line = st.cur.tline;
+                col = st.cur.tcol;
+                message = "expected a declaration or '%%' but found end of input";
+              };
+            `Stop
+        | _ ->
+            syntax_error st
+              (Printf.sprintf "expected a declaration or '%%%%' but found %s"
+                 (token_to_string st.cur.tok))
+      with Error e when not st.strict ->
+        record st e;
+        sync_decl ();
+        if st.cur.tok = SEPARATOR then begin
+          shift st;
+          `Stop
+        end
+        else if st.cur.tok = EOF then `Stop
+        else `Continue
+    in
+    match next with `Continue -> go () | `Stop -> ()
   in
   go ();
   d
@@ -332,6 +415,24 @@ let parse_rules st d =
           (Printf.sprintf "expected a rule name but found %s"
              (token_to_string st.cur.tok))
   in
+  (* Tolerant resynchronisation: skip past the next ';' (the end of the
+     broken rule), or stop at end of input. *)
+  let rec sync_rule () =
+    match st.cur.tok with
+    | EOF -> ()
+    | SEMI -> shift st
+    | _ ->
+        shift st;
+        sync_rule ()
+  in
+  let parse_rule () =
+    if st.strict then parse_rule ()
+    else
+      try parse_rule () with
+      | Error e ->
+          record st e;
+          sync_rule ()
+  in
   parse_rule ();
   while st.cur.tok <> EOF do
     parse_rule ()
@@ -342,44 +443,79 @@ let parse_rules st d =
   in
   (List.rev !rules, List.rev !rule_lines, implicit_tokens)
 
+let parse_with ~strict ~name ~source src =
+  let lx = { src; file = source; pos = 0; line = 1; bol = 0 } in
+  let st =
+    { lx; cur = { tok = EOF; tline = 1; tcol = 1 }; strict; errors = [] }
+  in
+  let build () =
+    shift st;
+    let d = parse_declarations st in
+    (* Where the rules section starts: the position cited when it turns
+       out to be empty. *)
+    let rules_line = st.cur.tline and rules_col = st.cur.tcol in
+    let rules, rule_lines, implicit = parse_rules st d in
+    if rules = [] then
+      raise
+        (Error
+           {
+             file = source;
+             line = rules_line;
+             col = rules_col;
+             message = "no rules";
+           });
+    let start =
+      match d.start with
+      | Some s -> s
+      | None -> (
+          match rules with (lhs, _, _) :: _ -> lhs | [] -> assert false)
+    in
+    let tokens = List.rev d.tokens @ implicit in
+    let locs =
+      {
+        Grammar.li_source = Option.value source ~default:("<" ^ name ^ ">");
+        li_rules = rule_lines;
+        li_tokens = tokens;
+        li_prec = List.rev d.prec_lines;
+      }
+    in
+    Grammar.make ~name ~locs
+      ~prec:(List.rev d.prec)
+      ~terminals:(List.map fst tokens)
+      ~start ~rules ()
+  in
+  (st, build)
+
 let of_string ?(name = "grammar") ?source src =
-  let lx = { src; pos = 0; line = 1; bol = 0 } in
-  let st = { lx; cur = { tok = EOF; tline = 1; tcol = 1 } } in
-  shift st;
-  let d = parse_declarations st in
-  let rules, rule_lines, implicit = parse_rules st d in
-  let start =
-    match d.start with
-    | Some s -> s
-    | None -> (
-        match rules with
-        | (lhs, _, _) :: _ -> lhs
-        | [] -> raise (Error { line = 1; col = 1; message = "no rules" }))
-  in
-  let tokens = List.rev d.tokens @ implicit in
-  let locs =
-    {
-      Grammar.li_source = Option.value source ~default:("<" ^ name ^ ">");
-      li_rules = rule_lines;
-      li_tokens = tokens;
-      li_prec = List.rev d.prec_lines;
-    }
-  in
-  Grammar.make ~name ~locs
-    ~prec:(List.rev d.prec)
-    ~terminals:(List.map fst tokens)
-    ~start ~rules ()
+  let _, build = parse_with ~strict:true ~name ~source src in
+  build ()
+
+let of_string_tolerant ?(name = "grammar") ?source src =
+  let st, build = parse_with ~strict:false ~name ~source src in
+  match build () with
+  | g -> (Some g, List.rev st.errors)
+  | exception Error e -> (None, List.rev (e :: st.errors))
+  | exception Bail -> (None, List.rev st.errors)
+  | exception Invalid_argument msg ->
+      (* Semantic errors from Grammar.make carry no position. *)
+      let e = { file = source; line = 1; col = 1; message = msg } in
+      (None, List.rev (e :: st.errors))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 let of_file path =
-  let ic = open_in_bin path in
-  let src =
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
   of_string
     ~name:(Filename.remove_extension (Filename.basename path))
-    ~source:path src
+    ~source:path (read_file path)
+
+let of_file_tolerant path =
+  of_string_tolerant
+    ~name:(Filename.remove_extension (Filename.basename path))
+    ~source:path (read_file path)
 
 (* ------------------------------------------------------------------ *)
 (* Printer (round-trips through of_string)                            *)

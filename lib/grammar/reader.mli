@@ -31,6 +31,8 @@
     is absent. *)
 
 type error = {
+  file : string option;
+      (** the [?source]/path the text came from; [None] for raw strings *)
   line : int;  (** 1-based *)
   col : int;  (** 1-based *)
   message : string;
@@ -39,7 +41,8 @@ type error = {
 exception Error of error
 
 val pp_error : Format.formatter -> error -> unit
-(** [line:col: message]. *)
+(** [file:line:col: message], or [line:col: message] when [file] is
+    [None]. *)
 
 val of_string : ?name:string -> ?source:string -> string -> Grammar.t
 (** Parses grammar text. Raises {!Error} on lexical or syntax errors and
@@ -49,9 +52,28 @@ val of_string : ?name:string -> ?source:string -> string -> Grammar.t
     synthetic ["<name>"]); per-production, per-token and per-precedence
     line numbers are always recorded. *)
 
+val of_string_tolerant :
+  ?name:string -> ?source:string -> string -> Grammar.t option * error list
+(** Error-recovering variant of {!of_string}: never raises on malformed
+    input. Lexical errors skip a character; syntax errors resynchronise
+    at the next declaration keyword, ['%%'], or [';'], so one call
+    collects {e every} diagnostic (capped at 100). The grammar is
+    [Some] when enough of the text survived to build one (a best-effort
+    grammar may coexist with diagnostics); the error list is in input
+    order, and on error-free input [(Some g, [])] coincides with what
+    {!of_string} returns. *)
+
+val read_file : string -> string
+(** The file's entire contents (binary-safe); shared by the file entry
+    points here and in {!Menhir_reader}. *)
+
 val of_file : string -> Grammar.t
 (** Reads and parses a file; the grammar is named after the basename and
     locations cite the path. *)
+
+val of_file_tolerant : string -> Grammar.t option * error list
+(** {!of_string_tolerant} over a file's contents; errors carry the
+    path in [file]. *)
 
 val to_string : Grammar.t -> string
 (** Prints a grammar back in the input format, such that

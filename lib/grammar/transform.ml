@@ -111,6 +111,10 @@ let reduce (g : Grammar.t) =
   in
   rebuild g ~rule_lines:(lines_of_prod_ids g kept) (rules_of_prod_ids g kept)
 
+let reduce_opt (g : Grammar.t) =
+  let a = Analysis.compute g in
+  if Analysis.productive a g.start then Some (reduce g) else None
+
 let eliminate_epsilon (g : Grammar.t) =
   let a = Analysis.compute g in
   let seen = Hashtbl.create 64 in

@@ -13,6 +13,10 @@ val reduce : Grammar.t -> Grammar.t
     unproductive, i.e. the grammar generates no terminal string. Returns
     a structurally equal grammar when already reduced. *)
 
+val reduce_opt : Grammar.t -> Grammar.t option
+(** Non-raising {!reduce}: [None] when the start symbol is
+    unproductive. *)
+
 val eliminate_epsilon : Grammar.t -> Grammar.t
 (** Returns a grammar without ε-productions generating [L(G) \ {ε}]:
     for every production, all variants obtained by omitting nullable

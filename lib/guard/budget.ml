@@ -1,0 +1,281 @@
+type resource = Fuel | Wall_clock | States | Items
+
+let resource_name = function
+  | Fuel -> "fuel"
+  | Wall_clock -> "wall-clock"
+  | States -> "states"
+  | Items -> "items"
+
+type t = {
+  fuel_cap : int option;
+  wall_cap : float option;
+  states_cap : int option;
+  items_cap : int option;
+  mutable started : float option;  (* set at outermost installation *)
+  mutable fuel_used : int;
+  mutable states_used : int;
+  mutable items_used : int;
+  mutable ticks : int;  (* burn calls, for amortised wall checks *)
+}
+
+let positive what = function
+  | Some v when v <= 0 -> invalid_arg (Printf.sprintf "Budget.create: %s cap must be positive" what)
+  | v -> v
+
+let positive_f what = function
+  | Some v when v <= 0. -> invalid_arg (Printf.sprintf "Budget.create: %s cap must be positive" what)
+  | v -> v
+
+let create ?fuel ?wall ?max_states ?max_items () =
+  {
+    fuel_cap = positive "fuel" fuel;
+    wall_cap = positive_f "wall" wall;
+    states_cap = positive "states" max_states;
+    items_cap = positive "items" max_items;
+    started = None;
+    fuel_used = 0;
+    states_used = 0;
+    items_used = 0;
+    ticks = 0;
+  }
+
+let unlimited () = create ()
+
+type exceeded = {
+  ex_stage : string;
+  ex_resource : resource;
+  ex_consumed : float;
+  ex_cap : float;
+  ex_partial : string option;
+}
+
+exception Exceeded of exceeded
+exception Internal_error of { stage : string; invariant : string }
+
+let pp_exceeded ppf e =
+  Format.fprintf ppf "budget exceeded in stage '%s': %s: consumed %s of cap %s"
+    e.ex_stage
+    (resource_name e.ex_resource)
+    (match e.ex_resource with
+    | Wall_clock -> Printf.sprintf "%.3fs" e.ex_consumed
+    | Fuel | States | Items -> Printf.sprintf "%.0f" e.ex_consumed)
+    (match e.ex_resource with
+    | Wall_clock -> Printf.sprintf "%.3fs" e.ex_cap
+    | Fuel | States | Items -> Printf.sprintf "%.0f" e.ex_cap);
+  match e.ex_partial with
+  | Some p -> Format.fprintf ppf "@,  partial: %s" p
+  | None -> ()
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let exceeded_to_json e =
+  Printf.sprintf
+    "{\"error\":\"budget_exceeded\",\"stage\":\"%s\",\"resource\":\"%s\",\
+     \"consumed\":%g,\"cap\":%g,\"partial\":%s}"
+    (json_escape e.ex_stage)
+    (resource_name e.ex_resource)
+    e.ex_consumed e.ex_cap
+    (match e.ex_partial with
+    | Some p -> Printf.sprintf "\"%s\"" (json_escape p)
+    | None -> "null")
+
+(* ------------------------------------------------------------------ *)
+(* Ambient installation                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The ambient budget and the innermost stage name. A single mutable
+   cell, not a stack: [with_budget]/[with_stage] save and restore the
+   previous value around the thunk, which gives stack behaviour
+   without allocation on the hot no-budget path. *)
+let ambient : (t * string) option ref = ref None
+
+let active () = !ambient <> None
+let current_stage () = match !ambient with Some (_, s) -> s | None -> "?"
+
+let with_budget b ~stage f =
+  if b.started = None then b.started <- Some (Unix.gettimeofday ());
+  let saved = !ambient in
+  ambient := Some (b, stage);
+  Fun.protect ~finally:(fun () -> ambient := saved) f
+
+let with_stage stage f =
+  match !ambient with
+  | None -> f ()
+  | Some (b, _) as saved ->
+      ambient := Some (b, stage);
+      Fun.protect ~finally:(fun () -> ambient := saved) f
+
+(* ------------------------------------------------------------------ *)
+(* Check points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let trip b stage resource ~consumed ~cap partial =
+  ignore b;
+  raise
+    (Exceeded
+       {
+         ex_stage = stage;
+         ex_resource = resource;
+         ex_consumed = consumed;
+         ex_cap = cap;
+         ex_partial = (match partial with Some f -> Some (f ()) | None -> None);
+       })
+
+let wall_check_mask = 0xFFF
+
+let check_wall_of b stage partial =
+  match (b.wall_cap, b.started) with
+  | Some cap, Some t0 ->
+      let elapsed = Unix.gettimeofday () -. t0 in
+      if elapsed > cap then
+        trip b stage Wall_clock ~consumed:elapsed ~cap partial
+  | _ -> ()
+
+let check_wall () =
+  match !ambient with
+  | None -> ()
+  | Some (b, stage) -> check_wall_of b stage None
+
+let burn ?(amount = 1) () =
+  match !ambient with
+  | None -> ()
+  | Some (b, stage) ->
+      b.fuel_used <- b.fuel_used + amount;
+      b.ticks <- b.ticks + 1;
+      (match b.fuel_cap with
+      | Some cap when b.fuel_used > cap ->
+          trip b stage Fuel ~consumed:(float_of_int b.fuel_used)
+            ~cap:(float_of_int cap) None
+      | _ -> ());
+      if b.ticks land wall_check_mask = 0 then check_wall_of b stage None
+
+let count_state ?partial () =
+  match !ambient with
+  | None -> ()
+  | Some (b, stage) ->
+      b.states_used <- b.states_used + 1;
+      (match b.states_cap with
+      | Some cap when b.states_used > cap ->
+          trip b stage States ~consumed:(float_of_int b.states_used)
+            ~cap:(float_of_int cap) partial
+      | _ -> ());
+      check_wall_of b stage partial
+
+let count_items ?partial n =
+  match !ambient with
+  | None -> ()
+  | Some (b, stage) ->
+      b.items_used <- b.items_used + n;
+      (match b.items_cap with
+      | Some cap when b.items_used > cap ->
+          trip b stage Items ~consumed:(float_of_int b.items_used)
+            ~cap:(float_of_int cap) partial
+      | _ -> ())
+
+let broken_invariant ~stage invariant =
+  let stage = match !ambient with Some (_, s) -> s | None -> stage in
+  raise (Internal_error { stage; invariant })
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let consumed b = function
+  | Fuel -> float_of_int b.fuel_used
+  | States -> float_of_int b.states_used
+  | Items -> float_of_int b.items_used
+  | Wall_clock -> (
+      match b.started with
+      | None -> 0.
+      | Some t0 -> Unix.gettimeofday () -. t0)
+
+let cap b = function
+  | Fuel -> Option.map float_of_int b.fuel_cap
+  | States -> Option.map float_of_int b.states_cap
+  | Items -> Option.map float_of_int b.items_cap
+  | Wall_clock -> b.wall_cap
+
+(* ------------------------------------------------------------------ *)
+(* CLI spec                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let spec_doc =
+  "comma-separated caps: fuel=N, wall=Ns|Nms, states=N, items=N (N accepts \
+   scientific notation, e.g. fuel=1e6,wall=500ms)"
+
+let parse_count what v =
+  match float_of_string_opt v with
+  | Some f when f >= 1. && Float.is_integer (Float.round f) && f <= 1e15 ->
+      Ok (int_of_float (Float.round f))
+  | Some _ -> Error (Printf.sprintf "%s cap must be a positive count: %S" what v)
+  | None -> Error (Printf.sprintf "invalid %s cap %S" what v)
+
+let parse_wall v =
+  let num, scale =
+    if Filename.check_suffix v "ms" then
+      (String.sub v 0 (String.length v - 2), 1e-3)
+    else if Filename.check_suffix v "s" then
+      (String.sub v 0 (String.length v - 1), 1.)
+    else (v, 1.)
+  in
+  match float_of_string_opt num with
+  | Some f when f > 0. -> Ok (f *. scale)
+  | Some _ -> Error (Printf.sprintf "wall cap must be positive: %S" v)
+  | None -> Error (Printf.sprintf "invalid wall cap %S" v)
+
+let of_spec spec =
+  let parts =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if parts = [] then Error "empty budget spec"
+  else
+    let rec go fuel wall states items = function
+      | [] -> Ok (create ?fuel ?wall ?max_states:states ?max_items:items ())
+      | part :: rest -> (
+          match String.index_opt part '=' with
+          | None ->
+              Error
+                (Printf.sprintf "budget spec entry %S is not resource=value"
+                   part)
+          | Some i -> (
+              let key = String.sub part 0 i in
+              let v = String.sub part (i + 1) (String.length part - i - 1) in
+              match key with
+              | "fuel" -> (
+                  match parse_count "fuel" v with
+                  | Ok n -> go (Some n) wall states items rest
+                  | Error e -> Error e)
+              | "wall" -> (
+                  match parse_wall v with
+                  | Ok f -> go fuel (Some f) states items rest
+                  | Error e -> Error e)
+              | "states" -> (
+                  match parse_count "states" v with
+                  | Ok n -> go fuel wall (Some n) items rest
+                  | Error e -> Error e)
+              | "items" -> (
+                  match parse_count "items" v with
+                  | Ok n -> go fuel wall states (Some n) rest
+                  | Error e -> Error e)
+              | _ ->
+                  Error
+                    (Printf.sprintf
+                       "unknown budget resource %S (expected fuel, wall, \
+                        states or items)"
+                       key)))
+    in
+    go None None None None parts

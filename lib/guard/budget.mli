@@ -1,0 +1,150 @@
+(** Resource budgets and the uniform failure model.
+
+    Everything downstream of a grammar — LR(0) construction, the
+    LR(1)/LALR(k) baselines, the Digraph fixpoints, the table-driven
+    parser — has exponential worst cases on adversarial input. A
+    {!t} packages the four caps that keep those computations bounded:
+
+    - {b fuel}: an abstract step counter burned at every loop
+      iteration of every instrumented algorithm;
+    - {b wall clock}: a deadline in seconds, checked at fuel ticks
+      (amortised: the clock is read at most once per
+      {!wall_check_mask}+1 ticks) and at every state interning;
+    - {b states}: a cap on constructed automaton states (LR(0),
+      canonical LR(1), LR(k));
+    - {b items}: a cap on derived set elements (closure items,
+      k-strings, spontaneous look-aheads).
+
+    A budget is installed for the dynamic extent of a computation with
+    {!with_budget}; instrumented code calls the check points
+    ({!burn}, {!count_state}, {!count_items}), which are no-ops —
+    a single [ref] read — when no budget is installed. Exceeding any
+    cap raises {!Exceeded} carrying a structured {!exceeded} outcome:
+    the stage that was running, the resource, consumed vs. cap, and a
+    description of the partial artifact when the algorithm offered
+    one. Exactly one failure shape for every resource, every stage.
+
+    The same module owns the other half of the failure model:
+    {!Internal_error}, raised by {!broken_invariant} where the code
+    used to say [assert false]. An internal error names the stage and
+    the invariant that broke, so a corrupted table or an impossible
+    automaton state surfaces as a typed diagnostic instead of an
+    abort.
+
+    Budgets nest: an engine slot installing the same budget inside a
+    CLI-installed extent only renames the stage; consumption counters
+    are shared, so the caps bound the {e whole} pipeline, not each
+    stage separately. *)
+
+type resource = Fuel | Wall_clock | States | Items
+
+val resource_name : resource -> string
+(** ["fuel"], ["wall-clock"], ["states"], ["items"]. *)
+
+type t
+(** A mutable budget: caps fixed at creation, consumption accumulated
+    across every computation run under it. *)
+
+val create :
+  ?fuel:int -> ?wall:float -> ?max_states:int -> ?max_items:int -> unit -> t
+(** Omitted caps are unlimited. [wall] is in seconds, measured from
+    the first {!with_budget} installation of this budget. Raises
+    [Invalid_argument] on a non-positive cap. *)
+
+val unlimited : unit -> t
+(** A budget with no caps: installs and ticks, never trips. *)
+
+type exceeded = {
+  ex_stage : string;  (** innermost stage running when the cap tripped *)
+  ex_resource : resource;
+  ex_consumed : float;  (** fuel/states/items as counts, wall in seconds *)
+  ex_cap : float;
+  ex_partial : string option;
+      (** human description of the partial artifact, when the
+          interrupted algorithm offered one *)
+}
+
+exception Exceeded of exceeded
+(** The single structured outcome for every budget trip. Never escapes
+    {!Lalr_engine.Engine.run} or the [lalrgen] front end. *)
+
+exception Internal_error of { stage : string; invariant : string }
+(** A broken internal invariant — the typed replacement for
+    [assert false] in the driver, the baselines and the LALR(k)
+    extension. *)
+
+val pp_exceeded : Format.formatter -> exceeded -> unit
+(** [budget exceeded in stage 'lr1': states: consumed 10000 of cap
+    10000] plus the partial-artifact line when present. *)
+
+val exceeded_to_json : exceeded -> string
+(** One-line JSON object with [stage], [resource], [consumed], [cap]
+    and [partial] fields, for machine consumers. *)
+
+(** {2 Installation} *)
+
+val with_budget : t -> stage:string -> (unit -> 'a) -> 'a
+(** Runs the thunk with [t] installed as the ambient budget and
+    [stage] as the current stage name, restoring the previous ambient
+    state afterwards (also on exceptions). The wall clock starts at
+    the outermost installation. Re-installing the budget that is
+    already ambient only renames the stage — consumption is shared. *)
+
+val with_stage : string -> (unit -> 'a) -> 'a
+(** Renames the current stage for the extent of the thunk; a no-op
+    when no budget is installed. Algorithms with blow-up potential
+    use this to label themselves more precisely than the engine slot
+    that forced them. *)
+
+val active : unit -> bool
+(** Whether a budget is currently installed. *)
+
+val current_stage : unit -> string
+(** The innermost stage name, or ["?"] when no budget is installed. *)
+
+(** {2 Check points}
+
+    All no-ops when no budget is installed. *)
+
+val burn : ?amount:int -> unit -> unit
+(** Consumes [amount] (default 1) fuel; checks the wall clock every
+    {!wall_check_mask}+1 calls. Raises {!Exceeded} past a cap. *)
+
+val count_state : ?partial:(unit -> string) -> unit -> unit
+(** Counts one constructed automaton state and checks the wall clock.
+    [partial] produces the partial-artifact description if this very
+    state trips the cap. *)
+
+val count_items : ?partial:(unit -> string) -> int -> unit
+(** Counts [n] derived set elements. *)
+
+val check_wall : unit -> unit
+(** Forces a wall-clock check now (the other check points amortise
+    it). *)
+
+val wall_check_mask : int
+(** The clock is read when [fuel_ticks land wall_check_mask = 0]. *)
+
+val broken_invariant : stage:string -> string -> 'a
+(** Raises {!Internal_error}. When a budget is installed, its current
+    stage wins over [~stage] (it is more precise about what was
+    running). *)
+
+(** {2 Introspection} *)
+
+val consumed : t -> resource -> float
+(** Wall consumption is 0 until the budget is first installed. *)
+
+val cap : t -> resource -> float option
+
+(** {2 CLI spec}
+
+    [--budget] accepts a comma-separated list of [resource=value]
+    caps: [fuel=100000,wall=500ms,states=10000,items=1e6]. [wall]
+    values take an optional [ms] or [s] suffix (default seconds);
+    the counting caps accept scientific notation. *)
+
+val of_spec : string -> (t, string) result
+
+val spec_doc : string
+(** One-line grammar of the spec, for [--help] texts. *)

@@ -13,17 +13,17 @@ type t = {
   tables : Tables.t option Lazy.t;
 }
 
-let of_grammar grammar =
+let of_grammar ?budget grammar =
   let analysis = Analysis.compute grammar in
   let engine =
     lazy
       (if Analysis.is_reduced analysis then
          (* Physical equality with [grammar] preserved: the engine
             analyses the grammar as given, sharing [analysis]. *)
-         Some (Eng.create ~analysis grammar)
+         Some (Eng.create ?budget ~analysis grammar)
        else
          match Transform.reduce grammar with
-         | g -> Some (Eng.create g)
+         | g -> Some (Eng.create ?budget g)
          | exception Invalid_argument _ -> None)
   in
   let reduced = lazy (Option.map Eng.grammar (Lazy.force engine)) in

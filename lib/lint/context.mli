@@ -32,7 +32,11 @@ type t = {
       (** the engine's [tables] slot (exact DeRemer–Pennello sets) *)
 }
 
-val of_grammar : Grammar.t -> t
+val of_grammar : ?budget:Lalr_guard.Budget.t -> Grammar.t -> t
+(** [?budget] is passed to the engine (see
+    {!Lalr_engine.Engine.create}), so a bounded lint run fails with the
+    same structured {!Lalr_guard.Budget.Exceeded} outcome as every
+    other consumer. *)
 
 val engine : t -> Lalr_engine.Engine.t option
 (** Forces the engine's existence (not its slots). [None] iff the

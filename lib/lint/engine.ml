@@ -29,7 +29,7 @@ let run_ctx ?(config = default_config) ctx =
   |> List.filter (keep config)
   |> List.sort D.compare
 
-let run ?config g = run_ctx ?config (Context.of_grammar g)
+let run ?budget ?config g = run_ctx ?config (Context.of_grammar ?budget g)
 
 let has_errors = List.exists (fun (d : D.t) -> d.D.severity = D.Error)
 

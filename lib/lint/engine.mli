@@ -31,9 +31,12 @@ val known_codes : string list
 (** Every code any registered pass can emit (self-check included),
     ascending — the vocabulary for [--select]/[--ignore] validation. *)
 
-val run : ?config:config -> Grammar.t -> Diagnostic.t list
-(** Lints one grammar: builds a {!Context.t}, runs the passes, filters
-    by the config, sorts by location. *)
+val run :
+  ?budget:Lalr_guard.Budget.t -> ?config:config -> Grammar.t ->
+  Diagnostic.t list
+(** Lints one grammar: builds a {!Context.t} (threading [?budget] to
+    its engine), runs the passes, filters by the config, sorts by
+    location. *)
 
 val run_ctx : ?config:config -> Context.t -> Diagnostic.t list
 (** Same over a caller-built context — the front end keeps the context

@@ -64,6 +64,11 @@ let min_yields g =
 
 let min_yield g nt = min_yields g nt
 
+let min_yield_opt g nt =
+  match min_yields g nt with
+  | ys -> Some ys
+  | exception Invalid_argument _ -> None
+
 let shortest_prefix (a : Lr0.t) target =
   let n = Lr0.n_states a in
   let prev = Array.make n None in

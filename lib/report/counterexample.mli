@@ -25,6 +25,10 @@ val min_yield : Grammar.t -> int -> string list
     underlying fixpoint is memoised per grammar (physical equality, a
     small bounded cache), so repeated queries are O(answer). *)
 
+val min_yield_opt : Grammar.t -> int -> string list option
+(** Non-raising {!min_yield}: [None] on an unproductive
+    nonterminal. *)
+
 val shortest_prefix : Lalr_automaton.Lr0.t -> int -> Symbol.t list
 (** Shortest (in symbols) transition path from state 0 to the state.
     Raises [Invalid_argument] for unreachable states (cannot happen on

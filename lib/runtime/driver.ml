@@ -1,5 +1,6 @@
 module Tables = Lalr_tables.Tables
 module Lr0 = Lalr_automaton.Lr0
+module Budget = Lalr_guard.Budget
 
 type error = {
   position : int;
@@ -25,25 +26,42 @@ let expected_in tables g state =
   done;
   !acc
 
+(* Ensure terminated input. Tokens after an interior eof can never be
+   consumed by the machine; [trailing] reports the position and first
+   token of any such tail so callers surface a syntax error instead of
+   silently dropping input. *)
+let terminate tokens =
+  let rec go i = function
+    | [] -> ([ Token.eof ], None)
+    | tok :: rest when tok.Token.terminal = 0 ->
+        let trailing =
+          match rest with [] -> None | t :: _ -> Some (i + 1, t)
+        in
+        ([ tok ], trailing)
+    | tok :: rest ->
+        let kept, trailing = go (i + 1) rest in
+        (tok :: kept, trailing)
+  in
+  go 0 tokens
+
+let broken = Budget.broken_invariant ~stage:"driver"
+
 (* The engine. Stack entries pair a state with the tree built for the
    symbol that entered it; the bottom entry has no tree. *)
 let run tables tokens =
   let g = Lr0.grammar (Tables.automaton tables) in
   let reductions = ref [] in
-  (* Ensure terminated input. *)
-  let rec with_eof = function
-    | [] -> [ Token.eof ]
-    | tok :: _ when tok.Token.terminal = 0 -> [ tok ]
-    | tok :: rest -> tok :: with_eof rest
-  in
-  let input = with_eof tokens in
+  let input, trailing = terminate tokens in
   let stack = ref [ (0, None) ] in
   let top_state () =
-    match !stack with (s, _) :: _ -> s | [] -> assert false
+    match !stack with
+    | (s, _) :: _ -> s
+    | [] -> broken "parse stack is empty"
   in
   let rec step pos input =
+    Budget.burn ();
     match input with
-    | [] -> assert false (* eof-terminated *)
+    | [] -> broken "token stream lost its eof terminator"
     | tok :: rest -> (
         let state = top_state () in
         match Tables.action tables ~state ~terminal:tok.Token.terminal with
@@ -59,20 +77,28 @@ let run tables tokens =
               | (_, Some tree) :: tl ->
                   children := tree :: !children;
                   stack := tl
-              | _ -> assert false
+              | _ -> broken "reduce pops past the bottom of the stack"
             done;
             reductions := prod :: !reductions;
             let tree = Tree.Node { prod; children = !children } in
             let state = top_state () in
             (match Tables.goto tables ~state ~nonterminal:p.lhs with
             | Some q -> stack := (q, Some tree) :: !stack
-            | None -> assert false);
+            | None -> broken "missing goto entry after a reduce");
             step pos input
         | Tables.Accept -> (
-            (* Stack: [accept_state, tree(start); state0]. *)
-            match !stack with
-            | (_, Some tree) :: _ -> Ok tree
-            | _ -> assert false)
+            match trailing with
+            | Some (tpos, ttok) ->
+                (* The machine accepted, but unconsumable tokens follow
+                   the interior eof: that is a syntax error at the first
+                   of them, where only end of input was legal. *)
+                Error
+                  { position = tpos; state; found = ttok; expected = [ 0 ] }
+            | None -> (
+                (* Stack: [accept_state, tree(start); state0]. *)
+                match !stack with
+                | (_, Some tree) :: _ -> Ok tree
+                | _ -> broken "accept with no tree on the stack"))
         | Tables.Error ->
             Error
               {
@@ -108,15 +134,13 @@ let parse_with_recovery tables tokens =
       | Ok tree -> { tree = Some tree; errors = [] }
       | Error e -> { tree = None; errors = [ e ] })
   | Some error_term ->
-      let rec with_eof = function
-        | [] -> [ Token.eof ]
-        | tok :: _ when tok.Token.terminal = 0 -> [ tok ]
-        | tok :: rest -> tok :: with_eof rest
-      in
+      let input, trailing = terminate tokens in
       let errors = ref [] in
       let stack = ref [ (0, None) ] in
       let top_state () =
-        match !stack with (s, _) :: _ -> s | [] -> assert false
+        match !stack with
+        | (s, _) :: _ -> s
+        | [] -> broken "parse stack is empty"
       in
       (* Pop until a state can shift [error]; None if the stack runs
          dry. *)
@@ -151,6 +175,7 @@ let parse_with_recovery tables tokens =
       in
       let last_panic = ref (-1) in
       let rec step pos input =
+        Budget.burn ();
         match input with
         | [] -> None
         | tok :: rest -> (
@@ -167,18 +192,29 @@ let parse_with_recovery tables tokens =
                   | (_, Some tree) :: tl ->
                       children := tree :: !children;
                       stack := tl
-                  | _ -> assert false
+                  | _ -> broken "reduce pops past the bottom of the stack"
                 done;
                 let tree = Tree.Node { prod; children = !children } in
                 let state = top_state () in
                 (match Tables.goto tables ~state ~nonterminal:p.lhs with
                 | Some q -> stack := (q, Some tree) :: !stack
-                | None -> assert false);
+                | None -> broken "missing goto entry after a reduce");
                 step pos input
             | Tables.Accept -> (
+                (match trailing with
+                | Some (tpos, ttok) ->
+                    errors :=
+                      {
+                        position = tpos;
+                        state;
+                        found = ttok;
+                        expected = [ 0 ];
+                      }
+                      :: !errors
+                | None -> ());
                 match !stack with
                 | (_, Some tree) :: _ -> Some tree
-                | _ -> assert false)
+                | _ -> broken "accept with no tree on the stack")
             | Tables.Error ->
                 errors :=
                   {
@@ -204,5 +240,5 @@ let parse_with_recovery tables tokens =
                 end
                 else None)
       in
-      let tree = step 0 (with_eof tokens) in
+      let tree = step 0 input in
       { tree; errors = List.rev !errors }

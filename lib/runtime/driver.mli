@@ -17,12 +17,19 @@ type error = {
 val pp_error : Grammar.t -> Format.formatter -> error -> unit
 
 val parse : Lalr_tables.Tables.t -> Token.t list -> (Tree.t, error) result
-(** Parses a token list (the end-of-input token is appended if absent;
-    tokens after an embedded eof are ignored). On success the result is
-    the tree rooted at the user start symbol.
+(** Parses a token list (the end-of-input token is appended if absent).
+    Tokens after an embedded eof are a syntax error: the machine parses
+    up to the eof, and if it accepts, the first trailing token is
+    reported with [expected = [0]] (only end of input was legal there).
+    On success the result is the tree rooted at the user start symbol.
 
     Invariant: the tree's yield equals the consumed input, and
-    [Tree.validate] holds — both are exercised by property tests. *)
+    [Tree.validate] holds — both are exercised by property tests.
+
+    Internal invariant violations raise
+    {!Lalr_guard.Budget.Internal_error} (stage ["driver"]) instead of
+    asserting; an ambient {!Lalr_guard.Budget.t} bounds the number of
+    parser steps. *)
 
 val accepts : Lalr_tables.Tables.t -> Token.t list -> bool
 
@@ -54,4 +61,6 @@ type recovery_outcome = {
 val parse_with_recovery :
   Lalr_tables.Tables.t -> Token.t list -> recovery_outcome
 (** Falls back to the behaviour of {!parse} (one error, no tree) when
-    the grammar has no ["error"] terminal. *)
+    the grammar has no ["error"] terminal. Tokens after an embedded eof
+    are reported as a syntax error (as in {!parse}) while the tree built
+    up to the eof is kept. *)

@@ -2,14 +2,21 @@ type t = { terminal : int; lexeme : string }
 
 let make ?(lexeme = "") terminal = { terminal; lexeme }
 
+let of_names_res g names =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | name :: rest -> (
+        match Grammar.find_terminal g name with
+        | Some t -> go ({ terminal = t; lexeme = name } :: acc) rest
+        | None -> Error name)
+  in
+  go [] names
+
 let of_names g names =
-  List.map
-    (fun name ->
-      match Grammar.find_terminal g name with
-      | Some t -> { terminal = t; lexeme = name }
-      | None ->
-          invalid_arg (Printf.sprintf "Token.of_names: unknown terminal %S" name))
-    names
+  match of_names_res g names with
+  | Ok toks -> toks
+  | Error name ->
+      invalid_arg (Printf.sprintf "Token.of_names: unknown terminal %S" name)
 
 let eof = { terminal = 0; lexeme = "$" }
 

@@ -13,6 +13,10 @@ val of_names : Grammar.t -> string list -> t list
     [Invalid_argument] on an unknown terminal name. Convenient in tests
     and examples: [Token.of_names g ["id"; "+"; "id"]]. *)
 
+val of_names_res : Grammar.t -> string list -> (t list, string) result
+(** Non-raising {!of_names}: [Error name] carries the first unknown
+    terminal name. *)
+
 val eof : t
 (** The end-of-input token (terminal 0). *)
 

@@ -140,3 +140,4 @@ let languages =
 let all = classics @ languages
 
 let find name = List.find (fun e -> e.name = name) all
+let find_opt name = List.find_opt (fun e -> e.name = name) all

@@ -32,3 +32,5 @@ val languages : entry list
 
 val find : string -> entry
 (** Raises [Not_found]. *)
+
+val find_opt : string -> entry option

@@ -1,0 +1,15 @@
+/* A Menhir-style grammar (lalrgen auto-detects the .mly suffix).
+   Try:  dune exec bin/lalrgen.exe -- report grammars/calc.mly  */
+%token <int> INT
+%token PLUS MINUS TIMES DIV LPAREN RPAREN EOF
+%left PLUS MINUS
+%left TIMES DIV
+%start <int> main
+%%
+main: e EOF { $1 }
+e: e PLUS e   { $1 + $3 }
+ | e MINUS e  { $1 - $3 }
+ | e TIMES e  { $1 * $3 }
+ | e DIV e    { $1 / $3 }
+ | LPAREN e RPAREN { $2 }
+ | INT { $1 }

@@ -181,6 +181,61 @@ let test_golden_lint_mini_c () =
     (read_file "golden/lint_mini_c.txt")
     (render (fun ppf -> Lint.pp_report ppf diags))
 
+(* ------------------------------------------------------------------ *)
+(* The failure boundary                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Budget = Lalr_guard.Budget
+
+let test_budget_trips_named_stage () =
+  let e =
+    Engine.create ~budget:(Budget.create ~fuel:10 ()) (grammar_of "expr")
+  in
+  (match Engine.run e Engine.tables with
+  | Ok _ -> Alcotest.fail "10 fuel must not build the expr tables"
+  | Error (Engine.Budget_exceeded ex) ->
+      check "fuel resource" true (ex.Budget.ex_resource = Budget.Fuel);
+      Alcotest.(check string) "innermost stage" "lr0" ex.Budget.ex_stage
+  | Error f ->
+      Alcotest.failf "expected Budget_exceeded, got %a" Engine.pp_failure f);
+  (* The interrupted slot is not poisoned: a fresh unbudgeted engine
+     over the same grammar — and this engine's accessor reports the
+     budget it carries. *)
+  check "budget accessor" true (Engine.budget e <> None)
+
+let test_unbudgeted_engine_unchanged () =
+  let e = Engine.create (grammar_of "expr") in
+  check "no budget" true (Engine.budget e = None);
+  match Engine.run e Engine.tables with
+  | Ok tbl ->
+      let direct =
+        let g = grammar_of "expr" in
+        let a = Lr0.build g in
+        Tables.build ~lookahead:(Lalr.lookahead (Lalr.compute a)) a
+      in
+      check "same states as direct" true
+        (Lr0.n_states (Tables.automaton tbl)
+        = Lr0.n_states (Tables.automaton direct))
+  | Error f -> Alcotest.failf "unbudgeted failure: %a" Engine.pp_failure f
+
+let test_failure_rendering () =
+  let e =
+    Engine.create ~budget:(Budget.create ~fuel:5 ()) (grammar_of "expr")
+  in
+  match Engine.run e Engine.lr0 with
+  | Error (Engine.Budget_exceeded _ as f) ->
+      let s = render (fun ppf -> Engine.pp_failure ppf f) in
+      check "report names the resource" true
+        (String.length s > 0
+        && (let has needle =
+              let n = String.length needle and m = String.length s in
+              let rec go i = i + n <= m
+                && (String.sub s i n = needle || go (i + 1)) in
+              go 0
+            in
+            has "fuel" && has "lr0"))
+  | _ -> Alcotest.fail "expected a budget failure"
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -197,6 +252,11 @@ let () =
           Alcotest.test_case "la forces relations exactly once" `Quick
             test_la_forces_relations_once;
           Alcotest.test_case "seeded analysis slot" `Quick test_seeded_analysis;
+          Alcotest.test_case "budget trips with stage" `Quick
+            test_budget_trips_named_stage;
+          Alcotest.test_case "unbudgeted unchanged" `Quick
+            test_unbudgeted_engine_unchanged;
+          Alcotest.test_case "failure renders" `Quick test_failure_rendering;
           Alcotest.test_case "find_stage Not_found" `Quick
             test_find_stage_not_found;
           Alcotest.test_case "stage walls sum to total" `Quick

@@ -379,6 +379,65 @@ let test_recovery_without_error_token () =
   let ok = Driver.parse_with_recovery tbl (Token.of_names g [ "id" ]) in
   check "clean" true (ok.Driver.tree <> None && ok.Driver.errors = [])
 
+let test_recovery_eof_only_input () =
+  (* Empty input: the panic starts at position 0 and must abandon
+     (eof is never discarded), not loop or crash. *)
+  let out = Driver.parse_with_recovery (Lazy.force recovery_tables) [] in
+  check "no tree" true (out.Driver.tree = None);
+  check_int "one error" 1 (List.length out.Driver.errors);
+  match out.Driver.errors with
+  | [ e ] -> check_int "error at position 0" 0 e.Driver.position
+  | _ -> Alcotest.fail "expected exactly one error"
+
+let test_recovery_stack_runs_dry () =
+  (* The error terminal exists but no state on the stack can shift it
+     when the panic hits: recovery must give up cleanly. *)
+  let g =
+    Reader.of_string ~name:"dry"
+      {|
+%token a b error
+%start s
+%%
+s : a e b ;
+e : error ;
+|}
+  in
+  let tbl = lalr_tables g in
+  let out = Driver.parse_with_recovery tbl (Token.of_names g [ "b" ]) in
+  check "no tree" true (out.Driver.tree = None);
+  check_int "one error" 1 (List.length out.Driver.errors)
+
+let test_recovery_same_position_double_panic () =
+  (* SLR look-aheads are sloppy enough that after shifting [error] the
+     offending token triggers a reduce whose goto target then errors on
+     the very same token: a second panic at the same input position.
+     The [last_panic] guard must force-discard the token instead of
+     looping forever. *)
+  let g =
+    Reader.of_string ~name:"loop"
+      {|
+%token a b c error
+%start s
+%%
+s : a x b | x c ;
+x : error ;
+|}
+  in
+  let a = Lr0.build g in
+  let tbl =
+    Tables.build
+      ~lookahead:(Lalr_baselines.Slr.lookahead (Lalr_baselines.Slr.compute a))
+      a
+  in
+  let out = Driver.parse_with_recovery tbl (Token.of_names g [ "b"; "c" ]) in
+  (* Both panics happen at position 0; the forced discard of [b] then
+     lets [error c] complete the parse. *)
+  check "tree recovered" true (out.Driver.tree <> None);
+  check "at least two errors" true (List.length out.Driver.errors >= 2);
+  List.iter
+    (fun e -> check_int "panic position" 0 e.Driver.position)
+    out.Driver.errors
+
 (* ------------------------------------------------------------------ *)
 (* Menhir reader                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -660,6 +719,12 @@ let () =
             test_recovery_abandons_at_eof;
           Alcotest.test_case "no error token ⇒ plain parse" `Quick
             test_recovery_without_error_token;
+          Alcotest.test_case "eof-only input abandons" `Quick
+            test_recovery_eof_only_input;
+          Alcotest.test_case "stack runs dry" `Quick
+            test_recovery_stack_runs_dry;
+          Alcotest.test_case "same-position double panic" `Quick
+            test_recovery_same_position_double_panic;
         ] );
       ( "menhir-reader",
         [

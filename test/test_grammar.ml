@@ -291,6 +291,59 @@ let test_reader_error_position () =
       check_int "col" 3 e.col
   | _ -> Alcotest.fail "expected error"
 
+let test_reader_tolerant_collects () =
+  (* Two distinct lexical errors plus a clean rule: one call reports
+     both and still builds the surviving grammar. *)
+  let g, errs =
+    Reader.of_string_tolerant ~name:"t"
+      "%token a b\n%start s\n%%\ns : a @ ;\ns : b $ ;\ns : a b ;\n"
+  in
+  check "grammar survives" true (g <> None);
+  check_int "two errors" 2 (List.length errs);
+  (match errs with
+  | [ e1; e2 ] ->
+      check_int "first line" 4 e1.Reader.line;
+      check_int "second line" 5 e2.Reader.line
+  | _ -> Alcotest.fail "expected two errors");
+  (* Error-free input coincides with the strict reader. *)
+  let src = "%token a\n%start s\n%%\ns : a ;\n" in
+  let g2, errs2 = Reader.of_string_tolerant src in
+  check "clean input: no errors" true (errs2 = []);
+  match g2 with
+  | Some g2 -> check "same grammar" true
+      (G.equal_structure g2 (Reader.of_string src))
+  | None -> Alcotest.fail "clean input must build"
+
+let test_reader_tolerant_file_field () =
+  let e_of src =
+    match Reader.of_string_tolerant ~source:"dir/g.cfg" src with
+    | _, e :: _ -> e
+    | _ -> Alcotest.fail "expected an error"
+  in
+  let e = e_of "%token a\n%start s\n%%\ns : @ ;\n" in
+  check "file recorded" true (e.Reader.file = Some "dir/g.cfg");
+  check "pp mentions file" true
+    (let s = Format.asprintf "%a" Reader.pp_error e in
+     String.length s > 9 && String.sub s 0 9 = "dir/g.cfg")
+
+let test_reader_no_rules_position () =
+  (* The "no rules" diagnostic points at the (empty) rules section —
+     not the historical hardcoded 1:1 — and carries the source name. *)
+  let src = "%token a\n%start s\n%%\n" in
+  (match Reader.of_string ~source:"empty.cfg" src with
+  | exception Reader.Error e ->
+      check "file" true (e.Reader.file = Some "empty.cfg");
+      check_int "line is the rules section" 4 e.Reader.line;
+      check_int "col" 1 e.Reader.col
+  | _ -> Alcotest.fail "expected an error");
+  match Reader.of_string_tolerant ~source:"empty.cfg" src with
+  | None, errs ->
+      check "errors reported" true (errs <> []);
+      let last = List.nth errs (List.length errs - 1) in
+      check "no rules is last" true (last.Reader.message = "no rules");
+      check "file" true (last.Reader.file = Some "empty.cfg")
+  | _ -> Alcotest.fail "expected no grammar"
+
 let test_reader_roundtrip () =
   let g = expr_grammar () in
   let g2 = Reader.of_string (Reader.to_string g) in
@@ -443,6 +496,12 @@ let () =
           Alcotest.test_case "error cases" `Quick test_reader_errors;
           Alcotest.test_case "error positions" `Quick
             test_reader_error_position;
+          Alcotest.test_case "tolerant collects errors" `Quick
+            test_reader_tolerant_collects;
+          Alcotest.test_case "tolerant carries the file" `Quick
+            test_reader_tolerant_file_field;
+          Alcotest.test_case "no-rules position" `Quick
+            test_reader_no_rules_position;
           Alcotest.test_case "print/parse roundtrip" `Quick
             test_reader_roundtrip;
           Alcotest.test_case "roundtrip with quoting and ε" `Quick

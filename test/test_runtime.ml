@@ -137,11 +137,20 @@ let test_right_parse () =
            (fun s -> G.symbol_name g s = "plus")
            (G.production g last).rhs)
 
-let test_embedded_eof_ignores_rest () =
+let test_embedded_eof_rejects_rest () =
   let tbl = Lazy.force expr_tables in
   let g = Lr0.grammar (Tables.automaton tbl) in
   let toks = Token.of_names g [ "id" ] @ [ Token.eof ] @ Token.of_names g [ "plus" ] in
-  check "tokens after eof ignored" true (Driver.accepts tbl toks)
+  (match Driver.parse tbl toks with
+  | Ok _ -> Alcotest.fail "tokens after eof must be a syntax error"
+  | Error e ->
+      check_int "error position" 2 e.Driver.position;
+      check "found the trailing token" true
+        (G.terminal_name g e.Driver.found.Token.terminal = "plus");
+      Alcotest.(check (list int)) "only eof expected" [ 0 ] e.Driver.expected);
+  (* A well-placed eof stays accepted. *)
+  check "explicit final eof ok" true
+    (Driver.accepts tbl (Token.of_names g [ "id" ] @ [ Token.eof ]))
 
 let test_parse_epsilon_reductions () =
   (* The ε-grammar exercises ε reductions in the driver. *)
@@ -313,7 +322,7 @@ let () =
           Alcotest.test_case "error details" `Quick test_error_details;
           Alcotest.test_case "right parse" `Quick test_right_parse;
           Alcotest.test_case "embedded eof" `Quick
-            test_embedded_eof_ignores_rest;
+            test_embedded_eof_rejects_rest;
           Alcotest.test_case "ε reductions" `Quick
             test_parse_epsilon_reductions;
           Alcotest.test_case "SLR/LALR behavioural equivalence" `Quick

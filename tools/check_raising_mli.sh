@@ -1,0 +1,22 @@
+#!/bin/sh
+# Guard: a public library interface that exposes a raising API must
+# also offer a Result- or option-typed counterpart, so consumers can
+# choose typed failure over exceptions.
+#
+# Heuristic (kept deliberately simple — this runs in CI on every push):
+# an .mli under lib/ that declares an exception or documents "Raises"
+# must mention `result` or `option` somewhere in its signatures.
+# A false positive can be silenced the honest way: add the safe
+# counterpart.
+set -eu
+cd "$(dirname "$0")/.."
+status=0
+for mli in $(find lib -name '*.mli' | sort); do
+  if grep -qE '^exception |Raises \[|@raise' "$mli"; then
+    if ! grep -qE '\b(option|result)\b' "$mli"; then
+      echo "$mli: exposes a raising API but no option/result counterpart" >&2
+      status=1
+    fi
+  fi
+done
+exit $status
