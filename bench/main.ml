@@ -34,6 +34,7 @@ module Registry = Lalr_suite.Registry
 module Digraph = Lalr_sets.Digraph
 module E = Lalr_bench_tables.Experiments
 module Engine = Lalr_engine.Engine
+module Store = Lalr_store.Store
 
 (* Prebuilt artifacts for benchmark setup come from the shared
    per-language engines (one pipeline per grammar per process); the
@@ -351,6 +352,100 @@ let bench_rt () =
     cases
 
 (* ------------------------------------------------------------------ *)
+(* ST — the artifact store: cold vs warm cache                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Manual best-of-N timing rather than Bechamel: a cold-cache run
+   needs a fresh directory per repetition, and the interesting numbers
+   (store overhead on a cold run, speedup on a warm one) are
+   macro-level wall times, not nanosecond fits. The measured rows are
+   also written to BENCH_pr4.json — the start of the perf trajectory
+   tracking store overhead and hit-rate benefit per PR. *)
+let bench_store () =
+  section "bench ST — artifact store: cold vs warm cache";
+  let tmp_root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lalr_bench_store_%d" (Unix.getpid ()))
+  in
+  let counter = ref 0 in
+  let pipeline e =
+    ignore (Engine.tables e);
+    ignore (Engine.classification ~with_lr1:false e)
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let reps = 5 in
+  let best_of f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t = time f in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  let rows =
+    List.map
+      (fun (name, eng) ->
+        let g = Engine.grammar eng in
+        let no_store =
+          best_of (fun () -> pipeline (Engine.create g))
+        in
+        let cold =
+          best_of (fun () ->
+              incr counter;
+              let store =
+                Store.create
+                  ~dir:(Printf.sprintf "%s/%s-cold-%d" tmp_root name !counter)
+              in
+              let e = Engine.create ~store g in
+              pipeline e;
+              Engine.persist e)
+        in
+        let warm_store =
+          Store.create ~dir:(Printf.sprintf "%s/%s-warm" tmp_root name)
+        in
+        (let e = Engine.create ~store:warm_store g in
+         pipeline e;
+         Engine.persist e);
+        let warm =
+          best_of (fun () -> pipeline (Engine.create ~store:warm_store g))
+        in
+        Format.printf
+          "%-14s no-store %10s   cold %10s   warm %10s   (%5.1fx warm)@." name
+          (Format.asprintf "%a" pp_ns (no_store *. 1e9))
+          (Format.asprintf "%a" pp_ns (cold *. 1e9))
+          (Format.asprintf "%a" pp_ns (warm *. 1e9))
+          (no_store /. warm);
+        (name, no_store, cold, warm))
+      (E.engines ())
+  in
+  let oc = open_out "BENCH_pr4.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"pr\": 4,\n\
+    \  \"experiment\": \"artifact-store-cold-vs-warm\",\n\
+    \  \"pipeline\": \"tables + classification (no lr1)\",\n\
+    \  \"unit\": \"seconds, best of %d\",\n\
+    \  \"grammars\": [\n"
+    reps;
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, no_store, cold, warm) ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"no_store_s\": %.9f, \"cold_cache_s\": %.9f, \
+         \"warm_cache_s\": %.9f, \"warm_speedup\": %.2f}%s\n"
+        name no_store cold warm (no_store /. warm)
+        (if i = n - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Format.printf "@.wrote BENCH_pr4.json (%d grammars)@." n
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -365,13 +460,14 @@ let all =
     ("f3", bench_f3);
     ("f4", bench_f4);
     ("rt", bench_rt);
+    ("store", bench_store);
   ]
 
 let () =
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) -> names
-    | _ -> [ "t1"; "t2"; "t3"; "t4"; "f1"; "f3"; "f4"; "rt" ]
+    | _ -> [ "t1"; "t2"; "t3"; "t4"; "f1"; "f3"; "f4"; "rt"; "store" ]
   in
   List.iter
     (fun name ->

@@ -6,6 +6,9 @@
      conflicts FILE      conflicts only (choose the look-ahead method)
      tables    FILE      print the ACTION/GOTO table
      parse     FILE -- t1 t2 ...   parse a token sequence
+     batch     FILE...   classify many grammars, isolated per job
+     exercise  FILE      force every engine stage (matrix/cache driver)
+     faultpoints          list injection sites and documented exits
      suite                list the built-in grammar suite
 
    FILE may be "-" for stdin, or "suite:NAME" for a built-in grammar.
@@ -15,7 +18,8 @@
      1  analysis verdict: conflicts / not LALR(1)
      2  input diagnostics: unreadable grammar, lint errors, rejected input
      3  resource budget exhausted (--budget)
-     4  internal error (broken invariant in the analysis) *)
+     4  internal error (broken invariant in the analysis)
+   [batch] exits with the maximum per-job code. *)
 
 open Cmdliner
 
@@ -31,6 +35,9 @@ module Driver = Lalr_runtime.Driver
 module Token = Lalr_runtime.Token
 module Registry = Lalr_suite.Registry
 module Budget = Lalr_guard.Budget
+module Faultpoint = Lalr_guard.Faultpoint
+module Store = Lalr_store.Store
+module Classify = Lalr_tables.Classify
 
 (* ------------------------------------------------------------------ *)
 (* Common arguments and loading                                       *)
@@ -108,6 +115,37 @@ let budget_arg =
     & opt (some budget_conv) None
     & info [ "budget" ] ~docv:"SPEC" ~doc)
 
+let cache_arg =
+  let doc =
+    "Persistent artifact cache directory (created if needed). Verified \
+     entries seed the engine; corrupt or stale entries are quarantined \
+     and recomputed. Plays no part in correctness: any store failure is \
+     an ordinary cache miss."
+  in
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc)
+
+let inject_arg =
+  let doc =
+    Printf.sprintf
+      "Arm deterministic fault injections for robustness testing — %s. \
+       See $(b,lalrgen faultpoints) for the sites and their documented \
+       exit codes."
+      Lalr_guard.Faultpoint.spec_doc
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject" ] ~docv:"SPEC" ~doc
+        ~env:(Cmd.Env.info "LALRGEN_INJECT"))
+
+let keep_going_arg =
+  let doc =
+    "On budget exhaustion or internal failure, render whatever stages \
+     completed — clearly marked INCOMPLETE — instead of only the error. \
+     The exit code is unchanged (3 or 4)."
+  in
+  Arg.(value & flag & info [ "keep-going" ] ~doc)
+
 (* The failure boundary of the process: installs the budget (if any)
    around [f] so even work outside the engine's memoized slots — the
    LALR(k) search, the parse driver — is bounded, and maps the two
@@ -131,23 +169,70 @@ let with_failure_boundary ?budget f =
       Format.eprintf "lalrgen: internal error: stack overflow during \
                       analysis@.";
       exit 4
+  | exception Faultpoint.Injected { site } ->
+      (* Only store sites raise [Injected] and the store absorbs them;
+         seeing one here means an absorption contract broke. *)
+      Format.eprintf "lalrgen: internal error: unabsorbed injected fault \
+                      at %s@." site;
+      exit 4
   | exception Assert_failure (file, line, _) ->
       Format.eprintf "lalrgen: internal error: assertion failed at %s:%d@."
         file line;
       exit 4
+
+let arm_injection inject =
+  match inject with
+  | None -> ()
+  | Some spec -> (
+      match Faultpoint.arm spec with
+      | Ok () -> ()
+      | Error msg ->
+          Format.eprintf "lalrgen: --inject: %s@." msg;
+          exit 2)
+
+let open_store cache =
+  match cache with
+  | None -> None
+  | Some dir -> (
+      (* A cache directory the user named but that cannot exist at all
+         is a configuration error (exit 2), not a miss; everything
+         after this point is absorbed by the store itself. *)
+      match Store.create ~dir with
+      | st -> Some st
+      | exception Sys_error msg ->
+          Format.eprintf "lalrgen: --cache: %s@." msg;
+          exit 2)
 
 (* Every subcommand threads ONE engine per grammar: whatever subset of
    the pipeline it touches — automaton, relations, look-aheads, tables,
    classification — is computed at most once per process.
 
    The stats are printed via [at_exit] so commands that exit nonzero
-   (conflicts, budget exhaustion) still report their timings. *)
-let handle_engine spec ~timings ?budget f =
-  handle_load spec (fun g ->
-      let e = Engine.create ?budget g in
-      if timings then
-        at_exit (fun () -> Format.eprintf "%a@." Engine.pp_stats e);
-      with_failure_boundary ?budget (fun () -> f e))
+   (conflicts, budget exhaustion) still report their timings; the
+   store is persisted the same way — and first, being registered last
+   — so an interrupted pipeline still saves its completed prefix.
+
+   Loading happens INSIDE the failure boundary: a reader failure
+   (including an injected one) maps to the same typed exits as an
+   engine failure. *)
+let handle_engine spec ~timings ?budget ?cache ?inject f =
+  arm_injection inject;
+  let store = open_store cache in
+  with_failure_boundary ?budget (fun () ->
+      handle_load spec (fun g ->
+          let e = Engine.create ?budget ?store g in
+          if timings then
+            at_exit (fun () ->
+                Format.eprintf "%a@." Engine.pp_stats e;
+                match Engine.store e with
+                | Some st -> Format.eprintf "%a@." Store.pp_stats st
+                | None -> ());
+          at_exit (fun () -> Engine.persist e);
+          f e))
+
+let exit_of_failure = function
+  | Engine.Budget_exceeded _ -> 3
+  | Engine.Internal_error _ -> 4
 
 let method_arg =
   let doc =
@@ -166,22 +251,53 @@ let tables_of_method e m = Engine.tables_for e m
 (* ------------------------------------------------------------------ *)
 
 let classify_cmd =
-  let run spec with_lr1 try_k timings budget =
-    handle_engine spec ~timings ?budget (fun e ->
+  let run spec with_lr1 try_k keep_going timings budget cache inject =
+    handle_engine spec ~timings ?budget ?cache ?inject (fun e ->
         let g = Engine.grammar e in
-        let v =
-          Engine.classification
-            ~with_lr1:(with_lr1 || G.n_productions g <= Engine.lr1_limit)
-            e
+        let use_lr1 = with_lr1 || G.n_productions g <= Engine.lr1_limit in
+        let finish v =
+          Describe.classification Format.std_formatter v;
+          (if try_k > 1 && not v.Lalr_tables.Classify.lalr1 then
+             match Lalr_core.Lalr_k.smallest_k ~limit:try_k (Engine.lr0 e) with
+             | Some k -> Format.printf "LALR(%d) with a %d-token window@." k k
+             | None ->
+                 Format.printf "not LALR(k) for any k ≤ %d@." try_k);
+          (* Exit status mirrors LALR(1)-cleanliness, for scripting. *)
+          if not v.Lalr_tables.Classify.lalr1 then exit 1
         in
-        Describe.classification Format.std_formatter v;
-        (if try_k > 1 && not v.Lalr_tables.Classify.lalr1 then
-           match Lalr_core.Lalr_k.smallest_k ~limit:try_k (Engine.lr0 e) with
-           | Some k -> Format.printf "LALR(%d) with a %d-token window@." k k
-           | None ->
-               Format.printf "not LALR(k) for any k ≤ %d@." try_k);
-        (* Exit status mirrors LALR(1)-cleanliness, for scripting. *)
-        if not v.Lalr_tables.Classify.lalr1 then exit 1)
+        if not keep_going then
+          finish (Engine.classification ~with_lr1:use_lr1 e)
+        else
+          let p =
+            Engine.run_partial e (fun e ->
+                Engine.classification ~with_lr1:use_lr1 e)
+          in
+          match (p.Engine.pr_value, p.Engine.pr_completeness) with
+          | Some v, _ -> finish v
+          | None, Engine.Complete -> assert false
+          | None, Engine.Incomplete failure ->
+              Format.printf "== INCOMPLETE: %a ==@." Engine.pp_failure
+                failure;
+              Format.printf "completed stages: %s@."
+                (match p.Engine.pr_completed with
+                | [] -> "(none)"
+                | l -> String.concat ", " l);
+              (* Whatever per-method tables finished are memory reads
+                 now: render their conflict reports as the partial
+                 verdict. *)
+              List.iter
+                (fun (slot, label, m) ->
+                  if List.mem slot p.Engine.pr_completed then begin
+                    Format.printf "@.%s conflicts (partial):@." label;
+                    Describe.conflicts Format.std_formatter
+                      (Engine.tables_for e m)
+                  end)
+                [
+                  ("tables", "lalr", `Lalr);
+                  ("slr_tables", "slr", `Slr);
+                  ("nqlalr_tables", "nqlalr", `Nqlalr);
+                ];
+              exit (exit_of_failure failure))
   in
   let with_lr1 =
     Arg.(
@@ -200,17 +316,35 @@ let classify_cmd =
   in
   Cmd.v
     (Cmd.info "classify" ~doc:"Place a grammar in the LR hierarchy")
-    Term.(const run $ grammar_arg $ with_lr1 $ try_k $ timings_arg
-          $ budget_arg)
+    Term.(const run $ grammar_arg $ with_lr1 $ try_k $ keep_going_arg
+          $ timings_arg $ budget_arg $ cache_arg $ inject_arg)
 
 (* ------------------------------------------------------------------ *)
 (* report                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let report_cmd =
-  let run spec dump_states timings budget =
-    handle_engine spec ~timings ?budget
-      (Describe.report ~dump_states Format.std_formatter)
+  let run spec dump_states keep_going timings budget cache inject =
+    handle_engine spec ~timings ?budget ?cache ?inject (fun e ->
+        if not keep_going then
+          Describe.report ~dump_states Format.std_formatter e
+        else
+          let p =
+            Engine.run_partial e
+              (Describe.report ~dump_states Format.std_formatter)
+          in
+          match p.Engine.pr_completeness with
+          | Engine.Complete -> ()
+          | Engine.Incomplete failure ->
+              (* The report printed up to the stage that failed; close
+                 it with a marker no reader can miss. *)
+              Format.printf "@.== INCOMPLETE REPORT: %a ==@."
+                Engine.pp_failure failure;
+              Format.printf "completed stages: %s@."
+                (match p.Engine.pr_completed with
+                | [] -> "(none)"
+                | l -> String.concat ", " l);
+              exit (exit_of_failure failure))
   in
   let dump =
     Arg.(
@@ -219,30 +353,32 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Full analysis report (yacc -v style)")
-    Term.(const run $ grammar_arg $ dump $ timings_arg $ budget_arg)
+    Term.(const run $ grammar_arg $ dump $ keep_going_arg $ timings_arg
+          $ budget_arg $ cache_arg $ inject_arg)
 
 (* ------------------------------------------------------------------ *)
 (* conflicts                                                          *)
 (* ------------------------------------------------------------------ *)
 
 let conflicts_cmd =
-  let run spec m timings budget =
-    handle_engine spec ~timings ?budget (fun e ->
+  let run spec m timings budget cache inject =
+    handle_engine spec ~timings ?budget ?cache ?inject (fun e ->
         let tbl = tables_of_method e m in
         Describe.conflicts Format.std_formatter tbl;
         if Tables.unresolved_conflicts tbl <> [] then exit 1)
   in
   Cmd.v
     (Cmd.info "conflicts" ~doc:"Report table conflicts under a chosen method")
-    Term.(const run $ grammar_arg $ method_arg $ timings_arg $ budget_arg)
+    Term.(const run $ grammar_arg $ method_arg $ timings_arg $ budget_arg
+          $ cache_arg $ inject_arg)
 
 (* ------------------------------------------------------------------ *)
 (* tables                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let tables_cmd =
-  let run spec m compact timings budget =
-    handle_engine spec ~timings ?budget (fun e ->
+  let run spec m compact timings budget cache inject =
+    handle_engine spec ~timings ?budget ?cache ?inject (fun e ->
         let tbl = tables_of_method e m in
         if compact then begin
           let module Compact = Lalr_tables.Compact in
@@ -264,15 +400,15 @@ let tables_cmd =
   Cmd.v
     (Cmd.info "tables" ~doc:"Print the ACTION/GOTO table")
     Term.(const run $ grammar_arg $ method_arg $ compact $ timings_arg
-          $ budget_arg)
+          $ budget_arg $ cache_arg $ inject_arg)
 
 (* ------------------------------------------------------------------ *)
 (* parse                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let parse_cmd =
-  let run spec tokens sexp timings budget =
-    handle_engine spec ~timings ?budget (fun e ->
+  let run spec tokens sexp timings budget cache inject =
+    handle_engine spec ~timings ?budget ?cache ?inject (fun e ->
         let g = Engine.grammar e in
         let tbl = Engine.tables e in
         match Token.of_names g tokens with
@@ -301,15 +437,16 @@ let parse_cmd =
   in
   Cmd.v
     (Cmd.info "parse" ~doc:"Parse a token sequence and print the tree")
-    Term.(const run $ grammar_arg $ tokens $ sexp $ timings_arg $ budget_arg)
+    Term.(const run $ grammar_arg $ tokens $ sexp $ timings_arg $ budget_arg
+          $ cache_arg $ inject_arg)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                           *)
 (* ------------------------------------------------------------------ *)
 
 let generate_cmd =
-  let run spec m output timings budget =
-    handle_engine spec ~timings ?budget (fun e ->
+  let run spec m output timings budget cache inject =
+    handle_engine spec ~timings ?budget ?cache ?inject (fun e ->
         let tbl = tables_of_method e m in
         let source = Lalr_report.Codegen.emit_to_string tbl in
         match output with
@@ -329,7 +466,7 @@ let generate_cmd =
          "Emit a standalone OCaml parser module (tables + engine, no \
           library dependency)")
     Term.(const run $ grammar_arg $ method_arg $ output $ timings_arg
-          $ budget_arg)
+          $ budget_arg $ cache_arg $ inject_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lint                                                               *)
@@ -468,6 +605,242 @@ let lint_cmd =
       $ self_check $ list_codes $ timings_arg $ budget_arg)
 
 (* ------------------------------------------------------------------ *)
+(* exercise                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Forces every slot, in dependency order. [classify] alone never
+   touches [propagation] or the lr1-free classification variant, so the
+   fault-injection matrix (and cache warming) drives THIS command: an
+   armed compute site is guaranteed to be reached. *)
+let force_all_stages e =
+  ignore (Engine.analysis e);
+  ignore (Engine.lr0 e);
+  ignore (Engine.relations e);
+  ignore (Engine.follow e);
+  ignore (Engine.lalr e);
+  ignore (Engine.slr e);
+  ignore (Engine.nqlalr e);
+  ignore (Engine.propagation e);
+  ignore (Engine.lr1 e);
+  ignore (Engine.tables e);
+  ignore (Engine.slr_tables e);
+  ignore (Engine.nqlalr_tables e);
+  ignore (Engine.classification ~with_lr1:false e);
+  ignore (Engine.classification ~with_lr1:true e)
+
+let exercise_cmd =
+  let run spec timings budget cache inject =
+    handle_engine spec ~timings ?budget ?cache ?inject (fun e ->
+        force_all_stages e;
+        let stages = Engine.stats e in
+        let forced =
+          List.length (List.filter (fun (s : Engine.stage) -> s.forced) stages)
+        in
+        Format.printf "forced %d/%d stages@." forced (List.length stages))
+  in
+  Cmd.v
+    (Cmd.info "exercise"
+       ~doc:
+         "Force every engine stage — the driver for the fault-injection \
+          matrix and for warming a $(b,--cache) directory")
+    Term.(const run $ grammar_arg $ timings_arg $ budget_arg $ cache_arg
+          $ inject_arg)
+
+(* ------------------------------------------------------------------ *)
+(* faultpoints                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let faultpoints_cmd =
+  let run () =
+    (* Three machine-readable columns — site, kind, documented exit —
+       so the CI matrix iterates with `while read site kind code`. *)
+    List.iter
+      (fun (s : Faultpoint.site_info) ->
+        List.iter
+          (fun k ->
+            Format.printf "%-20s %-8s %d@." s.si_name (Faultpoint.kind_name k)
+              (Faultpoint.expected_exit s k))
+          s.si_kinds)
+      Faultpoint.sites
+  in
+  Cmd.v
+    (Cmd.info "faultpoints"
+       ~doc:
+         "List the fault-injection sites, the kinds meaningful at each, \
+          and the documented exit code when the injection fires")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* batch                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+type job_result = {
+  j_exit : int;
+  j_status : string;  (* ok | verdict | diagnostics | budget | internal *)
+  j_detail : string;
+  j_lalr1 : bool option;
+  j_completed : string list;
+}
+
+let batch_cmd =
+  let run files budget_spec cache inject timings =
+    arm_injection inject;
+    (* Validate the budget spec once; each job then parses its own
+       fresh copy, because a Budget.t accumulates consumption and
+       isolation means no job pays for another's spending. *)
+    (match budget_spec with
+    | Some s when Result.is_error (Budget.of_spec s) ->
+        (match Budget.of_spec s with
+        | Error m ->
+            Format.eprintf "lalrgen: --budget: %s@." m;
+            exit 2
+        | Ok _ -> ())
+    | _ -> ());
+    let store = open_store cache in
+    let fresh_budget () =
+      match budget_spec with
+      | None -> None
+      | Some s -> (
+          match Budget.of_spec s with Ok b -> Some b | Error _ -> None)
+    in
+    let diag code status detail =
+      { j_exit = code; j_status = status; j_detail = detail; j_lalr1 = None;
+        j_completed = [] }
+    in
+    (* One isolated attempt: every outcome is data, nothing escapes. *)
+    let attempt file =
+      match load_grammar file with
+      | exception Not_found -> diag 2 "diagnostics" "no such suite grammar"
+      | exception Sys_error msg -> diag 2 "diagnostics" msg
+      | exception Invalid_argument msg -> diag 2 "diagnostics" msg
+      | exception Budget.Exceeded ex ->
+          diag 3 "budget" (Format.asprintf "%a" Budget.pp_exceeded ex)
+      | exception Budget.Internal_error { stage; invariant } ->
+          diag 4 "internal"
+            (Printf.sprintf "internal error in stage '%s': %s" stage invariant)
+      | Some g, [] -> (
+          let e = Engine.create ?budget:(fresh_budget ()) ?store g in
+          let p =
+            Engine.run_partial e (fun e ->
+                Engine.classification
+                  ~with_lr1:(G.n_productions g <= Engine.lr1_limit)
+                  e)
+          in
+          Engine.persist e;
+          match (p.Engine.pr_value, p.Engine.pr_completeness) with
+          | Some v, _ ->
+              let lalr1 = v.Classify.lalr1 in
+              {
+                j_exit = (if lalr1 then 0 else 1);
+                j_status = (if lalr1 then "ok" else "verdict");
+                j_detail = "";
+                j_lalr1 = Some lalr1;
+                j_completed = p.Engine.pr_completed;
+              }
+          | None, Engine.Complete -> assert false
+          | None, Engine.Incomplete failure ->
+              {
+                j_exit = exit_of_failure failure;
+                j_status =
+                  (match failure with
+                  | Engine.Budget_exceeded _ -> "budget"
+                  | Engine.Internal_error _ -> "internal");
+                j_detail = Format.asprintf "%a" Engine.pp_failure failure;
+                j_lalr1 = None;
+                j_completed = p.Engine.pr_completed;
+              })
+      | g_opt, errors ->
+          let detail =
+            match errors with
+            | e :: _ -> Format.asprintf "%a" Reader.pp_error e
+            | [] ->
+                if g_opt = None then "unreadable grammar" else "no grammar"
+          in
+          diag 2 "diagnostics" detail
+    in
+    let emit file r ~retried =
+      Format.printf
+        "{\"file\":\"%s\",\"exit\":%d,\"status\":\"%s\",\"retried\":%b%s%s%s}@."
+        (json_escape file) r.j_exit r.j_status retried
+        (match r.j_lalr1 with
+        | Some b -> Printf.sprintf ",\"lalr1\":%b" b
+        | None -> "")
+        (if r.j_detail = "" then ""
+         else Printf.sprintf ",\"detail\":\"%s\"" (json_escape r.j_detail))
+        (if r.j_completed = [] then ""
+         else
+           Printf.sprintf ",\"completed\":[%s]"
+             (String.concat ","
+                (List.map
+                   (fun s -> Printf.sprintf "\"%s\"" (json_escape s))
+                   r.j_completed)))
+    in
+    let codes =
+      List.map
+        (fun file ->
+          let r1 = attempt file in
+          (* Retry-once on internal faults: a broken invariant may be a
+             transient environmental condition (and the fire-once
+             injections model exactly that); a second identical failure
+             is reported as final. *)
+          let r, retried =
+            if r1.j_exit = 4 then (attempt file, true) else (r1, false)
+          in
+          emit file r ~retried;
+          r.j_exit)
+        files
+    in
+    let nonzero = List.length (List.filter (fun c -> c <> 0) codes) in
+    Format.eprintf "batch: %d jobs, %d nonzero@." (List.length codes) nonzero;
+    if timings then (
+      match store with
+      | Some st -> Format.eprintf "%a@." Store.pp_stats st
+      | None -> ());
+    (* The aggregate verdict is the worst per-job one. *)
+    exit (List.fold_left max 0 codes)
+  in
+  let files =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"GRAMMAR"
+          ~doc:
+            "Grammars to process (files, $(b,-), or $(b,suite:NAME)); one \
+             JSON line per job on stdout.")
+  in
+  let budget_spec =
+    let doc =
+      Printf.sprintf
+        "Per-job resource budget, parsed afresh for every job — %s."
+        Budget.spec_doc
+    in
+    Arg.(value & opt (some string) None & info [ "budget" ] ~docv:"SPEC" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Classify many grammars in one invocation with per-job isolation: \
+          a failing job is reported (JSON-lines) and never aborts the \
+          batch; internal faults are retried once; the exit code is the \
+          maximum per-job code")
+    Term.(const run $ files $ budget_spec $ cache_arg $ inject_arg
+          $ timings_arg)
+
+(* ------------------------------------------------------------------ *)
 (* suite                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -492,5 +865,6 @@ let () =
        (Cmd.group info
           [
             classify_cmd; report_cmd; conflicts_cmd; tables_cmd; parse_cmd;
-            generate_cmd; lint_cmd; suite_cmd;
+            generate_cmd; lint_cmd; batch_cmd; exercise_cmd; faultpoints_cmd;
+            suite_cmd;
           ]))

@@ -7,6 +7,8 @@ module Propagation = Lalr_baselines.Propagation
 module Tables = Lalr_tables.Tables
 module Classify = Lalr_tables.Classify
 module Budget = Lalr_guard.Budget
+module Faultpoint = Lalr_guard.Faultpoint
+module Store = Lalr_store.Store
 
 type 'a slot = {
   s_name : string;
@@ -17,9 +19,13 @@ type 'a slot = {
 }
 
 let slot name =
+  (* Every slot is a fault-injection site; creating one for a name the
+     registry does not know would silently un-test that slot. *)
+  assert (Faultpoint.find_site name <> None);
   { s_name = name; s_value = None; s_hits = 0; s_misses = 0; s_wall = 0. }
 
 let seeded name v =
+  assert (Faultpoint.find_site name <> None);
   { s_name = name; s_value = Some v; s_hits = 0; s_misses = 0; s_wall = 0. }
 
 (* Force-once: the first access computes (a miss, timed); every later
@@ -41,6 +47,7 @@ let force slot compute =
 type t = {
   grammar : Grammar.t;
   budget_opt : Budget.t option;
+  store_opt : Store.t option;
   analysis_s : Analysis.t slot;
   lr0_s : Lr0.t slot;
   relations_s : Lalr.relations slot;
@@ -57,37 +64,83 @@ type t = {
   classification_lr1_s : Classify.verdict slot;
 }
 
-let create ?budget ?analysis grammar =
+let create ?budget ?analysis ?store grammar =
+  (* A warm store seeds slots at creation: a seeded slot reports as
+     forced with zero misses, exactly like the ?analysis seed, so the
+     force-once counters still prove nothing is recomputed. All the
+     bundle's artifacts were marshalled together, so their mutual
+     aliasing (relations share the automaton arrays, la shares the
+     relation arrays) is intact after rehydration. *)
+  let bundle =
+    match store with None -> None | Some st -> Store.load st grammar
+  in
+  let from_store name get =
+    match Option.bind bundle get with
+    | Some v -> seeded name v
+    | None -> slot name
+  in
   {
     grammar;
     budget_opt = budget;
+    store_opt = store;
     analysis_s =
       (match analysis with
       | Some an -> seeded "analysis" an
-      | None -> slot "analysis");
-    lr0_s = slot "lr0";
-    relations_s = slot "relations";
-    follow_s = slot "follow";
-    la_s = slot "la";
-    slr_s = slot "slr";
-    nqlalr_s = slot "nqlalr";
-    propagation_s = slot "propagation";
-    lr1_s = slot "lr1";
-    tables_s = slot "tables";
-    slr_tables_s = slot "slr_tables";
-    nqlalr_tables_s = slot "nqlalr_tables";
-    classification_s = slot "classification";
-    classification_lr1_s = slot "classification+lr1";
+      | None -> from_store "analysis" (fun b -> b.Store.b_analysis));
+    lr0_s = from_store "lr0" (fun b -> b.Store.b_lr0);
+    relations_s = from_store "relations" (fun b -> b.Store.b_relations);
+    follow_s = from_store "follow" (fun b -> b.Store.b_follow);
+    la_s = from_store "la" (fun b -> b.Store.b_la);
+    slr_s = from_store "slr" (fun b -> b.Store.b_slr);
+    nqlalr_s = from_store "nqlalr" (fun b -> b.Store.b_nqlalr);
+    propagation_s = from_store "propagation" (fun b -> b.Store.b_propagation);
+    lr1_s = from_store "lr1" (fun b -> b.Store.b_lr1);
+    tables_s = from_store "tables" (fun b -> b.Store.b_tables);
+    slr_tables_s = from_store "slr_tables" (fun b -> b.Store.b_slr_tables);
+    nqlalr_tables_s =
+      from_store "nqlalr_tables" (fun b -> b.Store.b_nqlalr_tables);
+    classification_s =
+      from_store "classification" (fun b -> b.Store.b_classification);
+    classification_lr1_s =
+      from_store "classification+lr1" (fun b -> b.Store.b_classification_lr1);
   }
 
 let forceb e slot compute =
   force slot (fun () ->
+      Faultpoint.check slot.s_name;
       match e.budget_opt with
       | None -> compute ()
       | Some b -> Budget.with_budget b ~stage:slot.s_name compute)
 
 let grammar e = e.grammar
 let budget e = e.budget_opt
+let store e = e.store_opt
+
+let persist e =
+  match e.store_opt with
+  | None -> ()
+  | Some st ->
+      (* Whatever is forced — including the completed prefix of a run
+         the budget interrupted — is worth keeping for the next
+         process. Seeded slots round-trip unchanged. *)
+      Store.save st
+        {
+          Store.b_grammar = e.grammar;
+          b_analysis = e.analysis_s.s_value;
+          b_lr0 = e.lr0_s.s_value;
+          b_relations = e.relations_s.s_value;
+          b_follow = e.follow_s.s_value;
+          b_la = e.la_s.s_value;
+          b_slr = e.slr_s.s_value;
+          b_nqlalr = e.nqlalr_s.s_value;
+          b_propagation = e.propagation_s.s_value;
+          b_lr1 = e.lr1_s.s_value;
+          b_tables = e.tables_s.s_value;
+          b_slr_tables = e.slr_tables_s.s_value;
+          b_nqlalr_tables = e.nqlalr_tables_s.s_value;
+          b_classification = e.classification_s.s_value;
+          b_classification_lr1 = e.classification_lr1_s.s_value;
+        }
 
 (* ------------------------------------------------------------------ *)
 (* The failure boundary                                               *)
@@ -255,3 +308,43 @@ let pp_stats ppf e =
         (s.wall *. 1e3) s.misses s.hits)
     forced;
   Format.fprintf ppf "  %-20s %8.3f ms@]" "total" (total_wall e *. 1e3)
+
+(* ------------------------------------------------------------------ *)
+(* Partial results                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type completeness = Complete | Incomplete of failure
+
+type 'a partial = {
+  pr_value : 'a option;
+  pr_completeness : completeness;
+  pr_completed : string list;
+}
+
+let forced_stage_names e =
+  List.filter_map
+    (fun (s : stage) -> if s.forced then Some s.stage else None)
+    (stats e)
+
+let run_partial e f =
+  match run e f with
+  | Ok v ->
+      {
+        pr_value = Some v;
+        pr_completeness = Complete;
+        pr_completed = forced_stage_names e;
+      }
+  | Error failure ->
+      (* The interrupted slot stayed unforced, so the completed list is
+         exactly the prefix of artifacts that finished — the partial
+         result the caller may still render. *)
+      {
+        pr_value = None;
+        pr_completeness = Incomplete failure;
+        pr_completed = forced_stage_names e;
+      }
+
+let pp_completeness ppf = function
+  | Complete -> Format.fprintf ppf "complete"
+  | Incomplete failure ->
+      Format.fprintf ppf "INCOMPLETE (%a)" pp_failure failure

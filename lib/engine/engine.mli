@@ -52,23 +52,45 @@
 
 type t
 
-val create : ?budget:Lalr_guard.Budget.t -> ?analysis:Analysis.t -> Grammar.t -> t
-(** A fresh engine with every slot unforced. Creation does no work.
-    [?analysis] seeds the [analysis] slot with a caller-computed value
-    (which must be the analysis of [grammar]); the slot then reports
-    as forced with zero misses. The grammar is analysed as given — the
-    engine never reduces it (callers that lint arbitrary input reduce
-    first; see [Lalr_lint.Context]).
+val create :
+  ?budget:Lalr_guard.Budget.t ->
+  ?analysis:Analysis.t ->
+  ?store:Lalr_store.Store.t ->
+  Grammar.t ->
+  t
+(** A fresh engine with every slot unforced. Creation does no work
+    beyond an optional store probe. [?analysis] seeds the [analysis]
+    slot with a caller-computed value (which must be the analysis of
+    [grammar]); the slot then reports as forced with zero misses. The
+    grammar is analysed as given — the engine never reduces it
+    (callers that lint arbitrary input reduce first; see
+    [Lalr_lint.Context]).
 
     [?budget] bounds every slot computation: each force installs the
     budget for its extent (stage = slot name; algorithms refine it via
     {!Lalr_guard.Budget.with_stage}). The budget is shared across
     slots, so its caps bound the whole pipeline. Without [?budget],
     slot computations run exactly as before — the check points are
-    no-ops. *)
+    no-ops.
+
+    [?store] consults the persistent artifact store
+    ({!Lalr_store.Store}): a verified cache entry for [grammar] seeds
+    the matching slots, which then report as forced with zero misses
+    (a hit in the store's counters). A missing, stale, or corrupt
+    entry is an ordinary miss — slots start empty and {!persist}
+    rewrites the entry. A [?analysis] seed takes precedence over the
+    store's copy for the analysis slot. *)
 
 val grammar : t -> Grammar.t
 val budget : t -> Lalr_guard.Budget.t option
+val store : t -> Lalr_store.Store.t option
+
+val persist : t -> unit
+(** Writes every currently forced slot to the store as one bundle
+    (atomically replacing the grammar's entry); a no-op without
+    [?store]. Callers run it at exit — including after a budget trip
+    or a verdict exit — so the completed prefix of an interrupted
+    pipeline still warms the next process. Never raises. *)
 
 (** {2 The failure boundary}
 
@@ -94,6 +116,38 @@ val run : t -> (t -> 'a) -> ('a, failure) result
     and may be re-forced under a fresh engine with looser caps. *)
 
 val pp_failure : Format.formatter -> failure -> unit
+
+(** {2 Partial results}
+
+    Graceful degradation: when a consumer would rather render what
+    finished than abort, {!run_partial} pairs the outcome with an
+    explicit completeness marker and the list of completed stages.
+    There is no way to get a partial value {e without} the marker —
+    incomplete output can never masquerade as complete. *)
+
+type completeness =
+  | Complete
+  | Incomplete of failure
+      (** the failure that interrupted the pipeline; the slot it
+          interrupted stayed unforced *)
+
+type 'a partial = {
+  pr_value : 'a option;
+      (** [Some] iff {!pr_completeness} is [Complete] *)
+  pr_completeness : completeness;
+  pr_completed : string list;
+      (** names of the slots that finished (pipeline order) — the
+          artifacts a renderer may still draw on via the accessors,
+          which are now memory reads for exactly these stages *)
+}
+
+val run_partial : t -> (t -> 'a) -> 'a partial
+(** {!run}, keeping the completed prefix: on failure the caller gets
+    the stage names that finished instead of only the error, and may
+    re-enter the engine to render them ([--keep-going]). *)
+
+val pp_completeness : Format.formatter -> completeness -> unit
+(** ["complete"], or ["INCOMPLETE (<failure>)"] — loud by design. *)
 
 (** {2 Slots}
 

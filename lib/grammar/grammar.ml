@@ -327,3 +327,51 @@ let equal_structure a b =
          && Array.length p.rhs = Array.length q.rhs
          && Array.for_all2 Symbol.equal p.rhs q.rhs)
        a.productions b.productions
+
+(* Content digest over everything that determines analysis results:
+   symbol tables, productions, and both precedence channels. [name] and
+   source locations are deliberately excluded so the same grammar text
+   read twice — or rehydrated from the artifact store — digests
+   identically. The leading tag versions the serialization itself. *)
+let digest g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "lalr-grammar-digest-v1";
+  let str s =
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\x00'
+  in
+  let int n =
+    Buffer.add_string buf (string_of_int n);
+    Buffer.add_char buf ';'
+  in
+  let prec = function
+    | None -> Buffer.add_char buf '.'
+    | Some (level, assoc) ->
+        int level;
+        Buffer.add_char buf
+          (match assoc with Left -> 'l' | Right -> 'r' | Nonassoc -> 'n')
+  in
+  Array.iter str g.terminal_names;
+  Buffer.add_char buf '\x01';
+  Array.iter str g.nonterminal_names;
+  Buffer.add_char buf '\x01';
+  int g.start;
+  Array.iter
+    (fun (p : production) ->
+      Buffer.add_char buf '\x02';
+      int p.lhs;
+      Array.iter
+        (fun s ->
+          match s with
+          | Symbol.T t ->
+              Buffer.add_char buf 't';
+              int t
+          | Symbol.N n ->
+              Buffer.add_char buf 'n';
+              int n)
+        p.rhs;
+      prec p.prec)
+    g.productions;
+  Buffer.add_char buf '\x01';
+  Array.iter prec g.terminal_prec;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

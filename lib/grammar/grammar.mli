@@ -137,3 +137,13 @@ val pp : Format.formatter -> t -> unit
 
 val equal_structure : t -> t -> bool
 (** Same symbol tables and productions (ignores [name]). *)
+
+val digest : t -> string
+(** A 32-character hex content digest of the grammar's structure:
+    symbol tables, productions and precedence declarations. Excludes
+    [name] and source locations, so structurally equal grammars —
+    including a grammar rehydrated from the artifact store
+    ({!Lalr_store.Store}) — digest identically:
+    [equal_structure a b] implies [digest a = digest b]. Caches keyed
+    by this digest (the store, the counterexample yield memo) therefore
+    survive rehydration, which physical-equality keys do not. *)

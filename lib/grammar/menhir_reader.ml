@@ -520,6 +520,18 @@ let of_string ?(name = "grammar") ?source src =
   parse (make_state ~strict:true ~file:source src) ~name ~source
 
 let of_string_tolerant ?(name = "grammar") ?source src =
+  Lalr_guard.Faultpoint.check "menhir";
+  if Lalr_guard.Faultpoint.take_corrupt "menhir" then
+    ( None,
+      [
+        {
+          Reader.file = source;
+          line = 1;
+          col = 1;
+          message = "injected corruption (fault injection)";
+        };
+      ] )
+  else
   let st = make_state ~strict:false ~file:source src in
   let finish extra =
     let errs =

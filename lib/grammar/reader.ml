@@ -490,7 +490,19 @@ let of_string ?(name = "grammar") ?source src =
   let _, build = parse_with ~strict:true ~name ~source src in
   build ()
 
+let injected_corruption source =
+  {
+    file = source;
+    line = 1;
+    col = 1;
+    message = "injected corruption (fault injection)";
+  }
+
 let of_string_tolerant ?(name = "grammar") ?source src =
+  Lalr_guard.Faultpoint.check "reader";
+  if Lalr_guard.Faultpoint.take_corrupt "reader" then
+    (None, [ injected_corruption source ])
+  else
   let st, build = parse_with ~strict:false ~name ~source src in
   match build () with
   | g -> (Some g, List.rev st.errors)

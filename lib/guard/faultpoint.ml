@@ -1,0 +1,215 @@
+type kind = Raise | Wall | Corrupt
+
+let kind_name = function Raise -> "raise" | Wall -> "wall" | Corrupt -> "corrupt"
+
+let kind_of_name = function
+  | "raise" -> Some Raise
+  | "wall" -> Some Wall
+  | "corrupt" -> Some Corrupt
+  | _ -> None
+
+type site_class = Compute | Reader | Store_io
+
+type site_info = {
+  si_name : string;
+  si_class : site_class;
+  si_kinds : kind list;
+}
+
+let compute name = { si_name = name; si_class = Compute; si_kinds = [ Raise; Wall ] }
+
+(* The engine slot names (lib/engine keeps them in sync: its slot
+   constructor asserts membership in this list), the two tolerant
+   reader entries, and the store I/O boundaries. *)
+let sites =
+  List.map compute
+    [
+      "analysis"; "lr0"; "relations"; "follow"; "la"; "slr"; "nqlalr";
+      "propagation"; "lr1"; "tables"; "slr_tables"; "nqlalr_tables";
+      "classification"; "classification+lr1";
+    ]
+  @ [
+      { si_name = "reader"; si_class = Reader; si_kinds = [ Raise; Wall; Corrupt ] };
+      { si_name = "menhir"; si_class = Reader; si_kinds = [ Raise; Wall; Corrupt ] };
+      { si_name = "store-read"; si_class = Store_io; si_kinds = [ Raise; Wall; Corrupt ] };
+      { si_name = "store-write"; si_class = Store_io; si_kinds = [ Raise; Wall; Corrupt ] };
+    ]
+
+let find_site name = List.find_opt (fun s -> s.si_name = name) sites
+
+let expected_exit site kind =
+  match (site.si_class, kind) with
+  (* The store absorbs every failure of its own I/O: a cache is an
+     optional acceleration. Corruption surfaces on the NEXT read as a
+     quarantine + recompute — also exit 0, visible in the counters. *)
+  | Store_io, _ -> 0
+  | _, Raise -> 4
+  | _, Wall -> 3
+  | Reader, Corrupt -> 2
+  | Compute, Corrupt -> 4 (* unreachable: not in si_kinds *)
+
+(* ------------------------------------------------------------------ *)
+(* Arming                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type armed_point = {
+  a_site : string;
+  a_kind : kind;
+  a_at : int;  (* fire on the a_at-th hit of the site *)
+  mutable a_hits : int;
+  mutable a_fired : bool;
+}
+
+(* The whole armed state behind one ref: [check]/[take_corrupt] are a
+   single read of this cell when nothing is armed (the Budget trick). *)
+let state : armed_point list ref = ref []
+
+let armed () = !state <> []
+let disarm () = state := []
+
+let spec_doc =
+  "comma-separated injections: site:kind or site:kind@N (fire on the N-th \
+   hit, once; default 1). kind is raise, wall or corrupt; 'lalrgen \
+   faultpoints' lists the sites and the documented exit code of each pair"
+
+let parse_entry entry =
+  match String.index_opt entry ':' with
+  | None -> Error (Printf.sprintf "injection %S is not site:kind[@N]" entry)
+  | Some i -> (
+      let site = String.sub entry 0 i in
+      let rest = String.sub entry (i + 1) (String.length entry - i - 1) in
+      let kind_s, at =
+        match String.index_opt rest '@' with
+        | None -> (rest, Ok 1)
+        | Some j ->
+            let n = String.sub rest (j + 1) (String.length rest - j - 1) in
+            ( String.sub rest 0 j,
+              match int_of_string_opt n with
+              | Some v when v >= 1 -> Ok v
+              | _ -> Error (Printf.sprintf "bad hit count %S in %S" n entry) )
+      in
+      match at with
+      | Error e -> Error e
+      | Ok at -> (
+          match kind_of_name kind_s with
+          | None ->
+              Error
+                (Printf.sprintf
+                   "unknown injection kind %S in %S (expected raise, wall or \
+                    corrupt)"
+                   kind_s entry)
+          | Some kind ->
+              let site_names =
+                (* 'store' is a convenience alias for both boundaries. *)
+                if site = "store" then [ "store-read"; "store-write" ]
+                else [ site ]
+              in
+              let rec check_sites acc = function
+                | [] -> Ok (List.rev acc)
+                | name :: rest -> (
+                    match find_site name with
+                    | None ->
+                        Error
+                          (Printf.sprintf
+                             "unknown fault-injection site %S (see 'lalrgen \
+                              faultpoints')"
+                             name)
+                    | Some info when not (List.mem kind info.si_kinds) ->
+                        Error
+                          (Printf.sprintf
+                             "kind %s is not meaningful at site %s (supported: \
+                              %s)"
+                             (kind_name kind) name
+                             (String.concat ", "
+                                (List.map kind_name info.si_kinds)))
+                    | Some _ ->
+                        check_sites
+                          ({
+                             a_site = name;
+                             a_kind = kind;
+                             a_at = at;
+                             a_hits = 0;
+                             a_fired = false;
+                           }
+                          :: acc)
+                          rest)
+              in
+              check_sites [] site_names))
+
+let arm spec =
+  let entries =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if entries = [] then Error "empty injection spec"
+  else
+    let rec go acc = function
+      | [] ->
+          state := List.concat (List.rev acc);
+          Ok ()
+      | e :: rest -> (
+          match parse_entry e with
+          | Ok pts -> go (pts :: acc) rest
+          | Error msg -> Error msg)
+    in
+    go [] entries
+
+(* ------------------------------------------------------------------ *)
+(* Check points                                                       *)
+(* ------------------------------------------------------------------ *)
+
+exception Injected of { site : string }
+
+let fire site = function
+  | Wall ->
+      raise
+        (Budget.Exceeded
+           {
+             Budget.ex_stage = site;
+             ex_resource = Budget.Wall_clock;
+             ex_consumed = 0.;
+             ex_cap = 0.;
+             ex_partial = Some "injected fault (wall)";
+           })
+  | Raise -> (
+      match find_site site with
+      | Some { si_class = Store_io; _ } ->
+          (* Stand-in for an I/O error; the store's catch-all absorbs
+             it. An Internal_error here would wrongly take the exit-4
+             path for a failure the store is contracted to survive. *)
+          raise (Injected { site })
+      | _ ->
+          raise
+            (Budget.Internal_error
+               { stage = site; invariant = "injected fault (raise)" }))
+  | Corrupt ->
+      (* Corrupt fires through [take_corrupt]; reaching here means a
+         data site forgot to consume it — treat as a broken invariant
+         rather than silently ignoring the armed injection. *)
+      raise
+        (Budget.Internal_error
+           { stage = site; invariant = "injected corruption not consumed" })
+
+let hit_slow site ~corrupt =
+  let fired = ref false in
+  List.iter
+    (fun p ->
+      if
+        p.a_site = site && (not p.a_fired)
+        && (if corrupt then p.a_kind = Corrupt else p.a_kind <> Corrupt)
+      then begin
+        p.a_hits <- p.a_hits + 1;
+        if p.a_hits = p.a_at then begin
+          p.a_fired <- true;
+          if corrupt then fired := true else fire site p.a_kind
+        end
+      end)
+    !state;
+  !fired
+
+let check site =
+  match !state with [] -> () | _ -> ignore (hit_slow site ~corrupt:false)
+
+let take_corrupt site =
+  match !state with [] -> false | _ -> hit_slow site ~corrupt:true

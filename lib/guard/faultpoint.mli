@@ -1,0 +1,94 @@
+(** Named, deterministic fault-injection sites.
+
+    Robustness claims are only as good as the failures they have been
+    exercised against. This module plants a named {e fault point} at
+    every boundary the failure model defends — each engine slot, each
+    tolerant reader entry, and both sides of the artifact store — and
+    lets a test (or an operator) arm exactly one deterministic failure
+    at exactly one of them:
+
+    - {b raise}: a broken invariant — the site raises the typed
+      {!Budget.Internal_error} (documented exit code 4);
+    - {b wall}: a resource trip — the site raises {!Budget.Exceeded}
+      with the wall-clock resource (documented exit code 3);
+    - {b corrupt}: data damage at a data boundary — the readers inject
+      a diagnostic (exit 2), the store flips payload bytes so the next
+      read must detect, quarantine and recompute (exit 0).
+
+    Store sites are special: the store absorbs {e every} failure of its
+    own I/O (a cache is an optional acceleration, never a correctness
+    dependency), so all three kinds there are documented to leave the
+    run's exit code at 0 — visible only in the store counters.
+
+    When nothing is armed, {!check} and {!take_corrupt} compile to a
+    single [ref] read (the same trick as {!Budget}'s check points), so
+    production runs pay nothing.
+
+    Armed via [lalrgen --inject SPEC] or [LALRGEN_INJECT]; see
+    {!spec_doc} for the grammar. *)
+
+type kind = Raise | Wall | Corrupt
+
+val kind_name : kind -> string
+(** ["raise"], ["wall"], ["corrupt"]. *)
+
+val kind_of_name : string -> kind option
+
+type site_class = Compute | Reader | Store_io
+
+type site_info = {
+  si_name : string;
+  si_class : site_class;
+  si_kinds : kind list;  (** the kinds meaningful at this site *)
+}
+
+val sites : site_info list
+(** Every registered site: the engine slots, the two reader entries
+    ([reader], [menhir]) and the store boundaries ([store-read],
+    [store-write]). *)
+
+val find_site : string -> site_info option
+
+val expected_exit : site_info -> kind -> int
+(** The documented [lalrgen] exit code when this injection fires:
+    compute raise → 4, compute wall → 3, reader corrupt → 2, any store
+    kind → 0 (absorbed), … The CI matrix asserts observed = documented
+    for every [site × kind] pair. *)
+
+(** {2 Arming} *)
+
+val arm : string -> (unit, string) result
+(** [arm spec] replaces the armed set with the parsed [spec]:
+    a comma-separated list of [site:kind] or [site:kind\@n] entries,
+    where [\@n] fires on the [n]-th hit of that site (default 1), once.
+    The pseudo-site [store] arms both [store-read] and [store-write].
+    [Error] names the offending entry (unknown site, kind not
+    meaningful there, bad count). *)
+
+val disarm : unit -> unit
+(** Clears the armed set (and all hit counters). *)
+
+val armed : unit -> bool
+
+val spec_doc : string
+(** One-line grammar of the spec, for [--help] texts. *)
+
+exception Injected of { site : string }
+(** What a [raise]-kind injection at a {e store} site raises: a stand-in
+    for an I/O error, absorbed by the store's catch-all. Compute and
+    reader sites raise the typed {!Budget.Internal_error} instead, so
+    the injection takes the exact path a real invariant break would. *)
+
+(** {2 Check points}
+
+    Both are a single [ref] read when nothing is armed. *)
+
+val check : string -> unit
+(** [check site] is called at the site's boundary. If a [raise] or
+    [wall] injection is armed for [site] and its hit count is reached,
+    fires the corresponding exception; otherwise returns unit. *)
+
+val take_corrupt : string -> bool
+(** [take_corrupt site] is called where the site can damage data in a
+    detectable way. [true] exactly once, when an armed [corrupt]
+    injection for [site] reaches its hit count. *)

@@ -45,21 +45,25 @@ let compute_min_yields (g : Grammar.t) =
            (Grammar.nonterminal_name g nt))
     else yield.(nt)
 
-(* A small move-to-front cache keyed by physical equality: grammars are
-   immutable, and callers typically alternate between at most a couple
-   of them (original and reduced). *)
-let cache : (Grammar.t * (int -> string list)) list ref = ref []
+(* A small move-to-front cache keyed by content digest: a yield is a
+   function of grammar structure alone, so two structurally equal
+   grammars — the caller's copy and the one rehydrated from the
+   artifact store, say — must share an entry. Physical equality would
+   miss there, recomputing the fixpoint for every store-served
+   grammar. *)
+let cache : (string * (int -> string list)) list ref = ref []
 let cache_limit = 8
 
 let min_yields g =
-  match List.find_opt (fun (g', _) -> g' == g) !cache with
+  let key = Grammar.digest g in
+  match List.find_opt (fun (k, _) -> String.equal k key) !cache with
   | Some (_, f) -> f
   | None ->
       let f = compute_min_yields g in
       let survivors =
         List.filteri (fun i _ -> i < cache_limit - 1) !cache
       in
-      cache := (g, f) :: survivors;
+      cache := (key, f) :: survivors;
       f
 
 let min_yield g nt = min_yields g nt

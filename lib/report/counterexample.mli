@@ -22,8 +22,16 @@ type example = {
 val min_yield : Grammar.t -> int -> string list
 (** A minimal-length terminal string derivable from the nonterminal.
     Raises [Invalid_argument] on an unproductive nonterminal. The
-    underlying fixpoint is memoised per grammar (physical equality, a
-    small bounded cache), so repeated queries are O(answer). *)
+    underlying fixpoint is memoised per grammar {e content}
+    ({!Grammar.digest}, a small bounded cache), so repeated queries are
+    O(answer) — including across structurally equal copies of the
+    grammar, such as one rehydrated from the artifact store. *)
+
+val min_yields : Grammar.t -> int -> string list
+(** The memoised yield function itself: two structurally equal
+    grammars return the {e physically} same function (the regression
+    oracle for the digest-keyed cache). Same raising behaviour as
+    {!min_yield}. *)
 
 val min_yield_opt : Grammar.t -> int -> string list option
 (** Non-raising {!min_yield}: [None] on an unproductive

@@ -1,0 +1,285 @@
+module Faultpoint = Lalr_guard.Faultpoint
+
+type t = {
+  dir : string;
+  mutable hits : int;
+  mutable misses : int;
+  mutable corrupt : int;
+  mutable writes : int;
+  mutable errors : int;
+}
+
+let format_version = 1
+
+let magic = "LALRART1"
+
+(* Marshal output is not portable across compiler versions; stamping
+   the OCaml version turns a compiler upgrade into a clean skew-miss
+   instead of an unmarshal of foreign bytes. *)
+let stamp =
+  Printf.sprintf "lalr-store-v%d/ocaml-%s" format_version Sys.ocaml_version
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ~dir =
+  (try mkdir_p dir
+   with Unix.Unix_error (e, _, _) ->
+     raise
+       (Sys_error
+          (Printf.sprintf "%s: cannot create store directory: %s" dir
+             (Unix.error_message e))));
+  if not (Sys.is_directory dir) then
+    raise (Sys_error (Printf.sprintf "%s: not a directory" dir));
+  { dir; hits = 0; misses = 0; corrupt = 0; writes = 0; errors = 0 }
+
+let create_opt ~dir = match create ~dir with
+  | t -> Some t
+  | exception Sys_error _ -> None
+
+let dir t = t.dir
+
+(* ------------------------------------------------------------------ *)
+(* Keys                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let key (g : Grammar.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Grammar.digest g);
+  Buffer.add_char buf '\x00';
+  Buffer.add_string buf stamp;
+  Buffer.add_char buf '\x00';
+  (* Locations are part of the key, not the digest: artifacts embed the
+     grammar, and diagnostics rendered from a cached entry must cite
+     the caller's file and lines, not some structurally equal twin's. *)
+  let locs = g.Grammar.locs in
+  Buffer.add_string buf locs.Grammar.source;
+  let loc (l : Grammar.loc) =
+    Buffer.add_string buf l.Grammar.file;
+    Buffer.add_char buf ':';
+    Buffer.add_string buf (string_of_int l.Grammar.line);
+    Buffer.add_char buf ';'
+  in
+  Array.iter loc locs.Grammar.prod_locs;
+  Array.iter loc locs.Grammar.term_locs;
+  Array.iter loc locs.Grammar.prec_locs;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let entry_path t g = Filename.concat t.dir (key g ^ ".art")
+
+(* ------------------------------------------------------------------ *)
+(* The bundle                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type bundle = {
+  b_grammar : Grammar.t;
+  b_analysis : Analysis.t option;
+  b_lr0 : Lalr_automaton.Lr0.t option;
+  b_relations : Lalr_core.Lalr.relations option;
+  b_follow : Lalr_core.Lalr.follow_sets option;
+  b_la : Lalr_core.Lalr.t option;
+  b_slr : Lalr_baselines.Slr.t option;
+  b_nqlalr : Lalr_baselines.Nqlalr.t option;
+  b_propagation : Lalr_baselines.Propagation.t option;
+  b_lr1 : Lalr_baselines.Lr1.t option;
+  b_tables : Lalr_tables.Tables.t option;
+  b_slr_tables : Lalr_tables.Tables.t option;
+  b_nqlalr_tables : Lalr_tables.Tables.t option;
+  b_classification : Lalr_tables.Classify.verdict option;
+  b_classification_lr1 : Lalr_tables.Classify.verdict option;
+}
+
+let empty_bundle g =
+  {
+    b_grammar = g;
+    b_analysis = None;
+    b_lr0 = None;
+    b_relations = None;
+    b_follow = None;
+    b_la = None;
+    b_slr = None;
+    b_nqlalr = None;
+    b_propagation = None;
+    b_lr1 = None;
+    b_tables = None;
+    b_slr_tables = None;
+    b_nqlalr_tables = None;
+    b_classification = None;
+    b_classification_lr1 = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let u16_be n = String.init 2 (fun i -> Char.chr ((n lsr (8 * (1 - i))) land 0xFF))
+let u64_be n = String.init 8 (fun i -> Char.chr ((n lsr (8 * (7 - i))) land 0xFF))
+
+let read_u16_be s off = (Char.code s.[off] lsl 8) lor Char.code s.[off + 1]
+
+let read_u64_be s off =
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code s.[off + i]
+  done;
+  !v
+
+(* Why the load path never trusts a single check: truncation is caught
+   by the length fields, bit-flips by the MD5 over the payload, version
+   skew by the stamp, and a same-length same-checksum impostor (or an
+   MD5 collision) by re-keying the rehydrated grammar. Only then is the
+   unmarshalled value believed. *)
+type verdict = Served of bundle | Absent | Bad of string
+
+let read_entry path want_key =
+  if not (Sys.file_exists path) then Absent
+  else
+    let raw =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    (* A read-side corruption injection damages the bytes after they
+       leave the disk — the checks below must catch it. *)
+    let raw =
+      if Faultpoint.take_corrupt "store-read" && String.length raw > 0 then begin
+        let b = Bytes.of_string raw in
+        let i = Bytes.length b - 1 in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+        Bytes.to_string b
+      end
+      else raw
+    in
+    let mlen = String.length magic in
+    if String.length raw < mlen + 2 then Bad "truncated header"
+    else if String.sub raw 0 mlen <> magic then Bad "bad magic"
+    else
+      let slen = read_u16_be raw mlen in
+      let sum_off = mlen + 2 + slen in
+      if String.length raw < sum_off then Bad "truncated stamp"
+      else if String.sub raw (mlen + 2) slen <> stamp then
+        Bad
+          (Printf.sprintf "version skew (entry %S, expected %S)"
+             (String.sub raw (mlen + 2) slen)
+             stamp)
+      else if String.length raw < sum_off + 16 + 8 then Bad "truncated frame"
+      else
+        let sum = String.sub raw sum_off 16 in
+        let plen = read_u64_be raw (sum_off + 16) in
+        let payload_off = sum_off + 16 + 8 in
+        if String.length raw - payload_off <> plen then
+          Bad
+            (Printf.sprintf "payload length mismatch (%d of %d bytes)"
+               (String.length raw - payload_off)
+               plen)
+        else
+          let payload = String.sub raw payload_off plen in
+          if Digest.string payload <> sum then Bad "payload checksum mismatch"
+          else
+            match (Marshal.from_string payload 0 : bundle) with
+            | b ->
+                if key b.b_grammar <> want_key then Bad "key mismatch"
+                else Served b
+            | exception _ -> Bad "unmarshal failure"
+
+let quarantine t path reason =
+  t.corrupt <- t.corrupt + 1;
+  try Sys.rename path (path ^ ".corrupt")
+  with _ -> (
+    ignore reason;
+    (* Even deleting may fail (read-only media): the entry will simply
+       fail the same checks next time. *)
+    try Sys.remove path with _ -> ())
+
+let load t g =
+  let path = entry_path t g in
+  try
+    Faultpoint.check "store-read";
+    match read_entry path (key g) with
+    | Served b ->
+        t.hits <- t.hits + 1;
+        Some b
+    | Absent ->
+        t.misses <- t.misses + 1;
+        None
+    | Bad reason ->
+        quarantine t path reason;
+        t.misses <- t.misses + 1;
+        None
+  with _ ->
+    (* I/O failure (or an injected one) mid-read: a miss, never an
+       escape — the store must not be able to fail the run. *)
+    t.errors <- t.errors + 1;
+    t.misses <- t.misses + 1;
+    None
+
+let save t bundle =
+  try
+    Faultpoint.check "store-write";
+    let path = entry_path t bundle.b_grammar in
+    let payload = Marshal.to_string bundle [] in
+    let sum = Digest.string payload in
+    (* A write-side corruption injection damages the payload AFTER the
+       checksum is computed — exactly the detectable-on-read shape. *)
+    let payload =
+      if Faultpoint.take_corrupt "store-write" && String.length payload > 0
+      then begin
+        let b = Bytes.of_string payload in
+        let i = Bytes.length b / 2 in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+        Bytes.to_string b
+      end
+      else payload
+    in
+    let tmp =
+      Filename.concat t.dir
+        (Printf.sprintf ".tmp.%d.%s" (Unix.getpid ())
+           (Filename.basename path))
+    in
+    let oc = open_out_bin tmp in
+    (try
+       output_string oc magic;
+       output_string oc (u16_be (String.length stamp));
+       output_string oc stamp;
+       output_string oc sum;
+       output_string oc (u64_be (String.length payload));
+       output_string oc payload;
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       (try Sys.remove tmp with _ -> ());
+       raise e);
+    Sys.rename tmp path;
+    t.writes <- t.writes + 1
+  with _ -> t.errors <- t.errors + 1
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  corrupt : int;
+  writes : int;
+  errors : int;
+}
+
+let stats (t : t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    corrupt = t.corrupt;
+    writes = t.writes;
+    errors = t.errors;
+  }
+
+let pp_stats ppf t =
+  Format.fprintf ppf
+    "store %s: %d hits, %d misses, %d corrupt, %d writes, %d errors" t.dir
+    t.hits t.misses t.corrupt t.writes t.errors

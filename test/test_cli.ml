@@ -1,0 +1,192 @@
+(* End-to-end exit-code contract: lalrgen's five documented codes
+   (0 ok / 1 verdict / 2 diagnostics / 3 budget / 4 internal), driven
+   through the real binary, plus the batch aggregate rule and the
+   --keep-going partial rendering. Deterministic fault injection stands
+   in for the failures that are otherwise hard to provoke on demand. *)
+
+let binary =
+  lazy
+    (List.find Sys.file_exists
+       [
+         (* dune runtest runs in _build/default/test with the binary
+            declared as a dep next door *)
+         Filename.concat (Filename.dirname Sys.executable_name) "../bin/lalrgen.exe";
+         "../bin/lalrgen.exe";
+         "_build/default/bin/lalrgen.exe";
+       ])
+
+(* Run the binary, capturing exit code and stdout. stderr is folded
+   into stdout so assertions can look at either stream. *)
+let run args =
+  let cmd =
+    Printf.sprintf "%s %s 2>&1"
+      (Filename.quote (Lazy.force binary))
+      (String.concat " " (List.map Filename.quote args))
+  in
+  let ic = Unix.open_process_in cmd in
+  let out = In_channel.input_all ic in
+  let code =
+    match Unix.close_process_in ic with
+    | Unix.WEXITED n -> n
+    | Unix.WSIGNALED n -> Alcotest.failf "killed by signal %d:\n%s" n out
+    | Unix.WSTOPPED n -> Alcotest.failf "stopped by signal %d:\n%s" n out
+  in
+  (code, out)
+
+let check_exit name want (code, out) =
+  if code <> want then
+    Alcotest.failf "%s: expected exit %d, got %d; output:\n%s" name want code
+      out
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let check_contains name needle (_, out) =
+  if not (contains out needle) then
+    Alcotest.failf "%s: output does not mention %S:\n%s" name needle out
+
+let temp_grammar content =
+  let path = Filename.temp_file "lalr_cli_" ".cfg" in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc content);
+  path
+
+let good_grammar () =
+  temp_grammar
+    {|
+%token plus id
+%start e
+%%
+e : e plus id | id ;
+|}
+
+(* ------------------------------------------------------------------ *)
+(* The five codes                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_exit_0_success () =
+  let r = run [ "classify"; "suite:expr" ] in
+  check_exit "clean grammar" 0 r;
+  check_contains "clean grammar" "LALR(1)" r
+
+let test_exit_1_verdict () =
+  check_exit "not LALR(1)" 1 (run [ "classify"; "suite:lr1-not-lalr" ])
+
+let test_exit_2_diagnostics () =
+  check_exit "missing file" 2 (run [ "classify"; "no/such/file.cfg" ]);
+  let broken = temp_grammar "%%\n@@nonsense@@\n" in
+  check_exit "broken grammar" 2 (run [ "classify"; broken ]);
+  Sys.remove broken
+
+let test_exit_3_budget () =
+  let g = good_grammar () in
+  let r = run [ "classify"; g; "--inject"; "follow:wall" ] in
+  Sys.remove g;
+  check_exit "injected wall" 3 r;
+  check_contains "injected wall" "budget exceeded" r
+
+let test_exit_4_internal () =
+  let g = good_grammar () in
+  let r = run [ "classify"; g; "--inject"; "la:raise" ] in
+  Sys.remove g;
+  check_exit "injected raise" 4 r;
+  check_contains "injected raise" "internal error" r
+
+let test_reader_corruption_is_diagnostics () =
+  let g = good_grammar () in
+  let r = run [ "classify"; g; "--inject"; "reader:corrupt" ] in
+  Sys.remove g;
+  check_exit "injected reader corruption" 2 r
+
+let test_store_injections_are_absorbed () =
+  let g = good_grammar () in
+  let dir = Filename.temp_file "lalr_cli_cache_" "" in
+  Sys.remove dir;
+  List.iter
+    (fun kind ->
+      check_exit
+        ("store " ^ kind ^ " absorbed")
+        0
+        (run [ "exercise"; g; "--cache"; dir; "--inject"; "store:" ^ kind ]))
+    [ "raise"; "wall"; "corrupt" ];
+  Sys.remove g
+
+(* ------------------------------------------------------------------ *)
+(* keep-going                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_keep_going_partial () =
+  let g = good_grammar () in
+  let r = run [ "classify"; g; "--keep-going"; "--inject"; "follow:wall" ] in
+  Sys.remove g;
+  (* same exit code as without --keep-going … *)
+  check_exit "keep-going preserves the code" 3 r;
+  (* … but the completed prefix is rendered, loudly marked *)
+  check_contains "keep-going" "INCOMPLETE" r;
+  check_contains "keep-going" "completed stages" r;
+  check_contains "keep-going" "relations" r
+
+(* ------------------------------------------------------------------ *)
+(* batch                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_batch_aggregate_and_isolation () =
+  let good = good_grammar () in
+  let broken = temp_grammar "%%\n@@nonsense@@\n" in
+  let r, out =
+    run [ "batch"; good; broken; "suite:lr1-not-lalr"; "suite:expr" ]
+  in
+  Sys.remove good;
+  Sys.remove broken;
+  (* max(0, 2, 1, 0) — and the jobs after the failing one still ran *)
+  check_exit "aggregate is the max" 2 (r, out);
+  let json_lines =
+    String.split_on_char '\n' out
+    |> List.filter (fun l -> String.length l > 0 && l.[0] = '{')
+  in
+  Alcotest.(check int) "one JSON line per job" 4 (List.length json_lines);
+  check_contains "good job" "\"status\":\"ok\"" (r, out);
+  check_contains "broken job" "\"status\":\"diagnostics\"" (r, out);
+  check_contains "verdict job" "\"status\":\"verdict\"" (r, out)
+
+let test_batch_retries_internal_once () =
+  (* [la:raise@2] fires on the second forcing of [la] — the second
+     job's first attempt. Its retry recomputes cleanly, so the batch
+     reports the fault as retried and the job lands on its verdict. *)
+  let r, out =
+    run [ "batch"; "suite:expr"; "suite:expr"; "--inject"; "la:raise@2" ]
+  in
+  check_exit "retried to success" 0 (r, out);
+  check_contains "retry recorded" "\"retried\":true" (r, out)
+
+let test_batch_all_clean () =
+  check_exit "all clean" 0 (run [ "batch"; "suite:expr"; "suite:lr0" ])
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "exit-codes",
+        [
+          Alcotest.test_case "0: success" `Quick test_exit_0_success;
+          Alcotest.test_case "1: verdict" `Quick test_exit_1_verdict;
+          Alcotest.test_case "2: diagnostics" `Quick test_exit_2_diagnostics;
+          Alcotest.test_case "3: budget" `Quick test_exit_3_budget;
+          Alcotest.test_case "4: internal" `Quick test_exit_4_internal;
+          Alcotest.test_case "reader corruption -> 2" `Quick
+            test_reader_corruption_is_diagnostics;
+          Alcotest.test_case "store injections -> 0" `Quick
+            test_store_injections_are_absorbed;
+        ] );
+      ( "keep-going",
+        [ Alcotest.test_case "partial render" `Quick test_keep_going_partial ] );
+      ( "batch",
+        [
+          Alcotest.test_case "aggregate and isolation" `Quick
+            test_batch_aggregate_and_isolation;
+          Alcotest.test_case "internal fault retried once" `Quick
+            test_batch_retries_internal_once;
+          Alcotest.test_case "all clean" `Quick test_batch_all_clean;
+        ] );
+    ]

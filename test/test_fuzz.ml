@@ -22,6 +22,7 @@ module Token = Lalr_runtime.Token
 module Driver = Lalr_runtime.Driver
 module Engine = Lalr_engine.Engine
 module Budget = Lalr_guard.Budget
+module Store = Lalr_store.Store
 module Registry = Lalr_suite.Registry
 module Randgen = Lalr_suite.Randgen
 
@@ -283,6 +284,83 @@ let test_wall_clock_budget () =
       Alcotest.failf "expected Ok or Budget_exceeded, got %s"
         (Format.asprintf "%a" Engine.pp_failure f)
 
+(* ------------------------------------------------------------------ *)
+(* The artifact store under random damage                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_random_damage () =
+  (* Write an entry, damage it at random (truncation, bit-flip,
+     stamp/version skew), and assert the contract: the next load is a
+     counted quarantine-and-miss — never a crash, never a served stale
+     answer — and the recompute repopulates the entry. *)
+  let st = rng 7 in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lalr_fuzz_store_%d" (Unix.getpid ()))
+  in
+  let store = Store.create ~dir in
+  for i = 1 to max 1 (iterations / 10) do
+    let g = Randgen.generate Randgen.default st in
+    guarded "store/damage" i (fun () ->
+        let e = Engine.create ~store g in
+        (match Engine.run e full_pipeline with
+        | Ok () -> ()
+        | Error f ->
+            Alcotest.failf "unbudgeted failure: %s"
+              (Format.asprintf "%a" Engine.pp_failure f));
+        Engine.persist e;
+        let path = Store.entry_path store g in
+        if not (Sys.file_exists path) then
+          Alcotest.fail "persist wrote nothing";
+        let raw = In_channel.with_open_bin path In_channel.input_all in
+        let n = String.length raw in
+        let damaged =
+          match Random.State.int st 3 with
+          | 0 -> String.sub raw 0 (Random.State.int st n)
+          | 1 ->
+              let b = Bytes.of_string raw in
+              let j = Random.State.int st n in
+              Bytes.set b j
+                (Char.chr
+                   (Char.code (Bytes.get b j)
+                   lxor (1 lsl Random.State.int st 8)));
+              Bytes.to_string b
+          | _ ->
+              (* flip inside the stamp region: a simulated build from
+                 another library or compiler version *)
+              let b = Bytes.of_string raw in
+              let j = 10 + Random.State.int st 4 in
+              Bytes.set b j (Char.chr (Char.code (Bytes.get b j) lxor 0x01));
+              Bytes.to_string b
+        in
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc damaged);
+        let before = Store.stats store in
+        (match Store.load store g with
+        | Some _ ->
+            Alcotest.failf "damaged entry served (damage left %d of %d bytes)"
+              (String.length damaged) n
+        | None -> ());
+        let after = Store.stats store in
+        if after.Store.corrupt <> before.Store.corrupt + 1 then
+          Alcotest.fail "quarantine not counted";
+        if after.Store.misses <> before.Store.misses + 1 then
+          Alcotest.fail "damaged load not counted as a miss";
+        (* miss-and-recompute: a fresh engine redoes the work cleanly
+           and repopulates the entry *)
+        let e2 = Engine.create ~store g in
+        (match Engine.run e2 full_pipeline with
+        | Ok () -> ()
+        | Error f ->
+            Alcotest.failf "recompute after quarantine failed: %s"
+              (Format.asprintf "%a" Engine.pp_failure f));
+        Engine.persist e2;
+        match Store.load store g with
+        | Some _ -> ()
+        | None -> Alcotest.fail "recompute did not repopulate the entry")
+  done
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -306,5 +384,10 @@ let () =
           Alcotest.test_case "explosion trips the budget" `Quick
             test_budget_trips_on_explosion;
           Alcotest.test_case "wall-clock cap" `Quick test_wall_clock_budget;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "random damage is miss-and-recompute" `Quick
+            test_store_random_damage;
         ] );
     ]

@@ -19,4 +19,36 @@ for mli in $(find lib -name '*.mli' | sort); do
     fi
   fi
 done
+
+# The robustness interfaces added with the artifact store carry
+# stronger promises than raising-vs-typed, and the guard pins them:
+#
+#  - the store's load/save contract is absorb-everything ("Never
+#    raises"); if that phrase disappears from the interface, either the
+#    contract was weakened (a bug) or the docs rotted (also a bug);
+#  - the fault-injection surface must keep its non-raising arming API
+#    (result-typed arm) and keep documenting the store-absorption rule
+#    the exit-code matrix is built on.
+for must in lib/store/store.mli lib/guard/faultpoint.mli; do
+  if [ ! -f "$must" ]; then
+    echo "$must: robustness interface missing (guard out of date?)" >&2
+    status=1
+  fi
+done
+if [ -f lib/store/store.mli ]; then
+  if [ "$(grep -c 'Never raises' lib/store/store.mli)" -lt 2 ]; then
+    echo "lib/store/store.mli: load/save must document the 'Never raises' absorption contract" >&2
+    status=1
+  fi
+fi
+if [ -f lib/guard/faultpoint.mli ]; then
+  if ! grep -q '(unit, string) result' lib/guard/faultpoint.mli; then
+    echo "lib/guard/faultpoint.mli: arm must stay result-typed, not raising" >&2
+    status=1
+  fi
+  if ! grep -qi 'absorb' lib/guard/faultpoint.mli; then
+    echo "lib/guard/faultpoint.mli: the store-absorption rule must stay documented" >&2
+    status=1
+  fi
+fi
 exit $status
