@@ -403,14 +403,16 @@ let bench_store () =
               in
               let e = Engine.create ~store g in
               pipeline e;
-              Engine.persist e)
+              (* Forced: this arm measures the store itself, so the
+                 skip-small policy must not dodge the write. *)
+              Engine.persist ~force:true e)
         in
         let warm_store =
           Store.create ~dir:(Printf.sprintf "%s/%s-warm" tmp_root name)
         in
         (let e = Engine.create ~store:warm_store g in
          pipeline e;
-         Engine.persist e);
+         Engine.persist ~force:true e);
         let warm =
           best_of (fun () -> pipeline (Engine.create ~store:warm_store g))
         in
@@ -446,6 +448,112 @@ let bench_store () =
   Format.printf "@.wrote BENCH_pr4.json (%d grammars)@." n
 
 (* ------------------------------------------------------------------ *)
+(* TR — tracing layer: disarmed vs armed overhead                     *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = Lalr_trace.Trace
+
+(* Like bench_store, manual best-of-N wall timing: the claim under
+   test is macro-level ("the layer costs one ref read when disarmed,
+   and arming it stays cheap"), so each row runs the full pipeline
+   from a fresh engine with tracing off and on and also refreshes the
+   store cold/warm columns under the armed session. The rows go to
+   BENCH_pr5.json, continuing the perf trajectory started by
+   BENCH_pr4.json. *)
+let bench_trace () =
+  section "bench TR — tracing: disarmed vs armed pipeline";
+  let tmp_root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lalr_bench_trace_%d" (Unix.getpid ()))
+  in
+  let pipeline e =
+    ignore (Engine.tables e);
+    ignore (Engine.classification ~with_lr1:false e)
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let reps = 5 in
+  let best_of f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t = time f in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  let armed_run f =
+    let s = Trace.start () in
+    let r = time f in
+    Trace.finish s;
+    (r, Trace.n_events s)
+  in
+  let best_armed f =
+    let best = ref infinity and events = ref 0 in
+    for _ = 1 to reps do
+      let t, n = armed_run f in
+      if t < !best then begin
+        best := t;
+        events := n
+      end
+    done;
+    (!best, !events)
+  in
+  let rows =
+    List.map
+      (fun (name, eng) ->
+        let g = Engine.grammar eng in
+        let disarmed = best_of (fun () -> pipeline (Engine.create g)) in
+        let armed, events =
+          best_armed (fun () -> pipeline (Engine.create g))
+        in
+        let warm_store =
+          Store.create ~dir:(Printf.sprintf "%s/%s-warm" tmp_root name)
+        in
+        (let e = Engine.create ~store:warm_store g in
+         pipeline e;
+         Engine.persist ~force:true e);
+        let warm =
+          best_of (fun () -> pipeline (Engine.create ~store:warm_store g))
+        in
+        Format.printf
+          "%-14s disarmed %10s   armed %10s   (%5.2fx, %3d events)   warm \
+           %10s@."
+          name
+          (Format.asprintf "%a" pp_ns (disarmed *. 1e9))
+          (Format.asprintf "%a" pp_ns (armed *. 1e9))
+          (armed /. disarmed) events
+          (Format.asprintf "%a" pp_ns (warm *. 1e9));
+        (name, disarmed, armed, events, warm))
+      (E.engines ())
+  in
+  let oc = open_out "BENCH_pr5.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"pr\": 5,\n\
+    \  \"experiment\": \"trace-disarmed-vs-armed\",\n\
+    \  \"pipeline\": \"tables + classification (no lr1)\",\n\
+    \  \"unit\": \"seconds, best of %d\",\n\
+    \  \"grammars\": [\n"
+    reps;
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, disarmed, armed, events, warm) ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"disarmed_s\": %.9f, \"armed_s\": %.9f, \
+         \"armed_overhead\": %.3f, \"events\": %d, \"warm_cache_s\": \
+         %.9f}%s\n"
+        name disarmed armed (armed /. disarmed) events warm
+        (if i = n - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Format.printf "@.wrote BENCH_pr5.json (%d grammars)@." n
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -461,13 +569,14 @@ let all =
     ("f4", bench_f4);
     ("rt", bench_rt);
     ("store", bench_store);
+    ("trace", bench_trace);
   ]
 
 let () =
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) -> names
-    | _ -> [ "t1"; "t2"; "t3"; "t4"; "f1"; "f3"; "f4"; "rt"; "store" ]
+    | _ -> [ "t1"; "t2"; "t3"; "t4"; "f1"; "f3"; "f4"; "rt"; "store"; "trace" ]
   in
   List.iter
     (fun name ->

@@ -38,6 +38,7 @@ module Budget = Lalr_guard.Budget
 module Faultpoint = Lalr_guard.Faultpoint
 module Store = Lalr_store.Store
 module Classify = Lalr_tables.Classify
+module Trace = Lalr_trace.Trace
 
 (* ------------------------------------------------------------------ *)
 (* Common arguments and loading                                       *)
@@ -138,6 +139,55 @@ let inject_arg =
     & info [ "inject" ] ~docv:"SPEC" ~doc
         ~env:(Cmd.Env.info "LALRGEN_INJECT"))
 
+let trace_arg =
+  let trace_conv =
+    let parse s =
+      (* FILE[:FORMAT] — a trailing :chrome/:jsonl/:metrics overrides
+         the extension-inferred format; any other colon is part of the
+         file name. *)
+      match String.rindex_opt s ':' with
+      | Some i -> (
+          let file = String.sub s 0 i in
+          let fmt_s = String.sub s (i + 1) (String.length s - i - 1) in
+          match Trace.format_of_name fmt_s with
+          | Some fmt when file <> "" -> Ok (file, fmt)
+          | _ -> Ok (s, Trace.infer_format s))
+      | None -> Ok (s, Trace.infer_format s)
+    in
+    let print ppf (file, fmt) =
+      Format.fprintf ppf "%s:%s" file (Trace.format_name fmt)
+    in
+    Arg.conv (parse, print)
+  in
+  let doc =
+    "Record a structured trace of the run (spans, algorithm counters) to \
+     $(docv). FORMAT is $(b,chrome) (trace-event JSON, loadable in \
+     Perfetto; the default for $(b,.json)), $(b,jsonl) (one event per \
+     line; inferred from $(b,.jsonl)) or $(b,metrics) (flat key/value \
+     dump; inferred from $(b,.txt))."
+  in
+  Arg.(
+    value
+    & opt (some trace_conv) None
+    & info [ "trace" ] ~docv:"FILE[:FORMAT]" ~doc)
+
+(* Arm the ambient trace session and register its flush. The flush is
+   registered BEFORE the pp_stats/persist hooks of [handle_engine]:
+   at_exit runs LIFO, so it executes last and the trace captures the
+   store-save events the persist hook emits. *)
+let setup_trace trace =
+  match trace with
+  | None -> ()
+  | Some (file, fmt) ->
+      let session = Trace.start () in
+      at_exit (fun () ->
+          Trace.finish session;
+          try
+            Out_channel.with_open_bin file (fun oc ->
+                Trace.write session fmt oc)
+          with Sys_error msg ->
+            Format.eprintf "lalrgen: --trace: %s@." msg)
+
 let keep_going_arg =
   let doc =
     "On budget exhaustion or internal failure, render whatever stages \
@@ -215,8 +265,9 @@ let open_store cache =
    Loading happens INSIDE the failure boundary: a reader failure
    (including an injected one) maps to the same typed exits as an
    engine failure. *)
-let handle_engine spec ~timings ?budget ?cache ?inject f =
+let handle_engine spec ~timings ?budget ?cache ?inject ?trace f =
   arm_injection inject;
+  setup_trace trace;
   let store = open_store cache in
   with_failure_boundary ?budget (fun () ->
       handle_load spec (fun g ->
@@ -251,8 +302,8 @@ let tables_of_method e m = Engine.tables_for e m
 (* ------------------------------------------------------------------ *)
 
 let classify_cmd =
-  let run spec with_lr1 try_k keep_going timings budget cache inject =
-    handle_engine spec ~timings ?budget ?cache ?inject (fun e ->
+  let run spec with_lr1 try_k keep_going timings budget cache inject trace =
+    handle_engine spec ~timings ?budget ?cache ?inject ?trace (fun e ->
         let g = Engine.grammar e in
         let use_lr1 = with_lr1 || G.n_productions g <= Engine.lr1_limit in
         let finish v =
@@ -317,15 +368,15 @@ let classify_cmd =
   Cmd.v
     (Cmd.info "classify" ~doc:"Place a grammar in the LR hierarchy")
     Term.(const run $ grammar_arg $ with_lr1 $ try_k $ keep_going_arg
-          $ timings_arg $ budget_arg $ cache_arg $ inject_arg)
+          $ timings_arg $ budget_arg $ cache_arg $ inject_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* report                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let report_cmd =
-  let run spec dump_states keep_going timings budget cache inject =
-    handle_engine spec ~timings ?budget ?cache ?inject (fun e ->
+  let run spec dump_states keep_going timings budget cache inject trace =
+    handle_engine spec ~timings ?budget ?cache ?inject ?trace (fun e ->
         if not keep_going then
           Describe.report ~dump_states Format.std_formatter e
         else
@@ -354,15 +405,15 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc:"Full analysis report (yacc -v style)")
     Term.(const run $ grammar_arg $ dump $ keep_going_arg $ timings_arg
-          $ budget_arg $ cache_arg $ inject_arg)
+          $ budget_arg $ cache_arg $ inject_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* conflicts                                                          *)
 (* ------------------------------------------------------------------ *)
 
 let conflicts_cmd =
-  let run spec m timings budget cache inject =
-    handle_engine spec ~timings ?budget ?cache ?inject (fun e ->
+  let run spec m timings budget cache inject trace =
+    handle_engine spec ~timings ?budget ?cache ?inject ?trace (fun e ->
         let tbl = tables_of_method e m in
         Describe.conflicts Format.std_formatter tbl;
         if Tables.unresolved_conflicts tbl <> [] then exit 1)
@@ -370,15 +421,15 @@ let conflicts_cmd =
   Cmd.v
     (Cmd.info "conflicts" ~doc:"Report table conflicts under a chosen method")
     Term.(const run $ grammar_arg $ method_arg $ timings_arg $ budget_arg
-          $ cache_arg $ inject_arg)
+          $ cache_arg $ inject_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* tables                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let tables_cmd =
-  let run spec m compact timings budget cache inject =
-    handle_engine spec ~timings ?budget ?cache ?inject (fun e ->
+  let run spec m compact timings budget cache inject trace =
+    handle_engine spec ~timings ?budget ?cache ?inject ?trace (fun e ->
         let tbl = tables_of_method e m in
         if compact then begin
           let module Compact = Lalr_tables.Compact in
@@ -400,15 +451,15 @@ let tables_cmd =
   Cmd.v
     (Cmd.info "tables" ~doc:"Print the ACTION/GOTO table")
     Term.(const run $ grammar_arg $ method_arg $ compact $ timings_arg
-          $ budget_arg $ cache_arg $ inject_arg)
+          $ budget_arg $ cache_arg $ inject_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* parse                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let parse_cmd =
-  let run spec tokens sexp timings budget cache inject =
-    handle_engine spec ~timings ?budget ?cache ?inject (fun e ->
+  let run spec tokens sexp timings budget cache inject trace =
+    handle_engine spec ~timings ?budget ?cache ?inject ?trace (fun e ->
         let g = Engine.grammar e in
         let tbl = Engine.tables e in
         match Token.of_names g tokens with
@@ -438,15 +489,15 @@ let parse_cmd =
   Cmd.v
     (Cmd.info "parse" ~doc:"Parse a token sequence and print the tree")
     Term.(const run $ grammar_arg $ tokens $ sexp $ timings_arg $ budget_arg
-          $ cache_arg $ inject_arg)
+          $ cache_arg $ inject_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                           *)
 (* ------------------------------------------------------------------ *)
 
 let generate_cmd =
-  let run spec m output timings budget cache inject =
-    handle_engine spec ~timings ?budget ?cache ?inject (fun e ->
+  let run spec m output timings budget cache inject trace =
+    handle_engine spec ~timings ?budget ?cache ?inject ?trace (fun e ->
         let tbl = tables_of_method e m in
         let source = Lalr_report.Codegen.emit_to_string tbl in
         match output with
@@ -466,7 +517,7 @@ let generate_cmd =
          "Emit a standalone OCaml parser module (tables + engine, no \
           library dependency)")
     Term.(const run $ grammar_arg $ method_arg $ output $ timings_arg
-          $ budget_arg $ cache_arg $ inject_arg)
+          $ budget_arg $ cache_arg $ inject_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lint                                                               *)
@@ -476,7 +527,7 @@ let lint_cmd =
   let module Lint = Lalr_lint.Engine in
   let module Diagnostic = Lalr_lint.Diagnostic in
   let run spec format severity select ignored self_check list_codes timings
-      budget =
+      budget trace =
     if list_codes then begin
       List.iter
         (fun (p : Lalr_lint.Passes.pass) ->
@@ -525,6 +576,7 @@ let lint_cmd =
           Format.eprintf "lint: a GRAMMAR argument is required@.";
           exit 2
     in
+    setup_trace trace;
     handle_load spec (fun g ->
         (* The context owns the engine: every pass and the self-check
            oracle share one memoized pipeline over this grammar. *)
@@ -602,7 +654,7 @@ let lint_cmd =
           (exit 2 iff an error-severity finding exists)")
     Term.(
       const run $ grammar_opt $ format $ severity $ select $ ignored
-      $ self_check $ list_codes $ timings_arg $ budget_arg)
+      $ self_check $ list_codes $ timings_arg $ budget_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* exercise                                                           *)
@@ -629,8 +681,8 @@ let force_all_stages e =
   ignore (Engine.classification ~with_lr1:true e)
 
 let exercise_cmd =
-  let run spec timings budget cache inject =
-    handle_engine spec ~timings ?budget ?cache ?inject (fun e ->
+  let run spec timings budget cache inject trace =
+    handle_engine spec ~timings ?budget ?cache ?inject ?trace (fun e ->
         force_all_stages e;
         let stages = Engine.stats e in
         let forced =
@@ -644,7 +696,7 @@ let exercise_cmd =
          "Force every engine stage — the driver for the fault-injection \
           matrix and for warming a $(b,--cache) directory")
     Term.(const run $ grammar_arg $ timings_arg $ budget_arg $ cache_arg
-          $ inject_arg)
+          $ inject_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* faultpoints                                                        *)
@@ -695,11 +747,15 @@ type job_result = {
   j_detail : string;
   j_lalr1 : bool option;
   j_completed : string list;
+  j_wall_ms : float;  (* whole attempt, load included *)
+  j_stages : (string * float) list;  (* forced engine stages, seconds *)
+  j_lr0_states : int option;  (* peak automaton size, when built *)
 }
 
 let batch_cmd =
-  let run files budget_spec cache inject timings =
+  let run files budget_spec cache inject timings trace =
     arm_injection inject;
+    setup_trace trace;
     (* Validate the budget spec once; each job then parses its own
        fresh copy, because a Budget.t accumulates consumption and
        isolation means no job pays for another's spending. *)
@@ -720,7 +776,7 @@ let batch_cmd =
     in
     let diag code status detail =
       { j_exit = code; j_status = status; j_detail = detail; j_lalr1 = None;
-        j_completed = [] }
+        j_completed = []; j_wall_ms = 0.; j_stages = []; j_lr0_states = None }
     in
     (* One isolated attempt: every outcome is data, nothing escapes. *)
     let attempt file =
@@ -742,6 +798,14 @@ let batch_cmd =
                   e)
           in
           Engine.persist e;
+          let stages =
+            List.filter_map
+              (fun (s : Engine.stage) ->
+                if s.Engine.forced then Some (s.Engine.stage, s.Engine.wall)
+                else None)
+              (Engine.stats e)
+          in
+          let lr0_states = Engine.peek_lr0_states e in
           match (p.Engine.pr_value, p.Engine.pr_completeness) with
           | Some v, _ ->
               let lalr1 = v.Classify.lalr1 in
@@ -751,6 +815,9 @@ let batch_cmd =
                 j_detail = "";
                 j_lalr1 = Some lalr1;
                 j_completed = p.Engine.pr_completed;
+                j_wall_ms = 0.;
+                j_stages = stages;
+                j_lr0_states = lr0_states;
               }
           | None, Engine.Complete -> assert false
           | None, Engine.Incomplete failure ->
@@ -763,6 +830,9 @@ let batch_cmd =
                 j_detail = Format.asprintf "%a" Engine.pp_failure failure;
                 j_lalr1 = None;
                 j_completed = p.Engine.pr_completed;
+                j_wall_ms = 0.;
+                j_stages = stages;
+                j_lr0_states = lr0_states;
               })
       | g_opt, errors ->
           let detail =
@@ -773,13 +843,26 @@ let batch_cmd =
           in
           diag 2 "diagnostics" detail
     in
+    (* Line schema documented in README ("Batch mode"): keep in sync. *)
     let emit file r ~retried =
       Format.printf
-        "{\"file\":\"%s\",\"exit\":%d,\"status\":\"%s\",\"retried\":%b%s%s%s}@."
-        (json_escape file) r.j_exit r.j_status retried
+        "{\"file\":\"%s\",\"exit\":%d,\"status\":\"%s\",\"retried\":%b,\"wall_ms\":%.3f%s%s%s%s%s}@."
+        (json_escape file) r.j_exit r.j_status retried r.j_wall_ms
         (match r.j_lalr1 with
         | Some b -> Printf.sprintf ",\"lalr1\":%b" b
         | None -> "")
+        (match r.j_lr0_states with
+        | Some n -> Printf.sprintf ",\"lr0_states\":%d" n
+        | None -> "")
+        (if r.j_stages = [] then ""
+         else
+           Printf.sprintf ",\"stages\":{%s}"
+             (String.concat ","
+                (List.map
+                   (fun (name, wall) ->
+                     Printf.sprintf "\"%s\":%.3f" (json_escape name)
+                       (wall *. 1e3))
+                   r.j_stages)))
         (if r.j_detail = "" then ""
          else Printf.sprintf ",\"detail\":\"%s\"" (json_escape r.j_detail))
         (if r.j_completed = [] then ""
@@ -790,16 +873,28 @@ let batch_cmd =
                    (fun s -> Printf.sprintf "\"%s\"" (json_escape s))
                    r.j_completed)))
     in
+    (* One span per attempt, so a trace of a batch run shows a forest of
+       per-job trees; the measured wall covers load + analysis. *)
+    let timed_attempt file =
+      let t0 = Unix.gettimeofday () in
+      let r =
+        Trace.with_span
+          ~attrs:(fun () -> [ ("file", Trace.Str file) ])
+          "batch.job"
+          (fun () -> attempt file)
+      in
+      { r with j_wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 }
+    in
     let codes =
       List.map
         (fun file ->
-          let r1 = attempt file in
+          let r1 = timed_attempt file in
           (* Retry-once on internal faults: a broken invariant may be a
              transient environmental condition (and the fire-once
              injections model exactly that); a second identical failure
              is reported as final. *)
           let r, retried =
-            if r1.j_exit = 4 then (attempt file, true) else (r1, false)
+            if r1.j_exit = 4 then (timed_attempt file, true) else (r1, false)
           in
           emit file r ~retried;
           r.j_exit)
@@ -838,7 +933,80 @@ let batch_cmd =
           batch; internal faults are retried once; the exit code is the \
           maximum per-job code")
     Term.(const run $ files $ budget_spec $ cache_arg $ inject_arg
-          $ timings_arg)
+          $ timings_arg $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One JSON document profiling the structures the paper's complexity
+   argument is about: automaton sizes, relation cardinalities, the
+   Digraph solver's work (unions, stack depth, SCCs), plus the ambient
+   trace metrics gathered while computing them. CI cross-checks the
+   structural members against the metric gauges — two code paths, one
+   truth. *)
+let stats_cmd =
+  let run spec timings budget cache inject trace =
+    handle_engine spec ~timings ?budget ?cache ?inject ?trace (fun e ->
+        (* Metrics are recorded by the ambient session; arm a private
+           one when --trace didn't, so the "metrics" member is always
+           populated. It must be armed BEFORE the stages force. *)
+        let owned, session =
+          match Trace.active () with
+          | Some s -> (false, s)
+          | None -> (true, Trace.start ())
+        in
+        let la = Engine.lalr e in
+        let a = Engine.lr0 e in
+        let g = Engine.grammar e in
+        let st = Lalr.stats la in
+        let states, kernel_items, transitions = Lr0.size_report a in
+        let lalr1 = Lalr.is_lalr1 la in
+        if owned then Trace.finish session;
+        let buf = Buffer.create 2048 in
+        let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+        let scc_sizes sccs =
+          String.concat ","
+            (List.map
+               (fun scc -> string_of_int (List.length scc))
+               (List.sort
+                  (fun a b -> compare (List.length a) (List.length b))
+                  sccs))
+        in
+        let digraph_member ~unions ~max_depth ~sccs =
+          Printf.sprintf
+            "{\"unions\":%d,\"max_stack_depth\":%d,\"sccs\":%d,\"scc_sizes\":[%s]}"
+            unions max_depth (List.length sccs) (scc_sizes sccs)
+        in
+        p "{\n";
+        p "  \"grammar\": {\"source\":\"%s\",\"terminals\":%d,\"nonterminals\":%d,\"productions\":%d},\n"
+          (Trace.json_escape (G.source g))
+          (G.n_terminals g) (G.n_nonterminals g) (G.n_productions g);
+        p "  \"lr0\": {\"states\":%d,\"kernel_items\":%d,\"transitions\":%d,\"nt_transitions\":%d},\n"
+          states kernel_items transitions (Lr0.n_nt_transitions a);
+        p "  \"relations\": {\"nt_transitions\":%d,\"dr_total\":%d,\"reads_edges\":%d,\"includes_edges\":%d,\"lookback_edges\":%d,\"reductions\":%d,\"la_total\":%d},\n"
+          st.Lalr.n_nt_transitions st.Lalr.dr_total st.Lalr.reads_edges
+          st.Lalr.includes_edges st.Lalr.lookback_edges st.Lalr.n_reductions
+          st.Lalr.la_total;
+        p "  \"digraph\": {\"reads\":%s,\"includes\":%s},\n"
+          (digraph_member ~unions:st.Lalr.reads_unions
+             ~max_depth:st.Lalr.reads_max_depth ~sccs:st.Lalr.reads_sccs)
+          (digraph_member ~unions:st.Lalr.includes_unions
+             ~max_depth:st.Lalr.includes_max_depth ~sccs:st.Lalr.includes_sccs);
+        p "  \"lalr1\": %b,\n" lalr1;
+        p "  \"metrics\": %s\n" (Trace.metrics_json session);
+        p "}\n";
+        print_string (Buffer.contents buf))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Print a structural and metric profile of the analysis as one \
+          JSON document: automaton sizes, relation cardinalities, Digraph \
+          solver work (set unions, stack depth, SCC histogram), and the \
+          trace metrics recorded while computing them")
+    Term.(const run $ grammar_arg $ timings_arg $ budget_arg $ cache_arg
+          $ inject_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* suite                                                              *)
@@ -865,6 +1033,6 @@ let () =
        (Cmd.group info
           [
             classify_cmd; report_cmd; conflicts_cmd; tables_cmd; parse_cmd;
-            generate_cmd; lint_cmd; batch_cmd; exercise_cmd; faultpoints_cmd;
-            suite_cmd;
+            generate_cmd; lint_cmd; batch_cmd; exercise_cmd; stats_cmd;
+            faultpoints_cmd; suite_cmd;
           ]))

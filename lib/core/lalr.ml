@@ -2,6 +2,7 @@ module Bitset = Lalr_sets.Bitset
 module Digraph = Lalr_sets.Digraph
 module Lr0 = Lalr_automaton.Lr0
 module Budget = Lalr_guard.Budget
+module Trace = Lalr_trace.Trace
 
 type diagnostic = Reads_cycle of int list | Includes_cycle of int list
 
@@ -15,6 +16,10 @@ type stats = {
   la_total : int;
   reads_sccs : int list list;
   includes_sccs : int list list;
+  reads_unions : int;
+  includes_unions : int;
+  reads_max_depth : int;
+  includes_max_depth : int;
 }
 
 type t = {
@@ -150,6 +155,18 @@ let relations ?analysis (a : Lr0.t) =
         end)
       (Grammar.productions_of g aa)
   done;
+  (* The relation cardinalities — the sizes the paper's complexity
+     bound is linear in. The folds only run while a session is armed. *)
+  if Trace.enabled () then begin
+    Trace.gauge_int "lalr.nt_transitions" nx;
+    Trace.gauge_int "lalr.dr.total"
+      (Array.fold_left (fun acc s -> acc + Bitset.cardinal s) 0 dr);
+    Trace.gauge_int "lalr.reads.edges"
+      (Array.fold_left (fun acc l -> acc + List.length l) 0 reads);
+    Trace.gauge_int "lalr.includes.edges" !includes_edges;
+    Trace.gauge_int "lalr.lookback.edges" !lookback_edges;
+    Trace.gauge_int "lalr.reductions" !n_red
+  end;
   {
     r_automaton = a;
     r_analysis = analysis;
@@ -172,25 +189,44 @@ type follow_sets = {
   f_follow : Bitset.t array;
   f_reads_sccs : int list list;
   f_includes_sccs : int list list;
+  f_reads_digraph : Digraph.stats;
+  f_includes_digraph : Digraph.stats;
 }
+
+(* Emit one Digraph run's structural profile: the solver internals the
+   paper's linearity argument is about. Nothing here runs disarmed. *)
+let trace_digraph relation (st : Digraph.stats) =
+  let key suffix = Printf.sprintf "lalr.%s.%s" relation suffix in
+  Trace.gauge_int (key "unions") st.Digraph.unions;
+  Trace.gauge_int (key "max_stack_depth") st.Digraph.max_stack_depth;
+  Trace.gauge_int (key "sccs") (List.length st.Digraph.nontrivial_sccs);
+  List.iter
+    (fun scc -> Trace.observe (key "scc_size") (List.length scc))
+    st.Digraph.nontrivial_sccs
 
 let solve_follow r =
   let nx = Array.length r.r_dr in
   let read, read_stats =
-    Digraph.ForBitset.run ~n:nx
-      ~successors:(fun x -> r.r_reads.(x))
-      ~init:(fun x -> r.r_dr.(x))
+    Trace.with_span "lalr.solve.read" (fun () ->
+        Digraph.ForBitset.run ~n:nx
+          ~successors:(fun x -> r.r_reads.(x))
+          ~init:(fun x -> r.r_dr.(x)))
   in
   let follow, follow_stats =
-    Digraph.ForBitset.run ~n:nx
-      ~successors:(fun x -> r.r_includes.(x))
-      ~init:(fun x -> read.(x))
+    Trace.with_span "lalr.solve.follow" (fun () ->
+        Digraph.ForBitset.run ~n:nx
+          ~successors:(fun x -> r.r_includes.(x))
+          ~init:(fun x -> read.(x)))
   in
+  trace_digraph "reads" read_stats;
+  trace_digraph "includes" follow_stats;
   {
     f_read = read;
     f_follow = follow;
     f_reads_sccs = read_stats.Digraph.nontrivial_sccs;
     f_includes_sccs = follow_stats.Digraph.nontrivial_sccs;
+    f_reads_digraph = read_stats;
+    f_includes_digraph = follow_stats;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -227,8 +263,15 @@ let of_stages r f =
       la_total = Array.fold_left (fun acc s -> acc + Bitset.cardinal s) 0 la;
       reads_sccs = f.f_reads_sccs;
       includes_sccs = f.f_includes_sccs;
+      reads_unions = f.f_reads_digraph.Digraph.unions;
+      includes_unions = f.f_includes_digraph.Digraph.unions;
+      reads_max_depth = f.f_reads_digraph.Digraph.max_stack_depth;
+      includes_max_depth = f.f_includes_digraph.Digraph.max_stack_depth;
     }
   in
+  (* The LA union itself performs exactly one set union per lookback
+     edge; its output volume is the remaining quantity of interest. *)
+  Trace.gauge_int "lalr.la.total" stats.la_total;
   {
     automaton = r.r_automaton;
     analysis = r.r_analysis;

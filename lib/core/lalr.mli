@@ -35,6 +35,12 @@ type stats = {
   la_total : int;  (** Σ |LA| over all reductions *)
   reads_sccs : int list list;  (** nontrivial SCCs of [reads] *)
   includes_sccs : int list list;
+  reads_unions : int;
+      (** set unions performed by the [Read] Digraph run *)
+  includes_unions : int;
+      (** set unions performed by the [Follow] Digraph run *)
+  reads_max_depth : int;  (** peak Digraph stack depth, [Read] run *)
+  includes_max_depth : int;  (** peak Digraph stack depth, [Follow] run *)
 }
 
 type t
@@ -83,6 +89,9 @@ type follow_sets = {
   f_follow : Bitset.t array;
   f_reads_sccs : int list list;  (** nontrivial SCCs found in [reads] *)
   f_includes_sccs : int list list;
+  f_reads_digraph : Lalr_sets.Digraph.stats;
+      (** full solver profile of the [Read] run (unions, stack depth) *)
+  f_includes_digraph : Lalr_sets.Digraph.stats;
 }
 
 val solve_follow : relations -> follow_sets

@@ -9,9 +9,12 @@ module Classify = Lalr_tables.Classify
 module Budget = Lalr_guard.Budget
 module Faultpoint = Lalr_guard.Faultpoint
 module Store = Lalr_store.Store
+module Trace = Lalr_trace.Trace
 
 type 'a slot = {
   s_name : string;
+  s_span : string;  (* "engine.<name>", precomputed so the disarmed
+                       tracing probe allocates nothing *)
   mutable s_value : 'a option;
   mutable s_hits : int;
   mutable s_misses : int;
@@ -22,11 +25,13 @@ let slot name =
   (* Every slot is a fault-injection site; creating one for a name the
      registry does not know would silently un-test that slot. *)
   assert (Faultpoint.find_site name <> None);
-  { s_name = name; s_value = None; s_hits = 0; s_misses = 0; s_wall = 0. }
+  { s_name = name; s_span = "engine." ^ name; s_value = None; s_hits = 0;
+    s_misses = 0; s_wall = 0. }
 
 let seeded name v =
   assert (Faultpoint.find_site name <> None);
-  { s_name = name; s_value = Some v; s_hits = 0; s_misses = 0; s_wall = 0. }
+  { s_name = name; s_span = "engine." ^ name; s_value = Some v; s_hits = 0;
+    s_misses = 0; s_wall = 0. }
 
 (* Force-once: the first access computes (a miss, timed); every later
    access is a hit. Dependencies are forced by the accessors BEFORE
@@ -105,25 +110,65 @@ let create ?budget ?analysis ?store grammar =
       from_store "classification+lr1" (fun b -> b.Store.b_classification_lr1);
   }
 
+(* Each slot miss runs inside a span named after the slot; the fuel a
+   budgeted stage consumed is recorded as a gauge on the way out. Both
+   probes cost one ref read when tracing is disarmed. *)
 let forceb e slot compute =
   force slot (fun () ->
       Faultpoint.check slot.s_name;
-      match e.budget_opt with
-      | None -> compute ()
-      | Some b -> Budget.with_budget b ~stage:slot.s_name compute)
+      Trace.with_span slot.s_span (fun () ->
+          match e.budget_opt with
+          | None -> compute ()
+          | Some b ->
+              let fuel0 = Budget.consumed b Budget.Fuel in
+              let record () =
+                if Trace.enabled () then
+                  Trace.gauge
+                    ("budget.fuel." ^ slot.s_name)
+                    (Budget.consumed b Budget.Fuel -. fuel0)
+              in
+              Fun.protect
+                ~finally:record
+                (fun () -> Budget.with_budget b ~stage:slot.s_name compute)))
 
 let grammar e = e.grammar
 let budget e = e.budget_opt
 let store e = e.store_opt
 
-let persist e =
+(* Non-forcing: used by batch to report the peak LR(0) state count
+   without perturbing the force-once hit/miss counters. *)
+let peek_lr0_states e = Option.map Lr0.n_states e.lr0_s.s_value
+
+let total_wall_of slots = List.fold_left (fun acc w -> acc +. w) 0. slots
+
+let persist ?(force = false) e =
   match e.store_opt with
   | None -> ()
   | Some st ->
       (* Whatever is forced — including the completed prefix of a run
          the budget interrupted — is worth keeping for the next
-         process. Seeded slots round-trip unchanged. *)
-      Store.save st
+         process. Seeded slots round-trip unchanged.
+
+         Exception: a grammar whose whole compute took under
+         [Store.small_threshold] is cheaper to recompute than to load
+         (BENCH_pr4: warm-cache 'json' ran at 0.75x of recompute), so
+         persisting it would only slow the next run down. [~force]
+         overrides, for tests and deliberate cache warming. *)
+      let wall =
+        total_wall_of
+          [
+            e.analysis_s.s_wall; e.lr0_s.s_wall; e.relations_s.s_wall;
+            e.follow_s.s_wall; e.la_s.s_wall; e.slr_s.s_wall;
+            e.nqlalr_s.s_wall; e.propagation_s.s_wall; e.lr1_s.s_wall;
+            e.tables_s.s_wall; e.slr_tables_s.s_wall;
+            e.nqlalr_tables_s.s_wall; e.classification_s.s_wall;
+            e.classification_lr1_s.s_wall;
+          ]
+      in
+      if (not force) && wall < Store.small_threshold then
+        Store.skip_small st
+      else
+        Store.save st
         {
           Store.b_grammar = e.grammar;
           b_analysis = e.analysis_s.s_value;
@@ -177,7 +222,18 @@ let run e f =
            })
 
 let analysis e = forceb e e.analysis_s (fun () -> Analysis.compute e.grammar)
-let lr0 e = forceb e e.lr0_s (fun () -> Lr0.build e.grammar)
+
+let lr0 e =
+  forceb e e.lr0_s (fun () ->
+      let a = Lr0.build e.grammar in
+      if Trace.enabled () then begin
+        let states, kernel_items, transitions = Lr0.size_report a in
+        Trace.gauge_int "lr0.states" states;
+        Trace.gauge_int "lr0.kernel_items" kernel_items;
+        Trace.gauge_int "lr0.transitions" transitions;
+        Trace.gauge_int "lr0.nt_transitions" (Lr0.n_nt_transitions a)
+      end;
+      a)
 
 let relations e =
   let an = analysis e in

@@ -85,12 +85,24 @@ val grammar : t -> Grammar.t
 val budget : t -> Lalr_guard.Budget.t option
 val store : t -> Lalr_store.Store.t option
 
-val persist : t -> unit
+val persist : ?force:bool -> t -> unit
 (** Writes every currently forced slot to the store as one bundle
     (atomically replacing the grammar's entry); a no-op without
     [?store]. Callers run it at exit — including after a budget trip
     or a verdict exit — so the completed prefix of an interrupted
-    pipeline still warms the next process. Never raises. *)
+    pipeline still warms the next process. Never raises.
+
+    Grammars whose entire computation took less than
+    {!Lalr_store.Store.small_threshold} of wall time are {e not}
+    persisted (counted as [skipped_small] in the store's stats):
+    rehydrating them costs more than recomputing. [~force] (default
+    [false]) persists unconditionally — for tests and deliberate cache
+    warming. *)
+
+val peek_lr0_states : t -> int option
+(** The LR(0) state count if that slot is forced, without forcing it
+    (a probe for reporting layers; does not perturb hit/miss
+    counters). *)
 
 (** {2 The failure boundary}
 

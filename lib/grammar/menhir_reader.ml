@@ -520,6 +520,7 @@ let of_string ?(name = "grammar") ?source src =
   parse (make_state ~strict:true ~file:source src) ~name ~source
 
 let of_string_tolerant ?(name = "grammar") ?source src =
+  Lalr_trace.Trace.with_span "reader.menhir" @@ fun () ->
   Lalr_guard.Faultpoint.check "menhir";
   if Lalr_guard.Faultpoint.take_corrupt "menhir" then
     ( None,

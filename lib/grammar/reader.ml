@@ -499,6 +499,7 @@ let injected_corruption source =
   }
 
 let of_string_tolerant ?(name = "grammar") ?source src =
+  Lalr_trace.Trace.with_span "reader.yacc" @@ fun () ->
   Lalr_guard.Faultpoint.check "reader";
   if Lalr_guard.Faultpoint.take_corrupt "reader" then
     (None, [ injected_corruption source ])

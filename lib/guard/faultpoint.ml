@@ -1,3 +1,5 @@
+module Trace = Lalr_trace.Trace
+
 type kind = Raise | Wall | Corrupt
 
 let kind_name = function Raise -> "raise" | Wall -> "wall" | Corrupt -> "corrupt"
@@ -202,6 +204,13 @@ let hit_slow site ~corrupt =
         p.a_hits <- p.a_hits + 1;
         if p.a_hits = p.a_at then begin
           p.a_fired <- true;
+          (* Count before [fire]: it raises. *)
+          Trace.count "faultpoint.fired";
+          Trace.instant
+            ~attrs:(fun () ->
+              [ ("site", Trace.Str site);
+                ("kind", Trace.Str (kind_name p.a_kind)) ])
+            "faultpoint.fired";
           if corrupt then fired := true else fire site p.a_kind
         end
       end)

@@ -8,6 +8,8 @@ end
 type stats = {
   nodes : int;
   edges_examined : int;
+  unions : int;
+  max_stack_depth : int;
   nontrivial_sccs : int list list;
 }
 
@@ -22,7 +24,9 @@ module Make (L : LATTICE) = struct
     let value = Array.make n None in
     let stack = ref [] in
     let depth = ref 0 in
+    let max_depth = ref 0 in
     let edges = ref 0 in
+    let unions = ref 0 in
     let sccs = ref [] in
     let self_loop = Array.make n false in
     let get_value x =
@@ -30,6 +34,7 @@ module Make (L : LATTICE) = struct
     in
     let start x =
       incr depth;
+      if !depth > !max_depth then max_depth := !depth;
       stack := x :: !stack;
       numbering.(x) <- !depth;
       value.(x) <- Some (L.copy (init x))
@@ -77,6 +82,7 @@ module Make (L : LATTICE) = struct
                 else begin
                   if numbering.(y) < numbering.(x) then
                     numbering.(x) <- numbering.(y);
+                  incr unions;
                   L.union_into ~into:(get_value x) (get_value y)
                 end
             | [] ->
@@ -86,6 +92,7 @@ module Make (L : LATTICE) = struct
                 | (parent, _, _) :: _ ->
                     if numbering.(x) < numbering.(parent) then
                       numbering.(parent) <- numbering.(x);
+                    incr unions;
                     L.union_into ~into:(get_value parent) (get_value x)
                 | [] -> ()))
       done
@@ -94,7 +101,14 @@ module Make (L : LATTICE) = struct
       if numbering.(x) = 0 then visit x
     done;
     let result = Array.init n get_value in
-    (result, { nodes = n; edges_examined = !edges; nontrivial_sccs = !sccs })
+    ( result,
+      {
+        nodes = n;
+        edges_examined = !edges;
+        unions = !unions;
+        max_stack_depth = !max_depth;
+        nontrivial_sccs = !sccs;
+      } )
 end
 
 module BitsetLattice = struct

@@ -28,6 +28,11 @@ end
 type stats = {
   nodes : int;
   edges_examined : int;
+  unions : int;
+      (** [union_into] operations performed — the set-union count the
+          paper's complexity argument bounds by the edge count *)
+  max_stack_depth : int;
+      (** peak depth of the traversal stack (paper's [S]) *)
   nontrivial_sccs : int list list;
       (** SCCs of [R] containing a cycle. For the [reads] relation a
           nonempty list means the grammar is not LR(k) for any k

@@ -1,4 +1,5 @@
 module Faultpoint = Lalr_guard.Faultpoint
+module Trace = Lalr_trace.Trace
 
 type t = {
   dir : string;
@@ -7,9 +8,12 @@ type t = {
   mutable corrupt : int;
   mutable writes : int;
   mutable errors : int;
+  mutable skipped_small : int;
 }
 
-let format_version = 1
+(* 2: Lalr.stats and Lalr.follow_sets grew Digraph-profile fields in
+   the tracing PR; entries marshalled under v1 have a different shape. *)
+let format_version = 2
 
 let magic = "LALRART1"
 
@@ -35,13 +39,22 @@ let create ~dir =
              (Unix.error_message e))));
   if not (Sys.is_directory dir) then
     raise (Sys_error (Printf.sprintf "%s: not a directory" dir));
-  { dir; hits = 0; misses = 0; corrupt = 0; writes = 0; errors = 0 }
+  { dir; hits = 0; misses = 0; corrupt = 0; writes = 0; errors = 0;
+    skipped_small = 0 }
 
 let create_opt ~dir = match create ~dir with
   | t -> Some t
   | exception Sys_error _ -> None
 
 let dir t = t.dir
+
+(* Below this much compute (seconds), loading an entry costs more than
+   recomputing it (BENCH_pr4: the warm 'json' row ran at 0.75x). *)
+let small_threshold = 1e-3
+
+let skip_small t =
+  t.skipped_small <- t.skipped_small + 1;
+  Trace.count "store.skip_small"
 
 (* ------------------------------------------------------------------ *)
 (* Keys                                                                *)
@@ -189,6 +202,9 @@ let read_entry path want_key =
 
 let quarantine t path reason =
   t.corrupt <- t.corrupt + 1;
+  Trace.count "store.corrupt";
+  Trace.instant ~attrs:(fun () -> [ ("reason", Trace.Str reason) ])
+    "store.quarantine";
   try Sys.rename path (path ^ ".corrupt")
   with _ -> (
     ignore reason;
@@ -198,27 +214,34 @@ let quarantine t path reason =
 
 let load t g =
   let path = entry_path t g in
-  try
-    Faultpoint.check "store-read";
-    match read_entry path (key g) with
-    | Served b ->
-        t.hits <- t.hits + 1;
-        Some b
-    | Absent ->
+  Trace.with_span "store.load" (fun () ->
+      try
+        Faultpoint.check "store-read";
+        match read_entry path (key g) with
+        | Served b ->
+            t.hits <- t.hits + 1;
+            Trace.count "store.hit";
+            Some b
+        | Absent ->
+            t.misses <- t.misses + 1;
+            Trace.count "store.miss";
+            None
+        | Bad reason ->
+            quarantine t path reason;
+            t.misses <- t.misses + 1;
+            Trace.count "store.miss";
+            None
+      with _ ->
+        (* I/O failure (or an injected one) mid-read: a miss, never an
+           escape — the store must not be able to fail the run. *)
+        t.errors <- t.errors + 1;
         t.misses <- t.misses + 1;
-        None
-    | Bad reason ->
-        quarantine t path reason;
-        t.misses <- t.misses + 1;
-        None
-  with _ ->
-    (* I/O failure (or an injected one) mid-read: a miss, never an
-       escape — the store must not be able to fail the run. *)
-    t.errors <- t.errors + 1;
-    t.misses <- t.misses + 1;
-    None
+        Trace.count "store.error";
+        Trace.count "store.miss";
+        None)
 
 let save t bundle =
+  Trace.with_span "store.save" @@ fun () ->
   try
     Faultpoint.check "store-write";
     let path = entry_path t bundle.b_grammar in
@@ -255,8 +278,11 @@ let save t bundle =
        (try Sys.remove tmp with _ -> ());
        raise e);
     Sys.rename tmp path;
-    t.writes <- t.writes + 1
-  with _ -> t.errors <- t.errors + 1
+    t.writes <- t.writes + 1;
+    Trace.count "store.write"
+  with _ ->
+    t.errors <- t.errors + 1;
+    Trace.count "store.error"
 
 (* ------------------------------------------------------------------ *)
 (* Observability                                                       *)
@@ -268,6 +294,7 @@ type stats = {
   corrupt : int;
   writes : int;
   errors : int;
+  skipped_small : int;
 }
 
 let stats (t : t) =
@@ -277,9 +304,11 @@ let stats (t : t) =
     corrupt = t.corrupt;
     writes = t.writes;
     errors = t.errors;
+    skipped_small = t.skipped_small;
   }
 
 let pp_stats ppf t =
   Format.fprintf ppf
-    "store %s: %d hits, %d misses, %d corrupt, %d writes, %d errors" t.dir
-    t.hits t.misses t.corrupt t.writes t.errors
+    "store %s: %d hits, %d misses, %d corrupt, %d writes, %d errors, %d \
+     skipped-small"
+    t.dir t.hits t.misses t.corrupt t.writes t.errors t.skipped_small

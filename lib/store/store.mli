@@ -62,6 +62,16 @@ val create_opt : dir:string -> t option
 
 val dir : t -> string
 
+val small_threshold : float
+(** Seconds of compute (1 ms) below which persisting a grammar is not
+    worth it: BENCH_pr4 measured warm-cache loads of sub-millisecond
+    grammars running slower than recomputation. The skip policy lives
+    in [Engine.persist]; the threshold and the counter live here. *)
+
+val skip_small : t -> unit
+(** Records that a caller declined to persist a sub-threshold grammar
+    (the [skipped_small] stat). *)
+
 val format_version : int
 (** Bumped whenever the marshalled artifact types change shape; part
     of the stamp, so entries written by other versions are skewed
@@ -124,6 +134,9 @@ type stats = {
           checksum or digest mismatch (each also counts as a miss) *)
   writes : int;  (** successful saves *)
   errors : int;  (** absorbed I/O failures (load or save) *)
+  skipped_small : int;
+      (** persists declined because the grammar computed in under
+          {!small_threshold} *)
 }
 
 val stats : t -> stats

@@ -1,0 +1,123 @@
+(** Structured tracing and metrics — the observability backbone.
+
+    The paper's claim is {e efficiency}: the Digraph/SCC solver makes
+    look-ahead computation effectively linear in the sizes of the
+    [reads]/[includes]/[lookback] relations. Wall-clock timings alone
+    cannot check a complexity argument; this layer records the
+    quantities the argument is about — relation cardinalities, SCC
+    structure, traversal stack depth, set-union operation counts —
+    alongside a span tree of where the time went.
+
+    {2 The disarmed-cost contract}
+
+    Tracing is ambient and off by default, following the
+    {!Lalr_guard.Faultpoint} pattern: every probe ({!with_span},
+    {!count}, {!gauge}, {!observe}, {!instant}) starts with a single
+    read of one mutable cell and returns immediately when no session
+    is armed. No allocation, no closure evaluation, no clock read.
+    Attribute thunks are only called while a session is armed.
+    Instrumented code therefore stays in the hot path unconditionally;
+    [bench/main.exe -- trace] measures the armed and disarmed costs.
+
+    {2 Sessions}
+
+    {!start} arms one global session; {!finish} closes any spans still
+    open and disarms it. Probes fired while no session is armed are
+    lost by design. The clock is injectable so tests produce
+    byte-deterministic output; the default is [Unix.gettimeofday]
+    (best available without extra dependencies — used only for
+    intra-process durations, never compared across processes).
+
+    {2 Sinks}
+
+    One recording serves three formats:
+    - {!Chrome}: trace-event JSON ([{"traceEvents":[...]}]), loadable
+      in Perfetto / [chrome://tracing]; spans as B/E pairs, counters
+      as C samples, instants as i events.
+    - {!Jsonl}: one JSON object per line — span begin/end, instants,
+      counter samples, then one [metric] line per final key.
+    - {!Metrics}: a flat, sorted [key value] text dump (histograms as
+      [key\[bucket\] count] lines). *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+type attr = string * value
+
+type format = Chrome | Jsonl | Metrics
+
+val format_of_name : string -> format option
+(** ["chrome"], ["jsonl"] or ["metrics"]. *)
+
+val format_name : format -> string
+
+val infer_format : string -> format
+(** From a file name: [.jsonl] → Jsonl, [.txt]/[.metrics] → Metrics,
+    anything else (canonically [.json]) → Chrome. *)
+
+type session
+
+val default_clock : unit -> float
+(** [Unix.gettimeofday], in seconds. *)
+
+val start : ?clock:(unit -> float) -> unit -> session
+(** Arms the global session (replacing any armed one). All probes in
+    the process record into it until {!finish}. *)
+
+val finish : session -> unit
+(** Emits End events for spans still open (in LIFO order), then
+    disarms the session if it is the armed one. Idempotent. *)
+
+val active : unit -> session option
+val enabled : unit -> bool
+
+(** {2 Probes} — each is one ref read when no session is armed. *)
+
+val with_span : ?attrs:(unit -> attr list) -> string -> (unit -> 'a) -> 'a
+(** Runs the thunk inside a named span. Nesting is the dynamic call
+    nesting; the End event is emitted even when the thunk raises. *)
+
+val instant : ?attrs:(unit -> attr list) -> string -> unit
+(** A point event (e.g. a faultpoint firing, a store quarantine). *)
+
+val count : ?n:int -> string -> unit
+(** Adds [n] (default 1) to a cumulative counter, and records a
+    counter sample event carrying the new total. *)
+
+val gauge : string -> float -> unit
+(** Sets a gauge to an absolute value (last write wins). *)
+
+val gauge_int : string -> int -> unit
+
+val observe : string -> int -> unit
+(** Adds one sample to a histogram (exact bucket per distinct value —
+    distributions here are small, e.g. SCC sizes). *)
+
+(** {2 Reading a session back} *)
+
+type metric =
+  | Counter of int
+  | Gauge of float
+  | Hist of (int * int) list  (** (bucket value, sample count), sorted *)
+
+val metrics : session -> (string * metric) list
+(** Final metric values, sorted by key. *)
+
+val find_counter : session -> string -> int
+(** 0 when the counter never fired. *)
+
+val n_events : session -> int
+(** Recorded event count (span begins/ends, instants, counter
+    samples) — 0 proves a code path emitted nothing. *)
+
+val write : session -> format -> out_channel -> unit
+(** Renders the session in the given format. Call after {!finish} (an
+    unfinished session may have unbalanced spans in Chrome output). *)
+
+val to_string : session -> format -> string
+
+val metrics_json : session -> string
+(** The metrics alone as one JSON object:
+    [{"counters":{..},"gauges":{..},"histograms":{"k":{"bucket":n}}}] —
+    the ["metrics"] member of [lalrgen stats] output. *)
+
+val json_escape : string -> string
+(** Shared JSON string escaping (also used by the CLI emitters). *)

@@ -164,6 +164,77 @@ let test_batch_retries_internal_once () =
 let test_batch_all_clean () =
   check_exit "all clean" 0 (run [ "batch"; "suite:expr"; "suite:lr0" ])
 
+let test_batch_line_schema () =
+  (* The always-present members of the documented line schema (README
+     "Batch mode"), plus the success-only ones on a clean job. *)
+  let r = run [ "batch"; "suite:expr" ] in
+  check_exit "clean job" 0 r;
+  List.iter
+    (fun needle -> check_contains "schema member" needle r)
+    [
+      "\"file\":\"suite:expr\""; "\"exit\":0"; "\"status\":\"ok\"";
+      "\"retried\":false"; "\"wall_ms\":"; "\"lalr1\":true";
+      "\"lr0_states\":13"; "\"stages\":{"; "\"lr0\":";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* tracing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let temp_path suffix =
+  let p = Filename.temp_file "lalr_cli_trace_" suffix in
+  Sys.remove p;
+  p
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let test_trace_chrome_sink () =
+  let out = temp_path ".json" in
+  let r = run [ "exercise"; "suite:expr"; "--trace"; out ] in
+  check_exit "traced exercise" 0 r;
+  let t = read_file out in
+  Sys.remove out;
+  List.iter
+    (fun needle ->
+      if not (contains t needle) then
+        Alcotest.failf "chrome trace lacks %S:\n%s" needle t)
+    [
+      "\"traceEvents\":["; "\"displayTimeUnit\":\"ms\"";
+      (* engine spans and the end-of-run metrics instant (no reader
+         span: suite grammars are built-in, not parsed) *)
+      "\"name\":\"engine.lr0\""; "\"name\":\"engine.classification\"";
+      "\"name\":\"metrics\""; "\"lr0.states\":13";
+    ]
+
+let test_trace_explicit_format () =
+  (* FILE:FORMAT overrides the extension: a .json path forced to the
+     flat metrics sink. *)
+  let out = temp_path ".json" in
+  let r = run [ "classify"; "suite:expr"; "--trace"; out ^ ":metrics" ] in
+  check_exit "traced classify" 0 r;
+  let t = read_file out in
+  Sys.remove out;
+  if contains t "traceEvents" then
+    Alcotest.failf "expected flat metrics, got chrome JSON:\n%s" t;
+  List.iter
+    (fun needle ->
+      if not (contains t needle) then
+        Alcotest.failf "metrics sink lacks %S:\n%s" needle t)
+    [ "lr0.states 13"; "lalr.includes.edges 10" ]
+
+let test_stats_document () =
+  let r = run [ "stats"; "suite:expr" ] in
+  check_exit "stats" 0 r;
+  (* Structural members next to the gauges recorded on the other code
+     path — the consistency CI checks with jq, pinned here on one
+     grammar. *)
+  List.iter
+    (fun needle -> check_contains "stats member" needle r)
+    [
+      "\"lr0\": {\"states\":13"; "\"reads_edges\":0"; "\"includes_edges\":10";
+      "\"lalr1\": true"; "\"lalr.includes.edges\":10"; "\"lr0.states\":13";
+    ]
+
 let () =
   Alcotest.run "cli"
     [
@@ -188,5 +259,13 @@ let () =
           Alcotest.test_case "internal fault retried once" `Quick
             test_batch_retries_internal_once;
           Alcotest.test_case "all clean" `Quick test_batch_all_clean;
+          Alcotest.test_case "line schema" `Quick test_batch_line_schema;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "chrome sink" `Quick test_trace_chrome_sink;
+          Alcotest.test_case "explicit format" `Quick
+            test_trace_explicit_format;
+          Alcotest.test_case "stats document" `Quick test_stats_document;
         ] );
     ]

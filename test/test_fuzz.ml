@@ -309,7 +309,7 @@ let test_store_random_damage () =
         | Error f ->
             Alcotest.failf "unbudgeted failure: %s"
               (Format.asprintf "%a" Engine.pp_failure f));
-        Engine.persist e;
+        Engine.persist ~force:true e;
         let path = Store.entry_path store g in
         if not (Sys.file_exists path) then
           Alcotest.fail "persist wrote nothing";
@@ -355,7 +355,7 @@ let test_store_random_damage () =
         | Error f ->
             Alcotest.failf "recompute after quarantine failed: %s"
               (Format.asprintf "%a" Engine.pp_failure f));
-        Engine.persist e2;
+        Engine.persist ~force:true e2;
         match Store.load store g with
         | Some _ -> ()
         | None -> Alcotest.fail "recompute did not repopulate the entry")

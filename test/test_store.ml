@@ -65,7 +65,7 @@ let populated g =
   let st = Store.create ~dir:(fresh_dir ()) in
   let e = Engine.create ~store:st g in
   force_all e;
-  Engine.persist e;
+  Engine.persist ~force:true e;
   let path = Store.entry_path st g in
   Alcotest.(check bool) "entry written" true (Sys.file_exists path);
   (st, path)
@@ -133,7 +133,7 @@ let check_damage name damage =
   (* the miss recomputes and repopulates *)
   let e = Engine.create ~store:st g in
   force_all e;
-  Engine.persist e;
+  Engine.persist ~force:true e;
   match Store.load st g with
   | None -> Alcotest.failf "%s: recompute did not repopulate" name
   | Some _ -> ()
@@ -168,7 +168,7 @@ let test_wrong_key () =
   let st = Store.create ~dir:(fresh_dir ()) in
   let ea = Engine.create ~store:st ga in
   force_all ea;
-  Engine.persist ea;
+  Engine.persist ~force:true ea;
   let a_path = Store.entry_path st ga in
   let b_path = Store.entry_path st gb in
   write_file b_path (read_file a_path);
@@ -191,9 +191,34 @@ let test_store_never_fails () =
     (Option.map ignore (Store.load st g));
   let e = Engine.create ~store:st g in
   force_all e;
-  Engine.persist e;
+  Engine.persist ~force:true e;
   let s = Store.stats st in
   Alcotest.(check bool) "save failure counted" true (s.Store.errors >= 1)
+
+let test_skip_small () =
+  (* A grammar this tiny computes in well under Store.small_threshold:
+     an unforced persist must decline to write, count the skip, and
+     leave no entry on disk; ~force:true must write anyway. *)
+  let g = expr () in
+  let st = Store.create ~dir:(fresh_dir ()) in
+  let e = Engine.create ~store:st g in
+  force_all e;
+  Engine.persist e;
+  let path = Store.entry_path st g in
+  Alcotest.(check bool) "no entry written" false (Sys.file_exists path);
+  let s = Store.stats st in
+  Alcotest.(check int) "skip counted" 1 s.Store.skipped_small;
+  Alcotest.(check int) "no write" 0 s.Store.writes;
+  Alcotest.(check bool)
+    "pp_stats reports it" true
+    (let rendered = Format.asprintf "%a" Store.pp_stats st in
+     let sub = "1 skipped-small" in
+     let n = String.length rendered and m = String.length sub in
+     let rec has i = i + m <= n && (String.sub rendered i m = sub || has (i + 1)) in
+     has 0);
+  Engine.persist ~force:true e;
+  Alcotest.(check bool) "forced persist writes" true (Sys.file_exists path);
+  Alcotest.(check int) "write counted" 1 (Store.stats st).Store.writes
 
 let test_distinct_sources_distinct_entries () =
   (* Same structure read from two source names: diagnostics cite
@@ -264,7 +289,7 @@ let test_injected_write_corruption_detected () =
   | Error m -> Alcotest.fail m);
   let e = Engine.create ~store:st g in
   force_all e;
-  Engine.persist e;
+  Engine.persist ~force:true e;
   Faultpoint.disarm ();
   (* the corrupted write must be caught by the next read *)
   (match Store.load st g with
@@ -346,6 +371,8 @@ let () =
           Alcotest.test_case "version skew" `Quick test_version_skew;
           Alcotest.test_case "wrong key" `Quick test_wrong_key;
           Alcotest.test_case "store never fails" `Quick test_store_never_fails;
+          Alcotest.test_case "sub-threshold persist is skipped" `Quick
+            test_skip_small;
           Alcotest.test_case "distinct sources, distinct entries" `Quick
             test_distinct_sources_distinct_entries;
         ] );
