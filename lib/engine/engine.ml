@@ -220,6 +220,23 @@ let run e f =
              stage = Budget.current_stage ();
              invariant = Printf.sprintf "assertion failed at %s:%d" file line;
            })
+  | exception ((Out_of_memory | Sys.Break) as e) ->
+      (* Asynchronous by nature: turning OOM or ctrl-C into an analysis
+         verdict would lie about the grammar. *)
+      raise e
+  | exception e ->
+      Error
+        (Internal_error
+           {
+             stage = Budget.current_stage ();
+             invariant = "unexpected exception: " ^ Printexc.to_string e;
+           })
+[@@lalr.allow
+  D004
+    "the crash-free failure boundary: any exception escaping a stage \
+     must become a typed Internal_error (exit 4), never an abort; \
+     Budget exceptions are matched first above and asynchronous \
+     Out_of_memory/Break are re-raised, so nothing typed is swallowed"]
 
 let analysis e = forceb e e.analysis_s (fun () -> Analysis.compute e.grammar)
 

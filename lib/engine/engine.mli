@@ -122,10 +122,13 @@ type failure =
 
 val run : t -> (t -> 'a) -> ('a, failure) result
 (** [run e f] applies [f e], catching {!Lalr_guard.Budget.Exceeded},
-    {!Lalr_guard.Budget.Internal_error}, [Stack_overflow] and — as a
-    backstop for invariants not yet converted to the typed form —
-    [Assert_failure]. A slot interrupted by a failure stays unforced
-    and may be re-forced under a fresh engine with looser caps. *)
+    {!Lalr_guard.Budget.Internal_error}, [Stack_overflow],
+    [Assert_failure] (a backstop for invariants not yet converted to
+    the typed form) and — last — {e any other} exception, which
+    becomes an [Internal_error] naming the current stage. Only the
+    asynchronous [Out_of_memory] and [Sys.Break] escape. A slot
+    interrupted by a failure stays unforced and may be re-forced under
+    a fresh engine with looser caps. *)
 
 val pp_failure : Format.formatter -> failure -> unit
 

@@ -95,27 +95,36 @@ let exceeded_to_json e =
 (* Ambient installation                                                *)
 (* ------------------------------------------------------------------ *)
 
-(* The ambient budget and the innermost stage name. A single mutable
-   cell, not a stack: [with_budget]/[with_stage] save and restore the
-   previous value around the thunk, which gives stack behaviour
-   without allocation on the hot no-budget path. *)
-let ambient : (t * string) option ref = ref None
+(* The ambient budget and the innermost stage name. A single
+   domain-local cell, not a stack: [with_budget]/[with_stage] save and
+   restore the previous value around the thunk, which gives stack
+   behaviour without allocation on the hot no-budget path. Domain-local
+   because a budget is the property of one job on one domain (the serve
+   model: one budget per request, one request per worker at a time);
+   the counters inside [t] stay plain mutable under that single-writer
+   rule. *)
+let ambient : (t * string) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
-let active () = !ambient <> None
-let current_stage () = match !ambient with Some (_, s) -> s | None -> "?"
+let get_ambient () = Domain.DLS.get ambient
+let set_ambient v = Domain.DLS.set ambient v
+
+let active () = get_ambient () <> None
+let current_stage () =
+  match get_ambient () with Some (_, s) -> s | None -> "?"
 
 let with_budget b ~stage f =
   if b.started = None then b.started <- Some (Unix.gettimeofday ());
-  let saved = !ambient in
-  ambient := Some (b, stage);
-  Fun.protect ~finally:(fun () -> ambient := saved) f
+  let saved = get_ambient () in
+  set_ambient (Some (b, stage));
+  Fun.protect ~finally:(fun () -> set_ambient saved) f
 
 let with_stage stage f =
-  match !ambient with
+  match get_ambient () with
   | None -> f ()
   | Some (b, _) as saved ->
-      ambient := Some (b, stage);
-      Fun.protect ~finally:(fun () -> ambient := saved) f
+      set_ambient (Some (b, stage));
+      Fun.protect ~finally:(fun () -> set_ambient saved) f
 
 (* ------------------------------------------------------------------ *)
 (* Check points                                                        *)
@@ -144,12 +153,12 @@ let check_wall_of b stage partial =
   | _ -> ()
 
 let check_wall () =
-  match !ambient with
+  match get_ambient () with
   | None -> ()
   | Some (b, stage) -> check_wall_of b stage None
 
 let burn ?(amount = 1) () =
-  match !ambient with
+  match get_ambient () with
   | None -> ()
   | Some (b, stage) ->
       b.fuel_used <- b.fuel_used + amount;
@@ -162,7 +171,7 @@ let burn ?(amount = 1) () =
       if b.ticks land wall_check_mask = 0 then check_wall_of b stage None
 
 let count_state ?partial () =
-  match !ambient with
+  match get_ambient () with
   | None -> ()
   | Some (b, stage) ->
       b.states_used <- b.states_used + 1;
@@ -174,7 +183,7 @@ let count_state ?partial () =
       check_wall_of b stage partial
 
 let count_items ?partial n =
-  match !ambient with
+  match get_ambient () with
   | None -> ()
   | Some (b, stage) ->
       b.items_used <- b.items_used + n;
@@ -185,7 +194,7 @@ let count_items ?partial n =
       | _ -> ())
 
 let broken_invariant ~stage invariant =
-  let stage = match !ambient with Some (_, s) -> s | None -> stage in
+  let stage = match get_ambient () with Some (_, s) -> s | None -> stage in
   raise (Internal_error { stage; invariant })
 
 (* ------------------------------------------------------------------ *)

@@ -18,7 +18,8 @@
     A budget is installed for the dynamic extent of a computation with
     {!with_budget}; instrumented code calls the check points
     ({!burn}, {!count_state}, {!count_items}), which are no-ops —
-    a single [ref] read — when no budget is installed. Exceeding any
+    a single domain-local read — when no budget is installed. Exceeding
+    any
     cap raises {!Exceeded} carrying a structured {!exceeded} outcome:
     the stage that was running, the resource, consumed vs. cap, and a
     description of the partial artifact when the algorithm offered

@@ -58,16 +58,20 @@ type armed_point = {
   a_site : string;
   a_kind : kind;
   a_at : int;  (* fire on the a_at-th hit of the site *)
-  mutable a_hits : int;
-  mutable a_fired : bool;
+  a_hits : int Atomic.t;
+  a_fired : bool Atomic.t;
 }
 
-(* The whole armed state behind one ref: [check]/[take_corrupt] are a
-   single read of this cell when nothing is armed (the Budget trick). *)
-let state : armed_point list ref = ref []
+(* The whole armed state behind one Atomic: [check]/[take_corrupt] are
+   a single atomic read of this cell when nothing is armed (the Budget
+   trick). The per-point hit counters are Atomic.t too, so an armed
+   matrix run stays race-free even if sites are probed from several
+   domains; arming itself (a whole-list replace) is test-harness
+   single-writer. *)
+let state : armed_point list Atomic.t = Atomic.make []
 
-let armed () = !state <> []
-let disarm () = state := []
+let armed () = Atomic.get state <> []
+let disarm () = Atomic.set state []
 
 let spec_doc =
   "comma-separated injections: site:kind or site:kind@N (fire on the N-th \
@@ -130,8 +134,8 @@ let parse_entry entry =
                              a_site = name;
                              a_kind = kind;
                              a_at = at;
-                             a_hits = 0;
-                             a_fired = false;
+                             a_hits = Atomic.make 0;
+                             a_fired = Atomic.make false;
                            }
                           :: acc)
                           rest)
@@ -148,7 +152,7 @@ let arm spec =
   else
     let rec go acc = function
       | [] ->
-          state := List.concat (List.rev acc);
+          Atomic.set state (List.concat (List.rev acc));
           Ok ()
       | e :: rest -> (
           match parse_entry e with
@@ -198,12 +202,12 @@ let hit_slow site ~corrupt =
   List.iter
     (fun p ->
       if
-        p.a_site = site && (not p.a_fired)
+        p.a_site = site
+        && (not (Atomic.get p.a_fired))
         && (if corrupt then p.a_kind = Corrupt else p.a_kind <> Corrupt)
       then begin
-        p.a_hits <- p.a_hits + 1;
-        if p.a_hits = p.a_at then begin
-          p.a_fired <- true;
+        if Atomic.fetch_and_add p.a_hits 1 + 1 = p.a_at then begin
+          Atomic.set p.a_fired true;
           (* Count before [fire]: it raises. *)
           Trace.count "faultpoint.fired";
           Trace.instant
@@ -214,11 +218,15 @@ let hit_slow site ~corrupt =
           if corrupt then fired := true else fire site p.a_kind
         end
       end)
-    !state;
+    (Atomic.get state);
   !fired
 
 let check site =
-  match !state with [] -> () | _ -> ignore (hit_slow site ~corrupt:false)
+  match Atomic.get state with
+  | [] -> ()
+  | _ -> ignore (hit_slow site ~corrupt:false)
 
 let take_corrupt site =
-  match !state with [] -> false | _ -> hit_slow site ~corrupt:true
+  match Atomic.get state with
+  | [] -> false
+  | _ -> hit_slow site ~corrupt:true

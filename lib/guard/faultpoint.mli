@@ -21,8 +21,8 @@
     run's exit code at 0 — visible only in the store counters.
 
     When nothing is armed, {!check} and {!take_corrupt} compile to a
-    single [ref] read (the same trick as {!Budget}'s check points), so
-    production runs pay nothing.
+    single [Atomic.get] (the same trick as {!Budget}'s check points),
+    so production runs pay nothing, on any number of domains.
 
     Armed via [lalrgen --inject SPEC] or [LALRGEN_INJECT]; see
     {!spec_doc} for the grammar. *)
@@ -81,7 +81,7 @@ exception Injected of { site : string }
 
 (** {2 Check points}
 
-    Both are a single [ref] read when nothing is armed. *)
+    Both are a single [Atomic.get] when nothing is armed. *)
 
 val check : string -> unit
 (** [check site] is called at the site's boundary. If a [raise] or

@@ -50,21 +50,49 @@ let compute_min_yields (g : Grammar.t) =
    grammars — the caller's copy and the one rehydrated from the
    artifact store, say — must share an entry. Physical equality would
    miss there, recomputing the fixpoint for every store-served
-   grammar. *)
-let cache : (string * (int -> string list)) list ref = ref []
+   grammar.
+
+   The cache is process-global (lint queries it once per conflict from
+   whichever domain runs the job), so it is mutex-guarded and strictly
+   size-capped: lookups promote the hit to the front, insertions evict
+   from the tail, and the list can never exceed [cache_limit] entries.
+   The fixpoint itself runs outside the lock; a losing racer adopts the
+   winner's entry so structurally equal grammars still share one
+   physical function. *)
+let cache_lock = Mutex.create ()
+
+let cache : (string * (int -> string list)) list ref =
+  ref []
+[@@lalr.allow
+  D001 "mutex-guarded: every read/write of [cache] holds [cache_lock]"]
+
 let cache_limit = 8
 
 let min_yields g =
   let key = Grammar.digest g in
-  match List.find_opt (fun (k, _) -> String.equal k key) !cache with
-  | Some (_, f) -> f
-  | None ->
+  (* Under [cache_lock]: find the entry and move it to the front. *)
+  let find_and_promote () =
+    match List.find_opt (fun (k, _) -> String.equal k key) !cache with
+    | Some (_, f) ->
+        cache :=
+          (key, f)
+          :: List.filter (fun (k, _) -> not (String.equal k key)) !cache;
+        Some f
+    | None -> None
+  in
+  match Mutex.protect cache_lock find_and_promote with
+  | Some f -> f
+  | None -> (
       let f = compute_min_yields g in
-      let survivors =
-        List.filteri (fun i _ -> i < cache_limit - 1) !cache
-      in
-      cache := (key, f) :: survivors;
-      f
+      Mutex.protect cache_lock (fun () ->
+          match find_and_promote () with
+          | Some winner -> winner
+          | None ->
+              let survivors =
+                List.filteri (fun i _ -> i < cache_limit - 1) !cache
+              in
+              cache := (key, f) :: survivors;
+              f))
 
 let min_yield g nt = min_yields g nt
 

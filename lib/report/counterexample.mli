@@ -23,9 +23,10 @@ val min_yield : Grammar.t -> int -> string list
 (** A minimal-length terminal string derivable from the nonterminal.
     Raises [Invalid_argument] on an unproductive nonterminal. The
     underlying fixpoint is memoised per grammar {e content}
-    ({!Grammar.digest}, a small bounded cache), so repeated queries are
-    O(answer) — including across structurally equal copies of the
-    grammar, such as one rehydrated from the artifact store. *)
+    ({!Grammar.digest}, a small mutex-guarded size-capped cache, safe
+    to query from any domain), so repeated queries are O(answer) —
+    including across structurally equal copies of the grammar, such as
+    one rehydrated from the artifact store. *)
 
 val min_yields : Grammar.t -> int -> string list
 (** The memoised yield function itself: two structurally equal

@@ -44,9 +44,17 @@ type session = {
   hists : (string, (int, int) Hashtbl.t) Hashtbl.t;
 }
 
-(* The whole armed state behind one ref — the Faultpoint discipline:
-   every probe is a single read of this cell when tracing is off. *)
-let current : session option ref = ref None
+(* The whole armed state behind one domain-local cell — the Faultpoint
+   discipline: every probe is a single DLS read when tracing is off.
+   Domain-local (not a shared ref, not an Atomic) because a session's
+   interior (events list, counter tables) is single-writer by design:
+   each domain arms and records its own session, which is exactly the
+   per-worker model the serve daemon needs. *)
+let current : session option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let get_current () = Domain.DLS.get current
+let set_current v = Domain.DLS.set current v
 
 let default_clock = Unix.gettimeofday
 
@@ -63,11 +71,11 @@ let start ?(clock = default_clock) () =
       hists = Hashtbl.create 16;
     }
   in
-  current := Some s;
+  set_current (Some s);
   s
 
-let active () = !current
-let enabled () = !current <> None
+let active () = get_current ()
+let enabled () = get_current () <> None
 
 let push s ev =
   s.events <- ev :: s.events;
@@ -80,8 +88,8 @@ let finish s =
       s.open_spans <- List.tl s.open_spans)
     s.open_spans;
   s.open_spans <- [];
-  match !current with
-  | Some c when c == s -> current := None
+  match get_current () with
+  | Some c when c == s -> set_current None
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -89,7 +97,7 @@ let finish s =
 (* ------------------------------------------------------------------ *)
 
 let with_span ?attrs name f =
-  match !current with
+  match get_current () with
   | None -> f ()
   | Some s ->
       let at = match attrs with None -> [] | Some g -> g () in
@@ -100,7 +108,7 @@ let with_span ?attrs name f =
           (* After [finish] (e.g. an at_exit flush that ran inside this
              span) the session is sealed: the forced End was already
              emitted, so this unwind must not add another. *)
-          match !current with
+          match get_current () with
           | Some c when c == s ->
               (match s.open_spans with
               | top :: tl when top == name || top = name ->
@@ -110,7 +118,7 @@ let with_span ?attrs name f =
           | _ -> ())
 
 let instant ?attrs name =
-  match !current with
+  match get_current () with
   | None -> ()
   | Some s ->
       let at = match attrs with None -> [] | Some g -> g () in
@@ -119,7 +127,7 @@ let instant ?attrs name =
                 attrs = at })
 
 let count ?(n = 1) name =
-  match !current with
+  match get_current () with
   | None -> ()
   | Some s ->
       let cell =
@@ -134,14 +142,14 @@ let count ?(n = 1) name =
       push s (Sample { name; ts = s.clock (); total = !cell })
 
 let gauge name v =
-  match !current with
+  match get_current () with
   | None -> ()
   | Some s -> Hashtbl.replace s.gauges name v
 
 let gauge_int name v = gauge name (float_of_int v)
 
 let observe name v =
-  match !current with
+  match get_current () with
   | None -> ()
   | Some s ->
       let h =

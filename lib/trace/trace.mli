@@ -13,15 +13,17 @@
     Tracing is ambient and off by default, following the
     {!Lalr_guard.Faultpoint} pattern: every probe ({!with_span},
     {!count}, {!gauge}, {!observe}, {!instant}) starts with a single
-    read of one mutable cell and returns immediately when no session
-    is armed. No allocation, no closure evaluation, no clock read.
+    read of one domain-local cell and returns immediately when no
+    session is armed. No allocation, no closure evaluation, no clock
+    read.
     Attribute thunks are only called while a session is armed.
     Instrumented code therefore stays in the hot path unconditionally;
     [bench/main.exe -- trace] measures the armed and disarmed costs.
 
     {2 Sessions}
 
-    {!start} arms one global session; {!finish} closes any spans still
+    {!start} arms one per-domain session; {!finish} closes any spans
+    still
     open and disarms it. Probes fired while no session is armed are
     lost by design. The clock is injectable so tests produce
     byte-deterministic output; the default is [Unix.gettimeofday]
@@ -59,8 +61,10 @@ val default_clock : unit -> float
 (** [Unix.gettimeofday], in seconds. *)
 
 val start : ?clock:(unit -> float) -> unit -> session
-(** Arms the global session (replacing any armed one). All probes in
-    the process record into it until {!finish}. *)
+(** Arms the calling domain's session (replacing any armed one). All
+    probes on this domain record into it until {!finish}; each domain
+    has its own session slot (the serve model: one session per
+    worker). *)
 
 val finish : session -> unit
 (** Emits End events for spans still open (in LIFO order), then
@@ -69,7 +73,8 @@ val finish : session -> unit
 val active : unit -> session option
 val enabled : unit -> bool
 
-(** {2 Probes} — each is one ref read when no session is armed. *)
+(** {2 Probes} — each is one domain-local read when no session is
+    armed. *)
 
 val with_span : ?attrs:(unit -> attr list) -> string -> (unit -> 'a) -> 'a
 (** Runs the thunk inside a named span. Nesting is the dynamic call

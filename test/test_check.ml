@@ -1,0 +1,370 @@
+(* Tests for tools/lalr_check: each rule fires on a crafted fixture
+   with the right code and location, waivers suppress findings and
+   round-trip their reason, waiver hygiene (D006) catches malformed /
+   unknown / empty / stale waivers, the contract pins carried over from
+   the retired check_raising_mli.sh still hold, and a self-run over the
+   real repository reports zero unwaived findings. *)
+
+module Rules = Lalr_check_lib.Rules
+module Analyzer = Lalr_check_lib.Analyzer
+module Driver = Lalr_check_lib.Driver
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let is_infix ~affix hay =
+  let nh = String.length hay and na = String.length affix in
+  let rec go i = i + na <= nh && (String.sub hay i na = affix || go (i + 1)) in
+  na = 0 || go 0
+
+let run ~path src = Analyzer.check_source ~path src
+
+let findings ~path src = (run ~path src).Analyzer.r_findings
+let cells ~path src = (run ~path src).Analyzer.r_cells
+
+let codes fs =
+  List.map (fun (f : Rules.finding) -> f.Rules.code) fs
+  |> List.sort_uniq String.compare
+
+let unwaived fs =
+  List.filter (fun (f : Rules.finding) -> f.Rules.waiver = None) fs
+
+let with_code code fs =
+  List.filter (fun (f : Rules.finding) -> f.Rules.code = code) fs
+
+let fires ?(path = "lib/fixture.ml") code src =
+  with_code code (unwaived (findings ~path src)) <> []
+
+let clean ?(path = "lib/fixture.ml") src =
+  unwaived (findings ~path src) = []
+
+(* ------------------------------------------------------------------ *)
+(* D001 — module-level mutable state                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_d001_fires () =
+  check_bool "ref" true (fires "D001" "let count = ref 0\n");
+  check_bool "hashtbl" true (fires "D001" "let tbl = Hashtbl.create 16\n");
+  check_bool "array make" true (fires "D001" "let a = Array.make 4 0\n");
+  check_bool "array literal" true (fires "D001" "let a = [| 1; 2 |]\n");
+  check_bool "buffer" true (fires "D001" "let b = Buffer.create 64\n");
+  check_bool "behind let" true
+    (fires "D001" "let c = let n = 3 in ref n\n");
+  check_bool "mutable record" true
+    (fires "D001"
+       "type t = { mutable hits : int }\nlet stats = { hits = 0 }\n")
+
+let test_d001_location () =
+  match with_code "D001" (findings ~path:"lib/x.ml" "let a = 1\nlet r = ref 0\n")
+  with
+  | [ f ] ->
+      check_int "line" 2 f.Rules.line;
+      check_str "file" "lib/x.ml" f.Rules.file;
+      check_bool "severity" true (f.Rules.severity = Rules.Error)
+  | fs -> Alcotest.failf "expected exactly one D001, got %d" (List.length fs)
+
+let test_d001_not_under_fun () =
+  check_bool "inside fun" true (clean "let fresh () = ref 0\n");
+  check_bool "inside lazy" true (clean "let l = lazy (ref 0)\n");
+  check_bool "immutable record" true
+    (clean "type t = { hits : int }\nlet stats = { hits = 0 }\n")
+
+let test_d001_nested_module () =
+  check_bool "plain nested struct is still top" true
+    (fires "D001" "module M = struct let r = ref 0 end\n");
+  check_bool "functor body is per-application" true
+    (clean "module F (X : sig end) = struct let r = ref 0 end\n")
+
+let test_d001_sanctioned () =
+  let src = "let flag = Atomic.make false\nlet lock = Mutex.create ()\n" in
+  check_bool "no finding" true (clean src);
+  let cs = cells ~path:"lib/x.ml" src in
+  check_int "two cells" 2 (List.length cs);
+  check_bool "all safe" true
+    (List.for_all (fun c -> c.Rules.c_safe) cs);
+  check_bool "kinds" true
+    (List.map (fun c -> c.Rules.c_kind) cs = [ "atomic"; "mutex" ])
+
+(* ------------------------------------------------------------------ *)
+(* Waivers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_waiver_suppresses () =
+  let src =
+    "let cache = ref [] [@@lalr.allow D001 \"guarded by cache_lock\"]\n"
+  in
+  let fs = findings ~path:"lib/x.ml" src in
+  check_int "no unwaived" 0 (List.length (unwaived fs));
+  match with_code "D001" fs with
+  | [ f ] ->
+      check_bool "reason round-trips" true
+        (f.Rules.waiver = Some "guarded by cache_lock")
+  | _ -> Alcotest.fail "expected one waived D001"
+
+let test_waiver_inventory_status () =
+  let src =
+    "let cache = ref [] [@@lalr.allow D001 \"guarded\"]\n\
+     let free = Atomic.make 0\n"
+  in
+  let cs = cells ~path:"lib/x.ml" src in
+  check_int "two cells" 2 (List.length cs);
+  let cache = List.find (fun c -> c.Rules.c_name = "cache") cs in
+  check_bool "waived cell carries reason" true
+    (cache.Rules.c_reason = Some "guarded" && not cache.Rules.c_safe)
+
+let test_waiver_file_scope () =
+  let src =
+    "[@@@lalr.allow D001 \"single-domain tool\"]\n\
+     let a = ref 0\nlet b = ref 1\n"
+  in
+  check_int "both waived" 0 (List.length (unwaived (findings ~path:"lib/x.ml" src)))
+
+let test_waiver_hygiene () =
+  (* Empty reason: rejected, and the D001 it would cover stays live. *)
+  let fs = findings ~path:"lib/x.ml"
+      "let r = ref 0 [@@lalr.allow D001 \"  \"]\n" in
+  check_bool "empty reason is D006" true (codes fs = [ "D001"; "D006" ]);
+  check_int "nothing waived" 2 (List.length (unwaived fs));
+  (* Unknown rule code. *)
+  check_bool "unknown code" true
+    (fires "D006" "let x = 1 [@@lalr.allow D999 \"whatever\"]\n");
+  (* D006 itself cannot be waived. *)
+  check_bool "unwaivable D006" true
+    (fires "D006" "let x = 1 [@@lalr.allow D006 \"meta\"]\n");
+  (* Malformed payload. *)
+  check_bool "malformed" true (fires "D006" "let x = 1 [@@lalr.allow]\n")
+
+let test_waiver_stale () =
+  let fs = findings ~path:"lib/x.ml"
+      "let pure = 1 [@@lalr.allow D001 \"nothing to waive\"]\n" in
+  match with_code "D006" fs with
+  | [ f ] ->
+      check_bool "describes staleness" true
+        (f.Rules.waiver = None && is_infix ~affix:"stale" f.Rules.message)
+  | _ -> Alcotest.fail "expected one stale-waiver D006"
+
+(* ------------------------------------------------------------------ *)
+(* D002 — raising public API                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_d002_exception_without_counterpart () =
+  let src = "exception Bad of string\nval f : int -> int\n" in
+  check_bool "fires in lib" true (fires ~path:"lib/x/y.mli" "D002" src);
+  check_bool "quiet outside lib" true (clean ~path:"bin/y.mli" src)
+
+let test_d002_counterpart_silences () =
+  check_bool "option val" true
+    (clean ~path:"lib/x/y.mli"
+       "exception Bad of string\nval f_opt : int -> int option\n");
+  check_bool "result val" true
+    (clean ~path:"lib/x/y.mli"
+       "exception Bad of string\nval f : int -> (int, string) result\n")
+
+let test_d002_doc_raise () =
+  check_bool "@raise doc" true
+    (fires ~path:"lib/x/y.mli" "D002"
+       "val f : int -> int\n(** Raises [Invalid_argument] on negatives. *)\n")
+
+let test_d002_pins () =
+  (* A store.mli that stops documenting the absorption contract. *)
+  check_bool "store pin" true
+    (fires ~path:"lib/store/store.mli" "D002"
+       "type t\nval load : t -> int option\n");
+  (* The real store.mli phrasing passes. *)
+  check_bool "store pin satisfied" true
+    (clean ~path:"lib/store/store.mli"
+       "type t\nval load : t -> int option\n(** Never raises. *)\n\
+        val save : t -> unit\n(** Never raises. *)\n");
+  (* faultpoint.mli must keep arm result-typed and the absorption rule. *)
+  check_bool "faultpoint pin" true
+    (fires ~path:"lib/guard/faultpoint.mli" "D002"
+       "val arm : string -> bool\n");
+  check_bool "faultpoint pin satisfied" true
+    (clean ~path:"lib/guard/faultpoint.mli"
+       "val arm : string -> (unit, string) result\n\
+        (** The store absorbs injected faults. *)\n")
+
+(* ------------------------------------------------------------------ *)
+(* D003 / D004 / D005                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_d003 () =
+  let src = "let dump v = Marshal.to_string v []\n" in
+  check_bool "fires in lib" true (fires ~path:"lib/x/y.ml" "D003" src);
+  check_bool "fires in bin" true (fires ~path:"bin/main.ml" "D003" src);
+  check_bool "allowed in the store" true
+    (clean ~path:"lib/store/store.ml" src)
+
+let test_d004 () =
+  check_bool "try with _" true
+    (fires "D004" "let f g = try g () with _ -> 0\n");
+  check_bool "unre-raised variable" true
+    (fires "D004" "let f g = try g () with e -> ignore e; 0\n");
+  check_bool "match exception _" true
+    (fires "D004" "let f g = match g () with x -> x | exception _ -> 0\n");
+  check_bool "specific exception is fine" true
+    (clean "let f g = try g () with Not_found -> 0\n");
+  check_bool "cleanup and re-raise is fine" true
+    (clean "let f g h = try g () with e -> h (); raise e\n");
+  check_bool "async re-raise pattern is fine" true
+    (clean
+       "let f g = match g () with\n\
+        | x -> Ok x\n\
+        | exception ((Out_of_memory | Stack_overflow) as e) -> raise e\n\
+        | exception Not_found -> Error \"missing\"\n")
+
+let test_d005 () =
+  let src = "let announce () = print_endline \"done\"\n" in
+  check_bool "fires in lib" true (fires ~path:"lib/x/y.ml" "D005" src);
+  check_bool "fine in bin" true (clean ~path:"bin/main.ml" src);
+  check_bool "formatter output is fine" true
+    (clean ~path:"lib/x/y.ml"
+       "let announce ppf = Format.fprintf ppf \"done\"\n")
+
+(* ------------------------------------------------------------------ *)
+(* Driver pieces                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let report_of ~path src =
+  let r = run ~path src in
+  {
+    Driver.findings = r.Analyzer.r_findings;
+    cells = r.Analyzer.r_cells;
+    failures = [];
+  }
+
+let test_exit_codes () =
+  check_int "clean is 0" 0 (Driver.exit_code (report_of ~path:"lib/x.ml" "let a = 1\n"));
+  check_int "finding is 2" 2
+    (Driver.exit_code (report_of ~path:"lib/x.ml" "let r = ref 0\n"));
+  check_int "waived finding is 0" 0
+    (Driver.exit_code
+       (report_of ~path:"lib/x.ml"
+          "let r = ref 0 [@@lalr.allow D001 \"test\"]\n"));
+  check_int "unreadable is 2" 2
+    (Driver.exit_code
+       { Driver.findings = []; cells = []; failures = [ ("x.ml", "boom") ] })
+
+let test_json_shape () =
+  let json =
+    Driver.to_json (report_of ~path:"lib/x.ml" "let r = ref 0\n")
+  in
+  List.iter
+    (fun affix -> check_bool affix true (is_infix ~affix json))
+    [
+      "\"diagnostics\":"; "\"code\":\"D001\""; "\"severity\":\"error\"";
+      "\"file\":\"lib/x.ml\""; "\"line\":1"; "\"waived\":false";
+      "\"errors\":1"; "\"waived\":0";
+    ]
+
+let test_inventory_shape () =
+  let inv =
+    Driver.inventory_json
+      (report_of ~path:"lib/x.ml"
+         "let flag = Atomic.make false\n\
+          let r = ref 0 [@@lalr.allow D001 \"test\"]\n")
+  in
+  List.iter
+    (fun affix -> check_bool affix true (is_infix ~affix inv))
+    [
+      "\"ambient_state\":"; "\"kind\":\"atomic\""; "\"status\":\"safe\"";
+      "\"status\":\"waived\""; "\"reason\":\"test\""; "\"cells\":2";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Self-run: the repository must pass its own analyzer                 *)
+(* ------------------------------------------------------------------ *)
+
+(* dune runtest runs in _build/default/test; walk up to the source
+   root (the directory holding lib/trace/trace.ml is unambiguous). *)
+let repo_root () =
+  let rec up dir n =
+    if n = 0 then None
+    else if Sys.file_exists (Filename.concat dir "lib/trace/trace.ml") then
+      Some dir
+    else up (Filename.dirname dir) (n - 1)
+  in
+  up (Sys.getcwd ()) 8
+
+let test_self_run () =
+  match repo_root () with
+  | None -> Alcotest.skip ()
+  | Some root ->
+      let paths =
+        List.map (Filename.concat root) [ "lib"; "bin"; "bench" ]
+      in
+      let r = Driver.scan paths in
+      check_int "no unreadable files" 0 (List.length r.Driver.failures);
+      (match Driver.unwaived r with
+      | [] -> ()
+      | f :: _ ->
+          Alcotest.failf "unwaived finding: %s"
+            (Format.asprintf "%a" Rules.pp_finding f));
+      check_int "exit code" 0 (Driver.exit_code r);
+      (* Every waiver in the tree carries a non-empty reason. *)
+      List.iter
+        (fun (f : Rules.finding) ->
+          match f.Rules.waiver with
+          | Some reason ->
+              check_bool "non-empty reason" true (String.trim reason <> "")
+          | None -> ())
+        r.Driver.findings;
+      (* The inventory covers the known ambient cells and nothing is
+         unwaived. *)
+      check_bool "has cells" true (r.Driver.cells <> []);
+      List.iter
+        (fun (c : Rules.cell) ->
+          check_bool
+            (Printf.sprintf "%s:%d %s accounted" c.Rules.c_file c.Rules.c_line
+               c.Rules.c_name)
+            true
+            (c.Rules.c_safe || c.Rules.c_reason <> None))
+        r.Driver.cells
+
+let () =
+  Alcotest.run "lalr_check"
+    [
+      ( "d001",
+        [
+          Alcotest.test_case "fires" `Quick test_d001_fires;
+          Alcotest.test_case "location" `Quick test_d001_location;
+          Alcotest.test_case "not under fun" `Quick test_d001_not_under_fun;
+          Alcotest.test_case "nested modules" `Quick test_d001_nested_module;
+          Alcotest.test_case "sanctioned primitives" `Quick
+            test_d001_sanctioned;
+        ] );
+      ( "waivers",
+        [
+          Alcotest.test_case "suppresses and round-trips" `Quick
+            test_waiver_suppresses;
+          Alcotest.test_case "inventory status" `Quick
+            test_waiver_inventory_status;
+          Alcotest.test_case "file scope" `Quick test_waiver_file_scope;
+          Alcotest.test_case "hygiene" `Quick test_waiver_hygiene;
+          Alcotest.test_case "stale" `Quick test_waiver_stale;
+        ] );
+      ( "d002",
+        [
+          Alcotest.test_case "exception without counterpart" `Quick
+            test_d002_exception_without_counterpart;
+          Alcotest.test_case "counterpart silences" `Quick
+            test_d002_counterpart_silences;
+          Alcotest.test_case "@raise doc" `Quick test_d002_doc_raise;
+          Alcotest.test_case "contract pins" `Quick test_d002_pins;
+        ] );
+      ( "expressions",
+        [
+          Alcotest.test_case "d003 marshal" `Quick test_d003;
+          Alcotest.test_case "d004 catch-all" `Quick test_d004;
+          Alcotest.test_case "d005 stdout" `Quick test_d005;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "exit codes" `Quick test_exit_codes;
+          Alcotest.test_case "json shape" `Quick test_json_shape;
+          Alcotest.test_case "inventory shape" `Quick test_inventory_shape;
+        ] );
+      ( "self",
+        [ Alcotest.test_case "repository passes" `Quick test_self_run ] );
+    ]

@@ -1,0 +1,192 @@
+(* File discovery, report assembly and rendering for lalr_check.
+
+   Exit codes follow the lalrgen table (README "Exit codes"), using the
+   subset that applies to a static check: 0 ok (no unwaived finding),
+   2 diagnostics (findings, unreadable or unparseable input), 4
+   internal error. There is no verdict/budget row here. *)
+
+type report = {
+  findings : Rules.finding list;  (* waived and unwaived, sorted *)
+  cells : Rules.cell list;  (* ambient-state inventory, sorted *)
+  failures : (string * string) list;  (* file, why it could not be read *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Discovery                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let source_file path =
+  Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+
+let rec files_under path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun entry ->
+           if entry = "_build" || (entry <> "" && entry.[0] = '.') then []
+           else files_under (Filename.concat path entry))
+  else if source_file path then [ path ]
+  else []
+
+let discover paths =
+  List.concat_map
+    (fun p ->
+      if Sys.file_exists p then files_under p
+      else raise (Sys_error (Printf.sprintf "%s: no such file or directory" p)))
+    paths
+  |> List.sort_uniq String.compare
+
+(* ------------------------------------------------------------------ *)
+(* Scanning                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let scan_file path =
+  match Analyzer.check_source ~path (read_file path) with
+  | r -> Ok r
+  | exception Sys_error msg -> Error msg
+  | exception exn -> Error (Printf.sprintf "parse error: %s"
+                              (Printexc.to_string exn))
+
+(* The two robustness interfaces the retired shell guard pinned must
+   exist whenever the scan covers lib/ — a deleted store.mli must not
+   read as "no finding". *)
+let missing_pins files =
+  let scanned_lib =
+    List.exists (fun f -> Analyzer.has_component f "lib") files
+  in
+  if not scanned_lib then []
+  else
+    List.filter_map
+      (fun pin ->
+        if List.exists (fun f -> Analyzer.under f "lib" (Filename.basename (Filename.dirname pin))
+                                 && Filename.basename f = Filename.basename pin)
+             files
+        then None
+        else
+          Some
+            {
+              Rules.code = "D002";
+              severity = Rules.Error;
+              file = pin;
+              line = 1;
+              message = "robustness interface missing (contract pin)";
+              waiver = None;
+            })
+      [ "lib/store/store.mli"; "lib/guard/faultpoint.mli" ]
+
+let scan paths =
+  let files = discover paths in
+  let findings, cells, failures =
+    List.fold_left
+      (fun (fs, cs, errs) file ->
+        match scan_file file with
+        | Ok r -> (r.Analyzer.r_findings @ fs, r.Analyzer.r_cells @ cs, errs)
+        | Error msg -> (fs, cs, (file, msg) :: errs))
+      ([], [], []) files
+  in
+  {
+    findings = List.sort Rules.compare_finding (missing_pins files @ findings);
+    cells = List.sort Rules.compare_cell cells;
+    failures = List.rev failures;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let unwaived r =
+  List.filter (fun (f : Rules.finding) -> f.Rules.waiver = None) r.findings
+
+let exit_code r =
+  if r.failures <> [] then 2
+  else if
+    List.exists (fun (f : Rules.finding) -> f.Rules.severity = Rules.Error)
+      (unwaived r)
+  then 2
+  else 0
+
+let pp_text ?(show_waived = false) ppf r =
+  List.iter
+    (fun (file, msg) -> Format.fprintf ppf "%s: %s@," file msg)
+    r.failures;
+  let shown =
+    if show_waived then r.findings else unwaived r
+  in
+  List.iter (fun f -> Format.fprintf ppf "%a@," Rules.pp_finding f) shown;
+  let n = List.length (unwaived r) in
+  let w = List.length r.findings - n in
+  if n = 0 && r.failures = [] then
+    Format.fprintf ppf "lalr_check: clean (%d waived finding%s, %d ambient \
+                        cell%s)@,"
+      w (if w = 1 then "" else "s")
+      (List.length r.cells)
+      (if List.length r.cells = 1 then "" else "s")
+  else
+    Format.fprintf ppf "lalr_check: %d finding%s (%d waived), %d unreadable@,"
+      n (if n = 1 then "" else "s")
+      w (List.length r.failures)
+
+let to_json r =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\"diagnostics\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n  ";
+      Rules.finding_to_buffer buf f)
+    r.findings;
+  if r.findings <> [] then Buffer.add_char buf '\n';
+  Buffer.add_string buf "],\"failures\":[";
+  List.iteri
+    (fun i (file, msg) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n  {\"file\":";
+      Rules.json_escape_to_buffer buf file;
+      Buffer.add_string buf ",\"error\":";
+      Rules.json_escape_to_buffer buf msg;
+      Buffer.add_char buf '}')
+    r.failures;
+  if r.failures <> [] then Buffer.add_char buf '\n';
+  let count sev =
+    List.length
+      (List.filter (fun (f : Rules.finding) -> f.Rules.severity = sev)
+         (unwaived r))
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "],\"errors\":%d,\"warnings\":%d,\"waived\":%d}\n"
+       (count Rules.Error) (count Rules.Warning)
+       (List.length r.findings - List.length (unwaived r)));
+  Buffer.contents buf
+
+(* The machine-readable ambient-state inventory (--inventory): every
+   structure-level cell, sanctioned and waived alike, in a stable
+   order. The serve-daemon work consumes this; CI diffs it against a
+   committed golden so new ambient state cannot land silently. *)
+let inventory_json r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"ambient_state\":[";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n  ";
+      Rules.cell_to_buffer buf c)
+    r.cells;
+  if r.cells <> [] then Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "],\"cells\":%d}\n" (List.length r.cells));
+  Buffer.contents buf
+
+let pp_rules ppf () =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (r : Rules.rule) ->
+      Format.fprintf ppf "%s %-9s %s@," r.Rules.code
+        (Rules.severity_name r.Rules.severity)
+        r.Rules.title)
+    Rules.all;
+  Format.fprintf ppf "@]"

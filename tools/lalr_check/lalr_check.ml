@@ -1,0 +1,59 @@
+(* lalr_check — compiler-libs static analyzer for domain-safety and
+   API contracts over this repository's OCaml sources.
+
+   Usage: lalr_check [--json] [--inventory] [--show-waived] [--rules]
+                     [PATH...]
+
+   PATHs (files or directories; default: lib bin bench) are scanned for
+   .ml/.mli files, skipping _build and dot-directories. Exit 0 when the
+   tree is clean (every finding carries a source-visible waiver with a
+   reason), 2 on findings or unreadable input, 4 on an internal
+   error. *)
+
+module Driver = Lalr_check_lib.Driver
+
+let usage =
+  "usage: lalr_check [--json] [--inventory] [--show-waived] [--rules] \
+   [PATH...]\n\
+   default paths: lib bin bench"
+
+let () =
+  let json = ref false in
+  let inventory = ref false in
+  let show_waived = ref false in
+  let rules = ref false in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest -> json := true; parse rest
+    | "--inventory" :: rest -> inventory := true; parse rest
+    | "--show-waived" :: rest -> show_waived := true; parse rest
+    | "--rules" :: rest -> rules := true; parse rest
+    | ("--help" | "-h") :: _ -> print_endline usage; exit 0
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+        prerr_endline ("lalr_check: unknown option " ^ arg);
+        prerr_endline usage;
+        exit 2
+    | path :: rest -> paths := path :: !paths; parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !rules then begin
+    Format.printf "%a@." Driver.pp_rules ();
+    exit 0
+  end;
+  let paths =
+    match List.rev !paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> ps
+  in
+  match Driver.scan paths with
+  | report ->
+      if !inventory then print_string (Driver.inventory_json report)
+      else if !json then print_string (Driver.to_json report)
+      else Format.printf "@[<v>%a@]@?"
+             (Driver.pp_text ~show_waived:!show_waived) report;
+      exit (Driver.exit_code report)
+  | exception Sys_error msg ->
+      prerr_endline ("lalr_check: " ^ msg);
+      exit 2
+  | exception exn ->
+      prerr_endline ("lalr_check: internal error: " ^ Printexc.to_string exn);
+      exit 4

@@ -1,0 +1,176 @@
+(* The domain-safety / API-contract rule registry, in the style of
+   lib/lint's pass registry: stable codes, severities, one-line titles
+   for --rules and the README table, and the shared finding type the
+   walker produces and the driver renders. *)
+
+type severity = Error | Warning
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+type rule = {
+  code : string;
+  title : string;
+  severity : severity;
+  explain : string;
+}
+
+let all =
+  [
+    {
+      code = "D001";
+      title = "module-level mutable state";
+      severity = Error;
+      explain =
+        "a structure-level binding creates shared mutable state (ref, \
+         Hashtbl.create, Array.make, Bytes/Buffer/Queue/Stack, array \
+         literal, or a record with mutable fields). Convert to Atomic.t \
+         or Domain.DLS, guard with a mutex, or waive with \
+         [@@lalr.allow D001 \"reason\"].";
+    };
+    {
+      code = "D002";
+      title = "raising public API without a typed counterpart";
+      severity = Error;
+      explain =
+        "an .mli under lib/ declares an exception or documents @raise \
+         but no val in the interface offers an option- or result-typed \
+         counterpart; also pins the store/faultpoint robustness \
+         contracts (\"Never raises\" absorption, result-typed arm).";
+    };
+    {
+      code = "D003";
+      title = "Marshal outside lib/store";
+      severity = Error;
+      explain =
+        "Marshal reads arbitrary bytes as values; every use must sit \
+         behind the store's framed, checksummed, version-stamped \
+         loader (lib/store).";
+    };
+    {
+      code = "D004";
+      title = "catch-all exception handler";
+      severity = Error;
+      explain =
+        "try ... with _ -> (or a catch-all variable that is not \
+         re-raised) can swallow Budget.Exceeded and Internal_error, \
+         turning a typed failure into silent corruption. Narrow to the \
+         intended exceptions or waive with a reason.";
+    };
+    {
+      code = "D005";
+      title = "stdout printing from library code";
+      severity = Error;
+      explain =
+        "library code must not write to stdout (print_string, \
+         Printf.printf, Format.printf, ...); route output through a \
+         formatter argument or the report/trace sinks.";
+    };
+    {
+      code = "D006";
+      title = "waiver hygiene";
+      severity = Error;
+      explain =
+        "a [@@lalr.allow] attribute is malformed, names an unknown \
+         rule, carries an empty reason, or matched no finding (stale \
+         waiver).";
+    };
+  ]
+
+let find code = List.find_opt (fun r -> r.code = code) all
+
+(* A code that rules can waive; D006 findings are about the waivers
+   themselves and cannot be waived away. *)
+let waivable code = code <> "D006" && find code <> None
+
+type finding = {
+  code : string;
+  severity : severity;
+  file : string;
+  line : int;
+  message : string;
+  waiver : string option;  (* the waiver's reason when waived *)
+}
+
+let compare_finding a b =
+  let key f = (f.file, f.line, f.code, f.message) in
+  compare (key a) (key b)
+
+(* Ambient-state inventory entry: every structure-level cell the walker
+   sees — sanctioned (atomic / domain-local / lock) and waived mutable
+   alike. The serve-daemon work consumes this via --inventory. *)
+type cell = {
+  c_file : string;
+  c_line : int;
+  c_name : string;
+  c_kind : string;  (* "ref", "hashtbl", "atomic", "domain-local", ... *)
+  c_safe : bool;  (* true: sanctioned primitive, no waiver needed *)
+  c_reason : string option;  (* waiver reason for unsanctioned cells *)
+}
+
+let compare_cell a b =
+  compare (a.c_file, a.c_line, a.c_name) (b.c_file, b.c_line, b.c_name)
+
+(* ------------------------------------------------------------------ *)
+(* JSON (same minimal emitter shape as lib/lint's Diagnostic)          *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape_to_buffer buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let finding_to_buffer buf f =
+  Buffer.add_string buf "{\"code\":";
+  json_escape_to_buffer buf f.code;
+  Buffer.add_string buf ",\"severity\":";
+  json_escape_to_buffer buf (severity_name f.severity);
+  Buffer.add_string buf ",\"file\":";
+  json_escape_to_buffer buf f.file;
+  Buffer.add_string buf (Printf.sprintf ",\"line\":%d,\"message\":" f.line);
+  json_escape_to_buffer buf f.message;
+  (match f.waiver with
+  | None -> Buffer.add_string buf ",\"waived\":false"
+  | Some reason ->
+      Buffer.add_string buf ",\"waived\":true,\"reason\":";
+      json_escape_to_buffer buf reason);
+  Buffer.add_char buf '}'
+
+let cell_to_buffer buf c =
+  Buffer.add_string buf "{\"file\":";
+  json_escape_to_buffer buf c.c_file;
+  Buffer.add_string buf (Printf.sprintf ",\"line\":%d,\"name\":" c.c_line);
+  json_escape_to_buffer buf c.c_name;
+  Buffer.add_string buf ",\"kind\":";
+  json_escape_to_buffer buf c.c_kind;
+  Buffer.add_string buf
+    (Printf.sprintf ",\"status\":%s"
+       (if c.c_safe then "\"safe\""
+        else
+          match c.c_reason with
+          | Some _ -> "\"waived\""
+          | None -> "\"unwaived\""));
+  (match c.c_reason with
+  | Some reason ->
+      Buffer.add_string buf ",\"reason\":";
+      json_escape_to_buffer buf reason
+  | None -> ());
+  Buffer.add_char buf '}'
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s:%d: %s: %s [%s]%s" f.file f.line
+    (severity_name f.severity)
+    f.message f.code
+    (match f.waiver with
+    | Some reason -> Printf.sprintf " (waived: %s)" reason
+    | None -> "")
