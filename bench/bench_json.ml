@@ -1,0 +1,74 @@
+(* Tiny JSON emitter for the BENCH_pr*.json result files, so every
+   bench stage writes its rows through one tool-produced serializer
+   instead of hand-interpolated Printf templates. Values only — no
+   parsing — and just the shapes the bench tables need. *)
+
+type t =
+  | Int of int
+  | Sec of float  (** seconds, 9 decimals — the timing unit *)
+  | Ratio of float  (** speedups and overheads, 3 decimals *)
+  | Str of string
+  | Obj of (string * t) list
+  | List of t list
+
+let rec emit buf = function
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Sec s -> Buffer.add_string buf (Printf.sprintf "%.9f" s)
+  | Ratio r -> Buffer.add_string buf (Printf.sprintf "%.3f" r)
+  | Str s -> Buffer.add_string buf (Printf.sprintf "%S" s)
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf (Printf.sprintf "%S: " k);
+          emit buf v)
+        fields;
+      Buffer.add_char buf '}'
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string buf ", ";
+          emit buf v)
+        items;
+      Buffer.add_char buf ']'
+
+(* Top level rendered one field per line (the committed files are
+   diffed by humans); nested values stay compact. *)
+let write path = function
+  | Obj fields ->
+      let oc = open_out path in
+      output_string oc "{\n";
+      let n = List.length fields in
+      List.iteri
+        (fun i (k, v) ->
+          let tail = if i = n - 1 then "" else "," in
+          match v with
+          | List (_ :: _ as items) ->
+              (* Row lists get one row per line: the committed files
+                 are diffed by humans. *)
+              Printf.fprintf oc "  %S: [\n" k;
+              let m = List.length items in
+              List.iteri
+                (fun j item ->
+                  let buf = Buffer.create 256 in
+                  emit buf item;
+                  Printf.fprintf oc "    %s%s\n" (Buffer.contents buf)
+                    (if j = m - 1 then "" else ","))
+                items;
+              Printf.fprintf oc "  ]%s\n" tail
+          | _ ->
+              let buf = Buffer.create 256 in
+              emit buf v;
+              Printf.fprintf oc "  %S: %s%s\n" k (Buffer.contents buf) tail)
+        fields;
+      output_string oc "}\n";
+      close_out oc
+  | v ->
+      let oc = open_out path in
+      let buf = Buffer.create 256 in
+      emit buf v;
+      output_string oc (Buffer.contents buf);
+      output_string oc "\n";
+      close_out oc

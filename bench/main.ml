@@ -554,6 +554,121 @@ let bench_trace () =
   Format.printf "@.wrote BENCH_pr5.json (%d grammars)@." n
 
 (* ------------------------------------------------------------------ *)
+(* LY — data layout: CSR relations + arena Digraph vs the boxed path  *)
+(* ------------------------------------------------------------------ *)
+
+module Boxed = Lalr_baselines.Boxed
+module Analysis = Lalr_grammar.Analysis
+
+(* Manual wall timing again (the claim is a stage-level ratio, not a
+   microbenchmark): each sample loops the thunk enough times to be
+   well clear of clock resolution, and the row keeps the best of
+   [reps] samples per arm. *)
+let layout_reps = 5
+
+let wall_best f =
+  let time n =
+    (* Level the heap between samples (outside the timed window) so an
+       arm is not billed for garbage the previous arm left behind. *)
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int n
+  in
+  let once = time 1 in
+  let iters = min 1000 (max 1 (int_of_float (ceil (0.01 /. max once 1e-9)))) in
+  let best = ref infinity in
+  for _ = 1 to layout_reps do
+    let t = time iters in
+    if t < !best then best := t
+  done;
+  !best
+
+let bench_layout_rows grammars =
+  List.map
+    (fun (name, g) ->
+      let a = Lr0.build g in
+      let an = Analysis.compute g in
+      (* Both arms get the prebuilt analysis: the row times relation
+         construction proper, not the shared FIRST/nullable pass. *)
+      let rel_csr = wall_best (fun () -> Lalr.relations ~analysis:an a) in
+      let rel_boxed = wall_best (fun () -> Boxed.relations ~analysis:an a) in
+      let r_csr = Lalr.relations ~analysis:an a in
+      let r_boxed = Boxed.relations ~analysis:an a in
+      let solve_csr = wall_best (fun () -> Lalr.solve_follow r_csr) in
+      let solve_boxed = wall_best (fun () -> Boxed.solve_follow r_boxed) in
+      let both_csr = rel_csr +. solve_csr in
+      let both_boxed = rel_boxed +. solve_boxed in
+      let st = Lalr.stats (Lalr.of_stages r_csr (Lalr.solve_follow r_csr)) in
+      Format.printf
+        "%-14s relations %10s vs %10s (%4.2fx)   solve %10s vs %10s \
+         (%4.2fx)   total %4.2fx@."
+        name
+        (Format.asprintf "%a" pp_ns (rel_boxed *. 1e9))
+        (Format.asprintf "%a" pp_ns (rel_csr *. 1e9))
+        (rel_boxed /. rel_csr)
+        (Format.asprintf "%a" pp_ns (solve_boxed *. 1e9))
+        (Format.asprintf "%a" pp_ns (solve_csr *. 1e9))
+        (solve_boxed /. solve_csr)
+        (both_boxed /. both_csr);
+      let stage boxed csr =
+        Bench_json.(
+          Obj
+            [
+              ("boxed_s", Sec boxed);
+              ("csr_s", Sec csr);
+              ("speedup", Ratio (boxed /. csr));
+            ])
+      in
+      Bench_json.(
+        Obj
+          [
+            ("name", Str name);
+            ("nt_transitions", Int st.Lalr.n_nt_transitions);
+            ("includes_edges", Int st.Lalr.includes_edges);
+            ("lookback_edges", Int st.Lalr.lookback_edges);
+            ( "stages",
+              Obj
+                [
+                  ("relations", stage rel_boxed rel_csr);
+                  ("solve", stage solve_boxed solve_csr);
+                  ("relations_plus_solve", stage both_boxed both_csr);
+                ] );
+          ]))
+    grammars
+
+let bench_layout () =
+  section "bench LY — data layout: boxed lists vs CSR + arena Digraph";
+  let grammars =
+    Lazy.force languages
+    @ [ ("scaled-10x", Lalr_suite.Scaled.grammar ()) ]
+  in
+  let rows = bench_layout_rows grammars in
+  Bench_json.(
+    write "BENCH_pr7.json"
+      (Obj
+         [
+           ("pr", Int 7);
+           ("experiment", Str "data-layout-csr-vs-boxed");
+           ( "stages",
+             Str "relations (construction), solve (two Digraph fixpoints)" );
+           ( "unit",
+             Str
+               (Printf.sprintf "seconds per call, best of %d wall samples"
+                  layout_reps) );
+           ("grammars", List rows);
+         ]));
+  Format.printf "@.wrote BENCH_pr7.json (%d grammars)@." (List.length rows)
+
+(* The CI smoke variant: one mid-sized suite grammar, no file write —
+   it proves the stage runs and the arms agree on shape, not perf. *)
+let bench_layout_smoke () =
+  section "bench LY (smoke) — data layout, mini-c only";
+  ignore (bench_layout_rows [ ("mini-c", (Registry.find "mini-c").grammar |> Lazy.force) ])
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -570,13 +685,19 @@ let all =
     ("rt", bench_rt);
     ("store", bench_store);
     ("trace", bench_trace);
+    ("layout", bench_layout);
+    ("layout-smoke", bench_layout_smoke);
   ]
 
 let () =
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) -> names
-    | _ -> [ "t1"; "t2"; "t3"; "t4"; "f1"; "f3"; "f4"; "rt"; "store"; "trace" ]
+    | _ ->
+        [
+          "t1"; "t2"; "t3"; "t4"; "f1"; "f3"; "f4"; "rt"; "store"; "trace";
+          "layout";
+        ]
   in
   List.iter
     (fun name ->

@@ -993,6 +993,12 @@ let stats_cmd =
              ~max_depth:st.Lalr.reads_max_depth ~sccs:st.Lalr.reads_sccs)
           (digraph_member ~unions:st.Lalr.includes_unions
              ~max_depth:st.Lalr.includes_max_depth ~sccs:st.Lalr.includes_sccs);
+        let m = st.Lalr.mem in
+        p "  \"memory\": {\"reads_offsets_words\":%d,\"reads_cols_words\":%d,\"includes_offsets_words\":%d,\"includes_cols_words\":%d,\"lookback_offsets_words\":%d,\"lookback_cols_words\":%d,\"reduction_index_words\":%d},\n"
+          m.Lalr.reads_offsets_words m.Lalr.reads_cols_words
+          m.Lalr.includes_offsets_words m.Lalr.includes_cols_words
+          m.Lalr.lookback_offsets_words m.Lalr.lookback_cols_words
+          m.Lalr.reduction_index_words;
         p "  \"lalr1\": %b,\n" lalr1;
         p "  \"metrics\": %s\n" (Trace.metrics_json session);
         p "}\n";
@@ -1003,8 +1009,9 @@ let stats_cmd =
        ~doc:
          "Print a structural and metric profile of the analysis as one \
           JSON document: automaton sizes, relation cardinalities, Digraph \
-          solver work (set unions, stack depth, SCC histogram), and the \
-          trace metrics recorded while computing them")
+          solver work (set unions, stack depth, SCC histogram), the words \
+          held by the packed relation arrays, and the trace metrics \
+          recorded while computing them")
     Term.(const run $ grammar_arg $ timings_arg $ budget_arg $ cache_arg
           $ inject_arg $ trace_arg)
 

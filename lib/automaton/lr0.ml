@@ -16,6 +16,18 @@ type t = {
      -1 when undefined. *)
   goto_t : int array;
   goto_n : int array;
+  (* Packed per-state transition rows (DESIGN.md §14): state [s]'s
+     outgoing terminal edges are (tr_t_syms.(i), tr_t_tgts.(i)) for
+     i in [tr_t_offsets.(s) .. tr_t_offsets.(s+1) - 1], symbols
+     ascending; likewise tr_n_* for nonterminals. The goto tables
+     answer point lookups, these answer row scans — without the
+     O(|terminals| + |nonterminals|) dense sweep per state. *)
+  tr_t_offsets : int array;
+  tr_t_syms : int array;
+  tr_t_tgts : int array;
+  tr_n_offsets : int array;
+  tr_n_syms : int array;
+  tr_n_tgts : int array;
   reductions : int list array;
   nt_transitions : (int * int) array;
   (* (p, A) -> dense transition index, via goto_n-shaped table. *)
@@ -134,6 +146,46 @@ let build g =
           | Symbol.N m -> goto_n.((s * n_n) + m) <- target)
         edges)
     trans;
+  (* The packed rows, straight from the already-sorted edge lists
+     (terminals ascending, then nonterminals ascending per state). *)
+  let tr_t_offsets = Array.make (n + 1) 0 in
+  let tr_n_offsets = Array.make (n + 1) 0 in
+  Vec.iteri
+    (fun s edges ->
+      List.iter
+        (fun (sym, _) ->
+          match sym with
+          | Symbol.T _ -> tr_t_offsets.(s + 1) <- tr_t_offsets.(s + 1) + 1
+          | Symbol.N _ -> tr_n_offsets.(s + 1) <- tr_n_offsets.(s + 1) + 1)
+        edges)
+    trans;
+  for s = 1 to n do
+    tr_t_offsets.(s) <- tr_t_offsets.(s) + tr_t_offsets.(s - 1);
+    tr_n_offsets.(s) <- tr_n_offsets.(s) + tr_n_offsets.(s - 1)
+  done;
+  let tr_t_syms = Array.make tr_t_offsets.(n) 0 in
+  let tr_t_tgts = Array.make tr_t_offsets.(n) 0 in
+  let tr_n_syms = Array.make tr_n_offsets.(n) 0 in
+  let tr_n_tgts = Array.make tr_n_offsets.(n) 0 in
+  let fill_t = Array.make n 0 in
+  let fill_n = Array.make n 0 in
+  Vec.iteri
+    (fun s edges ->
+      List.iter
+        (fun (sym, target) ->
+          match sym with
+          | Symbol.T t ->
+              let i = tr_t_offsets.(s) + fill_t.(s) in
+              tr_t_syms.(i) <- t;
+              tr_t_tgts.(i) <- target;
+              fill_t.(s) <- fill_t.(s) + 1
+          | Symbol.N m ->
+              let i = tr_n_offsets.(s) + fill_n.(s) in
+              tr_n_syms.(i) <- m;
+              tr_n_tgts.(i) <- target;
+              fill_n.(s) <- fill_n.(s) + 1)
+        edges)
+    trans;
   let reductions =
     Array.map
       (fun st ->
@@ -162,6 +214,12 @@ let build g =
     states;
     goto_t;
     goto_n;
+    tr_t_offsets;
+    tr_t_syms;
+    tr_t_tgts;
+    tr_n_offsets;
+    tr_n_syms;
+    tr_n_tgts;
     reductions;
     nt_transitions = Vec.to_array nt_transitions;
     nt_trans_index;
@@ -184,6 +242,21 @@ let goto_exn a s sym =
            (Grammar.symbol_name a.grammar sym))
 
 let transitions a s =
+  (* Same order the dense-sweep version produced: terminals ascending,
+     then nonterminals ascending — but off the packed rows. *)
+  let acc = ref [] in
+  for i = a.tr_n_offsets.(s + 1) - 1 downto a.tr_n_offsets.(s) do
+    acc := (Symbol.N a.tr_n_syms.(i), a.tr_n_tgts.(i)) :: !acc
+  done;
+  for i = a.tr_t_offsets.(s + 1) - 1 downto a.tr_t_offsets.(s) do
+    acc := (Symbol.T a.tr_t_syms.(i), a.tr_t_tgts.(i)) :: !acc
+  done;
+  !acc
+
+(* The pre-§14 implementation of [transitions]: a dense sweep of the
+   goto rows. Kept (unused by the engine) as the frozen access pattern
+   of the boxed-layout bench baseline. *)
+let transitions_dense a s =
   let n_t = Grammar.n_terminals a.grammar in
   let n_n = Grammar.n_nonterminals a.grammar in
   let acc = ref [] in
@@ -196,6 +269,16 @@ let transitions a s =
     if v >= 0 then acc := (Symbol.T t, v) :: !acc
   done;
   !acc
+
+let iter_t_transitions a s f =
+  for i = a.tr_t_offsets.(s) to a.tr_t_offsets.(s + 1) - 1 do
+    f a.tr_t_syms.(i) a.tr_t_tgts.(i)
+  done
+
+let iter_n_transitions a s f =
+  for i = a.tr_n_offsets.(s) to a.tr_n_offsets.(s + 1) - 1 do
+    f a.tr_n_syms.(i) a.tr_n_tgts.(i)
+  done
 
 let reductions a s = a.reductions.(s)
 

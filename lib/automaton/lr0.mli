@@ -39,6 +39,23 @@ val goto_exn : t -> int -> Symbol.t -> int
 val transitions : t -> int -> (Symbol.t * int) list
 (** Out-edges of a state, terminals first, ascending ids. *)
 
+val iter_t_transitions : t -> int -> (int -> int -> unit) -> unit
+(** [iter_t_transitions a s f] calls [f terminal target] for each
+    outgoing terminal edge of state [s], terminal ids ascending — an
+    allocation-free row scan over the packed transition arrays, for
+    hot paths that the {!transitions} list (and the dense goto sweep
+    behind it) would dominate. *)
+
+val iter_n_transitions : t -> int -> (int -> int -> unit) -> unit
+(** Nonterminal counterpart of {!iter_t_transitions}. *)
+
+val transitions_dense : t -> int -> (Symbol.t * int) list
+(** The pre-data-layout implementation of {!transitions}: an
+    [O(terminals + nonterminals)] dense sweep of the goto rows. Same
+    result, kept only so the boxed-layout bench baseline
+    ({!Lalr_baselines.Boxed}) measures exactly the access pattern the
+    packed rows replaced. Not for new code. *)
+
 val reductions : t -> int -> int list
 (** Production ids of final items in the state's closure, ascending.
     Production 0's final item is never included: reaching it means

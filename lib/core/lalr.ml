@@ -1,10 +1,21 @@
 module Bitset = Lalr_sets.Bitset
+module Csr = Lalr_sets.Csr
 module Digraph = Lalr_sets.Digraph
 module Lr0 = Lalr_automaton.Lr0
 module Budget = Lalr_guard.Budget
 module Trace = Lalr_trace.Trace
 
 type diagnostic = Reads_cycle of int list | Includes_cycle of int list
+
+type mem = {
+  reads_offsets_words : int;
+  reads_cols_words : int;
+  includes_offsets_words : int;
+  includes_cols_words : int;
+  lookback_offsets_words : int;
+  lookback_cols_words : int;
+  reduction_index_words : int;
+}
 
 type stats = {
   n_nt_transitions : int;
@@ -20,20 +31,23 @@ type stats = {
   includes_unions : int;
   reads_max_depth : int;
   includes_max_depth : int;
+  mem : mem;
 }
 
 type t = {
   automaton : Lr0.t;
   analysis : Analysis.t;
   dr : Bitset.t array;
-  reads : int list array;
+  reads : Csr.t;
   read : Bitset.t array;
-  includes : int list array;
+  includes : Csr.t;
   follow : Bitset.t array;
-  (* Reductions: dense numbering of (state, production) pairs. *)
+  (* Reductions: dense numbering of (state, production) pairs, grouped
+     by state — reduction_offsets.(q) .. reduction_offsets.(q+1) - 1
+     index state q's rows of reduction_pairs. *)
   reduction_pairs : (int * int) array;
-  reduction_index : (int * int, int) Hashtbl.t;
-  lookback : int list array;  (* reduction index -> nt transition indices *)
+  reduction_offsets : int array;
+  lookback : Csr.t;  (* reduction index -> nt transition indices *)
   la : Bitset.t array;
   diagnostics : diagnostic list;
   stats : stats;
@@ -51,14 +65,28 @@ type relations = {
   r_automaton : Lr0.t;
   r_analysis : Analysis.t;
   r_dr : Bitset.t array;
-  r_reads : int list array;
-  r_includes : int list array;
-  r_lookback : int list array;
+  r_reads : Csr.t;
+  r_includes : Csr.t;
+  r_lookback : Csr.t;
   r_reduction_pairs : (int * int) array;
-  r_reduction_index : (int * int, int) Hashtbl.t;
-  r_includes_edges : int;
-  r_lookback_edges : int;
+  r_reduction_offsets : int array;
 }
+
+(* The dense reduction index: state q's reductions are the contiguous
+   rows offsets.(q) .. offsets.(q+1) - 1 of [pairs]; a state reduces a
+   handful of productions at most, so the probe is a short scan. *)
+let find_reduction_opt ~offsets ~pairs ~state ~prod =
+  if state < 0 || state + 1 >= Array.length offsets then None
+  else begin
+    let found = ref (-1) in
+    let stop = offsets.(state + 1) - 1 in
+    let i = ref offsets.(state) in
+    while !found < 0 && !i <= stop do
+      if snd pairs.(!i) = prod then found := !i;
+      incr i
+    done;
+    if !found < 0 then None else Some !found
+  end
 
 let relations ?analysis (a : Lr0.t) =
   Budget.with_stage "relations" @@ fun () ->
@@ -70,27 +98,28 @@ let relations ?analysis (a : Lr0.t) =
   let nx = Lr0.n_nt_transitions a in
 
   (* DR(p,A) = { t | goto(goto(p,A), t) defined }, and
-     reads(p,A) = { (r,C) | r = goto(p,A), goto(r,C) defined, C nullable }. *)
+     reads(p,A) = { (r,C) | r = goto(p,A), goto(r,C) defined, C nullable }.
+     Each relation is accumulated as an edge stream and laid out as
+     two-pass counted CSR; [~rev] picks the per-row order the replaced
+     cons-accumulated lists had, keeping every downstream walk
+     byte-compatible. *)
   let dr = Array.init nx (fun _ -> Bitset.create n_term) in
-  let reads = Array.make nx [] in
+  let reads_b = Csr.create_builder ~edges_hint:nx nx in
   for x = 0 to nx - 1 do
     Budget.burn ();
     let r = Lr0.nt_transition_target a x in
-    List.iter
-      (fun (sym, _) ->
-        match sym with
-        | Symbol.T t -> Bitset.add dr.(x) t
-        | Symbol.N c ->
-            if Analysis.nullable analysis c then
-              reads.(x) <- Lr0.find_nt_transition a r c :: reads.(x))
-      (Lr0.transitions a r)
+    let drx = dr.(x) in
+    Lr0.iter_t_transitions a r (fun t _ -> Bitset.add drx t);
+    Lr0.iter_n_transitions a r (fun c _ ->
+        if Analysis.nullable analysis c then
+          Csr.add reads_b ~src:x ~dst:(Lr0.find_nt_transition a r c))
   done;
+  let reads = Csr.build ~rev:true reads_b in
 
   (* includes: for each nonterminal transition (p',B) and production
      B → ω, walk ω from p'; at each nonterminal position i with nullable
      suffix, (state_before_ω_i, ω_i) includes (p',B). *)
-  let includes_rev = Array.make nx [] in
-  let includes_edges = ref 0 in
+  let includes_b = Csr.create_builder ~edges_hint:(2 * nx) nx in
   for x' = 0 to nx - 1 do
     Budget.burn ();
     let p', b = Lr0.nt_transition a x' in
@@ -106,33 +135,35 @@ let relations ?analysis (a : Lr0.t) =
             when Analysis.nullable_sentence analysis prod.rhs ~from:(i + 1)
                    ~upto:len ->
               let x = Lr0.find_nt_transition a !state c in
-              includes_rev.(x) <- x' :: includes_rev.(x);
-              incr includes_edges
+              Csr.add includes_b ~src:x ~dst:x'
           | Symbol.N _ | Symbol.T _ -> ());
           state := Lr0.goto_exn a !state prod.rhs.(i)
         done)
       (Grammar.productions_of g b)
   done;
-  let includes = Array.map (fun l -> List.rev l) includes_rev in
+  let includes = Csr.build includes_b in
 
   (* Reductions and lookback. A reduction is a (state q, production
      A → ω) with the final item in q; production 0 is excluded (accept).
      lookback(q, A→ω) = { (p,A) | p --ω--> q }: enumerate from the (p,A)
      side so each pair is found by walking ω from p. *)
-  let reduction_pairs = ref [] in
-  let reduction_index = Hashtbl.create 256 in
+  let n_states = Lr0.n_states a in
+  let reduction_offsets = Array.make (n_states + 1) 0 in
   let n_red = ref 0 in
-  for q = 0 to Lr0.n_states a - 1 do
-    List.iter
-      (fun pid ->
-        Hashtbl.replace reduction_index (q, pid) !n_red;
-        reduction_pairs := (q, pid) :: !reduction_pairs;
-        incr n_red)
+  for q = 0 to n_states - 1 do
+    reduction_offsets.(q) <- !n_red;
+    n_red := !n_red + List.length (Lr0.reductions a q)
+  done;
+  reduction_offsets.(n_states) <- !n_red;
+  let reduction_pairs = Array.make !n_red (0, 0) in
+  for q = 0 to n_states - 1 do
+    List.iteri
+      (fun i pid -> reduction_pairs.(reduction_offsets.(q) + i) <- (q, pid))
       (Lr0.reductions a q)
   done;
-  let reduction_pairs = Array.of_list (List.rev !reduction_pairs) in
-  let lookback = Array.make !n_red [] in
-  let lookback_edges = ref 0 in
+  let lookback_b =
+    Csr.create_builder ~edges_hint:(2 * !n_red) ~n_cols:(max nx 1) !n_red
+  in
   for x = 0 to nx - 1 do
     Budget.burn ();
     let p, aa = Lr0.nt_transition a x in
@@ -141,10 +172,11 @@ let relations ?analysis (a : Lr0.t) =
         let prod = Grammar.production g pid in
         if pid <> 0 then begin
           let q = Lr0.traverse a p prod.rhs ~from:0 in
-          match Hashtbl.find_opt reduction_index (q, pid) with
-          | Some r ->
-              lookback.(r) <- x :: lookback.(r);
-              incr lookback_edges
+          match
+            find_reduction_opt ~offsets:reduction_offsets
+              ~pairs:reduction_pairs ~state:q ~prod:pid
+          with
+          | Some r -> Csr.add lookback_b ~src:r ~dst:x
           | None ->
               (* q must contain the final item of pid. *)
               Budget.broken_invariant ~stage:"relations"
@@ -155,17 +187,31 @@ let relations ?analysis (a : Lr0.t) =
         end)
       (Grammar.productions_of g aa)
   done;
+  let lookback = Csr.build ~rev:true lookback_b in
   (* The relation cardinalities — the sizes the paper's complexity
-     bound is linear in. The folds only run while a session is armed. *)
+     bound is linear in — and the words each packed array holds. The
+     folds only run while a session is armed. *)
   if Trace.enabled () then begin
     Trace.gauge_int "lalr.nt_transitions" nx;
     Trace.gauge_int "lalr.dr.total"
       (Array.fold_left (fun acc s -> acc + Bitset.cardinal s) 0 dr);
-    Trace.gauge_int "lalr.reads.edges"
-      (Array.fold_left (fun acc l -> acc + List.length l) 0 reads);
-    Trace.gauge_int "lalr.includes.edges" !includes_edges;
-    Trace.gauge_int "lalr.lookback.edges" !lookback_edges;
-    Trace.gauge_int "lalr.reductions" !n_red
+    Trace.gauge_int "lalr.reads.edges" (Csr.n_edges reads);
+    Trace.gauge_int "lalr.includes.edges" (Csr.n_edges includes);
+    Trace.gauge_int "lalr.lookback.edges" (Csr.n_edges lookback);
+    Trace.gauge_int "lalr.reductions" !n_red;
+    let mem_gauges name rel =
+      Trace.gauge_int
+        (Printf.sprintf "lalr.mem.%s.offsets_words" name)
+        (Csr.offsets_words rel);
+      Trace.gauge_int
+        (Printf.sprintf "lalr.mem.%s.cols_words" name)
+        (Csr.cols_words rel)
+    in
+    mem_gauges "reads" reads;
+    mem_gauges "includes" includes;
+    mem_gauges "lookback" lookback;
+    Trace.gauge_int "lalr.mem.reduction_index.words"
+      (Array.length reduction_offsets)
   end;
   {
     r_automaton = a;
@@ -175,9 +221,7 @@ let relations ?analysis (a : Lr0.t) =
     r_includes = includes;
     r_lookback = lookback;
     r_reduction_pairs = reduction_pairs;
-    r_reduction_index = reduction_index;
-    r_includes_edges = !includes_edges;
-    r_lookback_edges = !lookback_edges;
+    r_reduction_offsets = reduction_offsets;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -205,17 +249,14 @@ let trace_digraph relation (st : Digraph.stats) =
     st.Digraph.nontrivial_sccs
 
 let solve_follow r =
-  let nx = Array.length r.r_dr in
   let read, read_stats =
     Trace.with_span "lalr.solve.read" (fun () ->
-        Digraph.ForBitset.run ~n:nx
-          ~successors:(fun x -> r.r_reads.(x))
+        Digraph.ForBitset.run_csr ~graph:r.r_reads
           ~init:(fun x -> r.r_dr.(x)))
   in
   let follow, follow_stats =
     Trace.with_span "lalr.solve.follow" (fun () ->
-        Digraph.ForBitset.run ~n:nx
-          ~successors:(fun x -> r.r_includes.(x))
+        Digraph.ForBitset.run_csr ~graph:r.r_includes
           ~init:(fun x -> read.(x)))
   in
   trace_digraph "reads" read_stats;
@@ -241,9 +282,8 @@ let of_stages r f =
   let la =
     Array.init n_red (fun i ->
         let acc = Bitset.create n_term in
-        List.iter
-          (fun x -> ignore (Bitset.union_into ~into:acc f.f_follow.(x)))
-          r.r_lookback.(i);
+        Csr.iter_row r.r_lookback i (fun x ->
+            ignore (Bitset.union_into ~into:acc f.f_follow.(x)));
         acc)
   in
   let diagnostics =
@@ -255,10 +295,9 @@ let of_stages r f =
       n_nt_transitions = Array.length r.r_dr;
       dr_total =
         Array.fold_left (fun acc s -> acc + Bitset.cardinal s) 0 r.r_dr;
-      reads_edges =
-        Array.fold_left (fun acc l -> acc + List.length l) 0 r.r_reads;
-      includes_edges = r.r_includes_edges;
-      lookback_edges = r.r_lookback_edges;
+      reads_edges = Csr.n_edges r.r_reads;
+      includes_edges = Csr.n_edges r.r_includes;
+      lookback_edges = Csr.n_edges r.r_lookback;
       n_reductions = n_red;
       la_total = Array.fold_left (fun acc s -> acc + Bitset.cardinal s) 0 la;
       reads_sccs = f.f_reads_sccs;
@@ -267,6 +306,16 @@ let of_stages r f =
       includes_unions = f.f_includes_digraph.Digraph.unions;
       reads_max_depth = f.f_reads_digraph.Digraph.max_stack_depth;
       includes_max_depth = f.f_includes_digraph.Digraph.max_stack_depth;
+      mem =
+        {
+          reads_offsets_words = Csr.offsets_words r.r_reads;
+          reads_cols_words = Csr.cols_words r.r_reads;
+          includes_offsets_words = Csr.offsets_words r.r_includes;
+          includes_cols_words = Csr.cols_words r.r_includes;
+          lookback_offsets_words = Csr.offsets_words r.r_lookback;
+          lookback_cols_words = Csr.cols_words r.r_lookback;
+          reduction_index_words = Array.length r.r_reduction_offsets;
+        };
     }
   in
   (* The LA union itself performs exactly one set union per lookback
@@ -281,7 +330,7 @@ let of_stages r f =
     includes = r.r_includes;
     follow = f.f_follow;
     reduction_pairs = r.r_reduction_pairs;
-    reduction_index = r.r_reduction_index;
+    reduction_offsets = r.r_reduction_offsets;
     lookback = r.r_lookback;
     la;
     diagnostics;
@@ -295,17 +344,23 @@ let compute (a : Lr0.t) =
 let dr t x = t.dr.(x)
 let read t x = t.read.(x)
 let follow t x = t.follow.(x)
-let reads t x = t.reads.(x)
-let includes t x = t.includes.(x)
+let reads t x = Csr.row_list t.reads x
+let includes t x = Csr.row_list t.includes x
+let reads_csr t = t.reads
+let includes_csr t = t.includes
+let lookback_csr t = t.lookback
 let n_reductions t = Array.length t.reduction_pairs
 let reduction t r = t.reduction_pairs.(r)
 
 let find_reduction t ~state ~prod =
-  match Hashtbl.find_opt t.reduction_index (state, prod) with
+  match
+    find_reduction_opt ~offsets:t.reduction_offsets ~pairs:t.reduction_pairs
+      ~state ~prod
+  with
   | Some r -> r
   | None -> raise Not_found
 
-let lookback t r = t.lookback.(r)
+let lookback t r = Csr.row_list t.lookback r
 let la t r = t.la.(r)
 let lookahead t ~state ~prod = t.la.(find_reduction t ~state ~prod)
 let diagnostics t = t.diagnostics
@@ -320,12 +375,7 @@ let is_lalr1 t =
     if reds <> [] then begin
       (* Terminals shiftable from q. *)
       let shiftable = Bitset.create n_term in
-      List.iter
-        (fun (sym, _) ->
-          match sym with
-          | Symbol.T tt -> Bitset.add shiftable tt
-          | Symbol.N _ -> ())
-        (Lr0.transitions a q);
+      Lr0.iter_t_transitions a q (fun tt _ -> Bitset.add shiftable tt);
       let seen = Bitset.create n_term in
       ignore (Bitset.union_into ~into:seen shiftable);
       List.iter
@@ -351,11 +401,21 @@ type trace = {
   t_dr : int;
 }
 
+(* Last element in O(n) — the provenance paths below need their final
+   node, and [List.nth l (length l - 1)] walks the spine twice per
+   lookup (quadratic when a caller chains these on long paths). *)
+let rec last = function
+  | [] -> invalid_arg "Lalr.last: empty path"
+  | [ x ] -> x
+  | _ :: tl -> last tl
+
 (* Shortest path (BFS) from [start] to a node satisfying [hit];
-   returns the node list including both endpoints. *)
-let bfs_path ~n ~successors ~start ~hit =
+   returns the node list including both endpoints. Successor scans
+   walk the relation's CSR row directly. *)
+let bfs_path ~graph ~start ~hit =
   if hit start then Some [ start ]
   else begin
+    let n = Csr.n_rows graph in
     let prev = Array.make n (-2) in
     prev.(start) <- -1;
     let q = Queue.create () in
@@ -363,13 +423,11 @@ let bfs_path ~n ~successors ~start ~hit =
     let found = ref None in
     while !found = None && not (Queue.is_empty q) do
       let u = Queue.pop q in
-      List.iter
-        (fun v ->
+      Csr.iter_row graph u (fun v ->
           if !found = None && prev.(v) = -2 then begin
             prev.(v) <- u;
             if hit v then found := Some v else Queue.add v q
           end)
-        (successors u)
     done;
     match !found with
     | None -> None
@@ -381,10 +439,12 @@ let bfs_path ~n ~successors ~start ~hit =
   end
 
 let trace t ~state ~prod ~terminal =
-  match Hashtbl.find_opt t.reduction_index (state, prod) with
+  match
+    find_reduction_opt ~offsets:t.reduction_offsets ~pairs:t.reduction_pairs
+      ~state ~prod
+  with
   | None -> None
   | Some r ->
-      let nx = Array.length t.follow in
       let rec try_lookbacks = function
         | [] -> None
         | x :: rest ->
@@ -395,25 +455,18 @@ let trace t ~state ~prod ~terminal =
                  searches must succeed once the membership test above
                  passes. *)
               match
-                bfs_path ~n:nx
-                  ~successors:(fun y -> t.includes.(y))
-                  ~start:x
+                bfs_path ~graph:t.includes ~start:x
                   ~hit:(fun y -> Bitset.mem t.read.(y) terminal)
               with
               | None -> try_lookbacks rest
               | Some inc_path -> (
-                  let y = List.nth inc_path (List.length inc_path - 1) in
+                  let y = last inc_path in
                   match
-                    bfs_path ~n:nx
-                      ~successors:(fun z -> t.reads.(z))
-                      ~start:y
+                    bfs_path ~graph:t.reads ~start:y
                       ~hit:(fun z -> Bitset.mem t.dr.(z) terminal)
                   with
                   | None -> try_lookbacks rest
                   | Some reads_path ->
-                      let dr_end =
-                        List.nth reads_path (List.length reads_path - 1)
-                      in
                       Some
                         {
                           t_terminal = terminal;
@@ -421,11 +474,11 @@ let trace t ~state ~prod ~terminal =
                           t_lookback = x;
                           t_includes_path = List.tl inc_path;
                           t_reads_path = List.tl reads_path;
-                          t_dr = dr_end;
+                          t_dr = last reads_path;
                         })
             end
       in
-      try_lookbacks t.lookback.(r)
+      try_lookbacks (Csr.row_list t.lookback r)
 
 let pp_nt_transition t ppf x =
   let p, a = Lr0.nt_transition t.automaton x in
@@ -454,7 +507,7 @@ let pp_trace t ppf tr =
       let first =
         match tr.t_includes_path with
         | [] -> tr.t_lookback
-        | l -> List.nth l (List.length l - 1)
+        | l -> last l
       in
       Format.fprintf ppf "  reads     %a" (pp_nt_transition t) first;
       List.iter
@@ -474,15 +527,15 @@ let pp ppf t =
   for x = 0 to Lr0.n_nt_transitions t.automaton - 1 do
     Format.fprintf ppf "%a: DR=%a Read=%a Follow=%a" (pp_nt_transition t) x
       pp_set t.dr.(x) pp_set t.read.(x) pp_set t.follow.(x);
-    if t.reads.(x) <> [] then begin
+    if Csr.degree t.reads x > 0 then begin
       Format.fprintf ppf " reads:";
-      List.iter (fun y -> Format.fprintf ppf " %a" (pp_nt_transition t) y)
-        t.reads.(x)
+      Csr.iter_row t.reads x (fun y ->
+          Format.fprintf ppf " %a" (pp_nt_transition t) y)
     end;
-    if t.includes.(x) <> [] then begin
+    if Csr.degree t.includes x > 0 then begin
       Format.fprintf ppf " includes:";
-      List.iter (fun y -> Format.fprintf ppf " %a" (pp_nt_transition t) y)
-        t.includes.(x)
+      Csr.iter_row t.includes x (fun y ->
+          Format.fprintf ppf " %a" (pp_nt_transition t) y)
     end;
     Format.fprintf ppf "@,"
   done;

@@ -14,6 +14,7 @@
     item it contains) get their own dense numbering here. *)
 
 module Bitset = Lalr_sets.Bitset
+module Csr = Lalr_sets.Csr
 
 type diagnostic =
   | Reads_cycle of int list
@@ -24,6 +25,21 @@ type diagnostic =
       (** A nontrivial cycle in [includes]. The look-ahead sets are
           still computed (members of the SCC share a [Follow] set); the
           grammar may or may not be LR(1). *)
+
+type mem = {
+  reads_offsets_words : int;
+  reads_cols_words : int;
+  includes_offsets_words : int;
+  includes_cols_words : int;
+  lookback_offsets_words : int;
+  lookback_cols_words : int;
+  reduction_index_words : int;
+}
+(** Words held by each packed relation array (CSR [offsets]/[cols] per
+    relation, plus the dense per-state reduction index) — the
+    memory-footprint half of the data-layout story, reported by
+    [lalrgen stats] and cross-checked against the [lalr.mem.*] trace
+    gauges in CI. *)
 
 type stats = {
   n_nt_transitions : int;
@@ -41,6 +57,7 @@ type stats = {
       (** set unions performed by the [Follow] Digraph run *)
   reads_max_depth : int;  (** peak Digraph stack depth, [Read] run *)
   includes_max_depth : int;  (** peak Digraph stack depth, [Follow] run *)
+  mem : mem;
 }
 
 type t
@@ -67,17 +84,20 @@ type relations = {
   r_automaton : Lalr_automaton.Lr0.t;
   r_analysis : Analysis.t;
   r_dr : Bitset.t array;  (** per nonterminal transition; owned *)
-  r_reads : int list array;  (** successor transition indices *)
-  r_includes : int list array;
-  r_lookback : int list array;  (** reduction index → transitions *)
+  r_reads : Csr.t;  (** successor transition indices, CSR rows *)
+  r_includes : Csr.t;
+  r_lookback : Csr.t;  (** reduction index → transitions *)
   r_reduction_pairs : (int * int) array;  (** [(state, production)] *)
-  r_reduction_index : (int * int, int) Hashtbl.t;
-  r_includes_edges : int;
-  r_lookback_edges : int;
+  r_reduction_offsets : int array;
+      (** dense per-state index: state [q]'s reductions are rows
+          [r_reduction_offsets.(q) .. r_reduction_offsets.(q+1) - 1]
+          of [r_reduction_pairs] *)
 }
 (** The paper's four relations over one LR(0) automaton, as a
-    first-class value. All arrays are owned by the record (and by any
-    {!t} later assembled from it): treat as read-only. *)
+    first-class value: each relation is two packed int arrays
+    ({!Csr.t}), the layout both Digraph fixpoints stream through. All
+    arrays are owned by the record (and by any {!t} later assembled
+    from it): treat as read-only. *)
 
 val relations : ?analysis:Analysis.t -> Lalr_automaton.Lr0.t -> relations
 (** Stage 1. [?analysis] must be the analysis of the automaton's
@@ -113,9 +133,17 @@ val read : t -> int -> Bitset.t
 val follow : t -> int -> Bitset.t
 
 val reads : t -> int -> int list
-(** Successor transition indices under the [reads] relation. *)
+(** Successor transition indices under the [reads] relation (a fresh
+    list — the boundary conversion from the CSR row). *)
 
 val includes : t -> int -> int list
+
+val reads_csr : t -> Csr.t
+(** The packed relations themselves, for zero-copy consumers (bench,
+    provenance tooling). Owned by [t]: read-only. *)
+
+val includes_csr : t -> Csr.t
+val lookback_csr : t -> Csr.t
 
 (** {2 Reductions and their look-ahead sets} *)
 

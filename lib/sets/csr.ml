@@ -1,0 +1,108 @@
+type t = { offsets : int array; cols : int array }
+
+type builder = {
+  n : int;
+  n_cols : int;
+  mutable srcs : int array;
+  mutable dsts : int array;
+  mutable len : int;
+}
+
+let create_builder ?(edges_hint = 16) ?n_cols n =
+  if n < 0 then invalid_arg "Csr.create_builder: negative row count";
+  let n_cols = match n_cols with Some c -> c | None -> n in
+  if n_cols < 0 then invalid_arg "Csr.create_builder: negative column count";
+  let cap = max edges_hint 1 in
+  { n; n_cols; srcs = Array.make cap 0; dsts = Array.make cap 0; len = 0 }
+
+let grow b =
+  let cap = Array.length b.srcs in
+  let srcs = Array.make (2 * cap) 0 in
+  let dsts = Array.make (2 * cap) 0 in
+  Array.blit b.srcs 0 srcs 0 b.len;
+  Array.blit b.dsts 0 dsts 0 b.len;
+  b.srcs <- srcs;
+  b.dsts <- dsts
+
+let add b ~src ~dst =
+  if src < 0 || src >= b.n then invalid_arg "Csr.add: src out of range";
+  if dst < 0 || dst >= b.n_cols then invalid_arg "Csr.add: dst out of range";
+  if b.len = Array.length b.srcs then grow b;
+  b.srcs.(b.len) <- src;
+  b.dsts.(b.len) <- dst;
+  b.len <- b.len + 1
+
+let build ?(rev = false) b =
+  let offsets = Array.make (b.n + 1) 0 in
+  for i = 0 to b.len - 1 do
+    offsets.(b.srcs.(i) + 1) <- offsets.(b.srcs.(i) + 1) + 1
+  done;
+  for x = 1 to b.n do
+    offsets.(x) <- offsets.(x) + offsets.(x - 1)
+  done;
+  let cols = Array.make b.len 0 in
+  (* [next] walks each row forward (stream order) or backward from the
+     row end (reversed stream order — what a cons-accumulated list
+     yields). *)
+  let next =
+    if rev then Array.init b.n (fun x -> offsets.(x + 1))
+    else Array.init b.n (fun x -> offsets.(x))
+  in
+  if rev then
+    for i = 0 to b.len - 1 do
+      let s = b.srcs.(i) in
+      next.(s) <- next.(s) - 1;
+      cols.(next.(s)) <- b.dsts.(i)
+    done
+  else
+    for i = 0 to b.len - 1 do
+      let s = b.srcs.(i) in
+      cols.(next.(s)) <- b.dsts.(i);
+      next.(s) <- next.(s) + 1
+    done;
+  { offsets; cols }
+
+let of_rows rows =
+  let n = Array.length rows in
+  let b =
+    create_builder
+      ~edges_hint:(Array.fold_left (fun acc l -> acc + List.length l) 0 rows)
+      n
+  in
+  Array.iteri
+    (fun src l -> List.iter (fun dst -> add b ~src ~dst) l)
+    rows;
+  build b
+
+let n_rows t = Array.length t.offsets - 1
+let n_edges t = Array.length t.cols
+let degree t x = t.offsets.(x + 1) - t.offsets.(x)
+
+let iter_row t x f =
+  for i = t.offsets.(x) to t.offsets.(x + 1) - 1 do
+    f t.cols.(i)
+  done
+
+let fold_row t x f init =
+  let acc = ref init in
+  for i = t.offsets.(x) to t.offsets.(x + 1) - 1 do
+    acc := f !acc t.cols.(i)
+  done;
+  !acc
+
+let row_list t x =
+  let acc = ref [] in
+  for i = t.offsets.(x + 1) - 1 downto t.offsets.(x) do
+    acc := t.cols.(i) :: !acc
+  done;
+  !acc
+
+let edges t f =
+  for x = 0 to n_rows t - 1 do
+    for i = t.offsets.(x) to t.offsets.(x + 1) - 1 do
+      f ~src:x ~dst:t.cols.(i)
+    done
+  done
+
+let offsets_words t = Array.length t.offsets
+let cols_words t = Array.length t.cols

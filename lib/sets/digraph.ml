@@ -14,94 +14,109 @@ type stats = {
 }
 
 module Make (L : LATTICE) = struct
-  (* The paper's Traverse procedure, made iterative. N.(x) holds 0 when x
-     is unvisited, the stack depth at first visit while x is active, and
-     infinity once x's component is complete. *)
+  (* The paper's Traverse procedure, made iterative over flat arrays.
+     N.(x) holds 0 when x is unvisited, the stack depth at first visit
+     while x is active, and infinity once x's component is complete.
+
+     Everything the traversal touches per node lives in a preallocated
+     int (or L.t) array: the Tarjan stack S and the DFS work stack are
+     explicit int arrays, values are an unboxed L.t arena filled once
+     up front (init is still called exactly once per node), and the
+     successor scan is a pointer walk over the CSR [cols] array — no
+     closure captures, no option cells, no list-cell allocation on the
+     hot path. *)
   let infinity = max_int
 
-  let run ~n ~successors ~init =
+  let run_csr ~(graph : Csr.t) ~init =
+    let offsets = graph.Csr.offsets in
+    let cols = graph.Csr.cols in
+    let n = Array.length offsets - 1 in
     let numbering = Array.make n 0 in
-    let value = Array.make n None in
-    let stack = ref [] in
-    let depth = ref 0 in
+    let value = Array.init n (fun x -> L.copy (init x)) in
+    let self_loop = Array.make n false in
+    (* Tarjan's stack S; its height IS the paper's depth counter. *)
+    let scc_stack = Array.make (max n 1) 0 in
+    let sp = ref 0 in
+    (* DFS work stack: node, its depth at entry, and the cursor into
+       its CSR row. A node is pushed at most once, so n slots suffice. *)
+    let work_node = Array.make (max n 1) 0 in
+    let work_d = Array.make (max n 1) 0 in
+    let work_pos = Array.make (max n 1) 0 in
     let max_depth = ref 0 in
     let edges = ref 0 in
     let unions = ref 0 in
     let sccs = ref [] in
-    let self_loop = Array.make n false in
-    let get_value x =
-      match value.(x) with Some v -> v | None -> assert false
-    in
     let start x =
-      incr depth;
-      if !depth > !max_depth then max_depth := !depth;
-      stack := x :: !stack;
-      numbering.(x) <- !depth;
-      value.(x) <- Some (L.copy (init x))
+      scc_stack.(!sp) <- x;
+      incr sp;
+      if !sp > !max_depth then max_depth := !sp;
+      numbering.(x) <- !sp
     in
     let finish x d =
       (* x is the root of its SCC: pop members, aliasing x's value. *)
       if numbering.(x) = d then begin
-        let vx = get_value x in
+        let vx = value.(x) in
         let members = ref [] in
         let continue = ref true in
         while !continue do
-          match !stack with
-          | [] -> assert false
-          | top :: tl ->
-              stack := tl;
-              decr depth;
-              numbering.(top) <- infinity;
-              members := top :: !members;
-              if top <> x then value.(top) <- Some vx;
-              if top = x then continue := false
+          decr sp;
+          let top = scc_stack.(!sp) in
+          numbering.(top) <- infinity;
+          members := top :: !members;
+          if top <> x then value.(top) <- vx else continue := false
         done;
-        (match !members with
+        match !members with
         | [ v ] -> if self_loop.(v) then sccs := [ v ] :: !sccs
         | _ :: _ :: _ -> sccs := !members :: !sccs
-        | [] -> assert false)
+        | [] -> assert false
       end
     in
     let visit x0 =
       start x0;
-      (* Work stack entries: node, its depth at entry, remaining succs. *)
-      let work = ref [ (x0, !depth, ref (successors x0)) ] in
-      while !work <> [] do
-        match !work with
-        | [] -> ()
-        | (x, d, succs) :: rest -> (
-            match !succs with
-            | y :: tl ->
-                succs := tl;
-                incr edges;
-                if y = x then self_loop.(x) <- true;
-                if numbering.(y) = 0 then begin
-                  start y;
-                  work := (y, !depth, ref (successors y)) :: !work
-                end
-                else begin
-                  if numbering.(y) < numbering.(x) then
-                    numbering.(x) <- numbering.(y);
-                  incr unions;
-                  L.union_into ~into:(get_value x) (get_value y)
-                end
-            | [] ->
-                finish x d;
-                work := rest;
-                (match rest with
-                | (parent, _, _) :: _ ->
-                    if numbering.(x) < numbering.(parent) then
-                      numbering.(parent) <- numbering.(x);
-                    incr unions;
-                    L.union_into ~into:(get_value parent) (get_value x)
-                | [] -> ()))
+      work_node.(0) <- x0;
+      work_d.(0) <- !sp;
+      work_pos.(0) <- offsets.(x0);
+      let wsp = ref 1 in
+      while !wsp > 0 do
+        let t = !wsp - 1 in
+        let x = work_node.(t) in
+        let p = work_pos.(t) in
+        if p < offsets.(x + 1) then begin
+          work_pos.(t) <- p + 1;
+          let y = cols.(p) in
+          incr edges;
+          if y = x then self_loop.(x) <- true;
+          if numbering.(y) = 0 then begin
+            start y;
+            work_node.(!wsp) <- y;
+            work_d.(!wsp) <- !sp;
+            work_pos.(!wsp) <- offsets.(y);
+            incr wsp
+          end
+          else begin
+            if numbering.(y) < numbering.(x) then
+              numbering.(x) <- numbering.(y);
+            incr unions;
+            L.union_into ~into:value.(x) value.(y)
+          end
+        end
+        else begin
+          finish x work_d.(t);
+          decr wsp;
+          if !wsp > 0 then begin
+            let parent = work_node.(!wsp - 1) in
+            if numbering.(x) < numbering.(parent) then
+              numbering.(parent) <- numbering.(x);
+            incr unions;
+            L.union_into ~into:value.(parent) value.(x)
+          end
+        end
       done
     in
     for x = 0 to n - 1 do
       if numbering.(x) = 0 then visit x
     done;
-    let result = Array.init n get_value in
-    ( result,
+    ( value,
       {
         nodes = n;
         edges_examined = !edges;
@@ -109,6 +124,17 @@ module Make (L : LATTICE) = struct
         max_stack_depth = !max_depth;
         nontrivial_sccs = !sccs;
       } )
+
+  let run ~n ~successors ~init =
+    (* Boundary adapter: lay the successor lists out as CSR once, then
+       run the flat traversal. List order is preserved, so iteration
+       order — and therefore every stats field — matches what the
+       list-walking implementation produced. *)
+    let b = Csr.create_builder ~edges_hint:(4 * n) n in
+    for x = 0 to n - 1 do
+      List.iter (fun y -> Csr.add b ~src:x ~dst:y) (successors x)
+    done;
+    run_csr ~graph:(Csr.build b) ~init
 end
 
 module BitsetLattice = struct

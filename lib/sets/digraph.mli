@@ -12,7 +12,14 @@
 
     The functor abstracts the join-semilattice of values so the identical
     traversal computes terminal bitsets in production and list-based sets
-    in the test oracle. *)
+    in the test oracle.
+
+    The traversal itself is arena-style (DESIGN.md §14): the relation is
+    a {!Csr.t}, the Tarjan stack and the DFS work stack are preallocated
+    int arrays, and the per-node values live in one unboxed array filled
+    up front — no closures captured per node, no [option] cells, no list
+    stack. {!Make.run} keeps the list-of-successors signature as a
+    boundary adapter that lays the lists out as CSR first. *)
 
 module type LATTICE = sig
   type t
@@ -40,17 +47,27 @@ type stats = {
 }
 
 module Make (L : LATTICE) : sig
+  val run_csr :
+    graph:Csr.t -> init:(int -> L.t) -> L.t array * stats
+  (** [run_csr ~graph ~init] solves the set equations over a relation
+      already in CSR form — the zero-adaptation hot path. The result
+      array maps each node to its final value; nodes in one SCC share
+      (alias) a single value. [init] is called exactly once per node. *)
+
   val run :
     n:int ->
     successors:(int -> int list) ->
     init:(int -> L.t) ->
     L.t array * stats
-  (** [run ~n ~successors ~init] solves the set equations. The result
-      array maps each node to its final value; nodes in one SCC share
-      (alias) a single value. [init] is called exactly once per node. *)
+  (** [run ~n ~successors ~init] lays the successor lists out as CSR
+      (preserving order, so stats and SCC reporting are unchanged) and
+      calls {!run_csr}. [successors] is called exactly once per node. *)
 end
 
 module ForBitset : sig
+  val run_csr :
+    graph:Csr.t -> init:(int -> Bitset.t) -> Bitset.t array * stats
+
   val run :
     n:int ->
     successors:(int -> int list) ->

@@ -12,8 +12,12 @@ type t = {
 }
 
 (* 2: Lalr.stats and Lalr.follow_sets grew Digraph-profile fields in
-   the tracing PR; entries marshalled under v1 have a different shape. *)
-let format_version = 2
+   the tracing PR; entries marshalled under v1 have a different shape.
+   3: the data-layout PR — Lalr.relations went from boxed lists and a
+   Hashtbl reduction index to packed CSR arrays and a dense per-state
+   index, and Lalr.stats grew the memory-footprint member; every
+   artifact embedding a relations or stats value changed shape. *)
+let format_version = 3
 
 let magic = "LALRART1"
 

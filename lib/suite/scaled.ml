@@ -1,0 +1,72 @@
+(* A deterministic LCG step (the Numerical Recipes 64-bit multiplier,
+   which fits OCaml's 63-bit int) with an output xorshift: good enough
+   scrambling for picking structure parameters, no dependence on
+   [Random]'s global state (the grammar for a given seed must never
+   drift). *)
+let mix st =
+  st := ((!st * 2862933555777941757) + 3037000493) land max_int;
+  let z = !st in
+  (z lxor (z lsr 29)) land max_int
+
+let pick st lo hi = lo + (mix st mod (hi - lo + 1))
+
+let default_seed = 0xd09e
+(* 180 units lands the default grammar at 11941 nonterminal
+   transitions — 10.07x mini-c's 1186, the suite's largest. *)
+let default_units = 180
+
+let grammar ?(seed = default_seed) ?(units = default_units) () =
+  if units < 1 then invalid_arg "Scaled.grammar: need units >= 1";
+  let st = ref seed in
+  let rules = ref [] in
+  let terminals = ref [ "lparen"; "rparen"; "semi"; "comma"; "id"; "num" ] in
+  let term t = terminals := t :: !terminals in
+  let rule lhs rhs = rules := (lhs, rhs, None) :: !rules in
+  (* Top level: a keyword-dispatched statement language. Every unit's
+     statements open with that unit's own keyword, so the dispatch
+     stays conflict-free no matter how the units' internals vary. *)
+  rule "s" [ "stmts" ];
+  rule "stmts" [ "stmt" ];
+  rule "stmts" [ "stmts"; "stmt" ];
+  for u = 1 to units do
+    let p fmt = Printf.sprintf fmt u in
+    let kw = p "kw%d" in
+    let expr = p "e%d_" in
+    let args = p "args%d" in
+    let opt k = Printf.sprintf "opt%d_%d" u k in
+    term kw;
+    rule "stmt" [ kw; "lparen"; expr ^ "0"; "rparen"; "semi" ];
+    (* An operator-precedence expression tower: [levels] chained
+       nonterminals, each with a unit-local operator terminal. This is
+       where most states and nonterminal transitions come from. *)
+    let levels = pick st 3 8 in
+    for i = 0 to levels - 1 do
+      let lower = if i = levels - 1 then p "atom%d" else expr ^ string_of_int (i + 1) in
+      let op = Printf.sprintf "op%d_%d" u i in
+      term op;
+      rule (expr ^ string_of_int i) [ expr ^ string_of_int i; op; lower ];
+      rule (expr ^ string_of_int i) [ lower ]
+    done;
+    rule (p "atom%d") [ "id" ];
+    rule (p "atom%d") [ "num" ];
+    rule (p "atom%d") [ "lparen"; expr ^ "0"; "rparen" ];
+    (* A call form with a nullable-suffix parameter list: [width]
+       trailing optional slots make the suffix nullable at every
+       position, multiplying includes edges (the Follow load). Each
+       slot gets its own separator terminal — a shared one would make
+       the slot sequence ambiguous. *)
+    rule (p "atom%d") [ kw; "lparen"; args; "rparen" ];
+    let width = pick st 2 5 in
+    rule args [];
+    rule args ((expr ^ "0") :: List.init width (fun k -> opt (k + 1)));
+    for k = 1 to width do
+      let sep = Printf.sprintf "sep%d_%d" u k in
+      term sep;
+      rule (opt k) [];
+      rule (opt k) [ sep; expr ^ "0" ]
+    done
+  done;
+  Grammar.make
+    ~name:(Printf.sprintf "scaled-%x-%d" seed units)
+    ~terminals:(List.rev !terminals)
+    ~start:"s" ~rules:(List.rev !rules) ()

@@ -1,0 +1,29 @@
+(** A seeded, scale-calibrated grammar for the data-layout bench.
+
+    The curated suite tops out at mini-c (1186 nonterminal
+    transitions) — small enough that the relations+solve hot path
+    finishes in microseconds and layout effects drown in noise. This
+    generator builds a keyword-dispatched statement language out of
+    [units] independent blocks, each a pseudo-randomly parameterised
+    operator-precedence expression tower with a nullable-suffix call
+    form; the defaults are calibrated to roughly 10× mini-c.
+
+    Deterministic: the same [seed] and [units] always produce the same
+    grammar (an internal splitmix step, not [Random]), so benchmark
+    runs are comparable across sessions. The result is conflict-free
+    LALR(1) by construction (each unit is fenced by its own keyword). *)
+
+val default_seed : int
+
+val default_units : int
+(** Calibrated so the default grammar lands near 10× mini-c's
+    nonterminal-transition count (see the size-band pin in
+    [test/test_suite.ml]). *)
+
+(** Raises [Invalid_argument] when [units < 1]. *)
+val grammar : ?seed:int -> ?units:int -> unit -> Grammar.t
+[@@lalr.allow
+  D002
+    "bench-calibration knob: units < 1 is a programmer error at a \
+     bench/test call site, not a recoverable condition — Invalid_argument \
+     is the whole contract"]

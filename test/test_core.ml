@@ -5,6 +5,7 @@ module G = Lalr_grammar.Grammar
 module Analysis = Lalr_grammar.Analysis
 module Lr0 = Lalr_automaton.Lr0
 module Lalr = Lalr_core.Lalr
+module Boxed = Lalr_baselines.Boxed
 module Registry = Lalr_suite.Registry
 module Classics = Lalr_suite.Classics
 module Randgen = Lalr_suite.Randgen
@@ -192,6 +193,100 @@ let test_suite_inclusions () =
       check (e.name ^ ": LA ⊆ FOLLOW(lhs)") true (la_subset_follow t))
     Registry.all
 
+(* ------------------------------------------------------------------ *)
+(* Byte-identity against the frozen boxed baseline                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The data-layout refactor (DESIGN.md §14) is observational-equivalence
+   work: CSR relations, the arena Digraph and the packed transition rows
+   must produce exactly the sets the boxed implementation did — same
+   elements, same edge orders, same reduction numbering. Pin every
+   observable against Lalr_baselines.Boxed over the whole suite. *)
+let test_boxed_identity () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let a = Lr0.build (Lazy.force e.grammar) in
+      let t = Lalr.compute a in
+      let b = Boxed.compute a in
+      let nx = Lalr.stats t in
+      let nx = nx.Lalr.n_nt_transitions in
+      check_int (e.name ^ ": nt transitions") (Boxed.n_nt_transitions b) nx;
+      for x = 0 to nx - 1 do
+        check (e.name ^ ": DR") true (Bitset.equal (Lalr.dr t x) (Boxed.dr b x));
+        check (e.name ^ ": Read") true
+          (Bitset.equal (Lalr.read t x) (Boxed.read b x));
+        check (e.name ^ ": Follow") true
+          (Bitset.equal (Lalr.follow t x) (Boxed.follow b x));
+        Alcotest.(check (list int))
+          (e.name ^ ": reads row") (Boxed.reads b x) (Lalr.reads t x);
+        Alcotest.(check (list int))
+          (e.name ^ ": includes row")
+          (Boxed.includes b x) (Lalr.includes t x)
+      done;
+      check_int (e.name ^ ": reductions") (Boxed.n_reductions b)
+        (Lalr.n_reductions t);
+      for r = 0 to Lalr.n_reductions t - 1 do
+        let q, p = Lalr.reduction t r and q', p' = Boxed.reduction b r in
+        check_int (e.name ^ ": reduction state") q' q;
+        check_int (e.name ^ ": reduction prod") p' p;
+        Alcotest.(check (list int))
+          (e.name ^ ": lookback row")
+          (Boxed.lookback b r) (Lalr.lookback t r);
+        check (e.name ^ ": LA") true (Bitset.equal (Lalr.la t r) (Boxed.la b r))
+      done)
+    Registry.all
+
+let test_mem_stats_shape () =
+  (* The packed arrays' reported footprint is fully determined by the
+     relation sizes: offsets = rows + 1, cols = edges. *)
+  List.iter
+    (fun (e : Registry.entry) ->
+      let t = Lalr.compute (Lr0.build (Lazy.force e.grammar)) in
+      let st = Lalr.stats t in
+      let m = st.Lalr.mem in
+      check_int (e.name ^ ": reads offsets") (st.Lalr.n_nt_transitions + 1)
+        m.Lalr.reads_offsets_words;
+      check_int (e.name ^ ": reads cols") st.Lalr.reads_edges
+        m.Lalr.reads_cols_words;
+      check_int (e.name ^ ": includes offsets") (st.Lalr.n_nt_transitions + 1)
+        m.Lalr.includes_offsets_words;
+      check_int (e.name ^ ": includes cols") st.Lalr.includes_edges
+        m.Lalr.includes_cols_words;
+      check_int (e.name ^ ": lookback offsets") (st.Lalr.n_reductions + 1)
+        m.Lalr.lookback_offsets_words;
+      check_int (e.name ^ ": lookback cols") st.Lalr.lookback_edges
+        m.Lalr.lookback_cols_words)
+    Registry.all
+
+let prop_boxed_identity_random =
+  QCheck.Test.make ~name:"CSR layout ≡ boxed baseline (random)" ~count:60
+    (Randgen.arbitrary ()) (fun g ->
+      let a = Lr0.build g in
+      let t = Lalr.compute a in
+      let b = Boxed.compute a in
+      let st = Lalr.stats t in
+      let nx = st.Lalr.n_nt_transitions in
+      let ok = ref (Boxed.n_nt_transitions b = nx) in
+      for x = 0 to nx - 1 do
+        if
+          not
+            (Bitset.equal (Lalr.follow t x) (Boxed.follow b x)
+            && Lalr.reads t x = Boxed.reads b x
+            && Lalr.includes t x = Boxed.includes b x)
+        then ok := false
+      done;
+      if Lalr.n_reductions t <> Boxed.n_reductions b then ok := false
+      else
+        for r = 0 to Lalr.n_reductions t - 1 do
+          if
+            not
+              (Lalr.reduction t r = Boxed.reduction b r
+              && Lalr.lookback t r = Boxed.lookback b r
+              && Bitset.equal (Lalr.la t r) (Boxed.la b r))
+          then ok := false
+        done;
+      !ok)
+
 let prop_inclusions_random =
   QCheck.Test.make ~name:"DR ⊆ Read ⊆ Follow and LA ⊆ FOLLOW (random)"
     ~count:150 (Randgen.arbitrary ()) (fun g ->
@@ -243,5 +338,17 @@ let () =
           Alcotest.test_case "inclusions on the whole suite" `Quick
             test_suite_inclusions;
         ] );
-      qsuite "props" [ prop_inclusions_random; prop_la_nonempty_random ];
+      ( "layout",
+        [
+          Alcotest.test_case "byte-identical to the boxed baseline" `Quick
+            test_boxed_identity;
+          Alcotest.test_case "mem stats match relation shapes" `Quick
+            test_mem_stats_shape;
+        ] );
+      qsuite "props"
+        [
+          prop_inclusions_random;
+          prop_la_nonempty_random;
+          prop_boxed_identity_random;
+        ];
     ]

@@ -1,8 +1,9 @@
-(* Tests for lib/sets: Bitset, Tarjan, Digraph, Vec. *)
+(* Tests for lib/sets: Bitset, Tarjan, Digraph, Csr, Vec. *)
 
 module Bitset = Lalr_sets.Bitset
 module Tarjan = Lalr_sets.Tarjan
 module Digraph = Lalr_sets.Digraph
+module Csr = Lalr_sets.Csr
 module Vec = Lalr_sets.Vec
 
 let check = Alcotest.(check bool)
@@ -283,6 +284,126 @@ let prop_digraph_sccs_match_tarjan =
       norm stats.nontrivial_sccs = norm (Tarjan.nontrivial ~n ~successors))
 
 (* ------------------------------------------------------------------ *)
+(* Csr                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let csr_of_edges ?rev ?n_cols n edges =
+  let b = Csr.create_builder ?n_cols n in
+  List.iter (fun (src, dst) -> Csr.add b ~src ~dst) edges;
+  Csr.build ?rev b
+
+let test_csr_stream_order () =
+  let t = csr_of_edges 3 [ (0, 2); (1, 0); (0, 1); (2, 2); (0, 0) ] in
+  check_int "rows" 3 (Csr.n_rows t);
+  check_int "edges" 5 (Csr.n_edges t);
+  check_ints "row 0 keeps stream order" [ 2; 1; 0 ] (Csr.row_list t 0);
+  check_ints "row 1" [ 0 ] (Csr.row_list t 1);
+  check_ints "row 2" [ 2 ] (Csr.row_list t 2);
+  check_int "degree 0" 3 (Csr.degree t 0)
+
+let test_csr_rev_order () =
+  (* ~rev:true must yield exactly what cons-accumulated lists held:
+     the reverse of the insertion order, per row. *)
+  let t = csr_of_edges ~rev:true 3 [ (0, 2); (1, 0); (0, 1); (0, 0) ] in
+  check_ints "row 0 reversed" [ 0; 1; 2 ] (Csr.row_list t 0);
+  check_ints "row 1 reversed" [ 0 ] (Csr.row_list t 1);
+  check_ints "row 2 empty" [] (Csr.row_list t 2)
+
+let test_csr_of_rows_roundtrip () =
+  let rows = [| [ 3; 1; 1 ]; []; [ 0 ]; [ 3; 2 ] |] in
+  let t = Csr.of_rows rows in
+  Array.iteri
+    (fun x row -> check_ints (Printf.sprintf "row %d" x) row (Csr.row_list t x))
+    rows;
+  let acc = ref [] in
+  Csr.iter_row t 0 (fun y -> acc := y :: !acc);
+  check_ints "iter_row order" [ 3; 1; 1 ] (List.rev !acc);
+  check_int "fold_row" 5 (Csr.fold_row t 0 (fun a y -> a + y) 0);
+  let all = ref [] in
+  Csr.edges t (fun ~src ~dst -> all := (src, dst) :: !all);
+  check_int "edges enumerated" 6 (List.length !all)
+
+let test_csr_bipartite () =
+  (* Destination universe wider than the row count (lookback's shape:
+     reduction rows, transition columns). *)
+  let t = csr_of_edges ~n_cols:10 2 [ (0, 9); (1, 7) ] in
+  check_ints "row 0" [ 9 ] (Csr.row_list t 0);
+  check_int "offsets words" 3 (Csr.offsets_words t);
+  check_int "cols words" 2 (Csr.cols_words t)
+
+let test_csr_bounds () =
+  let b = Csr.create_builder 2 in
+  Alcotest.check_raises "src out of range"
+    (Invalid_argument "Csr.add: src out of range") (fun () ->
+      Csr.add b ~src:2 ~dst:0);
+  Alcotest.check_raises "dst out of range"
+    (Invalid_argument "Csr.add: dst out of range") (fun () ->
+      Csr.add b ~src:0 ~dst:2);
+  Alcotest.check_raises "negative rows"
+    (Invalid_argument "Csr.create_builder: negative row count") (fun () ->
+      ignore (Csr.create_builder (-1)))
+
+let test_csr_empty () =
+  let t = Csr.of_rows [||] in
+  check_int "no rows" 0 (Csr.n_rows t);
+  check_int "no edges" 0 (Csr.n_edges t);
+  let t = Csr.of_rows [| []; [] |] in
+  check_int "rows" 2 (Csr.n_rows t);
+  check_ints "row 1" [] (Csr.row_list t 1)
+
+(* Property: the arena traversal over a CSR graph is indistinguishable
+   from the list-walking entry point — same values, same stats, and
+   both agree with the naive iterate-to-fixpoint oracle. The generator
+   mixes three shapes: plain random edges, a self-loop sprinkle, and
+   nested SCCs (a big ring with an inner ring chorded into it). *)
+let arb_scc_graph =
+  let gen =
+    QCheck.Gen.(
+      int_range 2 30 >>= fun n ->
+      list_size (int_bound 60) (pair (int_bound (n - 1)) (int_bound (n - 1)))
+      >>= fun random_edges ->
+      list_size (int_bound 4) (int_bound (n - 1)) >>= fun loops ->
+      int_range 0 (n - 1) >>= fun ring_hi ->
+      let ring = List.init ring_hi (fun i -> (i, i + 1)) in
+      let outer = if ring_hi > 0 then (ring_hi, 0) :: ring else [] in
+      let inner =
+        if ring_hi >= 2 then [ (ring_hi / 2, 0); (0, ring_hi / 2) ] else []
+      in
+      return
+        (n, random_edges @ List.map (fun v -> (v, v)) loops @ outer @ inner))
+  in
+  QCheck.make gen ~print:(fun (n, edges) ->
+      Printf.sprintf "n=%d edges=[%s]" n
+        (String.concat ";"
+           (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) edges)))
+
+let prop_run_csr_equals_run =
+  QCheck.Test.make ~name:"run_csr = run = naive (SCC-shaped graphs)"
+    ~count:300 arb_scc_graph (fun (n, edges) ->
+      let successors = graph_of_edges n edges in
+      let init x = Bitset.of_list 64 [ x; (x + 7) mod 64 ] in
+      let graph = Csr.of_rows (Array.init n successors) in
+      let v_csr, st_csr = Digraph.ForBitset.run_csr ~graph ~init in
+      let v_run, st_run = Digraph.ForBitset.run ~n ~successors ~init in
+      let slow = Digraph.naive_fixpoint ~n ~successors ~init in
+      Array.for_all2 Bitset.equal v_csr v_run
+      && Array.for_all2 Bitset.equal v_csr slow
+      && st_csr = st_run)
+
+let prop_run_csr_scc_partition =
+  QCheck.Test.make
+    ~name:"run_csr nontrivial SCC partition = Tarjan's (SCC-shaped graphs)"
+    ~count:300 arb_scc_graph (fun (n, edges) ->
+      let successors = graph_of_edges n edges in
+      let graph = Csr.of_rows (Array.init n successors) in
+      let _, stats =
+        Digraph.ForBitset.run_csr ~graph ~init:(fun _ -> Bitset.create 1)
+      in
+      let norm l = List.sort compare (List.map (List.sort Int.compare) l) in
+      norm stats.Digraph.nontrivial_sccs
+      = norm (Tarjan.nontrivial ~n ~successors))
+
+(* ------------------------------------------------------------------ *)
 (* Vec                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -357,6 +478,19 @@ let () =
         ] );
       qsuite "digraph-props"
         [ prop_digraph_vs_naive; prop_digraph_sccs_match_tarjan ];
+      ( "csr",
+        [
+          Alcotest.test_case "stream order" `Quick test_csr_stream_order;
+          Alcotest.test_case "rev = cons-list order" `Quick
+            test_csr_rev_order;
+          Alcotest.test_case "of_rows round trip" `Quick
+            test_csr_of_rows_roundtrip;
+          Alcotest.test_case "bipartite columns" `Quick test_csr_bipartite;
+          Alcotest.test_case "bounds checking" `Quick test_csr_bounds;
+          Alcotest.test_case "empty shapes" `Quick test_csr_empty;
+        ] );
+      qsuite "csr-props"
+        [ prop_run_csr_equals_run; prop_run_csr_scc_partition ];
       ( "vec",
         [
           Alcotest.test_case "basic" `Quick test_vec_basic;

@@ -171,6 +171,41 @@ let test_randgen_config_bounds () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "n_terminals=0 must be rejected"
 
+(* ------------------------------------------------------------------ *)
+(* Scaled bench grammar                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Scaled.default_units is calibrated so the layout bench runs at
+   roughly 10× mini-c's nonterminal-transition count. Pin the band (not
+   the exact number, so generator tweaks that keep the scale don't churn
+   this test), plus determinism and conflict-freedom — the bench
+   compares byte-identical work across layouts, which only means
+   something if the workload itself is reproducible and LALR(1). *)
+let test_scaled_size_band () =
+  let g = Lalr_suite.Scaled.grammar () in
+  let a = Lr0.build g in
+  let nx = Lr0.n_nt_transitions a in
+  let mini_c = Lr0.n_nt_transitions (Lr0.build (Lazy.force (Registry.find "mini-c").grammar)) in
+  check "≥ 8× mini-c" true (nx >= 8 * mini_c);
+  check "≤ 14× mini-c" true (nx <= 14 * mini_c);
+  let t = Lalr_core.Lalr.compute a in
+  check "scaled grammar is LALR(1)" true (Lalr_core.Lalr.is_lalr1 t)
+
+let test_scaled_determinism () =
+  let g1 = Lalr_suite.Scaled.grammar () in
+  let g2 =
+    Lalr_suite.Scaled.grammar ~seed:Lalr_suite.Scaled.default_seed
+      ~units:Lalr_suite.Scaled.default_units ()
+  in
+  check "defaults reproduce" true (G.equal_structure g1 g2);
+  let small s = Lalr_suite.Scaled.grammar ~seed:s ~units:6 () in
+  check "same seed, same grammar" true (G.equal_structure (small 7) (small 7));
+  check "different seeds differ somewhere" true
+    (List.exists (fun s -> not (G.equal_structure (small 7) (small s))) [ 8; 9; 10 ]);
+  match Lalr_suite.Scaled.grammar ~units:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "units=0 must be rejected"
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -204,5 +239,11 @@ let () =
         [
           Alcotest.test_case "determinism" `Quick test_randgen_determinism;
           Alcotest.test_case "config bounds" `Quick test_randgen_config_bounds;
+        ] );
+      ( "scaled",
+        [
+          Alcotest.test_case "size band (~10× mini-c), LALR(1)" `Quick
+            test_scaled_size_band;
+          Alcotest.test_case "determinism" `Quick test_scaled_determinism;
         ] );
     ]
