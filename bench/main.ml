@@ -669,6 +669,244 @@ let bench_layout_smoke () =
   ignore (bench_layout_rows [ ("mini-c", (Registry.find "mini-c").grammar |> Lazy.force) ])
 
 (* ------------------------------------------------------------------ *)
+(* Serve — worker-pool throughput at 1/4/8 domains (BENCH_pr8.json)   *)
+(* ------------------------------------------------------------------ *)
+
+module G = Lalr_grammar.Grammar
+module Reader = Lalr_grammar.Reader
+module Pool = Lalr_serve.Pool
+module Protocol = Lalr_serve.Protocol
+
+(* Render a grammar back to the reader's surface syntax so the scaled
+   generator's output can travel as an [Inline] request — the pool has
+   no entry that accepts a Grammar.t directly, by design (the daemon
+   only trusts bytes). Precedence-free grammars only, which the scaled
+   family is. *)
+let grammar_to_cfg g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "%token";
+  for t = 1 to G.n_terminals g - 1 do
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (G.terminal_name g t)
+  done;
+  Printf.bprintf buf "\n%%start %s\n%%%%\n"
+    (G.nonterminal_name g g.G.start);
+  Array.iter
+    (fun (p : G.production) ->
+      if p.G.id <> 0 then begin
+        Buffer.add_string buf (G.nonterminal_name g p.G.lhs);
+        Buffer.add_string buf " :";
+        Array.iter
+          (fun s ->
+            Buffer.add_char buf ' ';
+            Buffer.add_string buf (G.symbol_name g s))
+          p.G.rhs;
+        Buffer.add_string buf " ;\n"
+      end)
+    g.G.productions;
+  Buffer.contents buf
+
+let serve_suite_names =
+  [ "json"; "mini-pascal"; "mini-c"; "modula2"; "ada-subset"; "algol60" ]
+
+(* [reps] copies of (every language grammar + the scaled-10x grammar
+   inline): the same request stream every arm consumes. *)
+let serve_workload ~reps scaled_cfg =
+  List.concat
+    (List.init reps (fun r ->
+         List.map
+           (fun n ->
+             Protocol.Classify
+               {
+                 id = Printf.sprintf "%s-%d" n r;
+                 source = Protocol.File ("suite:" ^ n);
+                 budget = None;
+               })
+           serve_suite_names
+         @ [
+             Protocol.Classify
+               {
+                 id = Printf.sprintf "scaled-10x-%d" r;
+                 source =
+                   Protocol.Inline { text = scaled_cfg; format = `Cfg };
+                 budget = None;
+               };
+           ]))
+
+(* The sequential-batch baseline: the same per-request work the pool's
+   workers do (load, engine, classification, persist), one request
+   after another on the calling domain, no queue, no dispatch. *)
+let serve_run_sequential ?store requests =
+  List.iter
+    (fun (req : Protocol.request) ->
+      match req with
+      | Protocol.Health _ -> ()
+      | Protocol.Classify { source; _ } ->
+          let g =
+            match source with
+            | Protocol.File spec ->
+                let name = String.sub spec 6 (String.length spec - 6) in
+                Lazy.force (Registry.find name).Registry.grammar
+            | Protocol.Inline { text; _ } -> (
+                match Reader.of_string_tolerant ~name:"bench" text with
+                | Some g, [] -> g
+                | _ -> failwith "serve bench: unreadable inline grammar")
+          in
+          let e = Engine.create ?store g in
+          ignore
+            (Engine.run_partial e (fun e ->
+                 Engine.classification
+                   ~with_lr1:(G.n_productions g <= Engine.lr1_limit)
+                   e));
+          Engine.persist e)
+    requests
+
+let serve_run_pool ~domains ?store requests =
+  let pool =
+    Pool.create
+      {
+        Pool.default_config with
+        Pool.domains;
+        queue_capacity = List.length requests + 1;
+        store;
+      }
+  in
+  let pending = Atomic.make (List.length requests) in
+  List.iter
+    (fun request ->
+      match Pool.submit pool ~request ~respond:(fun _ -> Atomic.decr pending) with
+      | `Accepted -> ()
+      | `Overloaded | `Draining -> failwith "serve bench: request not admitted")
+    requests;
+  ignore (Pool.drain pool);
+  assert (Atomic.get pending = 0)
+
+let serve_samples = 3
+
+let serve_wall f =
+  let best = ref infinity in
+  for _ = 1 to serve_samples do
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let t = Unix.gettimeofday () -. t0 in
+    if t < !best then best := t
+  done;
+  !best
+
+let bench_serve_rows ~reps =
+  let scaled_cfg = grammar_to_cfg (Lalr_suite.Scaled.grammar ()) in
+  let requests = serve_workload ~reps scaled_cfg in
+  let n = List.length requests in
+  (* Warm-up: force the registry lazies and level the allocator so the
+     first timed arm is not billed for one-time construction. *)
+  serve_run_sequential requests;
+  let seq = serve_wall (fun () -> serve_run_sequential requests) in
+  let arms =
+    List.map
+      (fun domains ->
+        let w = serve_wall (fun () -> serve_run_pool ~domains requests) in
+        (domains, w))
+      [ 1; 4; 8 ]
+  in
+  (requests, n, seq, arms)
+
+let bench_serve () =
+  section "bench SV — serve pool throughput, 1/4/8 domains vs sequential";
+  let reps = 3 in
+  let requests, n, seq, arms = bench_serve_rows ~reps in
+  Format.printf "sequential: %d requests in %.3fs (%.1f req/s)@." n seq
+    (float_of_int n /. seq);
+  List.iter
+    (fun (d, w) ->
+      Format.printf "%d domain(s): %.3fs (%.1f req/s, %.2fx)@." d w
+        (float_of_int n /. w) (seq /. w))
+    arms;
+  (* Warm-store pass at the widest arm: one cold fill, one warm run
+     over the same shared store; the hit rate lands in the bench trace
+     session's gauges as well as the JSON. *)
+  let store_dir = Filename.temp_file "lalr_serve_bench_" "" in
+  Sys.remove store_dir;
+  let store = Store.create ~dir:store_dir in
+  serve_run_pool ~domains:8 ~store requests;
+  let cold = Store.stats store in
+  let warm_wall =
+    serve_wall (fun () -> serve_run_pool ~domains:8 ~store requests)
+  in
+  let warm = Store.stats store in
+  let w_hits = warm.Store.hits - cold.Store.hits in
+  let w_misses = warm.Store.misses - cold.Store.misses in
+  let hit_rate =
+    if w_hits + w_misses = 0 then 0.
+    else float_of_int w_hits /. float_of_int (w_hits + w_misses)
+  in
+  let session = Trace.start () in
+  Trace.gauge_int "serve.store.hits" w_hits;
+  Trace.gauge_int "serve.store.misses" w_misses;
+  Trace.gauge "serve.store.hit_rate" hit_rate;
+  Trace.finish session;
+  Format.printf
+    "warm store (8 domains): %.3fs, hit rate %.2f (%d hits / %d misses)@."
+    warm_wall hit_rate w_hits w_misses;
+  Format.printf "trace gauges: %s@." (Trace.metrics_json session);
+  let cores = Domain.recommended_domain_count () in
+  Bench_json.(
+    write "BENCH_pr8.json"
+      (Obj
+         [
+           ("pr", Int 8);
+           ("experiment", Str "serve-pool-throughput");
+           ( "workload",
+             Str
+               (Printf.sprintf
+                  "%d requests: %d x (%s) + %d x scaled-10x inline" n reps
+                  (String.concat " " serve_suite_names)
+                  reps) );
+           ("cores", Int cores);
+           ( "note",
+             Str
+               "throughput arms share one physical machine; speedups are \
+                bounded above by the available cores, so judge the 4- and \
+                8-domain arms against min(domains, cores)" );
+           ("requests", Int n);
+           ("sequential_s", Sec seq);
+           ( "arms",
+             List
+               (List.map
+                  (fun (d, w) ->
+                    Obj
+                      [
+                        ("domains", Int d);
+                        ("wall_s", Sec w);
+                        ( "throughput_req_s",
+                          Ratio (float_of_int n /. w) );
+                        ("speedup_vs_sequential", Ratio (seq /. w));
+                        ( "speedup_bound",
+                          Int (min d cores) );
+                      ])
+                  arms) );
+           ( "warm_store",
+             Obj
+               [
+                 ("domains", Int 8);
+                 ("wall_s", Sec warm_wall);
+                 ("hits", Int w_hits);
+                 ("misses", Int w_misses);
+                 ("hit_rate", Ratio hit_rate);
+               ] );
+         ]));
+  Format.printf "@.wrote BENCH_pr8.json (%d requests, %d cores)@." n cores
+
+(* CI smoke: one rep, pool vs sequential shape only, no file write. *)
+let bench_serve_smoke () =
+  section "bench SV (smoke) — serve pool, one rep";
+  let scaled_cfg = grammar_to_cfg (Lalr_suite.Scaled.grammar ()) in
+  let requests = serve_workload ~reps:1 scaled_cfg in
+  serve_run_sequential requests;
+  serve_run_pool ~domains:2 requests;
+  Format.printf "serve smoke: %d requests served@." (List.length requests)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -687,6 +925,8 @@ let all =
     ("trace", bench_trace);
     ("layout", bench_layout);
     ("layout-smoke", bench_layout_smoke);
+    ("serve", bench_serve);
+    ("serve-smoke", bench_serve_smoke);
   ]
 
 let () =

@@ -36,6 +36,10 @@ module Token = Lalr_runtime.Token
 module Registry = Lalr_suite.Registry
 module Budget = Lalr_guard.Budget
 module Faultpoint = Lalr_guard.Faultpoint
+module Retry = Lalr_guard.Retry
+module Protocol = Lalr_serve.Protocol
+module Pool = Lalr_serve.Pool
+module Serve = Lalr_serve.Serve
 module Store = Lalr_store.Store
 module Classify = Lalr_tables.Classify
 module Trace = Lalr_trace.Trace
@@ -844,10 +848,10 @@ let batch_cmd =
           diag 2 "diagnostics" detail
     in
     (* Line schema documented in README ("Batch mode"): keep in sync. *)
-    let emit file r ~retried =
+    let emit file r ~retries =
       Format.printf
-        "{\"file\":\"%s\",\"exit\":%d,\"status\":\"%s\",\"retried\":%b,\"wall_ms\":%.3f%s%s%s%s%s}@."
-        (json_escape file) r.j_exit r.j_status retried r.j_wall_ms
+        "{\"file\":\"%s\",\"exit\":%d,\"status\":\"%s\",\"retries\":%d,\"wall_ms\":%.3f%s%s%s%s%s}@."
+        (json_escape file) r.j_exit r.j_status retries r.j_wall_ms
         (match r.j_lalr1 with
         | Some b -> Printf.sprintf ",\"lalr1\":%b" b
         | None -> "")
@@ -888,15 +892,17 @@ let batch_cmd =
     let codes =
       List.map
         (fun file ->
-          let r1 = timed_attempt file in
-          (* Retry-once on internal faults: a broken invariant may be a
+          (* Retry on internal faults with capped exponential backoff
+             (deterministic jitter): a broken invariant may be a
              transient environmental condition (and the fire-once
-             injections model exactly that); a second identical failure
-             is reported as final. *)
-          let r, retried =
-            if r1.j_exit = 4 then (timed_attempt file, true) else (r1, false)
+             injections model exactly that); when the attempt cap is
+             reached the last failure is reported as final. *)
+          let r, retries =
+            Retry.run
+              ~retryable:(fun r -> r.j_exit = 4)
+              (fun ~attempt:_ -> timed_attempt file)
           in
-          emit file r ~retried;
+          emit file r ~retries;
           r.j_exit)
         files
     in
@@ -930,8 +936,8 @@ let batch_cmd =
        ~doc:
          "Classify many grammars in one invocation with per-job isolation: \
           a failing job is reported (JSON-lines) and never aborts the \
-          batch; internal faults are retried once; the exit code is the \
-          maximum per-job code")
+          batch; internal faults are retried with capped exponential \
+          backoff; the exit code is the maximum per-job code")
     Term.(const run $ files $ budget_spec $ cache_arg $ inject_arg
           $ timings_arg $ trace_arg)
 
@@ -1030,6 +1036,218 @@ let suite_cmd =
     (Cmd.info "suite" ~doc:"List the built-in benchmark grammars")
     Term.(const run $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* serve                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  let doc =
+    "Endpoint to listen on (serve) or connect to (call): a filesystem \
+     path for a Unix-domain socket, $(b,HOST:PORT) or a bare $(b,PORT) \
+     (host 127.0.0.1) for TCP."
+  in
+  Arg.(
+    value
+    & opt string "lalrgen.sock"
+    & info [ "socket" ] ~docv:"ENDPOINT" ~doc)
+
+let serve_cmd =
+  let run socket domains queue budget_spec cache inject max_line trace_file =
+    arm_injection inject;
+    (match budget_spec with
+    | Some s -> (
+        match Budget.of_spec s with
+        | Ok _ -> ()
+        | Error m ->
+            Format.eprintf "lalrgen: --budget: %s@." m;
+            exit 2)
+    | None -> ());
+    let endpoint =
+      match Serve.parse_endpoint socket with
+      | Ok e -> e
+      | Error m ->
+          Format.eprintf "lalrgen: --socket: %s@." m;
+          exit 2
+    in
+    let store = open_store cache in
+    let cfg =
+      {
+        Serve.endpoint;
+        pool =
+          {
+            Pool.default_config with
+            Pool.domains;
+            queue_capacity = queue;
+            default_budget = budget_spec;
+            store;
+          };
+        max_line;
+        trace_file;
+        on_ready =
+          (fun line ->
+            print_endline line;
+            flush stdout);
+      }
+    in
+    match Serve.run cfg with
+    | Ok () ->
+        (match store with
+        | Some st -> Format.eprintf "%a@." Store.pp_stats st
+        | None -> ());
+        exit 0
+    | Error m ->
+        Format.eprintf "lalrgen: serve: %s@." m;
+        exit 2
+  in
+  let domains =
+    let doc =
+      "Worker domains in the analysis pool (defaults to the runtime's \
+       recommended domain count)."
+    in
+    Arg.(
+      value
+      & opt int (Domain.recommended_domain_count ())
+      & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let queue =
+    let doc =
+      "Admission queue capacity; requests beyond it are shed with a typed \
+       $(b,overloaded) response instead of queueing without bound."
+    in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let budget_spec =
+    let doc =
+      Printf.sprintf
+        "Default per-request resource budget, applied to requests that \
+         carry no $(b,budget) field — %s."
+        Budget.spec_doc
+    in
+    Arg.(value & opt (some string) None & info [ "budget" ] ~docv:"SPEC" ~doc)
+  in
+  let max_line =
+    let doc =
+      "Request-line byte cap; longer lines are answered with a typed \
+       $(b,bad_request) and discarded."
+    in
+    Arg.(
+      value
+      & opt int Serve.default_max_line
+      & info [ "max-line" ] ~docv:"BYTES" ~doc)
+  in
+  let trace_file =
+    let doc =
+      "Write the daemon's trace to $(docv) (format inferred from the \
+       extension) and each worker domain's session to $(docv).wN."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the analysis daemon: newline-delimited JSON requests over a \
+          Unix or TCP socket, dispatched to a supervised pool of worker \
+          domains sharing one artifact store. Degrades under fault and \
+          overload with typed per-request responses; SIGTERM drains \
+          gracefully (exit 0). See README \"Serving\" for the protocol.")
+    Term.(const run $ socket_arg $ domains $ queue $ budget_spec $ cache_arg
+          $ inject_arg $ max_line $ trace_file)
+
+(* ------------------------------------------------------------------ *)
+(* call — the matching line-protocol client                           *)
+(* ------------------------------------------------------------------ *)
+
+let call_cmd =
+  let run socket requests =
+    let endpoint =
+      match Serve.parse_endpoint socket with
+      | Ok e -> e
+      | Error m ->
+          Format.eprintf "lalrgen: --socket: %s@." m;
+          exit 2
+    in
+    let lines =
+      match requests with
+      | [ "-" ] | [] -> In_channel.input_lines stdin
+      | rs -> rs
+    in
+    let fd =
+      try
+        match endpoint with
+        | Serve.Unix_path path ->
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_UNIX path);
+            fd
+        | Serve.Tcp { host; port } ->
+            let addr =
+              try Unix.inet_addr_of_string host
+              with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+            in
+            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_INET (addr, port));
+            fd
+      with
+      | Unix.Unix_error (e, _, _) ->
+          Format.eprintf "lalrgen: call: %s: %s@." socket
+            (Unix.error_message e);
+          exit 2
+      | Not_found | Failure _ ->
+          Format.eprintf "lalrgen: call: cannot resolve %s@." socket;
+          exit 2
+    in
+    let oc = Unix.out_channel_of_descr fd in
+    let ic = Unix.in_channel_of_descr fd in
+    List.iter
+      (fun l ->
+        output_string oc l;
+        output_char oc '\n')
+      lines;
+    flush oc;
+    Unix.shutdown fd Unix.SHUTDOWN_SEND;
+    let expected = List.length lines in
+    let exit_of_line line =
+      match Protocol.Json.parse line with
+      | Ok j -> (
+          match Protocol.Json.member "exit" j with
+          | Some (Protocol.Json.Num f) -> int_of_float f
+          | _ -> 4)
+      | Error _ -> 4
+    in
+    let rec read_responses n worst =
+      if n = 0 then worst
+      else
+        match In_channel.input_line ic with
+        | Some line ->
+            print_endline line;
+            read_responses (n - 1) (max worst (exit_of_line line))
+        | None ->
+            Format.eprintf
+              "lalrgen: call: connection closed with %d response(s) \
+               missing@."
+              n;
+            max worst 4
+    in
+    let code = read_responses expected 0 in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    exit code
+  in
+  let requests =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "Request lines (JSON, see README \"Serving\"); with no \
+             arguments or a single $(b,-), lines are read from stdin. One \
+             response line is printed per request; the exit code is the \
+             maximum per-response $(b,exit) field.")
+  in
+  Cmd.v
+    (Cmd.info "call"
+       ~doc:
+         "Send requests to a running $(b,lalrgen serve) daemon and print \
+          its response lines; exits with the worst per-response code")
+    Term.(const run $ socket_arg $ requests)
+
 let () =
   let doc =
     "LALR(1) parser generator toolkit (DeRemer–Pennello look-ahead sets)"
@@ -1041,5 +1259,5 @@ let () =
           [
             classify_cmd; report_cmd; conflicts_cmd; tables_cmd; parse_cmd;
             generate_cmd; lint_cmd; batch_cmd; exercise_cmd; stats_cmd;
-            faultpoints_cmd; suite_cmd;
+            faultpoints_cmd; suite_cmd; serve_cmd; call_cmd;
           ]))

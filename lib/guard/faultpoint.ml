@@ -10,7 +10,7 @@ let kind_of_name = function
   | "corrupt" -> Some Corrupt
   | _ -> None
 
-type site_class = Compute | Reader | Store_io
+type site_class = Compute | Reader | Store_io | Serve
 
 type site_info = {
   si_name : string;
@@ -22,7 +22,10 @@ let compute name = { si_name = name; si_class = Compute; si_kinds = [ Raise; Wal
 
 (* The engine slot names (lib/engine keeps them in sync: its slot
    constructor asserts membership in this list), the two tolerant
-   reader entries, and the store I/O boundaries. *)
+   reader entries, the store I/O boundaries, and the daemon loop
+   stages of lalrgen serve (lib/serve). *)
+let serve name kinds = { si_name = name; si_class = Serve; si_kinds = kinds }
+
 let sites =
   List.map compute
     [
@@ -35,6 +38,16 @@ let sites =
       { si_name = "menhir"; si_class = Reader; si_kinds = [ Raise; Wall; Corrupt ] };
       { si_name = "store-read"; si_class = Store_io; si_kinds = [ Raise; Wall; Corrupt ] };
       { si_name = "store-write"; si_class = Store_io; si_kinds = [ Raise; Wall; Corrupt ] };
+      (* serve-worker is the crash site: it sits OUTSIDE the per-job
+         typed boundary, so a raise there kills the worker domain and
+         exercises supervision (restart + typed internal response for
+         the in-flight request). The other serve sites are absorbed
+         into per-request typed responses by the daemon loop. *)
+      serve "serve-accept" [ Raise; Wall ];
+      serve "serve-decode" [ Raise; Wall; Corrupt ];
+      serve "serve-dispatch" [ Raise; Wall ];
+      serve "serve-respond" [ Raise; Wall ];
+      serve "serve-worker" [ Raise ];
     ]
 
 let find_site name = List.find_opt (fun s -> s.si_name = name) sites
@@ -45,6 +58,11 @@ let expected_exit site kind =
      optional acceleration. Corruption surfaces on the NEXT read as a
      quarantine + recompute — also exit 0, visible in the counters. *)
   | Store_io, _ -> 0
+  (* The daemon absorbs every serve-site firing into a typed
+     per-request response (or a supervised worker restart) and keeps
+     serving; its own exit stays 0 through a clean drain. The serve
+     chaos matrix asserts the per-request statuses instead. *)
+  | Serve, _ -> 0
   | _, Raise -> 4
   | _, Wall -> 3
   | Reader, Corrupt -> 2

@@ -34,7 +34,7 @@ val kind_name : kind -> string
 
 val kind_of_name : string -> kind option
 
-type site_class = Compute | Reader | Store_io
+type site_class = Compute | Reader | Store_io | Serve
 
 type site_info = {
   si_name : string;
@@ -44,8 +44,13 @@ type site_info = {
 
 val sites : site_info list
 (** Every registered site: the engine slots, the two reader entries
-    ([reader], [menhir]) and the store boundaries ([store-read],
-    [store-write]). *)
+    ([reader], [menhir]), the store boundaries ([store-read],
+    [store-write]) and the daemon loop stages of [lalrgen serve]
+    ([serve-accept], [serve-decode], [serve-dispatch],
+    [serve-respond], [serve-worker]). The serve sites are absorbed by
+    the daemon into typed per-request responses — [serve-worker] via a
+    supervised worker-domain restart — so their documented process
+    exit is 0. *)
 
 val find_site : string -> site_info option
 

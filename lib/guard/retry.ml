@@ -1,0 +1,50 @@
+type policy = {
+  max_attempts : int;
+  base_delay : float;
+  multiplier : float;
+  max_delay : float;
+  jitter : float;
+  seed : int;
+}
+
+let default =
+  {
+    max_attempts = 2;
+    base_delay = 0.05;
+    multiplier = 2.0;
+    max_delay = 1.0;
+    jitter = 0.25;
+    seed = 0x1a1a;
+  }
+
+(* Splitmix64 finalizer over (seed, attempt): a full-avalanche hash is
+   overkill for jitter, but it is stateless, deterministic and already
+   the idiom used by the scaled-grammar generator. *)
+let mix seed attempt =
+  let z = Int64.of_int ((seed * 0x9e3779b9) lxor (attempt * 0x85ebca6b)) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let delay_for p ~attempt =
+  let raw = p.base_delay *. (p.multiplier ** float_of_int (attempt - 1)) in
+  let capped = Float.min raw p.max_delay in
+  if p.jitter <= 0. then capped
+  else
+    (* 53 mantissa-sized bits of the hash -> u in [0, 1). *)
+    let bits = Int64.to_float (Int64.shift_right_logical (mix p.seed attempt) 11) in
+    let u = bits /. 9007199254740992.0 in
+    capped *. (1. -. p.jitter +. (2. *. p.jitter *. u))
+
+let run ?(policy = default) ?(sleep = Unix.sleepf) ~retryable f =
+  let rec go attempt =
+    let r = f ~attempt in
+    if retryable r && attempt < policy.max_attempts then begin
+      sleep (delay_for policy ~attempt);
+      go (attempt + 1)
+    end
+    else (r, attempt - 1)
+  in
+  go 1

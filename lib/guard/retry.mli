@@ -1,0 +1,51 @@
+(** Capped-exponential-backoff retry for transient internal faults.
+
+    Both fleet front ends — [lalrgen batch] and the [lalrgen serve]
+    worker pool — face the same situation: a job failed with a typed
+    internal fault that {e may} be transient (the deterministic
+    fire-once injections model exactly that; so do real environmental
+    conditions such as a flaky filesystem under the store). The shared
+    policy is: retry a bounded number of times, waiting
+    [base * multiplier^(n-1)] between attempts, capped at [max_delay],
+    with a deterministic jitter factor so a fleet of workers that
+    failed together does not retry in lockstep.
+
+    Everything is injectable and deterministic: the sleep function is
+    a parameter (tests pass a recorder and run in microseconds), and
+    the jitter stream is a pure hash of [(seed, attempt)] — no
+    [Random], no wall clock, so the delay sequence for a given policy
+    is a constant that tests can pin exactly. *)
+
+type policy = {
+  max_attempts : int;  (** total attempts, including the first; >= 1 *)
+  base_delay : float;  (** seconds before the second attempt *)
+  multiplier : float;  (** geometric growth per further attempt *)
+  max_delay : float;  (** cap on any single delay, pre-jitter *)
+  jitter : float;
+      (** fraction in [0, 1): each delay is scaled by a deterministic
+          factor drawn from [1 - jitter, 1 + jitter] *)
+  seed : int;  (** jitter stream seed *)
+}
+
+val default : policy
+(** 2 attempts (one retry), 50 ms base, x2, 1 s cap, 25% jitter —
+    the batch/serve production policy. *)
+
+val delay_for : policy -> attempt:int -> float
+(** The delay in seconds slept {e after} failed [attempt] (1-based),
+    jitter applied. Pure: same policy, same attempt, same answer. *)
+
+val run :
+  ?policy:policy ->
+  ?sleep:(float -> unit) ->
+  retryable:('a -> bool) ->
+  (attempt:int -> 'a) ->
+  'a * int
+(** [run ~retryable f] calls [f ~attempt:1]; while the result is
+    [retryable] and attempts remain, sleeps the backoff delay and
+    calls [f] again with the next attempt number. Returns the final
+    result (retryable or not) and the number of retries performed
+    (0 when the first attempt stood). [sleep] defaults to
+    [Unix.sleepf]. Exceptions from [f] are not caught — callers that
+    want exception retries convert to data first (both fleet callers
+    already run jobs behind a typed failure boundary). *)

@@ -1,0 +1,409 @@
+module G = Lalr_grammar.Grammar
+module Reader = Lalr_grammar.Reader
+module Menhir_reader = Lalr_grammar.Menhir_reader
+module Engine = Lalr_engine.Engine
+module Classify = Lalr_tables.Classify
+module Budget = Lalr_guard.Budget
+module Faultpoint = Lalr_guard.Faultpoint
+module Retry = Lalr_guard.Retry
+module Registry = Lalr_suite.Registry
+module Store = Lalr_store.Store
+module Trace = Lalr_trace.Trace
+
+type config = {
+  domains : int;
+  queue_capacity : int;
+  default_budget : string option;
+  store : Store.t option;
+  trace : bool;
+  retry : Retry.policy;
+  sleep : float -> unit;
+}
+
+let default_config =
+  {
+    domains = 1;
+    queue_capacity = 64;
+    default_budget = None;
+    store = None;
+    trace = false;
+    retry = Retry.default;
+    sleep = Unix.sleepf;
+  }
+
+type job = {
+  jb_request : Protocol.request;
+  jb_respond : Protocol.response -> unit;
+}
+
+type worker = {
+  w_id : int;
+  w_alive : bool Atomic.t;
+  w_jobs : int Atomic.t;  (* completed by the current incarnation *)
+  w_current : job option Atomic.t;
+  w_session : Trace.session option Atomic.t;  (* set on clean exit *)
+}
+
+type t = {
+  cfg : config;
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  queue : job Queue.t;
+  mutable draining : bool;  (* guarded by mu *)
+  mutable drained : Trace.session option array option;  (* guarded by mu *)
+  workers : worker array;
+  mutable supervisors : Thread.t array;  (* written once in create *)
+  started_at : float;
+  restarts : int Atomic.t;
+  shed : int Atomic.t;
+  completed : int Atomic.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The per-job computation (typed outcomes only)                       *)
+(* ------------------------------------------------------------------ *)
+
+let job_response id status detail : Protocol.job_response =
+  {
+    r_id = id;
+    r_status = status;
+    r_detail = detail;
+    r_lalr1 = None;
+    r_wall_ms = 0.;
+    r_retries = 0;
+    r_stages = [];
+    r_lr0_states = None;
+    r_completed = [];
+  }
+
+(* Registry grammars are memoized lazies shared by every worker
+   domain, and [Lazy.force] is not domain-safe — two domains racing on
+   the first force of the same entry is undefined. The force is
+   serialised here; after the first one the critical section is a
+   memo read. *)
+let suite_mu = Mutex.create ()
+
+let load_source = function
+  | Protocol.File spec ->
+      if String.length spec > 6 && String.sub spec 0 6 = "suite:" then
+        let name = String.sub spec 6 (String.length spec - 6) in
+        let g =
+          Mutex.lock suite_mu;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock suite_mu)
+            (fun () -> Lazy.force (Registry.find name).grammar)
+        in
+        (Some g, [])
+      else if Filename.check_suffix spec ".mly" then
+        Menhir_reader.of_file_tolerant spec
+      else Reader.of_file_tolerant spec
+  | Protocol.Inline { text; format = `Cfg } ->
+      Reader.of_string_tolerant ~name:"request" text
+  | Protocol.Inline { text; format = `Mly } ->
+      Menhir_reader.of_string_tolerant ~name:"request" text
+
+(* One isolated attempt, the serve twin of batch's [attempt]: every
+   outcome is data. Exceptions that models as typed failures are
+   mapped here; anything else escapes to the worker boundary and is a
+   crash (supervised). *)
+let attempt_job t id source budget_spec : Protocol.job_response =
+  let fresh_budget () =
+    match budget_spec with
+    | None -> Ok None
+    | Some s -> (
+        match Budget.of_spec s with
+        | Ok b -> Ok (Some b)
+        | Error m -> Error (Printf.sprintf "invalid budget spec: %s" m))
+  in
+  match fresh_budget () with
+  | Error m -> job_response id Protocol.Bad_request m
+  | Ok budget -> (
+      match load_source source with
+      | exception Not_found ->
+          job_response id Protocol.Bad_request "no such suite grammar"
+      | exception Sys_error msg -> job_response id Protocol.Bad_request msg
+      | exception Invalid_argument msg ->
+          job_response id Protocol.Bad_request msg
+      | exception Budget.Exceeded ex ->
+          job_response id Protocol.Budget
+            (Format.asprintf "%a" Budget.pp_exceeded ex)
+      | exception Budget.Internal_error { stage; invariant } ->
+          job_response id Protocol.Internal
+            (Printf.sprintf "internal error in stage '%s': %s" stage invariant)
+      | Some g, [] -> (
+          let e = Engine.create ?budget ?store:t.cfg.store g in
+          let p =
+            Engine.run_partial e (fun e ->
+                Engine.classification
+                  ~with_lr1:(G.n_productions g <= Engine.lr1_limit)
+                  e)
+          in
+          Engine.persist e;
+          let stages =
+            List.filter_map
+              (fun (s : Engine.stage) ->
+                if s.Engine.forced then Some (s.Engine.stage, s.Engine.wall)
+                else None)
+              (Engine.stats e)
+          in
+          let lr0_states = Engine.peek_lr0_states e in
+          match (p.Engine.pr_value, p.Engine.pr_completeness) with
+          | Some v, _ ->
+              let lalr1 = v.Classify.lalr1 in
+              {
+                (job_response id
+                   (if lalr1 then Protocol.Ok_ else Protocol.Verdict)
+                   "")
+                with
+                r_lalr1 = Some lalr1;
+                r_stages = stages;
+                r_lr0_states = lr0_states;
+                r_completed = [];
+              }
+          | None, Engine.Complete ->
+              job_response id Protocol.Internal
+                "run_partial: no value yet complete"
+          | None, Engine.Incomplete failure ->
+              {
+                (job_response id
+                   (match failure with
+                   | Engine.Budget_exceeded _ -> Protocol.Budget
+                   | Engine.Internal_error _ -> Protocol.Internal)
+                   (Format.asprintf "%a" Engine.pp_failure failure))
+                with
+                r_stages = stages;
+                r_lr0_states = lr0_states;
+                r_completed = p.Engine.pr_completed;
+              })
+      | g_opt, errors ->
+          let detail =
+            match errors with
+            | e :: _ -> Format.asprintf "%a" Reader.pp_error e
+            | [] -> if g_opt = None then "unreadable grammar" else "no grammar"
+          in
+          job_response id Protocol.Bad_request detail)
+
+let run_job t job : Protocol.response =
+  match job.jb_request with
+  | Protocol.Health { id } ->
+      (* Health never enters the queue (serve answers it inline);
+         reaching a worker with one is a wiring bug, reported as such
+         rather than silently misclassified. *)
+      Protocol.Job
+        (job_response id Protocol.Internal "health request reached the pool")
+  | Protocol.Classify { id; source; budget } ->
+      let budget_spec =
+        match budget with Some _ -> budget | None -> t.cfg.default_budget
+      in
+      let t0 = Unix.gettimeofday () in
+      let r, retries =
+        Retry.run ~policy:t.cfg.retry ~sleep:t.cfg.sleep
+          ~retryable:(fun (o : Protocol.job_response) ->
+            o.Protocol.r_status = Protocol.Internal)
+          (fun ~attempt ->
+            Trace.with_span
+              ~attrs:(fun () ->
+                [ ("id", Trace.Str id); ("attempt", Trace.Int attempt) ])
+              "serve.request"
+              (fun () -> attempt_job t id source budget_spec))
+      in
+      let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+      Trace.count "serve.requests";
+      Trace.count ("serve.status." ^ Protocol.status_name r.Protocol.r_status);
+      if retries > 0 then Trace.count ~n:retries "serve.retries";
+      Protocol.Job
+        { r with Protocol.r_wall_ms = wall_ms; Protocol.r_retries = retries }
+
+(* ------------------------------------------------------------------ *)
+(* Worker domains and supervision                                      *)
+(* ------------------------------------------------------------------ *)
+
+let take_job t =
+  Mutex.lock t.mu;
+  let rec wait () =
+    if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+    else if t.draining then None
+    else begin
+      Condition.wait t.nonempty t.mu;
+      wait ()
+    end
+  in
+  let j = wait () in
+  Mutex.unlock t.mu;
+  j
+
+let rec worker_loop t w =
+  match take_job t with
+  | None -> ()
+  | Some job ->
+      Atomic.set w.w_current (Some job);
+      (* The crash site: deliberately OUTSIDE the typed per-job
+         boundary, so an armed serve-worker raise escapes, kills this
+         domain, and exercises the supervisor's restart path. *)
+      Faultpoint.check "serve-worker";
+      let response = run_job t job in
+      (* Clear the in-flight marker BEFORE responding: if the respond
+         callback itself dies (a broken connection absorbed too late),
+         the supervisor must not answer this job a second time. *)
+      Atomic.set w.w_current None;
+      Atomic.incr w.w_jobs;
+      Atomic.incr t.completed;
+      job.jb_respond response;
+      worker_loop t w
+
+let worker_body t w () =
+  Atomic.set w.w_alive true;
+  Atomic.set w.w_jobs 0;
+  let session = if t.cfg.trace then Some (Trace.start ()) else None in
+  match worker_loop t w with
+  | () ->
+      Option.iter
+        (fun s ->
+          Trace.finish s;
+          Atomic.set w.w_session (Some s))
+        session;
+      `Done
+  | exception exn ->
+      Atomic.set w.w_alive false;
+      `Crashed (Printexc.to_string exn)
+[@@lalr.allow
+  D004
+    "supervision boundary: the worker domain converts ANY escaping \
+     exception into a `Crashed value so the supervisor thread can \
+     respond for the in-flight job and restart the domain — \
+     re-raising would abort the whole daemon, which is exactly what \
+     supervision exists to prevent"]
+
+let rec supervise t w =
+  let d = Domain.spawn (worker_body t w) in
+  match Domain.join d with
+  | `Done -> ()
+  | `Crashed msg ->
+      Atomic.incr t.restarts;
+      (match Atomic.exchange w.w_current None with
+      | Some job ->
+          Atomic.incr t.completed;
+          job.jb_respond
+            (Protocol.Job
+               {
+                 (job_response
+                    (Protocol.request_id job.jb_request)
+                    Protocol.Internal
+                    (Printf.sprintf "worker %d crashed: %s (domain restarted)"
+                       w.w_id msg))
+                 with
+                 Protocol.r_retries = 0;
+               })
+      | None -> ());
+      (* Unconditional respawn: while draining, the fresh incarnation
+         exits as soon as the queue is empty, so a crash during drain
+         still finishes the admitted work. A persistent crash loop
+         makes progress anyway — each crash consumes its job. *)
+      supervise t w
+
+let create cfg =
+  let cfg =
+    {
+      cfg with
+      domains = max 1 cfg.domains;
+      queue_capacity = max 1 cfg.queue_capacity;
+    }
+  in
+  let workers =
+    Array.init cfg.domains (fun i ->
+        {
+          w_id = i;
+          w_alive = Atomic.make false;
+          w_jobs = Atomic.make 0;
+          w_current = Atomic.make None;
+          w_session = Atomic.make None;
+        })
+  in
+  let t =
+    {
+      cfg;
+      mu = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      draining = false;
+      drained = None;
+      workers;
+      supervisors = [||];
+      started_at = Unix.gettimeofday ();
+      restarts = Atomic.make 0;
+      shed = Atomic.make 0;
+      completed = Atomic.make 0;
+    }
+  in
+  t.supervisors <-
+    Array.map (fun w -> Thread.create (fun () -> supervise t w) ()) workers;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Admission                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let submit t ~request ~respond =
+  Faultpoint.check "serve-dispatch";
+  Mutex.lock t.mu;
+  if t.draining then begin
+    Mutex.unlock t.mu;
+    Atomic.incr t.shed;
+    `Draining
+  end
+  else if Queue.length t.queue >= t.cfg.queue_capacity then begin
+    Mutex.unlock t.mu;
+    Atomic.incr t.shed;
+    `Overloaded
+  end
+  else begin
+    Queue.push { jb_request = request; jb_respond = respond } t.queue;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mu;
+    `Accepted
+  end
+
+let depth t =
+  Mutex.lock t.mu;
+  let d = Queue.length t.queue in
+  Mutex.unlock t.mu;
+  d
+
+let health t ~id : Protocol.health_response =
+  {
+    h_id = id;
+    h_uptime_s = Unix.gettimeofday () -. t.started_at;
+    h_queue_depth = depth t;
+    h_queue_capacity = t.cfg.queue_capacity;
+    h_workers =
+      Array.to_list
+        (Array.map
+           (fun w ->
+             {
+               Protocol.w_id = w.w_id;
+               w_alive = Atomic.get w.w_alive;
+               w_jobs = Atomic.get w.w_jobs;
+             })
+           t.workers);
+    h_restarts = Atomic.get t.restarts;
+    h_shed = Atomic.get t.shed;
+    h_completed = Atomic.get t.completed;
+    h_store = Option.map Store.stats t.cfg.store;
+  }
+
+let drain t =
+  Mutex.lock t.mu;
+  match t.drained with
+  | Some sessions ->
+      Mutex.unlock t.mu;
+      sessions
+  | None ->
+      t.draining <- true;
+      Condition.broadcast t.nonempty;
+      Mutex.unlock t.mu;
+      Array.iter Thread.join t.supervisors;
+      let sessions = Array.map (fun w -> Atomic.get w.w_session) t.workers in
+      Mutex.lock t.mu;
+      t.drained <- Some sessions;
+      Mutex.unlock t.mu;
+      sessions

@@ -1,0 +1,91 @@
+(** The multicore analysis pool: OCaml 5 Domains behind a bounded
+    admission queue, with supervision.
+
+    One pool owns [domains] worker domains, one shared bounded job
+    queue, and (optionally) one shared artifact store. The robustness
+    contract, in order of importance:
+
+    + {b exactly one response per admitted job} — the worker responds
+      with a typed outcome; if the worker domain {e crashes}
+      mid-request (an exception escaping the per-job boundary, e.g. an
+      armed [serve-worker] faultpoint), its supervisor responds
+      [internal] for the in-flight job and {b restarts the domain} —
+      one poisoned request never takes down the fleet, and a
+      persistent crash loop still drains the queue one job per
+      respawn;
+    + {b bounded admission} — {!submit} refuses ([`Overloaded]) when
+      the queue is at capacity; the caller turns that into the typed
+      [overloaded] response. There is no unbounded backlog anywhere;
+    + {b per-job isolation} — every job runs under its own fresh
+      {!Lalr_guard.Budget.t} (the request's [budget] spec, or the pool
+      default), behind {!Lalr_engine.Engine.run_partial}; transient
+      internal faults are retried through {!Lalr_guard.Retry} with
+      capped exponential backoff;
+    + {b graceful drain} — {!drain} stops admission, lets the workers
+      finish (or deadline-out, via their budgets) everything already
+      admitted, then joins every domain. Idempotent.
+
+    Supervision runs on sys-threads of the {e calling} domain (one per
+    worker slot, blocked in [Domain.join]), so a worker crash is
+    noticed immediately without polling.
+
+    When [trace] is set, each worker domain arms its own
+    {!Lalr_trace.Trace} session for its lifetime (sessions are
+    domain-local by design — "one session per worker" is the model the
+    trace layer documents) and {!drain} hands the finished sessions
+    back, one per worker slot that exited cleanly; a crashed
+    incarnation's session is lost, which the restart counter
+    records. *)
+
+type config = {
+  domains : int;  (** worker domains; >= 1 (clamped) *)
+  queue_capacity : int;  (** admission bound; >= 1 (clamped) *)
+  default_budget : string option;
+      (** {!Lalr_guard.Budget.of_spec} string applied to requests that
+          carry none; validated per job (a bad default yields typed
+          [bad_request] responses, never a crash) *)
+  store : Lalr_store.Store.t option;  (** shared artifact store *)
+  trace : bool;  (** arm a per-worker trace session *)
+  retry : Lalr_guard.Retry.policy;  (** internal-fault retry policy *)
+  sleep : float -> unit;
+      (** backoff sleep in seconds, injectable for deterministic
+          tests; default [Unix.sleepf] *)
+}
+
+val default_config : config
+(** 1 domain, capacity 64, no budget, no store, no trace,
+    {!Lalr_guard.Retry.default}, [Unix.sleepf]. *)
+
+type t
+
+val create : config -> t
+(** Spawns the worker domains and their supervisor threads; returns
+    once all are running. *)
+
+val submit :
+  t ->
+  request:Protocol.request ->
+  respond:(Protocol.response -> unit) ->
+  [ `Accepted | `Overloaded | `Draining ]
+(** Admits a [Classify] request (a [Health] request is answered by
+    {!health} without entering the queue; submitting one is a
+    programmer error answered as [internal]). [respond] is called
+    exactly once, from a worker domain or a supervisor thread; it must
+    not raise (the serve layer's responders absorb their own I/O
+    failures). [`Overloaded] and [`Draining] mean the job was NOT
+    admitted and [respond] will never be called — the caller sheds. *)
+
+val depth : t -> int
+(** Current queue depth (for the [serve.queue.depth] gauge). *)
+
+val health : t -> id:string -> Protocol.health_response
+(** Liveness and load snapshot: queue depth/capacity, per-worker
+    alive flag and jobs completed, restart/shed/completed counters,
+    store stats when a store is attached. *)
+
+val drain : t -> Lalr_trace.Trace.session option array
+(** Stops admission, waits for every admitted job to be responded to,
+    joins all worker domains and supervisor threads. Returns the
+    per-slot finished trace sessions ([None] without [trace], or for a
+    slot whose last incarnation crashed). Idempotent: later calls
+    return the same sessions. *)

@@ -1,0 +1,470 @@
+let max_depth = 32
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  (* Recursive descent over a string cursor. Depth is threaded
+     explicitly so adversarial nesting fails fast instead of burning
+     the real stack; everything else is a plain linear scan. *)
+  type cursor = { s : string; mutable i : int }
+
+  let error fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+  let peek c = if c.i < String.length c.s then Some c.s.[c.i] else None
+
+  let skip_ws c =
+    while
+      c.i < String.length c.s
+      && (match c.s.[c.i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      c.i <- c.i + 1
+    done
+
+  let expect c ch =
+    match peek c with
+    | Some x when x = ch -> c.i <- c.i + 1
+    | Some x -> error "expected '%c' at byte %d, got '%c'" ch c.i x
+    | None -> error "expected '%c' at byte %d, got end of line" ch c.i
+
+  let literal c word v =
+    let n = String.length word in
+    if c.i + n <= String.length c.s && String.sub c.s c.i n = word then begin
+      c.i <- c.i + n;
+      v
+    end
+    else error "bad literal at byte %d" c.i
+
+  let hex_digit ch =
+    match ch with
+    | '0' .. '9' -> Char.code ch - Char.code '0'
+    | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+    | _ -> error "bad \\u escape digit '%c'" ch
+
+  (* Encode a code point as UTF-8; surrogate pairs are combined by the
+     caller. Lone surrogates become U+FFFD rather than an error — the
+     decoder's job is to be total, not to police Unicode. *)
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+
+  let parse_hex4 c =
+    if c.i + 4 > String.length c.s then error "truncated \\u escape";
+    let v =
+      (hex_digit c.s.[c.i] lsl 12)
+      lor (hex_digit c.s.[c.i + 1] lsl 8)
+      lor (hex_digit c.s.[c.i + 2] lsl 4)
+      lor hex_digit c.s.[c.i + 3]
+    in
+    c.i <- c.i + 4;
+    v
+
+  let parse_string c =
+    expect c '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if c.i >= String.length c.s then error "unterminated string";
+      let ch = c.s.[c.i] in
+      c.i <- c.i + 1;
+      match ch with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+          if c.i >= String.length c.s then error "unterminated escape";
+          let e = c.s.[c.i] in
+          c.i <- c.i + 1;
+          (match e with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' ->
+              let hi = parse_hex4 c in
+              if hi >= 0xD800 && hi <= 0xDBFF then
+                (* high surrogate: look for the pair *)
+                if
+                  c.i + 1 < String.length c.s
+                  && c.s.[c.i] = '\\'
+                  && c.s.[c.i + 1] = 'u'
+                then begin
+                  c.i <- c.i + 2;
+                  let lo = parse_hex4 c in
+                  if lo >= 0xDC00 && lo <= 0xDFFF then
+                    add_utf8 buf
+                      (0x10000 + ((hi - 0xD800) lsl 10) + (lo - 0xDC00))
+                  else add_utf8 buf 0xFFFD
+                end
+                else add_utf8 buf 0xFFFD
+              else if hi >= 0xDC00 && hi <= 0xDFFF then add_utf8 buf 0xFFFD
+              else add_utf8 buf hi
+          | _ -> error "bad escape '\\%c'" e);
+          go ())
+      | c when Char.code c < 0x20 -> error "unescaped control byte in string"
+      | c ->
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ()
+
+  let parse_number c =
+    let start = c.i in
+    let is_num_char ch =
+      match ch with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while c.i < String.length c.s && is_num_char c.s.[c.i] do
+      c.i <- c.i + 1
+    done;
+    let tok = String.sub c.s start (c.i - start) in
+    match float_of_string_opt tok with
+    | Some f when Float.is_finite f -> Num f
+    | _ -> error "bad number %S at byte %d" tok start
+
+  let rec parse_value c depth =
+    if depth > max_depth then error "nesting deeper than %d" max_depth;
+    skip_ws c;
+    match peek c with
+    | None -> error "empty input"
+    | Some '{' ->
+        c.i <- c.i + 1;
+        skip_ws c;
+        if peek c = Some '}' then begin
+          c.i <- c.i + 1;
+          Obj []
+        end
+        else
+          let rec fields acc =
+            skip_ws c;
+            let k = parse_string c in
+            skip_ws c;
+            expect c ':';
+            let v = parse_value c (depth + 1) in
+            skip_ws c;
+            match peek c with
+            | Some ',' ->
+                c.i <- c.i + 1;
+                fields ((k, v) :: acc)
+            | Some '}' ->
+                c.i <- c.i + 1;
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> error "expected ',' or '}' at byte %d" c.i
+          in
+          fields []
+    | Some '[' ->
+        c.i <- c.i + 1;
+        skip_ws c;
+        if peek c = Some ']' then begin
+          c.i <- c.i + 1;
+          List []
+        end
+        else
+          let rec items acc =
+            let v = parse_value c (depth + 1) in
+            skip_ws c;
+            match peek c with
+            | Some ',' ->
+                c.i <- c.i + 1;
+                items (v :: acc)
+            | Some ']' ->
+                c.i <- c.i + 1;
+                List (List.rev (v :: acc))
+            | _ -> error "expected ',' or ']' at byte %d" c.i
+          in
+          items []
+    | Some '"' -> Str (parse_string c)
+    | Some 't' -> literal c "true" (Bool true)
+    | Some 'f' -> literal c "false" (Bool false)
+    | Some 'n' -> literal c "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number c
+    | Some ch -> error "unexpected '%c' at byte %d" ch c.i
+
+  let parse s =
+    let c = { s; i = 0 } in
+    match
+      let v = parse_value c 0 in
+      skip_ws c;
+      if c.i <> String.length s then error "trailing garbage at byte %d" c.i;
+      v
+    with
+    | v -> Ok v
+    | exception Bad m -> Error m
+
+  let member k = function
+    | Obj fields -> List.assoc_opt k fields
+    | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type source =
+  | File of string
+  | Inline of { text : string; format : [ `Cfg | `Mly ] }
+
+type request =
+  | Classify of { id : string; source : source; budget : string option }
+  | Health of { id : string }
+
+let request_id = function Classify { id; _ } | Health { id } -> id
+
+let known_fields = [ "id"; "kind"; "file"; "grammar"; "format"; "budget" ]
+
+let decode_request line =
+  match Json.parse line with
+  | Error m -> Error m
+  | Ok (Json.Obj fields as j) -> (
+      match
+        List.find_opt (fun (k, _) -> not (List.mem k known_fields)) fields
+      with
+      | Some (k, _) ->
+          Error
+            (Printf.sprintf "unknown field %S (known: %s)" k
+               (String.concat ", " known_fields))
+      | None -> (
+          let id =
+            match Json.member "id" j with
+            | Some (Json.Str s) -> Ok s
+            | Some (Json.Num f) when Float.is_integer f ->
+                Ok (string_of_int (int_of_float f))
+            | None -> Ok ""
+            | Some _ -> Error "field \"id\" must be a string or an integer"
+          in
+          let kind =
+            match Json.member "kind" j with
+            | Some (Json.Str s) -> Ok s
+            | None -> Ok "classify"
+            | Some _ -> Error "field \"kind\" must be a string"
+          in
+          match (id, kind) with
+          | Error m, _ | _, Error m -> Error m
+          | Ok id, Ok "health" -> Ok (Health { id })
+          | Ok id, Ok "classify" -> (
+              let budget =
+                match Json.member "budget" j with
+                | Some (Json.Str s) -> Ok (Some s)
+                | None -> Ok None
+                | Some _ -> Error "field \"budget\" must be a string"
+              in
+              let source =
+                match
+                  (Json.member "file" j, Json.member "grammar" j,
+                   Json.member "format" j)
+                with
+                | Some (Json.Str f), None, None -> Ok (File f)
+                | Some _, Some _, _ ->
+                    Error "fields \"file\" and \"grammar\" are exclusive"
+                | Some _, None, Some _ ->
+                    Error "field \"format\" only applies to \"grammar\""
+                | Some _, None, None -> Error "field \"file\" must be a string"
+                | None, Some (Json.Str text), fmt -> (
+                    match fmt with
+                    | None | Some (Json.Str "cfg") ->
+                        Ok (Inline { text; format = `Cfg })
+                    | Some (Json.Str "mly") ->
+                        Ok (Inline { text; format = `Mly })
+                    | Some _ ->
+                        Error "field \"format\" must be \"cfg\" or \"mly\"")
+                | None, Some _, _ ->
+                    Error "field \"grammar\" must be a string"
+                | None, None, _ ->
+                    Error "a classify request needs \"file\" or \"grammar\""
+              in
+              match (budget, source) with
+              | Error m, _ | _, Error m -> Error m
+              | Ok budget, Ok source -> Ok (Classify { id; source; budget }))
+          | Ok _, Ok k ->
+              Error
+                (Printf.sprintf
+                   "unknown kind %S (expected \"classify\" or \"health\")" k)))
+  | Ok _ -> Error "request line must be a JSON object"
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let esc = Lalr_trace.Trace.json_escape
+
+let encode_request = function
+  | Health { id } -> Printf.sprintf "{\"id\":\"%s\",\"kind\":\"health\"}" (esc id)
+  | Classify { id; source; budget } ->
+      let b = Buffer.create 64 in
+      Printf.bprintf b "{\"id\":\"%s\",\"kind\":\"classify\"" (esc id);
+      (match source with
+      | File f -> Printf.bprintf b ",\"file\":\"%s\"" (esc f)
+      | Inline { text; format } ->
+          Printf.bprintf b ",\"grammar\":\"%s\",\"format\":\"%s\"" (esc text)
+            (match format with `Cfg -> "cfg" | `Mly -> "mly"));
+      (match budget with
+      | Some s -> Printf.bprintf b ",\"budget\":\"%s\"" (esc s)
+      | None -> ());
+      Buffer.add_char b '}';
+      Buffer.contents b
+
+type status =
+  | Ok_
+  | Verdict
+  | Bad_request
+  | Budget
+  | Overloaded
+  | Internal
+  | Health_ok
+
+let status_name = function
+  | Ok_ -> "ok"
+  | Verdict -> "verdict"
+  | Bad_request -> "bad_request"
+  | Budget -> "budget"
+  | Overloaded -> "overloaded"
+  | Internal -> "internal"
+  | Health_ok -> "health"
+
+let status_exit = function
+  | Ok_ | Health_ok -> 0
+  | Verdict -> 1
+  | Bad_request -> 2
+  | Budget | Overloaded -> 3
+  | Internal -> 4
+
+type job_response = {
+  r_id : string;
+  r_status : status;
+  r_detail : string;
+  r_lalr1 : bool option;
+  r_wall_ms : float;
+  r_retries : int;
+  r_stages : (string * float) list;
+  r_lr0_states : int option;
+  r_completed : string list;
+}
+
+type worker_health = { w_id : int; w_alive : bool; w_jobs : int }
+
+type health_response = {
+  h_id : string;
+  h_uptime_s : float;
+  h_queue_depth : int;
+  h_queue_capacity : int;
+  h_workers : worker_health list;
+  h_restarts : int;
+  h_shed : int;
+  h_completed : int;
+  h_store : Lalr_store.Store.stats option;
+}
+
+type response = Job of job_response | Health of health_response
+
+let response_id = function Job r -> r.r_id | Health h -> h.h_id
+
+let response_exit = function
+  | Job r -> status_exit r.r_status
+  | Health _ -> 0
+
+(* Field order mirrors the batch line (README "Serving" documents
+   both tables side by side); optional members are simply absent. *)
+let encode_job r =
+  let b = Buffer.create 128 in
+  Printf.bprintf b
+    "{\"id\":\"%s\",\"status\":\"%s\",\"exit\":%d,\"retries\":%d,\"wall_ms\":%.3f"
+    (esc r.r_id) (status_name r.r_status) (status_exit r.r_status) r.r_retries
+    r.r_wall_ms;
+  (match r.r_lalr1 with
+  | Some v -> Printf.bprintf b ",\"lalr1\":%b" v
+  | None -> ());
+  (match r.r_lr0_states with
+  | Some n -> Printf.bprintf b ",\"lr0_states\":%d" n
+  | None -> ());
+  if r.r_stages <> [] then begin
+    Printf.bprintf b ",\"stages\":{";
+    List.iteri
+      (fun i (name, wall) ->
+        if i > 0 then Buffer.add_char b ',';
+        Printf.bprintf b "\"%s\":%.3f" (esc name) (wall *. 1e3))
+      r.r_stages;
+    Buffer.add_char b '}'
+  end;
+  if r.r_detail <> "" then
+    Printf.bprintf b ",\"detail\":\"%s\"" (esc r.r_detail);
+  if r.r_completed <> [] then begin
+    Printf.bprintf b ",\"completed\":[";
+    List.iteri
+      (fun i s ->
+        if i > 0 then Buffer.add_char b ',';
+        Printf.bprintf b "\"%s\"" (esc s))
+      r.r_completed;
+    Buffer.add_char b ']'
+  end;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let encode_health h =
+  let b = Buffer.create 256 in
+  Printf.bprintf b
+    "{\"id\":\"%s\",\"status\":\"health\",\"exit\":0,\"uptime_s\":%.3f,\"queue_depth\":%d,\"queue_capacity\":%d,\"restarts\":%d,\"shed\":%d,\"completed\":%d,\"workers\":["
+    (esc h.h_id) h.h_uptime_s h.h_queue_depth h.h_queue_capacity h.h_restarts
+    h.h_shed h.h_completed;
+  List.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "{\"id\":%d,\"alive\":%b,\"jobs\":%d}" w.w_id w.w_alive
+        w.w_jobs)
+    h.h_workers;
+  Buffer.add_char b ']';
+  (match h.h_store with
+  | Some (s : Lalr_store.Store.stats) ->
+      Printf.bprintf b
+        ",\"store\":{\"hits\":%d,\"misses\":%d,\"corrupt\":%d,\"writes\":%d,\"errors\":%d}"
+        s.hits s.misses s.corrupt s.writes s.errors
+  | None -> ());
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let encode_response = function
+  | Job r -> encode_job r
+  | Health h -> encode_health h
+
+let shed_response ~id ~queue_capacity =
+  Job
+    {
+      r_id = id;
+      r_status = Overloaded;
+      r_detail =
+        Printf.sprintf "admission queue full (capacity %d); retry later"
+          queue_capacity;
+      r_lalr1 = None;
+      r_wall_ms = 0.;
+      r_retries = 0;
+      r_stages = [];
+      r_lr0_states = None;
+      r_completed = [];
+    }

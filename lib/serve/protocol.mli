@@ -1,0 +1,145 @@
+(** The [lalrgen serve] wire protocol: newline-delimited JSON.
+
+    One request per line in, exactly one response line out per request
+    — the invariant the chaos acceptance test pins. The response line
+    schema deliberately mirrors the [lalrgen batch] output line
+    (status/exit/lalr1/wall_ms/retries/stages/...), so a fleet can
+    move from batch files to the daemon without changing its result
+    parser; requests carry the same grammar specs batch accepts
+    ([suite:NAME], a path) plus an inline form for clients that never
+    touch the server's filesystem.
+
+    {2 Request line}
+
+    {v
+    {"id":"r1","kind":"classify","file":"suite:expr","budget":"wall=500ms"}
+    {"id":"r2","kind":"classify","grammar":"%token a\n%start s\n%%\ns : a ;","format":"cfg"}
+    {"id":"r3","kind":"health"}
+    v}
+
+    [id] (string or integer, echoed back verbatim) defaults to [""];
+    [kind] defaults to ["classify"]; [budget] is a
+    {!Lalr_guard.Budget.of_spec} string and overrides the server
+    default for this request only. Unknown fields are rejected, not
+    ignored — a typo like ["buget"] must not silently analyse with no
+    deadline.
+
+    {2 Decoder hardening}
+
+    The decoder is the daemon's outermost trust boundary, so it is
+    total: any byte sequence returns [Ok] or [Error], never an
+    exception and never unbounded work. Enforced limits: input length
+    (the caller's [max_bytes], pre-checked by the connection reader),
+    nesting depth ({!max_depth}) and token count, so a 1 MB line of
+    ["[[[[..."] costs linear time and constant stack. The fuzz harness
+    drives random, truncated and mutated lines through
+    {!decode_request} and asserts exactly this contract. *)
+
+(** {2 JSON values}
+
+    A minimal total JSON parser (the container ships no JSON library;
+    the decoder is also the fuzz target, so owning it is the point). *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val parse : string -> (t, string) result
+  (** Total; rejects trailing garbage, depth beyond {!max_depth},
+      malformed escapes, and unterminated constructs, each with a
+      one-line reason. *)
+
+  val member : string -> t -> t option
+  (** Object field lookup; [None] on non-objects too. *)
+end
+
+val max_depth : int
+(** Nesting depth cap for {!Json.parse} (32). *)
+
+(** {2 Requests} *)
+
+type source =
+  | File of string  (** a path or [suite:NAME] — batch's grammar spec *)
+  | Inline of { text : string; format : [ `Cfg | `Mly ] }
+
+type request =
+  | Classify of { id : string; source : source; budget : string option }
+  | Health of { id : string }
+
+val request_id : request -> string
+
+val decode_request : string -> (request, string) result
+(** One line (without the newline) to one request. The [Error] string
+    is the [detail] of the [bad_request] response. Total. *)
+
+val encode_request : request -> string
+(** The canonical one-line encoding (used by [lalrgen call] and the
+    tests; [decode_request (encode_request r)] round-trips). *)
+
+(** {2 Responses} *)
+
+type status =
+  | Ok_  (** analysed, LALR(1)-clean — exit 0 *)
+  | Verdict  (** analysed, conflicts — exit 1 *)
+  | Bad_request  (** undecodable or unreadable request — exit 2 *)
+  | Budget  (** per-request deadline/budget tripped — exit 3 *)
+  | Overloaded  (** admission queue full, request shed — exit 3 *)
+  | Internal  (** broken invariant or worker crash — exit 4 *)
+  | Health_ok  (** health report — exit 0 *)
+
+val status_name : status -> string
+(** ["ok"], ["verdict"], ["bad_request"], ["budget"], ["overloaded"],
+    ["internal"], ["health"]. *)
+
+val status_exit : status -> int
+(** The batch-compatible per-request exit code carried in the
+    response ([overloaded] shares 3 with [budget]: both mean "not
+    now, resource pressure", and the status string disambiguates). *)
+
+type job_response = {
+  r_id : string;
+  r_status : status;
+  r_detail : string;  (** "" when there is nothing to say *)
+  r_lalr1 : bool option;
+  r_wall_ms : float;
+  r_retries : int;  (** internal-fault retries burned by this request *)
+  r_stages : (string * float) list;  (** forced engine stages, seconds *)
+  r_lr0_states : int option;
+  r_completed : string list;  (** on failure: stages that finished *)
+}
+
+type worker_health = {
+  w_id : int;
+  w_alive : bool;
+  w_jobs : int;  (** jobs completed by the current incarnation *)
+}
+
+type health_response = {
+  h_id : string;
+  h_uptime_s : float;
+  h_queue_depth : int;
+  h_queue_capacity : int;
+  h_workers : worker_health list;
+  h_restarts : int;  (** worker domains restarted after a crash *)
+  h_shed : int;  (** requests refused with [overloaded] *)
+  h_completed : int;
+  h_store : Lalr_store.Store.stats option;
+}
+
+type response = Job of job_response | Health of health_response
+
+val response_id : response -> string
+val response_exit : response -> int
+
+val encode_response : response -> string
+(** One line, no trailing newline. Field order is fixed and documented
+    in README "Serving". *)
+
+val shed_response : id:string -> queue_capacity:int -> response
+(** The canned [overloaded] line (built without touching the pool, so
+    shedding stays allocation-light under pressure). *)

@@ -1,0 +1,478 @@
+module Budget = Lalr_guard.Budget
+module Faultpoint = Lalr_guard.Faultpoint
+module Store = Lalr_store.Store
+module Trace = Lalr_trace.Trace
+
+type endpoint = Unix_path of string | Tcp of { host : string; port : int }
+
+let parse_endpoint s =
+  if s = "" then Error "empty endpoint"
+  else
+    match String.rindex_opt s ':' with
+    | Some i ->
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        let host = if host = "" then "127.0.0.1" else host in
+        if String.contains host '/' then Ok (Unix_path s)
+        else (
+          match int_of_string_opt port with
+          | Some p when p > 0 && p < 65536 -> Ok (Tcp { host; port = p })
+          | Some p -> Error (Printf.sprintf "port %d out of range" p)
+          | None -> Error (Printf.sprintf "bad port %S" port))
+    | None -> (
+        match int_of_string_opt s with
+        | Some p when p > 0 && p < 65536 ->
+            Ok (Tcp { host = "127.0.0.1"; port = p })
+        | Some p -> Error (Printf.sprintf "port %d out of range" p)
+        | None -> Ok (Unix_path s))
+
+let endpoint_to_string = function
+  | Unix_path p -> p
+  | Tcp { host; port } -> Printf.sprintf "%s:%d" host port
+
+type config = {
+  endpoint : endpoint;
+  pool : Pool.config;
+  max_line : int;
+  trace_file : string option;
+  on_ready : string -> unit;
+}
+
+let default_max_line = 1 lsl 20
+
+let default_config =
+  {
+    endpoint = Unix_path "lalrgen.sock";
+    pool = Pool.default_config;
+    max_line = default_max_line;
+    trace_file = None;
+    on_ready = ignore;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_wmu : Mutex.t;  (* serialises response lines onto the fd *)
+  c_pending : int Atomic.t;  (* admitted jobs not yet responded to *)
+  c_eof : bool Atomic.t;
+  c_closed : bool Atomic.t;
+}
+
+type srv = {
+  cfg : config;
+  pool : Pool.t;
+  probe_mu : Mutex.t;
+      (* the main domain's trace session is shared by every reader
+         thread (sessions are domain-local, threads are not) *)
+  conns_mu : Mutex.t;
+  mutable conns : conn list;  (* guarded by conns_mu *)
+  mutable threads : Thread.t list;  (* guarded by conns_mu *)
+  draining : bool Atomic.t;
+}
+
+(* Serve-layer trace probe, safe from any reader thread. Worker
+   domains have their own sessions and never come through here. *)
+let probe srv f =
+  Mutex.lock srv.probe_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock srv.probe_mu) f
+
+let close_conn srv conn =
+  if not (Atomic.exchange conn.c_closed true) then begin
+    (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+    Mutex.lock srv.conns_mu;
+    srv.conns <- List.filter (fun c -> c != conn) srv.conns;
+    Mutex.unlock srv.conns_mu
+  end
+
+let close_if_done srv conn =
+  if Atomic.get conn.c_eof && Atomic.get conn.c_pending = 0 then
+    close_conn srv conn
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then go (off + Unix.write fd b off (n - off))
+  in
+  go 0
+
+(* The response writer: the daemon's last chance to fail a request.
+   Any failure here (dead peer, armed serve-respond injection) is
+   absorbed — the response is dropped and counted, the connection is
+   closed, the daemon keeps serving. *)
+let send srv conn response =
+  let ok =
+    try
+      Faultpoint.check "serve-respond";
+      let line = Protocol.encode_response response ^ "\n" in
+      Mutex.lock conn.c_wmu;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock conn.c_wmu)
+        (fun () -> write_all conn.c_fd line);
+      true
+    with _ -> false
+  in
+  probe srv (fun () ->
+      if ok then Trace.count "serve.responses"
+      else begin
+        Trace.count "serve.responses.dropped";
+        close_conn srv conn
+      end)
+[@@lalr.allow
+  D004
+    "socket boundary: a response write can fail for reasons the daemon \
+     must survive (peer gone, fd shut during drain, armed serve-respond \
+     injection); the drop is counted and the connection closed rather \
+     than letting one dead client kill the process"]
+
+let bad_request_response id detail =
+  Protocol.Job
+    {
+      Protocol.r_id = id;
+      r_status = Protocol.Bad_request;
+      r_detail = detail;
+      r_lalr1 = None;
+      r_wall_ms = 0.;
+      r_retries = 0;
+      r_stages = [];
+      r_lr0_states = None;
+      r_completed = [];
+    }
+
+let plain_response id status detail =
+  Protocol.Job
+    {
+      Protocol.r_id = id;
+      r_status = status;
+      r_detail = detail;
+      r_lalr1 = None;
+      r_wall_ms = 0.;
+      r_retries = 0;
+      r_stages = [];
+      r_lr0_states = None;
+      r_completed = [];
+    }
+
+(* Mangle a line the way the serve-decode corrupt injection documents:
+   flip a byte in the middle so the decoder must reject it cleanly. *)
+let corrupt_line line =
+  if String.length line = 0 then "\255"
+  else begin
+    let b = Bytes.of_string line in
+    let i = Bytes.length b / 2 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF));
+    Bytes.to_string b
+  end
+
+let handle_line srv conn line =
+  probe srv (fun () -> Trace.count "serve.lines");
+  let decoded =
+    try
+      Faultpoint.check "serve-decode";
+      let line =
+        if Faultpoint.take_corrupt "serve-decode" then corrupt_line line
+        else line
+      in
+      `Decoded (Protocol.decode_request line)
+    with
+    | Budget.Internal_error { stage; invariant } ->
+        `Fault
+          (plain_response "" Protocol.Internal
+             (Printf.sprintf "internal error in stage '%s': %s" stage
+                invariant))
+    | Budget.Exceeded ex ->
+        `Fault
+          (plain_response "" Protocol.Budget
+             (Format.asprintf "%a" Budget.pp_exceeded ex))
+  in
+  match decoded with
+  | `Fault response -> send srv conn response
+  | `Decoded (Error msg) ->
+      probe srv (fun () -> Trace.count "serve.bad_request");
+      send srv conn (bad_request_response "" msg)
+  | `Decoded (Ok (Protocol.Health { id })) ->
+      send srv conn (Protocol.Health (Pool.health srv.pool ~id))
+  | `Decoded (Ok (Protocol.Classify _ as request)) -> (
+      let id = Protocol.request_id request in
+      Atomic.incr conn.c_pending;
+      let respond response =
+        send srv conn response;
+        Atomic.decr conn.c_pending;
+        close_if_done srv conn
+      in
+      match Pool.submit srv.pool ~request ~respond with
+      | `Accepted -> ()
+      | `Overloaded ->
+          probe srv (fun () -> Trace.count "serve.shed");
+          respond
+            (Protocol.shed_response ~id
+               ~queue_capacity:srv.cfg.pool.Pool.queue_capacity)
+      | `Draining ->
+          probe srv (fun () -> Trace.count "serve.shed");
+          respond
+            (plain_response id Protocol.Overloaded
+               "draining: server is shutting down")
+      | exception Budget.Internal_error { stage; invariant } ->
+          respond
+            (plain_response id Protocol.Internal
+               (Printf.sprintf "internal error in stage '%s': %s" stage
+                  invariant))
+      | exception Budget.Exceeded ex ->
+          respond
+            (plain_response id Protocol.Budget
+               (Format.asprintf "%a" Budget.pp_exceeded ex)))
+
+(* Per-connection reader: newline framing with a byte cap. An
+   over-long line answers bad_request once and is discarded up to the
+   next newline; a truncated final line (EOF mid-line) answers
+   bad_request and closes. *)
+let reader srv conn () =
+  let chunk = Bytes.create 8192 in
+  let acc = Buffer.create 256 in
+  let discarding = ref false in
+  let overflow () =
+    Buffer.clear acc;
+    discarding := true;
+    probe srv (fun () -> Trace.count "serve.oversized");
+    send srv conn
+      (bad_request_response ""
+         (Printf.sprintf "request line exceeds %d bytes" srv.cfg.max_line))
+  in
+  let feed n =
+    for i = 0 to n - 1 do
+      match Bytes.get chunk i with
+      | '\n' ->
+          if !discarding then discarding := false
+          else begin
+            let line = Buffer.contents acc in
+            Buffer.clear acc;
+            handle_line srv conn line
+          end
+      | c ->
+          if not !discarding then
+            if Buffer.length acc >= srv.cfg.max_line then overflow ()
+            else Buffer.add_char acc c
+    done
+  in
+  let rec loop () =
+    let n = try Unix.read conn.c_fd chunk 0 8192 with Unix.Unix_error _ -> 0 in
+    if n > 0 then begin
+      feed n;
+      loop ()
+    end
+  in
+  loop ();
+  if Buffer.length acc > 0 && not !discarding then
+    send srv conn (bad_request_response "" "truncated request line (no newline before EOF)");
+  Atomic.set conn.c_eof true;
+  close_if_done srv conn
+
+(* ------------------------------------------------------------------ *)
+(* Listener                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let setup_listener endpoint =
+  match endpoint with
+  | Unix_path path -> (
+      (* A leftover socket file from a dead daemon is stale iff nothing
+         answers on it; only then is unlinking it safe. *)
+      (if Sys.file_exists path then
+         let probe_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+         let live =
+           try
+             Unix.connect probe_fd (Unix.ADDR_UNIX path);
+             true
+           with Unix.Unix_error _ -> false
+         in
+         (try Unix.close probe_fd with Unix.Unix_error _ -> ());
+         if live then failwith (Printf.sprintf "%s: already in use" path)
+         else try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      try
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd 64;
+        Ok fd
+      with
+      | Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+      | Failure m ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error m)
+  | Tcp { host; port } -> (
+      match
+        try Some (Unix.inet_addr_of_string host)
+        with Failure _ -> (
+          try Some (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found | Invalid_argument _ -> None)
+      with
+      | None -> Error (Printf.sprintf "cannot resolve host %S" host)
+      | Some addr -> (
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          try
+            Unix.setsockopt fd Unix.SO_REUSEADDR true;
+            Unix.bind fd (Unix.ADDR_INET (addr, port));
+            Unix.listen fd 64;
+            Ok fd
+          with Unix.Unix_error (e, _, _) ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            Error
+              (Printf.sprintf "%s:%d: %s" host port (Unix.error_message e))))
+
+let setup_listener endpoint =
+  try setup_listener endpoint with Failure m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* The daemon                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let write_trace_file path session =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Trace.write session (Trace.infer_format path) oc)
+
+let run cfg =
+  let cfg =
+    if cfg.trace_file <> None && not cfg.pool.Pool.trace then
+      { cfg with pool = { cfg.pool with Pool.trace = true } }
+    else cfg
+  in
+  match setup_listener cfg.endpoint with
+  | Error _ as e -> e
+  | Ok listen_fd ->
+      let main_session =
+        if cfg.trace_file <> None then Some (Trace.start ()) else None
+      in
+      let pool = Pool.create cfg.pool in
+      let srv =
+        {
+          cfg;
+          pool;
+          probe_mu = Mutex.create ();
+          conns_mu = Mutex.create ();
+          conns = [];
+          threads = [];
+          draining = Atomic.make false;
+        }
+      in
+      (* Self-pipe: the signal handler writes one byte, the select
+         loop wakes and starts the drain on its own thread — no
+         daemon logic ever runs inside a signal handler. *)
+      let pipe_rd, pipe_wr = Unix.pipe () in
+      let request_shutdown _ =
+        if not (Atomic.exchange srv.draining true) then
+          try ignore (Unix.write pipe_wr (Bytes.of_string "x") 0 1)
+          with Unix.Unix_error _ -> ()
+      in
+      let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle request_shutdown) in
+      let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle request_shutdown) in
+      let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+      cfg.on_ready
+        (Printf.sprintf "lalrgen serve: listening on %s (%d domains, queue %d)"
+           (endpoint_to_string cfg.endpoint)
+           cfg.pool.Pool.domains cfg.pool.Pool.queue_capacity);
+      (* Accept loop: select on the listener and the self-pipe, so a
+         signal interrupts the wait immediately. *)
+      let rec accept_loop () =
+        if not (Atomic.get srv.draining) then begin
+          (match Unix.select [ listen_fd; pipe_rd ] [] [] (-1.) with
+          | readable, _, _ ->
+              if List.mem listen_fd readable && not (Atomic.get srv.draining)
+              then begin
+                try
+                  Faultpoint.check "serve-accept";
+                  let fd, _ = Unix.accept listen_fd in
+                  let conn =
+                    {
+                      c_fd = fd;
+                      c_wmu = Mutex.create ();
+                      c_pending = Atomic.make 0;
+                      c_eof = Atomic.make false;
+                      c_closed = Atomic.make false;
+                    }
+                  in
+                  Mutex.lock srv.conns_mu;
+                  srv.conns <- conn :: srv.conns;
+                  let t = Thread.create (reader srv conn) () in
+                  srv.threads <- t :: srv.threads;
+                  Mutex.unlock srv.conns_mu;
+                  probe srv (fun () -> Trace.count "serve.accepted")
+                with
+                | Unix.Unix_error _ ->
+                    probe srv (fun () -> Trace.count "serve.accept.absorbed")
+                | Budget.Internal_error _ | Budget.Exceeded _ ->
+                    probe srv (fun () -> Trace.count "serve.accept.absorbed")
+              end
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          accept_loop ()
+        end
+      in
+      accept_loop ();
+      (* ---- drain ---- *)
+      probe srv (fun () -> Trace.instant "serve.drain");
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (match cfg.endpoint with
+      | Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+      | Tcp _ -> ());
+      (* Unblock every reader: no new requests can arrive, responses
+         for what was already admitted still go out. *)
+      Mutex.lock srv.conns_mu;
+      let open_conns = srv.conns in
+      Mutex.unlock srv.conns_mu;
+      List.iter
+        (fun c ->
+          try Unix.shutdown c.c_fd Unix.SHUTDOWN_RECEIVE
+          with Unix.Unix_error _ -> ())
+        open_conns;
+      let worker_sessions = Pool.drain pool in
+      let threads =
+        Mutex.lock srv.conns_mu;
+        let ts = srv.threads in
+        Mutex.unlock srv.conns_mu;
+        ts
+      in
+      List.iter Thread.join threads;
+      probe srv (fun () ->
+          let h = Pool.health pool ~id:"drain" in
+          Trace.gauge_int "serve.queue.depth" h.Protocol.h_queue_depth;
+          Trace.gauge_int "serve.completed" h.Protocol.h_completed;
+          Trace.gauge_int "serve.restarts" h.Protocol.h_restarts;
+          Trace.gauge_int "serve.shed" h.Protocol.h_shed;
+          match h.Protocol.h_store with
+          | None -> ()
+          | Some s ->
+              Trace.gauge_int "serve.store.hits" s.Store.hits;
+              Trace.gauge_int "serve.store.misses" s.Store.misses;
+              let total = s.Store.hits + s.Store.misses in
+              if total > 0 then
+                Trace.gauge "serve.store.hit_rate"
+                  (float_of_int s.Store.hits /. float_of_int total));
+      (* Flush trace sinks: the main-loop session to the named file,
+         each worker's session next to it. *)
+      (match (cfg.trace_file, main_session) with
+      | Some path, Some session ->
+          Trace.finish session;
+          write_trace_file path session;
+          Array.iteri
+            (fun i s ->
+              match s with
+              | Some s -> write_trace_file (Printf.sprintf "%s.w%d" path i) s
+              | None -> ())
+            worker_sessions
+      | _ -> ());
+      (* Close whatever connections are still open (their peers will
+         see EOF after the last response). *)
+      Mutex.lock srv.conns_mu;
+      let leftovers = srv.conns in
+      Mutex.unlock srv.conns_mu;
+      List.iter (fun c -> close_conn srv c) leftovers;
+      (try Unix.close pipe_rd with Unix.Unix_error _ -> ());
+      (try Unix.close pipe_wr with Unix.Unix_error _ -> ());
+      Sys.set_signal Sys.sigterm prev_term;
+      Sys.set_signal Sys.sigint prev_int;
+      Sys.set_signal Sys.sigpipe prev_pipe;
+      Ok ()

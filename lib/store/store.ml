@@ -1,14 +1,18 @@
 module Faultpoint = Lalr_guard.Faultpoint
 module Trace = Lalr_trace.Trace
 
+(* The counters are Atomic so one store can be shared by a pool of
+   worker domains (lalrgen serve) without losing increments; the file
+   operations themselves were always safe to run concurrently (atomic
+   temp+rename writes, paranoid reads). *)
 type t = {
   dir : string;
-  mutable hits : int;
-  mutable misses : int;
-  mutable corrupt : int;
-  mutable writes : int;
-  mutable errors : int;
-  mutable skipped_small : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  corrupt : int Atomic.t;
+  writes : int Atomic.t;
+  errors : int Atomic.t;
+  skipped_small : int Atomic.t;
 }
 
 (* 2: Lalr.stats and Lalr.follow_sets grew Digraph-profile fields in
@@ -43,8 +47,9 @@ let create ~dir =
              (Unix.error_message e))));
   if not (Sys.is_directory dir) then
     raise (Sys_error (Printf.sprintf "%s: not a directory" dir));
-  { dir; hits = 0; misses = 0; corrupt = 0; writes = 0; errors = 0;
-    skipped_small = 0 }
+  { dir; hits = Atomic.make 0; misses = Atomic.make 0;
+    corrupt = Atomic.make 0; writes = Atomic.make 0; errors = Atomic.make 0;
+    skipped_small = Atomic.make 0 }
 
 let create_opt ~dir = match create ~dir with
   | t -> Some t
@@ -57,7 +62,7 @@ let dir t = t.dir
 let small_threshold = 1e-3
 
 let skip_small t =
-  t.skipped_small <- t.skipped_small + 1;
+  Atomic.incr t.skipped_small;
   Trace.count "store.skip_small"
 
 (* ------------------------------------------------------------------ *)
@@ -209,7 +214,7 @@ let read_entry path want_key =
                 Bad "unmarshal failure"
 
 let quarantine t path reason =
-  t.corrupt <- t.corrupt + 1;
+  Atomic.incr t.corrupt;
   Trace.count "store.corrupt";
   Trace.instant ~attrs:(fun () -> [ ("reason", Trace.Str reason) ])
     "store.quarantine";
@@ -227,23 +232,23 @@ let load t g =
         Faultpoint.check "store-read";
         match read_entry path (key g) with
         | Served b ->
-            t.hits <- t.hits + 1;
+            Atomic.incr t.hits;
             Trace.count "store.hit";
             Some b
         | Absent ->
-            t.misses <- t.misses + 1;
+            Atomic.incr t.misses;
             Trace.count "store.miss";
             None
         | Bad reason ->
             quarantine t path reason;
-            t.misses <- t.misses + 1;
+            Atomic.incr t.misses;
             Trace.count "store.miss";
             None
       with _ ->
         (* I/O failure (or an injected one) mid-read: a miss, never an
            escape — the store must not be able to fail the run. *)
-        t.errors <- t.errors + 1;
-        t.misses <- t.misses + 1;
+        Atomic.incr t.errors;
+        Atomic.incr t.misses;
         Trace.count "store.error";
         Trace.count "store.miss";
         None)
@@ -292,10 +297,10 @@ let save t bundle =
        (try Sys.remove tmp with Sys_error _ -> ());
        raise e);
     Sys.rename tmp path;
-    t.writes <- t.writes + 1;
+    Atomic.incr t.writes;
     Trace.count "store.write"
   with _ ->
-    t.errors <- t.errors + 1;
+    Atomic.incr t.errors;
     Trace.count "store.error"
 [@@lalr.allow
   D004
@@ -318,16 +323,17 @@ type stats = {
 
 let stats (t : t) =
   {
-    hits = t.hits;
-    misses = t.misses;
-    corrupt = t.corrupt;
-    writes = t.writes;
-    errors = t.errors;
-    skipped_small = t.skipped_small;
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    corrupt = Atomic.get t.corrupt;
+    writes = Atomic.get t.writes;
+    errors = Atomic.get t.errors;
+    skipped_small = Atomic.get t.skipped_small;
   }
 
 let pp_stats ppf t =
   Format.fprintf ppf
     "store %s: %d hits, %d misses, %d corrupt, %d writes, %d errors, %d \
      skipped-small"
-    t.dir t.hits t.misses t.corrupt t.writes t.errors t.skipped_small
+    t.dir (Atomic.get t.hits) (Atomic.get t.misses) (Atomic.get t.corrupt)
+    (Atomic.get t.writes) (Atomic.get t.errors) (Atomic.get t.skipped_small)

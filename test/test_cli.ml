@@ -159,7 +159,7 @@ let test_batch_retries_internal_once () =
     run [ "batch"; "suite:expr"; "suite:expr"; "--inject"; "la:raise@2" ]
   in
   check_exit "retried to success" 0 (r, out);
-  check_contains "retry recorded" "\"retried\":true" (r, out)
+  check_contains "retry recorded" "\"retries\":1" (r, out)
 
 let test_batch_all_clean () =
   check_exit "all clean" 0 (run [ "batch"; "suite:expr"; "suite:lr0" ])
@@ -173,7 +173,7 @@ let test_batch_line_schema () =
     (fun needle -> check_contains "schema member" needle r)
     [
       "\"file\":\"suite:expr\""; "\"exit\":0"; "\"status\":\"ok\"";
-      "\"retried\":false"; "\"wall_ms\":"; "\"lalr1\":true";
+      "\"retries\":0"; "\"wall_ms\":"; "\"lalr1\":true";
       "\"lr0_states\":13"; "\"stages\":{"; "\"lr0\":";
     ]
 

@@ -361,6 +361,77 @@ let test_store_random_damage () =
         | None -> Alcotest.fail "recompute did not repopulate the entry")
   done
 
+(* ------------------------------------------------------------------ *)
+(* Serve protocol decoder on hostile lines                             *)
+(* ------------------------------------------------------------------ *)
+
+module Protocol = Lalr_serve.Protocol
+
+(* The daemon's outermost trust boundary: any byte sequence in, Ok or
+   Error out — never an exception, never a hang. *)
+let decode_total name i line =
+  guarded name i (fun () ->
+      match Protocol.decode_request line with Ok _ | Error _ -> ())
+
+let test_protocol_random_bytes () =
+  let st = rng 60 in
+  for i = 1 to iterations do
+    decode_total "protocol/bytes" i (random_bytes st)
+  done
+
+let valid_request_lines =
+  [
+    {|{"id":"r1","kind":"classify","file":"suite:expr"}|};
+    {|{"id":7,"file":"g.cfg","budget":"fuel=10,wall=500ms"}|};
+    {|{"id":"r2","grammar":"%token a\n%start s\n%%\ns : a ;","format":"cfg"}|};
+    {|{"id":"h","kind":"health"}|};
+  ]
+
+let test_protocol_mutated_requests () =
+  let st = rng 61 in
+  for i = 1 to iterations do
+    let base =
+      List.nth valid_request_lines
+        (Random.State.int st (List.length valid_request_lines))
+    in
+    let b = Bytes.of_string base in
+    (* a handful of byte-level mutations: flips, deletions keep the
+       line mostly-JSON so the deep paths of the decoder are hit *)
+    for _ = 0 to Random.State.int st 4 do
+      let i = Random.State.int st (Bytes.length b) in
+      Bytes.set b i (Char.chr (Random.State.int st 256))
+    done;
+    let line = Bytes.to_string b in
+    let line =
+      if Random.State.bool st then
+        String.sub line 0 (Random.State.int st (String.length line + 1))
+      else line
+    in
+    decode_total "protocol/mutated" i line
+  done
+
+let test_protocol_nesting_and_size () =
+  let st = rng 62 in
+  for i = 1 to iterations do
+    let depth = 1 + Random.State.int st 2000 in
+    let opener = if Random.State.bool st then '[' else '{' in
+    let line =
+      (* sometimes balanced, sometimes truncated mid-bomb *)
+      if Random.State.bool st then String.make depth opener
+      else
+        String.make depth '['
+        ^ String.make (Random.State.int st (depth + 1)) ']'
+    in
+    decode_total "protocol/nesting" i line
+  done;
+  (* an oversized but well-formed line must also decode or reject
+     cleanly (the byte cap itself lives in the connection reader) *)
+  let big =
+    Printf.sprintf {|{"id":"big","grammar":"%s","format":"cfg"}|}
+      (String.concat "\\n" (List.init 5000 (fun i -> Printf.sprintf "x%d" i)))
+  in
+  decode_total "protocol/oversized" 0 big
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -389,5 +460,13 @@ let () =
         [
           Alcotest.test_case "random damage is miss-and-recompute" `Quick
             test_store_random_damage;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "random bytes" `Quick test_protocol_random_bytes;
+          Alcotest.test_case "mutated request lines" `Quick
+            test_protocol_mutated_requests;
+          Alcotest.test_case "nesting bombs and oversized lines" `Quick
+            test_protocol_nesting_and_size;
         ] );
     ]

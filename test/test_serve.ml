@@ -1,0 +1,571 @@
+(* The serve daemon's robustness contract, pinned end to end.
+
+   In-process layers first — the wire protocol (a total decoder), the
+   Retry policy (deterministic backoff), the Pool (supervision,
+   shedding, per-job budgets) — then the chaos acceptance test through
+   the real binary: a mixed load with a poisoned request, an
+   over-budget request and a malformed line must produce exactly one
+   typed response per request while the daemon keeps serving, and
+   SIGTERM must drain to exit 0. *)
+
+module Protocol = Lalr_serve.Protocol
+module Pool = Lalr_serve.Pool
+module Serve = Lalr_serve.Serve
+module Retry = Lalr_guard.Retry
+module Faultpoint = Lalr_guard.Faultpoint
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let decode_ok line =
+  match Protocol.decode_request line with
+  | Ok r -> r
+  | Error m -> Alcotest.failf "decode %S: %s" line m
+
+let decode_err line =
+  match Protocol.decode_request line with
+  | Ok _ -> Alcotest.failf "decode %S: expected rejection" line
+  | Error m -> m
+
+let test_decode_requests () =
+  (match decode_ok {|{"id":"r1","kind":"classify","file":"suite:expr"}|} with
+  | Protocol.Classify { id = "r1"; source = Protocol.File "suite:expr";
+                        budget = None } -> ()
+  | _ -> Alcotest.fail "file request decoded wrong");
+  (match decode_ok {|{"id":7,"file":"g.cfg","budget":"fuel=10"}|} with
+  | Protocol.Classify { id = "7"; budget = Some "fuel=10"; _ } -> ()
+  | _ -> Alcotest.fail "integer id / budget decoded wrong");
+  (match decode_ok {|{"id":"h","kind":"health"}|} with
+  | Protocol.Health { id = "h" } -> ()
+  | _ -> Alcotest.fail "health decoded wrong");
+  match
+    decode_ok {|{"grammar":"%token a\n%start s\n%%\ns : a ;","format":"mly"}|}
+  with
+  | Protocol.Classify
+      { id = ""; source = Protocol.Inline { format = `Mly; text }; _ } ->
+      Alcotest.(check bool) "inline text carries the newlines" true
+        (String.contains text '\n')
+  | _ -> Alcotest.fail "inline request decoded wrong"
+
+let test_decode_rejects () =
+  let cases =
+    [
+      ("", "empty line");
+      ("not json", "garbage");
+      ({|{"id":"x","buget":"fuel=1"}|}, "unknown field (typo must not pass)");
+      ({|{"file":"a","grammar":"b"}|}, "file and grammar are exclusive");
+      ({|{"kind":"reboot"}|}, "unknown kind");
+      ({|{"id":["x"]}|}, "non-scalar id");
+      ({|{"file":"a"} trailing|}, "trailing garbage");
+      ({|{"format":"cfg"}|}, "format without grammar");
+    ]
+  in
+  List.iter (fun (line, _why) -> ignore (decode_err line : string)) cases;
+  (* depth bomb: linear time, clean rejection, no stack overflow *)
+  let bomb = String.make 4000 '[' in
+  ignore (decode_err bomb : string);
+  (* NUL and friends are rejected, not smuggled through *)
+  ignore (decode_err "{\"id\":\"a\x00b\"}" : string)
+
+let test_encode_roundtrip () =
+  let reqs =
+    [
+      Protocol.Classify
+        { id = "r1"; source = Protocol.File "suite:expr";
+          budget = Some "wall=500ms" };
+      Protocol.Classify
+        {
+          id = "";
+          source =
+            Protocol.Inline
+              { text = "%token a\n%start s\n%%\ns : a ;"; format = `Cfg };
+          budget = None;
+        };
+      Protocol.Health { id = "h1" };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Protocol.decode_request (Protocol.encode_request r) with
+      | Ok r' when r = r' -> ()
+      | Ok _ -> Alcotest.failf "round-trip changed %s" (Protocol.encode_request r)
+      | Error m -> Alcotest.failf "round-trip rejected: %s" m)
+    reqs
+
+let test_response_exits () =
+  List.iter
+    (fun (status, want) ->
+      Alcotest.(check int)
+        (Protocol.status_name status)
+        want
+        (Protocol.status_exit status))
+    [
+      (Protocol.Ok_, 0); (Protocol.Verdict, 1); (Protocol.Bad_request, 2);
+      (Protocol.Budget, 3); (Protocol.Overloaded, 3); (Protocol.Internal, 4);
+      (Protocol.Health_ok, 0);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Retry                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_retry_deterministic_backoff () =
+  let p = Retry.default in
+  for attempt = 1 to 5 do
+    let d1 = Retry.delay_for p ~attempt in
+    let d2 = Retry.delay_for p ~attempt in
+    Alcotest.(check (float 0.)) "same attempt, same delay" d1 d2;
+    let lo = p.Retry.base_delay *. (1. -. p.Retry.jitter) in
+    let hi =
+      p.Retry.max_delay *. (1. +. p.Retry.jitter)
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "delay %g within jittered envelope" d1)
+      true
+      (d1 >= lo && d1 <= hi)
+  done;
+  (* growth up to the cap: un-jittered raw doubles each attempt *)
+  let nj = { p with Retry.jitter = 0. } in
+  Alcotest.(check (float 1e-9)) "attempt 1" 0.05 (Retry.delay_for nj ~attempt:1);
+  Alcotest.(check (float 1e-9)) "attempt 2" 0.1 (Retry.delay_for nj ~attempt:2);
+  Alcotest.(check (float 1e-9)) "cap" 1.0 (Retry.delay_for nj ~attempt:20)
+
+let test_retry_run () =
+  let slept = ref [] in
+  let sleep d = slept := d :: !slept in
+  (* first attempt stands: no sleeps, zero retries *)
+  let r, retries =
+    Retry.run ~sleep ~retryable:(fun _ -> false) (fun ~attempt -> attempt)
+  in
+  Alcotest.(check int) "value" 1 r;
+  Alcotest.(check int) "no retries" 0 retries;
+  Alcotest.(check int) "no sleeps" 0 (List.length !slept);
+  (* always-retryable: bounded by max_attempts, one sleep per retry *)
+  let policy = { Retry.default with Retry.max_attempts = 4 } in
+  let calls = ref 0 in
+  let _, retries =
+    Retry.run ~policy ~sleep
+      ~retryable:(fun _ -> true)
+      (fun ~attempt:_ -> incr calls)
+  in
+  Alcotest.(check int) "attempt cap respected" 4 !calls;
+  Alcotest.(check int) "retries reported" 3 retries;
+  Alcotest.(check int) "one sleep per retry" 3 (List.length !slept)
+
+(* ------------------------------------------------------------------ *)
+(* Pool (in-process)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let collector () =
+  let mu = Mutex.create () in
+  let acc = ref [] in
+  let respond r =
+    Mutex.lock mu;
+    acc := r :: !acc;
+    Mutex.unlock mu
+  in
+  let get () =
+    Mutex.lock mu;
+    let v = !acc in
+    Mutex.unlock mu;
+    v
+  in
+  (respond, get)
+
+let classify ?budget id file =
+  Protocol.Classify { id; source = Protocol.File file; budget }
+
+let job_statuses responses =
+  List.filter_map
+    (function
+      | Protocol.Job j -> Some (j.Protocol.r_id, j.Protocol.r_status)
+      | Protocol.Health _ -> None)
+    responses
+
+let test_pool_serves_and_drains () =
+  let pool = Pool.create { Pool.default_config with Pool.domains = 2 } in
+  let respond, get = collector () in
+  let ids = List.init 6 (fun i -> Printf.sprintf "j%d" i) in
+  List.iter
+    (fun id ->
+      match Pool.submit pool ~request:(classify id "suite:expr") ~respond with
+      | `Accepted -> ()
+      | `Overloaded | `Draining -> Alcotest.failf "%s not admitted" id)
+    ids;
+  ignore (Pool.drain pool);
+  let got = job_statuses (get ()) in
+  Alcotest.(check int) "one response per job" (List.length ids)
+    (List.length got);
+  List.iter
+    (fun id ->
+      match List.assoc_opt id got with
+      | Some Protocol.Ok_ -> ()
+      | Some s -> Alcotest.failf "%s: status %s" id (Protocol.status_name s)
+      | None -> Alcotest.failf "%s: no response" id)
+    ids;
+  (* drain is idempotent *)
+  ignore (Pool.drain pool)
+
+let test_pool_per_request_budget () =
+  let pool = Pool.create { Pool.default_config with Pool.domains = 1 } in
+  let respond, get = collector () in
+  let submit r =
+    match Pool.submit pool ~request:r ~respond with
+    | `Accepted -> ()
+    | `Overloaded | `Draining -> Alcotest.fail "not admitted"
+  in
+  submit (classify ~budget:"fuel=10" "tight" "suite:ada-subset");
+  submit (classify "free" "suite:ada-subset");
+  submit (classify ~budget:"no-such-resource=1" "badspec" "suite:expr");
+  ignore (Pool.drain pool);
+  let got = job_statuses (get ()) in
+  (match List.assoc_opt "tight" got with
+  | Some Protocol.Budget -> ()
+  | s ->
+      Alcotest.failf "tight: %s"
+        (match s with
+        | Some s -> Protocol.status_name s
+        | None -> "no response"))
+  ;
+  (match List.assoc_opt "free" got with
+  | Some (Protocol.Ok_ | Protocol.Verdict) -> ()
+  | _ -> Alcotest.fail "free: the budget leaked across jobs");
+  match List.assoc_opt "badspec" got with
+  | Some Protocol.Bad_request -> ()
+  | _ -> Alcotest.fail "badspec: expected bad_request"
+
+let test_pool_sheds_when_full () =
+  (* One busy domain, queue of one: a slow job in flight, one queued,
+     the rest of a fast burst must be refused as overloaded. *)
+  let pool =
+    Pool.create
+      { Pool.default_config with Pool.domains = 1; Pool.queue_capacity = 1 }
+  in
+  let respond, get = collector () in
+  let outcomes =
+    List.init 10 (fun i ->
+        Pool.submit pool
+          ~request:
+            (classify (Printf.sprintf "b%d" i)
+               (if i = 0 then "suite:ada-subset" else "suite:expr"))
+          ~respond)
+  in
+  let accepted =
+    List.length (List.filter (fun o -> o = `Accepted) outcomes)
+  in
+  let shed = List.length (List.filter (fun o -> o = `Overloaded) outcomes) in
+  Alcotest.(check bool) "first job admitted" true
+    (List.hd outcomes = `Accepted);
+  Alcotest.(check bool) "burst partially shed" true (shed > 0);
+  ignore (Pool.drain pool);
+  Alcotest.(check int) "every admitted job answered" accepted
+    (List.length (get ()));
+  let h = Pool.health pool ~id:"h" in
+  Alcotest.(check int) "sheds counted" shed h.Protocol.h_shed
+
+let test_pool_supervises_crash () =
+  Faultpoint.disarm ();
+  (match Faultpoint.arm "serve-worker:raise" with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  Fun.protect ~finally:Faultpoint.disarm (fun () ->
+      let pool = Pool.create { Pool.default_config with Pool.domains = 1 } in
+      let respond, get = collector () in
+      List.iter
+        (fun id ->
+          match
+            Pool.submit pool ~request:(classify id "suite:expr") ~respond
+          with
+          | `Accepted -> ()
+          | `Overloaded | `Draining -> Alcotest.fail "not admitted")
+        [ "poisoned"; "after" ];
+      ignore (Pool.drain pool);
+      let got = job_statuses (get ()) in
+      Alcotest.(check int) "both jobs answered" 2 (List.length got);
+      (match List.assoc_opt "poisoned" got with
+      | Some Protocol.Internal -> ()
+      | _ -> Alcotest.fail "poisoned job: expected typed internal");
+      (match List.assoc_opt "after" got with
+      | Some Protocol.Ok_ -> ()
+      | _ -> Alcotest.fail "job after the crash: expected ok");
+      let h = Pool.health pool ~id:"h" in
+      Alcotest.(check int) "restart recorded" 1 h.Protocol.h_restarts)
+
+(* ------------------------------------------------------------------ *)
+(* End to end: the daemon through the real binary                      *)
+(* ------------------------------------------------------------------ *)
+
+let binary =
+  lazy
+    (List.find Sys.file_exists
+       [
+         Filename.concat
+           (Filename.dirname Sys.executable_name)
+           "../bin/lalrgen.exe";
+         "../bin/lalrgen.exe";
+         "_build/default/bin/lalrgen.exe";
+       ])
+
+let run_client args =
+  let cmd =
+    Printf.sprintf "%s %s 2>&1"
+      (Filename.quote (Lazy.force binary))
+      (String.concat " " (List.map Filename.quote args))
+  in
+  let ic = Unix.open_process_in cmd in
+  let out = In_channel.input_all ic in
+  let code =
+    match Unix.close_process_in ic with
+    | Unix.WEXITED n -> n
+    | Unix.WSIGNALED n -> Alcotest.failf "client killed by signal %d" n
+    | Unix.WSTOPPED n -> Alcotest.failf "client stopped by signal %d" n
+  in
+  (code, out)
+
+type daemon = { d_pid : int; d_sock : string; d_log : string }
+
+let start_daemon extra_args =
+  let sock = Filename.temp_file "lalr_serve_" ".sock" in
+  Sys.remove sock;
+  let log = Filename.temp_file "lalr_serve_" ".log" in
+  let log_fd =
+    Unix.openfile log [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
+  in
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let pid =
+    Unix.create_process (Lazy.force binary)
+      (Array.of_list
+         ([ Lazy.force binary; "serve"; "--socket"; sock ] @ extra_args))
+      null log_fd log_fd
+  in
+  Unix.close null;
+  Unix.close log_fd;
+  (* ready when the health round-trip answers *)
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec wait () =
+    let code, _ =
+      run_client [ "call"; "--socket"; sock; {|{"id":"up","kind":"health"}|} ]
+    in
+    if code = 0 then ()
+    else if Unix.gettimeofday () > deadline then (
+      Unix.kill pid Sys.sigkill;
+      Alcotest.failf "daemon did not come up; log:\n%s"
+        (In_channel.with_open_bin log In_channel.input_all))
+    else (
+      Unix.sleepf 0.05;
+      wait ())
+  in
+  wait ();
+  { d_pid = pid; d_sock = sock; d_log = log }
+
+let stop_daemon d =
+  Unix.kill d.d_pid Sys.sigterm;
+  let _, status = Unix.waitpid [] d.d_pid in
+  (match status with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED n ->
+      Alcotest.failf "drain exited %d; log:\n%s" n
+        (In_channel.with_open_bin d.d_log In_channel.input_all)
+  | Unix.WSIGNALED n -> Alcotest.failf "daemon killed by signal %d" n
+  | Unix.WSTOPPED n -> Alcotest.failf "daemon stopped by signal %d" n);
+  Alcotest.(check bool) "socket path cleaned up" false (Sys.file_exists d.d_sock)
+
+let kill_daemon d = try Unix.kill d.d_pid Sys.sigkill with Unix.Unix_error _ -> ()
+
+(* Pull "field":"value" (string) or "field":123 out of a response line
+   without a JSON parser on the test side: the line shape itself is
+   pinned by the protocol round-trip tests. *)
+let field_string line name =
+  match Protocol.Json.parse line with
+  | Ok j -> (
+      match Protocol.Json.member name j with
+      | Some (Protocol.Json.Str s) -> Some s
+      | Some (Protocol.Json.Num f) -> Some (string_of_int (int_of_float f))
+      | _ -> None)
+  | Error _ -> None
+
+let test_e2e_chaos_acceptance () =
+  let d = start_daemon [ "--domains"; "2"; "--inject"; "serve-worker:raise" ] in
+  Fun.protect
+    ~finally:(fun () -> kill_daemon d)
+    (fun () ->
+      let requests =
+        [
+          (* poisoned: the armed serve-worker fault crashes the first
+             worker that picks a job up *)
+          {|{"id":"poisoned","file":"suite:expr"}|};
+          {|{"id":"clean","file":"suite:expr"}|};
+          {|{"id":"conflicted","grammar":"%token plus id\n%start e\n%%\ne : e plus e | id ;","format":"cfg"}|};
+          {|{"id":"tight","file":"suite:ada-subset","budget":"fuel=10"}|};
+          "this is not json";
+          {|{"id":"h","kind":"health"}|};
+        ]
+      in
+      let code, out =
+        run_client ([ "call"; "--socket"; d.d_sock ] @ requests)
+      in
+      let lines =
+        String.split_on_char '\n' out
+        |> List.filter (fun l -> String.length l > 0 && l.[0] = '{')
+      in
+      Alcotest.(check int) "exactly one response per request"
+        (List.length requests) (List.length lines);
+      let status_of id =
+        match
+          List.filter (fun l -> field_string l "id" = Some id) lines
+        with
+        | [ l ] -> field_string l "status"
+        | [] -> Alcotest.failf "%s: no response" id
+        | _ -> Alcotest.failf "%s: more than one response" id
+      in
+      Alcotest.(check (option string)) "poisoned -> typed internal"
+        (Some "internal") (status_of "poisoned");
+      Alcotest.(check (option string)) "clean -> ok" (Some "ok")
+        (status_of "clean");
+      Alcotest.(check (option string)) "conflicts -> verdict"
+        (Some "verdict") (status_of "conflicted");
+      Alcotest.(check (option string)) "over budget -> budget"
+        (Some "budget") (status_of "tight");
+      Alcotest.(check (option string)) "malformed line -> bad_request"
+        (Some "bad_request") (status_of "");
+      Alcotest.(check (option string)) "health answered" (Some "health")
+        (status_of "h");
+      Alcotest.(check int) "client exit is the worst response" 4 code;
+      (* the daemon survived all of it and still serves *)
+      let code2, out2 =
+        run_client
+          [ "call"; "--socket"; d.d_sock; {|{"id":"again","file":"suite:expr"}|} ]
+      in
+      Alcotest.(check int) "daemon keeps serving after chaos" 0 code2;
+      Alcotest.(check bool) "fresh request is clean" true
+        (field_string (String.trim out2) "status" = Some "ok");
+      stop_daemon d)
+
+let test_e2e_overload_shed () =
+  let d = start_daemon [ "--domains"; "1"; "--queue"; "1" ] in
+  Fun.protect
+    ~finally:(fun () -> kill_daemon d)
+    (fun () ->
+      let requests =
+        {|{"id":"slow","file":"suite:ada-subset"}|}
+        :: List.init 8 (fun i ->
+               Printf.sprintf {|{"id":"f%d","file":"suite:expr"}|} i)
+      in
+      let _, out = run_client ([ "call"; "--socket"; d.d_sock ] @ requests) in
+      let lines =
+        String.split_on_char '\n' out
+        |> List.filter (fun l -> String.length l > 0 && l.[0] = '{')
+      in
+      Alcotest.(check int) "every request answered" (List.length requests)
+        (List.length lines);
+      let statuses =
+        List.filter_map (fun l -> field_string l "status") lines
+      in
+      Alcotest.(check bool) "some of the burst was shed" true
+        (List.mem "overloaded" statuses);
+      Alcotest.(check bool) "the slow job itself completed" true
+        (List.exists
+           (fun l ->
+             field_string l "id" = Some "slow"
+             && field_string l "status" <> Some "overloaded")
+           lines);
+      stop_daemon d)
+
+let test_e2e_decode_fault_absorbed () =
+  (* @2: the readiness health probe is the daemon's first decode *)
+  let d =
+    start_daemon [ "--domains"; "1"; "--inject"; "serve-decode:raise@2" ]
+  in
+  Fun.protect
+    ~finally:(fun () -> kill_daemon d)
+    (fun () ->
+      let code, out =
+        run_client
+          [
+            "call"; "--socket"; d.d_sock;
+            {|{"id":"x","file":"suite:expr"}|};
+            {|{"id":"y","file":"suite:expr"}|};
+          ]
+      in
+      let lines =
+        String.split_on_char '\n' out
+        |> List.filter (fun l -> String.length l > 0 && l.[0] = '{')
+      in
+      Alcotest.(check int) "both lines answered" 2 (List.length lines);
+      let statuses = List.filter_map (fun l -> field_string l "status") lines in
+      Alcotest.(check bool) "injected decode fault is a typed internal" true
+        (List.mem "internal" statuses);
+      Alcotest.(check bool) "next line decodes normally" true
+        (List.mem "ok" statuses);
+      Alcotest.(check int) "worst code reported" 4 code;
+      stop_daemon d)
+
+let test_e2e_oversized_line () =
+  let d = start_daemon [ "--domains"; "1"; "--max-line"; "512" ] in
+  Fun.protect
+    ~finally:(fun () -> kill_daemon d)
+    (fun () ->
+      let big =
+        Printf.sprintf {|{"id":"big","grammar":"%s","format":"cfg"}|}
+          (String.make 2000 'a')
+      in
+      let code, out =
+        run_client
+          [
+            "call"; "--socket"; d.d_sock; big;
+            {|{"id":"small","file":"suite:expr"}|};
+          ]
+      in
+      let lines =
+        String.split_on_char '\n' out
+        |> List.filter (fun l -> String.length l > 0 && l.[0] = '{')
+      in
+      Alcotest.(check int) "both lines answered" 2 (List.length lines);
+      let statuses = List.filter_map (fun l -> field_string l "status") lines in
+      Alcotest.(check bool) "oversized -> bad_request" true
+        (List.mem "bad_request" statuses);
+      Alcotest.(check bool) "framing recovers for the next line" true
+        (List.mem "ok" statuses);
+      Alcotest.(check int) "worst code is the bad_request" 2 code;
+      stop_daemon d)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "decode requests" `Quick test_decode_requests;
+          Alcotest.test_case "decode rejects hostile lines" `Quick
+            test_decode_rejects;
+          Alcotest.test_case "encode/decode round-trip" `Quick
+            test_encode_roundtrip;
+          Alcotest.test_case "status exit codes" `Quick test_response_exits;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "deterministic capped backoff" `Quick
+            test_retry_deterministic_backoff;
+          Alcotest.test_case "run honours policy and reports retries" `Quick
+            test_retry_run;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "serves and drains" `Quick
+            test_pool_serves_and_drains;
+          Alcotest.test_case "per-request budgets are isolated" `Quick
+            test_pool_per_request_budget;
+          Alcotest.test_case "sheds when full" `Quick test_pool_sheds_when_full;
+          Alcotest.test_case "supervises a worker crash" `Quick
+            test_pool_supervises_crash;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "chaos acceptance" `Quick
+            test_e2e_chaos_acceptance;
+          Alcotest.test_case "overload shed" `Quick test_e2e_overload_shed;
+          Alcotest.test_case "decode fault absorbed" `Quick
+            test_e2e_decode_fault_absorbed;
+          Alcotest.test_case "oversized line" `Quick test_e2e_oversized_line;
+        ] );
+    ]
