@@ -721,6 +721,7 @@ let serve_workload ~reps scaled_cfg =
                  id = Printf.sprintf "%s-%d" n r;
                  source = Protocol.File ("suite:" ^ n);
                  budget = None;
+                 deadline_ms = None;
                })
            serve_suite_names
          @ [
@@ -730,6 +731,7 @@ let serve_workload ~reps scaled_cfg =
                  source =
                    Protocol.Inline { text = scaled_cfg; format = `Cfg };
                  budget = None;
+                 deadline_ms = None;
                };
            ]))
 
@@ -776,10 +778,32 @@ let serve_run_pool ~domains ?store requests =
     (fun request ->
       match Pool.submit pool ~request ~respond:(fun _ -> Atomic.decr pending) with
       | `Accepted -> ()
-      | `Overloaded | `Draining -> failwith "serve bench: request not admitted")
+      | `Overloaded | `Draining | `Expired | `Unready ->
+          failwith "serve bench: request not admitted")
     requests;
   ignore (Pool.drain pool);
   assert (Atomic.get pending = 0)
+
+(* Physical core count as the OS reports it ([nproc]), for the JSON
+   records: [Domain.recommended_domain_count] can be clamped by the
+   runtime, and the speedup-bound story should be judged against the
+   real machine. Falls back to the runtime's number when [nproc] is
+   unavailable. *)
+let nproc () =
+  let fallback = Domain.recommended_domain_count () in
+  match
+    let ic = Unix.open_process_in "nproc 2>/dev/null" in
+    let line =
+      try Some (String.trim (input_line ic)) with End_of_file -> None
+    in
+    let status = Unix.close_process_in ic in
+    match (status, line) with
+    | Unix.WEXITED 0, Some l -> int_of_string_opt l
+    | _ -> None
+  with
+  | Some n when n > 0 -> n
+  | Some _ | None -> fallback
+  | exception (Unix.Unix_error _ | Sys_error _) -> fallback
 
 let serve_samples = 3
 
@@ -849,7 +873,7 @@ let bench_serve () =
     "warm store (8 domains): %.3fs, hit rate %.2f (%d hits / %d misses)@."
     warm_wall hit_rate w_hits w_misses;
   Format.printf "trace gauges: %s@." (Trace.metrics_json session);
-  let cores = Domain.recommended_domain_count () in
+  let cores = nproc () in
   Bench_json.(
     write "BENCH_pr8.json"
       (Obj
@@ -907,6 +931,582 @@ let bench_serve_smoke () =
   Format.printf "serve smoke: %d requests served@." (List.length requests)
 
 (* ------------------------------------------------------------------ *)
+(* Soak — deterministic chaos soak against a live daemon (BENCH_pr9)  *)
+(* ------------------------------------------------------------------ *)
+
+module Serve = Lalr_serve.Serve
+module Client = Lalr_serve.Client
+module Breaker = Lalr_guard.Breaker
+module Faultpoint = Lalr_guard.Faultpoint
+module Retry = Lalr_guard.Retry
+module Json = Protocol.Json
+module Cls = Lalr_tables.Classify
+
+(* The soak is a bench AND an acceptance gate: it drives a real
+   [lalrgen serve] subprocess through >= 500 mixed requests — valid,
+   poisoned, over-budget, expired-deadline, near-deadline, health —
+   under a seeded, deterministic fault schedule across every serve
+   faultpoint site (accept, decode, dispatch, respond, worker, plus
+   the in-process client connect site), and asserts the robustness
+   invariants the serving stack claims:
+
+   - exactly one typed response per request id, zero duplicates
+     (responses eaten by an injected fault are re-requested; the
+     resubmission loop must converge);
+   - zero hangs: every blocking wait is covered by a watchdog;
+   - successful analyses byte-agree with a local engine run on the
+     classification triple (status, lalr1, lr0_states);
+   - expired deadlines are shed before compute, and deadline_exceeded
+     shows up as its own typed status;
+   - the breaker trip counter and the daemon restart counter are
+     monotone over the whole run;
+   - SIGTERM drains cleanly: exit 0 and the socket file removed.
+
+   Seeded via SOAK_SEED (default 42), sized via SOAK_REQUESTS
+   (default 560, floor 500). Writes BENCH_pr9.json; the CI step
+   re-asserts the headline numbers with jq. *)
+
+(* splitmix64: the same deterministic stream idiom Retry uses for
+   jitter — no Random, no wall clock, so one seed pins the whole
+   schedule and request mix. *)
+let splitmix64 st =
+  st := Int64.add !st 0x9E3779B97F4A7C15L;
+  let z = !st in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let rand_int st lo hi =
+  lo
+  + Int64.to_int
+      (Int64.rem
+         (Int64.shift_right_logical (splitmix64 st) 1)
+         (Int64.of_int (hi - lo + 1)))
+
+let soak_ok_grammars = [ "json"; "expr"; "mini-pascal"; "mini-c" ]
+
+(* The request mix, by position: ~60% valid analyses (half of them
+   carrying a generous deadline so the happy path exercises deadline
+   propagation end to end), plus over-budget, already-expired,
+   near-deadline, unreadable-file and health requests. Ids are
+   prefix-tagged so the accounting can pivot per class. *)
+let soak_request rng i : Protocol.request =
+  match i mod 16 with
+  | 15 -> Protocol.Health { id = Printf.sprintf "hlt:%d" i }
+  | 5 | 13 ->
+      Protocol.Classify
+        {
+          id = Printf.sprintf "bud:%d" i;
+          source = Protocol.File "suite:ada-subset";
+          budget = Some "fuel=10";
+          deadline_ms = None;
+        }
+  | 6 ->
+      Protocol.Classify
+        {
+          id = Printf.sprintf "exp:%d" i;
+          source = Protocol.File "suite:json";
+          budget = None;
+          deadline_ms = Some (-.float_of_int (rand_int rng 1 50));
+        }
+  | 7 | 14 ->
+      Protocol.Classify
+        {
+          id = Printf.sprintf "ndl:%d" i;
+          source = Protocol.File "suite:ada-subset";
+          budget = None;
+          deadline_ms = Some 5.;
+        }
+  | 8 ->
+      Protocol.Classify
+        {
+          id = Printf.sprintf "bad:%d" i;
+          source = Protocol.File "/nonexistent/soak.cfg";
+          budget = None;
+          deadline_ms = None;
+        }
+  | _ ->
+      let name =
+        List.nth soak_ok_grammars
+          (rand_int rng 0 (List.length soak_ok_grammars - 1))
+      in
+      Protocol.Classify
+        {
+          id = Printf.sprintf "ok:%s:%d" name i;
+          source = Protocol.File ("suite:" ^ name);
+          budget = None;
+          deadline_ms =
+            (if rand_int rng 0 1 = 0 then Some 600000. else None);
+        }
+
+let soak_has_prefix p id =
+  String.length id >= String.length p && String.sub id 0 (String.length p) = p
+
+(* The local ground truth the daemon's successful responses must
+   byte-agree with: the same engine, run in this process, no budget,
+   no chaos. *)
+let soak_expected_table () =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun name ->
+      let g = Lazy.force (Registry.find name).Registry.grammar in
+      let e = Engine.create g in
+      let p =
+        Engine.run_partial e (fun e ->
+            Engine.classification
+              ~with_lr1:(G.n_productions g <= Engine.lr1_limit)
+              e)
+      in
+      match p.Engine.pr_value with
+      | Some v ->
+          Hashtbl.replace tbl name
+            ( (if v.Cls.lalr1 then "ok" else "verdict"),
+              v.Cls.lalr1,
+              Engine.peek_lr0_states e )
+      | None -> failwith (Printf.sprintf "soak: local %s run failed" name))
+    soak_ok_grammars;
+  tbl
+
+let soak_find_binary () =
+  let candidates =
+    [
+      Filename.concat
+        (Filename.dirname Sys.executable_name)
+        "../bin/lalrgen.exe";
+      "_build/default/bin/lalrgen.exe";
+      "bin/lalrgen.exe";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some b -> b
+  | None -> failwith "soak: cannot find lalrgen.exe (build bin/ first)"
+
+(* Deadline-check overhead: the same in-process pool workload with and
+   without a generous per-request deadline. The delta is the cost of
+   the admission check, the dequeue re-check and the wall-cap
+   intersection on requests whose deadline never actually bites. *)
+let soak_deadline_overhead () =
+  let requests dl =
+    List.init 64 (fun i ->
+        Protocol.Classify
+          {
+            id = Printf.sprintf "ov:%d" i;
+            source = Protocol.File "suite:json";
+            budget = None;
+            deadline_ms = dl;
+          })
+  in
+  serve_run_pool ~domains:2 (requests None);
+  let base_s = serve_wall (fun () -> serve_run_pool ~domains:2 (requests None)) in
+  let dl_s =
+    serve_wall (fun () ->
+        serve_run_pool ~domains:2 (requests (Some 600000.)))
+  in
+  (base_s, dl_s)
+
+let bench_soak () =
+  section "bench SOAK — deterministic chaos soak (deadline-aware serving)";
+  let seed =
+    match Option.bind (Sys.getenv_opt "SOAK_SEED") int_of_string_opt with
+    | Some s -> s
+    | None -> 42
+  in
+  let n_requests =
+    match Option.bind (Sys.getenv_opt "SOAK_REQUESTS") int_of_string_opt with
+    | Some n -> max 500 n
+    | None -> 560
+  in
+  let rng = ref (Int64.of_int seed) in
+  Format.printf "seed %d, %d requests@." seed n_requests;
+
+  (* -- deadline-check overhead (in-process, no daemon, no chaos) -- *)
+  let base_s, dl_s = soak_deadline_overhead () in
+  Format.printf
+    "deadline-check overhead: %.3fs base vs %.3fs with deadline (%.3fx)@."
+    base_s dl_s (dl_s /. base_s);
+
+  (* -- the fault schedule, drawn from the seed ---------------------- *)
+  let inject =
+    String.concat ","
+      [
+        Printf.sprintf "serve-accept:raise@%d" (rand_int rng 2 4);
+        Printf.sprintf "serve-decode:raise@%d" (rand_int rng 100 300);
+        Printf.sprintf "serve-dispatch:raise@%d" (rand_int rng 50 250);
+        Printf.sprintf "serve-respond:raise@%d" (rand_int rng 80 350);
+        Printf.sprintf "serve-worker:raise@%d" (rand_int rng 30 150);
+        Printf.sprintf "serve-worker:raise@%d" (rand_int rng 160 300);
+      ]
+  in
+  Format.printf "daemon fault schedule: %s@." inject;
+  let expected = soak_expected_table () in
+  let requests = List.init n_requests (soak_request rng) in
+
+  (* -- live daemon -------------------------------------------------- *)
+  let binary = soak_find_binary () in
+  let sock = Filename.temp_file "lalr_soak_" ".sock" in
+  Sys.remove sock;
+  let log = Filename.temp_file "lalr_soak_" ".log" in
+  let logfd = Unix.openfile log [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let pid =
+    Unix.create_process binary
+      [|
+        binary; "serve"; "--socket"; sock; "--domains"; "2"; "--queue"; "64";
+        "--inject"; inject;
+      |]
+      devnull logfd logfd
+  in
+  Unix.close devnull;
+  Unix.close logfd;
+  let dump_log () =
+    try
+      let ic = open_in log in
+      let len = in_channel_length ic in
+      seek_in ic (max 0 (len - 4000));
+      (try
+         while true do
+           prerr_endline ("  [daemon] " ^ input_line ic)
+         done
+       with End_of_file -> ());
+      close_in ic
+    with Sys_error _ -> ()
+  in
+  (* Every blocking wait below sits under this watchdog: if the soak
+     has not finished inside the cap, the run FAILS — "no hangs" is an
+     asserted invariant, not a hope. *)
+  let soak_done = Atomic.make false in
+  let watchdog =
+    Thread.create
+      (fun () ->
+        let t0 = Unix.gettimeofday () in
+        while
+          (not (Atomic.get soak_done))
+          && Unix.gettimeofday () -. t0 < 240.
+        do
+          Thread.delay 0.25
+        done;
+        if not (Atomic.get soak_done) then begin
+          prerr_endline "soak: WATCHDOG fired — a wait hung; killing daemon";
+          dump_log ();
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          exit 1
+        end)
+      ()
+  in
+  (* Readiness: poll until the socket accepts a connection. *)
+  let rec wait_ready deadline =
+    let ok =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let r =
+        try
+          Unix.connect fd (Unix.ADDR_UNIX sock);
+          true
+        with Unix.Unix_error _ -> false
+      in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      r
+    in
+    if ok then ()
+    else if Unix.gettimeofday () > deadline then begin
+      dump_log ();
+      failwith "soak: daemon did not become ready"
+    end
+    else begin
+      Thread.delay 0.05;
+      wait_ready deadline
+    end
+  in
+  wait_ready (Unix.gettimeofday () +. 15.);
+
+  (* -- breaker demo: a dead endpoint must trip and then fast-fail --- *)
+  let dead = Filename.temp_file "lalr_soak_dead_" ".sock" in
+  Sys.remove dead;
+  let trips_before = Breaker.total_trips () in
+  let demo =
+    Client.create
+      ~retry:{ Retry.default with Retry.max_attempts = 1 }
+      ~sleep:(fun _ -> ())
+      ~breaker:
+        (Breaker.create
+           ~config:{ Breaker.default with Breaker.failure_threshold = 1 }
+           ())
+      (Serve.Unix_path dead)
+  in
+  let health_line id =
+    Protocol.encode_request (Protocol.Health { id })
+  in
+  (match Client.call demo [ health_line "demo" ] with
+  | Ok _ -> failwith "soak: dead endpoint answered"
+  | Error (Client.Unavailable _) -> ()
+  | Error (Client.Breaker_open _) ->
+      failwith "soak: breaker open before any failure");
+  (match Client.call demo [ health_line "demo2" ] with
+  | Error (Client.Breaker_open _) -> ()
+  | Ok _ | Error (Client.Unavailable _) ->
+      failwith "soak: tripped breaker did not fast-fail");
+  if Breaker.total_trips () <= trips_before then
+    failwith "soak: breaker trip not counted";
+
+  (* -- client-side chaos: arm the connect-path faultpoint ----------- *)
+  (match Faultpoint.arm (Printf.sprintf "serve-client:raise@%d" (rand_int rng 2 3)) with
+  | Ok () -> ()
+  | Error m -> failwith ("soak: arm: " ^ m));
+
+  (* -- the soak loop ------------------------------------------------ *)
+  let client = Client.create (Serve.Unix_path sock) in
+  let delivered = Hashtbl.create (2 * n_requests) in
+  let id_status = Hashtbl.create (2 * n_requests) in
+  let statuses = Hashtbl.create 16 in
+  let restarts_samples = ref [] in
+  let breaker_samples = ref [] in
+  let decode_faults = ref 0 in
+  let mismatches = ref 0 in
+  let resubmits = ref 0 in
+  let bump tbl key =
+    Hashtbl.replace tbl key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+  in
+  let process_line line =
+    match Json.parse line with
+    | Error m ->
+        failwith (Printf.sprintf "soak: unparseable response %S: %s" line m)
+    | Ok j -> (
+        let id =
+          match Json.member "id" j with Some (Json.Str s) -> s | _ -> ""
+        in
+        let status =
+          match Json.member "status" j with
+          | Some (Json.Str s) -> s
+          | _ -> "?"
+        in
+        if id = "" then incr decode_faults
+        else begin
+          bump delivered id;
+          bump statuses status;
+          if not (Hashtbl.mem id_status id) then
+            Hashtbl.replace id_status id status;
+          if status = "health" then
+            match Json.member "restarts" j with
+            | Some (Json.Num r) ->
+                restarts_samples := int_of_float r :: !restarts_samples
+            | _ -> failwith "soak: health response without restarts"
+        end;
+        (* Successful analyses must agree with the local engine. *)
+        match (String.split_on_char ':' id, status) with
+        | [ "ok"; name; _ ], ("ok" | "verdict") -> (
+            match Hashtbl.find_opt expected name with
+            | None -> ()
+            | Some (est, elalr1, elr0) ->
+                let lalr1 =
+                  match Json.member "lalr1" j with
+                  | Some (Json.Bool b) -> Some b
+                  | _ -> None
+                in
+                let lr0 =
+                  match Json.member "lr0_states" j with
+                  | Some (Json.Num n) -> Some (int_of_float n)
+                  | _ -> None
+                in
+                if
+                  not (status = est && lalr1 = Some elalr1 && lr0 = elr0)
+                then begin
+                  incr mismatches;
+                  Format.eprintf
+                    "soak: MISMATCH %s: got (%s, %s, %s), expected (%s, %b, \
+                     %s)@."
+                    id status
+                    (match lalr1 with
+                    | Some b -> string_of_bool b
+                    | None -> "-")
+                    (match lr0 with
+                    | Some n -> string_of_int n
+                    | None -> "-")
+                    est elalr1
+                    (match elr0 with
+                    | Some n -> string_of_int n
+                    | None -> "-")
+                end)
+        | _ -> ())
+  in
+  let pending = Queue.create () in
+  List.iter (fun r -> Queue.add r pending) requests;
+  let first_sent = Hashtbl.create (2 * n_requests) in
+  let rounds = ref 0 in
+  let chunk = ref 0 in
+  let t_soak0 = Unix.gettimeofday () in
+  while not (Queue.is_empty pending) do
+    incr rounds;
+    if !rounds > 40 * (n_requests / 16 + 1) then begin
+      dump_log ();
+      failwith "soak: resubmission loop did not converge"
+    end;
+    let batch = ref [] in
+    while List.length !batch < 16 && not (Queue.is_empty pending) do
+      batch := Queue.pop pending :: !batch
+    done;
+    let batch = List.rev !batch in
+    let lines = List.map Protocol.encode_request batch in
+    let requeue_missing () =
+      List.iter
+        (fun r ->
+          let id = Protocol.request_id r in
+          if not (Hashtbl.mem delivered id) then Queue.add r pending)
+        batch
+    in
+    (match Client.call client lines with
+    | Ok responses ->
+        List.iter
+          (fun r ->
+            let id = Protocol.request_id r in
+            if Hashtbl.mem first_sent id then incr resubmits
+            else Hashtbl.replace first_sent id ())
+          batch;
+        List.iter process_line responses;
+        (* A decode-injected blank response leaves its id unanswered
+           even on a "complete" call: re-request it. *)
+        requeue_missing ()
+    | Error (Client.Breaker_open { retry_after; _ }) ->
+        Thread.delay (Float.max 0.05 retry_after +. 0.01);
+        List.iter (fun r -> Queue.add r pending) batch
+    | Error (Client.Unavailable { partial; _ }) ->
+        List.iter
+          (fun r ->
+            let id = Protocol.request_id r in
+            if Hashtbl.mem first_sent id then incr resubmits
+            else Hashtbl.replace first_sent id ())
+          batch;
+        List.iter process_line partial;
+        requeue_missing ());
+    breaker_samples := Breaker.total_trips () :: !breaker_samples;
+    incr chunk;
+    (* Periodic forced reconnects keep the accept/probe paths hot. *)
+    if !chunk mod 8 = 0 then Client.close client
+  done;
+  let soak_wall = Unix.gettimeofday () -. t_soak0 in
+  Faultpoint.disarm ();
+
+  (* -- final health, then a clean SIGTERM drain --------------------- *)
+  (match Client.call client [ health_line "hlt:final" ] with
+  | Ok responses -> List.iter process_line responses
+  | Error e -> failwith ("soak: final health failed: " ^ Client.error_message e));
+  Client.close client;
+  Unix.kill pid Sys.sigterm;
+  let _, st = Unix.waitpid [] pid in
+  let clean_drain = st = Unix.WEXITED 0 && not (Sys.file_exists sock) in
+  Atomic.set soak_done true;
+  Thread.join watchdog;
+  if not clean_drain then begin
+    dump_log ();
+    failwith "soak: daemon did not drain cleanly on SIGTERM"
+  end;
+
+  (* -- invariants --------------------------------------------------- *)
+  let rec is_sorted = function
+    | a :: (b :: _ as rest) -> a <= b && is_sorted rest
+    | _ -> true
+  in
+  if not (is_sorted (List.rev !breaker_samples)) then
+    failwith "soak: breaker trip counter went backwards";
+  if not (is_sorted (List.rev !restarts_samples)) then
+    failwith "soak: daemon restart counter went backwards";
+  let duplicates =
+    Hashtbl.fold (fun _ c acc -> if c > 1 then acc + 1 else acc) delivered 0
+  in
+  (* [delivered] holds every id that got a response: the n_requests
+     soak ids plus the final out-of-loop health probe. *)
+  let responses = Hashtbl.length delivered - 1 in
+  let expired_shed =
+    Hashtbl.fold
+      (fun id st acc ->
+        if soak_has_prefix "exp:" id && st = "deadline_exceeded" then acc + 1
+        else acc)
+      id_status 0
+  in
+  let restarts_final =
+    match !restarts_samples with r :: _ -> r | [] -> 0
+  in
+  let status_count s =
+    Option.value ~default:0 (Hashtbl.find_opt statuses s)
+  in
+  Format.printf
+    "soak: %d requests in %.2fs (%.1f req/s), %d resubmits, %d decode \
+     faults, %d duplicates, %d mismatches@."
+    n_requests soak_wall
+    (float_of_int n_requests /. soak_wall)
+    !resubmits !decode_faults duplicates !mismatches;
+  Format.printf
+    "soak: statuses:%s@."
+    (Hashtbl.fold
+       (fun s c acc -> acc ^ Printf.sprintf " %s=%d" s c)
+       statuses "");
+  Format.printf
+    "soak: expired_shed %d, restarts %d, breaker trips %d, clean drain %b@."
+    expired_shed restarts_final (Breaker.total_trips ()) clean_drain;
+
+  Bench_json.(
+    write "BENCH_pr9.json"
+      (Obj
+         [
+           ("pr", Int 9);
+           ("experiment", Str "chaos-soak-deadline-serving");
+           ("seed", Int seed);
+           ("cores", Int (nproc ()));
+           ("fault_schedule", Str inject);
+           ("requests", Int n_requests);
+           ("responses", Int responses);
+           ("resubmits", Int !resubmits);
+           ("decode_faults", Int !decode_faults);
+           ("duplicates", Int duplicates);
+           ("mismatches", Int !mismatches);
+           ("expired_shed", Int expired_shed);
+           ("restarts", Int restarts_final);
+           ("breaker_trips", Int (Breaker.total_trips ()));
+           ("clean_drain", Int (if clean_drain then 1 else 0));
+           ( "statuses",
+             Obj
+               (List.map
+                  (fun s -> (s, Int (status_count s)))
+                  [
+                    "ok"; "verdict"; "bad_request"; "budget"; "overloaded";
+                    "deadline_exceeded"; "internal"; "health";
+                  ]) );
+           ("soak_wall_s", Sec soak_wall);
+           ( "soak_throughput_req_s",
+             Ratio (float_of_int n_requests /. soak_wall) );
+           ( "deadline_overhead",
+             Obj
+               [
+                 ("baseline_s", Sec base_s);
+                 ("with_deadline_s", Sec dl_s);
+                 ("overhead_ratio", Ratio (dl_s /. base_s));
+               ] );
+         ]));
+  Format.printf "@.wrote BENCH_pr9.json@.";
+
+  (* Hard gates, after the JSON so a failing run still leaves the
+     numbers on disk for the post-mortem. *)
+  if responses <> n_requests then
+    failwith
+      (Printf.sprintf "soak: %d distinct ids answered, expected %d" responses
+         n_requests);
+  if duplicates > 0 then
+    failwith (Printf.sprintf "soak: %d duplicated responses" duplicates);
+  if !mismatches > 0 then
+    failwith (Printf.sprintf "soak: %d analysis mismatches" !mismatches);
+  if expired_shed = 0 then
+    failwith "soak: no expired-deadline request was shed";
+  if status_count "deadline_exceeded" = 0 then
+    failwith "soak: no deadline_exceeded response observed";
+  if restarts_final = 0 then
+    failwith "soak: worker crash injections produced no restart"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -927,6 +1527,7 @@ let all =
     ("layout-smoke", bench_layout_smoke);
     ("serve", bench_serve);
     ("serve-smoke", bench_serve_smoke);
+    ("soak", bench_soak);
   ]
 
 let () =

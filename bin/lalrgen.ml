@@ -40,6 +40,7 @@ module Retry = Lalr_guard.Retry
 module Protocol = Lalr_serve.Protocol
 module Pool = Lalr_serve.Pool
 module Serve = Lalr_serve.Serve
+module Client = Lalr_serve.Client
 module Store = Lalr_store.Store
 module Classify = Lalr_tables.Classify
 module Trace = Lalr_trace.Trace
@@ -745,6 +746,75 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* The per-response exit code carried in a serve response line; an
+   undecodable line counts as the worst outcome (the daemon never
+   emits one — seeing it means the transport mangled the stream). *)
+let response_exit_of_line line =
+  match Protocol.Json.parse line with
+  | Ok j -> (
+      match Protocol.Json.member "exit" j with
+      | Some (Protocol.Json.Num f) -> int_of_float f
+      | _ -> 4)
+  | Error _ -> 4
+
+(* Print whatever response lines arrived (possibly a partial set, when
+   the connection died mid-call) and fold their worst exit code. *)
+let print_response_lines lines =
+  List.fold_left
+    (fun worst l ->
+      print_endline l;
+      max worst (response_exit_of_line l))
+    0 lines
+
+(* batch --via-serve: ship the whole batch to a running daemon over
+   one resilient connection instead of analysing in-process. Per-job
+   isolation, budgets and retries then happen server-side; the output
+   contract (one JSON line per job, worst exit, stderr summary) is
+   unchanged. *)
+let batch_via_serve endpoint_s files budget_spec =
+  let endpoint =
+    match Serve.parse_endpoint endpoint_s with
+    | Ok e -> e
+    | Error m ->
+        Format.eprintf "lalrgen: --via-serve: %s@." m;
+        exit 2
+  in
+  let request file =
+    let source =
+      if file = "-" then
+        Protocol.Inline
+          { text = In_channel.input_all In_channel.stdin; format = `Cfg }
+      else Protocol.File file
+    in
+    Protocol.encode_request
+      (Protocol.Classify
+         { id = file; source; budget = budget_spec; deadline_ms = None })
+  in
+  let lines = List.map request files in
+  let client = Client.create endpoint in
+  match Client.call client lines with
+  | Ok responses ->
+      Client.close client;
+      let nonzero =
+        List.length
+          (List.filter (fun l -> response_exit_of_line l <> 0) responses)
+      in
+      let worst = print_response_lines responses in
+      Format.eprintf "batch: %d jobs, %d nonzero@." (List.length responses)
+        nonzero;
+      exit worst
+  | Error err ->
+      let partial =
+        match err with
+        | Client.Unavailable { partial; _ } -> partial
+        | Client.Breaker_open _ -> []
+      in
+      let worst = print_response_lines partial in
+      Format.eprintf "lalrgen: batch: %s@." (Client.error_message err);
+      Format.eprintf "batch: %d jobs, %d responded@." (List.length lines)
+        (List.length partial);
+      exit (max worst 4)
+
 type job_result = {
   j_exit : int;
   j_status : string;  (* ok | verdict | diagnostics | budget | internal *)
@@ -757,7 +827,7 @@ type job_result = {
 }
 
 let batch_cmd =
-  let run files budget_spec cache inject timings trace =
+  let run files budget_spec cache inject timings trace via_serve =
     arm_injection inject;
     setup_trace trace;
     (* Validate the budget spec once; each job then parses its own
@@ -771,6 +841,9 @@ let batch_cmd =
             exit 2
         | Ok _ -> ())
     | _ -> ());
+    (match via_serve with
+    | Some ep -> batch_via_serve ep files budget_spec
+    | None -> ());
     let store = open_store cache in
     let fresh_budget () =
       match budget_spec with
@@ -931,15 +1004,33 @@ let batch_cmd =
     in
     Arg.(value & opt (some string) None & info [ "budget" ] ~docv:"SPEC" ~doc)
   in
+  let via_serve =
+    let doc =
+      "Route the batch through a running $(b,lalrgen serve) daemon at \
+       $(docv) instead of analysing in-process: one request per grammar \
+       over a single resilient connection (health-checked reconnect, \
+       circuit breaker). Isolation, budgets and retries happen \
+       server-side; $(b,--cache) and $(b,--inject) apply to the daemon's \
+       process, not this one. The output contract is unchanged. On \
+       connection failure the responses that arrived are printed and the \
+       exit code is 4."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "via-serve" ] ~docv:"ENDPOINT" ~doc)
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
          "Classify many grammars in one invocation with per-job isolation: \
           a failing job is reported (JSON-lines) and never aborts the \
           batch; internal faults are retried with capped exponential \
-          backoff; the exit code is the maximum per-job code")
+          backoff; the exit code is the maximum per-job code. With \
+          $(b,--via-serve), the jobs are dispatched to a running daemon \
+          instead of analysed in-process")
     Term.(const run $ files $ budget_spec $ cache_arg $ inject_arg
-          $ timings_arg $ trace_arg)
+          $ timings_arg $ trace_arg $ via_serve)
 
 (* ------------------------------------------------------------------ *)
 (* stats                                                              *)
@@ -1171,65 +1262,27 @@ let call_cmd =
       | [ "-" ] | [] -> In_channel.input_lines stdin
       | rs -> rs
     in
-    let fd =
-      try
-        match endpoint with
-        | Serve.Unix_path path ->
-            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-            Unix.connect fd (Unix.ADDR_UNIX path);
-            fd
-        | Serve.Tcp { host; port } ->
-            let addr =
-              try Unix.inet_addr_of_string host
-              with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
-            in
-            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-            Unix.connect fd (Unix.ADDR_INET (addr, port));
-            fd
-      with
-      | Unix.Unix_error (e, _, _) ->
-          Format.eprintf "lalrgen: call: %s: %s@." socket
-            (Unix.error_message e);
-          exit 2
-      | Not_found | Failure _ ->
-          Format.eprintf "lalrgen: call: cannot resolve %s@." socket;
-          exit 2
-    in
-    let oc = Unix.out_channel_of_descr fd in
-    let ic = Unix.in_channel_of_descr fd in
-    List.iter
-      (fun l ->
-        output_string oc l;
-        output_char oc '\n')
-      lines;
-    flush oc;
-    Unix.shutdown fd Unix.SHUTDOWN_SEND;
-    let expected = List.length lines in
-    let exit_of_line line =
-      match Protocol.Json.parse line with
-      | Ok j -> (
-          match Protocol.Json.member "exit" j with
-          | Some (Protocol.Json.Num f) -> int_of_float f
-          | _ -> 4)
-      | Error _ -> 4
-    in
-    let rec read_responses n worst =
-      if n = 0 then worst
-      else
-        match In_channel.input_line ic with
-        | Some line ->
-            print_endline line;
-            read_responses (n - 1) (max worst (exit_of_line line))
-        | None ->
-            Format.eprintf
-              "lalrgen: call: connection closed with %d response(s) \
-               missing@."
-              n;
-            max worst 4
-    in
-    let code = read_responses expected 0 in
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    exit code
+    let client = Client.create endpoint in
+    match Client.call client lines with
+    | Ok responses ->
+        Client.close client;
+        exit (print_response_lines responses)
+    | Error err ->
+        (* A failed transport is the client's failure, not the
+           daemon's verdict: exit 4 (internal), after delivering every
+           response line that DID arrive — the daemon already did that
+           work. *)
+        let partial =
+          match err with
+          | Client.Unavailable { partial; _ } -> partial
+          | Client.Breaker_open _ -> []
+        in
+        let worst = print_response_lines partial in
+        Format.eprintf "lalrgen: call: %s@." (Client.error_message err);
+        let missing = List.length lines - List.length partial in
+        if missing > 0 && partial <> [] then
+          Format.eprintf "lalrgen: call: %d response(s) missing@." missing;
+        exit (max worst 4)
   in
   let requests =
     Arg.(
@@ -1244,8 +1297,12 @@ let call_cmd =
   Cmd.v
     (Cmd.info "call"
        ~doc:
-         "Send requests to a running $(b,lalrgen serve) daemon and print \
-          its response lines; exits with the worst per-response code")
+         "Send requests to a running $(b,lalrgen serve) daemon over a \
+          resilient connection (health-checked reconnect, circuit \
+          breaker) and print its response lines; exits with the worst \
+          per-response code, or 4 when the daemon is unreachable (the \
+          error names the endpoint and distinguishes a missing socket \
+          from a refused connection)")
     Term.(const run $ socket_arg $ requests)
 
 let () =

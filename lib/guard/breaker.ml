@@ -1,0 +1,92 @@
+(* Circuit breaker for the serve client. All state lives in Atomics so
+   a breaker can be shared by concurrent callers (reader threads, a
+   batch driver) without a lock: the only multi-step transition —
+   claiming the half-open probe — is a single compare-and-set. *)
+
+type config = {
+  failure_threshold : int;
+  reset_after : float;
+  now : unit -> float;
+}
+
+let default =
+  { failure_threshold = 5; reset_after = 1.0; now = Unix.gettimeofday }
+
+(* Process-wide monotone count of transitions into Open, across every
+   breaker instance: the chaos soak asserts this never decreases, and
+   a fleet-level caller can watch it without holding each client. *)
+let total_trips_cell : int Atomic.t = Atomic.make 0
+
+let total_trips () = Atomic.get total_trips_cell
+
+type state = Closed | Open | Half_open
+
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type t = {
+  cfg : config;
+  is_open : bool Atomic.t;
+  failures : int Atomic.t;  (* consecutive failures while closed *)
+  opened_at : float Atomic.t;  (* meaningful while is_open *)
+  probing : bool Atomic.t;  (* half-open probe claimed, unresolved *)
+  trips : int Atomic.t;
+}
+
+let create ?(config = default) () =
+  {
+    cfg = { config with failure_threshold = max 1 config.failure_threshold };
+    is_open = Atomic.make false;
+    failures = Atomic.make 0;
+    opened_at = Atomic.make 0.;
+    probing = Atomic.make false;
+    trips = Atomic.make 0;
+  }
+
+let state t =
+  if not (Atomic.get t.is_open) then Closed
+  else if
+    Atomic.get t.probing
+    || t.cfg.now () -. Atomic.get t.opened_at >= t.cfg.reset_after
+  then Half_open
+  else Open
+
+type decision = Proceed | Probe | Reject of float
+
+let acquire t =
+  if not (Atomic.get t.is_open) then Proceed
+  else
+    let elapsed = t.cfg.now () -. Atomic.get t.opened_at in
+    if elapsed < t.cfg.reset_after then Reject (t.cfg.reset_after -. elapsed)
+    else if Atomic.compare_and_set t.probing false true then Probe
+    else Reject 0.
+
+(* opened_at is written before is_open so a concurrent [acquire] that
+   observes the open flag also observes a fresh timestamp. *)
+let trip t =
+  Atomic.set t.opened_at (t.cfg.now ());
+  Atomic.set t.is_open true;
+  Atomic.incr t.trips;
+  Atomic.incr total_trips_cell
+
+let success t =
+  Atomic.set t.failures 0;
+  Atomic.set t.probing false;
+  Atomic.set t.is_open false
+
+let failure t =
+  if Atomic.get t.is_open then begin
+    (* A failed half-open probe (or a straggler from before the trip):
+       re-open for a full reset window. *)
+    Atomic.set t.probing false;
+    trip t
+  end
+  else if Atomic.fetch_and_add t.failures 1 + 1 >= t.cfg.failure_threshold
+  then begin
+    Atomic.set t.failures 0;
+    trip t
+  end
+
+let trips t = Atomic.get t.trips

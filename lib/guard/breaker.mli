@@ -1,0 +1,74 @@
+(** A closed/open/half-open circuit breaker on Atomics.
+
+    The serve client ({!Lalr_serve.Client}) guards every transport
+    attempt with one of these so a dead or overloaded daemon is shed
+    {e locally} — a fast in-process rejection — instead of each caller
+    retry-storming the endpoint:
+
+    - {b closed}: traffic flows; {!failure} counts {e consecutive}
+      failures and trips to open at [failure_threshold];
+    - {b open}: {!acquire} rejects immediately (with the time left
+      until a probe is allowed) for [reset_after] seconds;
+    - {b half-open}: after the window, {e exactly one} caller wins the
+      probe slot ({!acquire} returns [Probe], every concurrent caller
+      keeps getting [Reject]); the probe's {!success} closes the
+      breaker, its {!failure} re-opens it for a full window.
+
+    All state is [Atomic.t] (lalr_check D001-clean) and the clock is
+    injectable, so state-transition tests run without sleeping. The
+    breaker never sleeps and never raises; callers compose it with
+    {!Retry} for backoff {e inside} an acquired attempt. *)
+
+type config = {
+  failure_threshold : int;
+      (** consecutive failures that trip closed → open; >= 1 (clamped) *)
+  reset_after : float;  (** seconds open before a half-open probe *)
+  now : unit -> float;  (** injectable clock *)
+}
+
+val default : config
+(** 5 consecutive failures, 1 s reset window, [Unix.gettimeofday]. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+(** A fresh breaker in the closed state. *)
+
+type state = Closed | Open | Half_open
+
+val state : t -> state
+(** Observed state: [Half_open] once the reset window has elapsed
+    (whether or not a probe has been claimed yet). *)
+
+val state_name : state -> string
+(** ["closed"], ["open"], ["half-open"]. *)
+
+type decision =
+  | Proceed  (** closed: go ahead *)
+  | Probe
+      (** half-open and this caller won the single probe slot; it MUST
+          report {!success} or {!failure} to release it *)
+  | Reject of float
+      (** open (or a probe is already in flight): shed locally; the
+          payload is the seconds left until a probe is allowed (0 when
+          only the in-flight probe blocks) *)
+
+val acquire : t -> decision
+(** Consult the breaker before a transport attempt. Never blocks. *)
+
+val success : t -> unit
+(** Report a successful attempt: resets the failure count, releases
+    the probe slot, closes the breaker. *)
+
+val failure : t -> unit
+(** Report a failed attempt: while closed, counts toward the
+    threshold; while open/half-open, re-opens for a full window and
+    releases the probe slot. *)
+
+val trips : t -> int
+(** Monotone count of this breaker's transitions into open (including
+    re-opens after a failed probe). *)
+
+val total_trips : unit -> int
+(** Process-wide monotone trip count across every breaker instance —
+    the counter the chaos soak asserts never decreases. *)

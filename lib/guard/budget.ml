@@ -41,6 +41,30 @@ let create ?fuel ?wall ?max_states ?max_items () =
 
 let unlimited () = create ()
 
+(* Deadline intersection for the serve pool: the remaining request
+   deadline becomes (part of) the wall cap, so in-flight work
+   self-terminates when the client's deadline passes. The result is a
+   fresh, unconsumed budget — the pool parses a fresh budget per
+   attempt anyway, and sharing consumption with the input would make
+   retries pay for each other. *)
+let intersect_wall b ~remaining =
+  if remaining <= 0. then
+    invalid_arg "Budget.intersect_wall: remaining must be positive";
+  let wall =
+    match b.wall_cap with
+    | Some w -> Float.min w remaining
+    | None -> remaining
+  in
+  {
+    b with
+    wall_cap = Some wall;
+    started = None;
+    fuel_used = 0;
+    states_used = 0;
+    items_used = 0;
+    ticks = 0;
+  }
+
 type exceeded = {
   ex_stage : string;
   ex_resource : resource;

@@ -55,6 +55,16 @@ val create :
 val unlimited : unit -> t
 (** A budget with no caps: installs and ticks, never trips. *)
 
+val intersect_wall : t -> remaining:float -> t
+(** [intersect_wall b ~remaining] is a fresh, unconsumed budget with
+    [b]'s caps except that its wall cap is
+    [min (cap b Wall_clock) remaining] (or [remaining] when [b] has no
+    wall cap). The serve pool uses it to fold the remaining request
+    deadline into the per-request budget, so in-flight work
+    self-terminates when the deadline passes. Raises
+    [Invalid_argument] when [remaining <= 0] — an already-expired
+    deadline must be shed by the caller, not run. *)
+
 type exceeded = {
   ex_stage : string;  (** innermost stage running when the cap tripped *)
   ex_resource : resource;

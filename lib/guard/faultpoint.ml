@@ -48,6 +48,11 @@ let sites =
       serve "serve-dispatch" [ Raise; Wall ];
       serve "serve-respond" [ Raise; Wall ];
       serve "serve-worker" [ Raise ];
+      (* serve-client fires on the CLIENT side of the wire, in
+         Client.connect: a fire-once raise is absorbed by the client's
+         Retry/reconnect path; repeated firings feed the circuit
+         breaker. The serving process never sees it. *)
+      serve "serve-client" [ Raise ];
     ]
 
 let find_site name = List.find_opt (fun s -> s.si_name = name) sites

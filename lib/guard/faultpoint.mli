@@ -47,10 +47,14 @@ val sites : site_info list
     ([reader], [menhir]), the store boundaries ([store-read],
     [store-write]) and the daemon loop stages of [lalrgen serve]
     ([serve-accept], [serve-decode], [serve-dispatch],
-    [serve-respond], [serve-worker]). The serve sites are absorbed by
-    the daemon into typed per-request responses — [serve-worker] via a
-    supervised worker-domain restart — so their documented process
-    exit is 0. *)
+    [serve-respond], [serve-worker]), plus the client-side connect
+    boundary ([serve-client], checked by {!Lalr_serve.Client} before
+    every fresh connection — a fire-once raise is absorbed by the
+    client's retry/reconnect, repeated firings feed its circuit
+    breaker). The serve sites are absorbed — the daemon folds them
+    into typed per-request responses ([serve-worker] via a supervised
+    worker-domain restart), the client into its reconnect path — so
+    their documented process exit is 0. *)
 
 val find_site : string -> site_info option
 

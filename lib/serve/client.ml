@@ -1,0 +1,235 @@
+module Budget = Lalr_guard.Budget
+module Breaker = Lalr_guard.Breaker
+module Faultpoint = Lalr_guard.Faultpoint
+module Retry = Lalr_guard.Retry
+
+type t = {
+  endpoint : Serve.endpoint;
+  retry : Retry.policy;
+  sleep : float -> unit;
+  breaker : Breaker.t;
+  mutable conn : (Unix.file_descr * in_channel * out_channel) option;
+}
+
+type error =
+  | Breaker_open of { endpoint : Serve.endpoint; retry_after : float }
+  | Unavailable of {
+      endpoint : Serve.endpoint;
+      reason : string;
+      partial : string list;
+    }
+
+(* A write to a connection the daemon already dropped raises EPIPE
+   instead of killing the whole process — the retry layer depends on
+   seeing the exception. Mirrors what [Serve.run] does server-side. *)
+let ignore_sigpipe =
+  lazy
+    (if Sys.os_type = "Unix" then
+       try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+       with Invalid_argument _ | Sys_error _ -> ())
+
+let create ?(retry = Retry.default) ?(sleep = Unix.sleepf) ?breaker endpoint =
+  Lazy.force ignore_sigpipe;
+  let breaker =
+    match breaker with Some b -> b | None -> Breaker.create ()
+  in
+  { endpoint; retry; sleep; breaker; conn = None }
+
+let endpoint t = t.endpoint
+let breaker t = t.breaker
+
+(* The messages the CLI surfaces verbatim: always name the endpoint,
+   and distinguish "nothing at that path" from "something is there but
+   not accepting" — the operator's next move differs. *)
+let connect_failure endpoint e =
+  let ep = Serve.endpoint_to_string endpoint in
+  match (endpoint, e) with
+  | Serve.Unix_path p, Unix.ENOENT ->
+      Printf.sprintf "no such socket %s (is the daemon running?)" p
+  | Serve.Unix_path p, Unix.ECONNREFUSED ->
+      Printf.sprintf
+        "connection refused on socket %s (daemon gone? stale socket file?)" p
+  | Serve.Tcp _, Unix.ECONNREFUSED ->
+      Printf.sprintf "connection refused on %s (is the daemon listening?)" ep
+  | _, e -> Printf.sprintf "cannot connect to %s: %s" ep (Unix.error_message e)
+
+let teardown (fd, ic, oc) =
+  close_out_noerr oc;
+  close_in_noerr ic;
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let close t =
+  match t.conn with
+  | None -> ()
+  | Some c ->
+      t.conn <- None;
+      teardown c
+
+let probe_id = "__client_probe__"
+
+(* One fresh, health-checked connection. The probe round-trip proves
+   the daemon at the other end actually answers the protocol — a
+   half-dead socket (bound but not serving) fails here, before the
+   caller's requests are committed to it. *)
+let connect_once t =
+  Faultpoint.check "serve-client";
+  let connect_fd fd addr =
+    try
+      Unix.connect fd addr;
+      fd
+    with e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  let fd =
+    match t.endpoint with
+    | Serve.Unix_path path ->
+        connect_fd
+          (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0)
+          (Unix.ADDR_UNIX path)
+    | Serve.Tcp { host; port } ->
+        let addr =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (
+            try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+            with Not_found | Invalid_argument _ ->
+              failwith (Printf.sprintf "cannot resolve host %S" host))
+        in
+        connect_fd
+          (Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0)
+          (Unix.ADDR_INET (addr, port))
+  in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  try
+    output_string oc
+      (Protocol.encode_request (Protocol.Health { id = probe_id }) ^ "\n");
+    flush oc;
+    let line = input_line ic in
+    (match Protocol.Json.parse line with
+    | Ok j
+      when Protocol.Json.member "status" j = Some (Protocol.Json.Str "health")
+      ->
+        ()
+    | Ok _ -> failwith "health probe answered with a non-health response"
+    | Error m ->
+        failwith (Printf.sprintf "health probe answered garbage: %s" m));
+    (fd, ic, oc)
+  with e ->
+    teardown (fd, ic, oc);
+    raise e
+
+exception Attempt_failed of { reason : string; received : string list }
+
+let ensure_conn t =
+  match t.conn with
+  | Some c -> c
+  | None -> (
+      match connect_once t with
+      | c ->
+          t.conn <- Some c;
+          c
+      | exception Unix.Unix_error (e, _, _) ->
+          raise
+            (Attempt_failed
+               { reason = connect_failure t.endpoint e; received = [] })
+      | exception (Failure m | Sys_error m) ->
+          raise (Attempt_failed { reason = m; received = [] })
+      | exception End_of_file ->
+          raise
+            (Attempt_failed
+               {
+                 reason =
+                   Printf.sprintf "%s closed the connection during the \
+                                   health probe"
+                     (Serve.endpoint_to_string t.endpoint);
+                 received = [];
+               })
+      | exception Budget.Internal_error { stage; invariant } ->
+          (* The armed serve-client faultpoint: a stand-in for any
+             client-side transport invariant break; absorbed into the
+             same retry/reconnect path as a real one. *)
+          raise
+            (Attempt_failed
+               {
+                 reason =
+                   Printf.sprintf "internal error in stage '%s': %s" stage
+                     invariant;
+                 received = [];
+               }))
+
+(* One attempt: send every request line, then read exactly one
+   response line per request. On any transport failure the connection
+   is torn down (the next attempt reconnects) and the responses that
+   DID arrive ride along in the failure — the caller may have
+   side-effected on them already, so they are delivered, never
+   silently dropped. *)
+let attempt t lines =
+  let ((_, ic, oc) as conn) = ensure_conn t in
+  let received = ref [] in
+  try
+    List.iter
+      (fun l ->
+        output_string oc l;
+        output_char oc '\n')
+      lines;
+    flush oc;
+    List.iter
+      (fun _ -> received := input_line ic :: !received)
+      lines;
+    Ok (List.rev !received)
+  with
+  | (End_of_file | Sys_error _ | Unix.Unix_error _) as e ->
+      t.conn <- None;
+      teardown conn;
+      let reason =
+        match e with
+        | End_of_file ->
+            Printf.sprintf
+              "%s closed the connection before all responses arrived"
+              (Serve.endpoint_to_string t.endpoint)
+        | Sys_error m ->
+            Printf.sprintf "%s: %s" (Serve.endpoint_to_string t.endpoint) m
+        | Unix.Unix_error (err, _, _) ->
+            Printf.sprintf "%s: %s"
+              (Serve.endpoint_to_string t.endpoint)
+              (Unix.error_message err)
+        | _ -> "connection failure"
+      in
+      Error (reason, List.rev !received)
+
+let call t lines =
+  match Breaker.acquire t.breaker with
+  | Breaker.Reject retry_after ->
+      Error (Breaker_open { endpoint = t.endpoint; retry_after })
+  | Breaker.Proceed | Breaker.Probe -> (
+      let result, _retries =
+        Retry.run ~policy:t.retry ~sleep:t.sleep
+          ~retryable:(function
+            (* Only an attempt that failed before ANY response arrived
+               is safe to replay: once a response is in, the daemon has
+               done (some of) the work and a resend would double-submit
+               the whole batch. *)
+            | Error (_, received) -> received = []
+            | Ok _ -> false)
+          (fun ~attempt:_ ->
+            match attempt t lines with
+            | r -> r
+            | exception Attempt_failed { reason; received } ->
+                Error (reason, received))
+      in
+      match result with
+      | Ok responses ->
+          Breaker.success t.breaker;
+          Ok responses
+      | Error (reason, partial) ->
+          Breaker.failure t.breaker;
+          Error (Unavailable { endpoint = t.endpoint; reason; partial }))
+
+let error_message = function
+  | Breaker_open { endpoint; retry_after } ->
+      Printf.sprintf
+        "circuit breaker open for %s; next probe allowed in %.0f ms"
+        (Serve.endpoint_to_string endpoint)
+        (Float.max 0. retry_after *. 1e3)
+  | Unavailable { reason; _ } -> reason

@@ -1,0 +1,81 @@
+(** A resilient, persistent client for the [lalrgen serve] protocol.
+
+    One {!t} owns at most one live connection to the daemon and is
+    reused across {!call}s ([lalrgen call] and
+    [lalrgen batch --via-serve] both drive one). Resilience layers,
+    outermost first:
+
+    - {b circuit breaker} ({!Lalr_guard.Breaker}): consulted before
+      any transport work; while open, {!call} fails fast in-process
+      ({!Breaker_open}) instead of hammering a dead endpoint. A
+      successful call closes it, a failed one feeds it;
+    - {b retry with backoff} ({!Lalr_guard.Retry}): an attempt that
+      failed {e before any response line arrived} is replayed on a
+      fresh connection — an attempt that already received responses is
+      NOT (the daemon has done the work; a resend would
+      double-submit). The partial responses ride along in the error;
+    - {b health-checked reconnect}: every fresh connection round-trips
+      a [health] probe before the caller's requests are committed to
+      it, so a half-dead socket fails cleanly at connect time.
+
+    Connection failures carry operator-grade messages that always name
+    the endpoint and distinguish "no such socket" (nothing at that
+    path) from "connection refused" (something there, not accepting).
+
+    The client-side faultpoint site [serve-client] fires inside the
+    connect path: a fire-once raise is absorbed by the retry layer,
+    repeated firings trip the breaker — exactly the failure ladder a
+    real dead daemon walks. Not thread-safe: one [t] per thread. *)
+
+type t
+
+type error =
+  | Breaker_open of { endpoint : Serve.endpoint; retry_after : float }
+      (** shed locally without touching the network; [retry_after] is
+          the seconds until the breaker allows a probe *)
+  | Unavailable of {
+      endpoint : Serve.endpoint;
+      reason : string;
+      partial : string list;
+          (** response lines that DID arrive before the failure — the
+              caller must deliver them (the daemon already did the
+              work), then treat the rest as failed *)
+    }
+
+val create :
+  ?retry:Lalr_guard.Retry.policy ->
+  ?sleep:(float -> unit) ->
+  ?breaker:Lalr_guard.Breaker.t ->
+  Serve.endpoint ->
+  t
+(** No connection is opened until the first {!call}. [retry] defaults
+    to {!Lalr_guard.Retry.default}, [sleep] to [Unix.sleepf], and
+    [breaker] to a fresh {!Lalr_guard.Breaker.create} — pass a shared
+    one to pool breaker state across clients. The first [create] also
+    sets [SIGPIPE] to ignore (process-wide, like [Serve.run]): a write
+    to a connection the daemon dropped must raise, not kill the
+    process, for the retry layer to see it. *)
+
+val call : t -> string list -> (string list, error) result
+(** [call t lines] sends each request line and reads exactly one
+    response line per request, in order. [Ok] is the full response
+    list. On [Error] the connection is torn down (a later [call]
+    reconnects and re-probes). *)
+
+val close : t -> unit
+(** Drops the live connection, if any. The [t] stays usable. *)
+
+val endpoint : t -> Serve.endpoint
+
+val breaker : t -> Lalr_guard.Breaker.t
+(** The breaker in use (for tests and metrics). *)
+
+val error_message : error -> string
+(** One operator-grade line, endpoint included. *)
+
+val connect_failure : Serve.endpoint -> Unix.error -> string
+(** The message for a failed connect: ["no such socket PATH (is the
+    daemon running?)"] for [ENOENT] on a Unix path, ["connection
+    refused on ..."] for [ECONNREFUSED], a generic
+    endpoint-qualified message otherwise. Exposed for the CLI tests
+    that pin the wording. *)

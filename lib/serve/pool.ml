@@ -18,6 +18,9 @@ type config = {
   trace : bool;
   retry : Retry.policy;
   sleep : float -> unit;
+  now : unit -> float;
+  crash_window : float;
+  crash_threshold : int;
 }
 
 let default_config =
@@ -29,11 +32,16 @@ let default_config =
     trace = false;
     retry = Retry.default;
     sleep = Unix.sleepf;
+    now = Unix.gettimeofday;
+    crash_window = 10.;
+    crash_threshold = 5;
   }
 
 type job = {
   jb_request : Protocol.request;
   jb_respond : Protocol.response -> unit;
+  jb_deadline : float option;
+      (* absolute, anchored at admission: now + deadline_ms/1e3 *)
 }
 
 type worker = {
@@ -51,13 +59,48 @@ type t = {
   queue : job Queue.t;
   mutable draining : bool;  (* guarded by mu *)
   mutable drained : Trace.session option array option;  (* guarded by mu *)
+  restart_log : float Queue.t;
+      (* crash times inside the sliding window, oldest first; guarded
+         by mu (pushed by supervisor threads, pruned by everyone) *)
   workers : worker array;
   mutable supervisors : Thread.t array;  (* written once in create *)
   started_at : float;
   restarts : int Atomic.t;
   shed : int Atomic.t;
+  expired : int Atomic.t;  (* answered deadline_exceeded *)
   completed : int Atomic.t;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Crash-loop backstop                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A crash-looping pool still makes progress (each respawn consumes
+   its job), but admitting fresh work into one trades every request
+   for a domain spawn. The backstop: count respawns inside a sliding
+   window; past the threshold the pool reports itself unready and
+   refuses NEW admissions fast (typed [internal] at the serve layer)
+   until the window drains. Already-admitted work keeps its
+   one-response guarantee — respawning is never conditional. *)
+
+let prune_restarts_locked t ~now =
+  while
+    (not (Queue.is_empty t.restart_log))
+    && now -. Queue.peek t.restart_log > t.cfg.crash_window
+  do
+    ignore (Queue.pop t.restart_log)
+  done
+
+let ready_locked t ~now =
+  prune_restarts_locked t ~now;
+  Queue.length t.restart_log < t.cfg.crash_threshold
+
+let ready t =
+  let now = t.cfg.now () in
+  Mutex.lock t.mu;
+  let r = ready_locked t ~now in
+  Mutex.unlock t.mu;
+  r
 
 (* ------------------------------------------------------------------ *)
 (* The per-job computation (typed outcomes only)                       *)
@@ -105,8 +148,11 @@ let load_source = function
 (* One isolated attempt, the serve twin of batch's [attempt]: every
    outcome is data. Exceptions that models as typed failures are
    mapped here; anything else escapes to the worker boundary and is a
-   crash (supervised). *)
-let attempt_job t id source budget_spec : Protocol.job_response =
+   crash (supervised). [deadline] is absolute: the remaining time is
+   re-measured per attempt (retries eat into the same deadline) and
+   intersected into the wall cap, so in-flight work self-terminates
+   when the client's deadline passes. *)
+let attempt_job t id source budget_spec ~deadline : Protocol.job_response =
   let fresh_budget () =
     match budget_spec with
     | None -> Ok None
@@ -118,70 +164,101 @@ let attempt_job t id source budget_spec : Protocol.job_response =
   match fresh_budget () with
   | Error m -> job_response id Protocol.Bad_request m
   | Ok budget -> (
-      match load_source source with
-      | exception Not_found ->
-          job_response id Protocol.Bad_request "no such suite grammar"
-      | exception Sys_error msg -> job_response id Protocol.Bad_request msg
-      | exception Invalid_argument msg ->
-          job_response id Protocol.Bad_request msg
-      | exception Budget.Exceeded ex ->
-          job_response id Protocol.Budget
-            (Format.asprintf "%a" Budget.pp_exceeded ex)
-      | exception Budget.Internal_error { stage; invariant } ->
-          job_response id Protocol.Internal
-            (Printf.sprintf "internal error in stage '%s': %s" stage invariant)
-      | Some g, [] -> (
-          let e = Engine.create ?budget ?store:t.cfg.store g in
-          let p =
-            Engine.run_partial e (fun e ->
-                Engine.classification
-                  ~with_lr1:(G.n_productions g <= Engine.lr1_limit)
-                  e)
+      let remaining = Option.map (fun d -> d -. t.cfg.now ()) deadline in
+      match remaining with
+      | Some r when r <= 0. ->
+          job_response id Protocol.Deadline_exceeded
+            (Printf.sprintf
+               "deadline expired %.1fms before the attempt started; shed \
+                before compute"
+               (-.r *. 1e3))
+      | _ -> (
+          (* deadline_bound: a Wall_clock trip under this budget means
+             the DEADLINE ran out, not the client's own wall cap — the
+             response must say deadline_exceeded, not budget. *)
+          let budget, deadline_bound =
+            match (remaining, budget) with
+            | None, b -> (b, false)
+            | Some r, None -> (Some (Budget.create ~wall:r ()), true)
+            | Some r, Some b ->
+                let bound =
+                  match Budget.cap b Budget.Wall_clock with
+                  | None -> true
+                  | Some w -> r < w
+                in
+                (Some (Budget.intersect_wall b ~remaining:r), bound)
           in
-          Engine.persist e;
-          let stages =
-            List.filter_map
-              (fun (s : Engine.stage) ->
-                if s.Engine.forced then Some (s.Engine.stage, s.Engine.wall)
-                else None)
-              (Engine.stats e)
+          let budget_status (ex : Budget.exceeded) =
+            if deadline_bound && ex.Budget.ex_resource = Budget.Wall_clock
+            then Protocol.Deadline_exceeded
+            else Protocol.Budget
           in
-          let lr0_states = Engine.peek_lr0_states e in
-          match (p.Engine.pr_value, p.Engine.pr_completeness) with
-          | Some v, _ ->
-              let lalr1 = v.Classify.lalr1 in
-              {
-                (job_response id
-                   (if lalr1 then Protocol.Ok_ else Protocol.Verdict)
-                   "")
-                with
-                r_lalr1 = Some lalr1;
-                r_stages = stages;
-                r_lr0_states = lr0_states;
-                r_completed = [];
-              }
-          | None, Engine.Complete ->
+          match load_source source with
+          | exception Not_found ->
+              job_response id Protocol.Bad_request "no such suite grammar"
+          | exception Sys_error msg -> job_response id Protocol.Bad_request msg
+          | exception Invalid_argument msg ->
+              job_response id Protocol.Bad_request msg
+          | exception Budget.Exceeded ex ->
+              job_response id (budget_status ex)
+                (Format.asprintf "%a" Budget.pp_exceeded ex)
+          | exception Budget.Internal_error { stage; invariant } ->
               job_response id Protocol.Internal
-                "run_partial: no value yet complete"
-          | None, Engine.Incomplete failure ->
-              {
-                (job_response id
-                   (match failure with
-                   | Engine.Budget_exceeded _ -> Protocol.Budget
-                   | Engine.Internal_error _ -> Protocol.Internal)
-                   (Format.asprintf "%a" Engine.pp_failure failure))
-                with
-                r_stages = stages;
-                r_lr0_states = lr0_states;
-                r_completed = p.Engine.pr_completed;
-              })
-      | g_opt, errors ->
-          let detail =
-            match errors with
-            | e :: _ -> Format.asprintf "%a" Reader.pp_error e
-            | [] -> if g_opt = None then "unreadable grammar" else "no grammar"
-          in
-          job_response id Protocol.Bad_request detail)
+                (Printf.sprintf "internal error in stage '%s': %s" stage
+                   invariant)
+          | Some g, [] -> (
+              let e = Engine.create ?budget ?store:t.cfg.store g in
+              let p =
+                Engine.run_partial e (fun e ->
+                    Engine.classification
+                      ~with_lr1:(G.n_productions g <= Engine.lr1_limit)
+                      e)
+              in
+              Engine.persist e;
+              let stages =
+                List.filter_map
+                  (fun (s : Engine.stage) ->
+                    if s.Engine.forced then Some (s.Engine.stage, s.Engine.wall)
+                    else None)
+                  (Engine.stats e)
+              in
+              let lr0_states = Engine.peek_lr0_states e in
+              match (p.Engine.pr_value, p.Engine.pr_completeness) with
+              | Some v, _ ->
+                  let lalr1 = v.Classify.lalr1 in
+                  {
+                    (job_response id
+                       (if lalr1 then Protocol.Ok_ else Protocol.Verdict)
+                       "")
+                    with
+                    r_lalr1 = Some lalr1;
+                    r_stages = stages;
+                    r_lr0_states = lr0_states;
+                    r_completed = [];
+                  }
+              | None, Engine.Complete ->
+                  job_response id Protocol.Internal
+                    "run_partial: no value yet complete"
+              | None, Engine.Incomplete failure ->
+                  {
+                    (job_response id
+                       (match failure with
+                       | Engine.Budget_exceeded ex -> budget_status ex
+                       | Engine.Internal_error _ -> Protocol.Internal)
+                       (Format.asprintf "%a" Engine.pp_failure failure))
+                    with
+                    r_stages = stages;
+                    r_lr0_states = lr0_states;
+                    r_completed = p.Engine.pr_completed;
+                  })
+          | g_opt, errors ->
+              let detail =
+                match errors with
+                | e :: _ -> Format.asprintf "%a" Reader.pp_error e
+                | [] ->
+                    if g_opt = None then "unreadable grammar" else "no grammar"
+              in
+              job_response id Protocol.Bad_request detail))
 
 let run_job t job : Protocol.response =
   match job.jb_request with
@@ -191,28 +268,62 @@ let run_job t job : Protocol.response =
          rather than silently misclassified. *)
       Protocol.Job
         (job_response id Protocol.Internal "health request reached the pool")
-  | Protocol.Classify { id; source; budget } ->
-      let budget_spec =
-        match budget with Some _ -> budget | None -> t.cfg.default_budget
+  | Protocol.Classify { id; source; budget; deadline_ms = _ } -> (
+      (* Dequeue re-check: the wait in the queue may have consumed the
+         whole deadline. Shed before any compute — no engine, no
+         budget parse, no retries. *)
+      let late =
+        match job.jb_deadline with
+        | Some d ->
+            let past = t.cfg.now () -. d in
+            if past > 0. then Some past else None
+        | None -> None
       in
-      let t0 = Unix.gettimeofday () in
-      let r, retries =
-        Retry.run ~policy:t.cfg.retry ~sleep:t.cfg.sleep
-          ~retryable:(fun (o : Protocol.job_response) ->
-            o.Protocol.r_status = Protocol.Internal)
-          (fun ~attempt ->
-            Trace.with_span
-              ~attrs:(fun () ->
-                [ ("id", Trace.Str id); ("attempt", Trace.Int attempt) ])
-              "serve.request"
-              (fun () -> attempt_job t id source budget_spec))
-      in
-      let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
-      Trace.count "serve.requests";
-      Trace.count ("serve.status." ^ Protocol.status_name r.Protocol.r_status);
-      if retries > 0 then Trace.count ~n:retries "serve.retries";
-      Protocol.Job
-        { r with Protocol.r_wall_ms = wall_ms; Protocol.r_retries = retries }
+      match late with
+      | Some past ->
+          let r =
+            job_response id Protocol.Deadline_exceeded
+              (Printf.sprintf
+                 "deadline expired while queued (%.1fms past); shed before \
+                  compute"
+                 (past *. 1e3))
+          in
+          Atomic.incr t.expired;
+          Trace.count "serve.requests";
+          Trace.count
+            ("serve.status." ^ Protocol.status_name r.Protocol.r_status);
+          Protocol.Job r
+      | None ->
+          let budget_spec =
+            match budget with Some _ -> budget | None -> t.cfg.default_budget
+          in
+          let t0 = Unix.gettimeofday () in
+          let r, retries =
+            Retry.run ~policy:t.cfg.retry ~sleep:t.cfg.sleep
+              ~retryable:(fun (o : Protocol.job_response) ->
+                o.Protocol.r_status = Protocol.Internal)
+              (fun ~attempt ->
+                Trace.with_span
+                  ~attrs:(fun () ->
+                    [ ("id", Trace.Str id); ("attempt", Trace.Int attempt) ])
+                  "serve.request"
+                  (fun () ->
+                    attempt_job t id source budget_spec
+                      ~deadline:job.jb_deadline))
+          in
+          let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+          if r.Protocol.r_status = Protocol.Deadline_exceeded then
+            Atomic.incr t.expired;
+          Trace.count "serve.requests";
+          Trace.count
+            ("serve.status." ^ Protocol.status_name r.Protocol.r_status);
+          if retries > 0 then Trace.count ~n:retries "serve.retries";
+          Protocol.Job
+            {
+              r with
+              Protocol.r_wall_ms = wall_ms;
+              Protocol.r_retries = retries;
+            })
 
 (* ------------------------------------------------------------------ *)
 (* Worker domains and supervision                                      *)
@@ -280,6 +391,11 @@ let rec supervise t w =
   | `Done -> ()
   | `Crashed msg ->
       Atomic.incr t.restarts;
+      let now = t.cfg.now () in
+      Mutex.lock t.mu;
+      Queue.push now t.restart_log;
+      prune_restarts_locked t ~now;
+      Mutex.unlock t.mu;
       (match Atomic.exchange w.w_current None with
       | Some job ->
           Atomic.incr t.completed;
@@ -298,7 +414,8 @@ let rec supervise t w =
       (* Unconditional respawn: while draining, the fresh incarnation
          exits as soon as the queue is empty, so a crash during drain
          still finishes the admitted work. A persistent crash loop
-         makes progress anyway — each crash consumes its job. *)
+         makes progress anyway — each crash consumes its job; the
+         readiness backstop above only stops NEW admissions. *)
       supervise t w
 
 let create cfg =
@@ -307,6 +424,8 @@ let create cfg =
       cfg with
       domains = max 1 cfg.domains;
       queue_capacity = max 1 cfg.queue_capacity;
+      crash_threshold = max 1 cfg.crash_threshold;
+      crash_window = Float.max 1e-3 cfg.crash_window;
     }
   in
   let workers =
@@ -327,11 +446,13 @@ let create cfg =
       queue = Queue.create ();
       draining = false;
       drained = None;
+      restart_log = Queue.create ();
       workers;
       supervisors = [||];
       started_at = Unix.gettimeofday ();
       restarts = Atomic.make 0;
       shed = Atomic.make 0;
+      expired = Atomic.make 0;
       completed = Atomic.make 0;
     }
   in
@@ -345,23 +466,44 @@ let create cfg =
 
 let submit t ~request ~respond =
   Faultpoint.check "serve-dispatch";
-  Mutex.lock t.mu;
-  if t.draining then begin
-    Mutex.unlock t.mu;
-    Atomic.incr t.shed;
-    `Draining
-  end
-  else if Queue.length t.queue >= t.cfg.queue_capacity then begin
-    Mutex.unlock t.mu;
-    Atomic.incr t.shed;
-    `Overloaded
-  end
-  else begin
-    Queue.push { jb_request = request; jb_respond = respond } t.queue;
-    Condition.signal t.nonempty;
-    Mutex.unlock t.mu;
-    `Accepted
-  end
+  match request with
+  | Protocol.Classify { deadline_ms = Some ms; _ } when ms <= 0. ->
+      (* Already expired on arrival: shed before any compute, before
+         even touching the queue lock. *)
+      Atomic.incr t.expired;
+      `Expired
+  | _ ->
+      let deadline =
+        match request with
+        | Protocol.Classify { deadline_ms = Some ms; _ } ->
+            Some (t.cfg.now () +. (ms /. 1e3))
+        | _ -> None
+      in
+      let now = t.cfg.now () in
+      Mutex.lock t.mu;
+      if t.draining then begin
+        Mutex.unlock t.mu;
+        Atomic.incr t.shed;
+        `Draining
+      end
+      else if not (ready_locked t ~now) then begin
+        Mutex.unlock t.mu;
+        Atomic.incr t.shed;
+        `Unready
+      end
+      else if Queue.length t.queue >= t.cfg.queue_capacity then begin
+        Mutex.unlock t.mu;
+        Atomic.incr t.shed;
+        `Overloaded
+      end
+      else begin
+        Queue.push
+          { jb_request = request; jb_respond = respond; jb_deadline = deadline }
+          t.queue;
+        Condition.signal t.nonempty;
+        Mutex.unlock t.mu;
+        `Accepted
+      end
 
 let depth t =
   Mutex.lock t.mu;
@@ -373,6 +515,7 @@ let health t ~id : Protocol.health_response =
   {
     h_id = id;
     h_uptime_s = Unix.gettimeofday () -. t.started_at;
+    h_ready = ready t;
     h_queue_depth = depth t;
     h_queue_capacity = t.cfg.queue_capacity;
     h_workers =
@@ -387,6 +530,7 @@ let health t ~id : Protocol.health_response =
            t.workers);
     h_restarts = Atomic.get t.restarts;
     h_shed = Atomic.get t.shed;
+    h_deadline_expired = Atomic.get t.expired;
     h_completed = Atomic.get t.completed;
     h_store = Option.map Store.stats t.cfg.store;
   }

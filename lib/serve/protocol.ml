@@ -233,12 +233,18 @@ type source =
   | Inline of { text : string; format : [ `Cfg | `Mly ] }
 
 type request =
-  | Classify of { id : string; source : source; budget : string option }
+  | Classify of {
+      id : string;
+      source : source;
+      budget : string option;
+      deadline_ms : float option;
+    }
   | Health of { id : string }
 
 let request_id = function Classify { id; _ } | Health { id } -> id
 
-let known_fields = [ "id"; "kind"; "file"; "grammar"; "format"; "budget" ]
+let known_fields =
+  [ "id"; "kind"; "file"; "grammar"; "format"; "budget"; "deadline_ms" ]
 
 let decode_request line =
   match Json.parse line with
@@ -276,6 +282,17 @@ let decode_request line =
                 | None -> Ok None
                 | Some _ -> Error "field \"budget\" must be a string"
               in
+              (* Any finite number decodes — a non-positive deadline is
+                 a VALID request that the pool sheds as
+                 deadline_exceeded at admission, not a protocol
+                 error. *)
+              let deadline_ms =
+                match Json.member "deadline_ms" j with
+                | Some (Json.Num f) -> Ok (Some f)
+                | None -> Ok None
+                | Some _ ->
+                    Error "field \"deadline_ms\" must be a number (milliseconds)"
+              in
               let source =
                 match
                   (Json.member "file" j, Json.member "grammar" j,
@@ -300,9 +317,10 @@ let decode_request line =
                 | None, None, _ ->
                     Error "a classify request needs \"file\" or \"grammar\""
               in
-              match (budget, source) with
-              | Error m, _ | _, Error m -> Error m
-              | Ok budget, Ok source -> Ok (Classify { id; source; budget }))
+              match (budget, deadline_ms, source) with
+              | Error m, _, _ | _, Error m, _ | _, _, Error m -> Error m
+              | Ok budget, Ok deadline_ms, Ok source ->
+                  Ok (Classify { id; source; budget; deadline_ms }))
           | Ok _, Ok k ->
               Error
                 (Printf.sprintf
@@ -317,7 +335,7 @@ let esc = Lalr_trace.Trace.json_escape
 
 let encode_request = function
   | Health { id } -> Printf.sprintf "{\"id\":\"%s\",\"kind\":\"health\"}" (esc id)
-  | Classify { id; source; budget } ->
+  | Classify { id; source; budget; deadline_ms } ->
       let b = Buffer.create 64 in
       Printf.bprintf b "{\"id\":\"%s\",\"kind\":\"classify\"" (esc id);
       (match source with
@@ -328,6 +346,9 @@ let encode_request = function
       (match budget with
       | Some s -> Printf.bprintf b ",\"budget\":\"%s\"" (esc s)
       | None -> ());
+      (match deadline_ms with
+      | Some ms -> Printf.bprintf b ",\"deadline_ms\":%.3f" ms
+      | None -> ());
       Buffer.add_char b '}';
       Buffer.contents b
 
@@ -337,6 +358,7 @@ type status =
   | Bad_request
   | Budget
   | Overloaded
+  | Deadline_exceeded
   | Internal
   | Health_ok
 
@@ -346,6 +368,7 @@ let status_name = function
   | Bad_request -> "bad_request"
   | Budget -> "budget"
   | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline_exceeded"
   | Internal -> "internal"
   | Health_ok -> "health"
 
@@ -353,7 +376,7 @@ let status_exit = function
   | Ok_ | Health_ok -> 0
   | Verdict -> 1
   | Bad_request -> 2
-  | Budget | Overloaded -> 3
+  | Budget | Overloaded | Deadline_exceeded -> 3
   | Internal -> 4
 
 type job_response = {
@@ -373,11 +396,13 @@ type worker_health = { w_id : int; w_alive : bool; w_jobs : int }
 type health_response = {
   h_id : string;
   h_uptime_s : float;
+  h_ready : bool;
   h_queue_depth : int;
   h_queue_capacity : int;
   h_workers : worker_health list;
   h_restarts : int;
   h_shed : int;
+  h_deadline_expired : int;
   h_completed : int;
   h_store : Lalr_store.Store.stats option;
 }
@@ -430,9 +455,9 @@ let encode_job r =
 let encode_health h =
   let b = Buffer.create 256 in
   Printf.bprintf b
-    "{\"id\":\"%s\",\"status\":\"health\",\"exit\":0,\"uptime_s\":%.3f,\"queue_depth\":%d,\"queue_capacity\":%d,\"restarts\":%d,\"shed\":%d,\"completed\":%d,\"workers\":["
-    (esc h.h_id) h.h_uptime_s h.h_queue_depth h.h_queue_capacity h.h_restarts
-    h.h_shed h.h_completed;
+    "{\"id\":\"%s\",\"status\":\"health\",\"exit\":0,\"uptime_s\":%.3f,\"ready\":%b,\"queue_depth\":%d,\"queue_capacity\":%d,\"restarts\":%d,\"shed\":%d,\"deadline_expired\":%d,\"completed\":%d,\"workers\":["
+    (esc h.h_id) h.h_uptime_s h.h_ready h.h_queue_depth h.h_queue_capacity
+    h.h_restarts h.h_shed h.h_deadline_expired h.h_completed;
   List.iteri
     (fun i w ->
       if i > 0 then Buffer.add_char b ',';

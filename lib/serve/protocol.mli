@@ -20,9 +20,12 @@
     [id] (string or integer, echoed back verbatim) defaults to [""];
     [kind] defaults to ["classify"]; [budget] is a
     {!Lalr_guard.Budget.of_spec} string and overrides the server
-    default for this request only. Unknown fields are rejected, not
-    ignored — a typo like ["buget"] must not silently analyse with no
-    deadline.
+    default for this request only; [deadline_ms] (a number, optional)
+    is the client's remaining deadline in milliseconds — expired work
+    is shed with [deadline_exceeded] before any compute, and the
+    remainder is intersected into the request's wall cap. Unknown
+    fields are rejected, not ignored — a typo like ["buget"] must not
+    silently analyse with no deadline.
 
     {2 Decoder hardening}
 
@@ -68,7 +71,17 @@ type source =
   | Inline of { text : string; format : [ `Cfg | `Mly ] }
 
 type request =
-  | Classify of { id : string; source : source; budget : string option }
+  | Classify of {
+      id : string;
+      source : source;
+      budget : string option;
+      deadline_ms : float option;
+          (** remaining time the client grants this request, in
+              milliseconds, measured from the moment the daemon admits
+              it (relative, because client and server clocks need not
+              agree). Non-positive means already expired: the pool
+              sheds it with [deadline_exceeded] before any compute. *)
+    }
   | Health of { id : string }
 
 val request_id : request -> string
@@ -87,19 +100,24 @@ type status =
   | Ok_  (** analysed, LALR(1)-clean — exit 0 *)
   | Verdict  (** analysed, conflicts — exit 1 *)
   | Bad_request  (** undecodable or unreadable request — exit 2 *)
-  | Budget  (** per-request deadline/budget tripped — exit 3 *)
+  | Budget  (** per-request budget tripped — exit 3 *)
   | Overloaded  (** admission queue full, request shed — exit 3 *)
+  | Deadline_exceeded
+      (** the request's [deadline_ms] passed — shed at admission or
+          dequeue, or the in-flight wall trip was deadline-bound —
+          exit 3 *)
   | Internal  (** broken invariant or worker crash — exit 4 *)
   | Health_ok  (** health report — exit 0 *)
 
 val status_name : status -> string
 (** ["ok"], ["verdict"], ["bad_request"], ["budget"], ["overloaded"],
-    ["internal"], ["health"]. *)
+    ["deadline_exceeded"], ["internal"], ["health"]. *)
 
 val status_exit : status -> int
 (** The batch-compatible per-request exit code carried in the
-    response ([overloaded] shares 3 with [budget]: both mean "not
-    now, resource pressure", and the status string disambiguates). *)
+    response ([overloaded] and [deadline_exceeded] share 3 with
+    [budget]: all mean "not now, resource pressure", and the status
+    string disambiguates). *)
 
 type job_response = {
   r_id : string;
@@ -122,11 +140,18 @@ type worker_health = {
 type health_response = {
   h_id : string;
   h_uptime_s : float;
+  h_ready : bool;
+      (** [false] while the crash-loop backstop holds: too many worker
+          respawns inside the sliding window — new work is refused
+          fast with a typed [internal] until the window drains *)
   h_queue_depth : int;
   h_queue_capacity : int;
   h_workers : worker_health list;
   h_restarts : int;  (** worker domains restarted after a crash *)
-  h_shed : int;  (** requests refused with [overloaded] *)
+  h_shed : int;  (** requests refused with [overloaded] or unready *)
+  h_deadline_expired : int;
+      (** requests answered [deadline_exceeded] (admission, dequeue or
+          in-flight) *)
   h_completed : int;
   h_store : Lalr_store.Store.stats option;
 }

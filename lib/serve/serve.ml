@@ -58,7 +58,9 @@ type conn = {
   c_wmu : Mutex.t;  (* serialises response lines onto the fd *)
   c_pending : int Atomic.t;  (* admitted jobs not yet responded to *)
   c_eof : bool Atomic.t;
-  c_closed : bool Atomic.t;
+  c_closed : bool Atomic.t;  (* logically closed: no further writes *)
+  c_reader_done : bool Atomic.t;
+  c_freed : bool Atomic.t;  (* fd returned to the kernel *)
 }
 
 type srv = {
@@ -79,17 +81,36 @@ let probe srv f =
   Mutex.lock srv.probe_mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock srv.probe_mu) f
 
+(* fd lifetime: a connection is closed in two steps. [close_conn]
+   closes it LOGICALLY — shutdown(2) wakes the peer (EOF) and the
+   reader, and no new write starts — but the descriptor itself is
+   returned to the kernel only once nothing can still touch it: the
+   reader thread has exited and every admitted job has responded.
+   Closing earlier would free the fd number while late responders
+   still hold it; the very next accept(2) reuses that number and a
+   stale write would land INSIDE another client's response stream. *)
+let free_fd conn =
+  if
+    Atomic.get conn.c_closed
+    && Atomic.get conn.c_reader_done
+    && Atomic.get conn.c_pending = 0
+    && not (Atomic.exchange conn.c_freed true)
+  then try Unix.close conn.c_fd with Unix.Unix_error _ -> ()
+
 let close_conn srv conn =
   if not (Atomic.exchange conn.c_closed true) then begin
-    (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+    (try Unix.shutdown conn.c_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
     Mutex.lock srv.conns_mu;
     srv.conns <- List.filter (fun c -> c != conn) srv.conns;
     Mutex.unlock srv.conns_mu
-  end
+  end;
+  free_fd conn
 
 let close_if_done srv conn =
   if Atomic.get conn.c_eof && Atomic.get conn.c_pending = 0 then
     close_conn srv conn
+  else free_fd conn
 
 let write_all fd s =
   let b = Bytes.of_string s in
@@ -105,15 +126,16 @@ let write_all fd s =
    closed, the daemon keeps serving. *)
 let send srv conn response =
   let ok =
-    try
-      Faultpoint.check "serve-respond";
-      let line = Protocol.encode_response response ^ "\n" in
-      Mutex.lock conn.c_wmu;
-      Fun.protect
-        ~finally:(fun () -> Mutex.unlock conn.c_wmu)
-        (fun () -> write_all conn.c_fd line);
-      true
-    with _ -> false
+    (not (Atomic.get conn.c_closed))
+    && (try
+          Faultpoint.check "serve-respond";
+          let line = Protocol.encode_response response ^ "\n" in
+          Mutex.lock conn.c_wmu;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock conn.c_wmu)
+            (fun () -> write_all conn.c_fd line);
+          true
+        with _ -> false)
   in
   probe srv (fun () ->
       if ok then Trace.count "serve.responses"
@@ -215,6 +237,19 @@ let handle_line srv conn line =
           respond
             (plain_response id Protocol.Overloaded
                "draining: server is shutting down")
+      | `Expired ->
+          probe srv (fun () -> Trace.count "serve.deadline_expired");
+          respond
+            (plain_response id Protocol.Deadline_exceeded
+               "deadline already expired at admission (deadline_ms <= 0); \
+                shed before compute")
+      | `Unready ->
+          probe srv (fun () -> Trace.count "serve.unready");
+          respond
+            (plain_response id Protocol.Internal
+               "worker pool unready: crash-loop backstop tripped (too many \
+                worker restarts in the window); retry after the window \
+                drains")
       | exception Budget.Internal_error { stage; invariant } ->
           respond
             (plain_response id Protocol.Internal
@@ -268,6 +303,7 @@ let reader srv conn () =
   if Buffer.length acc > 0 && not !discarding then
     send srv conn (bad_request_response "" "truncated request line (no newline before EOF)");
   Atomic.set conn.c_eof true;
+  Atomic.set conn.c_reader_done true;
   close_if_done srv conn
 
 (* ------------------------------------------------------------------ *)
@@ -393,6 +429,8 @@ let run cfg =
                       c_pending = Atomic.make 0;
                       c_eof = Atomic.make false;
                       c_closed = Atomic.make false;
+                      c_reader_done = Atomic.make false;
+                      c_freed = Atomic.make false;
                     }
                   in
                   Mutex.lock srv.conns_mu;
@@ -442,6 +480,8 @@ let run cfg =
           Trace.gauge_int "serve.completed" h.Protocol.h_completed;
           Trace.gauge_int "serve.restarts" h.Protocol.h_restarts;
           Trace.gauge_int "serve.shed" h.Protocol.h_shed;
+          Trace.gauge_int "serve.deadline_expired" h.Protocol.h_deadline_expired;
+          Trace.gauge_int "serve.ready" (if h.Protocol.h_ready then 1 else 0);
           match h.Protocol.h_store with
           | None -> ()
           | Some s ->

@@ -7,9 +7,11 @@
 
     - {b every decoded line gets exactly one response line} — decode
       failures and oversized/truncated lines answer [bad_request],
-      admission refusals answer [overloaded], and only admitted jobs
-      reach the pool (which owns the rest of the exactly-once
-      guarantee);
+      admission refusals answer [overloaded] (queue full, draining),
+      [deadline_exceeded] (the request arrived already expired) or
+      [internal] (crash-loop backstop: the pool reports itself
+      unready), and only admitted jobs reach the pool (which owns the
+      rest of the exactly-once guarantee);
     - {b the outer loops absorb their own faults} — an accept error, a
       response write onto a dead connection, or an armed
       [serve-accept]/[serve-respond] injection is counted in the trace

@@ -235,6 +235,42 @@ let test_stats_document () =
       "\"lalr1\": true"; "\"lalr.includes.edges\":10"; "\"lr0.states\":13";
     ]
 
+(* ------------------------------------------------------------------ *)
+(* call: connection failures name the endpoint and the failure mode    *)
+(* ------------------------------------------------------------------ *)
+
+let test_call_no_such_socket () =
+  let missing = "/nonexistent/lalr_cli_no_daemon/daemon.sock" in
+  let r =
+    run [ "call"; "--socket"; missing; {|{"id":"x","kind":"health"}|} ]
+  in
+  check_exit "call against a missing socket" 4 r;
+  check_contains "failure mode named" "no such socket" r;
+  check_contains "endpoint named" missing r
+
+let test_call_connection_refused () =
+  (* A socket file that exists but has no listener behind it: bind
+     without listen yields ECONNREFUSED, the "daemon gone, stale
+     socket" shape — the message must differ from "no such socket". *)
+  let stale = Filename.temp_file "lalr_cli_stale_" ".sock" in
+  Sys.remove stale;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      try Sys.remove stale with Sys_error _ -> ())
+    (fun () ->
+      Unix.bind fd (Unix.ADDR_UNIX stale);
+      let r =
+        run [ "call"; "--socket"; stale; {|{"id":"x","kind":"health"}|} ]
+      in
+      check_exit "call against a dead socket" 4 r;
+      check_contains "failure mode named" "connection refused" r;
+      check_contains "endpoint named" stale r;
+      let _, out = r in
+      if contains out "no such socket" then
+        Alcotest.failf "refused must not read as missing:\n%s" out)
+
 let () =
   Alcotest.run "cli"
     [
@@ -267,5 +303,11 @@ let () =
           Alcotest.test_case "explicit format" `Quick
             test_trace_explicit_format;
           Alcotest.test_case "stats document" `Quick test_stats_document;
+        ] );
+      ( "call",
+        [
+          Alcotest.test_case "no such socket" `Quick test_call_no_such_socket;
+          Alcotest.test_case "connection refused" `Quick
+            test_call_connection_refused;
         ] );
     ]

@@ -11,8 +11,15 @@
 module Protocol = Lalr_serve.Protocol
 module Pool = Lalr_serve.Pool
 module Serve = Lalr_serve.Serve
+module Client = Lalr_serve.Client
 module Retry = Lalr_guard.Retry
+module Breaker = Lalr_guard.Breaker
 module Faultpoint = Lalr_guard.Faultpoint
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
 
 (* ------------------------------------------------------------------ *)
 (* Protocol                                                            *)
@@ -31,8 +38,11 @@ let decode_err line =
 let test_decode_requests () =
   (match decode_ok {|{"id":"r1","kind":"classify","file":"suite:expr"}|} with
   | Protocol.Classify { id = "r1"; source = Protocol.File "suite:expr";
-                        budget = None } -> ()
+                        budget = None; deadline_ms = None } -> ()
   | _ -> Alcotest.fail "file request decoded wrong");
+  (match decode_ok {|{"id":"d","file":"g.cfg","deadline_ms":250}|} with
+  | Protocol.Classify { id = "d"; deadline_ms = Some 250.; _ } -> ()
+  | _ -> Alcotest.fail "deadline_ms decoded wrong");
   (match decode_ok {|{"id":7,"file":"g.cfg","budget":"fuel=10"}|} with
   | Protocol.Classify { id = "7"; budget = Some "fuel=10"; _ } -> ()
   | _ -> Alcotest.fail "integer id / budget decoded wrong");
@@ -73,7 +83,10 @@ let test_encode_roundtrip () =
     [
       Protocol.Classify
         { id = "r1"; source = Protocol.File "suite:expr";
-          budget = Some "wall=500ms" };
+          budget = Some "wall=500ms"; deadline_ms = None };
+      Protocol.Classify
+        { id = "r2"; source = Protocol.File "suite:expr"; budget = None;
+          deadline_ms = Some 250. };
       Protocol.Classify
         {
           id = "";
@@ -81,6 +94,7 @@ let test_encode_roundtrip () =
             Protocol.Inline
               { text = "%token a\n%start s\n%%\ns : a ;"; format = `Cfg };
           budget = None;
+          deadline_ms = None;
         };
       Protocol.Health { id = "h1" };
     ]
@@ -102,7 +116,8 @@ let test_response_exits () =
         (Protocol.status_exit status))
     [
       (Protocol.Ok_, 0); (Protocol.Verdict, 1); (Protocol.Bad_request, 2);
-      (Protocol.Budget, 3); (Protocol.Overloaded, 3); (Protocol.Internal, 4);
+      (Protocol.Budget, 3); (Protocol.Overloaded, 3);
+      (Protocol.Deadline_exceeded, 3); (Protocol.Internal, 4);
       (Protocol.Health_ok, 0);
     ]
 
@@ -173,8 +188,8 @@ let collector () =
   in
   (respond, get)
 
-let classify ?budget id file =
-  Protocol.Classify { id; source = Protocol.File file; budget }
+let classify ?budget ?deadline_ms id file =
+  Protocol.Classify { id; source = Protocol.File file; budget; deadline_ms }
 
 let job_statuses responses =
   List.filter_map
@@ -191,7 +206,8 @@ let test_pool_serves_and_drains () =
     (fun id ->
       match Pool.submit pool ~request:(classify id "suite:expr") ~respond with
       | `Accepted -> ()
-      | `Overloaded | `Draining -> Alcotest.failf "%s not admitted" id)
+      | `Overloaded | `Draining | `Expired | `Unready ->
+          Alcotest.failf "%s not admitted" id)
     ids;
   ignore (Pool.drain pool);
   let got = job_statuses (get ()) in
@@ -213,7 +229,8 @@ let test_pool_per_request_budget () =
   let submit r =
     match Pool.submit pool ~request:r ~respond with
     | `Accepted -> ()
-    | `Overloaded | `Draining -> Alcotest.fail "not admitted"
+    | `Overloaded | `Draining | `Expired | `Unready ->
+        Alcotest.fail "not admitted"
   in
   submit (classify ~budget:"fuel=10" "tight" "suite:ada-subset");
   submit (classify "free" "suite:ada-subset");
@@ -278,7 +295,8 @@ let test_pool_supervises_crash () =
             Pool.submit pool ~request:(classify id "suite:expr") ~respond
           with
           | `Accepted -> ()
-          | `Overloaded | `Draining -> Alcotest.fail "not admitted")
+          | `Overloaded | `Draining | `Expired | `Unready ->
+              Alcotest.fail "not admitted")
         [ "poisoned"; "after" ];
       ignore (Pool.drain pool);
       let got = job_statuses (get ()) in
@@ -291,6 +309,386 @@ let test_pool_supervises_crash () =
       | _ -> Alcotest.fail "job after the crash: expected ok");
       let h = Pool.health pool ~id:"h" in
       Alcotest.(check int) "restart recorded" 1 h.Protocol.h_restarts)
+
+(* ------------------------------------------------------------------ *)
+(* Pool: deadlines                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_deadline_admission () =
+  let pool = Pool.create { Pool.default_config with Pool.domains = 1 } in
+  let respond, get = collector () in
+  (match
+     Pool.submit pool
+       ~request:(classify ~deadline_ms:(-5.) "neg" "suite:expr")
+       ~respond
+   with
+  | `Expired -> ()
+  | _ -> Alcotest.fail "negative deadline must shed at admission");
+  (match
+     Pool.submit pool
+       ~request:(classify ~deadline_ms:0. "zero" "suite:expr")
+       ~respond
+   with
+  | `Expired -> ()
+  | _ -> Alcotest.fail "zero deadline must shed at admission");
+  ignore (Pool.drain pool);
+  Alcotest.(check int) "shed before any compute: respond never called" 0
+    (List.length (get ()));
+  let h = Pool.health pool ~id:"h" in
+  Alcotest.(check int) "expired counter" 2 h.Protocol.h_deadline_expired;
+  Alcotest.(check bool) "deadline sheds do not flip readiness" true
+    h.Protocol.h_ready
+
+let test_pool_deadline_dequeue () =
+  (* Injected clock: a blocker holds the single worker while "late"
+     queues; the clock jumps past late's deadline during the wait, so
+     the dequeue re-check must shed it without running the engine. *)
+  let clock = ref 1000. in
+  let pool =
+    Pool.create
+      {
+        Pool.default_config with
+        Pool.domains = 1;
+        Pool.now = (fun () -> !clock);
+      }
+  in
+  let respond, get = collector () in
+  let submit r =
+    match Pool.submit pool ~request:r ~respond with
+    | `Accepted -> ()
+    | _ -> Alcotest.fail "not admitted"
+  in
+  submit (classify "blocker" "suite:ada-subset");
+  submit (classify ~deadline_ms:10. "late" "suite:expr");
+  clock := !clock +. 60.;
+  ignore (Pool.drain pool);
+  let got = job_statuses (get ()) in
+  (match List.assoc_opt "late" got with
+  | Some Protocol.Deadline_exceeded -> ()
+  | Some s -> Alcotest.failf "late: %s" (Protocol.status_name s)
+  | None -> Alcotest.fail "late: no response");
+  (match List.assoc_opt "blocker" got with
+  | Some (Protocol.Ok_ | Protocol.Verdict) -> ()
+  | _ -> Alcotest.fail "blocker must complete unaffected");
+  let h = Pool.health pool ~id:"h" in
+  Alcotest.(check int) "dequeue shed counted" 1 h.Protocol.h_deadline_expired
+
+let test_pool_deadline_in_flight () =
+  (* Real clock: the remaining deadline is intersected into the wall
+     cap, so running work self-terminates — and the trip is typed
+     deadline_exceeded, not budget. (If the queue wait eats the 5 ms
+     first, the dequeue re-check sheds with the same status.) *)
+  let pool = Pool.create { Pool.default_config with Pool.domains = 1 } in
+  let respond, get = collector () in
+  (match
+     Pool.submit pool
+       ~request:(classify ~deadline_ms:5. "running" "suite:ada-subset")
+       ~respond
+   with
+  | `Accepted -> ()
+  | _ -> Alcotest.fail "not admitted");
+  ignore (Pool.drain pool);
+  match job_statuses (get ()) with
+  | [ ("running", Protocol.Deadline_exceeded) ] -> ()
+  | [ ("running", s) ] -> Alcotest.failf "running: %s" (Protocol.status_name s)
+  | _ -> Alcotest.fail "expected exactly one response"
+
+let test_pool_deadline_vs_budget () =
+  (* The client's own wall cap is tighter than the deadline: the trip
+     belongs to the budget, and must NOT be reported deadline_exceeded. *)
+  let pool = Pool.create { Pool.default_config with Pool.domains = 1 } in
+  let respond, get = collector () in
+  (match
+     Pool.submit pool
+       ~request:
+         (classify ~budget:"wall=1ms" ~deadline_ms:60000. "capped"
+            "suite:ada-subset")
+       ~respond
+   with
+  | `Accepted -> ()
+  | _ -> Alcotest.fail "not admitted");
+  ignore (Pool.drain pool);
+  match job_statuses (get ()) with
+  | [ ("capped", Protocol.Budget) ] -> ()
+  | [ ("capped", s) ] -> Alcotest.failf "capped: %s" (Protocol.status_name s)
+  | _ -> Alcotest.fail "expected exactly one response"
+
+(* ------------------------------------------------------------------ *)
+(* Pool: crash-loop backstop                                           *)
+(* ------------------------------------------------------------------ *)
+
+let wait_restarts pool n =
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec go () =
+    let h = Pool.health pool ~id:"w" in
+    if h.Protocol.h_restarts >= n then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timed out waiting for %d restarts (have %d)" n
+        h.Protocol.h_restarts
+    else begin
+      Unix.sleepf 0.01;
+      go ()
+    end
+  in
+  go ()
+
+let test_pool_crash_loop_unready () =
+  Faultpoint.disarm ();
+  (* Two fire-once points on the same site: each of the first two jobs
+     crashes its worker exactly once. *)
+  (match Faultpoint.arm "serve-worker:raise@1,serve-worker:raise@1" with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  Fun.protect ~finally:Faultpoint.disarm (fun () ->
+      let clock = ref 0. in
+      let pool =
+        Pool.create
+          {
+            Pool.default_config with
+            Pool.domains = 1;
+            Pool.crash_threshold = 2;
+            Pool.crash_window = 10.;
+            Pool.now = (fun () -> !clock);
+          }
+      in
+      let respond, get = collector () in
+      let submit id =
+        Pool.submit pool ~request:(classify id "suite:expr") ~respond
+      in
+      (match submit "c1" with
+      | `Accepted -> ()
+      | _ -> Alcotest.fail "c1 not admitted");
+      wait_restarts pool 1;
+      Alcotest.(check bool) "one crash inside the window: still ready" true
+        (Pool.ready pool);
+      (match submit "c2" with
+      | `Accepted -> ()
+      | _ -> Alcotest.fail "c2 not admitted");
+      wait_restarts pool 2;
+      Alcotest.(check bool) "threshold reached: backstop holds" false
+        (Pool.ready pool);
+      (match submit "refused" with
+      | `Unready -> ()
+      | `Accepted -> Alcotest.fail "unready pool must not admit"
+      | _ -> Alcotest.fail "expected `Unready");
+      (* the window slides past the burst: readiness self-heals *)
+      clock := !clock +. 60.;
+      Alcotest.(check bool) "self-healed after the window" true
+        (Pool.ready pool);
+      (match submit "healed" with
+      | `Accepted -> ()
+      | _ -> Alcotest.fail "healed not admitted");
+      ignore (Pool.drain pool);
+      let got = job_statuses (get ()) in
+      (match List.assoc_opt "healed" got with
+      | Some Protocol.Ok_ -> ()
+      | _ -> Alcotest.fail "job after self-heal must run clean");
+      let h = Pool.health pool ~id:"h" in
+      Alcotest.(check int) "both respawns recorded" 2 h.Protocol.h_restarts;
+      Alcotest.(check bool) "health reports ready again" true
+        h.Protocol.h_ready)
+
+(* ------------------------------------------------------------------ *)
+(* Breaker                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let check_decision msg want got =
+  let name = function
+    | Breaker.Proceed -> "proceed"
+    | Breaker.Probe -> "probe"
+    | Breaker.Reject r -> Printf.sprintf "reject(%g)" r
+  in
+  if got <> want then Alcotest.failf "%s: %s, wanted %s" msg (name got) (name want)
+
+let test_breaker_transitions () =
+  let clock = ref 0. in
+  let b =
+    Breaker.create
+      ~config:
+        {
+          Breaker.failure_threshold = 2;
+          Breaker.reset_after = 1.0;
+          Breaker.now = (fun () -> !clock);
+        }
+      ()
+  in
+  Alcotest.(check string) "fresh" "closed"
+    (Breaker.state_name (Breaker.state b));
+  check_decision "closed admits" Breaker.Proceed (Breaker.acquire b);
+  Breaker.failure b;
+  Alcotest.(check string) "below threshold" "closed"
+    (Breaker.state_name (Breaker.state b));
+  check_decision "still admits" Breaker.Proceed (Breaker.acquire b);
+  Breaker.failure b;
+  Alcotest.(check string) "threshold trips" "open"
+    (Breaker.state_name (Breaker.state b));
+  Alcotest.(check int) "trip counted" 1 (Breaker.trips b);
+  check_decision "open rejects with full window" (Breaker.Reject 1.0)
+    (Breaker.acquire b);
+  clock := 0.5;
+  check_decision "mid-window reject reports time left" (Breaker.Reject 0.5)
+    (Breaker.acquire b);
+  clock := 1.0;
+  Alcotest.(check string) "window elapsed" "half-open"
+    (Breaker.state_name (Breaker.state b));
+  check_decision "single probe slot won" Breaker.Probe (Breaker.acquire b);
+  check_decision "concurrent caller sheds while probe in flight"
+    (Breaker.Reject 0.) (Breaker.acquire b);
+  Breaker.success b;
+  Alcotest.(check string) "probe success closes" "closed"
+    (Breaker.state_name (Breaker.state b));
+  check_decision "closed again" Breaker.Proceed (Breaker.acquire b);
+  Alcotest.(check int) "no extra trip" 1 (Breaker.trips b);
+  (* a success also reset the failure count: one new failure must not
+     re-trip a threshold-2 breaker *)
+  Breaker.failure b;
+  Alcotest.(check string) "failure count was reset" "closed"
+    (Breaker.state_name (Breaker.state b))
+
+let test_breaker_failed_probe_reopens () =
+  let before_total = Breaker.total_trips () in
+  let clock = ref 0. in
+  let b =
+    Breaker.create
+      ~config:
+        {
+          Breaker.failure_threshold = 1;
+          Breaker.reset_after = 1.0;
+          Breaker.now = (fun () -> !clock);
+        }
+      ()
+  in
+  Breaker.failure b;
+  Alcotest.(check string) "threshold 1 trips at once" "open"
+    (Breaker.state_name (Breaker.state b));
+  clock := 1.0;
+  check_decision "probe allowed" Breaker.Probe (Breaker.acquire b);
+  Breaker.failure b;
+  Alcotest.(check int) "failed probe re-trips" 2 (Breaker.trips b);
+  clock := 1.5;
+  check_decision "re-opened for a FULL window" (Breaker.Reject 0.5)
+    (Breaker.acquire b);
+  clock := 2.0;
+  check_decision "next probe" Breaker.Probe (Breaker.acquire b);
+  Breaker.success b;
+  Alcotest.(check string) "recovered" "closed"
+    (Breaker.state_name (Breaker.state b));
+  Alcotest.(check bool) "process-wide trip counter is monotone" true
+    (Breaker.total_trips () >= before_total + 2)
+
+let test_retry_jitter_stream () =
+  let delays p = List.init 6 (fun i -> Retry.delay_for p ~attempt:(i + 1)) in
+  let p = { Retry.default with Retry.max_attempts = 7 } in
+  Alcotest.(check (list (float 0.))) "same policy, same stream" (delays p)
+    (delays p);
+  let p' = { p with Retry.seed = p.Retry.seed + 1 } in
+  Alcotest.(check bool) "a different seed moves the stream" true
+    (delays p <> delays p');
+  (* the jitter factor varies across attempts — a constant factor would
+     keep a failed fleet in lockstep *)
+  let raw attempt =
+    Float.min p.Retry.max_delay
+      (p.Retry.base_delay *. (p.Retry.multiplier ** float_of_int (attempt - 1)))
+  in
+  let factors =
+    List.mapi (fun i d -> d /. raw (i + 1)) (delays p)
+  in
+  let distinct =
+    List.sort_uniq compare (List.map (fun f -> Float.round (f *. 1e6)) factors)
+  in
+  Alcotest.(check bool) "jitter varies across attempts" true
+    (List.length distinct > 1);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "factor %g within [1-j, 1+j]" f)
+        true
+        (f >= 1. -. p.Retry.jitter -. 1e-9
+        && f <= 1. +. p.Retry.jitter +. 1e-9))
+    factors
+
+(* ------------------------------------------------------------------ *)
+(* Client (in-process, against throwaway sockets)                      *)
+(* ------------------------------------------------------------------ *)
+
+let one_shot_retry = { Retry.default with Retry.max_attempts = 1 }
+let no_sleep (_ : float) = ()
+
+let test_client_connect_failure_messages () =
+  (* nothing at that path *)
+  let missing = "/nonexistent/lalr_no_such_dir/daemon.sock" in
+  let c =
+    Client.create ~retry:one_shot_retry ~sleep:no_sleep
+      (Serve.Unix_path missing)
+  in
+  (match Client.call c [ {|{"id":"x","kind":"health"}|} ] with
+  | Error (Client.Unavailable { reason; partial; _ }) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S names the failure mode" reason)
+        true
+        (contains reason "no such socket");
+      Alcotest.(check bool)
+        (Printf.sprintf "%S names the endpoint" reason)
+        true (contains reason missing);
+      Alcotest.(check int) "nothing partially delivered" 0
+        (List.length partial)
+  | Error (Client.Breaker_open _) -> Alcotest.fail "breaker cannot be open yet"
+  | Ok _ -> Alcotest.fail "connect to a missing socket cannot succeed");
+  (* something at that path, but nobody accepting: bind without listen *)
+  let stale = Filename.temp_file "lalr_stale_" ".sock" in
+  Sys.remove stale;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      try Sys.remove stale with Sys_error _ -> ())
+    (fun () ->
+      Unix.bind fd (Unix.ADDR_UNIX stale);
+      let c =
+        Client.create ~retry:one_shot_retry ~sleep:no_sleep
+          (Serve.Unix_path stale)
+      in
+      match Client.call c [ {|{"id":"x","kind":"health"}|} ] with
+      | Error (Client.Unavailable { reason; _ }) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S distinguishes refused from missing" reason)
+            true
+            (contains reason "connection refused");
+          Alcotest.(check bool)
+            (Printf.sprintf "%S names the endpoint" reason)
+            true (contains reason stale)
+      | Error (Client.Breaker_open _) ->
+          Alcotest.fail "breaker cannot be open yet"
+      | Ok _ -> Alcotest.fail "connect to a dead socket cannot succeed");
+  (* wording pinned for the CLI, which prints these verbatim *)
+  Alcotest.(check string) "ENOENT wording"
+    "no such socket /p.sock (is the daemon running?)"
+    (Client.connect_failure (Serve.Unix_path "/p.sock") Unix.ENOENT)
+
+let test_client_breaker_fast_fail () =
+  let b =
+    Breaker.create
+      ~config:{ Breaker.default with Breaker.failure_threshold = 1 }
+      ()
+  in
+  let c =
+    Client.create ~retry:one_shot_retry ~sleep:no_sleep ~breaker:b
+      (Serve.Unix_path "/nonexistent/lalr_no_such_dir/daemon.sock")
+  in
+  (match Client.call c [ {|{"id":"x","kind":"health"}|} ] with
+  | Error (Client.Unavailable _) -> ()
+  | _ -> Alcotest.fail "first call must fail through the transport");
+  Alcotest.(check string) "one failure tripped the threshold-1 breaker" "open"
+    (Breaker.state_name (Breaker.state b));
+  match Client.call c [ {|{"id":"x","kind":"health"}|} ] with
+  | Error (Client.Breaker_open { retry_after; _ } as e) ->
+      Alcotest.(check bool) "retry_after is in the future" true
+        (retry_after > 0.);
+      Alcotest.(check bool) "operator message names the breaker" true
+        (contains (Client.error_message e) "circuit breaker open")
+  | Error (Client.Unavailable _) ->
+      Alcotest.fail "second call must shed locally, not touch the network"
+  | Ok _ -> Alcotest.fail "second call cannot succeed"
 
 (* ------------------------------------------------------------------ *)
 (* End to end: the daemon through the real binary                      *)
@@ -325,9 +723,15 @@ let run_client args =
 
 type daemon = { d_pid : int; d_sock : string; d_log : string }
 
-let start_daemon extra_args =
-  let sock = Filename.temp_file "lalr_serve_" ".sock" in
-  Sys.remove sock;
+let start_daemon ?sock extra_args =
+  let sock =
+    match sock with
+    | Some s -> s
+    | None ->
+        let s = Filename.temp_file "lalr_serve_" ".sock" in
+        Sys.remove s;
+        s
+  in
   let log = Filename.temp_file "lalr_serve_" ".log" in
   let log_fd =
     Unix.openfile log [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
@@ -341,13 +745,20 @@ let start_daemon extra_args =
   in
   Unix.close null;
   Unix.close log_fd;
-  (* ready when the health round-trip answers *)
+  (* ready when the socket accepts a raw connect — deliberately NOT a
+     protocol round-trip, so readiness polling never consumes
+     faultpoint hits armed on the decode path *)
   let deadline = Unix.gettimeofday () +. 10. in
   let rec wait () =
-    let code, _ =
-      run_client [ "call"; "--socket"; sock; {|{"id":"up","kind":"health"}|} ]
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let up =
+      try
+        Unix.connect fd (Unix.ADDR_UNIX sock);
+        true
+      with Unix.Unix_error _ -> false
     in
-    if code = 0 then ()
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if up then ()
     else if Unix.gettimeofday () > deadline then (
       Unix.kill pid Sys.sigkill;
       Alcotest.failf "daemon did not come up; log:\n%s"
@@ -359,8 +770,8 @@ let start_daemon extra_args =
   wait ();
   { d_pid = pid; d_sock = sock; d_log = log }
 
-let stop_daemon d =
-  Unix.kill d.d_pid Sys.sigterm;
+let stop_daemon ?(signal = Sys.sigterm) d =
+  Unix.kill d.d_pid signal;
   let _, status = Unix.waitpid [] d.d_pid in
   (match status with
   | Unix.WEXITED 0 -> ()
@@ -473,7 +884,9 @@ let test_e2e_overload_shed () =
       stop_daemon d)
 
 let test_e2e_decode_fault_absorbed () =
-  (* @2: the readiness health probe is the daemon's first decode *)
+  (* @2: the client's connect-time health probe is the daemon's first
+     decode (readiness polling is a raw connect, no protocol line), so
+     the fault lands on "x" and "y" decodes clean *)
   let d =
     start_daemon [ "--domains"; "1"; "--inject"; "serve-decode:raise@2" ]
   in
@@ -530,6 +943,170 @@ let test_e2e_oversized_line () =
       Alcotest.(check int) "worst code is the bad_request" 2 code;
       stop_daemon d)
 
+(* --- client resilience against a real daemon ---------------------- *)
+
+let test_client_reconnects_after_restart () =
+  let d = start_daemon [ "--domains"; "1" ] in
+  let d2 = ref None in
+  Fun.protect
+    ~finally:(fun () ->
+      kill_daemon d;
+      match !d2 with Some d -> kill_daemon d | None -> ())
+    (fun () ->
+      let c = Client.create ~sleep:no_sleep (Serve.Unix_path d.d_sock) in
+      (match Client.call c [ {|{"id":"one","file":"suite:expr"}|} ] with
+      | Ok [ l ] ->
+          Alcotest.(check (option string)) "first call served" (Some "ok")
+            (field_string l "status")
+      | Ok _ -> Alcotest.fail "one request, one response"
+      | Error e -> Alcotest.failf "first call: %s" (Client.error_message e));
+      (* daemon restarts on the SAME socket path; the client holds a
+         now-stale connection *)
+      stop_daemon d;
+      d2 := Some (start_daemon ~sock:d.d_sock [ "--domains"; "1" ]);
+      (match Client.call c [ {|{"id":"two","file":"suite:expr"}|} ] with
+      | Ok [ l ] ->
+          Alcotest.(check (option string))
+            "stale connection replaced, call served by the new daemon"
+            (Some "ok") (field_string l "status")
+      | Ok _ -> Alcotest.fail "one request, one response"
+      | Error e -> Alcotest.failf "after restart: %s" (Client.error_message e));
+      Alcotest.(check string) "breaker closed throughout" "closed"
+        (Breaker.state_name (Breaker.state (Client.breaker c)));
+      Client.close c;
+      match !d2 with Some d -> stop_daemon d | None -> ())
+
+let test_client_faultpoint_absorbed () =
+  Faultpoint.disarm ();
+  (match Faultpoint.arm "serve-client:raise" with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  Fun.protect ~finally:Faultpoint.disarm (fun () ->
+      let d = start_daemon [ "--domains"; "1" ] in
+      Fun.protect
+        ~finally:(fun () -> kill_daemon d)
+        (fun () ->
+          let c = Client.create ~sleep:no_sleep (Serve.Unix_path d.d_sock) in
+          (match Client.call c [ {|{"id":"x","file":"suite:expr"}|} ] with
+          | Ok [ l ] ->
+              Alcotest.(check (option string))
+                "connect-time fault absorbed by the retry layer" (Some "ok")
+                (field_string l "status")
+          | Ok _ -> Alcotest.fail "one request, one response"
+          | Error e -> Alcotest.failf "call: %s" (Client.error_message e));
+          Alcotest.(check string) "one absorbed fault leaves the breaker closed"
+            "closed"
+            (Breaker.state_name (Breaker.state (Client.breaker c)));
+          Client.close c;
+          stop_daemon d))
+
+(* --- deadlines over the wire --------------------------------------- *)
+
+let test_e2e_deadline_expired () =
+  let d = start_daemon [ "--domains"; "1" ] in
+  Fun.protect
+    ~finally:(fun () -> kill_daemon d)
+    (fun () ->
+      let code, out =
+        run_client
+          [
+            "call"; "--socket"; d.d_sock;
+            {|{"id":"dead","file":"suite:expr","deadline_ms":-1}|};
+            {|{"id":"live","file":"suite:expr","deadline_ms":60000}|};
+          ]
+      in
+      let lines =
+        String.split_on_char '\n' out
+        |> List.filter (fun l -> String.length l > 0 && l.[0] = '{')
+      in
+      Alcotest.(check int) "both answered" 2 (List.length lines);
+      let status_of id =
+        List.find_map
+          (fun l ->
+            if field_string l "id" = Some id then field_string l "status"
+            else None)
+          lines
+      in
+      Alcotest.(check (option string)) "expired on arrival -> typed shed"
+        (Some "deadline_exceeded") (status_of "dead");
+      Alcotest.(check (option string)) "generous deadline -> served"
+        (Some "ok") (status_of "live");
+      Alcotest.(check int) "deadline_exceeded maps to exit 3" 3 code;
+      (* the daemon counts the shed in its health payload *)
+      let _, hout =
+        run_client
+          [ "call"; "--socket"; d.d_sock; {|{"id":"h","kind":"health"}|} ]
+      in
+      let hline =
+        String.split_on_char '\n' hout
+        |> List.filter (fun l -> String.length l > 0 && l.[0] = '{')
+        |> function
+        | [ l ] -> l
+        | _ -> Alcotest.fail "one health line"
+      in
+      Alcotest.(check (option string)) "health counts the shed" (Some "1")
+        (field_string hline "deadline_expired");
+      Alcotest.(check bool) "health reports readiness" true
+        (contains hline {|"ready":true|});
+      stop_daemon d)
+
+(* --- SIGINT drains like SIGTERM ------------------------------------ *)
+
+let test_e2e_sigint_drain () =
+  let trace = Filename.temp_file "lalr_serve_trace_" ".json" in
+  let d = start_daemon [ "--domains"; "1"; "--trace"; trace ] in
+  Fun.protect
+    ~finally:(fun () ->
+      kill_daemon d;
+      List.iter
+        (fun f -> try Sys.remove f with Sys_error _ -> ())
+        [ trace; trace ^ ".w0" ])
+    (fun () ->
+      let code, _ =
+        run_client
+          [ "call"; "--socket"; d.d_sock; {|{"id":"j","file":"suite:expr"}|} ]
+      in
+      Alcotest.(check int) "request served before the signal" 0 code;
+      (* stop_daemon asserts exit 0 and the unlinked socket *)
+      stop_daemon ~signal:Sys.sigint d;
+      let non_empty f =
+        Sys.file_exists f
+        && In_channel.with_open_bin f In_channel.length > 0L
+      in
+      Alcotest.(check bool) "main trace file flushed" true (non_empty trace);
+      Alcotest.(check bool) "per-worker trace file flushed" true
+        (non_empty (trace ^ ".w0")))
+
+(* --- batch --via-serve --------------------------------------------- *)
+
+let test_e2e_batch_via_serve () =
+  let d = start_daemon [ "--domains"; "2" ] in
+  Fun.protect
+    ~finally:(fun () -> kill_daemon d)
+    (fun () ->
+      let code, out =
+        run_client
+          [ "batch"; "--via-serve"; d.d_sock; "suite:expr"; "suite:mini-c" ]
+      in
+      let lines =
+        String.split_on_char '\n' out
+        |> List.filter (fun l -> String.length l > 0 && l.[0] = '{')
+      in
+      Alcotest.(check int) "one JSON line per job" 2 (List.length lines);
+      let status_of id =
+        List.find_map
+          (fun l ->
+            if field_string l "id" = Some id then field_string l "status"
+            else None)
+          lines
+      in
+      Alcotest.(check (option string)) "clean grammar" (Some "ok")
+        (status_of "suite:expr");
+      Alcotest.(check (option string)) "conflicted grammar" (Some "verdict")
+        (status_of "suite:mini-c");
+      Alcotest.(check int) "worst per-job exit" 1 code;
+      stop_daemon d)
+
 let () =
   Alcotest.run "serve"
     [
@@ -548,6 +1125,15 @@ let () =
             test_retry_deterministic_backoff;
           Alcotest.test_case "run honours policy and reports retries" `Quick
             test_retry_run;
+          Alcotest.test_case "jitter stream is seeded and per-attempt" `Quick
+            test_retry_jitter_stream;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "closed -> open -> half-open -> closed" `Quick
+            test_breaker_transitions;
+          Alcotest.test_case "failed probe re-opens a full window" `Quick
+            test_breaker_failed_probe_reopens;
         ] );
       ( "pool",
         [
@@ -558,6 +1144,27 @@ let () =
           Alcotest.test_case "sheds when full" `Quick test_pool_sheds_when_full;
           Alcotest.test_case "supervises a worker crash" `Quick
             test_pool_supervises_crash;
+          Alcotest.test_case "expired deadline shed at admission" `Quick
+            test_pool_deadline_admission;
+          Alcotest.test_case "deadline re-checked at dequeue" `Quick
+            test_pool_deadline_dequeue;
+          Alcotest.test_case "deadline bounds in-flight work" `Quick
+            test_pool_deadline_in_flight;
+          Alcotest.test_case "client wall cap trips as budget" `Quick
+            test_pool_deadline_vs_budget;
+          Alcotest.test_case "crash-loop backstop flips readiness" `Quick
+            test_pool_crash_loop_unready;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "connect failures name the endpoint" `Quick
+            test_client_connect_failure_messages;
+          Alcotest.test_case "open breaker sheds locally" `Quick
+            test_client_breaker_fast_fail;
+          Alcotest.test_case "reconnects across a daemon restart" `Quick
+            test_client_reconnects_after_restart;
+          Alcotest.test_case "connect-time faultpoint absorbed" `Quick
+            test_client_faultpoint_absorbed;
         ] );
       ( "daemon",
         [
@@ -567,5 +1174,11 @@ let () =
           Alcotest.test_case "decode fault absorbed" `Quick
             test_e2e_decode_fault_absorbed;
           Alcotest.test_case "oversized line" `Quick test_e2e_oversized_line;
+          Alcotest.test_case "expired deadline over the wire" `Quick
+            test_e2e_deadline_expired;
+          Alcotest.test_case "SIGINT drains like SIGTERM" `Quick
+            test_e2e_sigint_drain;
+          Alcotest.test_case "batch --via-serve" `Quick
+            test_e2e_batch_via_serve;
         ] );
     ]
