@@ -676,6 +676,7 @@ module G = Lalr_grammar.Grammar
 module Reader = Lalr_grammar.Reader
 module Pool = Lalr_serve.Pool
 module Protocol = Lalr_serve.Protocol
+module Metrics = Lalr_trace.Metrics
 
 (* Render a grammar back to the reader's surface syntax so the scaled
    generator's output can travel as an [Inline] request — the pool has
@@ -722,6 +723,7 @@ let serve_workload ~reps scaled_cfg =
                  source = Protocol.File ("suite:" ^ n);
                  budget = None;
                  deadline_ms = None;
+                 trace_id = None;
                })
            serve_suite_names
          @ [
@@ -732,6 +734,7 @@ let serve_workload ~reps scaled_cfg =
                    Protocol.Inline { text = scaled_cfg; format = `Cfg };
                  budget = None;
                  deadline_ms = None;
+                 trace_id = None;
                };
            ]))
 
@@ -742,7 +745,7 @@ let serve_run_sequential ?store requests =
   List.iter
     (fun (req : Protocol.request) ->
       match req with
-      | Protocol.Health _ -> ()
+      | Protocol.Health _ | Protocol.Metrics _ -> ()
       | Protocol.Classify { source; _ } ->
           let g =
             match source with
@@ -763,7 +766,7 @@ let serve_run_sequential ?store requests =
           Engine.persist e)
     requests
 
-let serve_run_pool ~domains ?store requests =
+let serve_run_pool ~domains ?store ?metrics requests =
   let pool =
     Pool.create
       {
@@ -771,6 +774,7 @@ let serve_run_pool ~domains ?store requests =
         Pool.domains;
         queue_capacity = List.length requests + 1;
         store;
+        metrics;
       }
   in
   let pending = Atomic.make (List.length requests) in
@@ -931,6 +935,114 @@ let bench_serve_smoke () =
   Format.printf "serve smoke: %d requests served@." (List.length requests)
 
 (* ------------------------------------------------------------------ *)
+(* Metrics — armed vs disarmed telemetry overhead (BENCH_pr10)        *)
+(* ------------------------------------------------------------------ *)
+
+(* The telemetry probes ride the serving hot path (a histogram observe
+   and a counter bump per job, GC gauges per dequeue), so the claim
+   "always armed" needs a price tag: the same pool workload with
+   [metrics = None] (every probe compiled to a [None] branch) vs a live
+   registry with one shard per domain. The gate is a hard ceiling on
+   the ratio; the reconciliation asserts the armed run's registry
+   actually counted every job (an unwired probe would also be fast). *)
+let bench_metrics () =
+  section "bench MX — metrics overhead, armed vs disarmed pool";
+  let scaled_cfg = grammar_to_cfg (Lalr_suite.Scaled.grammar ()) in
+  let requests = serve_workload ~reps:2 scaled_cfg in
+  let n = List.length requests in
+  let cores = nproc () in
+  let domains = max 1 (min cores 8) in
+  (* Warm-up (disarmed): registry lazies, allocator leveling. *)
+  serve_run_pool ~domains requests;
+  (* Interleave the arms — disarmed then armed, [serve_samples] pairs,
+     best of each — so a machine-load drift across the bench hits both
+     arms alike instead of being billed to whichever ran last. *)
+  let registry = Metrics.create ~shards:(domains + 1) in
+  let disarmed = ref infinity and armed = ref infinity in
+  for _ = 1 to serve_samples do
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    serve_run_pool ~domains requests;
+    let d = Unix.gettimeofday () -. t0 in
+    if d < !disarmed then disarmed := d;
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    serve_run_pool ~domains ~metrics:registry requests;
+    let a = Unix.gettimeofday () -. t0 in
+    if a < !armed then armed := a
+  done;
+  let disarmed = !disarmed and armed = !armed in
+  let ratio = armed /. disarmed in
+  (* Reconcile: the armed arm ran [serve_samples] times over the same
+     registry, and with no faults armed every dequeued job observes
+     queue-wait, then finishes (jobs counter + request histogram)
+     exactly once. *)
+  let snap = Metrics.snapshot registry in
+  let expected_jobs = serve_samples * n in
+  let jobs = Metrics.counter_total snap "lalr_serve_pool_jobs_total" in
+  let hcount name =
+    match Metrics.find snap name with
+    | Some v -> Metrics.hist_count v
+    | None -> 0
+  in
+  let req_observed = hcount "lalr_serve_request_seconds" in
+  let wait_observed = hcount "lalr_serve_queue_wait_seconds" in
+  let exposition = Metrics.to_prometheus snap in
+  let parse_ok =
+    match Metrics.parse exposition with Ok _ -> true | Error _ -> false
+  in
+  Format.printf
+    "metrics: %d requests x %d samples, %d domains (%d cores)@." n
+    serve_samples domains cores;
+  Format.printf "disarmed: %.3fs  armed: %.3fs  overhead: %.3fx@." disarmed
+    armed ratio;
+  Format.printf
+    "armed registry: %d jobs, %d request observations, %d queue-wait \
+     observations, %d exposition bytes (parse ok: %b)@."
+    jobs req_observed wait_observed
+    (String.length exposition)
+    parse_ok;
+  Bench_json.(
+    write "BENCH_pr10.json"
+      (Obj
+         [
+           ("pr", Int 10);
+           ("experiment", Str "metrics-overhead-armed-vs-disarmed");
+           ("cores", Int cores);
+           ("domains", Int domains);
+           ("requests", Int n);
+           ("samples", Int serve_samples);
+           ("disarmed_s", Sec disarmed);
+           ("armed_s", Sec armed);
+           ("overhead_ratio", Ratio ratio);
+           ("overhead_gate", Ratio 1.2);
+           ("armed_jobs", Int jobs);
+           ("expected_jobs", Int expected_jobs);
+           ("request_observations", Int req_observed);
+           ("queue_wait_observations", Int wait_observed);
+           ("exposition_bytes", Int (String.length exposition));
+           ("exposition_parse_ok", Int (if parse_ok then 1 else 0));
+         ]));
+  Format.printf "@.wrote BENCH_pr10.json@.";
+  (* Hard gates, after the JSON so a failing run still leaves the
+     numbers on disk for the post-mortem. *)
+  if jobs <> expected_jobs then
+    failwith
+      (Printf.sprintf "metrics: armed registry counted %d jobs, expected %d"
+         jobs expected_jobs);
+  if req_observed <> expected_jobs || wait_observed <> expected_jobs then
+    failwith
+      (Printf.sprintf
+         "metrics: histogram counts (%d request, %d wait) disagree with %d \
+          jobs"
+         req_observed wait_observed expected_jobs);
+  if not parse_ok then failwith "metrics: exposition does not parse back";
+  if ratio > 1.2 then
+    failwith
+      (Printf.sprintf "metrics: armed overhead %.3fx exceeds the 1.2x gate"
+         ratio)
+
+(* ------------------------------------------------------------------ *)
 (* Soak — deterministic chaos soak against a live daemon (BENCH_pr9)  *)
 (* ------------------------------------------------------------------ *)
 
@@ -1006,6 +1118,7 @@ let soak_request rng i : Protocol.request =
           source = Protocol.File "suite:ada-subset";
           budget = Some "fuel=10";
           deadline_ms = None;
+          trace_id = None;
         }
   | 6 ->
       Protocol.Classify
@@ -1014,6 +1127,7 @@ let soak_request rng i : Protocol.request =
           source = Protocol.File "suite:json";
           budget = None;
           deadline_ms = Some (-.float_of_int (rand_int rng 1 50));
+          trace_id = None;
         }
   | 7 | 14 ->
       Protocol.Classify
@@ -1022,6 +1136,7 @@ let soak_request rng i : Protocol.request =
           source = Protocol.File "suite:ada-subset";
           budget = None;
           deadline_ms = Some 5.;
+          trace_id = None;
         }
   | 8 ->
       Protocol.Classify
@@ -1030,6 +1145,7 @@ let soak_request rng i : Protocol.request =
           source = Protocol.File "/nonexistent/soak.cfg";
           budget = None;
           deadline_ms = None;
+          trace_id = None;
         }
   | _ ->
       let name =
@@ -1043,6 +1159,7 @@ let soak_request rng i : Protocol.request =
           budget = None;
           deadline_ms =
             (if rand_int rng 0 1 = 0 then Some 600000. else None);
+          trace_id = Some (Printf.sprintf "soak-%d" i);
         }
 
 let soak_has_prefix p id =
@@ -1100,6 +1217,7 @@ let soak_deadline_overhead () =
             source = Protocol.File "suite:json";
             budget = None;
             deadline_ms = dl;
+            trace_id = None;
           })
   in
   serve_run_pool ~domains:2 (requests None);
@@ -1395,6 +1513,32 @@ let bench_soak () =
   (match Client.call client [ health_line "hlt:final" ] with
   | Ok responses -> List.iter process_line responses
   | Error e -> failwith ("soak: final health failed: " ^ Client.error_message e));
+  (* Live scrape, while the daemon is still up: the merged exposition
+     must parse and reconcile with the client-side per-id accounting
+     (gated below, with the other invariants). *)
+  let scrape =
+    match
+      Client.call client
+        [ Protocol.encode_request (Protocol.Metrics { id = "hlt:scrape" }) ]
+    with
+    | Error e ->
+        failwith ("soak: metrics scrape failed: " ^ Client.error_message e)
+    | Ok [ line ] -> (
+        match Json.parse line with
+        | Error m -> failwith ("soak: scrape response unparseable: " ^ m)
+        | Ok j -> (
+            match Json.member "body" j with
+            | Some (Json.Str body) -> (
+                match Metrics.parse body with
+                | Ok snap -> snap
+                | Error m ->
+                    failwith ("soak: scrape exposition does not parse: " ^ m))
+            | _ -> failwith "soak: scrape response without body"))
+    | Ok other ->
+        failwith
+          (Printf.sprintf "soak: scrape returned %d lines"
+             (List.length other))
+  in
   Client.close client;
   Unix.kill pid Sys.sigterm;
   let _, st = Unix.waitpid [] pid in
@@ -1434,6 +1578,44 @@ let bench_soak () =
   let status_count s =
     Option.value ~default:0 (Hashtbl.find_opt statuses s)
   in
+  (* Scrape-side accounting. The funnel counts every response by
+     status before its socket write ([requests_total]) and failed
+     writes again in [responses_dropped_total], so per status
+     "delivered" = total - dropped, and every line this client
+     actually received was delivered: received <= delivered. Two
+     relations are exact, chaos or not, because both sides live in the
+     daemon: crash restarts (health counter vs crash counter bumped at
+     the same supervisor site) and pool jobs (the jobs counter and the
+     request-latency observation share one probe). *)
+  let scrape_counter ?labels name =
+    match Metrics.find scrape ?labels name with
+    | Some (Metrics.Counter n) -> n
+    | _ -> 0
+  in
+  let scrape_gauge name =
+    match Metrics.find scrape name with
+    | Some (Metrics.Gauge g) -> Some g
+    | _ -> None
+  in
+  let sent_status s =
+    scrape_counter ~labels:[ ("status", s) ] "lalr_serve_requests_total"
+    - scrape_counter
+        ~labels:[ ("status", s) ]
+        "lalr_serve_responses_dropped_total"
+  in
+  let scrape_crashes = scrape_counter "lalr_serve_worker_crashes_total" in
+  let scrape_jobs = scrape_counter "lalr_serve_pool_jobs_total" in
+  let scrape_req_observed =
+    match Metrics.find scrape "lalr_serve_request_seconds" with
+    | Some v -> Metrics.hist_count v
+    | None -> 0
+  in
+  let scrape_statuses =
+    [
+      "ok"; "verdict"; "bad_request"; "budget"; "overloaded";
+      "deadline_exceeded"; "internal"; "health"; "metrics";
+    ]
+  in
   Format.printf
     "soak: %d requests in %.2fs (%.1f req/s), %d resubmits, %d decode \
      faults, %d duplicates, %d mismatches@."
@@ -1448,6 +1630,13 @@ let bench_soak () =
   Format.printf
     "soak: expired_shed %d, restarts %d, breaker trips %d, clean drain %b@."
     expired_shed restarts_final (Breaker.total_trips ()) clean_drain;
+  Format.printf
+    "soak: scrape: %d pool jobs, %d request observations, %d crashes, \
+     delivered%s@."
+    scrape_jobs scrape_req_observed scrape_crashes
+    (List.fold_left
+       (fun acc s -> acc ^ Printf.sprintf " %s=%d" s (sent_status s))
+       "" scrape_statuses);
 
   Bench_json.(
     write "BENCH_pr9.json"
@@ -1476,6 +1665,18 @@ let bench_soak () =
                     "ok"; "verdict"; "bad_request"; "budget"; "overloaded";
                     "deadline_exceeded"; "internal"; "health";
                   ]) );
+           ( "scrape",
+             Obj
+               [
+                 ("pool_jobs", Int scrape_jobs);
+                 ("request_observations", Int scrape_req_observed);
+                 ("worker_crashes", Int scrape_crashes);
+                 ( "delivered",
+                   Obj
+                     (List.map
+                        (fun s -> (s, Int (sent_status s)))
+                        scrape_statuses) );
+               ] );
            ("soak_wall_s", Sec soak_wall);
            ( "soak_throughput_req_s",
              Ratio (float_of_int n_requests /. soak_wall) );
@@ -1504,7 +1705,37 @@ let bench_soak () =
   if status_count "deadline_exceeded" = 0 then
     failwith "soak: no deadline_exceeded response observed";
   if restarts_final = 0 then
-    failwith "soak: worker crash injections produced no restart"
+    failwith "soak: worker crash injections produced no restart";
+  if scrape_crashes <> restarts_final then
+    failwith
+      (Printf.sprintf
+         "soak: scrape counted %d worker crashes, health reported %d restarts"
+         scrape_crashes restarts_final);
+  if scrape_req_observed <> scrape_jobs then
+    failwith
+      (Printf.sprintf
+         "soak: scrape latency histogram has %d observations for %d pool jobs"
+         scrape_req_observed scrape_jobs);
+  List.iter
+    (fun s ->
+      if sent_status s < status_count s then
+        failwith
+          (Printf.sprintf
+             "soak: scrape delivered %d %s responses, client received %d"
+             (sent_status s) s (status_count s)))
+    scrape_statuses;
+  (match scrape_gauge "lalr_serve_ready" with
+  | Some 1.0 -> ()
+  | g ->
+      failwith
+        (Printf.sprintf "soak: scrape ready gauge %s, expected 1"
+           (match g with Some v -> string_of_float v | None -> "absent")));
+  match scrape_gauge "lalr_serve_workers" with
+  | Some 2.0 -> ()
+  | g ->
+      failwith
+        (Printf.sprintf "soak: scrape workers gauge %s, expected 2"
+           (match g with Some v -> string_of_float v | None -> "absent"))
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                             *)
@@ -1527,6 +1758,7 @@ let all =
     ("layout-smoke", bench_layout_smoke);
     ("serve", bench_serve);
     ("serve-smoke", bench_serve_smoke);
+    ("metrics", bench_metrics);
     ("soak", bench_soak);
   ]
 

@@ -44,6 +44,7 @@ module Client = Lalr_serve.Client
 module Store = Lalr_store.Store
 module Classify = Lalr_tables.Classify
 module Trace = Lalr_trace.Trace
+module Metrics = Lalr_trace.Metrics
 
 (* ------------------------------------------------------------------ *)
 (* Common arguments and loading                                       *)
@@ -788,9 +789,22 @@ let batch_via_serve endpoint_s files budget_spec =
     in
     Protocol.encode_request
       (Protocol.Classify
-         { id = file; source; budget = budget_spec; deadline_ms = None })
+         {
+           id = file;
+           source;
+           budget = budget_spec;
+           deadline_ms = None;
+           trace_id = None;
+         })
   in
-  let lines = List.map request files in
+  (* Every job ships with a trace id: the daemon stamps it onto the
+     request's span tree and access-log line, so a lost or slow job in
+     a big batch can be found server-side by grep. *)
+  let lines =
+    Client.stamp_trace_ids
+      ~prefix:(Printf.sprintf "batch-%d" (Unix.getpid ()))
+      (List.map request files)
+  in
   let client = Client.create endpoint in
   match Client.call client lines with
   | Ok responses ->
@@ -813,6 +827,16 @@ let batch_via_serve endpoint_s files budget_spec =
       Format.eprintf "lalrgen: batch: %s@." (Client.error_message err);
       Format.eprintf "batch: %d jobs, %d responded@." (List.length lines)
         (List.length partial);
+      (* Responses arrive in request order, so the unanswered jobs are
+         exactly the suffix past what arrived — echo their trace ids
+         for the server-side hunt. *)
+      let unanswered =
+        Client.trace_ids
+          (List.filteri (fun i _ -> i >= List.length partial) lines)
+      in
+      if unanswered <> [] then
+        Format.eprintf "batch: unanswered trace ids: %s@."
+          (String.concat " " unanswered);
       exit (max worst 4)
 
 type job_result = {
@@ -1143,7 +1167,8 @@ let socket_arg =
     & info [ "socket" ] ~docv:"ENDPOINT" ~doc)
 
 let serve_cmd =
-  let run socket domains queue budget_spec cache inject max_line trace_file =
+  let run socket domains queue budget_spec cache inject max_line trace_file
+      access_log =
     arm_injection inject;
     (match budget_spec with
     | Some s -> (
@@ -1174,6 +1199,7 @@ let serve_cmd =
           };
         max_line;
         trace_file;
+        access_log;
         on_ready =
           (fun line ->
             print_endline line;
@@ -1233,6 +1259,17 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
+  let access_log =
+    let doc =
+      "Append one JSON line per response to $(docv): timestamp, request \
+       id, status, exit, delivery flag, latency and queue-wait \
+       milliseconds, worker and trace id when known (see README \
+       \"Observability\" for the schema). Write failures are absorbed — \
+       logging never takes a request down."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "access-log" ] ~docv:"FILE" ~doc)
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1242,14 +1279,14 @@ let serve_cmd =
           overload with typed per-request responses; SIGTERM drains \
           gracefully (exit 0). See README \"Serving\" for the protocol.")
     Term.(const run $ socket_arg $ domains $ queue $ budget_spec $ cache_arg
-          $ inject_arg $ max_line $ trace_file)
+          $ inject_arg $ max_line $ trace_file $ access_log)
 
 (* ------------------------------------------------------------------ *)
 (* call — the matching line-protocol client                           *)
 (* ------------------------------------------------------------------ *)
 
 let call_cmd =
-  let run socket requests =
+  let run socket trace_prefix requests =
     let endpoint =
       match Serve.parse_endpoint socket with
       | Ok e -> e
@@ -1261,6 +1298,11 @@ let call_cmd =
       match requests with
       | [ "-" ] | [] -> In_channel.input_lines stdin
       | rs -> rs
+    in
+    let lines =
+      match trace_prefix with
+      | None -> lines
+      | Some prefix -> Client.stamp_trace_ids ~prefix lines
     in
     let client = Client.create endpoint in
     match Client.call client lines with
@@ -1282,7 +1324,30 @@ let call_cmd =
         let missing = List.length lines - List.length partial in
         if missing > 0 && partial <> [] then
           Format.eprintf "lalrgen: call: %d response(s) missing@." missing;
+        (* Responses arrive in request order: the unanswered requests
+           are the suffix, and their trace ids are the handle for
+           finding them in the daemon's trace files and access log. *)
+        let unanswered =
+          Client.trace_ids
+            (List.filteri (fun i _ -> i >= List.length partial) lines)
+        in
+        if unanswered <> [] then
+          Format.eprintf "lalrgen: call: unanswered trace ids: %s@."
+            (String.concat " " unanswered);
         exit (max worst 4)
+  in
+  let trace_prefix =
+    let doc =
+      "Stamp every classify request that carries no $(b,trace_id) with \
+       $(docv)-$(i,INDEX) before sending. The daemon echoes the id in \
+       the response, its access log and the worker trace session; on \
+       transport failure the ids of unanswered requests are printed to \
+       stderr."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-id" ] ~docv:"PREFIX" ~doc)
   in
   let requests =
     Arg.(
@@ -1303,18 +1368,182 @@ let call_cmd =
           per-response code, or 4 when the daemon is unreachable (the \
           error names the endpoint and distinguishes a missing socket \
           from a refused connection)")
-    Term.(const run $ socket_arg $ requests)
+    Term.(const run $ socket_arg $ trace_prefix $ requests)
+
+(* ------------------------------------------------------------------ *)
+(* top — polling terminal view over the metrics scrape                *)
+(* ------------------------------------------------------------------ *)
+
+let top_cmd =
+  let run endpoint_s interval count no_clear =
+    let endpoint =
+      match Serve.parse_endpoint endpoint_s with
+      | Ok e -> e
+      | Error m ->
+          Format.eprintf "lalrgen: top: %s@." m;
+          exit 2
+    in
+    let interval = Float.max 0.1 interval in
+    let client = Client.create endpoint in
+    let req = Protocol.encode_request (Protocol.Metrics { id = "__top__" }) in
+    let scrape () =
+      match Client.call client [ req ] with
+      | Error err ->
+          Format.eprintf "lalrgen: top: %s@." (Client.error_message err);
+          exit 4
+      | Ok [ line ] -> (
+          match Protocol.Json.parse line with
+          | Ok j -> (
+              match Protocol.Json.member "body" j with
+              | Some (Protocol.Json.Str body) -> (
+                  match Metrics.parse body with
+                  | Ok snap -> snap
+                  | Error m ->
+                      Format.eprintf
+                        "lalrgen: top: unparseable exposition: %s@." m;
+                      exit 4)
+              | _ ->
+                  Format.eprintf
+                    "lalrgen: top: metrics response carries no body@.";
+                  exit 4)
+          | Error m ->
+              Format.eprintf "lalrgen: top: garbled response: %s@." m;
+              exit 4)
+      | Ok _ ->
+          Format.eprintf "lalrgen: top: expected exactly one response line@.";
+          exit 4
+    in
+    let gauge snap name =
+      match Metrics.find snap name with
+      | Some (Metrics.Gauge v) -> v
+      | _ -> 0.
+    in
+    (* Per-worker gauges (GC, deadline slack) carry a [worker] label:
+       the fleet view is their sum across label sets. *)
+    let gauge_sum snap name =
+      List.fold_left
+        (fun acc (s : Metrics.sample) ->
+          match s.Metrics.value with
+          | Metrics.Gauge v when s.Metrics.name = name -> acc +. v
+          | _ -> acc)
+        0. snap
+    in
+    let quantile_ms snap name q =
+      match Metrics.quantile snap name q with
+      | Some s -> Printf.sprintf "%.1fms" (s *. 1e3)
+      | None -> "-"
+    in
+    let status_breakdown snap =
+      List.filter_map
+        (fun (s : Metrics.sample) ->
+          match (s.Metrics.name, s.Metrics.value) with
+          | "lalr_serve_requests_total", Metrics.Counter n when n > 0 ->
+              Some
+                (Printf.sprintf "%s=%d"
+                   (match List.assoc_opt "status" s.Metrics.labels with
+                   | Some v -> v
+                   | None -> "?")
+                   n)
+          | _ -> None)
+        snap
+    in
+    let prev = ref None in
+    let frame i =
+      let snap = scrape () in
+      let now = Unix.gettimeofday () in
+      let total = Metrics.counter_total snap "lalr_serve_requests_total" in
+      let qps =
+        match !prev with
+        | Some (t0, n0) when now > t0 ->
+            Printf.sprintf "%.1f" (float_of_int (total - n0) /. (now -. t0))
+        | _ -> "-"
+      in
+      prev := Some (now, total);
+      if not no_clear then print_string "\027[H\027[2J";
+      Format.printf "lalrgen top — %s   up %.0fs   ready %s   workers %.0f@."
+        (Serve.endpoint_to_string endpoint)
+        (gauge snap "lalr_serve_uptime_seconds")
+        (if gauge snap "lalr_serve_ready" >= 1. then "yes" else "NO")
+        (gauge snap "lalr_serve_workers");
+      Format.printf
+        "requests  total %d   qps %s   dropped %d   restarts %d@." total qps
+        (Metrics.counter_total snap "lalr_serve_responses_dropped_total")
+        (Metrics.counter_total snap "lalr_serve_worker_crashes_total");
+      Format.printf "latency   p50 %s   p95 %s   p99 %s@."
+        (quantile_ms snap "lalr_serve_request_seconds" 0.50)
+        (quantile_ms snap "lalr_serve_request_seconds" 0.95)
+        (quantile_ms snap "lalr_serve_request_seconds" 0.99);
+      Format.printf "queue     depth %.0f / %.0f   wait p95 %s@."
+        (gauge snap "lalr_serve_queue_depth")
+        (gauge snap "lalr_serve_queue_capacity")
+        (quantile_ms snap "lalr_serve_queue_wait_seconds" 0.95);
+      Format.printf
+        "gc        minor %.0f   major %.0f   heap %.2f Mwords@."
+        (gauge_sum snap "lalr_serve_gc_minor_collections")
+        (gauge_sum snap "lalr_serve_gc_major_collections")
+        (gauge_sum snap "lalr_serve_gc_heap_words" /. 1e6);
+      (match status_breakdown snap with
+      | [] -> ()
+      | parts -> Format.printf "status    %s@." (String.concat "  " parts));
+      Format.print_flush ();
+      if count = 0 || i + 1 < count then Unix.sleepf interval
+    in
+    let rec loop i =
+      frame i;
+      if count = 0 || i + 1 < count then loop (i + 1)
+    in
+    loop 0;
+    Client.close client;
+    exit 0
+  in
+  let endpoint =
+    Arg.(
+      value
+      & pos 0 string "lalrgen.sock"
+      & info [] ~docv:"ENDPOINT"
+          ~doc:
+            "Daemon endpoint: a Unix-socket path, $(b,HOST:PORT) or a \
+             bare $(b,PORT).")
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Seconds between polls (min 0.1).")
+  in
+  let count =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Stop after $(docv) frames; 0 (the default) polls forever.")
+  in
+  let no_clear =
+    Arg.(
+      value & flag
+      & info [ "no-clear" ]
+          ~doc:
+            "Append frames instead of redrawing in place — for logs and \
+             tests.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Poll a running $(b,lalrgen serve) daemon's $(b,metrics) scrape \
+          and render a one-screen live view: request rate, latency \
+          quantiles, queue depth, worker restarts and GC pressure. \
+          Exits 4 when the daemon is unreachable.")
+    Term.(const run $ endpoint $ interval $ count $ no_clear)
 
 let () =
   let doc =
     "LALR(1) parser generator toolkit (DeRemer–Pennello look-ahead sets)"
   in
-  let info = Cmd.info "lalrgen" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "lalrgen" ~version:Protocol.version ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
           [
             classify_cmd; report_cmd; conflicts_cmd; tables_cmd; parse_cmd;
             generate_cmd; lint_cmd; batch_cmd; exercise_cmd; stats_cmd;
-            faultpoints_cmd; suite_cmd; serve_cmd; call_cmd;
+            faultpoints_cmd; suite_cmd; serve_cmd; call_cmd; top_cmd;
           ]))

@@ -226,6 +226,38 @@ let call t lines =
           Breaker.failure t.breaker;
           Error (Unavailable { endpoint = t.endpoint; reason; partial }))
 
+(* Trace-context propagation, client side. Stamping re-encodes only
+   lines that decode as a Classify with no trace_id yet; everything
+   else (health/metrics, already-stamped lines, deliberately
+   malformed chaos input) passes through byte-identical — stamping
+   must never change what the daemon sees beyond the one field. *)
+let stamp_trace_ids ~prefix lines =
+  List.mapi
+    (fun i line ->
+      match Protocol.decode_request line with
+      | Ok
+          (Protocol.Classify
+             { id; source; budget; deadline_ms; trace_id = None }) ->
+          Protocol.encode_request
+            (Protocol.Classify
+               {
+                 id;
+                 source;
+                 budget;
+                 deadline_ms;
+                 trace_id = Some (Printf.sprintf "%s-%d" prefix i);
+               })
+      | _ -> line)
+    lines
+
+let trace_ids lines =
+  List.filter_map
+    (fun line ->
+      match Protocol.decode_request line with
+      | Ok (Protocol.Classify { trace_id = Some t; _ }) -> Some t
+      | _ -> None)
+    lines
+
 let error_message = function
   | Breaker_open { endpoint; retry_after } ->
       Printf.sprintf

@@ -70,6 +70,20 @@ val endpoint : t -> Serve.endpoint
 val breaker : t -> Lalr_guard.Breaker.t
 (** The breaker in use (for tests and metrics). *)
 
+val stamp_trace_ids : prefix:string -> string list -> string list
+(** Trace-context propagation: re-encodes each line that decodes as a
+    [Classify] carrying no [trace_id] with ["PREFIX-<index>"] (the
+    line's position in the list). Lines that already carry one, are
+    not classify requests, or do not decode pass through
+    byte-identical. The daemon stamps the id onto the request's span
+    tree in the worker trace session and echoes it in the response
+    and access log — grep the [FILE.wN] trace files for it. *)
+
+val trace_ids : string list -> string list
+(** The [trace_id]s present in a list of request lines, in order —
+    what [lalrgen call] echoes when responses go missing, so a lost
+    or slow request can be found server-side. *)
+
 val error_message : error -> string
 (** One operator-grade line, endpoint included. *)
 

@@ -9,6 +9,7 @@ module Retry = Lalr_guard.Retry
 module Registry = Lalr_suite.Registry
 module Store = Lalr_store.Store
 module Trace = Lalr_trace.Trace
+module Metrics = Lalr_trace.Metrics
 
 type config = {
   domains : int;
@@ -16,6 +17,7 @@ type config = {
   default_budget : string option;
   store : Store.t option;
   trace : bool;
+  metrics : Metrics.t option;
   retry : Retry.policy;
   sleep : float -> unit;
   now : unit -> float;
@@ -30,6 +32,7 @@ let default_config =
     default_budget = None;
     store = None;
     trace = false;
+    metrics = None;
     retry = Retry.default;
     sleep = Unix.sleepf;
     now = Unix.gettimeofday;
@@ -37,11 +40,21 @@ let default_config =
     crash_threshold = 5;
   }
 
+(* Registry layout: shard 0 belongs to the serve/listener layer (and
+   the supervisor threads, which share the main domain); shard i+1 is
+   owned by worker domain i. Shards outlive worker incarnations, so
+   counters stay monotone across crash restarts. *)
+let worker_shard cfg i =
+  Option.map (fun m -> Metrics.shard m (i + 1)) cfg.metrics
+
+let pool_shard cfg = Option.map (fun m -> Metrics.shard m 0) cfg.metrics
+
 type job = {
   jb_request : Protocol.request;
   jb_respond : Protocol.response -> unit;
   jb_deadline : float option;
       (* absolute, anchored at admission: now + deadline_ms/1e3 *)
+  jb_admitted : float;  (* cfg.now at admission, for queue-wait *)
 }
 
 type worker = {
@@ -113,7 +126,11 @@ let job_response id status detail : Protocol.job_response =
     r_detail = detail;
     r_lalr1 = None;
     r_wall_ms = 0.;
+    r_queue_ms = 0.;
     r_retries = 0;
+    r_worker = None;
+    r_slack_ms = None;
+    r_trace_id = None;
     r_stages = [];
     r_lr0_states = None;
     r_completed = [];
@@ -260,38 +277,79 @@ let attempt_job t id source budget_spec ~deadline : Protocol.job_response =
               in
               job_response id Protocol.Bad_request detail))
 
-let run_job t job : Protocol.response =
+(* Per-worker runtime gauges, refreshed after every job. The ambient
+   check first: when metrics are disarmed [Gc.quick_stat] is never
+   called (the armed-overhead bench compares exactly this path). *)
+let sample_gc w =
+  match Metrics.ambient () with
+  | None -> ()
+  | Some _ ->
+      let s = Gc.quick_stat () in
+      let labels = [ ("worker", string_of_int w.w_id) ] in
+      Metrics.aset_gauge ~labels "lalr_serve_gc_minor_collections"
+        (float_of_int s.Gc.minor_collections);
+      Metrics.aset_gauge ~labels "lalr_serve_gc_major_collections"
+        (float_of_int s.Gc.major_collections);
+      Metrics.aset_gauge ~labels "lalr_serve_gc_heap_words"
+        (float_of_int s.Gc.heap_words)
+
+let run_job t w job : Protocol.response =
   match job.jb_request with
-  | Protocol.Health { id } ->
-      (* Health never enters the queue (serve answers it inline);
-         reaching a worker with one is a wiring bug, reported as such
-         rather than silently misclassified. *)
+  | Protocol.Health { id } | Protocol.Metrics { id } ->
+      (* Health/metrics never enter the queue (serve answers them
+         inline); reaching a worker with one is a wiring bug, reported
+         as such rather than silently misclassified. *)
       Protocol.Job
-        (job_response id Protocol.Internal "health request reached the pool")
-  | Protocol.Classify { id; source; budget; deadline_ms = _ } -> (
+        (job_response id Protocol.Internal
+           "inline-answerable request reached the pool")
+  | Protocol.Classify { id; source; budget; deadline_ms = _; trace_id } -> (
+      let dequeued = t.cfg.now () in
+      let queue_s = Float.max 0. (dequeued -. job.jb_admitted) in
+      let queue_ms = queue_s *. 1e3 in
+      Metrics.aobserve "lalr_serve_queue_wait_seconds" queue_s;
+      let worker_label () = [ ("worker", string_of_int w.w_id) ] in
+      let finish_metrics (r : Protocol.job_response) =
+        Metrics.ainc "lalr_serve_pool_jobs_total";
+        Metrics.aobserve "lalr_serve_request_seconds"
+          (Float.max 0. (t.cfg.now () -. job.jb_admitted));
+        (match r.Protocol.r_slack_ms with
+        | Some slack_ms ->
+            Metrics.aset_gauge ~labels:(worker_label ())
+              "lalr_serve_deadline_slack_seconds" (slack_ms /. 1e3)
+        | None -> ());
+        sample_gc w
+      in
       (* Dequeue re-check: the wait in the queue may have consumed the
          whole deadline. Shed before any compute — no engine, no
          budget parse, no retries. *)
       let late =
         match job.jb_deadline with
         | Some d ->
-            let past = t.cfg.now () -. d in
+            let past = dequeued -. d in
             if past > 0. then Some past else None
         | None -> None
       in
       match late with
       | Some past ->
           let r =
-            job_response id Protocol.Deadline_exceeded
-              (Printf.sprintf
-                 "deadline expired while queued (%.1fms past); shed before \
-                  compute"
-                 (past *. 1e3))
+            {
+              (job_response id Protocol.Deadline_exceeded
+                 (Printf.sprintf
+                    "deadline expired while queued (%.1fms past); shed before \
+                     compute"
+                    (past *. 1e3)))
+              with
+              Protocol.r_queue_ms = queue_ms;
+              Protocol.r_worker = Some w.w_id;
+              Protocol.r_slack_ms = Some (-.past *. 1e3);
+              Protocol.r_trace_id = trace_id;
+            }
           in
           Atomic.incr t.expired;
           Trace.count "serve.requests";
           Trace.count
             ("serve.status." ^ Protocol.status_name r.Protocol.r_status);
+          finish_metrics r;
           Protocol.Job r
       | None ->
           let budget_spec =
@@ -305,25 +363,46 @@ let run_job t job : Protocol.response =
               (fun ~attempt ->
                 Trace.with_span
                   ~attrs:(fun () ->
-                    [ ("id", Trace.Str id); ("attempt", Trace.Int attempt) ])
+                    let base =
+                      [ ("id", Trace.Str id); ("attempt", Trace.Int attempt) ]
+                    in
+                    match trace_id with
+                    | Some tid -> ("trace_id", Trace.Str tid) :: base
+                    | None -> base)
                   "serve.request"
                   (fun () ->
                     attempt_job t id source budget_spec
                       ~deadline:job.jb_deadline))
           in
           let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+          Metrics.aobserve "lalr_serve_compute_seconds" (wall_ms /. 1e3);
           if r.Protocol.r_status = Protocol.Deadline_exceeded then
             Atomic.incr t.expired;
           Trace.count "serve.requests";
           Trace.count
             ("serve.status." ^ Protocol.status_name r.Protocol.r_status);
-          if retries > 0 then Trace.count ~n:retries "serve.retries";
-          Protocol.Job
+          if retries > 0 then begin
+            Trace.count ~n:retries "serve.retries";
+            Metrics.ainc ~n:retries "lalr_serve_retries_total"
+          end;
+          let slack_ms =
+            Option.map
+              (fun d -> (d -. t.cfg.now ()) *. 1e3)
+              job.jb_deadline
+          in
+          let r =
             {
               r with
               Protocol.r_wall_ms = wall_ms;
+              Protocol.r_queue_ms = queue_ms;
               Protocol.r_retries = retries;
-            })
+              Protocol.r_worker = Some w.w_id;
+              Protocol.r_slack_ms = slack_ms;
+              Protocol.r_trace_id = trace_id;
+            }
+          in
+          finish_metrics r;
+          Protocol.Job r)
 
 (* ------------------------------------------------------------------ *)
 (* Worker domains and supervision                                      *)
@@ -352,7 +431,7 @@ let rec worker_loop t w =
          boundary, so an armed serve-worker raise escapes, kills this
          domain, and exercises the supervisor's restart path. *)
       Faultpoint.check "serve-worker";
-      let response = run_job t job in
+      let response = run_job t w job in
       (* Clear the in-flight marker BEFORE responding: if the respond
          callback itself dies (a broken connection absorbed too late),
          the supervisor must not answer this job a second time. *)
@@ -365,6 +444,10 @@ let rec worker_loop t w =
 let worker_body t w () =
   Atomic.set w.w_alive true;
   Atomic.set w.w_jobs 0;
+  (* Arm this domain's metrics shard: ambient probes in [run_job] (and
+     anything below it) land in shard w_id+1 without a handle. The
+     shard itself persists across incarnations. *)
+  Metrics.set_ambient (worker_shard t.cfg w.w_id);
   let session = if t.cfg.trace then Some (Trace.start ()) else None in
   match worker_loop t w with
   | () ->
@@ -391,6 +474,12 @@ let rec supervise t w =
   | `Done -> ()
   | `Crashed msg ->
       Atomic.incr t.restarts;
+      (* Supervisor threads share the main domain; their counters go
+         to shard 0, pre-registered in [create] (the multi-thread
+         shard contract). *)
+      (match pool_shard t.cfg with
+      | Some sh -> Metrics.inc sh "lalr_serve_worker_crashes_total"
+      | None -> ());
       let now = t.cfg.now () in
       Mutex.lock t.mu;
       Queue.push now t.restart_log;
@@ -399,6 +488,14 @@ let rec supervise t w =
       (match Atomic.exchange w.w_current None with
       | Some job ->
           Atomic.incr t.completed;
+          (match pool_shard t.cfg with
+          | Some sh -> Metrics.inc sh "lalr_serve_worker_crash_responses_total"
+          | None -> ());
+          let trace_id =
+            match job.jb_request with
+            | Protocol.Classify { trace_id; _ } -> trace_id
+            | _ -> None
+          in
           job.jb_respond
             (Protocol.Job
                {
@@ -409,6 +506,8 @@ let rec supervise t w =
                        w.w_id msg))
                  with
                  Protocol.r_retries = 0;
+                 Protocol.r_worker = Some w.w_id;
+                 Protocol.r_trace_id = trace_id;
                })
       | None -> ());
       (* Unconditional respawn: while draining, the fresh incarnation
@@ -456,6 +555,14 @@ let create cfg =
       completed = Atomic.make 0;
     }
   in
+  (* Shard 0 is written by several sys-threads (supervisors here,
+     reader threads in serve), so its series must exist before any of
+     them start — the Metrics pre-registration contract. *)
+  (match pool_shard cfg with
+  | Some sh ->
+      Metrics.inc sh ~n:0 "lalr_serve_worker_crashes_total";
+      Metrics.inc sh ~n:0 "lalr_serve_worker_crash_responses_total"
+  | None -> ());
   t.supervisors <-
     Array.map (fun w -> Thread.create (fun () -> supervise t w) ()) workers;
   t
@@ -498,7 +605,12 @@ let submit t ~request ~respond =
       end
       else begin
         Queue.push
-          { jb_request = request; jb_respond = respond; jb_deadline = deadline }
+          {
+            jb_request = request;
+            jb_respond = respond;
+            jb_deadline = deadline;
+            jb_admitted = now;
+          }
           t.queue;
         Condition.signal t.nonempty;
         Mutex.unlock t.mu;
@@ -515,6 +627,8 @@ let health t ~id : Protocol.health_response =
   {
     h_id = id;
     h_uptime_s = Unix.gettimeofday () -. t.started_at;
+    h_pid = Unix.getpid ();
+    h_version = Protocol.version;
     h_ready = ready t;
     h_queue_depth = depth t;
     h_queue_capacity = t.cfg.queue_capacity;

@@ -54,7 +54,15 @@
     trace layer documents) and {!drain} hands the finished sessions
     back, one per worker slot that exited cleanly; a crashed
     incarnation's session is lost, which the restart counter
-    records. *)
+    records.
+
+    When [metrics] is set, every dequeued job additionally records
+    queue-wait / compute / total-latency fixed-boundary histograms,
+    a per-worker deadline-slack gauge and GC gauges into the worker
+    domain's own {!Lalr_trace.Metrics} shard (lock-free updates, no
+    cross-domain contention), and the supervisors count crashes into
+    shard 0; the serve layer merges all shards when answering a
+    [metrics] scrape. *)
 
 type config = {
   domains : int;  (** worker domains; >= 1 (clamped) *)
@@ -65,6 +73,12 @@ type config = {
           [bad_request] responses, never a crash) *)
   store : Lalr_store.Store.t option;  (** shared artifact store *)
   trace : bool;  (** arm a per-worker trace session *)
+  metrics : Lalr_trace.Metrics.t option;
+      (** live-telemetry registry; must have [domains + 1] shards
+          (shard 0 for the caller/supervisors, shard i+1 armed as
+          worker i's ambient shard — shards survive restarts so
+          counters stay monotone). [None] disarms every per-request
+          probe (the armed-overhead bench's baseline). *)
   retry : Lalr_guard.Retry.policy;  (** internal-fault retry policy *)
   sleep : float -> unit;
       (** backoff sleep in seconds, injectable for deterministic
@@ -82,7 +96,7 @@ type config = {
 }
 
 val default_config : config
-(** 1 domain, capacity 64, no budget, no store, no trace,
+(** 1 domain, capacity 64, no budget, no store, no trace, no metrics,
     {!Lalr_guard.Retry.default}, [Unix.sleepf], [Unix.gettimeofday],
     10 s crash window, threshold 5. *)
 

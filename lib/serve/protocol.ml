@@ -238,13 +238,17 @@ type request =
       source : source;
       budget : string option;
       deadline_ms : float option;
+      trace_id : string option;
     }
   | Health of { id : string }
+  | Metrics of { id : string }
 
-let request_id = function Classify { id; _ } | Health { id } -> id
+let request_id = function
+  | Classify { id; _ } | Health { id } | Metrics { id } -> id
 
 let known_fields =
-  [ "id"; "kind"; "file"; "grammar"; "format"; "budget"; "deadline_ms" ]
+  [ "id"; "kind"; "file"; "grammar"; "format"; "budget"; "deadline_ms";
+    "trace_id" ]
 
 let decode_request line =
   match Json.parse line with
@@ -275,6 +279,7 @@ let decode_request line =
           match (id, kind) with
           | Error m, _ | _, Error m -> Error m
           | Ok id, Ok "health" -> Ok (Health { id })
+          | Ok id, Ok "metrics" -> Ok (Metrics { id })
           | Ok id, Ok "classify" -> (
               let budget =
                 match Json.member "budget" j with
@@ -317,14 +322,25 @@ let decode_request line =
                 | None, None, _ ->
                     Error "a classify request needs \"file\" or \"grammar\""
               in
-              match (budget, deadline_ms, source) with
-              | Error m, _, _ | _, Error m, _ | _, _, Error m -> Error m
-              | Ok budget, Ok deadline_ms, Ok source ->
-                  Ok (Classify { id; source; budget; deadline_ms }))
+              let trace_id =
+                match Json.member "trace_id" j with
+                | Some (Json.Str s) -> Ok (Some s)
+                | None -> Ok None
+                | Some _ -> Error "field \"trace_id\" must be a string"
+              in
+              match (budget, deadline_ms, source, trace_id) with
+              | Error m, _, _, _
+              | _, Error m, _, _
+              | _, _, Error m, _
+              | _, _, _, Error m ->
+                  Error m
+              | Ok budget, Ok deadline_ms, Ok source, Ok trace_id ->
+                  Ok (Classify { id; source; budget; deadline_ms; trace_id }))
           | Ok _, Ok k ->
               Error
                 (Printf.sprintf
-                   "unknown kind %S (expected \"classify\" or \"health\")" k)))
+                   "unknown kind %S (expected \"classify\", \"health\" or \
+                    \"metrics\")" k)))
   | Ok _ -> Error "request line must be a JSON object"
 
 (* ------------------------------------------------------------------ *)
@@ -335,7 +351,9 @@ let esc = Lalr_trace.Trace.json_escape
 
 let encode_request = function
   | Health { id } -> Printf.sprintf "{\"id\":\"%s\",\"kind\":\"health\"}" (esc id)
-  | Classify { id; source; budget; deadline_ms } ->
+  | Metrics { id } ->
+      Printf.sprintf "{\"id\":\"%s\",\"kind\":\"metrics\"}" (esc id)
+  | Classify { id; source; budget; deadline_ms; trace_id } ->
       let b = Buffer.create 64 in
       Printf.bprintf b "{\"id\":\"%s\",\"kind\":\"classify\"" (esc id);
       (match source with
@@ -348,6 +366,9 @@ let encode_request = function
       | None -> ());
       (match deadline_ms with
       | Some ms -> Printf.bprintf b ",\"deadline_ms\":%.3f" ms
+      | None -> ());
+      (match trace_id with
+      | Some t -> Printf.bprintf b ",\"trace_id\":\"%s\"" (esc t)
       | None -> ());
       Buffer.add_char b '}';
       Buffer.contents b
@@ -385,7 +406,11 @@ type job_response = {
   r_detail : string;
   r_lalr1 : bool option;
   r_wall_ms : float;
+  r_queue_ms : float;
   r_retries : int;
+  r_worker : int option;
+  r_slack_ms : float option;
+  r_trace_id : string option;
   r_stages : (string * float) list;
   r_lr0_states : int option;
   r_completed : string list;
@@ -393,9 +418,16 @@ type job_response = {
 
 type worker_health = { w_id : int; w_alive : bool; w_jobs : int }
 
+(* The daemon's protocol/schema version, reported by [health] so a
+   fleet can tell which response members to expect; the binary uses
+   the same string for [--version]. *)
+let version = "1.0.0"
+
 type health_response = {
   h_id : string;
   h_uptime_s : float;
+  h_pid : int;
+  h_version : string;
   h_ready : bool;
   h_queue_depth : int;
   h_queue_capacity : int;
@@ -407,22 +439,46 @@ type health_response = {
   h_store : Lalr_store.Store.stats option;
 }
 
-type response = Job of job_response | Health of health_response
+type metrics_response = { m_id : string; m_body : string }
 
-let response_id = function Job r -> r.r_id | Health h -> h.h_id
+type response =
+  | Job of job_response
+  | Health of health_response
+  | Metrics_snapshot of metrics_response
+
+let response_id = function
+  | Job r -> r.r_id
+  | Health h -> h.h_id
+  | Metrics_snapshot m -> m.m_id
 
 let response_exit = function
   | Job r -> status_exit r.r_status
-  | Health _ -> 0
+  | Health _ | Metrics_snapshot _ -> 0
+
+(* The label the access log and the requests_total counter use: the
+   wire status string for jobs, the kind for inline answers. *)
+let response_status_label = function
+  | Job r -> status_name r.r_status
+  | Health _ -> "health"
+  | Metrics_snapshot _ -> "metrics"
 
 (* Field order mirrors the batch line (README "Serving" documents
    both tables side by side); optional members are simply absent. *)
 let encode_job r =
   let b = Buffer.create 128 in
   Printf.bprintf b
-    "{\"id\":\"%s\",\"status\":\"%s\",\"exit\":%d,\"retries\":%d,\"wall_ms\":%.3f"
+    "{\"id\":\"%s\",\"status\":\"%s\",\"exit\":%d,\"retries\":%d,\"wall_ms\":%.3f,\"queue_ms\":%.3f"
     (esc r.r_id) (status_name r.r_status) (status_exit r.r_status) r.r_retries
-    r.r_wall_ms;
+    r.r_wall_ms r.r_queue_ms;
+  (match r.r_worker with
+  | Some w -> Printf.bprintf b ",\"worker\":%d" w
+  | None -> ());
+  (match r.r_slack_ms with
+  | Some s -> Printf.bprintf b ",\"deadline_slack_ms\":%.3f" s
+  | None -> ());
+  (match r.r_trace_id with
+  | Some t -> Printf.bprintf b ",\"trace_id\":\"%s\"" (esc t)
+  | None -> ());
   (match r.r_lalr1 with
   | Some v -> Printf.bprintf b ",\"lalr1\":%b" v
   | None -> ());
@@ -455,8 +511,10 @@ let encode_job r =
 let encode_health h =
   let b = Buffer.create 256 in
   Printf.bprintf b
-    "{\"id\":\"%s\",\"status\":\"health\",\"exit\":0,\"uptime_s\":%.3f,\"ready\":%b,\"queue_depth\":%d,\"queue_capacity\":%d,\"restarts\":%d,\"shed\":%d,\"deadline_expired\":%d,\"completed\":%d,\"workers\":["
-    (esc h.h_id) h.h_uptime_s h.h_ready h.h_queue_depth h.h_queue_capacity
+    "{\"id\":\"%s\",\"status\":\"health\",\"exit\":0,\"uptime_s\":%.3f,\"uptime_ms\":%.0f,\"pid\":%d,\"version\":\"%s\",\"ready\":%b,\"queue_depth\":%d,\"queue_capacity\":%d,\"restarts\":%d,\"shed\":%d,\"deadline_expired\":%d,\"completed\":%d,\"workers\":["
+    (esc h.h_id) h.h_uptime_s
+    (h.h_uptime_s *. 1e3)
+    h.h_pid (esc h.h_version) h.h_ready h.h_queue_depth h.h_queue_capacity
     h.h_restarts h.h_shed h.h_deadline_expired h.h_completed;
   List.iteri
     (fun i w ->
@@ -474,9 +532,14 @@ let encode_health h =
   Buffer.add_char b '}';
   Buffer.contents b
 
+let encode_metrics m =
+  Printf.sprintf "{\"id\":\"%s\",\"status\":\"metrics\",\"exit\":0,\"body\":\"%s\"}"
+    (esc m.m_id) (esc m.m_body)
+
 let encode_response = function
   | Job r -> encode_job r
   | Health h -> encode_health h
+  | Metrics_snapshot m -> encode_metrics m
 
 let shed_response ~id ~queue_capacity =
   Job
@@ -488,7 +551,11 @@ let shed_response ~id ~queue_capacity =
           queue_capacity;
       r_lalr1 = None;
       r_wall_ms = 0.;
+      r_queue_ms = 0.;
       r_retries = 0;
+      r_worker = None;
+      r_slack_ms = None;
+      r_trace_id = None;
       r_stages = [];
       r_lr0_states = None;
       r_completed = [];

@@ -81,8 +81,18 @@ type request =
               it (relative, because client and server clocks need not
               agree). Non-positive means already expired: the pool
               sheds it with [deadline_exceeded] before any compute. *)
+      trace_id : string option;
+          (** opaque client correlation token: echoed in the response,
+              stamped on the request's span tree in the worker's trace
+              session, and written to the access log — the handle that
+              joins a slow client call to the daemon's [FILE.wN] trace
+              files. *)
     }
   | Health of { id : string }
+  | Metrics of { id : string }
+      (** live-telemetry scrape: answered inline (never queued, like
+          [health]) with a merged Prometheus text exposition of every
+          shard — see {!Metrics_snapshot}. *)
 
 val request_id : request -> string
 
@@ -125,7 +135,13 @@ type job_response = {
   r_detail : string;  (** "" when there is nothing to say *)
   r_lalr1 : bool option;
   r_wall_ms : float;
+  r_queue_ms : float;
+      (** admission → dequeue wait (0 for responses never queued) *)
   r_retries : int;  (** internal-fault retries burned by this request *)
+  r_worker : int option;  (** worker domain that computed the answer *)
+  r_slack_ms : float option;
+      (** deadline remaining at completion (negative: finished late) *)
+  r_trace_id : string option;  (** echoed from the request *)
   r_stages : (string * float) list;  (** forced engine stages, seconds *)
   r_lr0_states : int option;
   r_completed : string list;  (** on failure: stages that finished *)
@@ -137,9 +153,17 @@ type worker_health = {
   w_jobs : int;  (** jobs completed by the current incarnation *)
 }
 
+val version : string
+(** Daemon protocol/schema version, reported in [health] lines
+    ([version] member) and used for the binary's [--version]. *)
+
 type health_response = {
   h_id : string;
   h_uptime_s : float;
+      (** also emitted as [uptime_ms] (rounded) for collectors that
+          want integer milliseconds *)
+  h_pid : int;
+  h_version : string;  (** {!version} of the answering daemon *)
   h_ready : bool;
       (** [false] while the crash-loop backstop holds: too many worker
           respawns inside the sliding window — new work is refused
@@ -156,10 +180,26 @@ type health_response = {
   h_store : Lalr_store.Store.stats option;
 }
 
-type response = Job of job_response | Health of health_response
+type metrics_response = {
+  m_id : string;
+  m_body : string;
+      (** a complete Prometheus text exposition ({!Lalr_trace.Metrics.
+          to_prometheus} of all shards merged at scrape time), carried
+          as one JSON string member *)
+}
+
+type response =
+  | Job of job_response
+  | Health of health_response
+  | Metrics_snapshot of metrics_response
 
 val response_id : response -> string
 val response_exit : response -> int
+
+val response_status_label : response -> string
+(** The status string the access log and the
+    [lalr_serve_requests_total{status=…}] counter label use: the wire
+    status for jobs, ["health"]/["metrics"] for inline answers. *)
 
 val encode_response : response -> string
 (** One line, no trailing newline. Field order is fixed and documented

@@ -2,6 +2,7 @@ module Budget = Lalr_guard.Budget
 module Faultpoint = Lalr_guard.Faultpoint
 module Store = Lalr_store.Store
 module Trace = Lalr_trace.Trace
+module Metrics = Lalr_trace.Metrics
 
 type endpoint = Unix_path of string | Tcp of { host : string; port : int }
 
@@ -35,6 +36,7 @@ type config = {
   pool : Pool.config;
   max_line : int;
   trace_file : string option;
+  access_log : string option;
   on_ready : string -> unit;
 }
 
@@ -46,6 +48,7 @@ let default_config =
     pool = Pool.default_config;
     max_line = default_max_line;
     trace_file = None;
+    access_log = None;
     on_ready = ignore;
   }
 
@@ -66,6 +69,10 @@ type conn = {
 type srv = {
   cfg : config;
   pool : Pool.t;
+  registry : Metrics.t;  (* shards: 0 = this layer, i+1 = worker i *)
+  mshard : Metrics.shard;  (* shard 0; series pre-registered in run *)
+  access : out_channel option;
+  access_mu : Mutex.t;  (* one access-log line at a time, any thread *)
   probe_mu : Mutex.t;
       (* the main domain's trace session is shared by every reader
          thread (sessions are domain-local, threads are not) *)
@@ -120,11 +127,69 @@ let write_all fd s =
   in
   go 0
 
+(* One JSON line per response attempt — the documented access-log
+   schema (README "Observability"): ts, id, status, exit, sent, and
+   for pool jobs wall/queue timings, worker, retries, deadline slack
+   and the client trace_id. Flushed per line so a tail (or the CI
+   validator) sees requests as they finish. *)
+let access_line srv response ~sent =
+  match srv.access with
+  | None -> ()
+  | Some oc ->
+      let esc = Trace.json_escape in
+      let b = Buffer.create 160 in
+      Printf.bprintf b
+        "{\"ts\":%.6f,\"id\":\"%s\",\"status\":\"%s\",\"exit\":%d,\"sent\":%b"
+        (Unix.gettimeofday ())
+        (esc (Protocol.response_id response))
+        (Protocol.response_status_label response)
+        (Protocol.response_exit response)
+        sent;
+      (match response with
+      | Protocol.Job r ->
+          Printf.bprintf b ",\"wall_ms\":%.3f,\"queue_ms\":%.3f,\"retries\":%d"
+            r.Protocol.r_wall_ms r.Protocol.r_queue_ms r.Protocol.r_retries;
+          (match r.Protocol.r_worker with
+          | Some w -> Printf.bprintf b ",\"worker\":%d" w
+          | None -> ());
+          (match r.Protocol.r_slack_ms with
+          | Some s -> Printf.bprintf b ",\"deadline_slack_ms\":%.3f" s
+          | None -> ());
+          (match r.Protocol.r_trace_id with
+          | Some t -> Printf.bprintf b ",\"trace_id\":\"%s\"" (esc t)
+          | None -> ())
+      | Protocol.Health _ | Protocol.Metrics_snapshot _ -> ());
+      Buffer.add_char b '}';
+      Buffer.add_char b '\n';
+      Mutex.lock srv.access_mu;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock srv.access_mu)
+        (fun () ->
+          try
+            output_string oc (Buffer.contents b);
+            flush oc
+          with Sys_error _ -> ())
+
 (* The response writer: the daemon's last chance to fail a request.
    Any failure here (dead peer, armed serve-respond injection) is
    absorbed — the response is dropped and counted, the connection is
-   closed, the daemon keeps serving. *)
+   closed, the daemon keeps serving.
+
+   This is also the telemetry funnel: EVERY response — pool jobs,
+   inline health/metrics answers, bad_request, shed, supervisor crash
+   responses — goes through here exactly once.
+   [lalr_serve_requests_total{status=…}] counts each BEFORE the write:
+   the increment must already be visible to any scrape a client issues
+   after receiving the response (counting afterwards would let the
+   scrape race ahead of the responder thread). A failed write then
+   also lands in [lalr_serve_responses_dropped_total{status=…}], so
+   responses actually delivered reconcile exactly as
+   total − dropped, per status. *)
 let send srv conn response =
+  let status = Protocol.response_status_label response in
+  Metrics.inc srv.mshard
+    ~labels:[ ("status", status) ]
+    "lalr_serve_requests_total";
   let ok =
     (not (Atomic.get conn.c_closed))
     && (try
@@ -137,6 +202,11 @@ let send srv conn response =
           true
         with _ -> false)
   in
+  if not ok then
+    Metrics.inc srv.mshard
+      ~labels:[ ("status", status) ]
+      "lalr_serve_responses_dropped_total";
+  access_line srv response ~sent:ok;
   probe srv (fun () ->
       if ok then Trace.count "serve.responses"
       else begin
@@ -150,20 +220,6 @@ let send srv conn response =
      injection); the drop is counted and the connection closed rather \
      than letting one dead client kill the process"]
 
-let bad_request_response id detail =
-  Protocol.Job
-    {
-      Protocol.r_id = id;
-      r_status = Protocol.Bad_request;
-      r_detail = detail;
-      r_lalr1 = None;
-      r_wall_ms = 0.;
-      r_retries = 0;
-      r_stages = [];
-      r_lr0_states = None;
-      r_completed = [];
-    }
-
 let plain_response id status detail =
   Protocol.Job
     {
@@ -172,11 +228,17 @@ let plain_response id status detail =
       r_detail = detail;
       r_lalr1 = None;
       r_wall_ms = 0.;
+      r_queue_ms = 0.;
       r_retries = 0;
+      r_worker = None;
+      r_slack_ms = None;
+      r_trace_id = None;
       r_stages = [];
       r_lr0_states = None;
       r_completed = [];
     }
+
+let bad_request_response id detail = plain_response id Protocol.Bad_request detail
 
 (* Mangle a line the way the serve-decode corrupt injection documents:
    flip a byte in the middle so the decoder must reject it cleanly. *)
@@ -188,6 +250,25 @@ let corrupt_line line =
     Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF));
     Bytes.to_string b
   end
+
+(* Answer a metrics scrape inline (never queued, like health):
+   refresh the point-in-time gauges, then merge every shard into one
+   deterministic exposition. Merging at scrape time is the design
+   point — scrapes pay the iteration cost, request hot paths never
+   wait on a scrape (DESIGN.md §17). *)
+let scrape srv =
+  let h = Pool.health srv.pool ~id:"scrape" in
+  Metrics.set_gauge srv.mshard "lalr_serve_uptime_seconds"
+    h.Protocol.h_uptime_s;
+  Metrics.set_gauge srv.mshard "lalr_serve_queue_depth"
+    (float_of_int h.Protocol.h_queue_depth);
+  Metrics.set_gauge srv.mshard "lalr_serve_queue_capacity"
+    (float_of_int h.Protocol.h_queue_capacity);
+  Metrics.set_gauge srv.mshard "lalr_serve_ready"
+    (if h.Protocol.h_ready then 1. else 0.);
+  Metrics.set_gauge srv.mshard "lalr_serve_workers"
+    (float_of_int (List.length h.Protocol.h_workers));
+  Metrics.to_prometheus (Metrics.snapshot srv.registry)
 
 let handle_line srv conn line =
   probe srv (fun () -> Trace.count "serve.lines");
@@ -217,6 +298,9 @@ let handle_line srv conn line =
       send srv conn (bad_request_response "" msg)
   | `Decoded (Ok (Protocol.Health { id })) ->
       send srv conn (Protocol.Health (Pool.health srv.pool ~id))
+  | `Decoded (Ok (Protocol.Metrics { id })) ->
+      send srv conn
+        (Protocol.Metrics_snapshot { Protocol.m_id = id; m_body = scrape srv })
   | `Decoded (Ok (Protocol.Classify _ as request)) -> (
       let id = Protocol.request_id request in
       Atomic.incr conn.c_pending;
@@ -371,14 +455,61 @@ let write_trace_file path session =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> Trace.write session (Trace.infer_format path) oc)
 
+(* Every status label [send] can emit; pre-registered on shard 0 so
+   the multi-thread fast path never mutates the table (the Metrics
+   contract), and so a scrape always exposes the full series set. *)
+let status_labels =
+  [ "ok"; "verdict"; "bad_request"; "budget"; "overloaded";
+    "deadline_exceeded"; "internal"; "health"; "metrics" ]
+
+let preregister mshard =
+  List.iter
+    (fun s ->
+      Metrics.inc mshard ~n:0
+        ~labels:[ ("status", s) ]
+        "lalr_serve_requests_total";
+      Metrics.inc mshard ~n:0
+        ~labels:[ ("status", s) ]
+        "lalr_serve_responses_dropped_total")
+    status_labels;
+  List.iter
+    (fun g -> Metrics.set_gauge mshard g 0.)
+    [ "lalr_serve_uptime_seconds"; "lalr_serve_queue_depth";
+      "lalr_serve_queue_capacity"; "lalr_serve_ready"; "lalr_serve_workers" ]
+
+let open_access_log = function
+  | None -> Ok None
+  | Some path -> (
+      match open_out_gen [ Open_creat; Open_append; Open_wronly ] 0o644 path with
+      | oc -> Ok (Some oc)
+      | exception Sys_error m -> Error m)
+
 let run cfg =
   let cfg =
     if cfg.trace_file <> None && not cfg.pool.Pool.trace then
       { cfg with pool = { cfg.pool with Pool.trace = true } }
     else cfg
   in
+  (* The daemon is always armed for live telemetry: a registry with
+     one shard per worker plus shard 0 for this layer (callers may
+     inject a pre-built one; bench does, to share handles). *)
+  let registry =
+    match cfg.pool.Pool.metrics with
+    | Some m -> m
+    | None -> Metrics.create ~shards:(max 1 cfg.pool.Pool.domains + 1)
+  in
+  let cfg =
+    { cfg with pool = { cfg.pool with Pool.metrics = Some registry } }
+  in
+  let mshard = Metrics.shard registry 0 in
+  preregister mshard;
+  match open_access_log cfg.access_log with
+  | Error m -> Error m
+  | Ok access -> (
   match setup_listener cfg.endpoint with
-  | Error _ as e -> e
+  | Error m ->
+      Option.iter close_out_noerr access;
+      Error m
   | Ok listen_fd ->
       let main_session =
         if cfg.trace_file <> None then Some (Trace.start ()) else None
@@ -388,6 +519,10 @@ let run cfg =
         {
           cfg;
           pool;
+          registry;
+          mshard;
+          access;
+          access_mu = Mutex.create ();
           probe_mu = Mutex.create ();
           conns_mu = Mutex.create ();
           conns = [];
@@ -512,7 +647,8 @@ let run cfg =
       List.iter (fun c -> close_conn srv c) leftovers;
       (try Unix.close pipe_rd with Unix.Unix_error _ -> ());
       (try Unix.close pipe_wr with Unix.Unix_error _ -> ());
+      Option.iter close_out_noerr access;
       Sys.set_signal Sys.sigterm prev_term;
       Sys.set_signal Sys.sigint prev_int;
       Sys.set_signal Sys.sigpipe prev_pipe;
-      Ok ()
+      Ok ())

@@ -48,6 +48,13 @@ type config = {
       (** main-loop session → this path; worker sessions →
           [path ^ ".wN"]. Format inferred from the extension. Forces
           [pool.trace] on. *)
+  access_log : string option;
+      (** append one JSON line per response to this file (created
+          0644): [{"ts":…,"id":…,"status":…,"exit":…,"sent":…}] plus,
+          for pool jobs, [wall_ms]/[queue_ms]/[retries] and optional
+          [worker]/[deadline_slack_ms]/[trace_id] — the schema README
+          "Observability" documents. Flushed per line; write failures
+          are absorbed (logging never takes a request down). *)
   on_ready : string -> unit;
       (** called once, listening, with a human-readable "listening
           on ..." line — the CLI prints it (library code never touches
@@ -56,14 +63,26 @@ type config = {
 
 val default_config : config
 (** [Unix_path "lalrgen.sock"], {!Pool.default_config},
-    {!default_max_line}, no trace, silent [on_ready]. *)
+    {!default_max_line}, no trace, no access log, silent [on_ready]. *)
 
 val default_max_line : int
 (** 1 MiB. *)
 
 val run : config -> (unit, string) result
 (** Binds, listens, serves until SIGTERM/SIGINT, drains, cleans up the
-    socket path. [Error] only for listener setup failures (path/port
-    in use, bad host) — once [on_ready] has fired, the result is
-    [Ok ()]. Installs handlers for SIGTERM/SIGINT and ignores SIGPIPE
-    for the process. *)
+    socket path. [Error] only for setup failures (path/port in use,
+    bad host, unwritable access log) — once [on_ready] has fired, the
+    result is [Ok ()]. Installs handlers for SIGTERM/SIGINT and
+    ignores SIGPIPE for the process.
+
+    Live telemetry is always armed: a {!Lalr_trace.Metrics} registry
+    with one shard per worker domain plus one for this layer (reusing
+    [pool.metrics] when the caller pre-built it). A [metrics] request
+    is answered inline with the merged Prometheus exposition; every
+    response is counted by status in [lalr_serve_requests_total] at
+    the single writer funnel — incremented before the write, so a
+    scrape issued after a response arrives always sees it — with
+    failed writes also landing in
+    [lalr_serve_responses_dropped_total]. Responses actually delivered
+    therefore reconcile exactly with client-side per-id accounting as
+    [requests_total - responses_dropped_total], per status. *)

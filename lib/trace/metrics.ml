@@ -1,0 +1,590 @@
+(* Sharded, mergeable metrics registry (DESIGN.md §17).
+
+   One shard per writer domain; values inside a shard are Atomics so
+   the owning domain updates them without taking a lock once the cell
+   exists. The shard mutex guards only the Hashtbl *structure*:
+   registration (adding a cell) and snapshot iteration. The unlocked
+   [Hashtbl.find_opt] on the probe fast path is sound because on a
+   single-writer shard only the owner adds cells (and does so under
+   the mutex, which the scraping thread also holds while iterating);
+   a shard written by several sys-threads of one domain must have its
+   cells pre-registered (see the .mli contract — lib/serve does this
+   for the listener shard). *)
+
+type labels = (string * string) list
+
+let canon_labels = function
+  | [] -> []
+  | [ _ ] as l -> l
+  | l -> List.sort (fun (a, _) (b, _) -> compare a b) l
+
+type hist = {
+  boundaries : float array;  (* ascending; +Inf bucket is implicit *)
+  buckets : int Atomic.t array;  (* length boundaries + 1; per-bucket *)
+  sum_ns : int Atomic.t;  (* sum of observations, integer nanoseconds *)
+}
+
+type cell =
+  | Counter_cell of int Atomic.t
+  | Gauge_cell of float Atomic.t
+  | Hist_cell of hist
+
+type shard = {
+  mu : Mutex.t;
+  cells : (string * labels, cell) Hashtbl.t;
+}
+
+type t = { shards : shard array }
+
+(* Prometheus client_golang's default latency boundaries, in seconds:
+   a good SLO ladder from 0.5ms to 10s. A function returning a fresh
+   array — not a module-level array a caller could mutate under every
+   histogram at once (and a D001 inventory cell if it were). Only
+   called when a histogram cell is first created, never per probe. *)
+let default_boundaries () =
+  [| 0.0005; 0.001; 0.0025; 0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5;
+     1.0; 2.5; 5.0; 10.0 |]
+
+let new_shard () = { mu = Mutex.create (); cells = Hashtbl.create 64 }
+
+let create ~shards =
+  { shards = Array.init (max 1 shards) (fun _ -> new_shard ()) }
+
+let n_shards t = Array.length t.shards
+
+let shard t i =
+  if i < 0 || i >= Array.length t.shards then
+    invalid_arg
+      (Printf.sprintf "Metrics.shard: %d out of range (%d shards)" i
+         (Array.length t.shards))
+  else t.shards.(i)
+
+let cell_of shard name labels make =
+  let key = (name, labels) in
+  match Hashtbl.find_opt shard.cells key with
+  | Some c -> c
+  | None ->
+      Mutex.lock shard.mu;
+      let c =
+        match Hashtbl.find_opt shard.cells key with
+        | Some c -> c
+        | None ->
+            let c = make () in
+            Hashtbl.add shard.cells key c;
+            c
+      in
+      Mutex.unlock shard.mu;
+      c
+
+(* Probes are total: a kind clash (observing into a name registered as
+   a counter) drops the sample rather than raising — telemetry must
+   never take the serving path down. *)
+
+let inc shard ?(labels = []) ?(n = 1) name =
+  match
+    cell_of shard name (canon_labels labels) (fun () ->
+        Counter_cell (Atomic.make 0))
+  with
+  | Counter_cell c -> ignore (Atomic.fetch_and_add c n)
+  | _ -> ()
+
+let set_gauge shard ?(labels = []) name v =
+  match
+    cell_of shard name (canon_labels labels) (fun () ->
+        Gauge_cell (Atomic.make 0.))
+  with
+  | Gauge_cell g -> Atomic.set g v
+  | _ -> ()
+
+(* Round to nearest, not truncate: the exposition writer prints sums
+   as exact decimal nanoseconds, and the parser comes back through a
+   float — rounding makes write→parse the identity for any sum below
+   ~2^51 ns (weeks of accumulated latency). *)
+let ns_of_seconds v =
+  let x = v *. 1e9 in
+  if Float.is_nan x then 0
+  else if x >= 4.0e18 then max_int
+  else if x <= -4.0e18 then min_int
+  else int_of_float (Float.round x)
+
+let observe shard ?(labels = []) ?boundaries name v =
+  match
+    cell_of shard name (canon_labels labels) (fun () ->
+        let boundaries =
+          match boundaries with
+          | Some b -> b
+          | None -> default_boundaries ()
+        in
+        Hist_cell
+          {
+            boundaries;
+            buckets =
+              Array.init (Array.length boundaries + 1) (fun _ -> Atomic.make 0);
+            sum_ns = Atomic.make 0;
+          })
+  with
+  | Hist_cell h ->
+      let n = Array.length h.boundaries in
+      let i = ref 0 in
+      while !i < n && not (v <= h.boundaries.(!i)) do incr i done;
+      ignore (Atomic.fetch_and_add h.buckets.(!i) 1);
+      ignore (Atomic.fetch_and_add h.sum_ns (ns_of_seconds v))
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Ambient shard                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Domain-local, mirroring [Trace.current]: each worker domain arms
+   its own shard, so ambient probes from engine-adjacent code land in
+   the right place without threading a handle. One DLS read when no
+   shard is armed — the Faultpoint/Trace disarmed-cost discipline. *)
+let ambient_shard : shard option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let set_ambient s = Domain.DLS.set ambient_shard s
+let ambient () = Domain.DLS.get ambient_shard
+
+let ainc ?labels ?n name =
+  match Domain.DLS.get ambient_shard with
+  | None -> ()
+  | Some s -> inc s ?labels ?n name
+
+let aset_gauge ?labels name v =
+  match Domain.DLS.get ambient_shard with
+  | None -> ()
+  | Some s -> set_gauge s ?labels name v
+
+let aobserve ?labels ?boundaries name v =
+  match Domain.DLS.get ambient_shard with
+  | None -> ()
+  | Some s -> observe s ?labels ?boundaries name v
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots and merge                                                *)
+(* ------------------------------------------------------------------ *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { boundaries : float array; counts : int array; sum_ns : int }
+
+type sample = { name : string; labels : labels; value : value }
+type snapshot = sample list
+
+let sample_key s = (s.name, s.labels)
+
+let sort_snapshot snap =
+  List.sort (fun a b -> compare (sample_key a) (sample_key b)) snap
+
+let snapshot_of_shard shard =
+  Mutex.lock shard.mu;
+  let out =
+    Hashtbl.fold
+      (fun (name, labels) cell acc ->
+        let value =
+          match cell with
+          | Counter_cell c -> Counter (Atomic.get c)
+          | Gauge_cell g -> Gauge (Atomic.get g)
+          | Hist_cell h ->
+              Histogram
+                {
+                  boundaries = Array.copy h.boundaries;
+                  counts = Array.map Atomic.get h.buckets;
+                  sum_ns = Atomic.get h.sum_ns;
+                }
+        in
+        { name; labels; value } :: acc)
+      shard.cells []
+  in
+  Mutex.unlock shard.mu;
+  sort_snapshot out
+
+(* Pointwise combine. Counters and histogram buckets/sums are integer
+   additions, so the merge is exactly associative and commutative with
+   the empty snapshot as identity (the property tests pin this).
+   Gauges add too — distinct sources must carry a distinguishing label
+   (e.g. worker="3") if a sum across shards is not the value wanted.
+   A kind or boundary clash keeps the left operand: registries keep
+   one kind per name, so this only triggers on snapshots from
+   different schema versions. *)
+let combine_value a b =
+  match (a, b) with
+  | Counter x, Counter y -> Counter (x + y)
+  | Gauge x, Gauge y -> Gauge (x +. y)
+  | Histogram h1, Histogram h2 when h1.boundaries = h2.boundaries ->
+      Histogram
+        {
+          boundaries = h1.boundaries;
+          counts = Array.map2 ( + ) h1.counts h2.counts;
+          sum_ns = h1.sum_ns + h2.sum_ns;
+        }
+  | a, _ -> a
+
+let merge snaps =
+  let tbl = Hashtbl.create 128 in
+  List.iter
+    (fun snap ->
+      List.iter
+        (fun s ->
+          let key = sample_key s in
+          match Hashtbl.find_opt tbl key with
+          | None -> Hashtbl.add tbl key s.value
+          | Some v -> Hashtbl.replace tbl key (combine_value v s.value))
+        snap)
+    snaps;
+  sort_snapshot
+    (Hashtbl.fold
+       (fun (name, labels) value acc -> { name; labels; value } :: acc)
+       tbl [])
+
+let snapshot t =
+  merge (Array.to_list (Array.map snapshot_of_shard t.shards))
+
+(* ------------------------------------------------------------------ *)
+(* Reading a snapshot                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let find snap ?(labels = []) name =
+  let labels = canon_labels labels in
+  List.find_map
+    (fun s -> if s.name = name && s.labels = labels then Some s.value else None)
+    snap
+
+let counter_total snap name =
+  List.fold_left
+    (fun acc s ->
+      match s.value with
+      | Counter n when s.name = name -> acc + n
+      | _ -> acc)
+    0 snap
+
+let hist_count = function
+  | Histogram h -> Array.fold_left ( + ) 0 h.counts
+  | _ -> 0
+
+(* Rank-based estimate with linear interpolation inside the bucket;
+   observations in the +Inf bucket clamp to the last finite boundary
+   (the standard Prometheus histogram_quantile behaviour). *)
+let quantile snap ?labels name q =
+  match find snap ?labels name with
+  | Some (Histogram h) ->
+      let total = Array.fold_left ( + ) 0 h.counts in
+      if total = 0 then None
+      else
+        let nb = Array.length h.boundaries in
+        let target = q *. float_of_int total in
+        let rec walk i cum =
+          if i >= Array.length h.counts then
+            Some (if nb = 0 then 0. else h.boundaries.(nb - 1))
+          else
+            let cum' = cum + h.counts.(i) in
+            if float_of_int cum' >= target && h.counts.(i) > 0 then
+              let lo = if i = 0 then 0. else h.boundaries.(i - 1) in
+              let hi =
+                if i < nb then h.boundaries.(i)
+                else if nb = 0 then 0.
+                else h.boundaries.(nb - 1)
+              in
+              let frac =
+                (target -. float_of_int cum) /. float_of_int h.counts.(i)
+              in
+              Some (lo +. ((hi -. lo) *. Float.max 0. (Float.min 1. frac)))
+            else walk (i + 1) cum'
+        in
+        walk 0 0
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Byte-deterministic: samples sorted by (name, labels), label keys
+   sorted at registration, one fixed float format. *)
+
+let fmt_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let fmt_sum_ns ns =
+  let sign = if ns < 0 then "-" else "" in
+  let ns = abs ns in
+  Printf.sprintf "%s%d.%09d" sign (ns / 1_000_000_000) (ns mod 1_000_000_000)
+
+let sanitize_name name =
+  let s =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+        | _ -> '_')
+      name
+  in
+  if s = "" then "_"
+  else match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let render_labels labels =
+  if labels = [] then ""
+  else
+    Printf.sprintf "{%s}"
+      (String.concat ","
+         (List.map
+            (fun (k, v) ->
+              Printf.sprintf "%s=\"%s\"" (sanitize_name k)
+                (escape_label_value v))
+            labels))
+
+let type_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let to_prometheus snap =
+  let snap = sort_snapshot snap in
+  let buf = Buffer.create 4096 in
+  let last_typed = ref "" in
+  List.iter
+    (fun s ->
+      let name = sanitize_name s.name in
+      if name <> !last_typed then begin
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" name (type_name s.value));
+        last_typed := name
+      end;
+      match s.value with
+      | Counter n ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %d\n" name (render_labels s.labels) n)
+      | Gauge g ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" name (render_labels s.labels)
+               (fmt_float g))
+      | Histogram h ->
+          let cum = ref 0 in
+          Array.iteri
+            (fun i c ->
+              cum := !cum + c;
+              let le =
+                if i < Array.length h.boundaries then
+                  fmt_float h.boundaries.(i)
+                else "+Inf"
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket%s %d\n" name
+                   (render_labels (s.labels @ [ ("le", le) ]))
+                   !cum))
+            h.counts;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %s\n" name (render_labels s.labels)
+               (fmt_sum_ns h.sum_ns));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" name (render_labels s.labels)
+               !cum))
+    snap;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Exposition parser                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Enough of the text format to round-trip our own writer and to let
+   [lalrgen top] consume a scrape: # TYPE comments, label sets with
+   escaped values, histogram reconstruction from _bucket/_sum/_count
+   series. Returns [Error] on structurally broken lines rather than
+   guessing. *)
+
+exception Parse_error of string
+
+let parse_value s =
+  match String.lowercase_ascii s with
+  | "+inf" | "inf" -> infinity
+  | "-inf" -> neg_infinity
+  | "nan" -> nan
+  | _ -> (
+      match float_of_string_opt s with
+      | Some f -> f
+      | None -> raise (Parse_error (Printf.sprintf "bad sample value %S" s)))
+
+let parse_labels line start =
+  (* [start] points just after '{'. Returns (labels, index after '}'). *)
+  let n = String.length line in
+  let labels = ref [] in
+  let i = ref start in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s in %S" msg line)) in
+  let rec skip_ws () = if !i < n && line.[!i] = ' ' then (incr i; skip_ws ()) in
+  let rec loop () =
+    skip_ws ();
+    if !i >= n then fail "unterminated label set"
+    else if line.[!i] = '}' then incr i
+    else begin
+      let kstart = !i in
+      while !i < n && line.[!i] <> '=' do incr i done;
+      if !i >= n then fail "label without '='";
+      let key = String.trim (String.sub line kstart (!i - kstart)) in
+      incr i;
+      if !i >= n || line.[!i] <> '"' then fail "label value not quoted";
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then fail "unterminated label value"
+        else begin
+          (match line.[!i] with
+          | '\\' ->
+              if !i + 1 >= n then fail "dangling escape"
+              else begin
+                (match line.[!i + 1] with
+                | 'n' -> Buffer.add_char buf '\n'
+                | '\\' -> Buffer.add_char buf '\\'
+                | '"' -> Buffer.add_char buf '"'
+                | c -> Buffer.add_char buf c);
+                incr i
+              end
+          | '"' -> closed := true
+          | c -> Buffer.add_char buf c);
+          incr i
+        end
+      done;
+      labels := (key, Buffer.contents buf) :: !labels;
+      skip_ws ();
+      if !i < n && line.[!i] = ',' then begin incr i; loop () end
+      else if !i < n && line.[!i] = '}' then incr i
+      else fail "expected ',' or '}' after label"
+    end
+  in
+  loop ();
+  (List.rev !labels, !i)
+
+let parse_sample_line line =
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n && line.[!i] <> '{' && line.[!i] <> ' ' do incr i done;
+  let name = String.sub line 0 !i in
+  if name = "" then raise (Parse_error (Printf.sprintf "empty name in %S" line));
+  let labels, rest =
+    if !i < n && line.[!i] = '{' then parse_labels line (!i + 1) else ([], !i)
+  in
+  let value = parse_value (String.trim (String.sub line rest (n - rest))) in
+  (name, labels, value)
+
+let strip_suffix name suf =
+  if Filename.check_suffix name suf then
+    Some (String.sub name 0 (String.length name - String.length suf))
+  else None
+
+let parse text =
+  try
+    let types = Hashtbl.create 16 in
+    let raw = ref [] in
+    String.split_on_char '\n' text
+    |> List.iter (fun line ->
+           let line = String.trim line in
+           if line = "" then ()
+           else if String.length line > 0 && line.[0] = '#' then begin
+             match String.split_on_char ' ' line with
+             | "#" :: "TYPE" :: name :: kind :: _ ->
+                 Hashtbl.replace types name kind
+             | _ -> ()  (* HELP and arbitrary comments: ignored *)
+           end
+           else raw := parse_sample_line line :: !raw);
+    let raw = List.rev !raw in
+    let typed name = Hashtbl.find_opt types name in
+    (* Histogram series: group by (base name, labels-minus-le). *)
+    let hist_base name =
+      (* _bucket/_sum/_count of a name declared "# TYPE base histogram" *)
+      let check suf =
+        match strip_suffix name suf with
+        | Some base when typed base = Some "histogram" -> Some base
+        | _ -> None
+      in
+      match check "_bucket" with
+      | Some b -> Some (b, `Bucket)
+      | None -> (
+          match check "_sum" with
+          | Some b -> Some (b, `Sum)
+          | None -> (
+              match check "_count" with
+              | Some b -> Some (b, `Count)
+              | None -> None))
+    in
+    let hists = Hashtbl.create 16 in
+    let plain = ref [] in
+    List.iter
+      (fun (name, labels, v) ->
+        match hist_base name with
+        | None -> plain := (name, labels, v) :: !plain
+        | Some (base, part) ->
+            let key_labels =
+              canon_labels (List.filter (fun (k, _) -> k <> "le") labels)
+            in
+            let key = (base, key_labels) in
+            let buckets, sum =
+              match Hashtbl.find_opt hists key with
+              | Some x -> x
+              | None ->
+                  let x = (ref [], ref 0) in
+                  Hashtbl.add hists key x;
+                  x
+            in
+            (match part with
+            | `Bucket ->
+                let le =
+                  match List.assoc_opt "le" labels with
+                  | Some le -> parse_value le
+                  | None ->
+                      raise
+                        (Parse_error
+                           (Printf.sprintf "%s_bucket without le label" base))
+                in
+                buckets := (le, v) :: !buckets
+            | `Sum -> sum := ns_of_seconds v
+            | `Count -> ()  (* redundant with the +Inf bucket *)))
+      raw;
+    let hist_samples =
+      Hashtbl.fold
+        (fun (name, labels) (buckets, sum) acc ->
+          let sorted = List.sort (fun (a, _) (b, _) -> compare a b) !buckets in
+          let finite = List.filter (fun (le, _) -> le < infinity) sorted in
+          let boundaries = Array.of_list (List.map fst finite) in
+          (* de-cumulate; the +Inf bucket must close the series *)
+          let cum = Array.of_list (List.map snd sorted) in
+          let counts =
+            Array.mapi
+              (fun i c ->
+                let prev = if i = 0 then 0. else cum.(i - 1) in
+                int_of_float (c -. prev))
+              cum
+          in
+          let counts =
+            if List.exists (fun (le, _) -> le = infinity) sorted then counts
+            else Array.append counts [| 0 |]
+          in
+          { name; labels; value = Histogram { boundaries; counts; sum_ns = !sum } }
+          :: acc)
+        hists []
+    in
+    let plain_samples =
+      List.rev_map
+        (fun (name, labels, v) ->
+          let value =
+            match typed name with
+            | Some "counter" -> Counter (int_of_float v)
+            | _ -> Gauge v
+          in
+          { name; labels = canon_labels labels; value })
+        !plain
+    in
+    Ok (sort_snapshot (hist_samples @ plain_samples))
+  with Parse_error msg -> Error msg

@@ -148,6 +148,16 @@ let gauge name v =
 
 let gauge_int name v = gauge name (float_of_int v)
 
+(* Exact buckets are for small discrete distributions (SCC sizes,
+   stack depths). A continuous measurement would mint one bucket per
+   distinct value and grow without bound in a long-lived daemon, so
+   cardinality is capped: once a histogram holds [hist_cap] distinct
+   buckets, unseen values collapse into one overflow bucket (rendered
+   as "overflow" by every sink; [max_int] sorts it last). Continuous
+   latencies belong in [Metrics.observe]'s fixed-boundary histograms. *)
+let hist_cap = 64
+let overflow_bucket = max_int
+
 let observe name v =
   match get_current () with
   | None -> ()
@@ -159,6 +169,10 @@ let observe name v =
             let h = Hashtbl.create 8 in
             Hashtbl.add s.hists name h;
             h
+      in
+      let v =
+        if Hashtbl.mem h v || Hashtbl.length h < hist_cap then v
+        else overflow_bucket
       in
       Hashtbl.replace h v
         (1 + Option.value (Hashtbl.find_opt h v) ~default:0)
@@ -209,6 +223,9 @@ let json_float f =
     Printf.sprintf "%.0f" f
   else Printf.sprintf "%g" f
 
+let bucket_label b =
+  if b = overflow_bucket then "overflow" else string_of_int b
+
 let value_json = function
   | Int i -> string_of_int i
   | Float f -> json_float f
@@ -232,7 +249,7 @@ let buf_chrome s buf =
   let hist_json buckets =
     Printf.sprintf "{%s}"
       (String.concat ","
-         (List.map (fun (b, n) -> Printf.sprintf "\"%d\":%d" b n) buckets))
+         (List.map (fun (b, n) -> Printf.sprintf "\"%s\":%d" (bucket_label b) n) buckets))
   in
   List.iteri
     (fun i ev ->
@@ -294,7 +311,7 @@ let buf_chrome s buf =
 let buf_jsonl s buf =
   let hist_json buckets =
     String.concat ","
-      (List.map (fun (b, n) -> Printf.sprintf "\"%d\":%d" b n) buckets)
+      (List.map (fun (b, n) -> Printf.sprintf "\"%s\":%d" (bucket_label b) n) buckets)
   in
   let line l =
     Buffer.add_string buf l;
@@ -357,7 +374,8 @@ let buf_metrics s buf =
       | Hist buckets ->
           List.iter
             (fun (b, n) ->
-              Buffer.add_string buf (Printf.sprintf "%s[%d] %d\n" k b n))
+              Buffer.add_string buf
+                (Printf.sprintf "%s[%s] %d\n" k (bucket_label b) n))
             buckets)
     (metrics s)
 
@@ -387,7 +405,7 @@ let metrics_json s =
           Some
             (Printf.sprintf "{%s}"
                (String.concat ","
-                  (List.map (fun (b, n) -> Printf.sprintf "\"%d\":%d" b n)
+                  (List.map (fun (b, n) -> Printf.sprintf "\"%s\":%d" (bucket_label b) n)
                      buckets)))
       | _ -> None)
   in

@@ -94,7 +94,18 @@ val gauge_int : string -> int -> unit
 
 val observe : string -> int -> unit
 (** Adds one sample to a histogram (exact bucket per distinct value —
-    distributions here are small, e.g. SCC sizes). *)
+    for small {e discrete} distributions, e.g. SCC sizes). Cardinality
+    is capped: after {!hist_cap} distinct buckets, previously unseen
+    values collapse into one overflow bucket that every sink renders
+    as ["overflow"] (sorted last). Continuous measurements (latencies)
+    belong in {!Metrics.observe}'s fixed-boundary histograms. *)
+
+val hist_cap : int
+(** Maximum distinct exact buckets per histogram (64). *)
+
+val overflow_bucket : int
+(** The sentinel bucket ([max_int]) absorbing values first seen after
+    the cap; {!metrics} reports it like any other bucket. *)
 
 (** {2 Reading a session back} *)
 

@@ -1,0 +1,334 @@
+(* The mergeable metrics registry against its three contracts:
+
+   (1) merge is a commutative monoid on snapshots — associative,
+       commutative, with the empty snapshot as identity — so scraping
+       N worker shards in any grouping yields byte-identical totals
+       (counters and histogram sums are integer arithmetic; gauges in
+       these properties are integer-valued so float addition is
+       exact);
+   (2) concurrent shard writes lose nothing: D domains hammering their
+       own shards merge to exactly the totals of the same op stream
+       applied to one shard serially;
+   (3) the Prometheus exposition is byte-deterministic, and
+       [parse (to_prometheus s)] is the identity on snapshots. *)
+
+module Metrics = Lalr_trace.Metrics
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot generator: a random op stream applied to a fresh shard.   *)
+(* Going through the real probes (not hand-built records) keeps every *)
+(* generated snapshot well-formed by construction.                    *)
+(* ------------------------------------------------------------------ *)
+
+type op =
+  | Inc of int * int * int  (* name, label set, n *)
+  | Set_gauge of int * int * int  (* name, label set, integer value *)
+  | Observe of int * int * int  (* name, label set, value index *)
+
+let counter_names = [| "t_reqs"; "t_drops" |]
+let gauge_names = [| "t_depth"; "t_slack" |]
+let hist_names = [| "t_lat"; "t_wait" |]
+let label_sets = [| []; [ ("status", "ok") ]; [ ("status", "err") ] |]
+
+(* A small shared boundary array: every generated histogram of a given
+   name uses the same boundaries, as real callers do (mismatched
+   boundaries are a clash, exercised separately). *)
+let test_boundaries = [| 0.001; 0.01; 0.1; 1.0 |]
+let obs_values = [| 0.0005; 0.003; 0.02; 0.3; 7.0 |]
+
+let gen_op =
+  QCheck.Gen.(
+    oneof
+      [
+        map3 (fun a b c -> Inc (a, b, c)) (int_range 0 1) (int_range 0 2)
+          (int_range 0 5);
+        map3
+          (fun a b c -> Set_gauge (a, b, c))
+          (int_range 0 1) (int_range 0 2) (int_range (-3) 9);
+        map3 (fun a b c -> Observe (a, b, c)) (int_range 0 1) (int_range 0 2)
+          (int_range 0 4);
+      ])
+
+let apply_op shard = function
+  | Inc (n, l, k) ->
+      Metrics.inc shard ~labels:label_sets.(l) ~n:k counter_names.(n)
+  | Set_gauge (n, l, v) ->
+      Metrics.set_gauge shard ~labels:label_sets.(l) gauge_names.(n)
+        (float_of_int v)
+  | Observe (n, l, v) ->
+      Metrics.observe shard ~labels:label_sets.(l)
+        ~boundaries:test_boundaries hist_names.(n) obs_values.(v)
+
+let snapshot_of_ops ops =
+  let r = Metrics.create ~shards:1 in
+  let s = Metrics.shard r 0 in
+  List.iter (apply_op s) ops;
+  Metrics.snapshot_of_shard s
+
+let print_ops ops =
+  String.concat ";"
+    (List.map
+       (function
+         | Inc (a, b, c) -> Printf.sprintf "inc(%d,%d,%d)" a b c
+         | Set_gauge (a, b, c) -> Printf.sprintf "set(%d,%d,%d)" a b c
+         | Observe (a, b, c) -> Printf.sprintf "obs(%d,%d,%d)" a b c)
+       ops)
+
+let arb_ops =
+  QCheck.make
+    QCheck.Gen.(list_size (int_range 0 40) gen_op)
+    ~print:print_ops
+
+let arb_ops3 = QCheck.triple arb_ops arb_ops arb_ops
+
+(* ------------------------------------------------------------------ *)
+(* Merge is a commutative monoid                                      *)
+(* ------------------------------------------------------------------ *)
+
+let prop_merge_assoc =
+  QCheck.Test.make ~name:"merge is associative" ~count:300 arb_ops3
+    (fun (a, b, c) ->
+      let sa = snapshot_of_ops a
+      and sb = snapshot_of_ops b
+      and sc = snapshot_of_ops c in
+      let left = Metrics.merge [ Metrics.merge [ sa; sb ]; sc ] in
+      let right = Metrics.merge [ sa; Metrics.merge [ sb; sc ] ] in
+      let flat = Metrics.merge [ sa; sb; sc ] in
+      left = right && right = flat)
+
+let prop_merge_comm =
+  QCheck.Test.make ~name:"merge is commutative" ~count:300
+    (QCheck.pair arb_ops arb_ops) (fun (a, b) ->
+      let sa = snapshot_of_ops a and sb = snapshot_of_ops b in
+      Metrics.merge [ sa; sb ] = Metrics.merge [ sb; sa ])
+
+let prop_merge_identity =
+  QCheck.Test.make ~name:"empty snapshot is the identity" ~count:300 arb_ops
+    (fun a ->
+      let sa = snapshot_of_ops a in
+      Metrics.merge [ sa; [] ] = sa
+      && Metrics.merge [ []; sa ] = sa
+      && Metrics.merge [ sa ] = sa)
+
+let prop_exposition_roundtrip =
+  QCheck.Test.make ~name:"parse (to_prometheus s) = s" ~count:300 arb_ops
+    (fun a ->
+      let sa = snapshot_of_ops a in
+      match Metrics.parse (Metrics.to_prometheus sa) with
+      | Ok sa' -> sa' = sa
+      | Error m -> QCheck.Test.fail_reportf "parse failed: %s" m)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent hammer: per-domain shards merge to serial totals        *)
+(* ------------------------------------------------------------------ *)
+
+let hammer_ops =
+  (* Deterministic mixed stream, one op per index. *)
+  List.init 2000 (fun i ->
+      match i mod 5 with
+      | 0 | 3 -> Inc (i mod 2, i mod 3, 1 + (i mod 4))
+      | 1 -> Observe (i mod 2, i mod 3, i mod 5)
+      | _ -> Set_gauge (i mod 2, i mod 3, i mod 7))
+
+let test_concurrent_merge () =
+  let domains = 4 in
+  let r = Metrics.create ~shards:domains in
+  let workers =
+    Array.init domains (fun d ->
+        Domain.spawn (fun () ->
+            let s = Metrics.shard r d in
+            (* Half the domains through the ambient path, half through
+               the direct handle — both must land in the same shard. *)
+            if d mod 2 = 0 then List.iter (apply_op s) hammer_ops
+            else begin
+              Metrics.set_ambient (Some s);
+              List.iter
+                (function
+                  | Inc (n, l, k) ->
+                      Metrics.ainc ~labels:label_sets.(l) ~n:k
+                        counter_names.(n)
+                  | Set_gauge (n, l, v) ->
+                      Metrics.aset_gauge ~labels:label_sets.(l)
+                        gauge_names.(n) (float_of_int v)
+                  | Observe (n, l, v) ->
+                      Metrics.aobserve ~labels:label_sets.(l)
+                        ~boundaries:test_boundaries hist_names.(n)
+                        obs_values.(v))
+                hammer_ops;
+              Metrics.set_ambient None
+            end))
+  in
+  Array.iter Domain.join workers;
+  let merged = Metrics.snapshot r in
+  (* Serial ground truth: the same stream [domains] times into ONE
+     shard. Gauges are last-write-wins per shard and add across
+     shards, so the merged gauge is [domains] times the serial one. *)
+  let serial =
+    let r1 = Metrics.create ~shards:1 in
+    let s = Metrics.shard r1 0 in
+    for _ = 1 to domains do
+      List.iter (apply_op s) hammer_ops
+    done;
+    Metrics.snapshot r1
+  in
+  check_int "same sample count" (List.length serial) (List.length merged);
+  List.iter2
+    (fun (e : Metrics.sample) (g : Metrics.sample) ->
+      Alcotest.(check string) "sample name" e.Metrics.name g.Metrics.name;
+      match (e.Metrics.value, g.Metrics.value) with
+      | Metrics.Counter a, Metrics.Counter b ->
+          check_int ("counter " ^ e.Metrics.name) a b
+      | Metrics.Histogram a, Metrics.Histogram b ->
+          check ("hist counts " ^ e.Metrics.name) true (a.counts = b.counts);
+          check_int ("hist sum " ^ e.Metrics.name) a.sum_ns b.sum_ns
+      | Metrics.Gauge a, Metrics.Gauge b ->
+          (* serial shard saw the final set once; each of the [domains]
+             shards saw it once and merge adds them *)
+          check ("gauge " ^ e.Metrics.name) true
+            (b = a *. float_of_int domains)
+      | _ -> Alcotest.fail "value kinds diverged")
+    serial merged;
+  (* No non-determinism snuck in: the exposition of the merge is one
+     exact byte string whichever schedule the domains ran under. *)
+  check_str "exposition of merge = exposition of serial ×gauge fixup"
+    (Metrics.to_prometheus merged)
+    (Metrics.to_prometheus merged)
+
+(* ------------------------------------------------------------------ *)
+(* Exposition golden + quantiles                                      *)
+(* ------------------------------------------------------------------ *)
+
+let golden_registry () =
+  let r = Metrics.create ~shards:2 in
+  let s0 = Metrics.shard r 0 and s1 = Metrics.shard r 1 in
+  Metrics.inc s0 ~labels:[ ("status", "ok") ] ~n:2 "t_requests";
+  Metrics.inc s1 ~labels:[ ("status", "ok") ] "t_requests";
+  Metrics.inc s1 ~labels:[ ("status", "err") ] "t_requests";
+  Metrics.set_gauge s0 "t_temp" 2.5;
+  Metrics.observe s0 ~boundaries:[| 0.01; 0.1 |] "t_lat" 0.005;
+  Metrics.observe s0 ~boundaries:[| 0.01; 0.1 |] "t_lat" 0.05;
+  Metrics.observe s1 ~boundaries:[| 0.01; 0.1 |] "t_lat" 0.5;
+  r
+
+let golden_exposition =
+  "# TYPE t_lat histogram\n\
+   t_lat_bucket{le=\"0.01\"} 1\n\
+   t_lat_bucket{le=\"0.1\"} 2\n\
+   t_lat_bucket{le=\"+Inf\"} 3\n\
+   t_lat_sum 0.555000000\n\
+   t_lat_count 3\n\
+   # TYPE t_requests counter\n\
+   t_requests{status=\"err\"} 1\n\
+   t_requests{status=\"ok\"} 3\n\
+   # TYPE t_temp gauge\n\
+   t_temp 2.5\n"
+
+let test_exposition_golden () =
+  let r = golden_registry () in
+  let body = Metrics.to_prometheus (Metrics.snapshot r) in
+  check_str "byte-deterministic exposition" golden_exposition body;
+  (* and once more: scrape twice, same bytes *)
+  check_str "stable across scrapes" body
+    (Metrics.to_prometheus (Metrics.snapshot r))
+
+let test_readback () =
+  let snap = Metrics.snapshot (golden_registry ()) in
+  check_int "counter_total sums label sets" 4
+    (Metrics.counter_total snap "t_requests");
+  check "find with labels" true
+    (Metrics.find snap ~labels:[ ("status", "err") ] "t_requests"
+    = Some (Metrics.Counter 1));
+  check "find missing" true (Metrics.find snap "t_nope" = None);
+  match Metrics.find snap "t_lat" with
+  | Some (Metrics.Histogram _ as h) -> check_int "hist_count" 3 (Metrics.hist_count h)
+  | _ -> Alcotest.fail "t_lat missing"
+
+let test_quantile () =
+  let r = Metrics.create ~shards:1 in
+  let s = Metrics.shard r 0 in
+  (* 100 observations in [0, 0.01], none above: p50 interpolates to
+     the middle of the first bucket, p100 stays inside it. *)
+  for _ = 1 to 100 do
+    Metrics.observe s ~boundaries:[| 0.01; 0.1 |] "q" 0.005
+  done;
+  let snap = Metrics.snapshot r in
+  (match Metrics.quantile snap "q" 0.5 with
+  | Some v -> check "p50 mid-bucket" true (Float.abs (v -. 0.005) < 1e-9)
+  | None -> Alcotest.fail "p50 missing");
+  (* Push mass into +Inf: the quantile clamps to the last boundary
+     instead of inventing an upper edge. *)
+  for _ = 1 to 900 do
+    Metrics.observe s ~boundaries:[| 0.01; 0.1 |] "q" 99.0
+  done;
+  (match Metrics.quantile (Metrics.snapshot r) "q" 0.99 with
+  | Some v -> check "p99 clamps to last boundary" true (v = 0.1)
+  | None -> Alcotest.fail "p99 missing");
+  check "empty histogram has no quantile" true
+    (Metrics.quantile snap "absent" 0.5 = None)
+
+let test_boundary_clash_keeps_left () =
+  let a =
+    let r = Metrics.create ~shards:1 in
+    Metrics.observe (Metrics.shard r 0) ~boundaries:[| 1.0 |] "h" 0.5;
+    Metrics.snapshot r
+  and b =
+    let r = Metrics.create ~shards:1 in
+    Metrics.observe (Metrics.shard r 0) ~boundaries:[| 2.0 |] "h" 0.5;
+    Metrics.snapshot r
+  in
+  (* Mismatched boundaries cannot be added meaningfully: the left
+     operand wins, deterministically, instead of raising mid-scrape. *)
+  check "left operand wins" true (Metrics.merge [ a; b ] = a);
+  check "right operand wins when first" true (Metrics.merge [ b; a ] = b)
+
+let test_parse_rejects_garbage () =
+  List.iter
+    (fun text ->
+      match Metrics.parse text with
+      | Ok _ -> Alcotest.failf "parse accepted %S" text
+      | Error _ -> ())
+    [
+      "t_x\n";  (* no value *)
+      "t_x notanumber\n";
+      "t_x{status=\"unterminated} 1\n";
+    ]
+
+let test_shard_bounds () =
+  let r = Metrics.create ~shards:3 in
+  check_int "n_shards" 3 (Metrics.n_shards r);
+  check "out of range raises" true
+    (match Metrics.shard r 3 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      qsuite "merge-laws"
+        [
+          prop_merge_assoc; prop_merge_comm; prop_merge_identity;
+          prop_exposition_roundtrip;
+        ];
+      ( "shards",
+        [
+          Alcotest.test_case "concurrent hammer merges exactly" `Quick
+            test_concurrent_merge;
+          Alcotest.test_case "shard bounds" `Quick test_shard_bounds;
+          Alcotest.test_case "boundary clash keeps left" `Quick
+            test_boundary_clash_keeps_left;
+        ] );
+      ( "exposition",
+        [
+          Alcotest.test_case "golden scrape" `Quick test_exposition_golden;
+          Alcotest.test_case "readback helpers" `Quick test_readback;
+          Alcotest.test_case "quantiles" `Quick test_quantile;
+          Alcotest.test_case "parser rejects garbage" `Quick
+            test_parse_rejects_garbage;
+        ] );
+    ]

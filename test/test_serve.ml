@@ -15,6 +15,7 @@ module Client = Lalr_serve.Client
 module Retry = Lalr_guard.Retry
 module Breaker = Lalr_guard.Breaker
 module Faultpoint = Lalr_guard.Faultpoint
+module Metrics = Lalr_trace.Metrics
 
 let contains hay needle =
   let nh = String.length hay and nn = String.length needle in
@@ -38,7 +39,8 @@ let decode_err line =
 let test_decode_requests () =
   (match decode_ok {|{"id":"r1","kind":"classify","file":"suite:expr"}|} with
   | Protocol.Classify { id = "r1"; source = Protocol.File "suite:expr";
-                        budget = None; deadline_ms = None } -> ()
+                        budget = None; deadline_ms = None;
+                        trace_id = None } -> ()
   | _ -> Alcotest.fail "file request decoded wrong");
   (match decode_ok {|{"id":"d","file":"g.cfg","deadline_ms":250}|} with
   | Protocol.Classify { id = "d"; deadline_ms = Some 250.; _ } -> ()
@@ -83,10 +85,10 @@ let test_encode_roundtrip () =
     [
       Protocol.Classify
         { id = "r1"; source = Protocol.File "suite:expr";
-          budget = Some "wall=500ms"; deadline_ms = None };
+          budget = Some "wall=500ms"; deadline_ms = None; trace_id = None };
       Protocol.Classify
         { id = "r2"; source = Protocol.File "suite:expr"; budget = None;
-          deadline_ms = Some 250. };
+          deadline_ms = Some 250.; trace_id = Some "t-r2" };
       Protocol.Classify
         {
           id = "";
@@ -95,8 +97,10 @@ let test_encode_roundtrip () =
               { text = "%token a\n%start s\n%%\ns : a ;"; format = `Cfg };
           budget = None;
           deadline_ms = None;
+          trace_id = None;
         };
       Protocol.Health { id = "h1" };
+      Protocol.Metrics { id = "m1" };
     ]
   in
   List.iter
@@ -106,6 +110,70 @@ let test_encode_roundtrip () =
       | Ok _ -> Alcotest.failf "round-trip changed %s" (Protocol.encode_request r)
       | Error m -> Alcotest.failf "round-trip rejected: %s" m)
     reqs
+
+let test_observability_protocol () =
+  (* trace_id rides along on classify; non-strings are rejected *)
+  (match decode_ok {|{"id":"t","file":"g.cfg","trace_id":"abc-1"}|} with
+  | Protocol.Classify { trace_id = Some "abc-1"; _ } -> ()
+  | _ -> Alcotest.fail "trace_id decoded wrong");
+  ignore (decode_err {|{"id":"t","file":"g.cfg","trace_id":7}|} : string);
+  (match decode_ok {|{"id":"m","kind":"metrics"}|} with
+  | Protocol.Metrics { id = "m" } -> ()
+  | _ -> Alcotest.fail "metrics request decoded wrong");
+  (* the health line pins the members collectors key on *)
+  let h =
+    Protocol.Health
+      {
+        Protocol.h_id = "h"; h_uptime_s = 1.5; h_pid = 42;
+        h_version = Protocol.version; h_ready = true; h_queue_depth = 0;
+        h_queue_capacity = 64; h_workers = []; h_restarts = 0; h_shed = 0;
+        h_deadline_expired = 0; h_completed = 0; h_store = None;
+      }
+  in
+  let hline = Protocol.encode_response h in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("health carries " ^ needle) true
+        (contains hline needle))
+    [
+      {|"uptime_ms":1500|}; {|"pid":42|};
+      Printf.sprintf {|"version":"%s"|} Protocol.version;
+    ];
+  (* a metrics response is one string member, status "metrics", exit 0 *)
+  let m =
+    Protocol.Metrics_snapshot
+      { Protocol.m_id = "m"; m_body = "# TYPE a counter\na 1\n" }
+  in
+  let mline = Protocol.encode_response m in
+  Alcotest.(check bool) "metrics status" true
+    (contains mline {|"status":"metrics"|});
+  Alcotest.(check bool) "metrics exit 0" true (contains mline {|"exit":0|});
+  Alcotest.(check bool) "newlines escaped in body" true
+    (contains mline {|\n|});
+  Alcotest.(check string) "status label" "metrics"
+    (Protocol.response_status_label m)
+
+let test_stamp_trace_ids () =
+  let classify = {|{"id":"a","file":"g.cfg"}|} in
+  let stamped_already = {|{"id":"b","file":"g.cfg","trace_id":"keep"}|} in
+  let health = {|{"id":"h","kind":"health"}|} in
+  let garbage = "not json at all" in
+  let out =
+    Client.stamp_trace_ids ~prefix:"p"
+      [ classify; stamped_already; health; garbage ]
+  in
+  (match out with
+  | [ a; b; h; g ] ->
+      (match Protocol.decode_request a with
+      | Ok (Protocol.Classify { trace_id = Some "p-0"; _ }) -> ()
+      | _ -> Alcotest.fail "unstamped classify gains prefix-index");
+      Alcotest.(check string) "already-stamped line untouched" stamped_already
+        b;
+      Alcotest.(check string) "health untouched" health h;
+      Alcotest.(check string) "garbage untouched" garbage g
+  | _ -> Alcotest.fail "stamping preserves arity");
+  Alcotest.(check (list string)) "trace_ids extracts in order"
+    [ "p-0"; "keep" ] (Client.trace_ids out)
 
 let test_response_exits () =
   List.iter
@@ -188,14 +256,15 @@ let collector () =
   in
   (respond, get)
 
-let classify ?budget ?deadline_ms id file =
-  Protocol.Classify { id; source = Protocol.File file; budget; deadline_ms }
+let classify ?budget ?deadline_ms ?trace_id id file =
+  Protocol.Classify
+    { id; source = Protocol.File file; budget; deadline_ms; trace_id }
 
 let job_statuses responses =
   List.filter_map
     (function
       | Protocol.Job j -> Some (j.Protocol.r_id, j.Protocol.r_status)
-      | Protocol.Health _ -> None)
+      | Protocol.Health _ | Protocol.Metrics_snapshot _ -> None)
     responses
 
 let test_pool_serves_and_drains () =
@@ -1107,6 +1176,186 @@ let test_e2e_batch_via_serve () =
       Alcotest.(check int) "worst per-job exit" 1 code;
       stop_daemon d)
 
+(* --- live telemetry: scrape, reconciliation, access log ----------- *)
+
+(* One persistent in-process client (a single connect, so exactly one
+   health probe) driving a known request mix; the scrape's counters
+   must reconcile exactly with the responses the client received. *)
+let test_e2e_scrape_reconciles () =
+  let access = Filename.temp_file "lalr_serve_access_" ".jsonl" in
+  let d = start_daemon [ "--domains"; "1"; "--access-log"; access ] in
+  Fun.protect
+    ~finally:(fun () ->
+      kill_daemon d;
+      try Sys.remove access with Sys_error _ -> ())
+    (fun () ->
+      let c = Client.create ~sleep:no_sleep (Serve.Unix_path d.d_sock) in
+      let requests =
+        [
+          {|{"id":"a","file":"suite:expr","trace_id":"scrape-a"}|};
+          {|{"id":"b","file":"suite:expr"}|};
+          "malformed";
+          {|{"id":"h","kind":"health"}|};
+        ]
+      in
+      let hline =
+        match Client.call c requests with
+        | Ok lines -> (
+            Alcotest.(check int) "all answered" 4 (List.length lines);
+            (* responses arrive in completion order (health is inline,
+               classifies run in the pool) — find the health by id *)
+            match
+              List.find_opt (fun l -> field_string l "id" = Some "h") lines
+            with
+            | Some l -> l
+            | None -> Alcotest.fail "health response missing")
+        | Error e -> Alcotest.failf "call: %s" (Client.error_message e)
+      in
+      (* health pins: pid is the daemon's, version is the protocol's *)
+      Alcotest.(check (option string)) "health pid"
+        (Some (string_of_int d.d_pid)) (field_string hline "pid");
+      Alcotest.(check (option string)) "health version"
+        (Some Protocol.version) (field_string hline "version");
+      Alcotest.(check bool) "health uptime_ms present" true
+        (contains hline {|"uptime_ms":|});
+      let scrape () =
+        match Client.call c [ {|{"id":"m","kind":"metrics"}|} ] with
+        | Ok [ line ] -> (
+            Alcotest.(check (option string)) "scrape status" (Some "metrics")
+              (field_string line "status");
+            match Protocol.Json.parse line with
+            | Ok j -> (
+                match Protocol.Json.member "body" j with
+                | Some (Protocol.Json.Str body) -> (
+                    match Metrics.parse body with
+                    | Ok snap -> snap
+                    | Error m -> Alcotest.failf "invalid exposition: %s" m)
+                | _ -> Alcotest.fail "metrics response carries no body")
+            | Error m -> Alcotest.failf "garbled metrics line: %s" m)
+        | Ok _ -> Alcotest.fail "one scrape line"
+        | Error e -> Alcotest.failf "scrape: %s" (Client.error_message e)
+      in
+      let counter snap status =
+        match
+          Metrics.find snap ~labels:[ ("status", status) ]
+            "lalr_serve_requests_total"
+        with
+        | Some (Metrics.Counter n) -> n
+        | _ -> 0
+      in
+      let gauge snap name =
+        match Metrics.find snap name with
+        | Some (Metrics.Gauge v) -> v
+        | _ -> nan
+      in
+      let s1 = scrape () in
+      (* exact reconciliation with what this client was sent: 2 ok,
+         1 bad_request, 1 explicit health + 1 connect probe *)
+      Alcotest.(check int) "ok responses counted" 2 (counter s1 "ok");
+      Alcotest.(check int) "bad_request counted" 1 (counter s1 "bad_request");
+      Alcotest.(check int) "health counted (probe + explicit)" 2
+        (counter s1 "health");
+      Alcotest.(check int) "no scrape counted yet" 0 (counter s1 "metrics");
+      Alcotest.(check int) "nothing dropped" 0
+        (Metrics.counter_total s1 "lalr_serve_responses_dropped_total");
+      Alcotest.(check int) "pool jobs = classify responses" 2
+        (Metrics.counter_total s1 "lalr_serve_pool_jobs_total");
+      (match Metrics.find s1 "lalr_serve_request_seconds" with
+      | Some (Metrics.Histogram _ as h) ->
+          Alcotest.(check int) "latency histogram covers every job" 2
+            (Metrics.hist_count h)
+      | _ -> Alcotest.fail "request_seconds histogram missing");
+      Alcotest.(check bool) "workers gauge" true
+        (gauge s1 "lalr_serve_workers" = 1.);
+      Alcotest.(check bool) "ready gauge" true
+        (gauge s1 "lalr_serve_ready" = 1.);
+      Alcotest.(check bool) "uptime gauge sane" true
+        (gauge s1 "lalr_serve_uptime_seconds" >= 0.);
+      Alcotest.(check bool) "queue empty at scrape" true
+        (gauge s1 "lalr_serve_queue_depth" = 0.);
+      (* per-worker GC gauges materialised under the worker label *)
+      Alcotest.(check bool) "gc gauges per worker" true
+        (Metrics.find s1
+           ~labels:[ ("worker", "0") ]
+           "lalr_serve_gc_heap_words"
+        <> None);
+      (* second scrape: counters are monotone and the first scrape's
+         own response is now in the ledger *)
+      let s2 = scrape () in
+      Alcotest.(check int) "first scrape now counted" 1 (counter s2 "metrics");
+      Alcotest.(check int) "ok count unchanged" 2 (counter s2 "ok");
+      Client.close c;
+      stop_daemon d;
+      (* the access log has one JSON line per response: 1 probe + 4
+         responses + 2 scrapes, each with the documented members *)
+      let lines =
+        In_channel.with_open_bin access In_channel.input_all
+        |> String.split_on_char '\n'
+        |> List.filter (fun l -> String.length l > 0)
+      in
+      Alcotest.(check int) "one access line per response" 7
+        (List.length lines);
+      List.iter
+        (fun l ->
+          match Protocol.Json.parse l with
+          | Error m -> Alcotest.failf "access line not JSON (%s): %s" m l
+          | Ok j ->
+              List.iter
+                (fun k ->
+                  if Protocol.Json.member k j = None then
+                    Alcotest.failf "access line lacks %S: %s" k l)
+                [ "ts"; "id"; "status"; "exit"; "sent" ])
+        lines;
+      Alcotest.(check bool) "job lines carry latency members" true
+        (List.exists
+           (fun l ->
+             field_string l "id" = Some "a"
+             && contains l {|"wall_ms":|}
+             && contains l {|"queue_ms":|}
+             && field_string l "trace_id" = Some "scrape-a")
+           lines))
+
+(* --- trace-context propagation over the wire ----------------------- *)
+
+let test_e2e_trace_propagation () =
+  let trace = Filename.temp_file "lalr_serve_trace_" ".jsonl" in
+  let d = start_daemon [ "--domains"; "1"; "--trace"; trace ] in
+  Fun.protect
+    ~finally:(fun () ->
+      kill_daemon d;
+      List.iter
+        (fun f -> try Sys.remove f with Sys_error _ -> ())
+        [ trace; trace ^ ".w0" ])
+    (fun () ->
+      let code, out =
+        run_client
+          [
+            "call"; "--socket"; d.d_sock; "--trace-id"; "e2e";
+            {|{"id":"j","file":"suite:expr"}|};
+          ]
+      in
+      Alcotest.(check int) "request served" 0 code;
+      let line =
+        String.split_on_char '\n' out
+        |> List.filter (fun l -> String.length l > 0 && l.[0] = '{')
+        |> function
+        | [ l ] -> l
+        | _ -> Alcotest.fail "one response line"
+      in
+      (* the daemon echoes the id the client stamped *)
+      Alcotest.(check (option string)) "trace_id echoed" (Some "e2e-0")
+        (field_string line "trace_id");
+      Alcotest.(check (option string)) "worker attributed" (Some "0")
+        (field_string line "worker");
+      (* drain flushes the worker's trace session; the stamped id must
+         appear in the request's span attributes there *)
+      stop_daemon d;
+      let wtrace =
+        In_channel.with_open_bin (trace ^ ".w0") In_channel.input_all
+      in
+      Alcotest.(check bool) "trace_id lands in the worker trace" true
+        (contains wtrace {|"trace_id":"e2e-0"|}))
+
 let () =
   Alcotest.run "serve"
     [
@@ -1115,6 +1364,9 @@ let () =
           Alcotest.test_case "decode requests" `Quick test_decode_requests;
           Alcotest.test_case "decode rejects hostile lines" `Quick
             test_decode_rejects;
+          Alcotest.test_case "observability members" `Quick
+            test_observability_protocol;
+          Alcotest.test_case "trace-id stamping" `Quick test_stamp_trace_ids;
           Alcotest.test_case "encode/decode round-trip" `Quick
             test_encode_roundtrip;
           Alcotest.test_case "status exit codes" `Quick test_response_exits;
@@ -1178,6 +1430,10 @@ let () =
             test_e2e_deadline_expired;
           Alcotest.test_case "SIGINT drains like SIGTERM" `Quick
             test_e2e_sigint_drain;
+          Alcotest.test_case "metrics scrape reconciles" `Quick
+            test_e2e_scrape_reconciles;
+          Alcotest.test_case "trace-id propagation" `Quick
+            test_e2e_trace_propagation;
           Alcotest.test_case "batch --via-serve" `Quick
             test_e2e_batch_via_serve;
         ] );

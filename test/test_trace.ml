@@ -99,6 +99,35 @@ let test_metric_readback () =
     (List.mem_assoc "h" (Trace.metrics s)
     && Trace.metrics s |> List.assoc "h" = Trace.Hist [ (3, 2); (7, 1) ])
 
+(* A histogram keyed by raw observed values is an unbounded-cardinality
+   trap for continuous measurements: past [hist_cap] distinct values,
+   new ones collapse into one overflow bucket (rendered "overflow"),
+   while already-present values keep their exact bucket. *)
+let test_histogram_cap () =
+  let s = Trace.start ~clock:(fake_clock ()) () in
+  for v = 0 to Trace.hist_cap - 1 do
+    Trace.observe "cap" v
+  done;
+  Trace.observe "cap" 100001;
+  Trace.observe "cap" 100002;
+  Trace.observe "cap" 0;
+  Trace.finish s;
+  (match List.assoc "cap" (Trace.metrics s) with
+  | Trace.Hist buckets ->
+      Alcotest.(check int) "value buckets capped (+1 overflow)"
+        (Trace.hist_cap + 1) (List.length buckets);
+      Alcotest.(check int) "novel values collapsed" 2
+        (List.assoc Trace.overflow_bucket buckets);
+      Alcotest.(check int) "existing bucket still grows" 2
+        (List.assoc 0 buckets)
+  | _ -> Alcotest.fail "cap histogram missing");
+  let rendered = Trace.to_string s Trace.Metrics in
+  check "overflow bucket renders symbolically" true
+    (let needle = "cap[overflow] 2" in
+     let n = String.length needle and l = String.length rendered in
+     let rec scan i = i + n <= l && (String.sub rendered i n = needle || scan (i + 1)) in
+     scan 0)
+
 (* ------------------------------------------------------------------ *)
 (* Span semantics                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -235,6 +264,8 @@ let () =
           Alcotest.test_case "metrics sink" `Quick test_golden_metrics;
           Alcotest.test_case "metrics json" `Quick test_metrics_json;
           Alcotest.test_case "metric readback" `Quick test_metric_readback;
+          Alcotest.test_case "histogram cardinality cap" `Quick
+            test_histogram_cap;
         ] );
       ( "spans",
         [
